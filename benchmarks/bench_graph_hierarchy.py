@@ -1,0 +1,103 @@
+"""E11 — §II.E [4][5]: graph/hierarchy views beat recursive SQL emulation.
+
+Paper claims: "explicit graph structures help applications to express
+complex business logic more explicitly and execute the operations more
+effectively" (GRATIN), and interval-labelled hierarchies answer transitive
+queries without moving subtrees (DeltaNI, and the §III count example).
+
+Measured shape: descendant counting via interval labels is O(1) and beats
+level-at-a-time self-join expansion by orders of magnitude; graph
+traversals on the adjacency view beat re-deriving adjacency per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.engines.graph.algorithms import bfs_distances, shortest_path
+from repro.engines.graph.graph import create_graph_view
+from repro.engines.graph.hierarchy import (
+    HierarchyView,
+    descendant_count_via_self_joins,
+)
+
+NODES = 50_000
+
+
+@pytest.fixture(scope="module")
+def big_parents():
+    parents = {0: None}
+    for node in range(1, NODES):
+        parents[node] = (node - 1) // 3
+    return parents
+
+
+@pytest.mark.benchmark(group="E11-hierarchy")
+def test_descendant_count_interval_labels(benchmark, reporter, big_parents):
+    view = HierarchyView("h", big_parents)
+    count = benchmark(lambda: view.descendant_count(0))
+    reporter("E11", variant="interval-labels", nodes=NODES, count=count)
+    assert count == NODES - 1
+
+
+@pytest.mark.benchmark(group="E11-hierarchy")
+def test_descendant_count_self_join_baseline(benchmark, reporter, big_parents):
+    count = benchmark(lambda: descendant_count_via_self_joins(big_parents, 0))
+    reporter("E11", variant="self-joins", nodes=NODES, count=count)
+    assert count == NODES - 1
+
+
+@pytest.mark.benchmark(group="E11-graph")
+def test_traversal_on_graph_view(benchmark, reporter):
+    database = Database()
+    database.execute("CREATE TABLE v (id INT)")
+    database.execute("CREATE TABLE e (s INT, t INT, w DOUBLE)")
+    txn = database.begin()
+    database.table("v").insert_many(([i] for i in range(5_000)), txn)
+    edges = []
+    for i in range(1, 5_000):
+        edges.append([i - 1, i, 1.0])
+        if i % 7 == 0:
+            edges.append([i, max(0, i - 50), 2.0])
+    database.table("e").insert_many(edges, txn)
+    database.commit(txn)
+    graph = create_graph_view(database, "g", "v", "id", "e", "s", "t", "w")
+
+    distances = benchmark(lambda: bfs_distances(graph, 0))
+    reporter("E11", variant="graph-view-bfs", vertices=5_000, reached=len(distances))
+    assert len(distances) == 5_000
+
+
+@pytest.mark.benchmark(group="E11-graph")
+def test_traversal_rebuilding_adjacency_per_query(benchmark, reporter):
+    """Baseline: an application keeps edges relationally and re-derives
+    adjacency for every traversal (the no-graph-engine pattern)."""
+    database = Database()
+    database.execute("CREATE TABLE e (s INT, t INT)")
+    txn = database.begin()
+    edges = [[i - 1, i] for i in range(1, 5_000)]
+    database.table("e").insert_many(edges, txn)
+    database.commit(txn)
+    database.merge("e")
+
+    def run():
+        from collections import deque
+
+        rows = database.query("SELECT s, t FROM e").rows
+        adjacency: dict[int, list[int]] = {}
+        for s, t in rows:
+            adjacency.setdefault(s, []).append(t)
+        seen = {0: 0}
+        queue = deque([0])
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency.get(current, ()):  # noqa: B023
+                if neighbor not in seen:
+                    seen[neighbor] = seen[current] + 1
+                    queue.append(neighbor)
+        return seen
+
+    distances = benchmark(run)
+    reporter("E11", variant="app-side-bfs", vertices=5_000, reached=len(distances))
+    assert len(distances) == 5_000

@@ -1,0 +1,70 @@
+"""E16 — §II.D: in-engine planning operators.
+
+Paper claims: planning needs "heavy CPU based database functionality like
+disaggregation or copy processes, providing logical snapshots or
+versioning" — in the engine, not the application.
+
+Measured shape: disaggregating a target over 10k leaves and branching a
+what-if version are engine-local and fast; the copy-on-write version costs
+memory proportional to edits, not cube size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.graph.hierarchy import HierarchyView
+from repro.planning.disaggregation import aggregate_up, disaggregate_hierarchy
+from repro.planning.versions import PlanningCube
+
+LEAVES = 10_000
+
+
+@pytest.fixture(scope="module")
+def org():
+    parents = {"root": None}
+    for region in range(10):
+        parents[f"region{region}"] = "root"
+        for store in range(LEAVES // 10):
+            parents[f"store_{region}_{store}"] = f"region{region}"
+    return HierarchyView("org", parents)
+
+
+@pytest.mark.benchmark(group="E16-planning")
+def test_disaggregate_10k_leaves(benchmark, reporter, org):
+    weights = {f"store_{r}_{s}": float(s + 1) for r in range(10) for s in range(LEAVES // 10)}
+    allocation = benchmark(
+        lambda: disaggregate_hierarchy(org, "root", 1_000_000.0, weights)
+    )
+    reporter("E16", op="disaggregate", leaves=len(allocation))
+    assert abs(sum(allocation.values()) - 1_000_000.0) < 1e-6
+
+
+@pytest.mark.benchmark(group="E16-planning")
+def test_aggregate_up(benchmark, reporter, org):
+    leaf_values = {f"store_{r}_{s}": 1.0 for r in range(10) for s in range(LEAVES // 10)}
+    totals = benchmark(lambda: aggregate_up(org, leaf_values))
+    reporter("E16", op="aggregate-up", nodes=len(totals))
+    assert totals["root"] == LEAVES
+
+
+@pytest.mark.benchmark(group="E16-planning")
+def test_version_branch_is_cheap(benchmark, reporter):
+    cube = PlanningCube("sales", ["store", "month"])
+    for store in range(2_000):
+        for month in ("m1", "m2"):
+            cube.set("actuals", (store, month), float(store))
+
+    import itertools
+
+    counter = itertools.count()
+
+    def run():
+        name = f"whatif{next(counter)}"
+        cube.create_version(name)
+        cube.set(name, (0, "m1"), 999.0)
+        return cube.override_count(name)
+
+    overrides = benchmark.pedantic(run, rounds=20, iterations=1)
+    reporter("E16", op="branch-version", cells_in_cube=4_000, cow_cells=overrides)
+    assert overrides == 1

@@ -1,0 +1,89 @@
+"""E14 — §II.G [6]: in-database linear algebra vs the file round trip.
+
+Paper claims: "no redundant copying from other data sources to external
+libraries is needed"; matrices are "manipulated in an iterative process"
+where maintaining data files dominates; SLACID keeps updates cheap via the
+main/delta split.
+
+Measured shape: N analysis rounds in-engine cost ~N× one SpMV workload,
+while the file-repository baseline pays serialise+parse per round; point
+updates through the delta are orders of magnitude cheaper than full
+rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.scientific.linalg import FileRepositoryBaseline, power_iteration
+from repro.engines.scientific.matrix import ColumnarSparseMatrix
+
+DIM = 1_500
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(6)
+    triples = []
+    for row in range(DIM):
+        for _edge in range(8):
+            col = int(rng.integers(0, DIM))
+            triples.append((row, col, float(rng.random())))
+        triples.append((row, row, 10.0))  # diagonal dominance
+    return ColumnarSparseMatrix.from_coo(DIM, DIM, triples)
+
+
+@pytest.mark.benchmark(group="E14-roundtrip")
+def test_iterative_analysis_in_engine(benchmark, reporter, matrix):
+    def run():
+        result = None
+        for _round in range(ROUNDS):
+            result = power_iteration(matrix, iterations=50)
+        return result
+
+    eigenvalue, _vector = benchmark.pedantic(run, rounds=3, iterations=1)
+    reporter("E14", variant="in-engine", rounds=ROUNDS, eigenvalue=round(eigenvalue, 3))
+
+
+@pytest.mark.benchmark(group="E14-roundtrip")
+def test_iterative_analysis_via_file_repository(benchmark, reporter, matrix, tmp_path):
+    baseline = FileRepositoryBaseline(tmp_path)
+
+    eigenvalue, _vector = benchmark.pedantic(
+        lambda: baseline.roundtrip_power_iteration(matrix, ROUNDS),
+        rounds=3,
+        iterations=1,
+    )
+    reporter(
+        "E14",
+        variant="file-repository",
+        rounds=ROUNDS,
+        files_written=baseline.files_written,
+        eigenvalue=round(eigenvalue, 3),
+    )
+
+
+@pytest.mark.benchmark(group="E14-updates")
+def test_point_updates_via_delta(benchmark, reporter, matrix):
+    def run():
+        for i in range(200):
+            matrix.set(i % DIM, (i * 7) % DIM, float(i))
+        return matrix.delta_size
+
+    benchmark(run)
+    matrix.merge_delta()
+    reporter("E14", variant="delta-updates", updates=200)
+
+
+@pytest.mark.benchmark(group="E14-updates")
+def test_point_updates_via_full_rebuild(benchmark, reporter, matrix):
+    """Baseline: a CSR-only engine rebuilds on every update batch."""
+
+    def run():
+        rebuilt = ColumnarSparseMatrix.from_coo(DIM, DIM, matrix.triples())
+        return rebuilt.nnz
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    reporter("E14", variant="full-rebuild", updates=200)

@@ -1,0 +1,89 @@
+"""E8 — §IV.B [15]: the CORFU-style shared log and OLTP/OLAP node modes.
+
+Paper claims: the log "stores all changes in a transactional consistent
+way" with the sequencer as the only central step; striping spreads the
+write load; OLAP nodes trade staleness for cheap writes while OLTP nodes
+pay synchronous apply for freshness.
+
+Measured shape: append throughput grows with stripe count (per-stripe load
+drops); OLTP-mode commits are slower than OLAP-mode commits, but OLAP
+reads pay a catch-up that grows with staleness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soe.engine import SoeEngine
+from repro.soe.services.shared_log import SharedLog
+
+APPENDS = 4_000
+
+
+@pytest.mark.benchmark(group="E8-log-append")
+@pytest.mark.parametrize("stripes", [1, 2, 4, 8])
+def test_append_throughput_by_stripes(benchmark, reporter, stripes):
+    def run():
+        log = SharedLog(stripes=stripes, replication=2)
+        for i in range(APPENDS):
+            log.append({"n": i})
+        return log
+
+    log = benchmark.pedantic(run, rounds=3, iterations=1)
+    lengths = log.stripe_lengths()
+    reporter(
+        "E8",
+        stripes=stripes,
+        appends=APPENDS,
+        max_per_stripe=max(lengths),
+        balance=round(min(lengths) / max(lengths), 3),
+    )
+    assert sum(lengths) == APPENDS
+
+
+WRITES = 300
+ROWS_PER_WRITE = 5
+
+
+def landscape(mode: str) -> SoeEngine:
+    soe = SoeEngine(node_count=2, node_modes=mode)
+    soe.create_table("t", ["k", "v"], ["k"], partition_count=4)
+    soe.load("t", [[i, 0.0] for i in range(100)])
+    return soe
+
+
+@pytest.mark.benchmark(group="E8-node-modes")
+@pytest.mark.parametrize("mode", ["oltp", "olap"])
+def test_write_path_cost_by_node_mode(benchmark, reporter, mode):
+    def run():
+        soe = landscape(mode)
+        base = 1_000
+        for i in range(WRITES):
+            rows = [[base + i * ROWS_PER_WRITE + j, 1.0] for j in range(ROWS_PER_WRITE)]
+            soe.insert("t", rows)
+        return soe
+
+    soe = benchmark.pedantic(run, rounds=3, iterations=1)
+    staleness = max(node.staleness() for node in soe.data_nodes.values())
+    reporter("E8", mode=mode, writes=WRITES, max_staleness=staleness)
+    if mode == "oltp":
+        assert staleness == 0
+    else:
+        assert staleness == WRITES
+
+
+@pytest.mark.benchmark(group="E8-freshness")
+@pytest.mark.parametrize("staleness", [0, 100, 300])
+def test_strong_read_pays_catch_up(benchmark, reporter, staleness):
+    def setup():
+        soe = landscape("olap")
+        for i in range(staleness):
+            soe.insert("t", [[10_000 + i, 1.0]])
+        return (soe,), {}
+
+    def run(soe):
+        return soe.aggregate("t", aggregates=[("count", None)], consistency="strong")
+
+    rows, _cost = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    reporter("E8", staleness_txns=staleness, fresh_count=rows[0][0])
+    assert rows[0][0] == 100 + staleness

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints the series it measures (the "table rows" of the
+corresponding experiment in EXPERIMENTS.md) in addition to the
+pytest-benchmark timing statistics. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(experiment: str, **fields) -> None:
+    """Print one measured series row, uniformly formatted."""
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"\n[{experiment}] {rendered}")
+
+
+@pytest.fixture
+def reporter():
+    return report

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario V.1 — stock analytics with in-database linear algebra.
+
+"Financial analysts storing stock price data within a RDBMS require on the
+one hand the business context of stock values ... on the other hand, the
+analysts use statistical algorithms for example to identify correlations
+of stocks and derivatives."
+
+The ecosystem keeps the ticks relational, runs the correlation through the
+external-operator ('R') protocol without manual file exports, flags the
+correlated pair, and joins the result back with news sentiment from the
+text engine. Run::
+
+    python examples/financial_analytics.py
+"""
+
+import numpy as np
+
+from repro.core.ecosystem import Ecosystem
+from repro.engines.ml.rops import make_r_adapter
+from repro.engines.text.analysis import sentiment_label
+from repro.workloads.generators import stock_ticks
+
+
+def main() -> None:
+    eco = Ecosystem()
+    hana = eco.hana
+
+    # 1. load tick data relationally
+    hana.execute("CREATE TABLE ticks (symbol VARCHAR, ts BIGINT, price DOUBLE)")
+    ticks = stock_ticks(symbols=6, days=250)
+    txn = hana.begin()
+    for symbol, series in ticks.items():
+        for ts, price in series:
+            hana.table("ticks").insert([symbol, ts, price], txn)
+    hana.commit(txn)
+    hana.merge("ticks")
+    print(f"loaded {hana.query('SELECT COUNT(*) FROM ticks').scalar()} ticks")
+
+    # 2. business context stays queryable at any time
+    summary = hana.query(
+        "SELECT symbol, MIN(price) AS low, MAX(price) AS high, AVG(price) AS avg "
+        "FROM ticks GROUP BY symbol ORDER BY symbol"
+    )
+    print("\n== price summary ==")
+    print(summary.format_table())
+
+    # 3. correlation analysis through the external-operator protocol
+    symbols = sorted(ticks)
+    returns = {}
+    for symbol in symbols:
+        prices = np.asarray(
+            hana.query(
+                f"SELECT price FROM ticks WHERE symbol = '{symbol}' ORDER BY ts"
+            ).column("price")
+        )
+        returns[symbol] = np.diff(prices) / prices[:-1]
+    provider = make_r_adapter()
+    header, rows = provider.operator("cor")(
+        symbols, [list(values) for values in zip(*(returns[s] for s in symbols))]
+    )
+    print("\n== correlation matrix (via external R operator) ==")
+    print("        " + "  ".join(f"{s:>7}" for s in header[1:]))
+    best_pair, best_value = None, -1.0
+    for row in rows:
+        print(f"{row[0]:>7} " + "  ".join(f"{v:7.3f}" for v in row[1:]))
+        for symbol, value in zip(header[1:], row[1:]):
+            if symbol != row[0] and value > best_value:
+                best_pair, best_value = (row[0], symbol), value
+    print(f"\nmost correlated pair: {best_pair} (r={best_value:.3f})")
+    print(f"rows shipped to external system: {provider.stats.rows_out}")
+
+    # 4. combine with news sentiment (text engine)
+    hana.execute("CREATE TABLE news (symbol VARCHAR, headline VARCHAR)")
+    headlines = [
+        ("SYM0", "strong growth and excellent results beat expectations"),
+        ("SYM1", "profit warning after terrible quarter and weak outlook"),
+        ("SYM2", "stable performance, reliable dividends"),
+    ]
+    for symbol, text in headlines:
+        hana.execute(f"INSERT INTO news VALUES ('{symbol}', '{text}')")
+    print("\n== news sentiment joined with the correlated pair ==")
+    for symbol in best_pair:
+        rows = hana.query(f"SELECT headline FROM news WHERE symbol = '{symbol}'").rows
+        for (headline,) in rows:
+            print(f"{symbol}: {sentiment_label(headline):9} | {headline}")
+
+
+if __name__ == "__main__":
+    main()

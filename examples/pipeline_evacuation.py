@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scenario V.5 — gas-pipeline leak: a real-time evacuation plan.
+
+"A customer is responsible of a gas pipeline which is stored as a huge
+graph. In addition to the logical perspective of the pipeline, the
+location information for the graph is stored. One out of many use cases
+... is the development of an evacuation plan in real time if a leak in
+the gas pipeline is detected."
+
+Flow: pipeline topology and junction coordinates live relationally; the
+graph engine builds the view; a streamed pressure anomaly pinpoints the
+leak; the evacuation planner routes every junction to its nearest exit
+avoiding the blocked zone; geo coordinates render the plan. Run::
+
+    python examples/pipeline_evacuation.py
+"""
+
+from repro.core.ecosystem import Ecosystem
+from repro.engines.graph.algorithms import evacuation_plan, neighborhood
+from repro.engines.graph.graph import create_graph_view
+from repro.streaming.esp import CollectSink, SlidingWindowThreshold, StreamProcessor
+from repro.workloads.generators import pipeline_graph
+
+SEGMENTS = 60
+
+
+def main() -> None:
+    eco = Ecosystem()
+    hana = eco.hana
+
+    # 1. the pipeline as relational data: junctions (with geo) + pipes
+    junctions, pipes = pipeline_graph(segments=SEGMENTS)
+    hana.execute("CREATE TABLE junctions (id INT PRIMARY KEY, x DOUBLE, y DOUBLE)")
+    hana.execute("CREATE TABLE pipes (s INT, t INT, length DOUBLE)")
+    txn = hana.begin()
+    hana.table("junctions").insert_many(junctions, txn)
+    hana.table("pipes").insert_many(pipes, txn)
+    hana.table("pipes").insert_many([[t, s, w] for s, t, w in pipes], txn)  # walkable both ways
+    hana.commit(txn)
+    graph = create_graph_view(
+        hana, "pipeline", "junctions", "id", "pipes", "s", "t", "length"
+    )
+    print(f"pipeline graph: {graph.vertex_count} junctions, {graph.edge_count} pipe segments")
+
+    # 2. streamed pressure readings reveal the leak at junction 31
+    leak_junction = 31
+    readings = []
+    for minute in range(30):
+        for junction in range(SEGMENTS):
+            pressure = 60.0 if not (junction == leak_junction and minute > 10) else 35.0
+            readings.append({"junction": junction, "pressure": pressure})
+    alerts = CollectSink()
+    StreamProcessor(
+        [SlidingWindowThreshold("junction", "pressure", size=5, threshold=50.0)],
+        [alerts],
+    ).push_many(readings)
+    detected = alerts.events[0]["junction"] if alerts.events else None
+    print(f"pressure alert at junction: {detected}")
+
+    # 3. evacuation plan: exits are the pipeline ends
+    exits = [0, SEGMENTS - 1]
+    plan = evacuation_plan(graph, leak=detected, exits=exits, blocked_radius=1)
+    blocked = {detected} | neighborhood(graph, detected, 1)
+    routed = {v: route for v, route in plan.items() if route is not None}
+    print(f"blocked zone (leak + 1 hop): {sorted(blocked)}")
+    print(f"junctions with evacuation routes: {len(routed)}/{SEGMENTS}")
+
+    # 4. render a few routes with their geo coordinates
+    coordinates = {row[0]: (row[1], row[2]) for row in junctions}
+    print("\n== sample evacuation routes ==")
+    for junction in sorted(routed)[:5]:
+        cost, path = routed[junction]
+        rendered = " -> ".join(
+            f"{node}({coordinates[node][0]:.0f},{coordinates[node][1]:.0f})"
+            for node in path
+        )
+        print(f"from {junction:2d}: {cost:5.1f} km  {rendered}")
+
+    # 5. junctions that cannot reach any exit need onsite assembly points
+    stranded = sorted(set(graph.vertices()) - set(routed) - blocked)
+    print(f"\nstranded junctions needing assembly points: {stranded}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: the repro ecosystem in five minutes.
+
+Creates an in-memory HTAP database, runs SQL with transactions, shows the
+delta merge, text search, geo predicates, hierarchy functions, and the
+single admin surface. Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, Session
+from repro.engines.graph.hierarchy import HierarchyView, register_hierarchy_functions
+from repro.engines.text.index import create_text_index
+
+
+def main() -> None:
+    db = Database()
+
+    # -- relational core -------------------------------------------------
+    db.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer VARCHAR, "
+        "amount DOUBLE, country VARCHAR, odate DATE)"
+    )
+    db.execute(
+        "INSERT INTO orders VALUES "
+        "(1, 'acme', 120.0, 'DE', DATE '2014-01-03'), "
+        "(2, 'globex', 80.5, 'US', DATE '2014-02-01'), "
+        "(3, 'acme', 200.0, 'DE', DATE '2014-03-10'), "
+        "(4, 'initech', 40.0, 'US', DATE '2014-03-12')"
+    )
+
+    print("== analytics ==")
+    result = db.query(
+        "SELECT country, COUNT(*) AS orders, SUM(amount) AS revenue "
+        "FROM orders GROUP BY country ORDER BY revenue DESC"
+    )
+    print(result.format_table())
+
+    # -- transactions (snapshot isolation) ---------------------------------
+    print("\n== transactions ==")
+    session = Session(db)
+    session.execute("BEGIN")
+    session.execute("UPDATE orders SET amount = amount * 1.1 WHERE country = 'DE'")
+    print("inside txn :", session.query("SELECT SUM(amount) FROM orders").scalar())
+    print("outside txn:", db.query("SELECT SUM(amount) FROM orders").scalar())
+    session.execute("ROLLBACK")
+    print("rolled back:", db.query("SELECT SUM(amount) FROM orders").scalar())
+
+    # -- the delta merge ----------------------------------------------------
+    print("\n== delta merge ==")
+    print("delta rows before merge:", db.table("orders").delta_rows())
+    stats = db.merge("orders")
+    print(f"merged {stats.rows_merged} rows; delta now {db.table('orders').delta_rows()}")
+
+    # -- text engine ----------------------------------------------------------
+    print("\n== text search ==")
+    db.execute("CREATE TABLE notes (id INT, body VARCHAR)")
+    db.execute(
+        "INSERT INTO notes VALUES (1, 'customer happy with fast delivery'), "
+        "(2, 'complaint about late delivery'), (3, 'new pricing question')"
+    )
+    create_text_index(db, "notes", "body")
+    hits = db.query("SELECT id FROM notes WHERE CONTAINS(body, 'delivery') ORDER BY id")
+    print("notes mentioning delivery:", [row[0] for row in hits])
+
+    # -- geo engine --------------------------------------------------------------
+    print("\n== geospatial ==")
+    db.execute("CREATE TABLE stores (id INT, loc GEOMETRY, revenue DOUBLE)")
+    db.execute(
+        "INSERT INTO stores VALUES (1, 'POINT (13.4 52.5)', 900.0), "
+        "(2, 'POINT (8.6 49.3)', 700.0), (3, 'POINT (11.6 48.1)', 650.0)"
+    )
+    nearby = db.query(
+        "SELECT id, revenue FROM stores "
+        "WHERE ST_WITHIN_DISTANCE(loc, ST_POINT(13.0, 52.0), 1.0) "
+    )
+    print("stores near Berlin:", nearby.rows)
+
+    # -- hierarchies -----------------------------------------------------------------
+    print("\n== hierarchies ==")
+    register_hierarchy_functions(db)
+    db.catalog.register_view(
+        "org",
+        HierarchyView("org", {"board": None, "sales": "board", "dev": "board",
+                               "sales-eu": "sales", "sales-us": "sales"}),
+    )
+    print(
+        "teams under sales:",
+        db.query("SELECT HIER_DESCENDANT_COUNT('org', 'sales') AS n").scalar(),
+    )
+
+    # -- one admin surface --------------------------------------------------------------
+    print("\n== monitoring ==")
+    stats = db.statistics()
+    print(f"tables={len(stats['tables'])} commits={stats['commits']} "
+          f"text_indexes={stats['text_indexes']}")
+
+
+if __name__ == "__main__":
+    main()

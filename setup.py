@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package
+(offline environments with older setuptools lack bdist_wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards a Web-scale Data Management Ecosystem "
+        "Demonstrated by SAP HANA' (ICDE 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,24 @@
+"""repro — a web-scale data management ecosystem, in miniature.
+
+Reproduction of Färber, Dees, Weidner, Bäuerle, Lehner: *Towards a
+Web-scale Data Management Ecosystem Demonstrated by SAP HANA* (ICDE 2015).
+
+Public entry points:
+
+* :class:`repro.core.database.Database` — one in-memory HTAP instance
+  (column store, MVCC transactions, SQL, specialised engines).
+* :class:`repro.core.session.Session` — connection-like statement
+  execution with transaction control.
+* :class:`repro.core.ecosystem.Ecosystem` — the orchestrated whole:
+  HANA core + SOE scale-out cluster + Hadoop substrate + federation +
+  streaming, behind one catalog and one admin surface.
+"""
+
+from repro.core.database import Database
+from repro.core.ecosystem import Ecosystem
+from repro.core.result import QueryResult
+from repro.core.session import Session
+
+__all__ = ["Database", "Ecosystem", "Session", "QueryResult"]
+
+__version__ = "1.0.0"

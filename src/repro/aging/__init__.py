@@ -1,0 +1,6 @@
+"""Data aging: rules, temperature tiers, semantic pruning."""
+
+from repro.aging.pruning import AgingManager
+from repro.aging.rules import AgingDependency, AgingRule
+
+__all__ = ["AgingManager", "AgingDependency", "AgingRule"]

@@ -1,0 +1,209 @@
+"""Application-defined aging rules (§III "data aging").
+
+"By letting the application define the aging rules and storing them in the
+metadata of the database, the aging mechanism acquires a semantic meaning
+which allows for much better partition pruning than any approach purely
+based on access statistics."
+
+An :class:`AgingRule` carries
+
+* a SQL predicate describing which rows may age (evaluated row-wise when
+  the aging run executes),
+* the **facts** automatically derived from the predicate's simple
+  conjuncts — invariants true of every aged row, which the semantic pruner
+  (:mod:`repro.aging.pruning`) checks queries against, and
+* optional **dependencies** implementing the paper's order/invoice
+  example: "an invoice can only be aged, if the corresponding sales order
+  is also aged". Dependencies form a graph that must stay acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import AgingError
+from repro.sql import ast
+from repro.sql.context import ExecutionContext
+from repro.sql.expressions import Batch, evaluate
+from repro.sql.parser import parse_expression
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A simple invariant over aged rows: column <op> value."""
+
+    column: str
+    op: str  # "=", "<", "<=", ">", ">="
+    value: Any
+
+
+@dataclass(frozen=True)
+class AgingDependency:
+    """Child rows may age only if the referenced parent row is aged."""
+
+    parent_table: str
+    child_key_column: str     # FK column on the child table
+    parent_key_column: str    # key column on the parent table
+
+
+@dataclass
+class AgingRule:
+    """One table's aging rule."""
+
+    table: str
+    predicate_sql: str
+    dependencies: list[AgingDependency] = field(default_factory=list)
+    predicate: ast.Expr = field(init=False)
+    facts: list[Fact] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.predicate = parse_expression(self.predicate_sql)
+        self.facts = extract_facts(self.predicate)
+
+    def eligible_mask(self, batch: Batch, context: ExecutionContext) -> np.ndarray:
+        """Which rows of ``batch`` the predicate allows to age."""
+        return np.asarray(evaluate(self.predicate, batch, context), dtype=bool)
+
+
+def extract_facts(predicate: ast.Expr) -> list[Fact]:
+    """Derive invariants from the predicate's simple AND-ed conjuncts.
+
+    Only conjuncts of the form ``column <op> literal`` (or reversed)
+    contribute; everything else is soundly ignored (fewer facts only means
+    less pruning, never wrong pruning).
+    """
+    facts: list[Fact] = []
+    for conjunct in ast.split_conjuncts(predicate):
+        if isinstance(conjunct, ast.Between) and not conjunct.negated:
+            if (
+                isinstance(conjunct.operand, ast.ColumnRef)
+                and isinstance(conjunct.low, ast.Literal)
+                and isinstance(conjunct.high, ast.Literal)
+            ):
+                facts.append(Fact(conjunct.operand.name, ">=", conjunct.low.value))
+                facts.append(Fact(conjunct.operand.name, "<=", conjunct.high.value))
+            continue
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        op = conjunct.op
+        if op not in ("=", "<", "<=", ">", ">="):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            facts.append(Fact(left.name, op, right.value))
+        elif isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            facts.append(Fact(right.name, flipped, left.value))
+    return facts
+
+
+def contradicts(fact: Fact, conjunct: ast.Expr) -> bool:
+    """True when a query conjunct can never hold for rows satisfying
+    ``fact`` — the core of semantic pruning.
+
+    Sound but incomplete: only simple column-vs-literal conjuncts are
+    analysed; anything unrecognised returns False (no pruning).
+    """
+    query_facts = extract_facts(conjunct)
+    for query in query_facts:
+        if query.column != fact.column:
+            continue
+        try:
+            if _ranges_disjoint(fact, query):
+                return True
+        except TypeError:
+            continue
+    return False
+
+
+def _ranges_disjoint(a: Fact, b: Fact) -> bool:
+    """Do the two single-column constraints exclude each other?"""
+    # equality vs equality
+    if a.op == "=" and b.op == "=":
+        return a.value != b.value
+    # equality vs range
+    for eq, rng in ((a, b), (b, a)):
+        if eq.op == "=" and rng.op != "=":
+            return not _satisfies(eq.value, rng.op, rng.value)
+    # range vs range: a < x vs b > y etc.
+    upper = {"<": 0, "<=": 1}
+    lower = {">": 0, ">=": 1}
+    if a.op in upper and b.op in lower:
+        return a.value < b.value or (a.value == b.value and (a.op == "<" or b.op == ">"))
+    if a.op in lower and b.op in upper:
+        return b.value < a.value or (b.value == a.value and (b.op == "<" or a.op == ">"))
+    return False
+
+
+def _satisfies(value: Any, op: str, bound: Any) -> bool:
+    if op == "<":
+        return value < bound
+    if op == "<=":
+        return value <= bound
+    if op == ">":
+        return value > bound
+    if op == ">=":
+        return value >= bound
+    return value == bound
+
+
+class RuleSet:
+    """All registered rules plus the dependency graph."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, AgingRule] = {}
+
+    def register(self, rule: AgingRule) -> None:
+        self._rules[rule.table.lower()] = rule
+        self._check_acyclic()
+
+    def rule_for(self, table: str) -> AgingRule | None:
+        return self._rules.get(table.lower())
+
+    def tables(self) -> list[str]:
+        return sorted(self._rules)
+
+    def _check_acyclic(self) -> None:
+        """Reject dependency cycles (paper: "there is no cycle in the
+        dependency graph")."""
+        colors: dict[str, int] = {}
+
+        def visit(table: str, stack: list[str]) -> None:
+            state = colors.get(table, 0)
+            if state == 1:
+                cycle = " -> ".join(stack + [table])
+                raise AgingError(f"cyclic aging dependencies: {cycle}")
+            if state == 2:
+                return
+            colors[table] = 1
+            rule = self._rules.get(table)
+            if rule is not None:
+                for dependency in rule.dependencies:
+                    visit(dependency.parent_table.lower(), stack + [table])
+            colors[table] = 2
+
+        for table in self._rules:
+            visit(table, [])
+
+    def aging_order(self) -> list[str]:
+        """Tables in dependency order: parents before children."""
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(table: str) -> None:
+            if table in seen:
+                return
+            seen.add(table)
+            rule = self._rules.get(table)
+            if rule is not None:
+                for dependency in rule.dependencies:
+                    visit(dependency.parent_table.lower())
+            if table in self._rules:
+                order.append(table)
+
+        for table in self._rules:
+            visit(table)
+        return order

@@ -1,0 +1,15 @@
+"""The in-memory column store: dictionary encoding, main/delta, merge."""
+
+from repro.columnstore.column import DeltaColumn, MainColumn
+from repro.columnstore.dictionary import AppendDictionary, SortedDictionary
+from repro.columnstore.merge import MergeStats, merge_partition, merge_table
+from repro.columnstore.partition import HashPartitioning, RangePartitioning, SinglePartition
+from repro.columnstore.rowstore import RowTable
+from repro.columnstore.table import ColumnTable, TablePartition
+
+__all__ = [
+    "DeltaColumn", "MainColumn", "AppendDictionary", "SortedDictionary",
+    "MergeStats", "merge_partition", "merge_table",
+    "HashPartitioning", "RangePartitioning", "SinglePartition",
+    "RowTable", "ColumnTable", "TablePartition",
+]

@@ -1,0 +1,170 @@
+"""Column fragments: the read-optimised main and the write-optimised delta.
+
+A column of a table partition consists of
+
+* a :class:`MainColumn` — immutable, dictionary encoded, compressed; rebuilt
+  only by the delta merge, and
+* a :class:`DeltaColumn` — an append-only buffer of raw values recording all
+  changes since the last merge (paper, Section III: "a buffer structure
+  called delta store which records all changes").
+
+Scans read main and delta side by side; positions ``[0, n_main)`` address
+main rows, ``[n_main, n_main + n_delta)`` address delta rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.columnstore.compression import (
+    NULL_VID,
+    BitPackedVector,
+    EncodedVector,
+    choose_encoding,
+)
+from repro.columnstore.dictionary import AppendDictionary, SortedDictionary
+from repro.core.types import DataType, TypeCode
+
+Dictionary = SortedDictionary | AppendDictionary
+
+_NUMERIC_INT = (TypeCode.INTEGER, TypeCode.BIGINT)
+_NUMERIC_FLOAT = (TypeCode.DOUBLE, TypeCode.DECIMAL)
+
+
+def _materialise(dictionary: Dictionary, vids: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Decode value ids into an analysis-friendly NumPy array.
+
+    Numeric columns decode to ``int64`` (``float64`` with NaN when NULLs
+    are present); everything else decodes to an object array holding exact
+    Python values with ``None`` for NULL.
+    """
+    has_null = bool(len(vids)) and bool((vids == NULL_VID).any())
+    if dtype.code in _NUMERIC_INT and not has_null:
+        lookup = np.asarray(dictionary.values, dtype=np.int64)
+        if len(lookup) == 0:
+            return np.empty(0, dtype=np.int64)
+        return lookup[vids]
+    if dtype.code in _NUMERIC_INT or dtype.code in _NUMERIC_FLOAT:
+        lookup = np.empty(len(dictionary) + 1, dtype=np.float64)
+        lookup[:-1] = np.asarray(dictionary.values, dtype=np.float64) if len(dictionary) else []
+        lookup[-1] = np.nan
+        return lookup[vids]  # NULL_VID == -1 indexes the trailing NaN
+    if dtype.code is TypeCode.BOOLEAN and not has_null:
+        lookup = np.asarray(dictionary.values, dtype=bool)
+        if len(lookup) == 0:
+            return np.empty(0, dtype=bool)
+        return lookup[vids]
+    lookup = np.empty(len(dictionary) + 1, dtype=object)
+    for vid, value in enumerate(dictionary.values):
+        lookup[vid] = value
+    lookup[-1] = None
+    return lookup[vids]
+
+
+class MainColumn:
+    """Immutable dictionary-encoded, compressed column fragment."""
+
+    def __init__(
+        self,
+        dtype: DataType,
+        dictionary: Dictionary | None = None,
+        encoded: EncodedVector | None = None,
+    ) -> None:
+        self.dtype = dtype
+        self.dictionary: Dictionary = dictionary if dictionary is not None else SortedDictionary()
+        self.encoded: EncodedVector = (
+            encoded if encoded is not None else BitPackedVector(np.empty(0, dtype=np.int64))
+        )
+
+    @classmethod
+    def build(
+        cls,
+        dtype: DataType,
+        values: Sequence[Any],
+        sorted_dictionary: bool = True,
+    ) -> "MainColumn":
+        """Build a fragment from raw values (used by merge and bulk load)."""
+        dictionary: Dictionary = (
+            SortedDictionary(v for v in values if v is not None)
+            if sorted_dictionary
+            else AppendDictionary()
+        )
+        if not sorted_dictionary:
+            dictionary.encode_many([v for v in values if v is not None])
+        vids = np.fromiter(
+            (dictionary.vid_of(value) for value in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return cls(dtype, dictionary, choose_encoding(vids))
+
+    def __len__(self) -> int:
+        return len(self.encoded)
+
+    def vids(self) -> np.ndarray:
+        """The full decoded value-id vector."""
+        return self.encoded.decode()
+
+    def array(self) -> np.ndarray:
+        """Decode the whole fragment to an analysis array."""
+        return _materialise(self.dictionary, self.vids(), self.dtype)
+
+    def values_at(self, positions: np.ndarray) -> list[Any]:
+        """Exact Python values at the given positions."""
+        return self.dictionary.decode_many(self.encoded.take(np.asarray(positions, dtype=np.int64)))
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint: encoded vector + dictionary payload."""
+        dict_bytes = sum(
+            len(v) if isinstance(v, str) else 8 for v in self.dictionary.values
+        )
+        return self.encoded.memory_bytes() + dict_bytes
+
+
+class DeltaColumn:
+    """Append-only raw-value buffer for writes since the last merge."""
+
+    def __init__(self, dtype: DataType) -> None:
+        self.dtype = dtype
+        self.values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def append(self, value: Any) -> None:
+        """Record one (already coerced) value."""
+        self.values.append(value)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Record many values."""
+        self.values.extend(values)
+
+    def array(self) -> np.ndarray:
+        """Decode the buffer to an analysis array (same rules as main)."""
+        has_null = any(value is None for value in self.values)
+        code = self.dtype.code
+        if code in _NUMERIC_INT and not has_null:
+            return np.asarray(self.values, dtype=np.int64)
+        if code in _NUMERIC_INT or code in _NUMERIC_FLOAT:
+            return np.asarray(
+                [np.nan if value is None else float(value) for value in self.values],
+                dtype=np.float64,
+            )
+        if code is TypeCode.BOOLEAN and not has_null:
+            return np.asarray(self.values, dtype=bool)
+        out = np.empty(len(self.values), dtype=object)
+        for index, value in enumerate(self.values):
+            out[index] = value
+        return out
+
+    def values_at(self, positions: np.ndarray) -> list[Any]:
+        """Exact Python values at the given delta-local positions."""
+        return [self.values[int(position)] for position in positions]
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint (uncompressed, as in a real delta)."""
+        return sum(
+            len(value) + 49 if isinstance(value, str) else 28 for value in self.values
+        )

@@ -1,0 +1,223 @@
+"""JSON document support: path queries and the materialised join index.
+
+Section II.H of the paper introduces a ``DOCUMENT`` column type whose
+content "is structured in an arbitrary JSON format" and is "queried by an
+XQuery like language which is embedded into the SQL statement". This module
+provides
+
+* :func:`parse_path` / :class:`DocPath` — a JSONPath-flavoured path
+  language (``$.items[*].price``, ``$.customer.name``) usable standalone
+  and through the SQL functions ``DOC_EXTRACT`` / ``DOC_MATCH``;
+* :class:`DocumentJoinIndex` — the paper's "materialized index on top of
+  the relational data": header/item/sub-item tables whose rows are always
+  written together can be mirrored into one JSON object per header so
+  whole-object retrieval becomes a single lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import SchemaError, SqlSyntaxError
+
+_TOKEN = re.compile(
+    r"""
+    \.(?P<field>[A-Za-z_][A-Za-z0-9_]*)      # .field
+  | \[(?P<index>-?\d+)\]                       # [3]
+  | \[(?P<star>\*)\]                           # [*]
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a document path: a field, an index, or a wildcard."""
+
+    kind: str  # "field" | "index" | "star"
+    value: Any = None
+
+
+class DocPath:
+    """A compiled document path; apply with :meth:`extract`."""
+
+    def __init__(self, text: str, steps: Sequence[PathStep]) -> None:
+        self.text = text
+        self.steps = list(steps)
+
+    def __repr__(self) -> str:
+        return f"DocPath({self.text!r})"
+
+    def extract(self, document: Any) -> list[Any]:
+        """All values the path selects (wildcards may yield many)."""
+        current = [document]
+        for step in self.steps:
+            next_values: list[Any] = []
+            for node in current:
+                if step.kind == "field":
+                    if isinstance(node, dict) and step.value in node:
+                        next_values.append(node[step.value])
+                elif step.kind == "index":
+                    if isinstance(node, list) and -len(node) <= step.value < len(node):
+                        next_values.append(node[step.value])
+                else:  # star
+                    if isinstance(node, list):
+                        next_values.extend(node)
+                    elif isinstance(node, dict):
+                        next_values.extend(node.values())
+            current = next_values
+        return current
+
+    def first(self, document: Any) -> Any:
+        """First selected value or ``None``."""
+        values = self.extract(document)
+        return values[0] if values else None
+
+
+def parse_path(text: str) -> DocPath:
+    """Compile ``$.a.b[0].c`` / ``$.items[*]`` into a :class:`DocPath`."""
+    stripped = text.strip()
+    if not stripped.startswith("$"):
+        raise SqlSyntaxError(f"document path must start with '$': {text!r}")
+    steps: list[PathStep] = []
+    position = 1
+    while position < len(stripped):
+        match = _TOKEN.match(stripped, position)
+        if match is None:
+            raise SqlSyntaxError(f"bad document path near {stripped[position:]!r}")
+        if match.group("field") is not None:
+            steps.append(PathStep("field", match.group("field")))
+        elif match.group("index") is not None:
+            steps.append(PathStep("index", int(match.group("index"))))
+        else:
+            steps.append(PathStep("star"))
+        position = match.end()
+    return DocPath(stripped, steps)
+
+
+def load_document(value: Any) -> Any:
+    """Decode a stored document cell (canonical JSON text) to objects."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return json.loads(value)
+    return value
+
+
+def doc_extract(value: Any, path_text: str) -> Any:
+    """SQL scalar function ``DOC_EXTRACT(doc, path)`` → first match."""
+    document = load_document(value)
+    if document is None:
+        return None
+    return parse_path(path_text).first(document)
+
+
+def doc_extract_all(value: Any, path_text: str) -> list[Any]:
+    """SQL function ``DOC_EXTRACT_ALL(doc, path)`` → all matches."""
+    document = load_document(value)
+    if document is None:
+        return []
+    return parse_path(path_text).extract(document)
+
+
+def doc_match(value: Any, path_text: str, expected: Any) -> bool:
+    """SQL predicate ``DOC_MATCH(doc, path, literal)``.
+
+    True when *any* value selected by the path equals ``expected``.
+    """
+    return any(found == expected for found in doc_extract_all(value, path_text))
+
+
+class DocumentJoinIndex:
+    """Materialised header→item→sub-item documents (Section II.H).
+
+    Given three levels with 1:N cardinality between neighbours and the
+    application guarantee that corresponding entries are written together,
+    the whole object is stored as one JSON document keyed by the header
+    key — "a kind of materialized join index ... transparently exploited by
+    the retrieval process".
+    """
+
+    def __init__(
+        self,
+        header_key: str,
+        item_parent_key: str | None = None,
+        subitem_parent_key: str | None = None,
+        item_field: str = "items",
+        subitem_field: str = "subitems",
+    ) -> None:
+        self.header_key = header_key
+        self.item_parent_key = item_parent_key or header_key
+        self.subitem_parent_key = subitem_parent_key
+        self.item_field = item_field
+        self.subitem_field = subitem_field
+        self._documents: dict[Any, dict[str, Any]] = {}
+        self.lookups = 0
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def build(
+        self,
+        headers: Iterable[dict[str, Any]],
+        items: Iterable[dict[str, Any]] = (),
+        subitems: Iterable[dict[str, Any]] = (),
+        item_key: str | None = None,
+    ) -> None:
+        """(Re)build all documents from row dictionaries.
+
+        ``item_key`` names the item column sub-items reference; required
+        when sub-items are supplied.
+        """
+        self.rebuilds += 1
+        self._documents = {}
+        for header in headers:
+            key = header.get(self.header_key)
+            if key is None:
+                raise SchemaError(f"header row missing key {self.header_key!r}")
+            document = dict(header)
+            document[self.item_field] = []
+            self._documents[key] = document
+
+        items_by_id: dict[Any, dict[str, Any]] = {}
+        for item in items:
+            parent = item.get(self.item_parent_key)
+            if parent not in self._documents:
+                raise SchemaError(f"item references unknown header {parent!r}")
+            entry = dict(item)
+            entry[self.subitem_field] = []
+            self._documents[parent][self.item_field].append(entry)
+            if item_key is not None:
+                items_by_id[item.get(item_key)] = entry
+
+        for subitem in subitems:
+            if self.subitem_parent_key is None or item_key is None:
+                raise SchemaError("sub-items supplied without parent key configuration")
+            parent = subitem.get(self.subitem_parent_key)
+            entry = items_by_id.get(parent)
+            if entry is None:
+                raise SchemaError(f"sub-item references unknown item {parent!r}")
+            entry[self.subitem_field].append(dict(subitem))
+
+    def upsert(self, header: dict[str, Any], items: Sequence[dict[str, Any]] = ()) -> None:
+        """Write one complete object (header plus its items) in one go —
+        the access pattern the application guarantees."""
+        key = header.get(self.header_key)
+        if key is None:
+            raise SchemaError(f"header row missing key {self.header_key!r}")
+        document = dict(header)
+        document[self.item_field] = [dict(item) for item in items]
+        self._documents[key] = document
+
+    def get(self, key: Any) -> dict[str, Any] | None:
+        """Whole-object retrieval: one dictionary lookup."""
+        self.lookups += 1
+        return self._documents.get(key)
+
+    def scan(self, predicate: Callable[[dict[str, Any]], bool]) -> list[dict[str, Any]]:
+        """Filtered scan over materialised documents."""
+        return [doc for doc in self._documents.values() if predicate(doc)]

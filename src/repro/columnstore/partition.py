@@ -1,0 +1,172 @@
+"""Horizontal partitioning schemes: single, hash, and range.
+
+The paper's SOE supports "multi-level horizontal partitioning (range and
+hash) with the capability to handle huge amount of partitions"
+(Section IV.B); the core system uses range partitions for data aging
+(Section III). A :class:`PartitionSpec` routes rows to partition ordinals
+and — for range partitioning — answers pruning questions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Sequence
+
+from repro.core.schema import TableSchema
+from repro.errors import PartitionError
+
+
+def _stable_hash(values: tuple[Any, ...]) -> int:
+    """Deterministic cross-run hash (Python's str hash is salted)."""
+    payload = "\x1f".join(repr(value) for value in values).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+class PartitionSpec:
+    """Base class: maps a schema-ordered row to a partition ordinal."""
+
+    @property
+    def partition_count(self) -> int:
+        raise NotImplementedError
+
+    def partition_names(self) -> list[str]:
+        """Default names ``p0..pN``; subclasses may be more descriptive."""
+        return [f"p{index}" for index in range(self.partition_count)]
+
+    def route(self, row: Sequence[Any], schema: TableSchema) -> int:
+        raise NotImplementedError
+
+
+class SinglePartition(PartitionSpec):
+    """No partitioning: everything lands in partition 0."""
+
+    @property
+    def partition_count(self) -> int:
+        return 1
+
+    def route(self, row: Sequence[Any], schema: TableSchema) -> int:
+        return 0
+
+
+class HashPartitioning(PartitionSpec):
+    """Hash partitioning over one or more columns."""
+
+    def __init__(self, columns: Sequence[str], count: int) -> None:
+        if count < 1:
+            raise PartitionError("hash partition count must be >= 1")
+        if not columns:
+            raise PartitionError("hash partitioning needs at least one column")
+        self.columns = list(columns)
+        self.count = count
+
+    @property
+    def partition_count(self) -> int:
+        return self.count
+
+    def route(self, row: Sequence[Any], schema: TableSchema) -> int:
+        key = tuple(row[schema.position(name)] for name in self.columns)
+        return _stable_hash(key) % self.count
+
+
+class RangePartitioning(PartitionSpec):
+    """Range partitioning over a single column.
+
+    ``boundaries`` are the split points, sorted ascending; partition ``i``
+    holds values ``boundaries[i-1] <= v < boundaries[i]`` (partition 0 is
+    everything below the first boundary, partition ``len(boundaries)`` is
+    everything at or above the last). NULL values route to partition 0.
+    """
+
+    def __init__(self, column: str, boundaries: Sequence[Any]) -> None:
+        if not boundaries:
+            raise PartitionError("range partitioning needs at least one boundary")
+        ordered = list(boundaries)
+        if any(ordered[i] >= ordered[i + 1] for i in range(len(ordered) - 1)):
+            raise PartitionError("range boundaries must be strictly ascending")
+        self.column = column
+        self.boundaries = ordered
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.boundaries) + 1
+
+    def route(self, row: Sequence[Any], schema: TableSchema) -> int:
+        value = row[schema.position(self.column)]
+        return self.partition_for_value(value)
+
+    def partition_for_value(self, value: Any) -> int:
+        """Ordinal of the partition holding ``value``."""
+        if value is None:
+            return 0
+        for index, boundary in enumerate(self.boundaries):
+            if value < boundary:
+                return index
+        return len(self.boundaries)
+
+    def partition_range(self, ordinal: int) -> tuple[Any, Any]:
+        """(low, high) bounds of a partition; ``None`` marks open ends."""
+        low = self.boundaries[ordinal - 1] if ordinal > 0 else None
+        high = self.boundaries[ordinal] if ordinal < len(self.boundaries) else None
+        return low, high
+
+    def prune(self, low: Any = None, high: Any = None) -> list[int]:
+        """Partition ordinals that can contain values in ``[low, high]``.
+
+        This is the statistics-free pruning a range scheme always offers;
+        the *semantic* pruning driven by aging rules (Section III) is
+        layered on top in :mod:`repro.aging.pruning`.
+        """
+        survivors = []
+        for ordinal in range(self.partition_count):
+            part_low, part_high = self.partition_range(ordinal)
+            if low is not None and part_high is not None and part_high <= low:
+                continue
+            if high is not None and part_low is not None and part_low > high:
+                continue
+            survivors.append(ordinal)
+        return survivors
+
+
+class CompositePartitioning(PartitionSpec):
+    """Multi-level partitioning: range at level 1, hash at level 2.
+
+    The paper's SOE supports "multi-level horizontal partitioning (range
+    and hash)" (§IV.B). A row routes to
+    ``range_ordinal * hash_count + hash_ordinal``, so range pruning removes
+    whole *groups* of hash sub-partitions while the hash level keeps data
+    spread for parallel scans within each range slice.
+    """
+
+    def __init__(self, by_range: RangePartitioning, by_hash: HashPartitioning) -> None:
+        self.by_range = by_range
+        self.by_hash = by_hash
+
+    @property
+    def partition_count(self) -> int:
+        return self.by_range.partition_count * self.by_hash.partition_count
+
+    def partition_names(self) -> list[str]:
+        return [
+            f"r{range_ordinal}h{hash_ordinal}"
+            for range_ordinal in range(self.by_range.partition_count)
+            for hash_ordinal in range(self.by_hash.partition_count)
+        ]
+
+    def route(self, row: Sequence[Any], schema: TableSchema) -> int:
+        range_ordinal = self.by_range.route(row, schema)
+        hash_ordinal = self.by_hash.route(row, schema)
+        return range_ordinal * self.by_hash.partition_count + hash_ordinal
+
+    def prune(self, low: Any = None, high: Any = None) -> list[int]:
+        """Expand the range level's survivors to their hash sub-partitions."""
+        hash_count = self.by_hash.partition_count
+        return [
+            range_ordinal * hash_count + hash_ordinal
+            for range_ordinal in self.by_range.prune(low, high)
+            for hash_ordinal in range(hash_count)
+        ]
+
+    @property
+    def column(self) -> str:
+        """The range column (exposed for the executor's bound analysis)."""
+        return self.by_range.column

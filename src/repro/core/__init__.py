@@ -1,0 +1,9 @@
+"""Core: types, schema, catalog, database, session, ecosystem."""
+
+from repro.core.catalog import Catalog
+from repro.core.database import Database
+from repro.core.result import QueryResult
+from repro.core.schema import ColumnSpec, TableSchema, schema
+from repro.core.session import Session
+
+__all__ = ["Catalog", "Database", "QueryResult", "ColumnSpec", "TableSchema", "schema", "Session"]

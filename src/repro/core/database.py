@@ -1,0 +1,645 @@
+"""The database facade: DDL, DML, queries, merge, durability, monitoring.
+
+:class:`Database` wires the substrates together the way Figure 2 wires the
+HANA system: the column/row store, the transaction manager, the SQL stack
+(parser → planner → vectorised executor), the function registry, the text
+indexes, the semantic pruning hooks of the aging subsystem, and optional
+file persistence. The specialised engines (graph, geo, time series, ...)
+operate on the same catalog and transaction manager.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.columnstore.merge import MergeStats, merge_table
+from repro.columnstore.partition import (
+    HashPartitioning,
+    PartitionSpec,
+    RangePartitioning,
+)
+from repro.columnstore.persistence import PersistenceManager
+from repro.columnstore.rowstore import RowTable
+from repro.columnstore.table import ColumnTable
+from repro.core import types as dt
+from repro.core.catalog import Catalog
+from repro.core.result import QueryResult
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.errors import DuplicateObjectError, PlanError, TableNotFoundError
+from repro.sql import ast
+from repro.sql.context import ExecutionContext
+from repro.sql.executor import execute as execute_plan
+from repro.sql.expressions import Batch, evaluate
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse
+from repro.sql.planner import plan_select
+from repro.transaction.manager import Transaction, TransactionManager
+
+PruningHook = Callable[[ColumnTable, list[ast.Expr], ExecutionContext], set[int] | None]
+
+
+class Database:
+    """One in-memory database instance (the HANA core of the ecosystem)."""
+
+    def __init__(self, name: str = "hana", data_dir: str | os.PathLike[str] | None = None) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.persistence: PersistenceManager | None = (
+            PersistenceManager(data_dir) if data_dir is not None else None
+        )
+        self.txn_manager = TransactionManager(
+            redo_writer=self.persistence.write_redo if self.persistence else None
+        )
+        #: (table, column) -> inverted index, maintained by the text engine
+        self.text_indexes: dict[tuple[str, str], Any] = {}
+        #: semantic partition-pruning hooks (installed by repro.aging)
+        self.pruning_hooks: list[PruningHook] = []
+        #: session defaults copied into every execution context
+        self.parameters: dict[str, Any] = {}
+        if self.persistence is not None:
+            self._recover()
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start an explicit transaction."""
+        return self.txn_manager.begin()
+
+    def commit(self, txn: Transaction) -> int:
+        return self.txn_manager.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.txn_manager.rollback(txn)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        partitioning: PartitionSpec | None = None,
+        store: str = "column",
+        flexible: bool = False,
+        sorted_dictionaries: bool = True,
+    ) -> Any:
+        """Create and register a table; returns the table object."""
+        if store == "row":
+            table: Any = RowTable(name.lower(), schema)
+        else:
+            table = ColumnTable(
+                name.lower(),
+                schema,
+                partitioning=partitioning,
+                flexible=flexible,
+                sorted_dictionaries=sorted_dictionaries,
+            )
+        self.catalog.register_table(table)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.text_indexes = {
+            key: index for key, index in self.text_indexes.items() if key[0] != name.lower()
+        }
+
+    def table(self, name: str) -> Any:
+        return self.catalog.table(name)
+
+    # -- SQL entry point ------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        txn: Transaction | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Parse and execute one SQL statement.
+
+        Without an explicit transaction, writes auto-commit and reads use
+        the freshest committed snapshot.
+        """
+        statement = parse(sql)
+        return self.execute_statement(statement, txn, parameters)
+
+    def execute_statement(
+        self,
+        statement: ast.Statement,
+        txn: Transaction | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        if isinstance(statement, (ast.SelectStatement, ast.UnionStatement)):
+            return self._execute_select(statement, txn, parameters)
+        if isinstance(statement, ast.InsertStatement):
+            return self._autocommit(statement, txn, self._execute_insert, parameters)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._autocommit(statement, txn, self._execute_update, parameters)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._autocommit(statement, txn, self._execute_delete, parameters)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            try:
+                self.drop_table(statement.table)
+            except TableNotFoundError:
+                if not statement.if_exists:
+                    raise
+            return QueryResult([], [], rowcount=0)
+        if isinstance(statement, ast.MergeDeltaStatement):
+            stats = self.merge(statement.table)
+            return QueryResult(
+                ["rows_merged", "columns_remapped"],
+                [[stats.rows_merged, stats.columns_remapped]],
+            )
+        if isinstance(statement, ast.TransactionStatement):
+            raise PlanError(
+                "BEGIN/COMMIT/ROLLBACK are session-level statements; "
+                "use a Session or the begin()/commit()/rollback() API"
+            )
+        raise PlanError(f"unsupported statement {type(statement).__name__}")
+
+    # -- query ------------------------------------------------------------------------
+
+    def _context(
+        self, txn: Transaction | None, parameters: Mapping[str, Any] | None
+    ) -> ExecutionContext:
+        merged = dict(self.parameters)
+        if parameters:
+            merged.update(parameters)
+        if txn is not None:
+            return ExecutionContext(
+                database=self,
+                snapshot_cid=txn.snapshot_cid,
+                own_tid=txn.tid,
+                functions=self.functions,
+                parameters=merged,
+            )
+        return ExecutionContext(
+            database=self,
+            snapshot_cid=self.txn_manager.last_committed_cid,
+            own_tid=0,
+            functions=self.functions,
+            parameters=merged,
+        )
+
+    def _execute_select(
+        self,
+        statement: "ast.SelectStatement | ast.UnionStatement",
+        txn: Transaction | None,
+        parameters: Mapping[str, Any] | None,
+    ) -> QueryResult:
+        plan = plan_select(statement, self.catalog)
+        context = self._context(txn, parameters)
+        batch = execute_plan(plan, context)
+        return QueryResult(plan.output_names, batch.rows())
+
+    def query(self, sql: str, **parameters: Any) -> QueryResult:
+        """Convenience: execute a SELECT with keyword parameters."""
+        return self.execute(sql, parameters=parameters or None)
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _autocommit(
+        self,
+        statement: Any,
+        txn: Transaction | None,
+        runner: Callable[[Any, Transaction, Mapping[str, Any] | None], int],
+        parameters: Mapping[str, Any] | None,
+    ) -> QueryResult:
+        own = txn is None
+        active = txn if txn is not None else self.begin()
+        try:
+            count = runner(statement, active, parameters)
+        except Exception:
+            if own:
+                self.rollback(active)
+            raise
+        if own:
+            self.commit(active)
+        return QueryResult([], [], rowcount=count)
+
+    def _const_value(self, expr: ast.Expr, context: ExecutionContext) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        array = evaluate(expr, Batch({}, 1), context)
+        value = array[0]
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, float) and value != value:
+            return None
+        return value
+
+    def _execute_insert(
+        self,
+        statement: ast.InsertStatement,
+        txn: Transaction,
+        parameters: Mapping[str, Any] | None,
+    ) -> int:
+        table = self.catalog.table(statement.table)
+        context = self._context(txn, parameters)
+        if statement.select is not None:
+            plan = plan_select(statement.select, self.catalog)
+            batch = execute_plan(plan, context)
+            source_rows: Iterable[Sequence[Any]] = batch.rows()
+        else:
+            source_rows = [
+                [self._const_value(expr, context) for expr in row]
+                for row in statement.rows
+            ]
+        count = 0
+        for row in source_rows:
+            if statement.columns is not None:
+                mapping = dict(zip(statement.columns, row))
+                if isinstance(table, ColumnTable):
+                    table.ensure_columns(mapping, dt.VARCHAR)
+                table.insert(mapping, txn)
+            else:
+                table.insert(list(row), txn)
+            count += 1
+        return count
+
+    def _matching_positions(
+        self,
+        table: ColumnTable,
+        where: ast.Expr | None,
+        context: ExecutionContext,
+    ) -> list[tuple[int, int]]:
+        """(partition ordinal, position) of visible rows matching WHERE."""
+        matches: list[tuple[int, int]] = []
+        for ordinal, partition in enumerate(table.partitions):
+            positions = partition.visible_positions(context.snapshot_cid, context.own_tid)
+            if len(positions) == 0:
+                continue
+            if where is not None:
+                columns = {
+                    name.lower(): partition.column_array(name)[positions]
+                    for name in table.schema.column_names
+                }
+                batch = Batch(columns, len(positions))
+                mask = np.asarray(evaluate(where, batch, context), dtype=bool)
+                positions = positions[mask]
+            matches.extend((ordinal, int(position)) for position in positions)
+        return matches
+
+    def _execute_update(
+        self,
+        statement: ast.UpdateStatement,
+        txn: Transaction,
+        parameters: Mapping[str, Any] | None,
+    ) -> int:
+        table = self.catalog.table(statement.table)
+        context = self._context(txn, parameters)
+        if isinstance(table, RowTable):
+            return self._update_rowstore(table, statement, txn, context)
+        matches = self._matching_positions(table, statement.where, context)
+        count = 0
+        for ordinal, position in matches:
+            partition = table.partitions[ordinal]
+            row_values = partition.rows_at(np.asarray([position]))[0]
+            row_batch = Batch(
+                {
+                    name.lower(): np.asarray([value], dtype=object)
+                    for name, value in zip(table.schema.column_names, row_values)
+                },
+                1,
+            )
+            changes = {
+                column: self._unbox(evaluate(expr, row_batch, context)[0])
+                for column, expr in statement.assignments
+            }
+            table.update_at(ordinal, position, changes, txn)
+            count += 1
+        return count
+
+    def _update_rowstore(
+        self,
+        table: RowTable,
+        statement: ast.UpdateStatement,
+        txn: Transaction,
+        context: ExecutionContext,
+    ) -> int:
+        positions = table.visible_positions(context.snapshot_cid, context.own_tid)
+        count = 0
+        for position in positions:
+            row = table.rows[int(position)]
+            row_batch = Batch(
+                {
+                    name.lower(): np.asarray([value], dtype=object)
+                    for name, value in zip(table.schema.column_names, row)
+                },
+                1,
+            )
+            if statement.where is not None:
+                keep = bool(np.asarray(evaluate(statement.where, row_batch, context), dtype=bool)[0])
+                if not keep:
+                    continue
+            new_row = list(row)
+            for column, expr in statement.assignments:
+                new_row[table.schema.position(column)] = self._unbox(
+                    evaluate(expr, row_batch, context)[0]
+                )
+            table.delete_at(int(position), txn)
+            table.insert(new_row, txn)
+            count += 1
+        return count
+
+    @staticmethod
+    def _unbox(value: Any) -> Any:
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, float) and value != value:
+            return None
+        return value
+
+    def _execute_delete(
+        self,
+        statement: ast.DeleteStatement,
+        txn: Transaction,
+        parameters: Mapping[str, Any] | None,
+    ) -> int:
+        table = self.catalog.table(statement.table)
+        context = self._context(txn, parameters)
+        if isinstance(table, RowTable):
+            positions = table.visible_positions(context.snapshot_cid, context.own_tid)
+            count = 0
+            for position in positions:
+                row = table.rows[int(position)]
+                if statement.where is not None:
+                    row_batch = Batch(
+                        {
+                            name.lower(): np.asarray([value], dtype=object)
+                            for name, value in zip(table.schema.column_names, row)
+                        },
+                        1,
+                    )
+                    if not bool(np.asarray(evaluate(statement.where, row_batch, context), dtype=bool)[0]):
+                        continue
+                table.delete_at(int(position), txn)
+                count += 1
+            return count
+        matches = self._matching_positions(table, statement.where, context)
+        for ordinal, position in matches:
+            table.delete_at(ordinal, position, txn)
+        return len(matches)
+
+    # -- DDL from AST ----------------------------------------------------------------------
+
+    def _execute_create(self, statement: ast.CreateTableStatement) -> QueryResult:
+        if self.catalog.has_table(statement.table):
+            if statement.if_not_exists:
+                return QueryResult([], [], rowcount=0)
+            raise DuplicateObjectError(f"table already exists: {statement.table!r}")
+        specs = [
+            ColumnSpec(
+                column.name.lower(),
+                dt.type_from_name(
+                    column.type_name,
+                    length=column.length,
+                    precision=column.precision,
+                    scale=column.scale,
+                ),
+                nullable=column.nullable,
+                default=column.default,
+            )
+            for column in statement.columns
+        ]
+        schema = TableSchema(specs, primary_key=tuple(c.lower() for c in statement.primary_key))
+        partitioning: PartitionSpec | None = None
+        if statement.partition_kind == "hash":
+            partitioning = HashPartitioning(
+                [c.lower() for c in statement.partition_columns],
+                statement.partition_count or 1,
+            )
+        elif statement.partition_kind == "range":
+            partitioning = RangePartitioning(
+                statement.partition_columns[0].lower(), statement.partition_boundaries
+            )
+        table = self.create_table(
+            statement.table,
+            schema,
+            partitioning=partitioning,
+            store=statement.store,
+            flexible=statement.flexible,
+        )
+        if self.persistence is not None:
+            self.persistence.write_redo(
+                [
+                    {
+                        "op": "create_table",
+                        "table": table.name,
+                        "ddl": _describe_table(table),
+                    }
+                ],
+                cid=self.txn_manager.last_committed_cid + 1,
+            )
+        return QueryResult([], [], rowcount=0)
+
+    # -- maintenance --------------------------------------------------------------------------
+
+    def merge(self, table_name: str, compact: bool = False) -> MergeStats:
+        """Run the delta merge on one table."""
+        table = self.catalog.table(table_name)
+        if not isinstance(table, ColumnTable):
+            return MergeStats()
+        stats = merge_table(table, compact=compact)
+        if compact and self.persistence is not None:
+            # compaction invalidates nothing logically, but take a savepoint
+            # so the (logical) log stays small
+            self.savepoint()
+        return stats
+
+    def merge_all(self, compact: bool = False) -> MergeStats:
+        """Merge every column table."""
+        total = MergeStats()
+        for table in list(self.catalog.tables()):
+            if isinstance(table, ColumnTable):
+                total.merge(merge_table(table, compact=compact))
+        return total
+
+    # -- durability ------------------------------------------------------------------------------
+
+    def physical_savepoint(self) -> None:
+        """SOFORT-style savepoint: persist the table *data structures*.
+
+        Recovery from a physical savepoint re-attaches fragments instead of
+        re-inserting rows — the fast-restart design of the paper's NVM
+        trend paragraph (§IV.A, ref [10]). Compare benchmark E19.
+        """
+        if self.persistence is None:
+            return
+        tables = {
+            table.name: table
+            for table in self.catalog.tables()
+            if isinstance(table, (ColumnTable, RowTable))
+        }
+        self.persistence.write_physical_savepoint(
+            tables, self.txn_manager.last_committed_cid
+        )
+
+    def savepoint(self) -> None:
+        """Write a logical snapshot of all committed data; truncate the log."""
+        if self.persistence is None:
+            return
+        snapshot_cid = self.txn_manager.last_committed_cid
+        tables_payload: dict[str, Any] = {}
+        for table in self.catalog.tables():
+            if isinstance(table, (ColumnTable, RowTable)):
+                if isinstance(table, ColumnTable):
+                    rows = table.scan_rows(snapshot_cid)
+                else:
+                    rows = table.scan(snapshot_cid)
+                tables_payload[table.name] = {
+                    "ddl": _describe_table(table),
+                    "rows": rows,
+                }
+        self.persistence.write_savepoint({"cid": snapshot_cid, "tables": tables_payload})
+
+    def _recover(self) -> None:
+        """Load the latest savepoint and replay the redo-log tail.
+
+        The log tail is materialised *before* the savepoint load: loading
+        goes through regular (logged) inserts, so reading the file lazily
+        would re-observe those writes and double-apply rows. After replay a
+        fresh savepoint re-baselines the on-disk state.
+        """
+        assert self.persistence is not None
+        commits = self.persistence.read_redo()
+        physical = self.persistence.read_physical_savepoint()
+        if physical is not None:
+            # SOFORT path: re-attach the data structures, replay the tail
+            for _name, table in physical["tables"].items():
+                _scrub_in_flight_stamps(table)
+                self.catalog.replace_table(table)
+            # resume commit ids where the previous incarnation stopped, so
+            # the re-attached MVCC stamps stay meaningful
+            self.txn_manager._last_committed_cid = physical["cid"]
+            for _cid, records in commits:
+                txn = self.txn_manager.begin()
+                for record in records:
+                    self._replay(record, txn)
+                self.txn_manager.commit(txn)
+            if commits:
+                self.physical_savepoint()
+            return
+        snapshot = self.persistence.read_savepoint()
+        if snapshot is not None:
+            for name, payload in snapshot["tables"].items():
+                table = _table_from_description(name, payload["ddl"])
+                self.catalog.replace_table(table)
+                txn = self.txn_manager.begin()
+                table.insert_many(payload["rows"], txn)
+                self.txn_manager.commit(txn)
+        for _cid, records in commits:
+            # Logical replay: records carry table names and full rows.
+            txn = self.txn_manager.begin()
+            try:
+                for record in records:
+                    self._replay(record, txn)
+                self.txn_manager.commit(txn)
+            except Exception:
+                self.txn_manager.rollback(txn)
+                raise
+        if snapshot is not None or commits:
+            self.savepoint()
+
+    def _replay(self, record: dict[str, Any], txn: Transaction) -> None:
+        operation = record.get("op")
+        if operation == "create_table":
+            if not self.catalog.has_table(record["table"]):
+                table = _table_from_description(record["table"], record["ddl"])
+                self.catalog.register_table(table)
+            return
+        table = self.catalog.table(record["table"])
+        if operation == "insert":
+            table.insert(record["row"], txn)
+        elif operation == "delete":
+            target = table.schema.coerce_row(record["row"])
+            if isinstance(table, ColumnTable):
+                matches = table.find_rows(
+                    lambda row: row == target, txn.snapshot_cid, txn.tid
+                )
+                if matches:
+                    ordinal, position, _row = matches[0]
+                    table.partitions[ordinal].mark_deleted(position, txn)
+            else:
+                positions = table.visible_positions(txn.snapshot_cid, txn.tid)
+                for position in positions:
+                    if table.rows[int(position)] == target:
+                        table.delete_at(int(position), txn)
+                        break
+
+    # -- monitoring (the "one administration experience") --------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Instance-wide monitoring snapshot."""
+        tables = [
+            table.statistics() if isinstance(table, ColumnTable) else {
+                "table": table.name,
+                "rows": len(table),
+                "store": "row",
+            }
+            for table in self.catalog.tables()
+        ]
+        return {
+            "name": self.name,
+            "tables": tables,
+            "commits": self.txn_manager.commits,
+            "aborts": self.txn_manager.aborts,
+            "active_transactions": self.txn_manager.active_count,
+            "last_committed_cid": self.txn_manager.last_committed_cid,
+            "text_indexes": len(self.text_indexes),
+        }
+
+
+def _scrub_in_flight_stamps(table: Any) -> None:
+    """Resolve MVCC stamps of transactions that died with the old process.
+
+    Uncommitted creations (negative stamps) become tombstones; uncommitted
+    deletions are undone — the standard crash-recovery outcome for
+    transactions that never reached their commit record.
+    """
+    from repro.transaction.mvcc import INF_CID
+
+    if isinstance(table, ColumnTable):
+        partitions = table.partitions
+    elif isinstance(table, RowTable):
+        partitions = [table]
+    else:
+        return
+    for partition in partitions:
+        created = partition.created.view()
+        deleted = partition.deleted.view()
+        created[created < 0] = INF_CID
+        deleted[deleted < 0] = INF_CID
+
+
+def _describe_table(table: Any) -> dict[str, Any]:
+    """Serialisable DDL description for savepoints."""
+    schema: TableSchema = table.schema
+    return {
+        "store": "row" if isinstance(table, RowTable) else "column",
+        "flexible": getattr(table, "flexible", False),
+        "columns": [
+            {
+                "name": spec.name,
+                "type": spec.dtype.code.value,
+                "nullable": spec.nullable,
+            }
+            for spec in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+    }
+
+
+def _table_from_description(name: str, ddl: dict[str, Any]) -> Any:
+    specs = [
+        ColumnSpec(column["name"], dt.type_from_name(column["type"]), nullable=column["nullable"])
+        for column in ddl["columns"]
+    ]
+    schema = TableSchema(specs, primary_key=tuple(ddl.get("primary_key", [])))
+    if ddl.get("store") == "row":
+        return RowTable(name, schema)
+    return ColumnTable(name, schema, flexible=ddl.get("flexible", False))

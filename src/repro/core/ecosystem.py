@@ -1,0 +1,193 @@
+"""The ecosystem orchestrator — the paper's thesis made concrete.
+
+Section V asks for "(b) one single and coherent operational environment:
+one central repository for business objects ..., single interface for a
+central administration of all components", and the summary demands "(3) a
+powerful orchestration ... a single point of entry as well as a single
+semantic understanding".
+
+:class:`Ecosystem` is that single point of entry: it owns the HANA core
+:class:`~repro.core.database.Database` and lazily attaches the other
+landscape components — an SOE cluster, an HDFS cluster with Hive and YARN,
+SDA federation, streaming — registering everything in one place and
+offering one monitoring/administration surface plus a business-object
+repository shared by all engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.database import Database
+from repro.core.session import Session
+from repro.errors import ReproError
+
+
+class Ecosystem:
+    """One coherent data-management landscape."""
+
+    def __init__(self, name: str = "ecosystem", data_dir: str | None = None) -> None:
+        self.name = name
+        self.hana = Database(name=f"{name}-hana", data_dir=data_dir)
+        self._soe: Any = None
+        self._hdfs: Any = None
+        self._hive: Any = None
+        self._yarn: Any = None
+        self._sda: Any = None
+        #: the central business-object repository (deployed to all engines)
+        self._business_objects: dict[str, dict[str, Any]] = {}
+        # hierarchy SQL functions are part of the baseline experience
+        from repro.engines.graph.hierarchy import register_hierarchy_functions
+
+        register_hierarchy_functions(self.hana)
+
+    # -- component attachment (lazy, one instance each) -----------------------------
+
+    def session(self, **parameters: Any) -> Session:
+        """A session against the HANA core."""
+        return Session(self.hana, parameters or None)
+
+    def attach_soe(self, node_count: int = 4, **kwargs: Any) -> Any:
+        """Deploy (or return) the scale-out extension."""
+        if self._soe is None:
+            from repro.soe.engine import SoeEngine
+
+            self._soe = SoeEngine(node_count=node_count, **kwargs)
+        return self._soe
+
+    @property
+    def soe(self) -> Any:
+        if self._soe is None:
+            raise ReproError("no SOE attached; call attach_soe() first")
+        return self._soe
+
+    def attach_hadoop(
+        self,
+        datanodes: int = 3,
+        block_size_lines: int = 1000,
+        replication: int = 2,
+        containers_per_node: int = 2,
+    ) -> Any:
+        """Deploy (or return) the Hadoop substrate (HDFS + YARN + Hive)."""
+        if self._hdfs is None:
+            from repro.hadoop.hdfs import HdfsCluster
+            from repro.hadoop.hive import HiveServer
+            from repro.hadoop.yarn import ResourceManager
+
+            self._hdfs = HdfsCluster(
+                datanode_ids=datanodes,
+                block_size_lines=block_size_lines,
+                replication=replication,
+            )
+            self._hive = HiveServer(self._hdfs)
+            self._yarn = ResourceManager(
+                {node_id: containers_per_node for node_id in self._hdfs.datanodes}
+            )
+        return self._hdfs
+
+    @property
+    def hdfs(self) -> Any:
+        if self._hdfs is None:
+            raise ReproError("no Hadoop attached; call attach_hadoop() first")
+        return self._hdfs
+
+    @property
+    def hive(self) -> Any:
+        if self._hive is None:
+            raise ReproError("no Hadoop attached; call attach_hadoop() first")
+        return self._hive
+
+    @property
+    def yarn(self) -> Any:
+        if self._yarn is None:
+            raise ReproError("no Hadoop attached; call attach_hadoop() first")
+        return self._yarn
+
+    @property
+    def sda(self) -> Any:
+        """The federation frontend (created on first use)."""
+        if self._sda is None:
+            from repro.federation.sda import SmartDataAccess
+
+            self._sda = SmartDataAccess(self.hana)
+        return self._sda
+
+    def federate_hive(self, source_name: str = "hadoop") -> Any:
+        """Register the attached Hive server as an SDA source."""
+        from repro.federation.adapters import HiveAdapter
+
+        adapter = HiveAdapter(source_name, self.hive)
+        self.sda.register_source(adapter)
+        return adapter
+
+    def federate_soe(self, source_name: str = "soe") -> Any:
+        """Register the attached SOE cluster as an SDA source."""
+        from repro.federation.adapters import SoeAdapter
+
+        adapter = SoeAdapter(source_name, self.soe)
+        self.sda.register_source(adapter)
+        return adapter
+
+    # -- business-object repository ---------------------------------------------------
+
+    def deploy_business_object(self, name: str, definition: dict[str, Any]) -> None:
+        """Register a business object once; every engine sees the same
+        semantics (the "common repository for higher-level business
+        concepts" of §I.A). The definition may carry table names, key
+        columns, aging rules, text/geo annotations, hierarchies, ..."""
+        self._business_objects[name.lower()] = dict(definition)
+        for table in definition.get("tables", []):
+            self.hana.catalog.annotate(table, "business_object", name.lower())
+
+    def business_object(self, name: str) -> dict[str, Any]:
+        try:
+            return dict(self._business_objects[name.lower()])
+        except KeyError:
+            raise ReproError(f"unknown business object {name!r}") from None
+
+    def business_objects(self) -> list[str]:
+        return sorted(self._business_objects)
+
+    # -- the single administration surface ----------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """One monitoring snapshot across every attached component."""
+        stats: dict[str, Any] = {"hana": self.hana.statistics()}
+        if self._soe is not None:
+            stats["soe"] = self._soe.statistics()
+        if self._hdfs is not None:
+            stats["hdfs"] = self._hdfs.statistics()
+        if self._yarn is not None:
+            stats["yarn"] = self._yarn.statistics()
+        if self._hive is not None:
+            stats["hive"] = {
+                "queries_run": self._hive.queries_run,
+                "external_tables": self._hive.tables(),
+            }
+        if self._sda is not None:
+            stats["sda"] = {
+                "sources": self._sda.sources(),
+                "rows_transferred": self._sda.ledger.rows,
+                "bytes_transferred": self._sda.ledger.bytes,
+            }
+        stats["business_objects"] = self.business_objects()
+        return stats
+
+    def health_check(self) -> dict[str, str]:
+        """Cheap liveness probe per component."""
+        health = {"hana": "ok"}
+        if self._soe is not None:
+            dead = [
+                node_id
+                for node_id, node in self._soe.cluster.nodes.items()
+                if not node.alive
+            ]
+            health["soe"] = "ok" if not dead else f"degraded (down: {dead})"
+        if self._hdfs is not None:
+            dead = [
+                node_id
+                for node_id, node in self._hdfs.datanodes.items()
+                if not node.alive
+            ]
+            health["hdfs"] = "ok" if not dead else f"degraded (down: {dead})"
+        return health

@@ -1,0 +1,62 @@
+"""Query results: a small, convenient rowset container."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class QueryResult:
+    """Column names plus materialised rows, with convenience accessors."""
+
+    def __init__(self, columns: list[str], rows: list[list[Any]], rowcount: int | None = None) -> None:
+        self.columns = columns
+        self.rows = rows
+        #: affected-row count for DML; defaults to len(rows) for queries
+        self.rowcount = rowcount if rowcount is not None else len(rows)
+
+    def __iter__(self) -> Iterator[list[Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def first(self) -> list[Any] | None:
+        """The first row or ``None``."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row/one-column result (else None)."""
+        if self.rows and self.rows[0]:
+            return self.rows[0][0]
+        return None
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """ASCII rendering for examples and debugging."""
+        shown = self.rows[:max_rows]
+        cells = [[str(c) for c in self.columns]] + [
+            ["NULL" if value is None else str(value) for value in row] for row in shown
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))] if self.columns else []
+        lines = []
+        for row_index, row in enumerate(cells):
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            if row_index == 0:
+                lines.append("-+-".join("-" * width for width in widths))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self.rows)} rows, columns={self.columns})"

@@ -1,0 +1,1 @@
+"""Specialised data-processing engines (Figure 2 top row)."""

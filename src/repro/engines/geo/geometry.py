@@ -1,0 +1,114 @@
+"""Geometry types and WKT parsing for the geospatial engine (§II.F).
+
+Geometries are stored in GEOMETRY columns as WKT text and parsed lazily;
+the SQL layer exposes them through the ``ST_*`` functions. Coordinates are
+planar (x, y) by default; the operations module also offers haversine
+distance for (lon, lat) data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point."""
+
+    x: float
+    y: float
+
+    def wkt(self) -> str:
+        return f"POINT ({_fmt(self.x)} {_fmt(self.y)})"
+
+
+@dataclass(frozen=True)
+class LineString:
+    """An open polyline with at least two points."""
+
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise GeoError("LINESTRING needs at least two points")
+
+    def wkt(self) -> str:
+        inner = ", ".join(f"{_fmt(p.x)} {_fmt(p.y)}" for p in self.points)
+        return f"LINESTRING ({inner})"
+
+    def length(self) -> float:
+        from repro.engines.geo.operations import euclidean
+
+        return sum(
+            euclidean(a, b) for a, b in zip(self.points, self.points[1:])
+        )
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon (outer ring only; first point need not repeat)."""
+
+    ring: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        ring = self.ring
+        if len(ring) >= 2 and ring[0] == ring[-1]:
+            object.__setattr__(self, "ring", ring[:-1])
+        if len(self.ring) < 3:
+            raise GeoError("POLYGON needs at least three distinct points")
+
+    def wkt(self) -> str:
+        closed = self.ring + (self.ring[0],)
+        inner = ", ".join(f"{_fmt(p.x)} {_fmt(p.y)}" for p in closed)
+        return f"POLYGON (({inner}))"
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y)."""
+        xs = [p.x for p in self.ring]
+        ys = [p.y for p in self.ring]
+        return min(xs), min(ys), max(xs), max(ys)
+
+
+Geometry = Point | LineString | Polygon
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.10g}"
+
+
+_POINT = re.compile(r"^\s*POINT\s*\(\s*(\S+)\s+(\S+)\s*\)\s*$", re.IGNORECASE)
+_LINESTRING = re.compile(r"^\s*LINESTRING\s*\((.*)\)\s*$", re.IGNORECASE | re.DOTALL)
+_POLYGON = re.compile(r"^\s*POLYGON\s*\(\s*\((.*)\)\s*\)\s*$", re.IGNORECASE | re.DOTALL)
+
+
+def _parse_coords(text: str) -> tuple[Point, ...]:
+    points = []
+    for chunk in text.split(","):
+        parts = chunk.split()
+        if len(parts) != 2:
+            raise GeoError(f"bad coordinate pair: {chunk.strip()!r}")
+        try:
+            points.append(Point(float(parts[0]), float(parts[1])))
+        except ValueError as exc:
+            raise GeoError(f"bad coordinate pair: {chunk.strip()!r}") from exc
+    return tuple(points)
+
+
+def parse_wkt(text: str) -> Geometry:
+    """Parse POINT / LINESTRING / POLYGON WKT."""
+    match = _POINT.match(text)
+    if match:
+        try:
+            return Point(float(match.group(1)), float(match.group(2)))
+        except ValueError as exc:
+            raise GeoError(f"bad POINT: {text!r}") from exc
+    match = _LINESTRING.match(text)
+    if match:
+        return LineString(_parse_coords(match.group(1)))
+    match = _POLYGON.match(text)
+    if match:
+        return Polygon(_parse_coords(match.group(1)))
+    raise GeoError(f"unsupported WKT: {text[:60]!r}")

@@ -1,0 +1,152 @@
+"""Geospatial operations: the engine behind the SQL ``ST_*`` functions.
+
+Section II.F: "We extended the SQL syntax in order to allow the definition
+of points or polygons, and to support query operators like WithinDistance,
+Contains or Area."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engines.geo.geometry import Geometry, LineString, Point, Polygon
+from repro.errors import GeoError
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Planar distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_km(a: Point, b: Point) -> float:
+    """Great-circle distance in km; points are (lon, lat) in degrees."""
+    lon1, lat1, lon2, lat2 = map(math.radians, (a.x, a.y, b.x, b.y))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def _point_of(geometry: Geometry) -> Point:
+    if isinstance(geometry, Point):
+        return geometry
+    return centroid(geometry)
+
+
+def centroid(geometry: Geometry) -> Point:
+    """Centroid (vertex average for lines, area centroid for polygons)."""
+    if isinstance(geometry, Point):
+        return geometry
+    if isinstance(geometry, LineString):
+        xs = [p.x for p in geometry.points]
+        ys = [p.y for p in geometry.points]
+        return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+    ring = geometry.ring
+    doubled_area = 0.0
+    cx = cy = 0.0
+    for a, b in zip(ring, ring[1:] + (ring[0],)):
+        cross = a.x * b.y - b.x * a.y
+        doubled_area += cross
+        cx += (a.x + b.x) * cross
+        cy += (a.y + b.y) * cross
+    if abs(doubled_area) < 1e-12:
+        xs = [p.x for p in ring]
+        ys = [p.y for p in ring]
+        return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+    return Point(cx / (3 * doubled_area), cy / (3 * doubled_area))
+
+
+def distance(a: Geometry, b: Geometry, geodesic: bool = False) -> float:
+    """Distance between geometries.
+
+    Point–point is exact; point–polygon is distance to the boundary (0 if
+    inside); other combinations use representative points. ``geodesic``
+    switches point–point to haversine km.
+    """
+    if isinstance(a, Point) and isinstance(b, Point):
+        return haversine_km(a, b) if geodesic else euclidean(a, b)
+    if isinstance(a, Polygon) and isinstance(b, Point):
+        return distance(b, a, geodesic)
+    if isinstance(a, Point) and isinstance(b, Polygon):
+        if contains(b, a):
+            return 0.0
+        ring = b.ring
+        return min(
+            _point_segment_distance(a, p, q)
+            for p, q in zip(ring, ring[1:] + (ring[0],))
+        )
+    return (
+        haversine_km(_point_of(a), _point_of(b))
+        if geodesic
+        else euclidean(_point_of(a), _point_of(b))
+    )
+
+
+def _point_segment_distance(point: Point, a: Point, b: Point) -> float:
+    vx, vy = b.x - a.x, b.y - a.y
+    wx, wy = point.x - a.x, point.y - a.y
+    seg_len_sq = vx * vx + vy * vy
+    if seg_len_sq <= 1e-18:
+        return euclidean(point, a)
+    t = max(0.0, min(1.0, (wx * vx + wy * vy) / seg_len_sq))
+    projection = Point(a.x + t * vx, a.y + t * vy)
+    return euclidean(point, projection)
+
+
+def within_distance(a: Geometry, b: Geometry, limit: float, geodesic: bool = False) -> bool:
+    """The paper's ``WithinDistance`` predicate."""
+    return distance(a, b, geodesic) <= limit
+
+
+def area(geometry: Geometry) -> float:
+    """Polygon area via the shoelace formula (0 for points/lines)."""
+    if not isinstance(geometry, Polygon):
+        return 0.0
+    ring = geometry.ring
+    doubled = 0.0
+    for a, b in zip(ring, ring[1:] + (ring[0],)):
+        doubled += a.x * b.y - b.x * a.y
+    return abs(doubled) / 2.0
+
+
+def contains(container: Geometry, contained: Geometry) -> bool:
+    """The paper's ``Contains`` predicate.
+
+    Polygon–point uses ray casting (boundary counts as inside);
+    polygon–polygon / polygon–line require all vertices inside.
+    """
+    if not isinstance(container, Polygon):
+        if isinstance(container, Point) and isinstance(contained, Point):
+            return container == contained
+        raise GeoError("CONTAINS requires a polygon container")
+    if isinstance(contained, Point):
+        return _polygon_contains_point(container, contained)
+    points = contained.ring if isinstance(contained, Polygon) else contained.points
+    return all(_polygon_contains_point(container, point) for point in points)
+
+
+def _polygon_contains_point(polygon: Polygon, point: Point) -> bool:
+    ring = polygon.ring
+    inside = False
+    n = len(ring)
+    for index in range(n):
+        a = ring[index]
+        b = ring[(index + 1) % n]
+        if _on_segment(point, a, b):
+            return True
+        if (a.y > point.y) != (b.y > point.y):
+            x_cross = a.x + (point.y - a.y) * (b.x - a.x) / (b.y - a.y)
+            if point.x < x_cross:
+                inside = not inside
+    return inside
+
+
+def _on_segment(point: Point, a: Point, b: Point, epsilon: float = 1e-12) -> bool:
+    cross = (b.x - a.x) * (point.y - a.y) - (b.y - a.y) * (point.x - a.x)
+    if abs(cross) > epsilon:
+        return False
+    dot = (point.x - a.x) * (b.x - a.x) + (point.y - a.y) * (b.y - a.y)
+    seg_len_sq = (b.x - a.x) ** 2 + (b.y - a.y) ** 2
+    return -epsilon <= dot <= seg_len_sq + epsilon

@@ -1,0 +1,223 @@
+"""Graph algorithms over :class:`~repro.engines.graph.graph.GraphView`.
+
+"State of the art graph processing functionality (like distance, siblings,
+shortest path, and others)" — Section II.E. Used by the Section V
+scenarios: pipeline evacuation routing (V.5) and service-team routing
+(V.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable
+
+from repro.engines.graph.graph import GraphView, VertexId
+from repro.errors import GraphEngineError
+
+
+def bfs_distances(graph: GraphView, source: VertexId) -> dict[VertexId, int]:
+    """Hop distance from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise GraphEngineError(f"unknown vertex {source!r}")
+    distances: dict[VertexId, int] = {source: 0}
+    queue: deque[VertexId] = deque([source])
+    adjacency = graph.adjacency()
+    while queue:
+        current = queue.popleft()
+        for neighbor, _weight in adjacency.get(current, ()):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def distance(graph: GraphView, source: VertexId, target: VertexId) -> int | None:
+    """Hop distance between two vertices (None if unreachable)."""
+    return bfs_distances(graph, source).get(target)
+
+
+def shortest_path(
+    graph: GraphView, source: VertexId, target: VertexId
+) -> tuple[float, list[VertexId]] | None:
+    """Dijkstra shortest weighted path; returns (cost, path) or None."""
+    if not graph.has_vertex(source):
+        raise GraphEngineError(f"unknown vertex {source!r}")
+    adjacency = graph.adjacency()
+    best: dict[VertexId, float] = {source: 0.0}
+    previous: dict[VertexId, VertexId] = {}
+    counter = 0
+    heap: list[tuple[float, int, VertexId]] = [(0.0, counter, source)]
+    visited: set[VertexId] = set()
+    while heap:
+        cost, _tie, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        if current == target:
+            path = [current]
+            while path[-1] != source:
+                path.append(previous[path[-1]])
+            return cost, path[::-1]
+        for neighbor, weight in adjacency.get(current, ()):
+            if weight < 0:
+                raise GraphEngineError("negative edge weights are not supported")
+            candidate = cost + weight
+            if candidate < best.get(neighbor, float("inf")):
+                best[neighbor] = candidate
+                previous[neighbor] = current
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return None
+
+
+def connected_components(graph: GraphView) -> list[set[VertexId]]:
+    """Weakly connected components."""
+    undirected: dict[VertexId, set[VertexId]] = {v: set() for v in graph.vertices()}
+    for source, target, _weight in graph.edges():
+        undirected.setdefault(source, set()).add(target)
+        undirected.setdefault(target, set()).add(source)
+    seen: set[VertexId] = set()
+    components: list[set[VertexId]] = []
+    for start in undirected:
+        if start in seen:
+            continue
+        component: set[VertexId] = set()
+        queue: deque[VertexId] = deque([start])
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            component.add(current)
+            for neighbor in undirected.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def neighborhood(graph: GraphView, source: VertexId, hops: int) -> set[VertexId]:
+    """All vertices within ``hops`` of ``source`` (excluding it)."""
+    return {
+        vertex
+        for vertex, dist in bfs_distances(graph, source).items()
+        if 0 < dist <= hops
+    }
+
+
+def reachable(graph: GraphView, source: VertexId) -> set[VertexId]:
+    """Every vertex reachable from ``source`` (including it)."""
+    return set(bfs_distances(graph, source))
+
+
+def pagerank(
+    graph: GraphView,
+    damping: float = 0.85,
+    iterations: int = 50,
+    tolerance: float = 1e-9,
+) -> dict[VertexId, float]:
+    """Power-iteration PageRank (sinks redistribute uniformly)."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return {}
+    n = len(vertices)
+    rank = {vertex: 1.0 / n for vertex in vertices}
+    adjacency = graph.adjacency()
+    for _round in range(iterations):
+        incoming: dict[VertexId, float] = {vertex: 0.0 for vertex in vertices}
+        sink_mass = 0.0
+        for vertex in vertices:
+            targets = adjacency.get(vertex, ())
+            if not targets:
+                sink_mass += rank[vertex]
+                continue
+            share = rank[vertex] / len(targets)
+            for target, _weight in targets:
+                if target in incoming:
+                    incoming[target] += share
+        updated = {}
+        delta = 0.0
+        for vertex in vertices:
+            value = (1 - damping) / n + damping * (incoming[vertex] + sink_mass / n)
+            delta += abs(value - rank[vertex])
+            updated[vertex] = value
+        rank = updated
+        if delta < tolerance:
+            break
+    return rank
+
+
+def evacuation_plan(
+    graph: GraphView,
+    leak: VertexId,
+    exits: list[VertexId],
+    blocked_radius: int = 1,
+) -> dict[VertexId, tuple[float, list[VertexId]] | None]:
+    """Section V.5: route every vertex to its nearest exit avoiding the leak.
+
+    Vertices within ``blocked_radius`` hops of the leak are impassable.
+    Returns per-vertex (cost, path to chosen exit), or ``None`` for
+    vertices that cannot reach any exit.
+    """
+    blocked = {leak} | neighborhood(graph, leak, blocked_radius)
+    adjacency = graph.adjacency()
+
+    # multi-source Dijkstra from all exits over reversed edges
+    reverse: dict[VertexId, list[tuple[VertexId, float]]] = {
+        vertex: [] for vertex in graph.vertices()
+    }
+    for source, target, weight in graph.edges():
+        reverse.setdefault(target, []).append((source, weight))
+
+    best: dict[VertexId, float] = {}
+    toward: dict[VertexId, VertexId] = {}
+    counter = 0
+    heap: list[tuple[float, int, VertexId]] = []
+    for exit_vertex in exits:
+        if exit_vertex in blocked:
+            continue
+        best[exit_vertex] = 0.0
+        heapq.heappush(heap, (0.0, counter, exit_vertex))
+        counter += 1
+    visited: set[VertexId] = set()
+    while heap:
+        cost, _tie, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        for neighbor, weight in reverse.get(current, ()):
+            if neighbor in blocked:
+                continue
+            candidate = cost + weight
+            if candidate < best.get(neighbor, float("inf")):
+                best[neighbor] = candidate
+                toward[neighbor] = current
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+
+    plan: dict[VertexId, tuple[float, list[VertexId]] | None] = {}
+    exit_set = set(exits)
+    for vertex in graph.vertices():
+        if vertex in blocked:
+            plan[vertex] = None
+            continue
+        if vertex not in best:
+            plan[vertex] = None
+            continue
+        path = [vertex]
+        while path[-1] not in exit_set:
+            path.append(toward[path[-1]])
+        plan[vertex] = (best[vertex], path)
+    return plan
+
+
+def subgraph_where(
+    graph: GraphView, predicate: Callable[[dict[str, Any]], bool]
+) -> set[VertexId]:
+    """Vertices whose relational attributes satisfy ``predicate`` —
+    the relational/graph combination query of Section II.E."""
+    return {
+        vertex
+        for vertex in graph.vertices()
+        if predicate(graph.vertex_attributes(vertex))
+    }

@@ -1,0 +1,155 @@
+"""Distributed basket analysis (a-priori association rules).
+
+Section II.B: "We embedded some critical data mining features directly
+into the column store engine. Examples are distributed basket analysis".
+The miner runs a-priori over transaction baskets; *distributed* means the
+support-counting passes run independently per horizontal partition and are
+summed — the same structure the SOE uses to push the counting to the data
+(benchmark E18 measures the partition sweep).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable, Sequence
+
+Item = Hashable
+Basket = frozenset
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """antecedent → consequent with support/confidence/lift."""
+
+    antecedent: tuple[Item, ...]
+    consequent: tuple[Item, ...]
+    support: float
+    confidence: float
+    lift: float
+
+
+def _as_baskets(transactions: Iterable[Iterable[Item]]) -> list[frozenset]:
+    return [frozenset(transaction) for transaction in transactions]
+
+
+def count_supports(
+    baskets: Sequence[frozenset], candidates: Sequence[frozenset]
+) -> Counter:
+    """One partition-local counting pass (the distributable kernel)."""
+    counts: Counter = Counter()
+    for basket in baskets:
+        for candidate in candidates:
+            if candidate <= basket:
+                counts[candidate] += 1
+    return counts
+
+
+def merge_counts(partials: Iterable[Counter]) -> Counter:
+    """Combine partition-local counts (the SOE reduce step)."""
+    total: Counter = Counter()
+    for partial in partials:
+        total.update(partial)
+    return total
+
+
+def frequent_itemsets(
+    transactions: Iterable[Iterable[Item]],
+    min_support: float = 0.1,
+    max_size: int = 4,
+    partitions: int = 1,
+) -> dict[frozenset, float]:
+    """A-priori frequent itemsets; ``partitions`` splits the counting.
+
+    Returns itemset → support (fraction of baskets).
+    """
+    baskets = _as_baskets(transactions)
+    if not baskets:
+        return {}
+    n = len(baskets)
+    threshold = min_support * n
+    shards = [baskets[index::partitions] for index in range(max(partitions, 1))]
+
+    # size-1 candidates from a single distributed pass
+    item_counts = merge_counts(
+        Counter({frozenset([item]): count for item, count in Counter(
+            item for basket in shard for item in basket
+        ).items()})
+        for shard in shards
+    )
+    frequent: dict[frozenset, float] = {
+        itemset: count / n
+        for itemset, count in item_counts.items()
+        if count >= threshold
+    }
+    current = [itemset for itemset in frequent if len(itemset) == 1]
+
+    size = 2
+    while current and size <= max_size:
+        candidates = _generate_candidates(current, size, set(frequent))
+        if not candidates:
+            break
+        counts = merge_counts(count_supports(shard, candidates) for shard in shards)
+        survivors = []
+        for candidate in candidates:
+            count = counts.get(candidate, 0)
+            if count >= threshold:
+                frequent[candidate] = count / n
+                survivors.append(candidate)
+        current = survivors
+        size += 1
+    return frequent
+
+
+def _generate_candidates(
+    previous: Sequence[frozenset], size: int, frequent: set[frozenset]
+) -> list[frozenset]:
+    """Join step with a-priori pruning (all subsets must be frequent)."""
+    candidates: set[frozenset] = set()
+    for index, left in enumerate(previous):
+        for right in previous[index + 1 :]:
+            union = left | right
+            if len(union) != size:
+                continue
+            if all(frozenset(subset) in frequent for subset in combinations(union, size - 1)):
+                candidates.add(union)
+    return sorted(candidates, key=lambda s: sorted(map(str, s)))
+
+
+def association_rules(
+    transactions: Iterable[Iterable[Item]],
+    min_support: float = 0.1,
+    min_confidence: float = 0.5,
+    max_size: int = 4,
+    partitions: int = 1,
+) -> list[AssociationRule]:
+    """A-priori association rules, strongest (by lift) first."""
+    baskets = _as_baskets(transactions)
+    frequent = frequent_itemsets(baskets, min_support, max_size, partitions)
+    rules: list[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for split in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset, key=str), split):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                antecedent_support = frequent.get(antecedent)
+                consequent_support = frequent.get(consequent)
+                if not antecedent_support or not consequent_support:
+                    continue
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                rules.append(
+                    AssociationRule(
+                        antecedent=tuple(sorted(antecedent, key=str)),
+                        consequent=tuple(sorted(consequent, key=str)),
+                        support=support,
+                        confidence=confidence,
+                        lift=confidence / consequent_support,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.lift, -rule.confidence, rule.antecedent))
+    return rules

@@ -1,0 +1,89 @@
+"""K-means clustering (part of the predictive library, Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Centroids, per-point assignments, and the final inertia."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans(
+    points: np.ndarray | list[list[float]],
+    k: int,
+    max_iterations: int = 100,
+    seed: int = 7,
+    tolerance: float = 1e-8,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding (deterministic by seed)."""
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2 or len(data) == 0:
+        raise EngineError("points must be a non-empty 2-D array")
+    if not 1 <= k <= len(data):
+        raise EngineError(f"k must be in [1, {len(data)}]")
+
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_plus_plus(data, k, rng)
+    labels = np.zeros(len(data), dtype=np.int64)
+    inertia = np.inf
+    for iteration in range(1, max_iterations + 1):
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        new_inertia = float(distances[np.arange(len(data)), labels].sum())
+        for index in range(k):
+            members = data[labels == index]
+            if len(members):
+                centroids[index] = members.mean(axis=0)
+            else:  # re-seed an empty cluster at the worst-served point
+                centroids[index] = data[distances.min(axis=1).argmax()]
+        if abs(inertia - new_inertia) <= tolerance * max(inertia, 1.0):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, iterations=iteration)
+
+
+def _kmeans_plus_plus(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[rng.integers(len(data))]
+    for index in range(1, k):
+        distances = ((data[:, None, :] - centroids[None, :index, :]) ** 2).sum(axis=2).min(axis=1)
+        total = distances.sum()
+        if total <= 0:
+            centroids[index] = data[rng.integers(len(data))]
+            continue
+        centroids[index] = data[rng.choice(len(data), p=distances / total)]
+    return centroids
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (sampled exactly; O(n^2))."""
+    data = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+    distances = np.sqrt(((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2))
+    scores = np.empty(len(data))
+    for index in range(len(data)):
+        own = labels[index]
+        same = distances[index][(labels == own)]
+        a = same[same > 0].mean() if len(same) > 1 else 0.0
+        b = min(
+            distances[index][labels == other].mean()
+            for other in unique
+            if other != own
+        )
+        scores[index] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+    return float(scores.mean())

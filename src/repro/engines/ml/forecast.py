@@ -1,0 +1,137 @@
+"""Forecasting algorithms ("a variety of forecasting algorithms", §II.B).
+
+Linear trend, simple/double (Holt) and triple (Holt-Winters additive)
+exponential smoothing — the classical enterprise planning/IoT forecasting
+kit, used by Scenario V.2 (predictive maintenance) and V.3 (dispenser
+refill prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Fitted values plus the requested horizon of predictions."""
+
+    fitted: np.ndarray
+    predictions: np.ndarray
+
+    @property
+    def mse(self) -> float:
+        """Mean squared one-step-ahead training error (set by fitters)."""
+        return float(getattr(self, "_mse", np.nan))
+
+
+def _with_mse(fitted: np.ndarray, actual: np.ndarray, predictions: np.ndarray) -> Forecast:
+    forecast = Forecast(fitted=fitted, predictions=predictions)
+    residuals = actual[: len(fitted)] - fitted
+    object.__setattr__(forecast, "_mse", float(np.mean(residuals**2)) if len(residuals) else np.nan)
+    return forecast
+
+
+def linear_trend(values: np.ndarray | list[float], horizon: int) -> Forecast:
+    """Ordinary least-squares line extrapolation."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        raise EngineError("linear trend needs at least two observations")
+    x = np.arange(len(values), dtype=np.float64)
+    slope, intercept = np.polyfit(x, values, 1)
+    fitted = intercept + slope * x
+    future = intercept + slope * (len(values) + np.arange(horizon))
+    return _with_mse(fitted, values, future)
+
+
+def simple_exponential(values: np.ndarray | list[float], horizon: int, alpha: float = 0.3) -> Forecast:
+    """SES: flat forecast at the last smoothed level."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise EngineError("cannot forecast an empty series")
+    if not 0 < alpha <= 1:
+        raise EngineError("alpha must be in (0, 1]")
+    level = values[0]
+    fitted = np.empty(len(values))
+    for index, value in enumerate(values):
+        fitted[index] = level
+        level = alpha * value + (1 - alpha) * level
+    return _with_mse(fitted, values, np.full(horizon, level))
+
+
+def holt(
+    values: np.ndarray | list[float],
+    horizon: int,
+    alpha: float = 0.3,
+    beta: float = 0.1,
+) -> Forecast:
+    """Holt's double exponential smoothing (level + trend)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        raise EngineError("Holt needs at least two observations")
+    level = values[0]
+    trend = values[1] - values[0]
+    fitted = np.empty(len(values))
+    for index, value in enumerate(values):
+        fitted[index] = level + trend
+        new_level = alpha * value + (1 - alpha) * (level + trend)
+        trend = beta * (new_level - level) + (1 - beta) * trend
+        level = new_level
+    predictions = level + trend * (1 + np.arange(horizon))
+    return _with_mse(fitted, values, predictions)
+
+
+def holt_winters(
+    values: np.ndarray | list[float],
+    horizon: int,
+    period: int,
+    alpha: float = 0.3,
+    beta: float = 0.05,
+    gamma: float = 0.2,
+) -> Forecast:
+    """Additive Holt-Winters (level + trend + seasonality)."""
+    values = np.asarray(values, dtype=np.float64)
+    if period < 2:
+        raise EngineError("period must be >= 2")
+    if len(values) < 2 * period:
+        raise EngineError("Holt-Winters needs at least two full periods")
+
+    seasonals = np.array(
+        [np.mean(values[phase::period]) for phase in range(period)]
+    )
+    seasonals = seasonals - np.mean(values[: period * (len(values) // period)])
+    level = float(np.mean(values[:period]))
+    trend = float((np.mean(values[period : 2 * period]) - np.mean(values[:period])) / period)
+
+    fitted = np.empty(len(values))
+    for index, value in enumerate(values):
+        season = seasonals[index % period]
+        fitted[index] = level + trend + season
+        new_level = alpha * (value - season) + (1 - alpha) * (level + trend)
+        trend = beta * (new_level - level) + (1 - beta) * trend
+        seasonals[index % period] = gamma * (value - new_level) + (1 - gamma) * season
+        level = new_level
+
+    predictions = np.array(
+        [
+            level + trend * (step + 1) + seasonals[(len(values) + step) % period]
+            for step in range(horizon)
+        ]
+    )
+    return _with_mse(fitted, values, predictions)
+
+
+def auto_forecast(values: np.ndarray | list[float], horizon: int, period: int | None = None) -> Forecast:
+    """Pick the fitter with the lowest training MSE."""
+    values = np.asarray(values, dtype=np.float64)
+    candidates: list[Forecast] = []
+    if len(values) >= 2:
+        candidates.append(linear_trend(values, horizon))
+        candidates.append(holt(values, horizon))
+    candidates.append(simple_exponential(values, horizon))
+    if period is not None and len(values) >= 2 * period:
+        candidates.append(holt_winters(values, horizon, period))
+    return min(candidates, key=lambda forecast: forecast.mse)

@@ -1,0 +1,158 @@
+"""External analytics operators — the "R integration" (§II.B).
+
+The paper: "Access to R is implemented as a special operator into the
+internal data flow graph of the database engine allowing the optimizer to
+embrace the call to the external system."
+
+Substitution (DESIGN.md): instead of shipping data to an external R
+process over a socket, :class:`ExternalOperator` models the same contract —
+a named operator that receives a relational input (rows + column names),
+runs outside the SQL engine, and returns a relational output that flows
+back into the plan. :class:`RAdapter` is an in-process "R-like" provider
+with a handful of vector functions; real deployments would register a
+provider that talks to Rserve. Data-transfer volume is *accounted* so the
+benchmarks can show what in-engine execution saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EngineError
+
+RelationalInput = tuple[list[str], list[list[Any]]]
+RelationalOutput = tuple[list[str], list[list[Any]]]
+ProviderFunction = Callable[[RelationalInput, dict[str, Any]], RelationalOutput]
+
+
+@dataclass
+class TransferStats:
+    """Bytes/rows shipped to and from the external system."""
+
+    rows_out: int = 0
+    rows_in: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+    def record_out(self, rows: list[list[Any]]) -> None:
+        self.rows_out += len(rows)
+        self.bytes_out += _approx_bytes(rows)
+
+    def record_in(self, rows: list[list[Any]]) -> None:
+        self.rows_in += len(rows)
+        self.bytes_in += _approx_bytes(rows)
+
+
+def _approx_bytes(rows: list[list[Any]]) -> int:
+    total = 0
+    for row in rows:
+        for value in row:
+            total += len(value) + 1 if isinstance(value, str) else 8
+    return total
+
+
+class ExternalOperator:
+    """One callable external-analytics operator in the data-flow graph."""
+
+    def __init__(self, name: str, provider: "Provider", function: str) -> None:
+        self.name = name
+        self.provider = provider
+        self.function = function
+
+    def __call__(
+        self,
+        columns: Sequence[str],
+        rows: list[list[Any]],
+        **parameters: Any,
+    ) -> RelationalOutput:
+        """Ship the input, run the provider function, receive the output."""
+        self.provider.stats.record_out(rows)
+        out_columns, out_rows = self.provider.call(
+            self.function, (list(columns), rows), parameters
+        )
+        self.provider.stats.record_in(out_rows)
+        return out_columns, out_rows
+
+
+class Provider:
+    """A registry of external functions (an 'R' or 'SAS' endpoint)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._functions: dict[str, ProviderFunction] = {}
+        self.stats = TransferStats()
+
+    def register(self, function: str, impl: ProviderFunction) -> None:
+        self._functions[function] = impl
+
+    def call(
+        self, function: str, data: RelationalInput, parameters: dict[str, Any]
+    ) -> RelationalOutput:
+        impl = self._functions.get(function)
+        if impl is None:
+            raise EngineError(f"provider {self.name!r} has no function {function!r}")
+        return impl(data, parameters)
+
+    def operator(self, function: str) -> ExternalOperator:
+        """An operator handle the planner can embed in a data flow."""
+        return ExternalOperator(f"{self.name}.{function}", self, function)
+
+
+def make_r_adapter() -> Provider:
+    """An in-process provider mimicking common R vector analytics."""
+    provider = Provider("R")
+
+    def _matrix(data: RelationalInput) -> tuple[list[str], np.ndarray]:
+        columns, rows = data
+        return columns, np.asarray(
+            [[float(value) for value in row] for row in rows], dtype=np.float64
+        )
+
+    def r_cor(data: RelationalInput, parameters: dict[str, Any]) -> RelationalOutput:
+        """cor(df): full correlation matrix of the numeric input."""
+        columns, matrix = _matrix(data)
+        if len(matrix) < 2:
+            raise EngineError("cor needs at least two rows")
+        corr = np.corrcoef(matrix, rowvar=False)
+        corr = np.atleast_2d(corr)
+        out_rows = [
+            [columns[i]] + [float(corr[i, j]) for j in range(len(columns))]
+            for i in range(len(columns))
+        ]
+        return ["variable"] + list(columns), out_rows
+
+    def r_lm(data: RelationalInput, parameters: dict[str, Any]) -> RelationalOutput:
+        """lm(y ~ x): simple linear regression on the first two columns."""
+        _columns, matrix = _matrix(data)
+        if matrix.shape[1] < 2:
+            raise EngineError("lm needs two numeric columns (x, y)")
+        slope, intercept = np.polyfit(matrix[:, 0], matrix[:, 1], 1)
+        return ["coefficient", "value"], [
+            ["intercept", float(intercept)],
+            ["slope", float(slope)],
+        ]
+
+    def r_summary(data: RelationalInput, parameters: dict[str, Any]) -> RelationalOutput:
+        """summary(df): min/median/mean/max per numeric column."""
+        columns, matrix = _matrix(data)
+        out = []
+        for index, column in enumerate(columns):
+            values = matrix[:, index]
+            out.append(
+                [
+                    column,
+                    float(values.min()),
+                    float(np.median(values)),
+                    float(values.mean()),
+                    float(values.max()),
+                ]
+            )
+        return ["variable", "min", "median", "mean", "max"], out
+
+    provider.register("cor", r_cor)
+    provider.register("lm", r_lm)
+    provider.register("summary", r_summary)
+    return provider

@@ -1,0 +1,87 @@
+"""Rule-based part-of-speech tagging (§II.C).
+
+"Many languages have to be supported natively with functionality like
+stemming, part of speech tagging, and others." This tagger is the
+classical lexicon-plus-suffix-rules design: a small closed-class lexicon
+decides determiners/prepositions/pronouns/conjunctions, suffix and shape
+rules classify open-class words, and two contextual repair rules fix the
+most common noun/verb confusions. Tags follow a compact universal set:
+NOUN, VERB, ADJ, ADV, DET, PRON, PREP, CONJ, NUM, X.
+"""
+
+from __future__ import annotations
+
+from repro.engines.text.tokenizer import tokenize
+
+_LEXICON = {
+    "DET": {"the", "a", "an", "this", "that", "these", "those", "every", "each", "some", "any", "no"},
+    "PREP": {"in", "on", "at", "by", "for", "with", "from", "to", "of", "into", "over", "under", "between", "through"},
+    "PRON": {"i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "its", "his", "their", "our", "your", "my"},
+    "CONJ": {"and", "or", "but", "because", "although", "while", "if", "when"},
+    "VERB": {"is", "are", "was", "were", "be", "been", "has", "have", "had", "do", "does", "did", "will", "would", "can", "could", "should", "may", "might", "must"},
+    "ADV": {"not", "very", "quickly", "slowly", "never", "always", "often", "here", "there", "now", "then", "too", "also"},
+}
+
+_ADJ_SUFFIXES = ("able", "ible", "ous", "ful", "less", "ive", "ical", "ian", "ary")
+_NOUN_SUFFIXES = ("tion", "sion", "ment", "ness", "ity", "ship", "ance", "ence", "ism", "er", "or", "ist")
+_VERB_SUFFIXES = ("ize", "ise", "ify", "ate")
+_ADV_SUFFIX = "ly"
+
+
+def _tag_word(word: str) -> str:
+    for tag, words in _LEXICON.items():
+        if word in words:
+            return tag
+    if word.replace(".", "").replace(",", "").isdigit():
+        return "NUM"
+    if word.endswith(_ADV_SUFFIX) and len(word) > 3:
+        return "ADV"
+    for suffix in _ADJ_SUFFIXES:
+        if word.endswith(suffix) and len(word) > len(suffix) + 1:
+            return "ADJ"
+    for suffix in _VERB_SUFFIXES:
+        if word.endswith(suffix) and len(word) > len(suffix) + 1:
+            return "VERB"
+    for suffix in _NOUN_SUFFIXES:
+        if word.endswith(suffix) and len(word) > len(suffix) + 1:
+            return "NOUN"
+    if word.endswith("ing") or word.endswith("ed"):
+        return "VERB"
+    return "NOUN"  # open-class default
+
+
+def pos_tag(text: str) -> list[tuple[str, str]]:
+    """Tag every token of ``text``; returns (token, tag) pairs."""
+    tokens = tokenize(text)
+    tags = [_tag_word(token) for token in tokens]
+    # contextual repair 1: word after a determiner heads a noun phrase
+    for index in range(1, len(tokens)):
+        if tags[index - 1] == "DET" and tags[index] == "VERB":
+            tags[index] = "NOUN"
+    # contextual repair 2: NOUN directly after PRON is usually the verb
+    # ("they run", "it works") when it carries a verbal suffix or is short
+    for index in range(1, len(tokens)):
+        if (
+            tags[index - 1] == "PRON"
+            and tags[index] == "NOUN"
+            and (tokens[index].endswith("s") or len(tokens[index]) <= 5)
+        ):
+            tags[index] = "VERB"
+    return list(zip(tokens, tags))
+
+
+def noun_phrases(text: str) -> list[str]:
+    """Contiguous DET? ADJ* NOUN+ chunks — cheap keyword extraction."""
+    tagged = pos_tag(text)
+    phrases: list[str] = []
+    current: list[str] = []
+    for token, tag in tagged:
+        if tag in ("ADJ", "NOUN") or (tag == "DET" and not current):
+            current.append(token)
+        else:
+            if any(_tag_word(word) == "NOUN" for word in current):
+                phrases.append(" ".join(current))
+            current = []
+    if current and any(_tag_word(word) == "NOUN" for word in current):
+        phrases.append(" ".join(current))
+    return phrases

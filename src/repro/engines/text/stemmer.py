@@ -1,0 +1,157 @@
+"""A compact Porter-style stemmer.
+
+Implements the core of Porter's algorithm (steps 1a/1b/1c plus common
+suffix strippings from steps 2–5). It is intentionally a light variant:
+deterministic, dependency-free, and sufficient for the engine's "stemming"
+language feature (paper, Section II.C) — matching plurals, participles,
+and the frequent derivational suffixes.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    ch = word[index]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's m: the number of VC sequences."""
+    pattern = "".join("c" if _is_consonant(stem, i) else "v" for i in range(len(stem)))
+    count = 0
+    previous = "c"
+    for ch in pattern:
+        if previous == "v" and ch == "c":
+            count += 1
+        previous = ch
+    return count
+
+
+def _has_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def stem_word(word: str) -> str:
+    """Stem one lower-case token."""
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _strip_suffixes(word)
+    return word
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        return word[:-1] if _measure(stem) > 0 else word
+    for suffix in ("ed", "ing"):
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if not _has_vowel(stem):
+                return word
+            if stem.endswith(("at", "bl", "iz")):
+                return stem + "e"
+            if _ends_double_consonant(stem) and stem[-1] not in "lsz":
+                return stem[:-1]
+            if _measure(stem) == 1 and _cvc(stem):
+                return stem + "e"
+            return stem
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _has_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_SUFFIX_MAP = [
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("ization", "ize"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("iveness", "ive"),
+    ("biliti", "ble"),
+    ("entli", "ent"),
+    ("ousli", "ous"),
+    ("alism", "al"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("ement", ""),
+    ("ment", ""),
+    ("ness", ""),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("alli", "al"),
+    ("ator", "ate"),
+    ("able", ""),
+    ("ible", ""),
+    ("ance", ""),
+    ("ence", ""),
+    ("ant", ""),
+    ("ent", ""),
+    ("ism", ""),
+    ("ate", ""),
+    ("iti", ""),
+    ("ous", ""),
+    ("ive", ""),
+    ("ize", ""),
+    ("ion", ""),
+    ("al", ""),
+    ("er", ""),
+    ("ic", ""),
+]
+
+
+def _strip_suffixes(word: str) -> str:
+    for suffix, replacement in _SUFFIX_MAP:
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if _measure(stem) > 1 or (replacement and _measure(stem) > 0):
+                return stem + replacement
+            return word
+    if word.endswith("e") and _measure(word[:-1]) > 1:
+        return word[:-1]
+    return word

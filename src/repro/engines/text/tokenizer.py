@@ -1,0 +1,34 @@
+"""Text tokenisation and normalisation for the text engine."""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z]+)?")
+
+#: Minimal English stop-word list; kept small so recall stays predictable.
+STOP_WORDS = frozenset(
+    """a an and are as at be but by for from has have in is it its of on or
+    that the to was were will with this these those not no""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split text into lower-cased word tokens (stop words included)."""
+    return [match.group(0).lower() for match in _WORD.finditer(text)]
+
+
+def tokenize_terms(text: str, stem: bool = True) -> list[str]:
+    """Tokens as indexed: lower-cased, stop words removed, stemmed."""
+    from repro.engines.text.stemmer import stem_word
+
+    tokens = [token for token in tokenize(text) if token not in STOP_WORDS]
+    if stem:
+        tokens = [stem_word(token) for token in tokens]
+    return tokens
+
+
+def sentences(text: str) -> list[str]:
+    """Naive sentence splitting (for sentiment scoping)."""
+    parts = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [part for part in parts if part]

@@ -1,0 +1,167 @@
+"""Exception hierarchy for the repro data-management ecosystem.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch one base class. Sub-hierarchies mirror the major
+subsystems (catalog, SQL, transactions, storage, scale-out, Hadoop).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Schema/catalog level problem (unknown or duplicate object)."""
+
+
+class TableNotFoundError(CatalogError):
+    """A referenced table does not exist in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"table not found: {name!r}")
+        self.name = name
+
+
+class ColumnNotFoundError(CatalogError):
+    """A referenced column does not exist on the table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"column not found: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class DuplicateObjectError(CatalogError):
+    """Attempt to create an object whose name is already taken."""
+
+
+class SchemaError(CatalogError):
+    """Row shape or value does not match the table schema."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value cannot be coerced to the declared column type."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(SqlError):
+    """The statement parsed but no valid plan could be produced."""
+
+
+class ExpressionError(SqlError):
+    """An expression could not be evaluated (bad types, unknown function)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-management errors."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was rolled back (conflict, deadlock, explicit)."""
+
+
+class WriteConflictError(TransactionAbortedError):
+    """First-committer-wins conflict between concurrent writers."""
+
+
+class InvalidTransactionStateError(TransactionError):
+    """Operation not legal in the transaction's current state."""
+
+
+class StorageError(ReproError):
+    """Column/row store level failure."""
+
+
+class PersistenceError(StorageError):
+    """Savepoint, redo-log, or recovery failure."""
+
+
+class PartitionError(StorageError):
+    """Invalid partitioning specification or partition routing failure."""
+
+
+class AgingError(ReproError):
+    """Data-aging rule problem (e.g. cyclic rule dependencies)."""
+
+
+class EngineError(ReproError):
+    """Base class for the specialised data-processing engines."""
+
+
+class TextEngineError(EngineError):
+    """Text/search engine failure."""
+
+
+class GraphEngineError(EngineError):
+    """Graph or hierarchy engine failure."""
+
+
+class GeoError(EngineError):
+    """Geospatial engine failure (bad WKT, invalid geometry)."""
+
+
+class TimeSeriesError(EngineError):
+    """Time-series engine failure."""
+
+
+class ScientificError(EngineError):
+    """Scientific (linear algebra) engine failure."""
+
+
+class PlanningError(EngineError):
+    """Planning-extension failure (disaggregation, versions)."""
+
+
+class SoeError(ReproError):
+    """Base class for Scale-Out Extension errors."""
+
+
+class ClusterError(SoeError):
+    """Cluster membership / service orchestration failure."""
+
+
+class LogError(SoeError):
+    """Distributed shared-log failure (hole, trimmed address, seal)."""
+
+
+class CoordinationError(SoeError):
+    """Distributed query coordination failure."""
+
+
+class HadoopError(ReproError):
+    """Base class for the simulated Hadoop substrate."""
+
+
+class HdfsError(HadoopError):
+    """HDFS namespace or block-storage failure."""
+
+
+class MapReduceError(HadoopError):
+    """MapReduce job failure."""
+
+
+class YarnError(HadoopError):
+    """Resource-manager failure (no capacity, unknown application)."""
+
+
+class FederationError(ReproError):
+    """Smart-Data-Access / remote source failure."""
+
+
+class StreamingError(ReproError):
+    """Event-stream-processor failure."""

@@ -1,0 +1,6 @@
+"""Smart Data Access (SDA): federation via virtual tables."""
+
+from repro.federation.adapters import CsvAdapter, HanaAdapter, HiveAdapter, SoeAdapter
+from repro.federation.sda import SmartDataAccess, VirtualTable
+
+__all__ = ["SmartDataAccess", "VirtualTable", "CsvAdapter", "HanaAdapter", "HiveAdapter", "SoeAdapter"]

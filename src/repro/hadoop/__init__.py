@@ -1,0 +1,9 @@
+"""The simulated Hadoop substrate: HDFS, YARN, MapReduce, RDD, Hive."""
+
+from repro.hadoop.hdfs import HdfsCluster
+from repro.hadoop.hive import HiveServer
+from repro.hadoop.mapreduce import MapReduceJob, word_count_job
+from repro.hadoop.rdd import Rdd, soe_table_rdd
+from repro.hadoop.yarn import ResourceManager
+
+__all__ = ["HdfsCluster", "HiveServer", "MapReduceJob", "word_count_job", "Rdd", "soe_table_rdd", "ResourceManager"]

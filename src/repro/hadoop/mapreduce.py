@@ -1,0 +1,146 @@
+"""The MapReduce job runner over simulated HDFS and YARN.
+
+One map task per HDFS block (scheduled with locality preference through
+the resource manager), an optional combiner, a hash shuffle into R reduce
+tasks, and per-phase transfer accounting — enough substrate to honour the
+paper's "combine SAP HANA SOE data processing with standard MapReduce
+jobs" claim and the E9 locality comparisons.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.errors import MapReduceError
+from repro.hadoop.hdfs import HdfsCluster
+from repro.hadoop.yarn import ResourceManager
+
+Mapper = Callable[[str], Iterable[tuple[Hashable, Any]]]
+Reducer = Callable[[Hashable, list[Any]], Iterable[tuple[Hashable, Any]]]
+
+
+@dataclass
+class JobStats:
+    """What one job did."""
+
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    map_input_lines: int = 0
+    shuffle_pairs: int = 0
+    shuffle_bytes: int = 0
+    local_map_tasks: int = 0
+    remote_map_tasks: int = 0
+    output_pairs: int = 0
+
+
+@dataclass
+class MapReduceJob:
+    """A configured job: run with :meth:`run`."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+    reduce_tasks: int = 2
+    stats: JobStats = field(default_factory=JobStats)
+
+    def run(
+        self,
+        hdfs: HdfsCluster,
+        input_path: str,
+        resource_manager: ResourceManager | None = None,
+        output_path: str | None = None,
+    ) -> dict[Hashable, Any]:
+        """Execute the job; returns key → reduced value(s).
+
+        With ``output_path`` set, results are also written back to HDFS as
+        tab-separated lines (one per key/value pair).
+        """
+        if self.reduce_tasks < 1:
+            raise MapReduceError("need at least one reduce task")
+        meta = hdfs.file_meta(input_path)
+        application = (
+            resource_manager.submit_application(self.name)
+            if resource_manager is not None
+            else None
+        )
+
+        # map phase: one task per block, locality-preferred
+        shuffle: list[dict[Hashable, list[Any]]] = [
+            {} for _ in range(self.reduce_tasks)
+        ]
+        for block in meta.blocks:
+            preferred = block.replicas[0]
+            assigned_node = preferred
+            container = None
+            if resource_manager is not None and application is not None:
+                container = resource_manager.allocate(
+                    application.application_id, preferred_node=preferred
+                )
+                if container is None:
+                    raise MapReduceError("cluster out of capacity")
+                assigned_node = container.node_id
+            lines, served_by = hdfs.read_block(block, prefer_node=assigned_node)
+            if served_by == assigned_node:
+                self.stats.local_map_tasks += 1
+            else:
+                self.stats.remote_map_tasks += 1
+            self.stats.map_tasks += 1
+            self.stats.map_input_lines += len(lines)
+
+            local: dict[Hashable, list[Any]] = {}
+            for line in lines:
+                for key, value in self.mapper(line):
+                    local.setdefault(key, []).append(value)
+            if self.combiner is not None:
+                combined: dict[Hashable, list[Any]] = {}
+                for key, values in local.items():
+                    for out_key, out_value in self.combiner(key, values):
+                        combined.setdefault(out_key, []).append(out_value)
+                local = combined
+            for key, values in local.items():
+                bucket = zlib.crc32(repr(key).encode("utf-8")) % self.reduce_tasks
+                shuffle[bucket].setdefault(key, []).extend(values)
+                self.stats.shuffle_pairs += len(values)
+                self.stats.shuffle_bytes += sum(
+                    len(repr(key)) + (len(v) if isinstance(v, str) else 8)
+                    for v in values
+                )
+            if container is not None and resource_manager is not None:
+                resource_manager.release(container.container_id)
+
+        # reduce phase
+        output: dict[Hashable, Any] = {}
+        for bucket in shuffle:
+            self.stats.reduce_tasks += 1
+            for key in sorted(bucket, key=repr):
+                for out_key, out_value in self.reducer(key, bucket[key]):
+                    output[out_key] = out_value
+                    self.stats.output_pairs += 1
+
+        if application is not None and resource_manager is not None:
+            resource_manager.finish_application(application.application_id)
+        if output_path is not None:
+            hdfs.write_file(
+                output_path,
+                (f"{key}\t{value}" for key, value in sorted(output.items(), key=lambda kv: repr(kv[0]))),
+                overwrite=True,
+            )
+        return output
+
+
+def word_count_job(reduce_tasks: int = 2) -> MapReduceJob:
+    """The canonical example job (also used by tests)."""
+
+    def mapper(line: str) -> Iterable[tuple[str, int]]:
+        for word in line.split():
+            yield word.lower(), 1
+
+    def reducer(key: str, values: list[int]) -> Iterable[tuple[str, int]]:
+        yield key, sum(values)
+
+    return MapReduceJob(
+        "word-count", mapper, reducer, combiner=reducer, reduce_tasks=reduce_tasks
+    )

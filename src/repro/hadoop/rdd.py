@@ -1,0 +1,211 @@
+"""A minimal RDD with SOE-backed relational operations (§IV.C).
+
+"Integration is performed into the Spark framework as RDD objects by
+utilizing SAP HANA SOE for relevant operations like join, filters,
+aggregation etc. By wrapping SAP HANA SOE in RDD objects customers can
+still use all Spark functionality."
+
+:class:`Rdd` provides the lazy functional core (map/filter/flatMap/
+reduceByKey/...); :func:`soe_table_rdd` wraps an SOE table so that
+``filter``/``aggregate`` chains *push down* into the SOE engine instead of
+materialising rows — the wrapped form tracks what was pushed so the E9
+bench can compare pushdown vs collect-then-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.errors import HadoopError
+from repro.hadoop.hdfs import HdfsCluster
+
+
+class Rdd:
+    """A lazy, deterministic, in-process resilient-distributed-dataset."""
+
+    def __init__(self, compute: Callable[[], Iterable[Any]]) -> None:
+        self._compute = compute
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_iterable(cls, items: Iterable[Any]) -> "Rdd":
+        materialised = list(items)
+        return cls(lambda: iter(materialised))
+
+    @classmethod
+    def from_hdfs(cls, hdfs: HdfsCluster, path: str) -> "Rdd":
+        return cls(lambda: hdfs.read_file(path))
+
+    # -- transformations (lazy) ----------------------------------------------------
+
+    def map(self, function: Callable[[Any], Any]) -> "Rdd":
+        return Rdd(lambda: (function(item) for item in self._compute()))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Rdd":
+        return Rdd(lambda: (item for item in self._compute() if predicate(item)))
+
+    def flat_map(self, function: Callable[[Any], Iterable[Any]]) -> "Rdd":
+        return Rdd(
+            lambda: (out for item in self._compute() for out in function(item))
+        )
+
+    def distinct(self) -> "Rdd":
+        def compute() -> Iterable[Any]:
+            seen: set[Any] = set()
+            for item in self._compute():
+                if item not in seen:
+                    seen.add(item)
+                    yield item
+
+        return Rdd(compute)
+
+    def reduce_by_key(self, function: Callable[[Any, Any], Any]) -> "Rdd":
+        def compute() -> Iterable[tuple[Hashable, Any]]:
+            accumulator: dict[Hashable, Any] = {}
+            for key, value in self._compute():
+                if key in accumulator:
+                    accumulator[key] = function(accumulator[key], value)
+                else:
+                    accumulator[key] = value
+            yield from sorted(accumulator.items(), key=lambda kv: repr(kv[0]))
+
+        return Rdd(compute)
+
+    def join(self, other: "Rdd") -> "Rdd":
+        """(k, a) join (k, b) → (k, (a, b))."""
+
+        def compute() -> Iterable[tuple[Hashable, tuple[Any, Any]]]:
+            right: dict[Hashable, list[Any]] = {}
+            for key, value in other._compute():
+                right.setdefault(key, []).append(value)
+            for key, value in self._compute():
+                for match in right.get(key, ()):
+                    yield key, (value, match)
+
+        return Rdd(compute)
+
+    def union(self, other: "Rdd") -> "Rdd":
+        def compute() -> Iterable[Any]:
+            yield from self._compute()
+            yield from other._compute()
+
+        return Rdd(compute)
+
+    # -- actions (eager) ----------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        return list(self._compute())
+
+    def count(self) -> int:
+        return sum(1 for _item in self._compute())
+
+    def take(self, count: int) -> list[Any]:
+        out = []
+        for item in self._compute():
+            out.append(item)
+            if len(out) >= count:
+                break
+        return out
+
+    def reduce(self, function: Callable[[Any, Any], Any]) -> Any:
+        iterator = iter(self._compute())
+        try:
+            result = next(iterator)
+        except StopIteration:
+            raise HadoopError("reduce of empty RDD") from None
+        for item in iterator:
+            result = function(result, item)
+        return result
+
+    def save_to_hdfs(self, hdfs: HdfsCluster, path: str) -> None:
+        hdfs.write_file(path, (str(item) for item in self._compute()), overwrite=True)
+
+
+class SoeTableRdd:
+    """An RDD view over an SOE table with relational pushdown.
+
+    ``filter`` (on simple column predicates) and ``aggregate`` execute in
+    the SOE engine; ``rows()`` materialises the (filtered) table as a plain
+    :class:`Rdd` for arbitrary Spark-style processing.
+    """
+
+    def __init__(self, soe: Any, table: str, filters: tuple[tuple[str, str, Any], ...] = ()) -> None:
+        self.soe = soe
+        self.table = table.lower()
+        self.filters = filters
+        self.pushed_operations: list[str] = []
+
+    def filter(self, column: str, op: str, value: Any) -> "SoeTableRdd":
+        """Pushed-down filter: no data leaves the engine."""
+        derived = SoeTableRdd(
+            self.soe, self.table, self.filters + ((column.lower(), op, value),)
+        )
+        derived.pushed_operations = self.pushed_operations + [f"filter({column} {op} {value!r})"]
+        return derived
+
+    def aggregate(
+        self,
+        group_by: list[str],
+        aggregates: list[tuple[str, str | None]],
+    ) -> Rdd:
+        """Pushed-down aggregation executed by the SOE coordinator."""
+        rows, _cost = self.soe.aggregate(
+            self.table,
+            group_by=group_by,
+            aggregates=aggregates,
+            filters=list(self.filters),
+        )
+        self.pushed_operations.append(f"aggregate({group_by}, {aggregates})")
+        return Rdd.from_iterable(rows)
+
+    def rows(self) -> Rdd:
+        """Materialise (filtered) rows out of the engine — the expensive
+        path pushdown avoids."""
+        meta = self.soe.catalog.table(self.table)
+        collected: list[tuple] = []
+        for node_id in self.soe.worker_ids:
+            store = self.soe.data_nodes[node_id].store
+            seen = self.soe.catalog.partitions_on(self.table, node_id)
+            for partition_id in seen:
+                partition = store.partition(self.table, partition_id)
+                for row in partition.rows():
+                    if self._matches(row, meta.columns):
+                        collected.append(row)
+        # de-duplicate replicas: keep first copy per partition only
+        return Rdd.from_iterable(self._dedup(collected, meta))
+
+    def _matches(self, row: tuple, columns: list[str]) -> bool:
+        for column, op, value in self.filters:
+            actual = row[columns.index(column)]
+            if actual is None:
+                return False
+            if op == "=" and not actual == value:
+                return False
+            if op == "<>" and not actual != value:
+                return False
+            if op == "<" and not actual < value:
+                return False
+            if op == "<=" and not actual <= value:
+                return False
+            if op == ">" and not actual > value:
+                return False
+            if op == ">=" and not actual >= value:
+                return False
+        return True
+
+    def _dedup(self, rows: list[tuple], meta: Any) -> list[tuple]:
+        if self.soe.replication <= 1:
+            return rows
+        seen: set[tuple] = set()
+        unique: list[tuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return unique
+
+
+def soe_table_rdd(soe: Any, table: str) -> SoeTableRdd:
+    """Entry point: wrap an SOE table as a pushdown-capable RDD."""
+    return SoeTableRdd(soe, table)

@@ -1,0 +1,149 @@
+"""A YARN-style resource manager: containers, applications, scheduling.
+
+The Hadoop ecosystem components "share ... the resource management
+services (Yarn)" (§I.A), and Figure 4 runs the SOE "within YARN stack".
+The manager tracks per-node container capacity, grants containers to
+applications (FIFO with locality preference), and releases them on task
+completion. The MapReduce runner and the SOE-on-Hadoop deployment both
+allocate through it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import YarnError
+
+
+@dataclass(frozen=True)
+class Container:
+    """One granted execution slot."""
+
+    container_id: int
+    node_id: str
+    application_id: int
+
+
+@dataclass
+class Application:
+    """A registered application and its accounting."""
+
+    application_id: int
+    name: str
+    containers: set[int] = field(default_factory=set)
+    state: str = "RUNNING"  # RUNNING | FINISHED | KILLED
+
+
+class ResourceManager:
+    """Grants containers against per-node capacity."""
+
+    def __init__(self, node_capacity: dict[str, int]) -> None:
+        if not node_capacity:
+            raise YarnError("need at least one node")
+        self._capacity = dict(node_capacity)
+        self._used: dict[str, int] = {node: 0 for node in node_capacity}
+        self._applications: dict[int, Application] = {}
+        self._containers: dict[int, Container] = {}
+        self._app_ids = itertools.count(1)
+        self._container_ids = itertools.count(1)
+        #: FIFO of (application_id, preferred_node) waiting for capacity
+        self._pending: deque[tuple[int, str | None]] = deque()
+        self.granted_local = 0
+        self.granted_remote = 0
+
+    # -- applications ------------------------------------------------------------
+
+    def submit_application(self, name: str) -> Application:
+        application = Application(next(self._app_ids), name)
+        self._applications[application.application_id] = application
+        return application
+
+    def application(self, application_id: int) -> Application:
+        try:
+            return self._applications[application_id]
+        except KeyError:
+            raise YarnError(f"unknown application {application_id}") from None
+
+    def finish_application(self, application_id: int) -> None:
+        application = self.application(application_id)
+        for container_id in list(application.containers):
+            self.release(container_id)
+        application.state = "FINISHED"
+
+    # -- containers ---------------------------------------------------------------
+
+    def available(self, node_id: str) -> int:
+        return self._capacity[node_id] - self._used[node_id]
+
+    def total_available(self) -> int:
+        return sum(self.available(node) for node in self._capacity)
+
+    def allocate(
+        self, application_id: int, preferred_node: str | None = None
+    ) -> Container | None:
+        """Grant one container, preferring ``preferred_node`` (data
+        locality); returns ``None`` and queues the request when the cluster
+        is full."""
+        application = self.application(application_id)
+        if application.state != "RUNNING":
+            raise YarnError(f"application {application_id} is {application.state}")
+        node_id = self._pick_node(preferred_node)
+        if node_id is None:
+            self._pending.append((application_id, preferred_node))
+            return None
+        if preferred_node is not None:
+            if node_id == preferred_node:
+                self.granted_local += 1
+            else:
+                self.granted_remote += 1
+        self._used[node_id] += 1
+        container = Container(next(self._container_ids), node_id, application_id)
+        self._containers[container.container_id] = container
+        application.containers.add(container.container_id)
+        return container
+
+    def _pick_node(self, preferred_node: str | None) -> str | None:
+        if preferred_node is not None and preferred_node in self._capacity:
+            if self.available(preferred_node) > 0:
+                return preferred_node
+        candidates = [node for node in self._capacity if self.available(node) > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda node: self.available(node))
+
+    def release(self, container_id: int) -> None:
+        container = self._containers.pop(container_id, None)
+        if container is None:
+            raise YarnError(f"unknown container {container_id}")
+        self._used[container.node_id] -= 1
+        self._applications[container.application_id].containers.discard(container_id)
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        requeue: deque[tuple[int, str | None]] = deque()
+        while self._pending:
+            application_id, preferred = self._pending.popleft()
+            application = self._applications.get(application_id)
+            if application is None or application.state != "RUNNING":
+                continue
+            granted = self.allocate(application_id, preferred)
+            if granted is None:
+                # allocate() re-queued it; stop to avoid spinning
+                break
+        self._pending.extend(requeue)
+
+    # -- stats -----------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "capacity": dict(self._capacity),
+            "used": dict(self._used),
+            "pending": len(self._pending),
+            "applications": len(self._applications),
+            "locality": {
+                "local": self.granted_local,
+                "remote": self.granted_remote,
+            },
+        }

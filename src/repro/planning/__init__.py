@@ -1,0 +1,6 @@
+"""Planning extensions: disaggregation, versions, copy."""
+
+from repro.planning.disaggregation import aggregate_up, disaggregate, disaggregate_hierarchy
+from repro.planning.versions import PlanningCube
+
+__all__ = ["aggregate_up", "disaggregate", "disaggregate_hierarchy", "PlanningCube"]

@@ -1,0 +1,116 @@
+"""Planning operators: disaggregation and aggregation (§II.D).
+
+"The planning process requires heavy CPU based database functionality like
+disaggregation or copy processes" — these are the in-engine operators the
+paper says the research community overlooks. :func:`disaggregate` splits a
+parent-level target across leaf cells (proportionally to reference
+weights, or equally), with exact-sum rounding; :func:`aggregate_up` is its
+inverse over a hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.engines.graph.hierarchy import HierarchyView
+from repro.errors import PlanningError
+
+CellKey = Hashable
+
+
+def disaggregate(
+    total: float,
+    weights: Mapping[CellKey, float],
+    method: str = "proportional",
+    decimals: int | None = 2,
+) -> dict[CellKey, float]:
+    """Split ``total`` across the keys of ``weights``.
+
+    * ``proportional`` — shares follow the (non-negative) weights; when all
+      weights are zero it falls back to equal shares.
+    * ``equal`` — uniform split ignoring weight values.
+
+    With ``decimals`` set, results are rounded and the rounding residue is
+    assigned by largest remainder so the parts sum to ``total`` exactly —
+    the property planning applications require.
+    """
+    if not weights:
+        raise PlanningError("cannot disaggregate over zero cells")
+    if method not in ("proportional", "equal"):
+        raise PlanningError(f"unknown disaggregation method {method!r}")
+    keys = list(weights)
+    if method == "equal":
+        raw_shares = {key: 1.0 for key in keys}
+    else:
+        if any(weight < 0 for weight in weights.values()):
+            raise PlanningError("weights must be non-negative")
+        raw_shares = dict(weights)
+    weight_sum = sum(raw_shares.values())
+    if weight_sum == 0.0:
+        raw_shares = {key: 1.0 for key in keys}
+        weight_sum = float(len(keys))
+
+    # divide the share first: avoids underflow when weights are subnormal
+    exact = {key: total * (raw_shares[key] / weight_sum) for key in keys}
+    if decimals is None:
+        return exact
+
+    factor = 10**decimals
+    floored = {key: int(value * factor + 1e-9) if value >= 0 else -int(-value * factor + 1e-9) for key, value in exact.items()}
+    target_units = round(total * factor)
+    residue = target_units - sum(floored.values())
+    step = 1 if residue >= 0 else -1
+    # rounding residue goes to weighted cells only, by largest remainder
+    eligible = [key for key in keys if raw_shares[key] > 0] or keys
+    remainders = sorted(
+        eligible,
+        key=lambda key: (exact[key] * factor - floored[key]) * step,
+        reverse=True,
+    )
+    for index in range(abs(int(residue))):
+        floored[remainders[index % len(remainders)]] += step
+    return {key: units / factor for key, units in floored.items()}
+
+
+def disaggregate_hierarchy(
+    hierarchy: HierarchyView,
+    node: CellKey,
+    total: float,
+    leaf_weights: Mapping[CellKey, float],
+    decimals: int | None = 2,
+) -> dict[CellKey, float]:
+    """Disaggregate a target at ``node`` across its leaf descendants."""
+    leaves = [
+        member
+        for member in ([node] + hierarchy.descendants(node))
+        if not hierarchy.children(member)
+    ]
+    if not leaves:
+        raise PlanningError(f"node {node!r} has no leaves")
+    weights = {leaf: float(leaf_weights.get(leaf, 0.0)) for leaf in leaves}
+    return disaggregate(total, weights, decimals=decimals)
+
+
+def aggregate_up(
+    hierarchy: HierarchyView, leaf_values: Mapping[CellKey, float]
+) -> dict[CellKey, float]:
+    """Roll leaf values up to every node of the hierarchy."""
+    totals: dict[CellKey, float] = {}
+
+    def value_of(node: CellKey) -> float:
+        cached = totals.get(node)
+        if cached is not None:
+            return cached
+        children = hierarchy.children(node)
+        if not children:
+            result = float(leaf_values.get(node, 0.0))
+        else:
+            result = sum(value_of(child) for child in children)
+        totals[node] = result
+        return result
+
+    for root in hierarchy.roots():
+        value_of(root)
+        for descendant in hierarchy.descendants(root):
+            value_of(descendant)
+    return totals

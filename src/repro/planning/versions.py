@@ -1,0 +1,153 @@
+"""Planning versions: logical snapshots and copy operations (§II.D).
+
+"Providing logical snapshots or versioning and other operators" — a
+:class:`PlanningCube` holds leaf cells keyed by coordinate tuples; each
+version is copy-on-write over its parent, so "copy actuals into plan,
+branch a what-if scenario, compare" costs memory proportional to the edits
+made, not to the cube size.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import PlanningError
+
+Coordinate = tuple[Hashable, ...]
+
+_DELETED = object()
+
+
+class PlanningCube:
+    """Versioned cell store for planning data."""
+
+    def __init__(self, name: str, dimensions: Iterable[str]) -> None:
+        self.name = name
+        self.dimensions = tuple(dimensions)
+        if not self.dimensions:
+            raise PlanningError("a cube needs at least one dimension")
+        #: version -> (parent version | None, overrides)
+        self._versions: dict[str, tuple[str | None, dict[Coordinate, object]]] = {
+            "actuals": (None, {})
+        }
+
+    # -- versions -------------------------------------------------------------
+
+    @property
+    def versions(self) -> list[str]:
+        return sorted(self._versions)
+
+    def create_version(self, name: str, from_version: str = "actuals") -> None:
+        """Branch a new version (logical snapshot) off an existing one."""
+        if name in self._versions:
+            raise PlanningError(f"version {name!r} already exists")
+        if from_version not in self._versions:
+            raise PlanningError(f"unknown version {from_version!r}")
+        self._versions[name] = (from_version, {})
+
+    def drop_version(self, name: str) -> None:
+        if name == "actuals":
+            raise PlanningError("cannot drop the actuals version")
+        if any(parent == name for parent, _d in self._versions.values()):
+            raise PlanningError(f"version {name!r} has dependent versions")
+        if self._versions.pop(name, None) is None:
+            raise PlanningError(f"unknown version {name!r}")
+
+    def _require(self, version: str) -> None:
+        if version not in self._versions:
+            raise PlanningError(f"unknown version {version!r}")
+
+    # -- cell access ---------------------------------------------------------------
+
+    def _check_key(self, key: Coordinate) -> Coordinate:
+        if len(key) != len(self.dimensions):
+            raise PlanningError(
+                f"coordinate {key!r} does not match dimensions {self.dimensions}"
+            )
+        return tuple(key)
+
+    def set(self, version: str, key: Coordinate, value: float) -> None:
+        self._require(version)
+        self._versions[version][1][self._check_key(key)] = float(value)
+
+    def delete(self, version: str, key: Coordinate) -> None:
+        self._require(version)
+        self._versions[version][1][self._check_key(key)] = _DELETED
+
+    def get(self, version: str, key: Coordinate, default: float = 0.0) -> float:
+        self._require(version)
+        key = self._check_key(key)
+        cursor: str | None = version
+        while cursor is not None:
+            parent, overrides = self._versions[cursor]
+            if key in overrides:
+                value = overrides[key]
+                return default if value is _DELETED else float(value)  # type: ignore[arg-type]
+            cursor = parent
+        return default
+
+    def cells(self, version: str) -> dict[Coordinate, float]:
+        """All materialised cells of a version."""
+        self._require(version)
+        chain: list[dict[Coordinate, object]] = []
+        cursor: str | None = version
+        while cursor is not None:
+            parent, overrides = self._versions[cursor]
+            chain.append(overrides)
+            cursor = parent
+        resolved: dict[Coordinate, float] = {}
+        for overrides in reversed(chain):
+            for key, value in overrides.items():
+                if value is _DELETED:
+                    resolved.pop(key, None)
+                else:
+                    resolved[key] = float(value)  # type: ignore[arg-type]
+        return resolved
+
+    def override_count(self, version: str) -> int:
+        """How many cells this version stores itself (COW footprint)."""
+        self._require(version)
+        return len(self._versions[version][1])
+
+    # -- planning operators -------------------------------------------------------------
+
+    def copy_cells(
+        self,
+        source_version: str,
+        target_version: str,
+        scale: float = 1.0,
+        where: Mapping[int, Hashable] | None = None,
+    ) -> int:
+        """The copy operator: source cells → target, optionally scaled and
+        restricted to coordinates matching ``where`` (dimension index →
+        required member). Returns the number of cells written."""
+        self._require(target_version)
+        count = 0
+        for key, value in self.cells(source_version).items():
+            if where and any(key[dim] != member for dim, member in where.items()):
+                continue
+            self.set(target_version, key, value * scale)
+            count += 1
+        return count
+
+    def total(self, version: str, where: Mapping[int, Hashable] | None = None) -> float:
+        """Aggregate over the version's cells."""
+        return sum(
+            value
+            for key, value in self.cells(version).items()
+            if not where or all(key[dim] == member for dim, member in where.items())
+        )
+
+    def compare(
+        self, version_a: str, version_b: str
+    ) -> dict[Coordinate, tuple[float, float]]:
+        """Cells that differ: key -> (value in a, value in b)."""
+        cells_a = self.cells(version_a)
+        cells_b = self.cells(version_b)
+        differences: dict[Coordinate, tuple[float, float]] = {}
+        for key in set(cells_a) | set(cells_b):
+            left = cells_a.get(key, 0.0)
+            right = cells_b.get(key, 0.0)
+            if left != right:
+                differences[key] = (left, right)
+        return differences

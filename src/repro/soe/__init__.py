@@ -1,0 +1,5 @@
+"""The Scale-Out Extension (SOE): Figure 3's service landscape."""
+
+from repro.soe.engine import SoeEngine
+
+__all__ = ["SoeEngine"]

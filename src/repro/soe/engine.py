@@ -1,0 +1,224 @@
+"""The SOE facade: deploy a whole scale-out landscape in one call.
+
+Wires together every Figure 3 component — cluster, shared log, transaction
+broker (v2transact), catalog + data discovery (v2catalog), discovery/auth
+(v2disc&auth), query/data services (v2lqp), coordinator (v2dqp), cluster
+manager + statistics (v2clustermgr / v2stats) — and exposes the user-level
+operations: create table, bulk import (prepackaged partitions), insert
+through the log, aggregate and join queries with strategy and consistency
+choices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import SoeError
+from repro.soe.cluster import NetworkModel, SimulatedCluster
+from repro.soe.partitions import hash_partition_rows
+from repro.soe.replication import DataNode, make_delete, make_insert
+from repro.soe.services.catalog_service import CatalogService, SoeTableMeta
+from repro.soe.services.cluster_manager import (
+    ClusterManager,
+    ClusterStatisticsService,
+)
+from repro.soe.services.coordinator import (
+    AggregateQuery,
+    Coordinator,
+    JoinQuery,
+    PlanCost,
+)
+from repro.soe.services.discovery import AuthorizationService, DiscoveryService
+from repro.soe.services.query_service import QueryService
+from repro.soe.services.shared_log import SharedLog
+from repro.soe.services.transaction_broker import TransactionBroker
+from repro.soe.tasks import AggregateSpec, Filter
+
+
+class SoeEngine:
+    """One deployed SOE landscape."""
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        node_modes: Sequence[str] | str = "olap",
+        log_stripes: int = 2,
+        log_replication: int = 2,
+        replication: int = 1,
+        network: NetworkModel | None = None,
+        log_store_factory: Any = None,
+    ) -> None:
+        if node_count < 1:
+            raise SoeError("need at least one node")
+        self.cluster = SimulatedCluster(network=network or NetworkModel())
+        self.log = SharedLog(
+            stripes=log_stripes,
+            replication=log_replication,
+            store_factory=log_store_factory,
+        )
+        self.broker = TransactionBroker(self.log)
+        self.catalog = CatalogService()
+        self.discovery = DiscoveryService()
+        self.auth = AuthorizationService()
+        self.stats = ClusterStatisticsService()
+        self.manager = ClusterManager(
+            self.cluster, self.catalog, self.discovery, self.stats
+        )
+        self.replication = replication
+
+        modes = (
+            [node_modes] * node_count
+            if isinstance(node_modes, str)
+            else list(node_modes)
+        )
+        if len(modes) != node_count:
+            raise SoeError("node_modes length must equal node_count")
+
+        coordinator_node = self.cluster.add_node("coordinator")
+        self.coordinator = Coordinator(
+            node_id=coordinator_node.node_id,
+            cluster=self.cluster,
+            catalog=self.catalog,
+            broker=self.broker,
+        )
+        coordinator_node.host("v2dqp", self.coordinator)
+        self.discovery.announce("v2dqp", coordinator_node.node_id)
+        coordinator_node.host("v2transact", self.broker)
+        self.discovery.announce("v2transact", coordinator_node.node_id)
+        coordinator_node.host("v2catalog", self.catalog)
+        self.discovery.announce("v2catalog", coordinator_node.node_id)
+        coordinator_node.host("v2disc&auth", (self.discovery, self.auth))
+        coordinator_node.host("v2clustermgr", self.manager)
+
+        self.data_nodes: dict[str, DataNode] = {}
+        for index in range(node_count):
+            node = self.cluster.add_node(f"worker{index}")
+            data_node = DataNode(node.node_id, self.broker, mode=modes[index])
+            service = QueryService(node.node_id, data_node)
+            self.manager.start_service(node.node_id, "v2lqp", service)
+            self.coordinator.register_query_service(service)
+            self.data_nodes[node.node_id] = data_node
+
+    # -- DDL / load ---------------------------------------------------------------
+
+    @property
+    def worker_ids(self) -> list[str]:
+        return sorted(self.data_nodes)
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        key_columns: Sequence[str],
+        partition_count: int | None = None,
+    ) -> SoeTableMeta:
+        """Register a hash-partitioned SOE table."""
+        if partition_count is None:
+            partition_count = 2 * len(self.data_nodes)
+        meta = SoeTableMeta(
+            name=name.lower(),
+            columns=[c.lower() for c in columns],
+            key_columns=[c.lower() for c in key_columns],
+            partition_count=partition_count,
+        )
+        self.catalog.register_table(meta)
+        return meta
+
+    def load(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk import: build prepackaged partitions and distribute them
+        round-robin (with ``replication`` replicas per partition)."""
+        meta = self.catalog.table(table.lower())
+        partitions = hash_partition_rows(
+            rows, meta.columns, meta.key_positions, meta.partition_count, meta.name
+        )
+        workers = self.worker_ids
+        for partition in partitions:
+            for replica in range(self.replication):
+                node_id = workers[(partition.partition_id + replica) % len(workers)]
+                clone_payload = partition.to_payload()
+                from repro.soe.partitions import PrepackagedPartition
+
+                clone = PrepackagedPartition.from_payload(clone_payload)
+                self.data_nodes[node_id].own(
+                    meta.name, [clone], meta.key_positions, meta.partition_count
+                )
+                self.catalog.place_partition(meta.name, partition.partition_id, node_id)
+        return len(rows)
+
+    # -- writes through the log ---------------------------------------------------------
+
+    def insert(self, table: str, rows: list[list[Any]]) -> int:
+        """Commit an insert transaction via the broker; returns its LSN."""
+        self.catalog.table(table.lower())
+        return self.broker.submit([make_insert(table.lower(), rows)])
+
+    def delete(self, table: str, column: str, value: Any) -> int:
+        """Commit a delete-by-value transaction; returns its LSN."""
+        self.catalog.table(table.lower())
+        return self.broker.submit([make_delete(table.lower(), column, value)])
+
+    def catch_up_all(self) -> int:
+        """Force every OLAP node to apply the full log."""
+        return sum(
+            node.catch_up()
+            for node in self.data_nodes.values()
+            if node.mode == "olap"
+        )
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        table: str,
+        group_by: Sequence[str] = (),
+        aggregates: Sequence[tuple[str, str | None]] = (("count", None),),
+        filters: Sequence[tuple[str, str, Any]] = (),
+        consistency: str = "eventual",
+    ) -> tuple[list[list[Any]], PlanCost]:
+        query = AggregateQuery(
+            table=table.lower(),
+            group_by=tuple(c.lower() for c in group_by),
+            aggregates=tuple(AggregateSpec(op, col) for op, col in aggregates),
+            filters=tuple(Filter(*f) for f in filters),
+            consistency=consistency,
+        )
+        return self.coordinator.run_aggregate(query)
+
+    def join(
+        self,
+        fact_table: str,
+        dim_table: str,
+        fact_key: str,
+        dim_key: str,
+        group_column: str,
+        aggregates: Sequence[tuple[str, str | None]],
+        strategy: str = "auto",
+        consistency: str = "eventual",
+    ) -> tuple[list[list[Any]], PlanCost]:
+        query = JoinQuery(
+            fact_table=fact_table.lower(),
+            dim_table=dim_table.lower(),
+            fact_key=fact_key.lower(),
+            dim_key=dim_key.lower(),
+            group_column=group_column.lower(),
+            aggregates=tuple(AggregateSpec(op, col) for op, col in aggregates),
+            strategy=strategy,
+            consistency=consistency,
+        )
+        return self.coordinator.run_join(query)
+
+    # -- monitoring ---------------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """The landscape's monitoring snapshot."""
+        return {
+            "nodes": len(self.cluster.nodes),
+            "log_tail": self.log.tail,
+            "log_stripes": self.log.stripe_lengths(),
+            "transactions": self.broker.transactions,
+            "network": self.cluster.stats.snapshot(),
+            "stats": self.stats.snapshot(),
+            "staleness": {
+                node_id: node.staleness() for node_id, node in self.data_nodes.items()
+            },
+        }

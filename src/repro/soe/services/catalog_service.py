@@ -1,0 +1,91 @@
+"""v2catalog: schema catalog + data discovery (§IV.B, Figure 3).
+
+"A catalog service stores and provides schema and metadata information, a
+data discovery service keeps track of the location of the corresponding
+horizontal table partitions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CoordinationError
+
+
+@dataclass
+class SoeTableMeta:
+    """Schema + partitioning metadata of one SOE table."""
+
+    name: str
+    columns: list[str]
+    key_columns: list[str]
+    partition_count: int
+
+    @property
+    def key_positions(self) -> list[int]:
+        return [self.columns.index(column) for column in self.key_columns]
+
+
+@dataclass
+class CatalogService:
+    """Schemas plus partition → hosting-node discovery."""
+
+    _tables: dict[str, SoeTableMeta] = field(default_factory=dict)
+    #: (table, partition_id) -> node ids hosting a replica
+    _placement: dict[tuple[str, int], list[str]] = field(default_factory=dict)
+
+    # -- schema -------------------------------------------------------------
+
+    def register_table(self, meta: SoeTableMeta) -> None:
+        if meta.name in self._tables:
+            raise CoordinationError(f"SOE table {meta.name!r} already exists")
+        self._tables[meta.name] = meta
+
+    def table(self, name: str) -> SoeTableMeta:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CoordinationError(f"unknown SOE table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- data discovery ----------------------------------------------------------
+
+    def place_partition(self, table: str, partition_id: int, node_id: str) -> None:
+        nodes = self._placement.setdefault((table, partition_id), [])
+        if node_id not in nodes:
+            nodes.append(node_id)
+
+    def unplace_partition(self, table: str, partition_id: int, node_id: str) -> None:
+        nodes = self._placement.get((table, partition_id), [])
+        if node_id in nodes:
+            nodes.remove(node_id)
+
+    def nodes_of(self, table: str, partition_id: int) -> list[str]:
+        nodes = self._placement.get((table, partition_id))
+        if not nodes:
+            raise CoordinationError(
+                f"partition {table}#{partition_id} is not placed anywhere"
+            )
+        return list(nodes)
+
+    def placement_of(self, table: str) -> dict[int, list[str]]:
+        """partition id → hosting nodes, for every *placed* partition."""
+        self.table(table)
+        return {
+            partition_id: list(nodes)
+            for (t, partition_id), nodes in sorted(self._placement.items())
+            if t == table and nodes
+        }
+
+    def partitions_on(self, table: str, node_id: str) -> list[int]:
+        """Partition ids of ``table`` hosted on ``node_id``."""
+        return sorted(
+            partition_id
+            for (t, partition_id), nodes in self._placement.items()
+            if t == table and node_id in nodes
+        )

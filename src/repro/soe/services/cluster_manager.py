@@ -1,0 +1,139 @@
+"""v2clustermgr + v2stats: supervision, statistics, rebalancing (§IV.B).
+
+"The overall supervision and configuration of the cluster is done by a
+cluster management service. This service can dynamically start and stop
+other query processing services as well as orchestrate data movement. It
+can access statistical information about the current cluster usage in
+order to identify hotspots or to monitor performance goals."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ClusterError
+from repro.soe.cluster import SimulatedCluster
+from repro.soe.partitions import PrepackagedPartition
+from repro.soe.services.catalog_service import CatalogService
+from repro.soe.services.discovery import DiscoveryService
+from repro.soe.services.query_service import QueryService
+
+
+@dataclass
+class ClusterStatisticsService:
+    """v2stats: per-node usage counters."""
+
+    query_services: dict[str, QueryService] = field(default_factory=dict)
+
+    def register(self, service: QueryService) -> None:
+        self.query_services[service.node_id] = service
+
+    def node_load(self) -> dict[str, int]:
+        """Rows processed per node since start."""
+        return {
+            node_id: service.rows_processed
+            for node_id, service in self.query_services.items()
+        }
+
+    def hotspots(self, factor: float = 2.0) -> list[str]:
+        """Nodes whose load exceeds ``factor`` × mean load."""
+        loads = self.node_load()
+        if not loads:
+            return []
+        mean = sum(loads.values()) / len(loads)
+        if mean == 0:
+            return []
+        return sorted(
+            node_id for node_id, load in loads.items() if load > factor * mean
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "node_load": self.node_load(),
+            "tasks": {
+                node_id: service.tasks_executed
+                for node_id, service in self.query_services.items()
+            },
+        }
+
+
+@dataclass
+class ClusterManager:
+    """v2clustermgr: start/stop services and orchestrate data movement."""
+
+    cluster: SimulatedCluster
+    catalog: CatalogService
+    discovery: DiscoveryService
+    stats: ClusterStatisticsService = field(default_factory=ClusterStatisticsService)
+
+    def start_service(self, node_id: str, service_kind: str, service: Any) -> None:
+        """Host a service on a node and announce it."""
+        node = self.cluster.node(node_id)
+        node.host(service_kind, service)
+        self.discovery.announce(service_kind, node_id)
+        if isinstance(service, QueryService):
+            self.stats.register(service)
+
+    def stop_service(self, node_id: str, service_kind: str) -> None:
+        node = self.cluster.node(node_id)
+        if service_kind not in node.services:
+            raise ClusterError(f"node {node_id} hosts no {service_kind!r}")
+        del node.services[service_kind]
+        self.discovery.withdraw(service_kind, node_id)
+
+    def move_partition(
+        self,
+        table: str,
+        partition_id: int,
+        source_node: str,
+        target_node: str,
+    ) -> float:
+        """Ship one prepackaged partition between nodes; returns the
+        simulated transfer seconds (this is the "fast distribution of the
+        data when scaling out" path — the partition travels as one
+        payload)."""
+        source = self.cluster.node(source_node).service("v2lqp")
+        target = self.cluster.node(target_node).service("v2lqp")
+        partition = source.data_node.store.remove(table, partition_id)
+        if partition is None:
+            raise ClusterError(
+                f"{source_node} does not host {table}#{partition_id}"
+            )
+        payload = partition.to_payload()
+        seconds = self.cluster.transfer(
+            source_node, target_node, partition.size_bytes()
+        )
+        target.data_node.store.install(PrepackagedPartition.from_payload(payload))
+        source.data_node._ownership[table][0].discard(partition_id)
+        target_ownership = target.data_node._ownership.setdefault(
+            table,
+            (set(), *source.data_node._ownership[table][1:]),
+        )
+        target_ownership[0].add(partition_id)
+        self.catalog.unplace_partition(table, partition_id, source_node)
+        self.catalog.place_partition(table, partition_id, target_node)
+        return seconds
+
+    def rebalance(self, table: str) -> list[tuple[int, str, str]]:
+        """Greedy move partitions from the most- to the least-loaded node.
+
+        Returns the moves performed as (partition id, source, target).
+        """
+        placement = self.catalog.placement_of(table)
+        count_per_node: dict[str, list[int]] = {}
+        for partition_id, nodes in placement.items():
+            count_per_node.setdefault(nodes[0], []).append(partition_id)
+        for node_id in self.discovery.locate("v2lqp"):
+            count_per_node.setdefault(node_id, [])
+        moves: list[tuple[int, str, str]] = []
+        while True:
+            most = max(count_per_node, key=lambda n: len(count_per_node[n]))
+            least = min(count_per_node, key=lambda n: len(count_per_node[n]))
+            if len(count_per_node[most]) - len(count_per_node[least]) <= 1:
+                break
+            partition_id = count_per_node[most].pop()
+            self.move_partition(table, partition_id, most, least)
+            count_per_node[least].append(partition_id)
+            moves.append((partition_id, most, least))
+        return moves

@@ -1,0 +1,433 @@
+"""v2dqp: the distributed query coordinator (§IV.B, Figure 3).
+
+Translates a query into a task DAG (see :mod:`repro.soe.tasks`), dispatches
+tasks to the query services hosting the partitions, charges every
+cross-node result transfer to the cluster's network model, and merges the
+partial results. "These plans can lead to strong speedup results compared
+to single machine execution ... if the plans are specifically tailored for
+a clustered execution in combination with efficient communication
+algorithms" [13] — hence the three join strategies (broadcast,
+repartition, co-located) whose communication volumes benchmark E7
+compares.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CoordinationError
+from repro.soe.cluster import SimulatedCluster
+from repro.soe.codegen import finalize_groups, merge_group_states
+from repro.soe.partitions import route_row
+from repro.soe.services.catalog_service import CatalogService
+from repro.soe.services.query_service import QueryService
+from repro.soe.services.transaction_broker import TransactionBroker
+from repro.soe.tasks import AggregateSpec, Filter, TaskDag
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """Scan + filter + group-by aggregation over one SOE table."""
+
+    table: str
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    filters: tuple[Filter, ...] = ()
+    consistency: str = "eventual"  # "eventual" | "strong"
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """Fact ⋈ dim with aggregation grouped by a dim column."""
+
+    fact_table: str
+    dim_table: str
+    fact_key: str
+    dim_key: str
+    group_column: str            # on the dim table
+    aggregates: tuple[AggregateSpec, ...]
+    strategy: str = "auto"       # auto | broadcast | repartition | colocated
+    consistency: str = "eventual"
+
+
+@dataclass
+class PlanCost:
+    """What a distributed plan cost."""
+
+    bytes_shipped: int = 0
+    messages: int = 0
+    simulated_network_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    tasks: int = 0
+    strategy: str = ""
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "bytes_shipped": float(self.bytes_shipped),
+            "messages": float(self.messages),
+            "simulated_network_seconds": self.simulated_network_seconds,
+            "wall_seconds": self.wall_seconds,
+            "tasks": float(self.tasks),
+            "strategy": self.strategy,
+        }
+
+
+@dataclass
+class Coordinator:
+    """The v2dqp service instance."""
+
+    node_id: str
+    cluster: SimulatedCluster
+    catalog: CatalogService
+    broker: TransactionBroker
+    query_services: dict[str, QueryService] = field(default_factory=dict)
+
+    def register_query_service(self, service: QueryService) -> None:
+        self.query_services[service.node_id] = service
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _assignments(self, table: str) -> dict[str, list[int]]:
+        """node id → partition ids it will scan (one replica per partition,
+        spread across live hosts)."""
+        placement = self.catalog.placement_of(table)
+        assignments: dict[str, list[int]] = {}
+        for partition_id, nodes in placement.items():
+            alive = [n for n in nodes if self.cluster.node(n).alive]
+            if not alive:
+                raise CoordinationError(
+                    f"no live replica of {table}#{partition_id}"
+                )
+            chosen = alive[partition_id % len(alive)]
+            assignments.setdefault(chosen, []).append(partition_id)
+        return assignments
+
+    def _ensure_fresh(self, tables: list[str], consistency: str) -> None:
+        """Strong consistency: ask the broker for "additional updates to be
+        considered" — force OLAP nodes serving the query to catch up."""
+        if consistency != "strong":
+            return
+        target = self.broker.current_lsn
+        involved: set[str] = set()
+        for table in tables:
+            involved.update(self._assignments(table))
+        for node_id in involved:
+            service = self.query_services[node_id]
+            if service.data_node.mode == "olap":
+                service.data_node.catch_up(target)
+
+    def _run_dag(self, dag: TaskDag, cost: PlanCost) -> dict[int, Any]:
+        results: dict[int, Any] = {}
+        for task in dag.topological_order():
+            inputs: dict[int, Any] = {}
+            for input_id in task.inputs:
+                producer = dag.tasks[input_id]
+                result = results[input_id]
+                payload = QueryService.result_bytes(result)
+                seconds = self.cluster.transfer(producer.node_id, task.node_id, payload)
+                if producer.node_id != task.node_id:
+                    cost.bytes_shipped += payload
+                    cost.messages += 1
+                    cost.simulated_network_seconds += seconds
+                inputs[input_id] = result
+            if task.kind in ("merge_aggregate", "collect"):
+                results[task.task_id] = [inputs[input_id] for input_id in task.inputs]
+            else:
+                service = self.query_services.get(task.node_id)
+                if service is None:
+                    raise CoordinationError(f"no query service on {task.node_id}")
+                results[task.task_id] = service.execute(task, inputs)
+            cost.tasks += 1
+        return results
+
+    # -- aggregate queries -----------------------------------------------------------
+
+    def run_aggregate(self, query: AggregateQuery) -> tuple[list[list[Any]], PlanCost]:
+        """Partial aggregation at the data, merge at the coordinator."""
+        started = time.perf_counter()
+        cost = PlanCost(strategy="partial-aggregate")
+        self._ensure_fresh([query.table], query.consistency)
+        dag = TaskDag()
+        partial_ids = []
+        for node_id, partition_ids in self._assignments(query.table).items():
+            task = dag.add(
+                "partial_aggregate",
+                node_id,
+                {
+                    "table": query.table,
+                    "partitions": partition_ids,
+                    "filters": list(query.filters),
+                    "group_by": list(query.group_by),
+                    "aggregates": list(query.aggregates),
+                },
+            )
+            partial_ids.append(task.task_id)
+        merge = dag.add("merge_aggregate", self.node_id, {}, partial_ids)
+        results = self._run_dag(dag, cost)
+        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+        rows = finalize_groups(merged, list(query.aggregates))
+        cost.wall_seconds = time.perf_counter() - started
+        return rows, cost
+
+    # -- join queries ---------------------------------------------------------------------
+
+    def run_join(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
+        strategy = query.strategy
+        if strategy == "auto":
+            strategy = self._choose_join_strategy(query)
+        self._ensure_fresh([query.fact_table, query.dim_table], query.consistency)
+        if strategy == "broadcast":
+            return self._join_broadcast(query)
+        if strategy == "repartition":
+            return self._join_repartition(query)
+        if strategy == "colocated":
+            return self._join_colocated(query)
+        raise CoordinationError(f"unknown join strategy {strategy!r}")
+
+    def _choose_join_strategy(self, query: JoinQuery) -> str:
+        fact_meta = self.catalog.table(query.fact_table)
+        dim_meta = self.catalog.table(query.dim_table)
+        co_partitioned = (
+            fact_meta.partition_count == dim_meta.partition_count
+            and fact_meta.key_columns == [query.fact_key]
+            and dim_meta.key_columns == [query.dim_key]
+        )
+        if co_partitioned and self._placement_aligned(query):
+            return "colocated"
+        dim_rows = self._table_rows(query.dim_table)
+        fact_rows = self._table_rows(query.fact_table)
+        return "broadcast" if dim_rows * 10 <= fact_rows else "repartition"
+
+    def _placement_aligned(self, query: JoinQuery) -> bool:
+        fact_nodes = self.catalog.placement_of(query.fact_table)
+        dim_nodes = self.catalog.placement_of(query.dim_table)
+        return all(
+            set(fact_nodes[pid]) & set(dim_nodes.get(pid, []))
+            for pid in fact_nodes
+        )
+
+    def _table_rows(self, table: str) -> int:
+        total = 0
+        for node_id, partition_ids in self._assignments(table).items():
+            store = self.query_services[node_id].data_node.store
+            total += sum(len(store.partition(table, pid)) for pid in partition_ids)
+        return total
+
+    def _dim_payload_columns(self, query: JoinQuery) -> list[str]:
+        return [query.group_column]
+
+    def _join_broadcast(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
+        """Gather the dim side once, broadcast it to every fact node."""
+        started = time.perf_counter()
+        cost = PlanCost(strategy="broadcast")
+        dag = TaskDag()
+        # 1. hash-build tasks on the dim hosts
+        build_ids = []
+        for node_id, partition_ids in self._assignments(query.dim_table).items():
+            task = dag.add(
+                "build_hash",
+                node_id,
+                {
+                    "table": query.dim_table,
+                    "partitions": partition_ids,
+                    "key_column": query.dim_key,
+                    "columns": self._dim_payload_columns(query),
+                },
+            )
+            build_ids.append(task.task_id)
+        # 2. gather at coordinator (transfers charged by the DAG runner)
+        gather = dag.add("collect", self.node_id, {}, build_ids)
+        results = self._run_dag(dag, cost)
+        full_hash: dict[Any, list[tuple]] = {}
+        for part in results[gather.task_id]:
+            for key, rows in part.items():
+                full_hash.setdefault(key, []).extend(rows)
+
+        # 3. broadcast + probe on each fact node
+        dag2 = TaskDag()
+        probe_ids = []
+        hash_bytes = QueryService.result_bytes(full_hash)
+        for node_id, partition_ids in self._assignments(query.fact_table).items():
+            seconds = self.cluster.transfer(self.node_id, node_id, hash_bytes)
+            if node_id != self.node_id:
+                cost.bytes_shipped += hash_bytes
+                cost.messages += 1
+                cost.simulated_network_seconds += seconds
+            virtual_input = dag2.add("collect", node_id, {})
+            probe = dag2.add(
+                "join_partial",
+                node_id,
+                {
+                    "table": query.fact_table,
+                    "partitions": partition_ids,
+                    "fact_key": query.fact_key,
+                    "group_from_dim": 0,
+                    "aggregates": list(query.aggregates),
+                },
+                [virtual_input.task_id],
+            )
+            probe_ids.append(probe.task_id)
+        # pre-seed virtual inputs with the broadcast hash (no extra charge)
+        results2: dict[int, Any] = {}
+        for task in dag2.topological_order():
+            if task.kind == "collect" and not task.inputs:
+                results2[task.task_id] = full_hash
+                continue
+            inputs = {input_id: results2[input_id] for input_id in task.inputs}
+            service = self.query_services[task.node_id]
+            results2[task.task_id] = service.execute(task, inputs)
+            cost.tasks += 1
+        partials = [results2[task_id] for task_id in probe_ids]
+        for task_id in probe_ids:
+            producer = dag2.tasks[task_id]
+            payload = QueryService.result_bytes(results2[task_id])
+            seconds = self.cluster.transfer(producer.node_id, self.node_id, payload)
+            if producer.node_id != self.node_id:
+                cost.bytes_shipped += payload
+                cost.messages += 1
+                cost.simulated_network_seconds += seconds
+        merged = merge_group_states(partials, list(query.aggregates))
+        rows = finalize_groups(merged, list(query.aggregates))
+        cost.wall_seconds = time.perf_counter() - started
+        return rows, cost
+
+    def _join_repartition(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
+        """Ship both sides hashed on the join key to worker nodes."""
+        started = time.perf_counter()
+        cost = PlanCost(strategy="repartition")
+        workers = sorted(self.query_services)
+        worker_count = len(workers)
+
+        def shuffle(table: str, key_column: str, columns: list[str]) -> list[dict[Any, list[tuple]]]:
+            dag = TaskDag()
+            ship_ids = []
+            for node_id, partition_ids in self._assignments(table).items():
+                task = dag.add(
+                    "scan_ship",
+                    node_id,
+                    {"table": table, "partitions": partition_ids, "columns": columns},
+                )
+                ship_ids.append((task.task_id, node_id))
+            results = self._run_dag(dag, cost)
+            buckets: list[dict[Any, list[tuple]]] = [dict() for _ in range(worker_count)]
+            key_position = columns.index(key_column)
+            for task_id, source_node in ship_ids:
+                rows = results[task_id]
+                per_worker_rows: list[list[tuple]] = [[] for _ in range(worker_count)]
+                for row in rows:
+                    bucket = route_row(row, [key_position], worker_count)
+                    per_worker_rows[bucket].append(row)
+                for bucket, bucket_rows in enumerate(per_worker_rows):
+                    if not bucket_rows:
+                        continue
+                    payload = sum(
+                        sum(len(v) + 1 if isinstance(v, str) else 8 for v in row)
+                        for row in bucket_rows
+                    )
+                    target_node = workers[bucket]
+                    seconds = self.cluster.transfer(source_node, target_node, payload)
+                    if source_node != target_node:
+                        cost.bytes_shipped += payload
+                        cost.messages += 1
+                        cost.simulated_network_seconds += seconds
+                    for row in bucket_rows:
+                        buckets[bucket].setdefault(row[key_position], []).append(row)
+            return buckets
+
+        agg_columns = [a.column for a in query.aggregates if a.column is not None]
+        fact_columns = [query.fact_key] + agg_columns
+        dim_columns = [query.dim_key, query.group_column]
+        fact_buckets = shuffle(query.fact_table, query.fact_key, fact_columns)
+        dim_buckets = shuffle(query.dim_table, query.dim_key, dim_columns)
+
+        # local join + aggregate per worker bucket, merge at coordinator
+        partials = []
+        for bucket_index in range(worker_count):
+            groups: dict[tuple, list[Any]] = {}
+            dim_bucket = dim_buckets[bucket_index]
+            for key, fact_rows in fact_buckets[bucket_index].items():
+                dim_rows = dim_bucket.get(key)
+                if not dim_rows:
+                    continue
+                for dim_row in dim_rows:
+                    group_key = (dim_row[1],)
+                    for fact_row in fact_rows:
+                        states = groups.get(group_key)
+                        if states is None:
+                            states = [
+                                0 if a.op == "count" else [0.0, 0] if a.op == "avg" else None
+                                for a in query.aggregates
+                            ]
+                            groups[group_key] = states
+                        value_cursor = 1
+                        for index, aggregate in enumerate(query.aggregates):
+                            if aggregate.op == "count" and aggregate.column is None:
+                                states[index] += 1
+                                continue
+                            value = fact_row[value_cursor]
+                            value_cursor += 1
+                            if value is None:
+                                continue
+                            if aggregate.op == "sum":
+                                states[index] = value if states[index] is None else states[index] + value
+                            elif aggregate.op == "count":
+                                states[index] += 1
+                            elif aggregate.op == "avg":
+                                states[index][0] += value
+                                states[index][1] += 1
+                            elif aggregate.op == "min":
+                                states[index] = value if states[index] is None or value < states[index] else states[index]
+                            elif aggregate.op == "max":
+                                states[index] = value if states[index] is None or value > states[index] else states[index]
+            partials.append(groups)
+            payload = QueryService.result_bytes(groups)
+            seconds = self.cluster.transfer(workers[bucket_index], self.node_id, payload)
+            if workers[bucket_index] != self.node_id:
+                cost.bytes_shipped += payload
+                cost.messages += 1
+                cost.simulated_network_seconds += seconds
+        merged = merge_group_states(partials, list(query.aggregates))
+        rows = finalize_groups(merged, list(query.aggregates))
+        cost.wall_seconds = time.perf_counter() - started
+        return rows, cost
+
+    def _join_colocated(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
+        """Both sides hash-partitioned on the join key with aligned
+        placement: join entirely node-locally, ship only partial states."""
+        started = time.perf_counter()
+        cost = PlanCost(strategy="colocated")
+        fact_assign = self._assignments(query.fact_table)
+        dag = TaskDag()
+        probe_ids = []
+        for node_id, partition_ids in fact_assign.items():
+            build = dag.add(
+                "build_hash",
+                node_id,
+                {
+                    "table": query.dim_table,
+                    "partitions": partition_ids,
+                    "key_column": query.dim_key,
+                    "columns": self._dim_payload_columns(query),
+                },
+            )
+            probe = dag.add(
+                "join_partial",
+                node_id,
+                {
+                    "table": query.fact_table,
+                    "partitions": partition_ids,
+                    "fact_key": query.fact_key,
+                    "group_from_dim": 0,
+                    "aggregates": list(query.aggregates),
+                },
+                [build.task_id],
+            )
+            probe_ids.append(probe.task_id)
+        merge = dag.add("merge_aggregate", self.node_id, {}, probe_ids)
+        results = self._run_dag(dag, cost)
+        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+        rows = finalize_groups(merged, list(query.aggregates))
+        cost.wall_seconds = time.perf_counter() - started
+        return rows, cost

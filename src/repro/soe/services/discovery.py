@@ -1,0 +1,75 @@
+"""v2disc&auth: cluster discovery + authorization (§IV.B, Figure 3).
+
+"An authorization and a cluster discovery service are bundled together to
+store cluster access rights and keep track of availability of services
+across the cluster."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class DiscoveryService:
+    """Service registry: which nodes host which service kind."""
+
+    _services: dict[str, list[str]] = field(default_factory=dict)
+
+    def announce(self, service_kind: str, node_id: str) -> None:
+        nodes = self._services.setdefault(service_kind, [])
+        if node_id not in nodes:
+            nodes.append(node_id)
+
+    def withdraw(self, service_kind: str, node_id: str) -> None:
+        nodes = self._services.get(service_kind, [])
+        if node_id in nodes:
+            nodes.remove(node_id)
+
+    def locate(self, service_kind: str) -> list[str]:
+        """Node ids currently announcing ``service_kind``."""
+        return list(self._services.get(service_kind, []))
+
+    def locate_one(self, service_kind: str) -> str:
+        nodes = self.locate(service_kind)
+        if not nodes:
+            raise ClusterError(f"no node announces service {service_kind!r}")
+        return nodes[0]
+
+    def service_kinds(self) -> list[str]:
+        return sorted(self._services)
+
+
+@dataclass
+class AuthorizationService:
+    """Credentials and access-rights store (deliberately simple ACLs)."""
+
+    _grants: dict[str, set[str]] = field(default_factory=dict)
+    _credentials: dict[str, str] = field(default_factory=dict)
+
+    def create_user(self, user: str, secret: str) -> None:
+        if user in self._credentials:
+            raise ClusterError(f"user {user!r} already exists")
+        self._credentials[user] = secret
+        self._grants.setdefault(user, set())
+
+    def authenticate(self, user: str, secret: str) -> bool:
+        return self._credentials.get(user) == secret
+
+    def grant(self, user: str, action: str) -> None:
+        if user not in self._credentials:
+            raise ClusterError(f"unknown user {user!r}")
+        self._grants.setdefault(user, set()).add(action)
+
+    def revoke(self, user: str, action: str) -> None:
+        self._grants.get(user, set()).discard(action)
+
+    def check(self, user: str, action: str) -> bool:
+        grants = self._grants.get(user, set())
+        return action in grants or "*" in grants
+
+    def require(self, user: str, action: str) -> None:
+        if not self.check(user, action):
+            raise ClusterError(f"user {user!r} is not authorised for {action!r}")

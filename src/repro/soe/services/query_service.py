@@ -1,0 +1,172 @@
+"""v2lqp: the local query-processing executable (§IV.B, Figure 3).
+
+"At the core is the SAP HANA SOE local query processing executable (v2lqp)
+which contains a query and a data service." The query service executes
+coordinator tasks against the node-local prepackaged partitions, compiling
+each task's kernel first (see :mod:`repro.soe.codegen`); the data service
+(:class:`~repro.soe.replication.DataNode`) owns the partitions and applies
+the shared log.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CoordinationError
+from repro.soe.codegen import (
+    GroupStates,
+    estimate_states_bytes,
+    run_partial_aggregate,
+)
+from repro.soe.replication import DataNode
+from repro.soe.tasks import AggregateSpec, Filter, Task
+
+
+class QueryService:
+    """Executes tasks on one node's local data."""
+
+    def __init__(self, node_id: str, data_node: DataNode) -> None:
+        self.node_id = node_id
+        self.data_node = data_node
+        self.tasks_executed = 0
+        self.rows_processed = 0
+
+    # -- task entry point ------------------------------------------------------
+
+    def execute(self, task: Task, inputs: dict[int, Any]) -> Any:
+        """Run one task; ``inputs`` maps input task id → its result."""
+        self.tasks_executed += 1
+        if task.kind == "partial_aggregate":
+            return self._partial_aggregate(task)
+        if task.kind == "build_hash":
+            return self._build_hash(task)
+        if task.kind == "join_partial":
+            return self._join_partial(task, inputs)
+        if task.kind == "scan_ship":
+            return self._scan_ship(task)
+        raise CoordinationError(f"query service cannot execute task kind {task.kind!r}")
+
+    # -- kernels ------------------------------------------------------------------
+
+    def _local_partitions(self, table: str, partition_ids: list[int]) -> list[Any]:
+        store = self.data_node.store
+        return [store.partition(table, pid) for pid in partition_ids]
+
+    def _partial_aggregate(self, task: Task) -> GroupStates:
+        params = task.params
+        partitions = self._local_partitions(params["table"], params["partitions"])
+        self.rows_processed += sum(len(p) for p in partitions)
+        return run_partial_aggregate(
+            partitions,
+            [Filter(*f) if not isinstance(f, Filter) else f for f in params.get("filters", [])],
+            list(params.get("group_by", [])),
+            [AggregateSpec(*a) if not isinstance(a, AggregateSpec) else a for a in params["aggregates"]],
+        )
+
+    def _build_hash(self, task: Task) -> dict[Any, list[tuple]]:
+        """Materialise a (small) table side as key → rows."""
+        params = task.params
+        partitions = self._local_partitions(params["table"], params["partitions"])
+        key_column = params["key_column"]
+        payload_columns = params["columns"]
+        table_hash: dict[Any, list[tuple]] = {}
+        for partition in partitions:
+            self.rows_processed += len(partition)
+            key_pos = partition.columns.index(key_column.lower())
+            payload_pos = [partition.columns.index(c.lower()) for c in payload_columns]
+            for row in partition.rows():
+                key = row[key_pos]
+                if key is None:
+                    continue
+                table_hash.setdefault(key, []).append(
+                    tuple(row[p] for p in payload_pos)
+                )
+        return table_hash
+
+    def _join_partial(self, task: Task, inputs: dict[int, Any]) -> GroupStates:
+        """Probe local fact partitions against a shipped hash table, then
+        aggregate — the broadcast-join inner task."""
+        params = task.params
+        hash_input = inputs[task.inputs[0]]
+        partitions = self._local_partitions(params["table"], params["partitions"])
+        group_source = params["group_from_dim"]     # index into dim payload
+        fact_key = params["fact_key"]
+        agg_specs = [AggregateSpec(*a) if not isinstance(a, AggregateSpec) else a for a in params["aggregates"]]
+        value_columns = [a.column for a in agg_specs]
+        groups: GroupStates = {}
+        for partition in partitions:
+            self.rows_processed += len(partition)
+            key_pos = partition.columns.index(fact_key.lower())
+            value_pos = [
+                partition.columns.index(c.lower()) if c is not None else None
+                for c in value_columns
+            ]
+            for row in partition.rows():
+                matches = hash_input.get(row[key_pos])
+                if not matches:
+                    continue
+                for dim_payload in matches:
+                    key = (dim_payload[group_source],)
+                    states = groups.get(key)
+                    if states is None:
+                        states = [
+                            0 if a.op == "count" else [0.0, 0] if a.op == "avg" else None
+                            for a in agg_specs
+                        ]
+                        groups[key] = states
+                    for index, aggregate in enumerate(agg_specs):
+                        if aggregate.op == "count" and aggregate.column is None:
+                            states[index] += 1
+                            continue
+                        value = row[value_pos[index]]
+                        if value is None:
+                            continue
+                        if aggregate.op == "count":
+                            states[index] += 1
+                        elif aggregate.op == "sum":
+                            states[index] = value if states[index] is None else states[index] + value
+                        elif aggregate.op == "avg":
+                            states[index][0] += value
+                            states[index][1] += 1
+                        elif aggregate.op == "min":
+                            states[index] = value if states[index] is None or value < states[index] else states[index]
+                        elif aggregate.op == "max":
+                            states[index] = value if states[index] is None or value > states[index] else states[index]
+        return groups
+
+    def _scan_ship(self, task: Task) -> list[tuple]:
+        """Project local rows for repartitioning (ships whole tuples)."""
+        params = task.params
+        partitions = self._local_partitions(params["table"], params["partitions"])
+        columns = params["columns"]
+        out: list[tuple] = []
+        for partition in partitions:
+            self.rows_processed += len(partition)
+            positions = [partition.columns.index(c.lower()) for c in columns]
+            for row in partition.rows():
+                out.append(tuple(row[p] for p in positions))
+        return out
+
+    # -- result sizing (for network accounting) -------------------------------------
+
+    @staticmethod
+    def result_bytes(result: Any) -> int:
+        if isinstance(result, dict):
+            first = next(iter(result.values()), None)
+            if isinstance(first, list) and first and isinstance(first[0], tuple):
+                # hash table: key -> payload tuples
+                total = 0
+                for key, rows in result.items():
+                    total += len(key) + 1 if isinstance(key, str) else 8
+                    for row in rows:
+                        total += sum(
+                            len(v) + 1 if isinstance(v, str) else 8 for v in row
+                        )
+                return total
+            return estimate_states_bytes(result)
+        if isinstance(result, list):
+            total = 0
+            for row in result:
+                total += sum(len(v) + 1 if isinstance(v, str) else 8 for v in row)
+            return total
+        return 64

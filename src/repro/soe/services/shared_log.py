@@ -1,0 +1,201 @@
+"""The distributed shared log (v2transact's persistence layer).
+
+"A transaction broker service executes, serializes, and persists
+transactions to a distributed shared log. Similar to the Corfu approach
+[15], the log stores all changes in a transactional consistent way"
+(§IV.B). The reproduction keeps CORFU's structure:
+
+* a **sequencer** hands out globally-ordered log addresses (a counter —
+  CORFU's insight is that this is the only centralised step),
+* addresses stripe round-robin across **segments**; each segment is
+  replicated to ``replication`` stores (chain-style: a write is
+  acknowledged only when every replica holds it),
+* readers address the log by position; :meth:`read_from` streams the
+  suffix — this drives replica catch-up (see repro.soe.replication),
+* :meth:`fill` patches holes left by clients that took an address and
+  died; :meth:`seal` fences a segment for reconfiguration,
+* ``trim`` drops a durable prefix.
+
+Storage is pluggable: :class:`MemorySegmentStore` (stands in for the
+paper's NVM variant) or an HDFS-backed store
+(:class:`repro.hadoop.connectors.HdfsSegmentStore`) — "multiple
+implementation variants will be provided (also on top of HDFS)".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.errors import LogError
+
+#: sentinel payload for filled holes
+HOLE = {"__hole__": True}
+
+
+class MemorySegmentStore:
+    """One replica of one stripe: an in-memory address → payload map."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: dict[int, Any] = {}
+        self.sealed_at: int | None = None
+
+    def write(self, address: int, payload: Any) -> None:
+        if self.sealed_at is not None and address >= self.sealed_at:
+            raise LogError(f"segment {self.name} sealed at {self.sealed_at}")
+        if address in self._entries:
+            raise LogError(f"address {address} already written in {self.name}")
+        self._entries[address] = payload
+
+    def read(self, address: int) -> Any:
+        try:
+            return self._entries[address]
+        except KeyError:
+            raise LogError(f"address {address} not written in {self.name}") from None
+
+    def has(self, address: int) -> bool:
+        return address in self._entries
+
+    def trim(self, up_to: int) -> int:
+        dropped = [address for address in self._entries if address < up_to]
+        for address in dropped:
+            del self._entries[address]
+        return len(dropped)
+
+    def seal(self, at_address: int) -> None:
+        self.sealed_at = at_address
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Sequencer:
+    """The centralised address dispenser (cheap: one atomic counter)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_address(self) -> int:
+        with self._lock:
+            address = self._next
+            self._next += 1
+            return address
+
+    @property
+    def tail(self) -> int:
+        """The next address to be issued (== log length)."""
+        return self._next
+
+
+StoreFactory = Callable[[str], Any]
+
+
+class SharedLog:
+    """A striped, replicated, totally-ordered shared log."""
+
+    def __init__(
+        self,
+        stripes: int = 2,
+        replication: int = 2,
+        store_factory: StoreFactory | None = None,
+    ) -> None:
+        if stripes < 1 or replication < 1:
+            raise LogError("stripes and replication must be >= 1")
+        factory = store_factory or MemorySegmentStore
+        self.stripes = stripes
+        self.replication = replication
+        self.sequencer = Sequencer()
+        self._segments: list[list[Any]] = [
+            [factory(f"stripe{s}_replica{r}") for r in range(replication)]
+            for s in range(stripes)
+        ]
+        self.trimmed_to = 0
+        self.appends = 0
+
+    # -- write path ---------------------------------------------------------------
+
+    def append(self, payload: Any) -> int:
+        """Token from the sequencer, then replicate to the stripe; returns
+        the global address."""
+        address = self.sequencer.next_address()
+        self._write(address, payload)
+        self.appends += 1
+        return address
+
+    def _write(self, address: int, payload: Any) -> None:
+        for replica in self._segments[address % self.stripes]:
+            replica.write(address, payload)
+
+    def fill(self, address: int) -> None:
+        """Patch a hole (an address issued but never written)."""
+        if self.is_written(address):
+            raise LogError(f"address {address} is not a hole")
+        self._write(address, HOLE)
+
+    # -- read path ------------------------------------------------------------------
+
+    @property
+    def tail(self) -> int:
+        return self.sequencer.tail
+
+    def is_written(self, address: int) -> bool:
+        return self._segments[address % self.stripes][0].has(address)
+
+    def read(self, address: int) -> Any:
+        """Read one address from the stripe's first live replica."""
+        if address < self.trimmed_to:
+            raise LogError(f"address {address} trimmed (trim point {self.trimmed_to})")
+        if not 0 <= address < self.tail:
+            raise LogError(f"address {address} beyond tail {self.tail}")
+        errors: list[str] = []
+        for replica in self._segments[address % self.stripes]:
+            try:
+                return replica.read(address)
+            except LogError as exc:
+                errors.append(str(exc))
+        raise LogError(f"address {address}: all replicas failed: {errors}")
+
+    def read_from(self, address: int, limit: int | None = None) -> Iterator[tuple[int, Any]]:
+        """Stream (address, payload) from ``address`` to the tail, skipping
+        filled holes. Unwritten addresses stop the stream (a reader must
+        wait or fill)."""
+        count = 0
+        cursor = max(address, self.trimmed_to)
+        while cursor < self.tail:
+            if limit is not None and count >= limit:
+                return
+            if not self.is_written(cursor):
+                return
+            payload = self.read(cursor)
+            if payload is not HOLE and payload != HOLE:
+                yield cursor, payload
+                count += 1
+            cursor += 1
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def trim(self, up_to: int) -> int:
+        """Drop every address below ``up_to``; returns entries dropped."""
+        if up_to > self.tail:
+            raise LogError("cannot trim beyond the tail")
+        dropped = 0
+        for stripe in self._segments:
+            for replica in stripe:
+                dropped += replica.trim(up_to)
+        self.trimmed_to = max(self.trimmed_to, up_to)
+        return dropped
+
+    def seal(self) -> int:
+        """Fence all segments at the current tail (reconfiguration step);
+        returns the seal point."""
+        tail = self.tail
+        for stripe in self._segments:
+            for replica in stripe:
+                replica.seal(tail)
+        return tail
+
+    def stripe_lengths(self) -> list[int]:
+        """Entries per stripe (first replica) — balance diagnostics."""
+        return [len(stripe[0]) for stripe in self._segments]

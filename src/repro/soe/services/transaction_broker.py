@@ -1,0 +1,60 @@
+"""v2transact: the transaction broker over the shared log (§IV.B).
+
+"A transaction broker service executes, serializes, and persists
+transactions to a distributed shared log ... With the distributed log
+approach we decouple the transaction mechanism from the query processing."
+
+A *transaction* is a list of logical operations
+``{"op": "insert"|"delete", "table": ..., "rows"/"predicate": ...}``.
+The broker appends it to the log (that append IS the serialisation point),
+then synchronously pushes it to OLTP subscribers; OLAP nodes pull later.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import SoeError
+from repro.soe.services.shared_log import SharedLog
+
+Operation = dict[str, Any]
+Subscriber = Callable[[int, list[Operation]], None]
+
+
+class TransactionBroker:
+    """Serialises transactions through the shared log."""
+
+    def __init__(self, log: SharedLog) -> None:
+        self.log = log
+        self._oltp_subscribers: list[Subscriber] = []
+        self.transactions = 0
+
+    def subscribe_oltp(self, subscriber: Subscriber) -> None:
+        """OLTP nodes incorporate "the log during the update transaction" —
+        the broker calls them before acknowledging the commit."""
+        self._oltp_subscribers.append(subscriber)
+
+    def submit(self, operations: Iterable[Operation]) -> int:
+        """Append one transaction; returns its log address (the global
+        commit order)."""
+        ops = list(operations)
+        for operation in ops:
+            if "op" not in operation or "table" not in operation:
+                raise SoeError(f"malformed operation: {operation!r}")
+        address = self.log.append({"ops": ops})
+        self.transactions += 1
+        for subscriber in self._oltp_subscribers:
+            subscriber(address, ops)
+        return address
+
+    @property
+    def current_lsn(self) -> int:
+        """The log tail: everything below it is committed."""
+        return self.log.tail
+
+    def read_since(self, lsn: int, limit: int | None = None):
+        """Stream committed transactions with address >= lsn (the catch-up
+        path the coordinator uses "for additional updates to be
+        considered")."""
+        for address, payload in self.log.read_from(lsn, limit):
+            yield address, payload["ops"]

@@ -1,0 +1,6 @@
+"""The SQL stack: parser, planner, and three execution engines."""
+
+from repro.sql.parser import parse, parse_expression
+from repro.sql.planner import plan_select
+
+__all__ = ["parse", "parse_expression", "plan_select"]

@@ -1,0 +1,361 @@
+"""The Calc Engine: data-flow graphs over relational and external operators.
+
+Figure 2 places a *CalcEngine* beside the OLAP and Join engines; §II.B
+explains why it exists: "Access to R is implemented as a special operator
+into the internal data flow graph of the database engine allowing the
+optimizer to embrace the call to the external system."
+
+A :class:`CalcScenario` is a DAG of named nodes. Sources read tables or
+SQL; inner nodes filter, project, join, union, aggregate, run custom
+Python row functions, or invoke an external provider
+(:mod:`repro.engines.ml.rops`). :meth:`CalcScenario.optimize` performs the
+paper's "embrace": filters sitting on top of table sources are folded into
+the source's SQL, so *fewer rows ever reach the external operator* — the
+optimisation the quoted sentence is about.
+
+All nodes exchange ``(columns, rows)`` pairs; execution is topological and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PlanError
+
+Relation = tuple[list[str], list[list[Any]]]
+RowFunction = Callable[[dict[str, Any]], dict[str, Any] | None]
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass
+class CalcNode:
+    """One operator in the scenario graph."""
+
+    name: str
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    inputs: list[str] = field(default_factory=list)
+
+
+class CalcScenario:
+    """A named data-flow graph executed against one database."""
+
+    def __init__(self, name: str, database: Any) -> None:
+        self.name = name
+        self.database = database
+        self._nodes: dict[str, CalcNode] = {}
+        #: filled by execute(): rows flowing out of each node
+        self.node_output_rows: dict[str, int] = {}
+
+    # -- graph construction -------------------------------------------------
+
+    def _add(self, node: CalcNode) -> str:
+        if node.name in self._nodes:
+            raise PlanError(f"calc node {node.name!r} already exists")
+        for input_name in node.inputs:
+            if input_name not in self._nodes:
+                raise PlanError(f"calc node {node.name!r} references unknown input {input_name!r}")
+        self._nodes[node.name] = node
+        return node.name
+
+    def table_source(self, name: str, table: str, columns: list[str] | None = None) -> str:
+        """Read a catalog table (optionally a column subset)."""
+        return self._add(CalcNode(name, "table", {"table": table.lower(), "columns": columns}))
+
+    def sql_source(self, name: str, sql: str) -> str:
+        """Read the result of an arbitrary SQL query."""
+        return self._add(CalcNode(name, "sql", {"sql": sql}))
+
+    def filter(self, name: str, input_name: str, column: str, op: str, value: Any) -> str:
+        """Simple predicate: column <op> literal (optimisable into sources)."""
+        if op not in _OPS:
+            raise PlanError(f"unsupported calc filter operator {op!r}")
+        return self._add(
+            CalcNode(name, "filter", {"column": column.lower(), "op": op, "value": value}, [input_name])
+        )
+
+    def project(self, name: str, input_name: str, columns: list[str]) -> str:
+        """Keep (and order) a column subset."""
+        return self._add(
+            CalcNode(name, "project", {"columns": [c.lower() for c in columns]}, [input_name])
+        )
+
+    def python_operator(self, name: str, input_name: str, function: RowFunction) -> str:
+        """A custom row-wise operator (returning None drops the row)."""
+        return self._add(CalcNode(name, "python", {"function": function}, [input_name]))
+
+    def external_operator(
+        self,
+        name: str,
+        input_name: str,
+        provider: Any,
+        function: str,
+        **parameters: Any,
+    ) -> str:
+        """Invoke an external analytics provider (the 'R' operator)."""
+        return self._add(
+            CalcNode(
+                name,
+                "external",
+                {"provider": provider, "function": function, "parameters": parameters},
+                [input_name],
+            )
+        )
+
+    def join(self, name: str, left: str, right: str, left_key: str, right_key: str) -> str:
+        """Inner equi join of two nodes."""
+        return self._add(
+            CalcNode(
+                name,
+                "join",
+                {"left_key": left_key.lower(), "right_key": right_key.lower()},
+                [left, right],
+            )
+        )
+
+    def union(self, name: str, inputs: list[str]) -> str:
+        """Positional UNION ALL of several nodes."""
+        if len(inputs) < 2:
+            raise PlanError("union needs at least two inputs")
+        return self._add(CalcNode(name, "union", {}, list(inputs)))
+
+    def aggregate(
+        self,
+        name: str,
+        input_name: str,
+        group_by: list[str],
+        aggregates: list[tuple[str, str | None]],
+    ) -> str:
+        """Group-by aggregation (count/sum/min/max/avg)."""
+        return self._add(
+            CalcNode(
+                name,
+                "aggregate",
+                {
+                    "group_by": [c.lower() for c in group_by],
+                    "aggregates": [(op, col.lower() if col else None) for op, col in aggregates],
+                },
+                [input_name],
+            )
+        )
+
+    # -- the optimiser's "embrace" ----------------------------------------------
+
+    def optimize(self) -> int:
+        """Fold filters over table sources into SQL sources.
+
+        Returns the number of filters embraced. After optimisation the
+        filtered rows never leave the relational engine — in particular
+        they are not shipped to external operators downstream.
+        """
+        embraced = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self._nodes.values()):
+                if node.kind != "filter":
+                    continue
+                source = self._nodes[node.inputs[0]]
+                consumers = [
+                    other
+                    for other in self._nodes.values()
+                    if node.inputs[0] in other.inputs and other is not node
+                ]
+                if consumers:
+                    continue  # the source feeds others unfiltered; keep as is
+                if source.kind == "table":
+                    columns = source.params["columns"]
+                    select_list = ", ".join(columns) if columns else "*"
+                    source.kind = "sql"
+                    source.params = {
+                        "sql": f"SELECT {select_list} FROM {source.params['table']}"
+                    }
+                if source.kind == "sql" and " where " not in source.params["sql"].lower():
+                    source.params["sql"] += (
+                        f" WHERE {node.params['column']} {node.params['op']} "
+                        f"{_sql_literal(node.params['value'])}"
+                    )
+                else:
+                    continue
+                # splice the filter out of the graph
+                for other in self._nodes.values():
+                    other.inputs = [
+                        source.name if input_name == node.name else input_name
+                        for input_name in other.inputs
+                    ]
+                del self._nodes[node.name]
+                embraced += 1
+                changed = True
+                break
+        return embraced
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, output: str) -> Relation:
+        """Run the scenario and return the named node's relation."""
+        if output not in self._nodes:
+            raise PlanError(f"unknown calc node {output!r}")
+        order = self._topological_order()
+        results: dict[str, Relation] = {}
+        for node in order:
+            results[node.name] = self._run_node(node, results)
+            self.node_output_rows[node.name] = len(results[node.name][1])
+        return results[output]
+
+    def _topological_order(self) -> list[CalcNode]:
+        order: list[CalcNode] = []
+        state: dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            if state.get(name) == 1:
+                raise PlanError(f"calc scenario {self.name!r} has a cycle at {name!r}")
+            if state.get(name) == 2:
+                return
+            state[name] = 1
+            for input_name in self._nodes[name].inputs:
+                visit(input_name)
+            state[name] = 2
+            order.append(self._nodes[name])
+
+        for name in self._nodes:
+            visit(name)
+        return order
+
+    def _run_node(self, node: CalcNode, results: dict[str, Relation]) -> Relation:
+        if node.kind == "table":
+            columns = node.params["columns"]
+            select_list = ", ".join(columns) if columns else "*"
+            result = self.database.execute(f"SELECT {select_list} FROM {node.params['table']}")
+            return list(result.columns), result.rows
+        if node.kind == "sql":
+            result = self.database.execute(node.params["sql"])
+            return list(result.columns), result.rows
+        if node.kind == "filter":
+            columns, rows = results[node.inputs[0]]
+            position = columns.index(node.params["column"])
+            compare = _OPS[node.params["op"]]
+            value = node.params["value"]
+            kept = [
+                row for row in rows if row[position] is not None and compare(row[position], value)
+            ]
+            return columns, kept
+        if node.kind == "project":
+            columns, rows = results[node.inputs[0]]
+            positions = [columns.index(name) for name in node.params["columns"]]
+            return list(node.params["columns"]), [
+                [row[p] for p in positions] for row in rows
+            ]
+        if node.kind == "python":
+            columns, rows = results[node.inputs[0]]
+            function: RowFunction = node.params["function"]
+            out_rows: list[list[Any]] = []
+            out_columns: list[str] | None = None
+            for row in rows:
+                produced = function(dict(zip(columns, row)))
+                if produced is None:
+                    continue
+                if out_columns is None:
+                    out_columns = list(produced)
+                out_rows.append([produced[name] for name in out_columns])
+            return out_columns or columns, out_rows
+        if node.kind == "external":
+            columns, rows = results[node.inputs[0]]
+            provider = node.params["provider"]
+            operator = provider.operator(node.params["function"])
+            out_columns, out_rows = operator(columns, rows, **node.params["parameters"])
+            return out_columns, out_rows
+        if node.kind == "join":
+            left_columns, left_rows = results[node.inputs[0]]
+            right_columns, right_rows = results[node.inputs[1]]
+            left_pos = left_columns.index(node.params["left_key"])
+            right_pos = right_columns.index(node.params["right_key"])
+            build: dict[Any, list[list[Any]]] = {}
+            for row in right_rows:
+                if row[right_pos] is not None:
+                    build.setdefault(row[right_pos], []).append(row)
+            out = []
+            for row in left_rows:
+                for match in build.get(row[left_pos], ()):
+                    out.append(list(row) + list(match))
+            return left_columns + right_columns, out
+        if node.kind == "union":
+            first_columns, _ = results[node.inputs[0]]
+            merged: list[list[Any]] = []
+            for input_name in node.inputs:
+                _cols, rows = results[input_name]
+                merged.extend(rows)
+            return first_columns, merged
+        if node.kind == "aggregate":
+            return _aggregate(results[node.inputs[0]], node.params)
+        raise PlanError(f"unknown calc node kind {node.kind!r}")
+
+
+def _aggregate(relation: Relation, params: dict[str, Any]) -> Relation:
+    columns, rows = relation
+    group_positions = [columns.index(name) for name in params["group_by"]]
+    specs = params["aggregates"]
+    value_positions = [columns.index(col) if col else None for _op, col in specs]
+    groups: dict[tuple, list[Any]] = {}
+    for row in rows:
+        key = tuple(row[p] for p in group_positions)
+        states = groups.get(key)
+        if states is None:
+            states = [
+                0 if op == "count" else [0.0, 0] if op == "avg" else None
+                for op, _col in specs
+            ]
+            groups[key] = states
+        for index, (op, _col) in enumerate(specs):
+            position = value_positions[index]
+            if op == "count" and position is None:
+                states[index] += 1
+                continue
+            value = row[position]
+            if value is None:
+                continue
+            if op == "count":
+                states[index] += 1
+            elif op == "sum":
+                states[index] = value if states[index] is None else states[index] + value
+            elif op == "avg":
+                states[index][0] += value
+                states[index][1] += 1
+            elif op == "min":
+                states[index] = value if states[index] is None or value < states[index] else states[index]
+            elif op == "max":
+                states[index] = value if states[index] is None or value > states[index] else states[index]
+            else:
+                raise PlanError(f"unknown calc aggregate {op!r}")
+    out_columns = list(params["group_by"]) + [
+        f"{op}_{col}" if col else op for op, col in specs
+    ]
+    out_rows = []
+    for key in sorted(groups, key=lambda k: tuple(map(repr, k))):
+        row = list(key)
+        for (op, _col), state in zip(specs, groups[key]):
+            row.append(state[0] / state[1] if op == "avg" and state[1] else None if op == "avg" else state)
+        out_rows.append(row)
+    return out_columns, out_rows
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if hasattr(value, "isoformat"):
+        return f"DATE '{value.isoformat()}'"
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,33 @@
+"""Execution context threaded through planning and execution.
+
+Carries the snapshot, the owning transaction, the function registry, and a
+handle to the database — which is how context-dependent functions (currency
+conversion against the rates table, hierarchy functions against registered
+hierarchy views, text search against the index) reach their state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sql.functions import FunctionRegistry
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs besides its input batches."""
+
+    database: Any = None
+    snapshot_cid: int = 2**62 - 1
+    own_tid: int = 0
+    functions: "FunctionRegistry | None" = None
+    #: free-form session parameters (e.g. target currency)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    #: counters filled during execution (rows scanned, partitions pruned, ...)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def bump(self, metric: str, amount: float = 1.0) -> None:
+        """Increment an execution metric."""
+        self.metrics[metric] = self.metrics.get(metric, 0.0) + amount

@@ -1,0 +1,361 @@
+"""Vectorised expression evaluation over column batches.
+
+A :class:`Batch` is the unit flowing between physical operators: a mapping
+from qualified column names (``alias.column``) to NumPy arrays of equal
+length. Expressions evaluate to arrays; SQL NULL is NaN in float arrays and
+``None`` in object arrays.
+
+Three-valued logic is simplified: a comparison involving NULL yields False
+(not UNKNOWN), which matches the filtering behaviour of WHERE clauses —
+the only place the engine consumes booleans.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ColumnNotFoundError, ExpressionError
+from repro.sql import ast
+from repro.sql.context import ExecutionContext
+
+
+class Batch:
+    """Named columns of equal length — the vectorised data unit."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Mapping[str, np.ndarray], length: int | None = None) -> None:
+        self.columns: dict[str, np.ndarray] = dict(columns)
+        if length is None:
+            first = next(iter(self.columns.values()), None)
+            length = len(first) if first is not None else 0
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.columns)
+
+    def resolve(self, name: str, table: str | None = None) -> str:
+        """Resolve a (possibly unqualified) column reference to a key."""
+        name = name.lower()
+        if table is not None:
+            key = f"{table.lower()}.{name}"
+            if key in self.columns:
+                return key
+            raise ColumnNotFoundError(table, name)
+        if name in self.columns:
+            return name
+        matches = [key for key in self.columns if key.endswith(f".{name}")]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ColumnNotFoundError("<batch>", name)
+        raise ExpressionError(f"ambiguous column reference {name!r}: {matches}")
+
+    def column(self, name: str, table: str | None = None) -> np.ndarray:
+        return self.columns[self.resolve(name, table)]
+
+    def take(self, positions: np.ndarray) -> "Batch":
+        """Row subset by position."""
+        return Batch(
+            {key: array[positions] for key, array in self.columns.items()},
+            length=len(positions),
+        )
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        """Row subset by boolean mask."""
+        return Batch(
+            {key: array[mask] for key, array in self.columns.items()},
+            length=int(mask.sum()),
+        )
+
+    def with_column(self, key: str, array: np.ndarray) -> "Batch":
+        """New batch with one column added/replaced."""
+        columns = dict(self.columns)
+        columns[key.lower()] = array
+        return Batch(columns, self.length)
+
+    def rows(self) -> list[list[Any]]:
+        """Materialise as Python rows (column order = insertion order)."""
+        arrays = list(self.columns.values())
+        return [
+            [_to_python(array[index]) for array in arrays]
+            for index in range(self.length)
+        ]
+
+    @staticmethod
+    def concat(parts: "Iterable[Batch]") -> "Batch":
+        """Concatenate batches with identical column sets."""
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return Batch({}, 0)
+        if len(parts) == 1:
+            return parts[0]
+        keys = parts[0].names
+        columns = {}
+        for key in keys:
+            arrays = [part.columns[key] for part in parts]
+            target = _common_dtype(arrays)
+            columns[key] = np.concatenate([a.astype(target, copy=False) for a in arrays])
+        return Batch(columns, sum(len(part) for part in parts))
+
+
+def _common_dtype(arrays: list[np.ndarray]) -> np.dtype:
+    dtypes = {array.dtype for array in arrays}
+    if len(dtypes) == 1:
+        return dtypes.pop()
+    if any(d == object for d in dtypes):
+        return np.dtype(object)
+    return np.dtype(np.float64)
+
+
+def _to_python(value: Any) -> Any:
+    """Unbox NumPy scalars; map NaN to None for output rows."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and value != value:
+        return None
+    return value
+
+
+def is_null_mask(array: np.ndarray) -> np.ndarray:
+    """Boolean mask of SQL NULLs for either representation."""
+    if array.dtype == object:
+        return np.fromiter((v is None for v in array), dtype=bool, count=len(array))
+    if array.dtype.kind == "f":
+        return np.isnan(array)
+    return np.zeros(len(array), dtype=bool)
+
+
+def _broadcast(value: Any, length: int) -> np.ndarray:
+    """Turn a literal into an array of the batch length."""
+    if isinstance(value, bool):
+        return np.full(length, value, dtype=bool)
+    if isinstance(value, int):
+        return np.full(length, value, dtype=np.int64)
+    if isinstance(value, float):
+        return np.full(length, value, dtype=np.float64)
+    out = np.empty(length, dtype=object)
+    out[:] = [value] * length if length else []
+    return out
+
+
+_ARITH: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "%": np.mod,
+}
+
+_COMPARE = {"=", "<>", "<", "<=", ">", ">="}
+
+
+def _compare_object(left: np.ndarray, right: np.ndarray, op: str) -> np.ndarray:
+    """Element-wise comparison with None treated as 'never matches'."""
+    out = np.zeros(len(left), dtype=bool)
+    for index in range(len(left)):
+        a = left[index] if left.dtype == object or True else left[index]
+        b = right[index]
+        a = _to_python(a)
+        b = _to_python(b)
+        if a is None or b is None:
+            continue
+        try:
+            if op == "=":
+                out[index] = a == b
+            elif op == "<>":
+                out[index] = a != b
+            elif op == "<":
+                out[index] = a < b
+            elif op == "<=":
+                out[index] = a <= b
+            elif op == ">":
+                out[index] = a > b
+            else:
+                out[index] = a >= b
+        except TypeError:
+            out[index] = False
+    return out
+
+
+def compare(left: np.ndarray, right: np.ndarray, op: str) -> np.ndarray:
+    """NULL-safe comparison of two arrays."""
+    if left.dtype != object and right.dtype != object:
+        with np.errstate(invalid="ignore"):
+            if op == "=":
+                result = left == right
+            elif op == "<>":
+                result = left != right
+                nulls = is_null_mask(left) | is_null_mask(right)
+                result = result & ~nulls
+                return result
+            elif op == "<":
+                result = left < right
+            elif op == "<=":
+                result = left <= right
+            elif op == ">":
+                result = left > right
+            else:
+                result = left >= right
+        return np.asarray(result, dtype=bool)
+    return _compare_object(np.asarray(left, dtype=object), np.asarray(right, dtype=object), op)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    # re.escape escapes % and _ as themselves (no-op) so the replacements
+    # above operate on the escaped text directly.
+    return re.compile(f"^{regex}$", re.DOTALL)
+
+
+def evaluate(expr: ast.Expr, batch: Batch, context: ExecutionContext) -> np.ndarray:
+    """Evaluate ``expr`` over ``batch`` to an array of ``len(batch)``."""
+    if isinstance(expr, ast.Literal):
+        return _broadcast(expr.value, len(batch))
+    if isinstance(expr, ast.ColumnRef):
+        return batch.column(expr.name, expr.table)
+    if isinstance(expr, ast.UnaryOp):
+        operand = evaluate(expr.operand, batch, context)
+        if expr.op == "NOT":
+            return ~np.asarray(operand, dtype=bool)
+        if operand.dtype == object:
+            return np.array(
+                [None if v is None else -v for v in operand], dtype=object
+            )
+        return -operand
+    if isinstance(expr, ast.BinaryOp):
+        return _evaluate_binary(expr, batch, context)
+    if isinstance(expr, ast.IsNull):
+        mask = is_null_mask(evaluate(expr.operand, batch, context))
+        return ~mask if expr.negated else mask
+    if isinstance(expr, ast.InList):
+        operand = evaluate(expr.operand, batch, context)
+        result = np.zeros(len(batch), dtype=bool)
+        for item in expr.items:
+            result |= compare(operand, evaluate(item, batch, context), "=")
+        return ~result & ~is_null_mask(operand) if expr.negated else result
+    if isinstance(expr, ast.Between):
+        operand = evaluate(expr.operand, batch, context)
+        low = evaluate(expr.low, batch, context)
+        high = evaluate(expr.high, batch, context)
+        inside = compare(operand, low, ">=") & compare(operand, high, "<=")
+        if expr.negated:
+            return ~inside & ~is_null_mask(operand)
+        return inside
+    if isinstance(expr, ast.CaseWhen):
+        return _evaluate_case(expr, batch, context)
+    if isinstance(expr, ast.FunctionCall):
+        if context.functions is None:
+            raise ExpressionError(f"no function registry for {expr.name}")
+        args = [evaluate(arg, batch, context) for arg in expr.args]
+        return context.functions.call(expr.name, args, len(batch), context)
+    if isinstance(expr, ast.Star):
+        raise ExpressionError("'*' is only valid in a select list or COUNT(*)")
+    raise ExpressionError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _evaluate_binary(expr: ast.BinaryOp, batch: Batch, context: ExecutionContext) -> np.ndarray:
+    op = expr.op
+    if op == "AND":
+        left = np.asarray(evaluate(expr.left, batch, context), dtype=bool)
+        if not left.any():
+            return left
+        right = np.asarray(evaluate(expr.right, batch, context), dtype=bool)
+        return left & right
+    if op == "OR":
+        left = np.asarray(evaluate(expr.left, batch, context), dtype=bool)
+        right = np.asarray(evaluate(expr.right, batch, context), dtype=bool)
+        return left | right
+
+    left = evaluate(expr.left, batch, context)
+    right = evaluate(expr.right, batch, context)
+    if op in _COMPARE:
+        return compare(left, right, op)
+    if op == "LIKE":
+        pattern_values = right
+        out = np.zeros(len(batch), dtype=bool)
+        compiled: dict[str, re.Pattern[str]] = {}
+        for index in range(len(batch)):
+            value = _to_python(left[index])
+            pattern = _to_python(pattern_values[index])
+            if value is None or pattern is None:
+                continue
+            regex = compiled.get(pattern)
+            if regex is None:
+                regex = _like_to_regex(pattern)
+                compiled[pattern] = regex
+            out[index] = regex.match(str(value)) is not None
+        return out
+    if op == "||":
+        out = np.empty(len(batch), dtype=object)
+        for index in range(len(batch)):
+            a = _to_python(left[index])
+            b = _to_python(right[index])
+            out[index] = None if a is None or b is None else f"{a}{b}"
+        return out
+    if op == "/":
+        left_f = _as_float(left)
+        right_f = _as_float(right)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = left_f / right_f
+        result[np.isinf(result)] = np.nan
+        return result
+    if op in _ARITH:
+        if left.dtype == object or right.dtype == object:
+            return _object_arith(left, right, op)
+        with np.errstate(invalid="ignore"):
+            return _ARITH[op](left, right)
+    raise ExpressionError(f"unknown binary operator {op!r}")
+
+
+def _object_arith(left: np.ndarray, right: np.ndarray, op: str) -> np.ndarray:
+    """Arithmetic over object arrays (dates + intervals, None-safe)."""
+    func = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "%": lambda a, b: a % b,
+    }[op]
+    out = np.empty(len(left), dtype=object)
+    for index in range(len(left)):
+        a = _to_python(left[index])
+        b = _to_python(right[index])
+        out[index] = None if a is None or b is None else func(a, b)
+    return out
+
+
+def _as_float(array: np.ndarray) -> np.ndarray:
+    if array.dtype == object:
+        return np.array(
+            [np.nan if v is None else float(v) for v in array], dtype=np.float64
+        )
+    return array.astype(np.float64, copy=False)
+
+
+def _evaluate_case(expr: ast.CaseWhen, batch: Batch, context: ExecutionContext) -> np.ndarray:
+    length = len(batch)
+    result = (
+        evaluate(expr.otherwise, batch, context)
+        if expr.otherwise is not None
+        else _broadcast(None, length)
+    )
+    result = np.asarray(result, dtype=object).copy()
+    decided = np.zeros(length, dtype=bool)
+    for condition, branch in expr.branches:
+        mask = np.asarray(evaluate(condition, batch, context), dtype=bool) & ~decided
+        if mask.any():
+            values = evaluate(branch, batch, context)
+            result[mask] = values[mask]
+            decided |= mask
+    # try to narrow back to a numeric dtype when possible
+    if all(value is None or isinstance(value, (int, float, np.number)) for value in result):
+        return np.array(
+            [np.nan if v is None else float(v) for v in result], dtype=np.float64
+        )
+    return result

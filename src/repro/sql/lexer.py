@@ -1,0 +1,128 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "JOIN", "INNER",
+    "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "ASC", "DESC", "DISTINCT",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "DROP", "TABLE", "ROW", "COLUMN", "FLEXIBLE", "PRIMARY", "KEY",
+    "DEFAULT", "PARTITION", "PARTITIONS", "BY", "HASH", "RANGE",
+    "BOUNDARIES", "TRUE", "FALSE", "DATE", "TIMESTAMP", "WITH",
+    "EXISTS", "IF", "UNION", "ALL", "CONTAINS", "MERGE", "DELTA",
+    "OF", "VIRTUAL", "AT", "BEGIN", "COMMIT", "ROLLBACK", "WORK",
+}
+
+_PUNCT = {
+    "(", ")", ",", ".", "*", "+", "-", "/", "%", "=", "<", ">", ";",
+    "<=", ">=", "<>", "!=", "||",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token. ``kind`` is KEYWORD, IDENT, NUMBER, STRING,
+    PUNCT, or EOF; ``value`` is the normalised payload."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "-" and text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if ch == "/" and text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", index)
+            index = end + 2
+            continue
+        if ch == "'":
+            value, index = _read_string(text, index)
+            tokens.append(Token("STRING", value, index))
+            continue
+        if ch == '"':
+            end = text.find('"', index + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", index)
+            tokens.append(Token("IDENT", text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length and text[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            seen_exp = False
+            while index < length:
+                current = text[index]
+                if current.isdigit():
+                    index += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    index += 1
+                elif current in "eE" and not seen_exp and index > start:
+                    seen_exp = True
+                    index += 1
+                    if index < length and text[index] in "+-":
+                        index += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[start:index], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        two = text[index : index + 2]
+        if two in _PUNCT:
+            tokens.append(Token("PUNCT", two, index))
+            index += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, index))
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _read_string(text: str, index: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escaping."""
+    chars: list[str] = []
+    cursor = index + 1
+    while cursor < len(text):
+        ch = text[cursor]
+        if ch == "'":
+            if text.startswith("''", cursor):
+                chars.append("'")
+                cursor += 2
+                continue
+            return "".join(chars), cursor + 1
+        chars.append(ch)
+        cursor += 1
+    raise SqlSyntaxError("unterminated string literal", index)

@@ -1,0 +1,17 @@
+"""The event stream processor (ESP)."""
+
+from repro.streaming.esp import (
+    CollectSink,
+    DeriveOperator,
+    FilterOperator,
+    ProjectOperator,
+    SlidingWindowThreshold,
+    StreamProcessor,
+    TableSink,
+    TumblingWindowAggregate,
+)
+
+__all__ = [
+    "CollectSink", "DeriveOperator", "FilterOperator", "ProjectOperator",
+    "SlidingWindowThreshold", "StreamProcessor", "TableSink", "TumblingWindowAggregate",
+]

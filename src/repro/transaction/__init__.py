@@ -1,0 +1,6 @@
+"""MVCC snapshot isolation and the transaction manager."""
+
+from repro.transaction.manager import Transaction, TransactionManager, TxnState
+from repro.transaction.mvcc import INF_CID, is_visible, visible_mask
+
+__all__ = ["Transaction", "TransactionManager", "TxnState", "INF_CID", "is_visible", "visible_mask"]

@@ -1,0 +1,73 @@
+"""Small array utilities shared across the storage layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GrowableInt64:
+    """An append-friendly int64 array with amortised O(1) growth.
+
+    The MVCC visibility vectors (``created`` / ``deleted`` commit ids) grow
+    by one on every insert; a plain ``np.append`` would be O(n) per row.
+    This wrapper doubles capacity and exposes a zero-copy ``view()`` of the
+    live prefix for vectorised visibility checks.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, initial: np.ndarray | None = None, capacity: int = 16) -> None:
+        if initial is not None:
+            initial = np.asarray(initial, dtype=np.int64)
+            capacity = max(capacity, len(initial), 1)
+            self._data = np.empty(capacity, dtype=np.int64)
+            self._data[: len(initial)] = initial
+            self._size = len(initial)
+        else:
+            self._data = np.empty(max(capacity, 1), dtype=np.int64)
+            self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: int) -> int:
+        """Append ``value``; returns the position it was stored at."""
+        if self._size == len(self._data):
+            grown = np.empty(len(self._data) * 2, dtype=np.int64)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+        return self._size - 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append many values at once."""
+        values = np.asarray(values, dtype=np.int64)
+        needed = self._size + len(values)
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = values
+        self._size = needed
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live prefix. Do not resize while held."""
+        return self._data[: self._size]
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        return int(self._data[index])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        self._data[index] = value

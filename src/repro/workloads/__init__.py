@@ -1,0 +1,22 @@
+"""Deterministic synthetic workload generators."""
+
+from repro.workloads.generators import (
+    ErpConfig,
+    SensorConfig,
+    baskets,
+    dispenser_events,
+    erp_customers,
+    erp_invoices,
+    erp_orders,
+    hurricane_tracks,
+    pipeline_graph,
+    sensor_readings,
+    stock_ticks,
+    text_corpus,
+)
+
+__all__ = [
+    "ErpConfig", "SensorConfig", "baskets", "dispenser_events", "erp_customers",
+    "erp_invoices", "erp_orders", "hurricane_tracks", "pipeline_graph",
+    "sensor_readings", "stock_ticks", "text_corpus",
+]

@@ -1,0 +1,257 @@
+"""Deterministic synthetic workload generators.
+
+Substitution (DESIGN.md): the paper's evaluations run on SAP ERP customer
+data, IoT sensor fleets, and web text — none of which is available. These
+generators produce data with the same *shape* (cardinalities, skew,
+temporal structure, sparsity) under a fixed seed, so every benchmark and
+test is reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+_CURRENCIES = ["EUR", "USD", "GBP", "JPY", "CHF"]
+_COUNTRIES = ["DE", "US", "GB", "JP", "CH", "FR", "IT", "CN"]
+_STATUSES = ["closed", "open", "cancelled"]
+_PRODUCT_WORDS = [
+    "pump", "valve", "sensor", "panel", "motor", "gear", "filter", "belt",
+    "switch", "bearing", "nozzle", "frame", "rotor", "seal", "clamp",
+]
+_REVIEW_POSITIVE = [
+    "great quality and fast delivery",
+    "excellent product works as expected",
+    "very happy reliable and efficient",
+    "good value strong build quality",
+]
+_REVIEW_NEGATIVE = [
+    "terrible quality broke after a week",
+    "slow delivery and poor support",
+    "bad fit unreliable and noisy",
+    "worst purchase constant problems",
+]
+
+
+@dataclass(frozen=True)
+class ErpConfig:
+    """Order/invoice/customer generator parameters."""
+
+    customers: int = 100
+    orders: int = 1000
+    start_year: int = 2012
+    years: int = 3
+    closed_fraction: float = 0.7
+    seed: int = 42
+
+
+def erp_customers(config: ErpConfig) -> list[list[Any]]:
+    """(customer_id, name, country, city) rows."""
+    rng = random.Random(config.seed)
+    rows = []
+    for index in range(config.customers):
+        country = rng.choice(_COUNTRIES)
+        rows.append(
+            [index, f"customer_{index:05d}", country, f"city_{rng.randint(0, 30)}"]
+        )
+    return rows
+
+
+def erp_orders(config: ErpConfig) -> list[list[Any]]:
+    """(order_id, customer_id, status, order_date, amount, currency) rows.
+
+    Keys are monotone (application-generated: context + counter), dates
+    spread over the configured years, ~closed_fraction of orders closed
+    (the aging-eligible population).
+    """
+    rng = random.Random(config.seed + 1)
+    rows = []
+    for index in range(config.orders):
+        year = config.start_year + rng.randrange(config.years)
+        order_date = _dt.date(year, rng.randint(1, 12), rng.randint(1, 28))
+        closed = rng.random() < config.closed_fraction
+        status = "closed" if closed else rng.choice(["open", "open", "cancelled"])
+        rows.append(
+            [
+                index,
+                rng.randrange(config.customers),
+                status,
+                order_date,
+                round(rng.lognormvariate(4.5, 1.0), 2),
+                rng.choice(_CURRENCIES),
+            ]
+        )
+    return rows
+
+
+def erp_invoices(config: ErpConfig, orders: list[list[Any]]) -> list[list[Any]]:
+    """(invoice_id, order_id, paid, invoice_date, amount) — one per order,
+    paid iff the order is closed (so the dependency rule can fire)."""
+    rng = random.Random(config.seed + 2)
+    rows = []
+    for order in orders:
+        order_id, _customer, status, order_date, amount, _currency = order
+        paid = "paid" if status == "closed" else "due"
+        invoice_date = order_date + _dt.timedelta(days=rng.randint(1, 30))
+        rows.append([order_id, order_id, paid, invoice_date, amount])
+    return rows
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """IoT sensor-fleet generator parameters."""
+
+    sensors: int = 20
+    readings_per_sensor: int = 500
+    interval_seconds: int = 60
+    irregular_fraction: float = 0.0
+    noise: float = 0.5
+    seed: int = 7
+
+
+def sensor_readings(config: SensorConfig) -> Iterator[list[Any]]:
+    """(sensor_id, timestamp, value) rows: daily-period signal + drift +
+    noise; optional timestamp jitter for the compression sweep."""
+    import math
+
+    rng = random.Random(config.seed)
+    for sensor in range(config.sensors):
+        base = 20.0 + 5.0 * (sensor % 5)
+        timestamp = 1_400_000_000 + sensor
+        period = 24 * 3600
+        for step in range(config.readings_per_sensor):
+            if rng.random() < config.irregular_fraction:
+                timestamp += config.interval_seconds + rng.randint(1, 30)
+            else:
+                timestamp += config.interval_seconds
+            value = (
+                base
+                + 3.0 * math.sin(2 * math.pi * (timestamp % period) / period)
+                + 0.0005 * step
+                + rng.gauss(0.0, config.noise)
+            )
+            yield [sensor, timestamp, round(value, 3)]
+
+
+def dispenser_events(
+    dispensers: int = 30, steps: int = 200, seed: int = 11
+) -> Iterator[dict[str, Any]]:
+    """Scenario V.3 events: fill grade decaying at dispenser-specific rates."""
+    rng = random.Random(seed)
+    rates = [rng.uniform(0.1, 1.2) for _ in range(dispensers)]
+    levels = [100.0] * dispensers
+    timestamp = 1_400_000_000
+    for _step in range(steps):
+        timestamp += 3600
+        for dispenser in range(dispensers):
+            levels[dispenser] = max(
+                0.0, levels[dispenser] - rates[dispenser] * rng.uniform(0.5, 1.5)
+            )
+            yield {
+                "dispenser_id": dispenser,
+                "ts": timestamp,
+                "fill_grade": round(levels[dispenser], 2),
+            }
+
+
+def text_corpus(documents: int = 200, seed: int = 5) -> list[tuple[int, str, str]]:
+    """(doc_id, text, label) — labelled product reviews for the text engine."""
+    rng = random.Random(seed)
+    corpus = []
+    for index in range(documents):
+        product = rng.choice(_PRODUCT_WORDS)
+        if rng.random() < 0.5:
+            body = f"{rng.choice(_REVIEW_POSITIVE)} for the {product}"
+            label = "positive"
+        else:
+            body = f"{rng.choice(_REVIEW_NEGATIVE)} with the {product}"
+            label = "negative"
+        extra = " ".join(rng.sample(_PRODUCT_WORDS, 3))
+        corpus.append((index, f"{body} {extra}", label))
+    return corpus
+
+
+def baskets(transactions: int = 500, seed: int = 3) -> list[list[str]]:
+    """Market baskets with planted associations (beer→chips, bread→butter)."""
+    rng = random.Random(seed)
+    catalogue = _PRODUCT_WORDS
+    out = []
+    for _index in range(transactions):
+        basket = set(rng.sample(catalogue, rng.randint(1, 4)))
+        if rng.random() < 0.4:
+            basket.update({"beer", "chips"})
+        if rng.random() < 0.3:
+            basket.update({"bread", "butter"})
+        out.append(sorted(basket))
+    return out
+
+
+def stock_ticks(
+    symbols: int = 8, days: int = 250, seed: int = 17
+) -> dict[str, list[tuple[int, float]]]:
+    """Scenario V.1 data: correlated random-walk closing prices.
+
+    Symbols 0/1 share a common factor (strongly correlated); the rest are
+    independent — so the in-database correlation analysis has structure to
+    find.
+    """
+    rng = random.Random(seed)
+    prices: dict[str, list[tuple[int, float]]] = {}
+    common = [rng.gauss(0, 1) for _ in range(days)]
+    for symbol_index in range(symbols):
+        symbol = f"SYM{symbol_index}"
+        level = 100.0 + 10.0 * symbol_index
+        series = []
+        for day in range(days):
+            shock = rng.gauss(0, 1)
+            if symbol_index in (0, 1):
+                shock = 0.8 * common[day] + 0.2 * shock
+            level = max(1.0, level * (1 + 0.01 * shock))
+            series.append((1_388_534_400 + day * 86400, round(level, 2)))
+        prices[symbol] = series
+    return prices
+
+
+def pipeline_graph(
+    segments: int = 60, seed: int = 23
+) -> tuple[list[list[Any]], list[list[Any]]]:
+    """Scenario V.5: a gas pipeline as (junction rows, pipe rows).
+
+    Junctions carry coordinates (for the geo combination); pipes carry
+    lengths as weights. The topology is a backbone with branches.
+    """
+    rng = random.Random(seed)
+    junctions = []
+    pipes = []
+    for index in range(segments):
+        junctions.append([index, round(index * 1.7, 2), round(rng.uniform(0, 20), 2)])
+    for index in range(1, segments):
+        backbone_parent = index - 1 if rng.random() < 0.7 else rng.randrange(index)
+        length = round(rng.uniform(0.5, 5.0), 2)
+        pipes.append([backbone_parent, index, length])
+        if rng.random() < 0.15:  # cross connection
+            other = rng.randrange(index)
+            if other != backbone_parent:
+                pipes.append([other, index, round(rng.uniform(1.0, 8.0), 2)])
+    return junctions, pipes
+
+
+def hurricane_tracks(
+    storms: int = 40, seed: int = 29
+) -> list[list[Any]]:
+    """Scenario V.4: (storm_id, step, lon, lat, wind) track points heading
+    roughly north-west from the Atlantic."""
+    rng = random.Random(seed)
+    rows = []
+    for storm in range(storms):
+        lon = rng.uniform(-60.0, -40.0)
+        lat = rng.uniform(10.0, 20.0)
+        wind = rng.uniform(60.0, 120.0)
+        for step in range(rng.randint(10, 25)):
+            lon -= rng.uniform(0.2, 1.2)
+            lat += rng.uniform(0.1, 0.9)
+            wind = max(30.0, wind + rng.gauss(0, 6))
+            rows.append([storm, step, round(lon, 2), round(lat, 2), round(wind, 1)])
+    return rows

@@ -1,0 +1,131 @@
+"""Tests for the aging run, semantic pruning, and join pruning."""
+
+import pytest
+
+from repro.aging.pruning import AgingManager
+from repro.aging.rules import AgingDependency
+from repro.aging.tiering import aged_ordinals, hot_ordinals
+from repro.core.database import Database
+from repro.errors import AgingError
+from repro.sql.executor import execute as execute_plan
+from repro.sql.parser import parse
+from repro.sql.planner import plan_select
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, year INT, amount DOUBLE)"
+    )
+    database.execute(
+        "CREATE TABLE invoices (inv INT PRIMARY KEY, order_id INT, paid VARCHAR)"
+    )
+    order_rows = ", ".join(
+        f"({i}, '{'closed' if i < 60 else 'open'}', {2012 + i % 3}, {float(i)})"
+        for i in range(100)
+    )
+    invoice_rows = ", ".join(
+        f"({i}, {i}, '{'paid' if i < 60 else 'due'}')" for i in range(100)
+    )
+    database.execute(f"INSERT INTO orders VALUES {order_rows}")
+    database.execute(f"INSERT INTO invoices VALUES {invoice_rows}")
+    return database
+
+
+def metrics_for(database, sql):
+    plan = plan_select(parse(sql), database.catalog)
+    context = database._context(None, None)
+    batch = execute_plan(plan, context)
+    return batch, context.metrics
+
+
+def test_aging_run_moves_eligible_rows(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed'")
+    moved = manager.run("orders")
+    assert moved == {"orders": 60}
+    table = db.table("orders")
+    assert len(aged_ordinals(table)) == 1
+    # data is unchanged from the query perspective
+    assert db.query("SELECT COUNT(*) FROM orders").scalar() == 100
+
+
+def test_aging_run_is_idempotent(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed'")
+    manager.run("orders")
+    assert manager.run("orders") == {"orders": 0}
+
+
+def test_semantic_pruning_skips_aged_partition(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed'")
+    manager.run("orders")
+    _batch, metrics = metrics_for(db, "SELECT COUNT(*) FROM orders WHERE status = 'open'")
+    assert metrics.get("semantic_prunes", 0) == 1
+    assert metrics.get("rows_scanned", 0) == 40  # only the hot partition
+    # a query that *can* match aged rows must not prune
+    _batch, metrics = metrics_for(db, "SELECT COUNT(*) FROM orders WHERE amount > 10")
+    assert metrics.get("semantic_prunes", 0) == 0
+
+
+def test_pruning_preserves_correctness(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed' AND year <= 2014")
+    manager.run("orders")
+    assert db.query("SELECT COUNT(*) FROM orders WHERE year = 2015").scalar() == 0
+    assert db.query("SELECT COUNT(*) FROM orders WHERE status = 'open'").scalar() == 40
+    assert db.query("SELECT COUNT(*) FROM orders WHERE status = 'closed'").scalar() == 60
+
+
+def test_dependency_gates_child_aging(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed'")
+    manager.define_rule(
+        "invoices",
+        "paid = 'paid'",
+        dependencies=[AgingDependency("orders", "order_id", "id")],
+    )
+    # child alone cannot age anything: no parents aged yet
+    assert manager.run("invoices") == {"invoices": 0}
+    moved = manager.run()
+    assert moved["orders"] == 60
+    assert moved["invoices"] == 60
+    assert manager.aged_keys("invoices") == {(i,) for i in range(60)}
+
+
+def test_join_prunable_requires_dependency_and_hot_parent(db):
+    manager = AgingManager(db)
+    manager.define_rule("orders", "status = 'closed'")
+    manager.define_rule(
+        "invoices",
+        "paid = 'paid'",
+        dependencies=[AgingDependency("orders", "order_id", "id")],
+    )
+    manager.run()
+    table = db.table("invoices")
+    assert manager.join_prunable("invoices", parent_hot_only=True) == hot_ordinals(table)
+    assert manager.join_prunable("invoices", parent_hot_only=False) == list(
+        range(len(table.partitions))
+    )
+
+
+def test_run_without_rule_raises(db):
+    manager = AgingManager(db)
+    with pytest.raises(AgingError):
+        manager.run("orders")
+
+
+def test_propose_rule_from_statistics(db):
+    db.execute("CREATE TABLE events (id INT, d DATE)")
+    db.execute(
+        "INSERT INTO events VALUES (1, DATE '2012-01-01'), (2, DATE '2013-01-01'), "
+        "(3, DATE '2014-01-01'), (4, DATE '2015-01-01')"
+    )
+    manager = AgingManager(db)
+    proposal = manager.propose_rule("events", "d", quantile=0.5)
+    assert proposal == "d < DATE '2014-01-01'"
+    # the proposal parses as a valid rule predicate
+    manager.define_rule("events", proposal)
+    assert manager.run("events") == {"events": 2}

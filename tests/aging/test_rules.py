@@ -1,0 +1,77 @@
+"""Tests for aging rules, fact extraction, and the dependency graph."""
+
+import datetime as dt
+
+import pytest
+
+from repro.aging.rules import (
+    AgingDependency,
+    AgingRule,
+    Fact,
+    RuleSet,
+    contradicts,
+    extract_facts,
+)
+from repro.errors import AgingError
+from repro.sql.parser import parse_expression
+
+
+def test_facts_from_simple_conjuncts():
+    rule = AgingRule("orders", "status = 'closed' AND odate < DATE '2014-01-01'")
+    assert Fact("status", "=", "closed") in rule.facts
+    assert Fact("odate", "<", dt.date(2014, 1, 1)) in rule.facts
+
+
+def test_facts_from_between_and_reversed_comparison():
+    facts = extract_facts(parse_expression("amount BETWEEN 1 AND 5 AND 100 > qty"))
+    assert Fact("amount", ">=", 1) in facts
+    assert Fact("amount", "<=", 5) in facts
+    assert Fact("qty", "<", 100) in facts
+
+
+def test_unrecognised_conjuncts_yield_no_facts():
+    assert extract_facts(parse_expression("UPPER(status) = 'X' OR a = 1")) == []
+
+
+def test_contradiction_equality_vs_equality():
+    fact = Fact("status", "=", "closed")
+    assert contradicts(fact, parse_expression("status = 'open'"))
+    assert not contradicts(fact, parse_expression("status = 'closed'"))
+
+
+def test_contradiction_equality_vs_range():
+    fact = Fact("odate", "<", dt.date(2014, 1, 1))
+    assert contradicts(fact, parse_expression("odate >= DATE '2014-01-01'"))
+    assert contradicts(fact, parse_expression("odate = DATE '2015-06-01'"))
+    assert not contradicts(fact, parse_expression("odate > DATE '2013-01-01'"))
+
+
+def test_contradiction_range_vs_range_boundaries():
+    below = Fact("x", "<=", 10)
+    assert contradicts(below, parse_expression("x > 10"))
+    assert not contradicts(below, parse_expression("x >= 10"))
+    strictly_below = Fact("x", "<", 10)
+    assert contradicts(strictly_below, parse_expression("x >= 10"))
+
+
+def test_different_columns_never_contradict():
+    assert not contradicts(Fact("a", "=", 1), parse_expression("b = 2"))
+
+
+def test_rule_set_detects_cycles():
+    rules = RuleSet()
+    rules.register(
+        AgingRule("a", "x = 1", [AgingDependency("b", "k", "k")])
+    )
+    with pytest.raises(AgingError):
+        rules.register(
+            AgingRule("b", "x = 1", [AgingDependency("a", "k", "k")])
+        )
+
+
+def test_rule_set_aging_order_parents_first():
+    rules = RuleSet()
+    rules.register(AgingRule("invoices", "paid = 'paid'", [AgingDependency("orders", "oid", "id")]))
+    rules.register(AgingRule("orders", "status = 'closed'"))
+    order = rules.aging_order()
+    assert order.index("orders") < order.index("invoices")

@@ -1,0 +1,76 @@
+"""Tests for extended-storage eviction and reload."""
+
+import pytest
+
+from repro.aging.pruning import AgingManager
+from repro.aging.tiering import (
+    aged_ordinals,
+    ensure_aged_partition,
+    evict_partition,
+    rehydrate_partition,
+)
+from repro.core.database import Database
+from repro.errors import AgingError
+
+
+@pytest.fixture
+def aged_db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, status VARCHAR)")
+    rows = ", ".join(f"({i}, '{'old' if i < 70 else 'new'}')" for i in range(100))
+    database.execute(f"INSERT INTO t VALUES {rows}")
+    manager = AgingManager(database)
+    manager.define_rule("t", "status = 'old'")
+    manager.run("t")
+    database.merge("t")
+    return database
+
+
+def test_evict_and_transparent_reload(aged_db, tmp_path):
+    table = aged_db.table("t")
+    partition = table.partitions[aged_ordinals(table)[0]]
+    path = evict_partition(partition, tmp_path)
+    assert path.exists()
+    assert not partition.is_loaded
+    assert partition.tier == "extended"
+    # query that touches the aged partition transparently reloads it
+    assert aged_db.query("SELECT COUNT(*) FROM t WHERE status = 'old'").scalar() == 70
+    assert partition.is_loaded
+    assert partition.cold_reads > 0
+
+
+def test_pruned_queries_do_not_reload(aged_db, tmp_path):
+    table = aged_db.table("t")
+    partition = table.partitions[aged_ordinals(table)[0]]
+    evict_partition(partition, tmp_path)
+    assert aged_db.query("SELECT COUNT(*) FROM t WHERE status = 'new'").scalar() == 30
+    assert not partition.is_loaded  # semantic pruning skipped the cold tier
+
+
+def test_evict_requires_merged_delta(tmp_path):
+    database = Database()
+    database.execute("CREATE TABLE t (id INT)")
+    database.execute("INSERT INTO t VALUES (1)")
+    partition = database.table("t").partitions[0]
+    with pytest.raises(AgingError):
+        evict_partition(partition, tmp_path)
+
+
+def test_rehydrate(aged_db, tmp_path):
+    table = aged_db.table("t")
+    partition = table.partitions[aged_ordinals(table)[0]]
+    evict_partition(partition, tmp_path)
+    rehydrate_partition(partition)
+    assert partition.tier == "hot"
+    assert partition.is_loaded
+    assert partition.storage_path is None
+
+
+def test_ensure_aged_partition_is_idempotent():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT)")
+    table = database.table("t")
+    first = ensure_aged_partition(table)
+    second = ensure_aged_partition(table)
+    assert first is second
+    assert len(table.partitions) == 2

@@ -1,0 +1,61 @@
+"""Tests for main/delta column fragments."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.columnstore.column import DeltaColumn, MainColumn
+from repro.core import types
+
+
+def test_main_build_and_decode_ints():
+    column = MainColumn.build(types.INTEGER, [3, 1, 2, 1])
+    array = column.array()
+    assert array.dtype == np.int64
+    assert list(array) == [3, 1, 2, 1]
+
+
+def test_main_with_nulls_decodes_to_float_nan():
+    column = MainColumn.build(types.INTEGER, [1, None, 3])
+    array = column.array()
+    assert array.dtype == np.float64
+    assert np.isnan(array[1])
+
+
+def test_main_strings_decode_to_objects():
+    column = MainColumn.build(types.VARCHAR, ["b", None, "a"])
+    assert list(column.array()) == ["b", None, "a"]
+
+
+def test_values_at_exact():
+    column = MainColumn.build(types.DATE, [dt.date(2014, 1, 1), dt.date(2013, 5, 5)])
+    assert column.values_at(np.array([1])) == [dt.date(2013, 5, 5)]
+
+
+def test_unsorted_dictionary_build():
+    column = MainColumn.build(types.VARCHAR, ["b", "a"], sorted_dictionary=False)
+    assert column.dictionary.values == ["b", "a"]
+    assert list(column.array()) == ["b", "a"]
+
+
+def test_delta_append_and_array():
+    delta = DeltaColumn(types.DOUBLE)
+    delta.extend([1.5, None, 2.0])
+    array = delta.array()
+    assert array.dtype == np.float64
+    assert np.isnan(array[1])
+    assert delta.values_at(np.array([0, 2])) == [1.5, 2.0]
+
+
+def test_delta_bool_column():
+    delta = DeltaColumn(types.BOOLEAN)
+    delta.extend([True, False])
+    assert delta.array().dtype == np.bool_
+
+
+def test_memory_accounting_positive():
+    column = MainColumn.build(types.VARCHAR, ["hello"] * 100)
+    assert column.memory_bytes() > 0
+    delta = DeltaColumn(types.VARCHAR)
+    delta.append("x")
+    assert delta.memory_bytes() > 0

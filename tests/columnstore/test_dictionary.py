@@ -1,0 +1,87 @@
+"""Tests for sorted and append dictionaries."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.compression import NULL_VID
+from repro.columnstore.dictionary import AppendDictionary, SortedDictionary
+
+
+def test_sorted_dictionary_orders_values():
+    dictionary = SortedDictionary(["c", "a", "b", "a"])
+    assert dictionary.values == ["a", "b", "c"]
+    assert dictionary.vid_of("b") == 1
+    assert dictionary.value_of(2) == "c"
+
+
+def test_null_is_never_stored():
+    dictionary = SortedDictionary()
+    assert dictionary.vid_of(None) == NULL_VID
+    assert dictionary.value_of(NULL_VID) is None
+
+
+def test_append_order_needs_no_remap():
+    dictionary = SortedDictionary(["a", "b"])
+    remap = dictionary.encode_many(["c", "d"])
+    assert remap is None
+    assert dictionary.remap_count == 0
+    assert dictionary.vid_of("a") == 0  # stable
+
+
+def test_out_of_order_insert_remaps():
+    dictionary = SortedDictionary(["b", "d"])
+    remap = dictionary.encode_many(["a", "c"])
+    assert remap is not None
+    # old vid 0 was "b" -> now position 1; old vid 1 was "d" -> now 3
+    assert list(remap) == [1, 3]
+    assert dictionary.remap_count == 1
+    assert dictionary.values == ["a", "b", "c", "d"]
+
+
+def test_encode_many_ignores_known_values():
+    dictionary = SortedDictionary(["a", "b"])
+    assert dictionary.encode_many(["a", "b", None]) is None
+
+
+def test_range_vids_sorted():
+    dictionary = SortedDictionary(["a", "b", "c", "d"])
+    assert dictionary.range_vids("b", "c") == (1, 3)
+    assert dictionary.range_vids(low="b", low_inclusive=False) == (2, 4)
+    assert dictionary.range_vids(high="c", high_inclusive=False) == (0, 2)
+    assert dictionary.range_vids() == (0, 4)
+
+
+def test_decode_many():
+    dictionary = SortedDictionary(["x", "y"])
+    vids = np.array([1, NULL_VID, 0])
+    assert dictionary.decode_many(vids) == ["y", None, "x"]
+
+
+def test_append_dictionary_is_insertion_ordered():
+    dictionary = AppendDictionary()
+    assert dictionary.encode("b") == 0
+    assert dictionary.encode("a") == 1
+    assert dictionary.encode("b") == 0
+    assert dictionary.values == ["b", "a"]
+    assert dictionary.stable_order_violations == 1
+    assert not dictionary.is_sorted()
+
+
+def test_append_dictionary_monotone_keys_stay_sorted():
+    dictionary = AppendDictionary()
+    for key in ["k001", "k002", "k003"]:
+        dictionary.encode(key)
+    assert dictionary.is_sorted()
+    assert dictionary.stable_order_violations == 0
+
+
+def test_append_dictionary_never_remaps():
+    dictionary = AppendDictionary(["z", "a"])
+    assert dictionary.encode_many(["m", "z"]) is None
+    assert dictionary.remap_count == 0
+
+
+def test_contains():
+    dictionary = SortedDictionary(["a"])
+    assert "a" in dictionary
+    assert "b" not in dictionary

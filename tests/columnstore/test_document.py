@@ -1,0 +1,93 @@
+"""Tests for document paths and the materialised join index."""
+
+import pytest
+
+from repro.columnstore.document import (
+    DocumentJoinIndex,
+    doc_extract,
+    doc_extract_all,
+    doc_match,
+    parse_path,
+)
+from repro.errors import SchemaError, SqlSyntaxError
+
+DOC = {
+    "order": 7,
+    "customer": {"name": "acme", "country": "DE"},
+    "items": [
+        {"sku": "a", "price": 10.0},
+        {"sku": "b", "price": 20.0},
+    ],
+}
+
+
+def test_parse_path_fields_and_indexes():
+    path = parse_path("$.items[1].sku")
+    assert path.first(DOC) == "b"
+
+
+def test_parse_path_wildcard():
+    path = parse_path("$.items[*].price")
+    assert path.extract(DOC) == [10.0, 20.0]
+
+
+def test_parse_path_negative_index():
+    assert parse_path("$.items[-1].sku").first(DOC) == "a" or True
+    assert parse_path("$.items[-1].sku").first(DOC) == "b"
+
+
+def test_missing_path_yields_empty():
+    assert parse_path("$.nope.deeper").extract(DOC) == []
+    assert parse_path("$.items[9]").extract(DOC) == []
+
+
+def test_bad_paths_raise():
+    with pytest.raises(SqlSyntaxError):
+        parse_path("items.sku")
+    with pytest.raises(SqlSyntaxError):
+        parse_path("$.items[x]")
+
+
+def test_doc_functions_accept_json_text():
+    import json
+
+    blob = json.dumps(DOC)
+    assert doc_extract(blob, "$.customer.name") == "acme"
+    assert doc_extract_all(blob, "$.items[*].sku") == ["a", "b"]
+    assert doc_match(blob, "$.customer.country", "DE")
+    assert not doc_match(blob, "$.customer.country", "US")
+    assert doc_extract(None, "$.x") is None
+
+
+def test_star_over_dict_values():
+    assert set(parse_path("$.customer[*]").extract(DOC)) == {"acme", "DE"}
+
+
+def test_join_index_build_and_get():
+    index = DocumentJoinIndex("order_id", item_parent_key="order_id",
+                              subitem_parent_key="item_id")
+    index.build(
+        headers=[{"order_id": 1, "customer": "acme"}],
+        items=[{"order_id": 1, "item_id": 10, "sku": "a"}],
+        subitems=[{"item_id": 10, "serial": "s1"}],
+        item_key="item_id",
+    )
+    document = index.get(1)
+    assert document["customer"] == "acme"
+    assert document["items"][0]["subitems"][0]["serial"] == "s1"
+    assert index.get(99) is None
+
+
+def test_join_index_rejects_orphans():
+    index = DocumentJoinIndex("order_id")
+    with pytest.raises(SchemaError):
+        index.build(headers=[{"order_id": 1}], items=[{"order_id": 2}])
+
+
+def test_join_index_upsert_and_scan():
+    index = DocumentJoinIndex("k")
+    index.upsert({"k": 1, "region": "EU"}, items=[{"sku": "x"}])
+    index.upsert({"k": 2, "region": "US"})
+    assert len(index) == 2
+    eu = index.scan(lambda doc: doc["region"] == "EU")
+    assert [doc["k"] for doc in eu] == [1]

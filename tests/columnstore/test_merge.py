@@ -1,0 +1,139 @@
+"""Tests for the delta merge, including the app-aware key optimisation."""
+
+import pytest
+
+from repro.columnstore.merge import merge_partition, merge_table
+from repro.columnstore.table import ColumnTable
+from repro.core import types
+from repro.core.schema import schema
+from repro.transaction.manager import TransactionManager
+from repro.transaction.mvcc import INF_CID
+
+
+@pytest.fixture
+def setup():
+    manager = TransactionManager()
+    table = ColumnTable("t", schema(("key", types.VARCHAR), ("v", types.INTEGER)))
+    return manager, table
+
+
+def load(manager, table, rows):
+    txn = manager.begin()
+    table.insert_many(rows, txn)
+    manager.commit(txn)
+
+
+def test_merge_moves_delta_to_main(setup):
+    manager, table = setup
+    load(manager, table, [["a", 1], ["b", 2]])
+    stats = merge_table(table)
+    assert stats.rows_merged == 2
+    partition = table.partitions[0]
+    assert partition.n_delta == 0
+    assert partition.n_main == 2
+    assert table.scan_rows(manager.last_committed_cid) == [["a", 1], ["b", 2]]
+
+
+def test_merge_preserves_visibility(setup):
+    manager, table = setup
+    load(manager, table, [["a", 1], ["b", 2]])
+    txn = manager.begin()
+    table.delete_at(0, 0, txn)
+    manager.commit(txn)
+    merge_table(table)
+    assert table.scan_rows(manager.last_committed_cid) == [["b", 2]]
+
+
+def test_monotone_keys_do_not_remap(setup):
+    manager, table = setup
+    load(manager, table, [["k001", 1], ["k002", 2]])
+    merge_table(table)
+    load(manager, table, [["k003", 3], ["k004", 4]])
+    stats = merge_table(table)
+    assert stats.columns_remapped == 0
+    assert stats.ids_rewritten == 0
+
+
+def test_random_keys_force_remap(setup):
+    manager, table = setup
+    load(manager, table, [["m", 1], ["t", 2]])
+    merge_table(table)
+    load(manager, table, [["a", 3]])  # sorts before existing values
+    stats = merge_table(table)
+    assert stats.columns_remapped >= 1
+    assert stats.ids_rewritten >= 2
+    # data is still correct after the remap
+    rows = {tuple(r) for r in table.scan_rows(manager.last_committed_cid)}
+    assert rows == {("m", 1), ("t", 2), ("a", 3)}
+
+
+def test_compacting_merge_drops_dead_versions(setup):
+    manager, table = setup
+    load(manager, table, [["a", 1], ["b", 2], ["c", 3]])
+    txn = manager.begin()
+    table.delete_at(0, 1, txn)
+    manager.commit(txn)
+    stats = merge_table(table, compact=True, oldest_active_snapshot=manager.last_committed_cid)
+    assert stats.rows_compacted == 1
+    partition = table.partitions[0]
+    assert partition.n_main == 2
+    assert table.scan_rows(manager.last_committed_cid) == [["a", 1], ["c", 3]]
+
+
+def test_compacting_merge_drops_rollback_tombstones(setup):
+    manager, table = setup
+    load(manager, table, [["a", 1]])
+    aborted = manager.begin()
+    table.insert(["zz", 9], aborted)
+    manager.rollback(aborted)
+    stats = merge_table(table, compact=True, oldest_active_snapshot=manager.last_committed_cid)
+    assert stats.rows_compacted == 1
+    assert table.scan_rows(manager.last_committed_cid) == [["a", 1]]
+
+
+def test_merge_keeps_pending_writes(setup):
+    manager, table = setup
+    load(manager, table, [["a", 1]])
+    pending = manager.begin()
+    table.insert(["b", 2], pending)
+    merge_table(table)
+    manager.commit(pending)
+    rows = {tuple(r) for r in table.scan_rows(manager.last_committed_cid)}
+    assert rows == {("a", 1), ("b", 2)}
+
+
+def test_empty_merge_is_noop(setup):
+    _manager, table = setup
+    stats = merge_partition(table.partitions[0])
+    assert stats.rows_merged == 0
+
+
+def test_merge_with_nulls(setup):
+    manager, table = setup
+    load(manager, table, [[None, None], ["a", 1]])
+    merge_table(table)
+    rows = table.scan_rows(manager.last_committed_cid)
+    assert rows == [[None, None], ["a", 1]]
+
+
+def test_soe_relaxed_compression_never_remaps():
+    """§IV.A: the SOE relaxes resorting — unsorted (append) dictionaries
+    keep value ids stable regardless of key order."""
+    from repro.columnstore.dictionary import AppendDictionary
+
+    manager = TransactionManager()
+    table = ColumnTable(
+        "t",
+        schema(("key", types.VARCHAR), ("v", types.INTEGER)),
+        sorted_dictionaries=False,
+    )
+    load(manager, table, [["m", 1], ["t", 2]])
+    merge_table(table)
+    load(manager, table, [["a", 3]])  # would force a resort in sorted mode
+    stats = merge_table(table)
+    assert stats.columns_remapped == 0
+    assert stats.ids_rewritten == 0
+    partition = table.partitions[0]
+    assert isinstance(partition.main["key"].dictionary, AppendDictionary)
+    rows = {tuple(r) for r in table.scan_rows(manager.last_committed_cid)}
+    assert rows == {("m", 1), ("t", 2), ("a", 3)}

@@ -1,0 +1,122 @@
+"""Tests for partitioning specs."""
+
+import pytest
+
+from repro.columnstore.partition import (
+    HashPartitioning,
+    RangePartitioning,
+    SinglePartition,
+)
+from repro.core import types
+from repro.core.schema import schema
+from repro.errors import PartitionError
+
+SCHEMA = schema(("id", types.INTEGER), ("year", types.INTEGER))
+
+
+def test_single_partition_routes_everything_to_zero():
+    spec = SinglePartition()
+    assert spec.partition_count == 1
+    assert spec.route([1, 2014], SCHEMA) == 0
+
+
+def test_hash_partitioning_is_deterministic_and_bounded():
+    spec = HashPartitioning(["id"], 4)
+    buckets = {spec.route([value, 0], SCHEMA) for value in range(100)}
+    assert buckets <= {0, 1, 2, 3}
+    assert len(buckets) > 1
+    assert spec.route([7, 0], SCHEMA) == spec.route([7, 99], SCHEMA)
+
+
+def test_hash_partitioning_validation():
+    with pytest.raises(PartitionError):
+        HashPartitioning([], 4)
+    with pytest.raises(PartitionError):
+        HashPartitioning(["id"], 0)
+
+
+def test_range_partitioning_routes_by_boundary():
+    spec = RangePartitioning("year", [2013, 2015])
+    assert spec.partition_count == 3
+    assert spec.route([1, 2012], SCHEMA) == 0
+    assert spec.route([1, 2013], SCHEMA) == 1
+    assert spec.route([1, 2014], SCHEMA) == 1
+    assert spec.route([1, 2015], SCHEMA) == 2
+    assert spec.route([1, None], SCHEMA) == 0
+
+
+def test_range_boundaries_must_ascend():
+    with pytest.raises(PartitionError):
+        RangePartitioning("year", [2015, 2013])
+    with pytest.raises(PartitionError):
+        RangePartitioning("year", [])
+
+
+def test_range_partition_range_bounds():
+    spec = RangePartitioning("year", [2013, 2015])
+    assert spec.partition_range(0) == (None, 2013)
+    assert spec.partition_range(1) == (2013, 2015)
+    assert spec.partition_range(2) == (2015, None)
+
+
+def test_range_prune():
+    spec = RangePartitioning("year", [2013, 2015])
+    assert spec.prune(low=2016) == [2]
+    assert spec.prune(high=2012) == [0]
+    assert spec.prune(low=2013, high=2014) == [1]
+    assert spec.prune() == [0, 1, 2]
+
+
+def test_composite_partitioning_routes_both_levels():
+    from repro.columnstore.partition import CompositePartitioning
+
+    spec = CompositePartitioning(
+        RangePartitioning("year", [2014]), HashPartitioning(["id"], 3)
+    )
+    assert spec.partition_count == 6
+    assert len(spec.partition_names()) == 6
+    early = spec.route([7, 2013], SCHEMA)
+    late = spec.route([7, 2015], SCHEMA)
+    assert early < 3 <= late
+    # same id, same hash slot within each range slice
+    assert late - early == 3
+
+
+def test_composite_prune_expands_to_hash_group():
+    from repro.columnstore.partition import CompositePartitioning
+
+    spec = CompositePartitioning(
+        RangePartitioning("year", [2014]), HashPartitioning(["id"], 3)
+    )
+    assert spec.prune(low=2015) == [3, 4, 5]
+    assert spec.prune(high=2013) == [0, 1, 2]
+    assert spec.column == "year"
+
+
+def test_composite_pruning_through_sql():
+    from repro.columnstore.partition import CompositePartitioning
+    from repro.core import types
+    from repro.core.database import Database
+    from repro.core.schema import schema as make_schema
+    from repro.sql.executor import execute as run_plan
+    from repro.sql.parser import parse
+    from repro.sql.planner import plan_select
+
+    database = Database()
+    database.create_table(
+        "events",
+        make_schema(("id", types.INTEGER), ("year", types.INTEGER), ("v", types.DOUBLE)),
+        partitioning=CompositePartitioning(
+            RangePartitioning("year", [2014]), HashPartitioning(["id"], 2)
+        ),
+    )
+    txn = database.begin()
+    database.table("events").insert_many(
+        ([i, 2013 + (i % 2) * 2, float(i)] for i in range(100)), txn
+    )
+    database.commit(txn)
+    plan = plan_select(parse("SELECT COUNT(*) FROM events WHERE year >= 2015"), database.catalog)
+    context = database._context(None, None)
+    batch = run_plan(plan, context)
+    assert batch.rows() == [[50]]
+    assert context.metrics["partitions_pruned"] == 2  # the 2013 hash group

@@ -1,0 +1,168 @@
+"""Tests for ColumnTable: inserts, MVCC visibility, deletes, flexible."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.partition import HashPartitioning
+from repro.columnstore.table import ColumnTable
+from repro.core import types
+from repro.core.schema import schema
+from repro.errors import SchemaError, WriteConflictError
+from repro.transaction.manager import TransactionManager
+
+
+@pytest.fixture
+def setup():
+    manager = TransactionManager()
+    table = ColumnTable("t", schema(("id", types.INTEGER), ("name", types.VARCHAR)))
+    return manager, table
+
+
+def test_insert_visible_after_commit(setup):
+    manager, table = setup
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    assert table.row_count(manager.last_committed_cid) == 0
+    manager.commit(txn)
+    assert table.row_count(manager.last_committed_cid) == 1
+
+
+def test_own_writes_visible_before_commit(setup):
+    manager, table = setup
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    assert table.row_count(txn.snapshot_cid, txn.tid) == 1
+
+
+def test_rollback_hides_insert(setup):
+    manager, table = setup
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    manager.rollback(txn)
+    assert table.row_count(manager.last_committed_cid) == 0
+
+
+def test_snapshot_does_not_see_later_commits(setup):
+    manager, table = setup
+    writer1 = manager.begin()
+    table.insert([1, "a"], writer1)
+    manager.commit(writer1)
+    reader = manager.begin()
+    writer2 = manager.begin()
+    table.insert([2, "b"], writer2)
+    manager.commit(writer2)
+    assert table.row_count(reader.snapshot_cid, reader.tid) == 1
+    assert table.row_count(manager.last_committed_cid) == 2
+
+
+def test_delete_and_conflict(setup):
+    manager, table = setup
+    txn = manager.begin()
+    ordinal, position = table.insert([1, "a"], txn)
+    manager.commit(txn)
+
+    deleter = manager.begin()
+    table.delete_at(ordinal, position, deleter)
+    other = manager.begin()
+    with pytest.raises(WriteConflictError):
+        table.delete_at(ordinal, position, other)
+    manager.rollback(deleter)
+    # after rollback the row is deletable again
+    table.delete_at(ordinal, position, other)
+    manager.commit(other)
+    assert table.row_count(manager.last_committed_cid) == 0
+
+
+def test_update_is_delete_plus_insert(setup):
+    manager, table = setup
+    txn = manager.begin()
+    ordinal, position = table.insert([1, "a"], txn)
+    manager.commit(txn)
+    updater = manager.begin()
+    table.update_at(ordinal, position, {"name": "z"}, updater)
+    manager.commit(updater)
+    rows = table.scan_rows(manager.last_committed_cid)
+    assert rows == [[1, "z"]]
+
+
+def test_hash_partition_routing(setup):
+    manager, _ = setup
+    table = ColumnTable(
+        "p",
+        schema(("id", types.INTEGER)),
+        partitioning=HashPartitioning(["id"], 4),
+    )
+    txn = manager.begin()
+    for value in range(40):
+        table.insert([value], txn)
+    manager.commit(txn)
+    assert len(table.partitions) == 4
+    assert sum(len(p) for p in table.partitions) == 40
+    assert all(len(p) > 0 for p in table.partitions)
+
+
+def test_flexible_table_adds_columns_on_insert(setup):
+    manager, _ = setup
+    table = ColumnTable("f", schema(("id", types.INTEGER)), flexible=True)
+    txn = manager.begin()
+    table.ensure_columns({"id": 1, "color": "red"}, types.VARCHAR)
+    table.insert({"id": 1, "color": "red"}, txn)
+    manager.commit(txn)
+    assert table.schema.has_column("color")
+    rows = table.scan_rows(manager.last_committed_cid)
+    assert rows == [[1, "red"]]
+
+
+def test_non_flexible_rejects_unknown_columns(setup):
+    manager, table = setup
+    with pytest.raises(SchemaError):
+        table.ensure_columns({"bogus": 1}, types.VARCHAR)
+
+
+def test_flexible_backfills_nulls(setup):
+    manager, _ = setup
+    table = ColumnTable("f", schema(("id", types.INTEGER)), flexible=True)
+    txn = manager.begin()
+    table.insert({"id": 1}, txn)
+    table.ensure_columns({"id": 2, "note": "x"}, types.VARCHAR)
+    table.insert({"id": 2, "note": "x"}, txn)
+    manager.commit(txn)
+    rows = sorted(table.scan_rows(manager.last_committed_cid))
+    assert rows == [[1, None], [2, "x"]]
+
+
+def test_change_listener_fires_on_commit_only(setup):
+    manager, table = setup
+    events = []
+    table.on_change(lambda event, p, positions, rows: events.append((event, rows)))
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    assert events == []
+    manager.commit(txn)
+    assert events == [("insert", [[1, "a"]])]
+    aborted = manager.begin()
+    table.insert([2, "b"], aborted)
+    manager.rollback(aborted)
+    assert len(events) == 1
+
+
+def test_find_rows(setup):
+    manager, table = setup
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    table.insert([2, "b"], txn)
+    manager.commit(txn)
+    matches = table.find_rows(lambda row: row[1] == "b", manager.last_committed_cid)
+    assert len(matches) == 1
+    assert matches[0][2] == [2, "b"]
+
+
+def test_statistics(setup):
+    manager, table = setup
+    txn = manager.begin()
+    table.insert([1, "a"], txn)
+    manager.commit(txn)
+    stats = table.statistics()
+    assert stats["delta_rows"] == 1
+    assert stats["main_rows"] == 0
+    assert stats["columns"] == 2

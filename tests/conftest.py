@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.workloads.generators import (
+    ErpConfig,
+    erp_customers,
+    erp_invoices,
+    erp_orders,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def erp_db() -> Database:
+    """A database preloaded with the synthetic ERP workload."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE customers (customer_id INT PRIMARY KEY, name VARCHAR, "
+        "country VARCHAR, city VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, "
+        "status VARCHAR, order_date DATE, amount DOUBLE, currency VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE invoices (invoice_id INT PRIMARY KEY, order_id INT, "
+        "paid VARCHAR, invoice_date DATE, amount DOUBLE)"
+    )
+    config = ErpConfig(customers=40, orders=300)
+    orders = erp_orders(config)
+    txn = database.begin()
+    database.table("customers").insert_many(erp_customers(config), txn)
+    database.table("orders").insert_many(orders, txn)
+    database.table("invoices").insert_many(erp_invoices(config, orders), txn)
+    database.commit(txn)
+    return database
+
+
+@pytest.fixture
+def small_soe():
+    """A 3-worker SOE landscape with a loaded sensor table."""
+    from repro.soe.engine import SoeEngine
+
+    soe = SoeEngine(node_count=3, node_modes="olap")
+    soe.create_table("readings", ["sensor_id", "region", "value"], ["sensor_id"], partition_count=6)
+    rows = [[i, f"r{i % 3}", float(i % 100)] for i in range(600)]
+    soe.load("readings", rows)
+    return soe
+
+
+@pytest.fixture
+def hdfs():
+    from repro.hadoop.hdfs import HdfsCluster
+
+    return HdfsCluster(datanode_ids=3, block_size_lines=25, replication=2)

@@ -1,0 +1,59 @@
+"""Tests for the shared catalog."""
+
+import pytest
+
+from repro.core import types
+from repro.core.catalog import Catalog
+from repro.core.schema import schema
+from repro.columnstore.table import ColumnTable
+from repro.errors import DuplicateObjectError, TableNotFoundError
+
+
+def make_table(name="t"):
+    return ColumnTable(name, schema(("a", types.INTEGER)))
+
+
+def test_register_and_lookup_case_insensitive():
+    catalog = Catalog()
+    catalog.register_table(make_table("Orders"))
+    assert catalog.has_table("ORDERS")
+    assert catalog.table("orders").name == "Orders"
+
+
+def test_duplicate_table_rejected():
+    catalog = Catalog()
+    catalog.register_table(make_table())
+    with pytest.raises(DuplicateObjectError):
+        catalog.register_table(make_table())
+
+
+def test_drop_unknown_table():
+    with pytest.raises(TableNotFoundError):
+        Catalog().drop_table("ghost")
+
+
+def test_drop_removes_annotations():
+    catalog = Catalog()
+    catalog.register_table(make_table())
+    catalog.annotate("t", "aging_rule", "x")
+    catalog.drop_table("t")
+    catalog.register_table(make_table())
+    assert catalog.annotation("t", "aging_rule") is None
+
+
+def test_views_registry():
+    catalog = Catalog()
+    catalog.register_view("h", object())
+    assert catalog.has_view("H")
+    with pytest.raises(DuplicateObjectError):
+        catalog.register_view("h", object())
+    with pytest.raises(TableNotFoundError):
+        catalog.view("missing")
+
+
+def test_annotations_round_trip():
+    catalog = Catalog()
+    catalog.annotate("t", "key_generation", "monotone")
+    assert catalog.annotation("t", "key_generation") == "monotone"
+    assert catalog.annotation("t", "other", 42) == 42
+    assert catalog.annotations("t") == {"key_generation": "monotone"}

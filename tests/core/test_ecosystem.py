@@ -1,0 +1,69 @@
+"""Tests for the ecosystem orchestrator."""
+
+import pytest
+
+from repro.core.ecosystem import Ecosystem
+from repro.errors import ReproError
+
+
+def test_lazy_components_raise_before_attach():
+    eco = Ecosystem()
+    with pytest.raises(ReproError):
+        _ = eco.soe
+    with pytest.raises(ReproError):
+        _ = eco.hdfs
+
+
+def test_attach_is_idempotent():
+    eco = Ecosystem()
+    first = eco.attach_hadoop(datanodes=2)
+    second = eco.attach_hadoop(datanodes=9)
+    assert first is second
+    soe_a = eco.attach_soe(node_count=2)
+    soe_b = eco.attach_soe(node_count=7)
+    assert soe_a is soe_b
+
+
+def test_session_and_hierarchy_functions_preinstalled():
+    eco = Ecosystem()
+    from repro.engines.graph.hierarchy import HierarchyView
+
+    eco.hana.catalog.register_view("h", HierarchyView("h", {"r": None, "c": "r"}))
+    session = eco.session()
+    assert session.query("SELECT HIER_DESCENDANT_COUNT('h', 'r') AS d").scalar() == 1
+
+
+def test_business_object_repository():
+    eco = Ecosystem()
+    eco.hana.execute("CREATE TABLE orders (id INT)")
+    eco.deploy_business_object(
+        "SalesOrder", {"tables": ["orders"], "key": "id", "aging": "status = 'closed'"}
+    )
+    assert eco.business_objects() == ["salesorder"]
+    assert eco.business_object("SalesOrder")["key"] == "id"
+    assert eco.hana.catalog.annotation("orders", "business_object") == "salesorder"
+    with pytest.raises(ReproError):
+        eco.business_object("ghost")
+
+
+def test_unified_statistics_and_health():
+    eco = Ecosystem()
+    eco.attach_hadoop(datanodes=2)
+    eco.attach_soe(node_count=2)
+    stats = eco.statistics()
+    assert {"hana", "soe", "hdfs", "yarn", "hive"} <= set(stats)
+    health = eco.health_check()
+    assert health["hana"] == "ok"
+    eco.hdfs.kill_datanode("dn0")
+    assert "degraded" in eco.health_check()["hdfs"]
+
+
+def test_federation_shortcuts():
+    eco = Ecosystem()
+    eco.attach_hadoop(datanodes=2)
+    eco.hdfs.write_file("/t.csv", ["1", "2"])
+    eco.hive.create_external_table("nums", "/t.csv", [("n", "INT")])
+    eco.federate_hive()
+    eco.sda.create_virtual_table("v_nums", "hadoop", "nums")
+    assert eco.hana.query("SELECT SUM(n) FROM v_nums").scalar() == 3
+    assert "sda" in eco.statistics()

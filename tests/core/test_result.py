@@ -1,0 +1,37 @@
+"""Tests for QueryResult."""
+
+from repro.core.result import QueryResult
+
+
+def test_scalar_and_first():
+    result = QueryResult(["n"], [[5]])
+    assert result.scalar() == 5
+    assert result.first() == [5]
+    assert QueryResult(["n"], []).scalar() is None
+    assert QueryResult(["n"], []).first() is None
+
+
+def test_column_access_and_dicts():
+    result = QueryResult(["a", "b"], [[1, "x"], [2, "y"]])
+    assert result.column("b") == ["x", "y"]
+    assert result.to_dicts() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+
+def test_iteration_len_bool():
+    result = QueryResult(["a"], [[1], [2]])
+    assert len(result) == 2
+    assert bool(result)
+    assert [row for row in result] == [[1], [2]]
+    assert not QueryResult(["a"], [])
+
+
+def test_format_table_truncates():
+    result = QueryResult(["a"], [[i] for i in range(30)])
+    rendered = result.format_table(max_rows=5)
+    assert "more rows" in rendered
+    assert rendered.splitlines()[0].strip() == "a"
+
+
+def test_format_table_renders_null():
+    rendered = QueryResult(["a"], [[None]]).format_table()
+    assert "NULL" in rendered

@@ -1,0 +1,78 @@
+"""Tests for TableSchema and ColumnSpec."""
+
+import pytest
+
+from repro.core import types
+from repro.core.schema import ColumnSpec, TableSchema, schema
+from repro.errors import ColumnNotFoundError, SchemaError
+
+
+def make():
+    return schema(
+        ("id", types.INTEGER),
+        ("name", types.VARCHAR),
+        ("amount", types.DOUBLE),
+        primary_key=["id"],
+    )
+
+
+def test_duplicate_column_rejected():
+    with pytest.raises(SchemaError):
+        schema(("a", types.INTEGER), ("A", types.VARCHAR))
+
+
+def test_primary_key_must_exist():
+    with pytest.raises(SchemaError):
+        schema(("a", types.INTEGER), primary_key=["missing"])
+
+
+def test_position_is_case_insensitive():
+    sch = make()
+    assert sch.position("ID") == 0
+    assert sch.position("Amount") == 2
+    with pytest.raises(ColumnNotFoundError):
+        sch.position("nope")
+
+
+def test_coerce_row_positional():
+    sch = make()
+    assert sch.coerce_row(["1", "x", "2.5"]) == [1, "x", 2.5]
+
+
+def test_coerce_row_wrong_width():
+    with pytest.raises(SchemaError):
+        make().coerce_row([1, "x"])
+
+
+def test_coerce_row_mapping_fills_nulls():
+    sch = make()
+    assert sch.coerce_row({"id": 5, "amount": 1}) == [5, None, 1.0]
+
+
+def test_coerce_row_mapping_unknown_column():
+    with pytest.raises(SchemaError):
+        make().coerce_row({"id": 1, "bogus": 2})
+
+
+def test_not_null_enforced():
+    sch = TableSchema([ColumnSpec("a", types.INTEGER, nullable=False)])
+    with pytest.raises(SchemaError):
+        sch.coerce_row([None])
+
+
+def test_default_applied_when_missing():
+    sch = TableSchema([ColumnSpec("a", types.INTEGER, default=9)])
+    assert sch.coerce_row([None]) == [9]
+
+
+def test_key_of():
+    sch = make()
+    assert sch.key_of([7, "x", 1.0]) == (7,)
+
+
+def test_add_column_for_flexible_tables():
+    sch = make()
+    sch.add_column(ColumnSpec("extra", types.VARCHAR))
+    assert sch.position("extra") == 3
+    with pytest.raises(SchemaError):
+        sch.add_column(ColumnSpec("EXTRA", types.VARCHAR))

@@ -1,0 +1,100 @@
+"""Tests for repro.core.types: coercion, ranges, parameterised types."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import types
+from repro.errors import TypeMismatchError
+
+
+def test_integer_coercion_accepts_strings_and_floats():
+    assert types.INTEGER.coerce("42") == 42
+    assert types.INTEGER.coerce(7.0) == 7
+
+
+def test_integer_rejects_fractional_float():
+    with pytest.raises(TypeMismatchError):
+        types.INTEGER.coerce(1.5)
+
+
+def test_integer_range_check():
+    with pytest.raises(TypeMismatchError):
+        types.INTEGER.coerce(2**31)
+    assert types.BIGINT.coerce(2**31) == 2**31
+    with pytest.raises(TypeMismatchError):
+        types.BIGINT.coerce(2**63)
+
+
+def test_null_passes_through_every_type():
+    for dtype in (types.INTEGER, types.VARCHAR, types.DATE, types.DOUBLE):
+        assert dtype.coerce(None) is None
+
+
+def test_varchar_length_enforced():
+    bounded = types.type_from_name("varchar", length=3)
+    assert bounded.coerce("abc") == "abc"
+    with pytest.raises(TypeMismatchError):
+        bounded.coerce("abcd")
+
+
+def test_varchar_coerces_numbers():
+    assert types.VARCHAR.coerce(12) == "12"
+
+
+def test_boolean_coercion():
+    assert types.BOOLEAN.coerce("true") is True
+    assert types.BOOLEAN.coerce(0) is False
+    with pytest.raises(TypeMismatchError):
+        types.BOOLEAN.coerce("maybe")
+
+
+def test_date_from_iso_and_epoch_days():
+    assert types.DATE.coerce("2014-03-01") == dt.date(2014, 3, 1)
+    assert types.DATE.coerce(0) == dt.date(1970, 1, 1)
+    assert types.DATE.coerce(dt.datetime(2014, 3, 1, 12)) == dt.date(2014, 3, 1)
+
+
+def test_timestamp_from_string_and_seconds():
+    assert types.TIMESTAMP.coerce("2014-03-01T10:30:00") == dt.datetime(2014, 3, 1, 10, 30)
+    assert types.TIMESTAMP.coerce(60) == dt.datetime(1970, 1, 1, 0, 1)
+
+
+def test_decimal_rounds_to_scale():
+    money = types.type_from_name("decimal", precision=10, scale=2)
+    assert money.coerce(1.005) == pytest.approx(1.0, abs=0.011)
+    assert money.coerce("3.14159") == 3.14
+
+
+def test_geometry_stores_wkt():
+    assert types.GEOMETRY.coerce("POINT (1 2)") == "POINT (1 2)"
+
+    class FakeGeom:
+        def wkt(self):
+            return "POINT (3 4)"
+
+    assert types.GEOMETRY.coerce(FakeGeom()) == "POINT (3 4)"
+
+
+def test_document_canonicalises_json():
+    a = types.DOCUMENT.coerce({"b": 1, "a": 2})
+    b = types.DOCUMENT.coerce('{"a": 2, "b": 1}')
+    assert a == b
+
+
+def test_type_from_name_unknown():
+    with pytest.raises(TypeMismatchError):
+        types.type_from_name("blob")
+
+
+def test_type_aliases():
+    assert types.type_from_name("INT") == types.INTEGER
+    assert types.type_from_name("string") == types.VARCHAR
+    assert types.type_from_name("json") == types.DOCUMENT
+
+
+def test_classification_flags():
+    assert types.DOUBLE.is_numeric
+    assert types.DATE.is_temporal
+    assert types.GEOMETRY.is_engine_type
+    assert not types.VARCHAR.is_numeric

@@ -1,0 +1,103 @@
+"""Tests for the geospatial engine."""
+
+import math
+
+import pytest
+
+from repro.engines.geo.geometry import LineString, Point, Polygon, parse_wkt
+from repro.engines.geo.index import GridIndex
+from repro.engines.geo.operations import (
+    area,
+    centroid,
+    contains,
+    distance,
+    haversine_km,
+    within_distance,
+)
+from repro.errors import GeoError
+
+SQUARE = Polygon((Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)))
+
+
+def test_wkt_round_trip():
+    for text in ("POINT (1 2)", "LINESTRING (0 0, 1 1, 2 0)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"):
+        geometry = parse_wkt(text)
+        assert parse_wkt(geometry.wkt()) == geometry
+
+
+def test_wkt_errors():
+    with pytest.raises(GeoError):
+        parse_wkt("CIRCLE (0 0, 5)")
+    with pytest.raises(GeoError):
+        parse_wkt("POINT (a b)")
+    with pytest.raises(GeoError):
+        parse_wkt("POLYGON ((0 0, 1 1))")
+
+
+def test_distance_point_point():
+    assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+
+def test_haversine_equator_degree():
+    # one degree of longitude at the equator is ~111.19 km
+    assert haversine_km(Point(0, 0), Point(1, 0)) == pytest.approx(111.19, abs=0.2)
+
+
+def test_distance_point_polygon():
+    assert distance(Point(2, 2), SQUARE) == 0.0  # inside
+    assert distance(Point(6, 2), SQUARE) == 2.0  # right of the square
+    assert distance(SQUARE, Point(6, 2)) == 2.0  # symmetric
+
+
+def test_within_distance():
+    assert within_distance(Point(0, 0), Point(1, 1), 1.5)
+    assert not within_distance(Point(0, 0), Point(1, 1), 1.0)
+
+
+def test_area_and_centroid():
+    assert area(SQUARE) == 16.0
+    assert area(Point(1, 1)) == 0.0
+    assert centroid(SQUARE) == Point(2, 2)
+    line = LineString((Point(0, 0), Point(2, 0)))
+    assert centroid(line) == Point(1, 0)
+    assert line.length() == 2.0
+
+
+def test_contains_point_and_boundary():
+    assert contains(SQUARE, Point(1, 1))
+    assert contains(SQUARE, Point(0, 0))  # boundary counts
+    assert not contains(SQUARE, Point(5, 5))
+    inner = Polygon((Point(1, 1), Point(2, 1), Point(2, 2)))
+    assert contains(SQUARE, inner)
+    with pytest.raises(GeoError):
+        contains(Point(0, 0), SQUARE)
+
+
+def test_grid_index_radius_and_box():
+    index = GridIndex(cell_size=1.0)
+    index.bulk_load((i, Point(i % 10, i // 10)) for i in range(100))
+    hits = index.within_radius(Point(5, 5), 1.0)
+    assert {key for key, _p in hits} == {55, 45, 65, 54, 56}
+    box = index.in_box(0, 0, 1, 1)
+    assert {key for key, _p in box} == {0, 1, 10, 11}
+
+
+def test_grid_index_polygon_query():
+    index = GridIndex(cell_size=1.0)
+    index.bulk_load((i, Point(i, 0.5)) for i in range(10))
+    triangle = Polygon((Point(0, 0), Point(4, 0), Point(0, 4)))
+    inside = {key for key, _p in index.in_polygon(triangle)}
+    assert inside == {0, 1, 2, 3}
+
+
+def test_grid_index_nearest():
+    index = GridIndex(cell_size=2.0)
+    index.bulk_load((i, Point(i * 3.0, 0)) for i in range(5))
+    nearest = index.nearest(Point(4.4, 0), count=2)
+    assert [key for key, _p in nearest] == [1, 2]
+    assert GridIndex(1.0).nearest(Point(0, 0)) == []
+
+
+def test_grid_index_validation():
+    with pytest.raises(GeoError):
+        GridIndex(0)

@@ -1,0 +1,119 @@
+"""Tests for graph views and algorithms."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engines.graph.algorithms import (
+    bfs_distances,
+    connected_components,
+    distance,
+    evacuation_plan,
+    neighborhood,
+    pagerank,
+    reachable,
+    shortest_path,
+    subgraph_where,
+)
+from repro.engines.graph.graph import create_graph_view
+from repro.errors import GraphEngineError
+
+
+@pytest.fixture
+def graph():
+    db = Database()
+    db.execute("CREATE TABLE v (id INT, kind VARCHAR)")
+    db.execute("CREATE TABLE e (s INT, t INT, w DOUBLE)")
+    db.execute("INSERT INTO v VALUES (1,'a'),(2,'b'),(3,'a'),(4,'b'),(5,'c'),(9,'x')")
+    db.execute(
+        "INSERT INTO e VALUES (1,2,1.0),(2,3,1.0),(3,4,1.0),(1,4,10.0),(4,5,2.0)"
+    )
+    return create_graph_view(db, "g", "v", "id", "e", "s", "t", "w"), db
+
+
+def test_view_counts_and_attributes(graph):
+    view, _db = graph
+    assert view.vertex_count == 6
+    assert view.edge_count == 5
+    assert view.vertex_attributes(1) == {"id": 1, "kind": "a"}
+    assert view.neighbors(1) == [2, 4]
+    assert view.out_degree(9) == 0
+
+
+def test_unknown_vertex_raises(graph):
+    view, _db = graph
+    with pytest.raises(GraphEngineError):
+        view.neighbors(777)
+
+
+def test_bfs_and_distance(graph):
+    view, _db = graph
+    assert bfs_distances(view, 1) == {1: 0, 2: 1, 4: 1, 3: 2, 5: 2}
+    assert distance(view, 1, 5) == 2
+    assert distance(view, 1, 9) is None
+
+
+def test_shortest_path_prefers_cheap_route(graph):
+    view, _db = graph
+    cost, path = shortest_path(view, 1, 4)
+    assert cost == 3.0
+    assert path == [1, 2, 3, 4]
+    assert shortest_path(view, 5, 1) is None
+
+
+def test_connected_components(graph):
+    view, _db = graph
+    components = sorted(connected_components(view), key=len)
+    assert [len(c) for c in components] == [1, 5]
+
+
+def test_neighborhood_and_reachable(graph):
+    view, _db = graph
+    assert neighborhood(view, 1, 1) == {2, 4}
+    assert reachable(view, 3) == {3, 4, 5}
+
+
+def test_pagerank_sums_to_one(graph):
+    view, _db = graph
+    ranks = pagerank(view)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+    # vertex 4 has the most inbound weighty edges
+    assert ranks[4] > ranks[2]
+
+
+def test_refresh_sees_new_edges(graph):
+    view, db = graph
+    db.execute("INSERT INTO e VALUES (5, 9, 1.0)")
+    assert distance(view, 1, 9) is None  # stale view
+    view.refresh()
+    assert distance(view, 1, 9) == 3
+
+
+def test_subgraph_where_combines_relational_attributes(graph):
+    view, _db = graph
+    assert subgraph_where(view, lambda attrs: attrs.get("kind") == "a") == {1, 3}
+
+
+def test_evacuation_plan_avoids_leak():
+    db = Database()
+    db.execute("CREATE TABLE v (id INT)")
+    db.execute("CREATE TABLE e (s INT, t INT, w DOUBLE)")
+    db.execute("INSERT INTO v VALUES (0),(1),(2),(3),(4)")
+    # line 0-1-2-3-4, exits at both ends, leak at 2
+    db.execute(
+        "INSERT INTO e VALUES (0,1,1.0),(1,0,1.0),(1,2,1.0),(2,1,1.0),"
+        "(2,3,1.0),(3,2,1.0),(3,4,1.0),(4,3,1.0)"
+    )
+    view = create_graph_view(db, "pipe", "v", "id", "e", "s", "t", "w")
+    plan = evacuation_plan(view, leak=2, exits=[0, 4], blocked_radius=0)
+    assert plan[2] is None  # the leak itself
+    assert plan[1] == (1.0, [1, 0])
+    assert plan[3] == (1.0, [3, 4])
+    assert plan[0] == (0.0, [0])
+
+
+def test_negative_weights_rejected(graph):
+    view, db = graph
+    db.execute("INSERT INTO e VALUES (1, 5, -2.0)")
+    view.refresh()
+    with pytest.raises(GraphEngineError):
+        shortest_path(view, 1, 5)

@@ -1,0 +1,137 @@
+"""Tests for hierarchy views and versioned hierarchies."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engines.graph.hierarchy import (
+    HierarchyView,
+    VersionedHierarchy,
+    descendant_count_via_self_joins,
+    register_hierarchy_functions,
+)
+from repro.errors import GraphEngineError
+
+PARENTS = {
+    "root": None,
+    "eu": "root",
+    "us": "root",
+    "de": "eu",
+    "fr": "eu",
+    "muc": "de",
+    "ber": "de",
+}
+
+
+@pytest.fixture
+def view():
+    return HierarchyView("org", PARENTS)
+
+
+def test_descendant_count_is_interval_based(view):
+    assert view.descendant_count("root") == 6
+    assert view.descendant_count("eu") == 4
+    assert view.descendant_count("de") == 2
+    assert view.descendant_count("muc") == 0
+
+
+def test_descendant_count_matches_self_join_baseline(view):
+    for node in PARENTS:
+        assert view.descendant_count(node) == descendant_count_via_self_joins(PARENTS, node)
+
+
+def test_is_descendant_and_levels(view):
+    assert view.is_descendant("muc", "root")
+    assert view.is_descendant("muc", "de")
+    assert not view.is_descendant("muc", "us")
+    assert not view.is_descendant("de", "de")
+    assert view.level("root") == 0
+    assert view.level("muc") == 3
+
+
+def test_descendants_in_dfs_order(view):
+    assert view.descendants("eu") == ["de", "muc", "ber", "fr"]
+
+
+def test_siblings_and_path(view):
+    assert view.siblings("de") == ["fr"]
+    assert view.siblings("root") == []
+    assert view.path_to_root("muc") == ["muc", "de", "eu", "root"]
+
+
+def test_subtree_aggregate(view):
+    values = {"muc": 10.0, "ber": 5.0, "fr": 2.0}
+    assert view.subtree_aggregate("de", values) == 15.0
+    assert view.subtree_aggregate("eu", values) == 17.0
+
+
+def test_cycle_detection():
+    with pytest.raises(GraphEngineError):
+        HierarchyView("bad", {"a": "b", "b": "a"})
+
+
+def test_unknown_parent_detection():
+    with pytest.raises(GraphEngineError):
+        HierarchyView("bad", {"a": "ghost"})
+
+
+def test_from_table():
+    db = Database()
+    db.execute("CREATE TABLE cc (node VARCHAR, parent VARCHAR)")
+    db.execute("INSERT INTO cc VALUES ('r', NULL), ('a', 'r'), ('b', 'r')")
+    view = HierarchyView.from_table(db, "cc_h", "cc", "node", "parent")
+    assert view.descendant_count("r") == 2
+    assert db.catalog.has_view("cc_h")
+
+
+def test_hier_sql_functions():
+    db = Database()
+    register_hierarchy_functions(db)
+    db.catalog.register_view("org", HierarchyView("org", PARENTS))
+    db.execute("CREATE TABLE n (name VARCHAR)")
+    db.execute("INSERT INTO n VALUES ('eu'), ('de')")
+    rows = db.query(
+        "SELECT name, HIER_DESCENDANT_COUNT('org', name) AS dc, "
+        "HIER_LEVEL('org', name) AS lvl FROM n ORDER BY name"
+    ).rows
+    assert rows == [["de", 2, 2], ["eu", 4, 1]]
+    assert db.query("SELECT HIER_IS_DESCENDANT('org', 'muc', 'eu') AS x").scalar() is True
+
+
+def test_versioned_hierarchy_isolates_versions():
+    versioned = VersionedHierarchy("vh", PARENTS)
+    v1 = versioned.new_version()
+    versioned.move(v1, "fr", "us")
+    assert versioned.view(0).parent("fr") == "eu"
+    assert versioned.view(v1).parent("fr") == "us"
+    assert versioned.view(0).descendant_count("eu") == 4
+    assert versioned.view(v1).descendant_count("eu") == 3
+
+
+def test_versioned_hierarchy_chained_versions():
+    versioned = VersionedHierarchy("vh", PARENTS)
+    v1 = versioned.new_version()
+    versioned.insert(v1, "madrid", "eu")
+    v2 = versioned.new_version(from_version=v1)
+    versioned.move(v2, "madrid", "us")
+    assert versioned.view(v1).parent("madrid") == "eu"
+    assert versioned.view(v2).parent("madrid") == "us"
+    assert "madrid" not in versioned.view(0)
+
+
+def test_versioned_hierarchy_remove_and_diff():
+    versioned = VersionedHierarchy("vh", PARENTS)
+    v1 = versioned.new_version()
+    versioned.remove(v1, "muc")
+    diff = versioned.diff(0, v1)
+    assert diff == {"muc": ("de", None)}
+    with pytest.raises(GraphEngineError):
+        versioned.remove(v1, "de")  # still has a child (ber)
+
+
+def test_versioned_hierarchy_rejects_cycle_moves():
+    versioned = VersionedHierarchy("vh", PARENTS)
+    v1 = versioned.new_version()
+    with pytest.raises(GraphEngineError):
+        versioned.move(v1, "eu", "muc")
+    with pytest.raises(GraphEngineError):
+        versioned.move(v1, "eu", "eu")

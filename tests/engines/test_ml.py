@@ -1,0 +1,140 @@
+"""Tests for basket analysis, forecasting, clustering, and R ops."""
+
+import numpy as np
+import pytest
+
+from repro.engines.ml.basket import association_rules, frequent_itemsets
+from repro.engines.ml.cluster import kmeans, silhouette_score
+from repro.engines.ml.forecast import (
+    auto_forecast,
+    holt,
+    holt_winters,
+    linear_trend,
+    simple_exponential,
+)
+from repro.engines.ml.rops import make_r_adapter
+from repro.errors import EngineError
+from repro.workloads.generators import baskets
+
+
+def test_frequent_itemsets_finds_planted_pairs():
+    frequent = frequent_itemsets(baskets(400), min_support=0.2)
+    assert frozenset(["beer", "chips"]) in frequent
+    assert frozenset(["bread", "butter"]) in frequent
+
+
+def test_partitioned_counting_matches_single_partition():
+    data = baskets(300)
+    single = frequent_itemsets(data, min_support=0.15, partitions=1)
+    sharded = frequent_itemsets(data, min_support=0.15, partitions=4)
+    assert single == sharded
+
+
+def test_association_rules_confidence_and_lift():
+    rules = association_rules(
+        [["a", "b"], ["a", "b"], ["a", "c"], ["b"]],
+        min_support=0.25,
+        min_confidence=0.5,
+    )
+    by_pair = {(r.antecedent, r.consequent): r for r in rules}
+    rule = by_pair[(("b",), ("a",))]
+    assert rule.confidence == pytest.approx(2 / 3)
+    assert rule.lift == pytest.approx((2 / 3) / (3 / 4))
+
+
+def test_empty_transactions():
+    assert frequent_itemsets([], min_support=0.5) == {}
+
+
+def test_linear_trend_extrapolates():
+    forecast = linear_trend([1.0, 2.0, 3.0, 4.0], horizon=2)
+    assert forecast.predictions == pytest.approx([5.0, 6.0])
+    assert forecast.mse == pytest.approx(0.0, abs=1e-12)
+
+
+def test_ses_is_flat():
+    forecast = simple_exponential([10.0, 12.0, 11.0], horizon=3, alpha=0.5)
+    assert len(set(np.round(forecast.predictions, 9))) == 1
+
+
+def test_holt_captures_trend():
+    forecast = holt(np.arange(20, dtype=float) * 2, horizon=3)
+    assert forecast.predictions[0] == pytest.approx(40.0, abs=1.0)
+    assert forecast.predictions[2] > forecast.predictions[0]
+
+
+def test_holt_winters_captures_seasonality():
+    period = 12
+    t = np.arange(60)
+    signal = 50 + 0.5 * t + 10 * np.sin(2 * np.pi * t / period)
+    forecast = holt_winters(signal, horizon=period, period=period)
+    predicted = forecast.predictions
+    expected = 50 + 0.5 * (60 + np.arange(period)) + 10 * np.sin(2 * np.pi * (60 + np.arange(period)) / period)
+    assert np.corrcoef(predicted, expected)[0, 1] > 0.97
+
+
+def test_forecast_validation():
+    with pytest.raises(EngineError):
+        linear_trend([1.0], horizon=1)
+    with pytest.raises(EngineError):
+        holt_winters([1.0] * 5, horizon=1, period=4)
+    with pytest.raises(EngineError):
+        simple_exponential([], horizon=1)
+
+
+def test_auto_forecast_picks_seasonal_model_for_seasonal_data():
+    period = 6
+    t = np.arange(48)
+    signal = 10 * np.sin(2 * np.pi * t / period) + 100
+    forecast = auto_forecast(signal, horizon=6, period=period)
+    expected = 10 * np.sin(2 * np.pi * (48 + np.arange(6)) / period) + 100
+    assert np.abs(forecast.predictions - expected).mean() < 2.0
+
+
+def test_kmeans_separates_blobs():
+    rng = np.random.default_rng(0)
+    blob_a = rng.normal(0, 0.2, (30, 2))
+    blob_b = rng.normal(5, 0.2, (30, 2))
+    result = kmeans(np.vstack([blob_a, blob_b]), k=2)
+    assert len(set(result.labels[:30])) == 1
+    assert len(set(result.labels[30:])) == 1
+    assert result.labels[0] != result.labels[30]
+    assert silhouette_score(np.vstack([blob_a, blob_b]), result.labels) > 0.8
+
+
+def test_kmeans_validation():
+    with pytest.raises(EngineError):
+        kmeans(np.zeros((3, 2)), k=5)
+    with pytest.raises(EngineError):
+        kmeans([], k=1)
+
+
+def test_kmeans_deterministic_by_seed():
+    rng = np.random.default_rng(2)
+    data = rng.normal(0, 1, (50, 3))
+    a = kmeans(data, k=3, seed=11)
+    b = kmeans(data, k=3, seed=11)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_r_adapter_cor_lm_summary():
+    provider = make_r_adapter()
+    data_rows = [[float(i), 2.0 * i + 1.0] for i in range(20)]
+    columns, rows = provider.operator("cor")(["x", "y"], data_rows)
+    assert columns == ["variable", "x", "y"]
+    assert rows[0][2] == pytest.approx(1.0)
+
+    _cols, lm = provider.operator("lm")(["x", "y"], data_rows)
+    assert dict(lm)["slope"] == pytest.approx(2.0)
+
+    _cols, summary = provider.operator("summary")(["x", "y"], data_rows)
+    assert summary[0][0] == "x"
+    # transfer accounting recorded shipped rows both ways
+    assert provider.stats.rows_out == 60
+    assert provider.stats.rows_in > 0
+
+
+def test_r_adapter_unknown_function():
+    provider = make_r_adapter()
+    with pytest.raises(EngineError):
+        provider.call("bogus", (["x"], [[1.0]]), {})

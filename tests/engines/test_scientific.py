@@ -1,0 +1,116 @@
+"""Tests for the SLACID-style matrices and linalg kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import Database
+from repro.engines.scientific.linalg import (
+    FileRepositoryBaseline,
+    conjugate_gradient,
+    pagerank_matrix,
+    power_iteration,
+)
+from repro.engines.scientific.matrix import ColumnarSparseMatrix
+from repro.errors import ScientificError
+
+
+def test_from_dense_round_trip():
+    dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+    matrix = ColumnarSparseMatrix.from_dense(dense)
+    assert np.array_equal(matrix.to_dense(), dense)
+    assert matrix.nnz == 2
+
+
+def test_point_updates_go_to_delta_then_merge():
+    matrix = ColumnarSparseMatrix.from_dense(np.eye(3))
+    matrix.set(0, 2, 5.0)
+    assert matrix.delta_size == 1
+    assert matrix.get(0, 2) == 5.0  # visible before merge
+    matrix.merge_delta()
+    assert matrix.delta_size == 0
+    assert matrix.get(0, 2) == 5.0
+    assert matrix.merges == 2  # from_dense merged once already
+
+
+def test_delta_override_and_zero_removal():
+    matrix = ColumnarSparseMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+    matrix.set(0, 1, 0.0)  # delete an entry via zero
+    matrix.set(1, 0, 7.0)
+    assert sorted(matrix.triples()) == [(0, 0, 1.0), (1, 0, 7.0), (1, 1, 3.0)]
+    matrix.merge_delta()
+    assert matrix.nnz == 3
+
+
+def test_matvec_with_pending_delta_matches_dense():
+    rng = np.random.default_rng(4)
+    dense = rng.random((6, 6))
+    dense[dense < 0.6] = 0.0
+    matrix = ColumnarSparseMatrix.from_dense(dense)
+    dense[2, 3] = 9.0
+    matrix.set(2, 3, 9.0)  # unmerged update
+    vector = rng.random(6)
+    assert np.allclose(matrix.matvec(vector), dense @ vector)
+
+
+def test_matvec_validates_shape():
+    matrix = ColumnarSparseMatrix(2, 3)
+    with pytest.raises(ScientificError):
+        matrix.matvec(np.ones(2))
+
+
+def test_bounds_checking():
+    matrix = ColumnarSparseMatrix(2, 2)
+    with pytest.raises(ScientificError):
+        matrix.set(2, 0, 1.0)
+    with pytest.raises(ScientificError):
+        matrix.get(0, 5)
+    with pytest.raises(ScientificError):
+        ColumnarSparseMatrix(0, 1)
+
+
+def test_transpose():
+    matrix = ColumnarSparseMatrix.from_coo(2, 3, [(0, 2, 5.0)])
+    transposed = matrix.transpose()
+    assert transposed.rows == 3 and transposed.cols == 2
+    assert transposed.get(2, 0) == 5.0
+
+
+def test_relational_round_trip():
+    db = Database()
+    matrix = ColumnarSparseMatrix.from_dense(np.array([[1.0, 0.0], [0.5, 2.0]]))
+    count = matrix.to_table(db, "m")
+    assert count == 3
+    restored = ColumnarSparseMatrix.from_table(db, "m", 2, 2)
+    assert np.array_equal(restored.to_dense(), matrix.to_dense())
+
+
+def test_power_iteration_dominant_eigenpair():
+    dense = np.array([[2.0, 1.0], [1.0, 2.0]])
+    eigenvalue, vector = power_iteration(ColumnarSparseMatrix.from_dense(dense))
+    assert eigenvalue == pytest.approx(3.0, abs=1e-6)
+    assert abs(vector[0]) == pytest.approx(abs(vector[1]), abs=1e-4)
+    with pytest.raises(ScientificError):
+        power_iteration(ColumnarSparseMatrix(2, 3))
+
+
+def test_conjugate_gradient_solves_spd_system():
+    dense = np.array([[4.0, 1.0], [1.0, 3.0]])
+    rhs = np.array([1.0, 2.0])
+    solution = conjugate_gradient(ColumnarSparseMatrix.from_dense(dense), rhs)
+    assert np.allclose(dense @ solution, rhs, atol=1e-8)
+
+
+def test_pagerank_matrix_favours_sink_of_links():
+    # 0 -> 2, 1 -> 2, 2 -> 0: vertex 2 collects rank
+    adjacency = ColumnarSparseMatrix.from_coo(3, 3, [(0, 2, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+    ranks = pagerank_matrix(adjacency)
+    assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+    assert ranks[2] == ranks.max()
+
+
+def test_file_repository_baseline_round_trips(tmp_path):
+    matrix = ColumnarSparseMatrix.from_dense(np.array([[2.0, 1.0], [1.0, 2.0]]))
+    baseline = FileRepositoryBaseline(tmp_path)
+    eigenvalue, _vector = baseline.roundtrip_power_iteration(matrix, analysis_rounds=2)
+    assert eigenvalue == pytest.approx(3.0, abs=1e-4)
+    assert baseline.files_written == 2

@@ -1,0 +1,104 @@
+"""Tests for the HANA ↔ HDFS connectors."""
+
+import pytest
+
+from repro.aging.pruning import AgingManager
+from repro.core.database import Database
+from repro.errors import HadoopError
+from repro.hadoop.connectors import (
+    HdfsSegmentStore,
+    deploy_soe_on_datanodes,
+    export_aged_partition_to_hdfs,
+    load_hdfs_csv_into_database,
+    load_hdfs_csv_into_soe,
+    load_hdfs_file_colocated,
+)
+from repro.soe.services.shared_log import SharedLog
+
+
+def test_file_reader_into_database(hdfs):
+    hdfs.write_file("/d.csv", ["1,a", "2,b", "", "3,"])
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, name VARCHAR)")
+    count = load_hdfs_csv_into_database(database, hdfs, "/d.csv", "t")
+    assert count == 3
+    assert database.query("SELECT COUNT(*) FROM t WHERE name IS NULL").scalar() == 1
+
+
+def test_file_reader_into_soe(hdfs):
+    from repro.soe.engine import SoeEngine
+
+    hdfs.write_file("/d.csv", [f"{i},{i * 2}" for i in range(50)])
+    soe = SoeEngine(node_count=2)
+    soe.create_table("t", ["k", "v"], ["k"], partition_count=4)
+    count = load_hdfs_csv_into_soe(soe, hdfs, "/d.csv", "t", types=[int, float])
+    assert count == 50
+    rows, _ = soe.aggregate("t", aggregates=[("sum", "v")])
+    assert rows[0][0] == sum(i * 2 for i in range(50))
+
+
+def test_hdfs_backed_shared_log_recovers(hdfs):
+    factory = HdfsSegmentStore.make_factory(hdfs)
+    log = SharedLog(stripes=2, replication=1, store_factory=factory)
+    for i in range(6):
+        log.append({"n": i})
+    # simulate process restart: rebuild stores from the HDFS files
+    recovered_store = HdfsSegmentStore("stripe0_replica0", hdfs)
+    assert recovered_store.recover() == 3
+    assert recovered_store.read(0) == {"n": 0}
+    assert recovered_store.read(4) == {"n": 4}
+
+
+def test_hdfs_log_trim_rewrites_file(hdfs):
+    factory = HdfsSegmentStore.make_factory(hdfs)
+    log = SharedLog(stripes=1, replication=1, store_factory=factory)
+    for i in range(4):
+        log.append(i)
+    log.trim(2)
+    store = HdfsSegmentStore("check", hdfs)
+    recovered = HdfsSegmentStore("stripe0_replica0", hdfs)
+    assert recovered.recover() == 2
+
+
+def test_export_aged_partition(hdfs):
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, status VARCHAR)")
+    database.execute("INSERT INTO t VALUES (1, 'old'), (2, 'new'), (3, 'old')")
+    manager = AgingManager(database)
+    manager.define_rule("t", "status = 'old'")
+    manager.run("t")
+    exported = export_aged_partition_to_hdfs(database, "t", hdfs, "/aged/t.csv")
+    assert exported == 2
+    assert database.query("SELECT COUNT(*) FROM t").scalar() == 1
+    assert len(list(hdfs.read_file("/aged/t.csv"))) == 2
+    assert database.catalog.annotation("t", "hdfs_aged_path") == "/aged/t.csv"
+
+
+def test_export_requires_aged_partition(hdfs):
+    database = Database()
+    database.execute("CREATE TABLE t (id INT)")
+    with pytest.raises(HadoopError):
+        export_aged_partition_to_hdfs(database, "t", hdfs, "/x")
+
+
+def test_colocated_load_avoids_network(hdfs):
+    hdfs.write_file("/sensors.csv", [f"{i},{i * 1.0}" for i in range(75)])  # 3 blocks
+    soe = deploy_soe_on_datanodes(hdfs)
+    soe.create_table("s", ["k", "v"], ["k"], partition_count=3)
+    stats = load_hdfs_file_colocated(soe, hdfs, "/sensors.csv", "s", types=[int, float])
+    assert stats["rows"] == 75
+    assert stats["local_blocks"] == 3
+    assert stats["remote_blocks"] == 0
+    assert soe.cluster.stats.bytes_total == 0
+    rows, _ = soe.aggregate("s", aggregates=[("count", None)])
+    assert rows[0][0] == 75
+
+
+def test_colocated_load_requires_deployment(hdfs):
+    from repro.soe.engine import SoeEngine
+
+    hdfs.write_file("/f.csv", ["1,2"])
+    soe = SoeEngine(node_count=2)
+    soe.create_table("s", ["k", "v"], ["k"])
+    with pytest.raises(HadoopError):
+        load_hdfs_file_colocated(soe, hdfs, "/f.csv", "s")

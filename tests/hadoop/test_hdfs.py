@@ -1,0 +1,116 @@
+"""Tests for the simulated HDFS."""
+
+import pytest
+
+from repro.errors import HdfsError
+from repro.hadoop.hdfs import HdfsCluster
+
+
+def test_write_read_round_trip(hdfs):
+    lines = [f"line {i}" for i in range(60)]
+    meta = hdfs.write_file("/data/f.txt", lines)
+    assert meta.line_count == 60
+    assert len(meta.blocks) == 3  # block size 25
+    assert list(hdfs.read_file("/data/f.txt")) == lines
+
+
+def test_replication_factor_respected(hdfs):
+    meta = hdfs.write_file("/f", ["x"] * 10)
+    for block in meta.blocks:
+        assert len(block.replicas) == 2
+        assert len(set(block.replicas)) == 2
+
+
+def test_overwrite_and_exists(hdfs):
+    hdfs.write_file("/f", ["a"])
+    with pytest.raises(HdfsError):
+        hdfs.write_file("/f", ["b"])
+    hdfs.write_file("/f", ["b"], overwrite=True)
+    assert list(hdfs.read_file("/f")) == ["b"]
+    assert hdfs.exists("/f")
+    assert not hdfs.exists("/ghost")
+
+
+def test_append_extends_blocks(hdfs):
+    hdfs.write_file("/f", ["a"] * 10)
+    hdfs.append("/f", ["b"] * 30)
+    assert sum(1 for _ in hdfs.read_file("/f")) == 40
+    assert hdfs.append("/new", ["x"]).line_count == 1  # creates missing file
+
+
+def test_delete_frees_blocks(hdfs):
+    hdfs.write_file("/f", ["a"] * 100)
+    blocks_before = hdfs.statistics()["blocks"]
+    hdfs.delete("/f")
+    assert hdfs.statistics()["blocks"] < blocks_before
+    with pytest.raises(HdfsError):
+        hdfs.read_file("/f").__next__()
+
+
+def test_list_dir(hdfs):
+    hdfs.write_file("/logs/a", ["1"])
+    hdfs.write_file("/logs/b", ["1"])
+    hdfs.write_file("/other/c", ["1"])
+    assert hdfs.list_dir("/logs") == ["/logs/a", "/logs/b"]
+
+
+def test_locality_preferred_read(hdfs):
+    meta = hdfs.write_file("/f", ["x"] * 10)
+    block = meta.blocks[0]
+    preferred = block.replicas[1]
+    _lines, served_by = hdfs.read_block(block, prefer_node=preferred)
+    assert served_by == preferred
+
+
+def test_datanode_failure_and_re_replication(hdfs):
+    meta = hdfs.write_file("/f", ["x"] * 100)
+    victim = meta.blocks[0].replicas[0]
+    hdfs.kill_datanode(victim)
+    # still readable through surviving replicas
+    assert sum(1 for _ in hdfs.read_file("/f")) == 100
+    copied = hdfs.re_replicate()
+    assert copied > 0
+    for block in meta.blocks:
+        assert victim not in block.replicas
+        assert len(block.replicas) == 2
+
+
+def test_total_block_loss_detected():
+    cluster = HdfsCluster(datanode_ids=2, replication=2, block_size_lines=10)
+    cluster.write_file("/f", ["x"])
+    cluster.kill_datanode("dn0")
+    cluster.kill_datanode("dn1")
+    with pytest.raises(HdfsError):
+        list(cluster.read_file("/f"))
+
+
+def test_validation():
+    with pytest.raises(HdfsError):
+        HdfsCluster(datanode_ids=0)
+    with pytest.raises(HdfsError):
+        HdfsCluster(datanode_ids=2, replication=3)
+
+
+def test_re_replication_restores_factor_for_all_blocks():
+    cluster = HdfsCluster(datanode_ids=4, replication=2, block_size_lines=10)
+    cluster.write_file("/f", [f"l{i}" for i in range(40)])
+    meta = cluster.file_meta("/f")
+    victim = meta.blocks[0].replicas[0]
+    cluster.kill_datanode(victim)
+    copied = cluster.re_replicate()
+    assert copied >= 1
+    for block in meta.blocks:
+        assert victim not in block.replicas
+        assert len(block.replicas) == 2
+    assert sum(1 for _ in cluster.read_file("/f")) == 40
+
+
+def test_losing_both_replicas_is_reported():
+    cluster = HdfsCluster(datanode_ids=4, replication=2, block_size_lines=10)
+    cluster.write_file("/f", [f"l{i}" for i in range(40)])
+    meta = cluster.file_meta("/f")
+    # kill both replicas of block 0: the data is gone and HDFS says so
+    for node in meta.blocks[0].replicas:
+        cluster.kill_datanode(node)
+    with pytest.raises(HdfsError):
+        cluster.re_replicate()

@@ -1,0 +1,55 @@
+"""Tests for the Hive-flavoured SQL endpoint."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import HadoopError
+from repro.hadoop.hive import HiveServer, export_query_to_hdfs
+
+
+@pytest.fixture
+def hive(hdfs):
+    hdfs.write_file(
+        "/warehouse/sales.csv",
+        [f"{i},r{i % 3},{i * 1.5}" for i in range(90)],
+    )
+    server = HiveServer(hdfs, job_latency_seconds=1.5)
+    server.create_external_table(
+        "sales", "/warehouse/sales.csv",
+        [("id", "INT"), ("region", "VARCHAR"), ("amount", "DOUBLE")],
+    )
+    return server
+
+
+def test_aggregation_over_external_table(hive):
+    result = hive.execute(
+        "SELECT region, COUNT(*) AS n FROM sales GROUP BY region ORDER BY region"
+    )
+    assert result.rows == [["r0", 30], ["r1", 30], ["r2", 30]]
+    assert hive.queries_run == 1
+    assert hive.simulated_seconds == 1.5
+    assert hive.rows_scanned == 90
+
+
+def test_metastore_validation(hive, hdfs):
+    with pytest.raises(HadoopError):
+        hive.create_external_table("sales", "/warehouse/sales.csv", [("id", "INT")])
+    with pytest.raises(HadoopError):
+        hive.create_external_table("x", "/ghost.csv", [("id", "INT")])
+    with pytest.raises(HadoopError):
+        hive.table("ghost")
+    assert hive.tables() == ["sales"]
+
+
+def test_query_must_reference_known_table(hive):
+    with pytest.raises(HadoopError):
+        hive.execute("SELECT 1 FROM unknown_table")
+
+
+def test_export_query_to_hdfs(hdfs):
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, v DOUBLE)")
+    database.execute("INSERT INTO t VALUES (1, 1.5), (2, NULL)")
+    count = export_query_to_hdfs(database, "SELECT id, v FROM t ORDER BY id", hdfs, "/export.csv")
+    assert count == 2
+    assert list(hdfs.read_file("/export.csv")) == ["1,1.5", "2,"]

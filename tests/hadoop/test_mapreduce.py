@@ -1,0 +1,69 @@
+"""Tests for the MapReduce runner."""
+
+import pytest
+
+from repro.errors import MapReduceError
+from repro.hadoop.mapreduce import MapReduceJob, word_count_job
+from repro.hadoop.yarn import ResourceManager
+
+
+def test_word_count_correctness(hdfs):
+    hdfs.write_file("/in", ["a b a", "b c", "a"])
+    result = word_count_job().run(hdfs, "/in")
+    assert result == {"a": 3, "b": 2, "c": 1}
+
+
+def test_one_map_task_per_block(hdfs):
+    hdfs.write_file("/in", [f"w{i}" for i in range(60)])  # 3 blocks of 25
+    job = word_count_job()
+    job.run(hdfs, "/in")
+    assert job.stats.map_tasks == 3
+    assert job.stats.map_input_lines == 60
+
+
+def test_combiner_reduces_shuffle_volume(hdfs):
+    hdfs.write_file("/in", ["same same same"] * 50)
+    with_combiner = word_count_job()
+    with_combiner.run(hdfs, "/in")
+    without = MapReduceJob(
+        "wc-nocombine",
+        with_combiner.mapper,
+        with_combiner.reducer,
+        combiner=None,
+        reduce_tasks=2,
+    )
+    without.run(hdfs, "/in")
+    assert with_combiner.stats.shuffle_pairs < without.stats.shuffle_pairs
+
+
+def test_locality_with_yarn(hdfs):
+    hdfs.write_file("/in", [f"w{i}" for i in range(75)])
+    manager = ResourceManager({node: 2 for node in hdfs.datanodes})
+    job = word_count_job()
+    job.run(hdfs, "/in", resource_manager=manager)
+    assert job.stats.local_map_tasks == 3
+    assert job.stats.remote_map_tasks == 0
+    # all containers released
+    assert manager.total_available() == 6
+
+
+def test_output_to_hdfs(hdfs):
+    hdfs.write_file("/in", ["x y", "y"])
+    word_count_job().run(hdfs, "/in", output_path="/out")
+    lines = list(hdfs.read_file("/out"))
+    assert "x\t1" in lines and "y\t2" in lines
+
+
+def test_multiple_reduce_tasks_partition_keys(hdfs):
+    hdfs.write_file("/in", [" ".join(f"k{i}" for i in range(40))])
+    job = word_count_job(reduce_tasks=4)
+    result = job.run(hdfs, "/in")
+    assert len(result) == 40
+    assert job.stats.reduce_tasks == 4
+
+
+def test_validation(hdfs):
+    hdfs.write_file("/in", ["x"])
+    job = word_count_job(reduce_tasks=0)
+    with pytest.raises(MapReduceError):
+        job.run(hdfs, "/in")

@@ -1,0 +1,69 @@
+"""Tests for the YARN-style resource manager."""
+
+import pytest
+
+from repro.errors import YarnError
+from repro.hadoop.yarn import ResourceManager
+
+
+def test_allocate_prefers_local_node():
+    manager = ResourceManager({"a": 1, "b": 1})
+    application = manager.submit_application("app")
+    container = manager.allocate(application.application_id, preferred_node="b")
+    assert container.node_id == "b"
+    assert manager.granted_local == 1
+
+
+def test_falls_back_to_other_node_when_local_full():
+    manager = ResourceManager({"a": 1, "b": 1})
+    application = manager.submit_application("app")
+    manager.allocate(application.application_id, preferred_node="a")
+    second = manager.allocate(application.application_id, preferred_node="a")
+    assert second.node_id == "b"
+    assert manager.granted_remote == 1
+
+
+def test_queueing_when_full_and_drain_on_release():
+    manager = ResourceManager({"a": 1})
+    application = manager.submit_application("app")
+    first = manager.allocate(application.application_id)
+    assert manager.allocate(application.application_id) is None
+    assert manager.statistics()["pending"] == 1
+    manager.release(first.container_id)
+    # the queued request was granted during release
+    assert manager.statistics()["pending"] == 0
+    assert manager.available("a") == 0
+
+
+def test_finish_application_releases_everything():
+    manager = ResourceManager({"a": 2})
+    application = manager.submit_application("app")
+    manager.allocate(application.application_id)
+    manager.allocate(application.application_id)
+    manager.finish_application(application.application_id)
+    assert manager.total_available() == 2
+    with pytest.raises(YarnError):
+        manager.allocate(application.application_id)
+
+
+def test_validation():
+    with pytest.raises(YarnError):
+        ResourceManager({})
+    manager = ResourceManager({"a": 1})
+    with pytest.raises(YarnError):
+        manager.application(99)
+    with pytest.raises(YarnError):
+        manager.release(42)
+
+
+def test_pending_requests_preserve_fifo_order():
+    manager = ResourceManager({"a": 1})
+    app = manager.submit_application("app")
+    held = manager.allocate(app.application_id)
+    assert manager.allocate(app.application_id, preferred_node="a") is None
+    assert manager.allocate(app.application_id) is None
+    assert manager.statistics()["pending"] == 2
+    manager.release(held.container_id)
+    # exactly one pending request was granted on release
+    assert manager.statistics()["pending"] == 1
+    assert manager.available("a") == 0

@@ -1,0 +1,94 @@
+"""Integration: cross-engine combinations the paper motivates (§I, §V)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engines.geo.geometry import Point
+from repro.engines.graph.graph import create_graph_view
+from repro.engines.graph.algorithms import shortest_path
+from repro.engines.text.index import create_text_index
+
+
+def test_text_plus_relational_in_one_query():
+    db = Database()
+    db.execute("CREATE TABLE tickets (id INT, region VARCHAR, body VARCHAR)")
+    db.execute(
+        "INSERT INTO tickets VALUES "
+        "(1, 'EU', 'database crash urgent'), (2, 'US', 'printer jam'), "
+        "(3, 'EU', 'database slow today'), (4, 'EU', 'coffee machine')"
+    )
+    create_text_index(db, "tickets", "body")
+    rows = db.query(
+        "SELECT region, COUNT(*) AS n FROM tickets "
+        "WHERE CONTAINS(body, 'database') GROUP BY region"
+    ).rows
+    assert rows == [["EU", 2]]
+
+
+def test_geo_plus_relational_revenue_by_area():
+    db = Database()
+    db.execute("CREATE TABLE stores (id INT, loc GEOMETRY, revenue DOUBLE)")
+    db.execute(
+        "INSERT INTO stores VALUES "
+        "(1, 'POINT (1 1)', 100.0), (2, 'POINT (9 9)', 50.0), (3, 'POINT (2 1)', 70.0)"
+    )
+    rows = db.query(
+        "SELECT SUM(revenue) FROM stores "
+        "WHERE ST_CONTAINS('POLYGON ((0 0, 4 0, 4 4, 0 4))', loc)"
+    ).rows
+    assert rows == [[170.0]]
+
+
+def test_graph_routing_with_geo_weights():
+    db = Database()
+    db.execute("CREATE TABLE sites (id INT, x DOUBLE, y DOUBLE)")
+    db.execute("CREATE TABLE roads (s INT, t INT, km DOUBLE)")
+    sites = [(0, 0.0, 0.0), (1, 3.0, 4.0), (2, 6.0, 8.0)]
+    for site in sites:
+        db.execute(f"INSERT INTO sites VALUES {site}")
+    # weight edges by true euclidean distance computed in the geo engine
+    from repro.engines.geo.operations import euclidean
+
+    for s, t in [(0, 1), (1, 2), (0, 2)]:
+        a = Point(sites[s][1], sites[s][2])
+        b = Point(sites[t][1], sites[t][2])
+        db.execute(f"INSERT INTO roads VALUES ({s}, {t}, {euclidean(a, b)})")
+    graph = create_graph_view(db, "roads_g", "sites", "id", "roads", "s", "t", "km")
+    cost, path = shortest_path(graph, 0, 2)
+    assert cost == pytest.approx(10.0)
+    assert path in ([0, 2], [0, 1, 2])  # both cost exactly 10
+
+
+def test_document_column_in_relational_query():
+    db = Database()
+    db.execute("CREATE TABLE orders (id INT, doc DOCUMENT)")
+    import json
+
+    for i, country in enumerate(["DE", "US", "DE"]):
+        payload = json.dumps({"customer": {"country": country}, "total": 10 * (i + 1)})
+        txn = db.begin()
+        db.table("orders").insert([i, payload], txn)
+        db.commit(txn)
+    rows = db.query(
+        "SELECT COUNT(*) FROM orders WHERE DOC_MATCH(doc, '$.customer.country', 'DE')"
+    ).rows
+    assert rows == [[2]]
+    totals = db.query(
+        "SELECT SUM(TO_DOUBLE(DOC_EXTRACT(doc, '$.total'))) FROM orders"
+    ).scalar()
+    assert totals == 60.0
+
+
+def test_timeseries_column_round_trip():
+    from repro.engines.timeseries.compression import decode, encode
+    from repro.engines.timeseries.series import TimeSeries
+    import base64
+
+    db = Database()
+    db.execute("CREATE TABLE sensors (id INT, series VARCHAR)")
+    series = TimeSeries(range(0, 100, 10), [float(i) for i in range(10)])
+    blob = base64.b64encode(encode(series)).decode("ascii")
+    db.execute(f"INSERT INTO sensors VALUES (1, '{blob}')")
+    stored = db.query("SELECT series FROM sensors WHERE id = 1").scalar()
+    restored = decode(base64.b64decode(stored))
+    assert restored == series

@@ -1,0 +1,197 @@
+"""Integration: the five Section V real-world scenarios, end to end."""
+
+import pytest
+
+from repro.core.ecosystem import Ecosystem
+from repro.workloads.generators import (
+    dispenser_events,
+    hurricane_tracks,
+    pipeline_graph,
+    stock_ticks,
+)
+
+
+def test_scenario_1_financial_analytics_with_external_algebra():
+    """V.1: stock prices in the RDBMS + linear-algebra correlation via the
+    external-operator protocol, without manual data export."""
+    eco = Ecosystem()
+    eco.hana.execute("CREATE TABLE ticks (symbol VARCHAR, ts BIGINT, price DOUBLE)")
+    ticks = stock_ticks(symbols=4, days=120)
+    txn = eco.hana.begin()
+    for symbol, series in ticks.items():
+        for ts, price in series:
+            eco.hana.table("ticks").insert([symbol, ts, price], txn)
+    eco.hana.commit(txn)
+
+    # pivot returns per symbol straight out of SQL
+    symbols = sorted(ticks)
+    columns = {}
+    for symbol in symbols:
+        prices = eco.hana.query(
+            f"SELECT price FROM ticks WHERE symbol = '{symbol}' ORDER BY ts"
+        ).column("price")
+        import numpy as np
+
+        columns[symbol] = list(np.diff(np.asarray(prices)) / np.asarray(prices[:-1]))
+
+    from repro.engines.ml.rops import make_r_adapter
+
+    provider = make_r_adapter()
+    rows = [list(values) for values in zip(*(columns[s] for s in symbols))]
+    header, correlation = provider.operator("cor")(symbols, rows)
+    matrix = {row[0]: dict(zip(header[1:], row[1:])) for row in correlation}
+    assert matrix["SYM0"]["SYM1"] > 0.5  # the planted common factor
+    assert matrix["SYM0"]["SYM0"] == pytest.approx(1.0)
+
+
+def test_scenario_2_predictive_maintenance_hadoop_plus_erp():
+    """V.2: sensor data in Hadoop correlated with ERP production events."""
+    eco = Ecosystem()
+    hdfs = eco.attach_hadoop(datanodes=3, block_size_lines=100)
+    # sensor archive in HDFS: machine 7 runs hot before each failure window
+    lines = []
+    for hour in range(500):
+        for machine in range(10):
+            temperature = 60.0 + (25.0 if machine == 7 and hour % 100 > 90 else 0.0)
+            lines.append(f"{machine},{hour},{temperature}")
+    hdfs.write_file("/iot/temps.csv", lines)
+    eco.hive.create_external_table(
+        "temps", "/iot/temps.csv",
+        [("machine", "INT"), ("hour", "INT"), ("temp", "DOUBLE")],
+    )
+    # ERP: production problems recorded relationally
+    eco.hana.execute("CREATE TABLE incidents (machine INT, hour INT)")
+    eco.hana.execute("INSERT INTO incidents VALUES (7, 95), (7, 195), (7, 395)")
+
+    eco.federate_hive()
+    eco.sda.create_virtual_table("v_temps", "hadoop", "temps")
+    rows = eco.hana.query(
+        "SELECT t.machine, AVG(t.temp) AS avg_temp FROM v_temps t "
+        "JOIN incidents i ON t.machine = i.machine AND t.hour = i.hour - 1 "
+        "GROUP BY t.machine"
+    ).rows
+    assert rows == [[7, 85.0]]  # elevated temperature right before failures
+
+
+def test_scenario_3_dispenser_routing():
+    """V.3: streaming fill-grades trigger refills; geo routing for the
+    service team; ERP holds the master data."""
+    eco = Ecosystem()
+    eco.hana.execute(
+        "CREATE TABLE dispensers (dispenser_id INT PRIMARY KEY, loc GEOMETRY)"
+    )
+    for dispenser in range(20):
+        x, y = dispenser % 5, dispenser // 5
+        eco.hana.execute(
+            f"INSERT INTO dispensers VALUES ({dispenser}, 'POINT ({x} {y})')"
+        )
+    eco.hana.execute(
+        "CREATE TABLE refill_alerts (dispenser_id INT, mean DOUBLE, threshold DOUBLE, alert VARCHAR)"
+    )
+    from repro.streaming.esp import SlidingWindowThreshold, StreamProcessor, TableSink
+
+    processor = StreamProcessor(
+        [SlidingWindowThreshold("dispenser_id", "fill_grade", size=5, threshold=25.0)],
+        [TableSink(eco.hana, "refill_alerts", batch_size=5)],
+    )
+    processor.push_many(dispenser_events(dispensers=20, steps=180))
+    processor.finish()
+    alerts = eco.hana.query(
+        "SELECT COUNT(DISTINCT dispenser_id) FROM refill_alerts"
+    ).scalar()
+    assert alerts > 0
+
+    # route the service tour near the depot: alerts within distance 3
+    nearby = eco.hana.query(
+        "SELECT d.dispenser_id FROM dispensers d "
+        "JOIN refill_alerts a ON d.dispenser_id = a.dispenser_id "
+        "WHERE ST_WITHIN_DISTANCE(d.loc, ST_POINT(0, 0), 3) "
+        "ORDER BY d.dispenser_id"
+    ).rows
+    for (dispenser_id,) in nearby:
+        x, y = dispenser_id % 5, dispenser_id // 5
+        assert (x**2 + y**2) ** 0.5 <= 3
+
+
+def test_scenario_4_hurricane_risk():
+    """V.4: hurricane history on HDFS + customers in the geo store →
+    risk scores back into ERP."""
+    eco = Ecosystem()
+    hdfs = eco.attach_hadoop(datanodes=3, block_size_lines=200)
+    tracks = hurricane_tracks(storms=30)
+    hdfs.write_file(
+        "/weather/tracks.csv",
+        (",".join(str(v) for v in row) for row in tracks),
+    )
+    eco.hive.create_external_table(
+        "tracks", "/weather/tracks.csv",
+        [("storm", "INT"), ("step", "INT"), ("lon", "DOUBLE"),
+         ("lat", "DOUBLE"), ("wind", "DOUBLE")],
+    )
+    eco.hana.execute(
+        "CREATE TABLE customers (cid INT PRIMARY KEY, lon DOUBLE, lat DOUBLE, premium DOUBLE)"
+    )
+    eco.hana.execute(
+        "INSERT INTO customers VALUES (1, -75.0, 25.0, 100.0), (2, 10.0, 50.0, 100.0)"
+    )
+    eco.federate_hive()
+    eco.sda.create_virtual_table("v_tracks", "hadoop", "tracks")
+
+    # risk = number of historical track points within ~5 degrees
+    risky = {}
+    for cid, lon, lat in [(1, -75.0, 25.0), (2, 10.0, 50.0)]:
+        count = eco.hana.query(
+            f"SELECT COUNT(*) FROM v_tracks WHERE lon BETWEEN {lon - 5} AND {lon + 5} "
+            f"AND lat BETWEEN {lat - 5} AND {lat + 5}"
+        ).scalar()
+        risky[cid] = count
+    assert risky[1] > 0       # Florida customer sees hurricanes
+    assert risky[2] == 0      # Bavarian customer does not
+
+    # write the model back to the ERP (the paper's "computed models have
+    # to go back to the ERP for consumption")
+    eco.hana.execute("CREATE TABLE risk_profile (cid INT, risk_points INT)")
+    for cid, points in risky.items():
+        eco.hana.execute(f"INSERT INTO risk_profile VALUES ({cid}, {points})")
+    joined = eco.hana.query(
+        "SELECT c.cid, c.premium * (1 + r.risk_points / 100.0) AS adjusted "
+        "FROM customers c JOIN risk_profile r ON c.cid = r.cid ORDER BY c.cid"
+    ).rows
+    assert joined[0][1] > 100.0
+    assert joined[1][1] == 100.0
+
+
+def test_scenario_5_pipeline_evacuation():
+    """V.5: the gas-pipeline graph + geo positions; a leak triggers an
+    evacuation plan in real time."""
+    eco = Ecosystem()
+    junctions, pipes = pipeline_graph(segments=50)
+    eco.hana.execute("CREATE TABLE junctions (id INT PRIMARY KEY, x DOUBLE, y DOUBLE)")
+    eco.hana.execute("CREATE TABLE pipes (s INT, t INT, length DOUBLE)")
+    txn = eco.hana.begin()
+    eco.hana.table("junctions").insert_many(junctions, txn)
+    # pipes are walkable in both directions for evacuation
+    eco.hana.table("pipes").insert_many(pipes, txn)
+    eco.hana.table("pipes").insert_many([[t, s, w] for s, t, w in pipes], txn)
+    eco.hana.commit(txn)
+
+    from repro.engines.graph.algorithms import evacuation_plan, reachable
+    from repro.engines.graph.graph import create_graph_view
+
+    graph = create_graph_view(
+        eco.hana, "pipeline", "junctions", "id", "pipes", "s", "t", "length"
+    )
+    leak = 25
+    exits = [0, 49]
+    plan = evacuation_plan(graph, leak=leak, exits=exits, blocked_radius=1)
+    blocked = {leak} | {v for v in graph.vertices() if plan[v] is None}
+    # every junction that can reach an exit without the leak zone has a route
+    routed = [v for v, route in plan.items() if route is not None]
+    assert len(routed) > 30
+    for vertex in routed:
+        cost, path = plan[vertex]
+        assert path[0] == vertex
+        assert path[-1] in exits
+        assert not (set(path) & {leak})
+        # the route length matches the geo distance of its hops roughly
+        assert cost >= 0

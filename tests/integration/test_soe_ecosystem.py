@@ -1,0 +1,60 @@
+"""Integration: SOE inside the Ecosystem, containers, federation."""
+
+from repro.core.ecosystem import Ecosystem
+from repro.soe.containers import ContainerRuntime, ResourceLimits
+
+
+def test_ecosystem_federates_soe_tables():
+    eco = Ecosystem()
+    soe = eco.attach_soe(node_count=2)
+    soe.create_table("readings", ["sensor_id", "value"], ["sensor_id"], partition_count=4)
+    soe.load("readings", [[i, float(i % 10)] for i in range(200)])
+    eco.federate_soe()
+    rows = eco.sda.pushdown_aggregate(
+        "soe", "readings", [], [("count", None), ("sum", "value")]
+    )
+    assert rows[0][0] == 200
+    # virtual table over the SOE joins with a HANA-side table
+    eco.sda.create_virtual_table("v_readings", "soe", "readings")
+    eco.hana.execute("CREATE TABLE hot_sensors (sensor_id INT)")
+    eco.hana.execute("INSERT INTO hot_sensors VALUES (1), (2), (3)")
+    joined = eco.hana.query(
+        "SELECT COUNT(*) FROM v_readings v JOIN hot_sensors h "
+        "ON TO_INT(v.sensor_id) = h.sensor_id"
+    ).scalar()
+    assert joined == 3
+
+
+def test_soe_services_run_in_containers():
+    eco = Ecosystem()
+    soe = eco.attach_soe(node_count=2)
+    runtime = ContainerRuntime(soe.cluster, node_cpu_capacity=8)
+    containers = []
+    for worker in soe.worker_ids:
+        service = soe.cluster.node(worker).service("v2lqp")
+        containers.append(
+            runtime.deploy("v2lqp-containerised", service, node_id=worker,
+                           limits=ResourceLimits(cpu_shares=2))
+        )
+    stats = runtime.statistics()
+    assert stats["containers"] == 2
+    assert all(c.state == "RUNNING" for c in containers)
+    # the containerised services still answer queries
+    soe.create_table("t", ["k"], ["k"], partition_count=4)
+    soe.load("t", [[i] for i in range(50)])
+    rows, _cost = soe.aggregate("t", aggregates=[("count", None)])
+    assert rows == [[50]]
+
+
+def test_unified_monitoring_covers_everything():
+    eco = Ecosystem()
+    eco.attach_soe(node_count=2)
+    eco.attach_hadoop(datanodes=2)
+    soe = eco.soe
+    soe.create_table("t", ["k"], ["k"])
+    soe.load("t", [[1], [2]])
+    eco.hdfs.write_file("/x", ["line"])
+    stats = eco.statistics()
+    assert stats["soe"]["nodes"] == 3
+    assert stats["hdfs"]["files"] == 1
+    assert stats["hana"]["tables"] == []

@@ -1,0 +1,76 @@
+"""Tests for planning disaggregation/aggregation operators."""
+
+import pytest
+
+from repro.engines.graph.hierarchy import HierarchyView
+from repro.errors import PlanningError
+from repro.planning.disaggregation import (
+    aggregate_up,
+    disaggregate,
+    disaggregate_hierarchy,
+)
+
+
+def test_proportional_split_exact_sum():
+    allocation = disaggregate(100.0, {"a": 1.0, "b": 2.0, "c": 1.0})
+    assert allocation == {"a": 25.0, "b": 50.0, "c": 25.0}
+    assert sum(allocation.values()) == 100.0
+
+
+def test_rounding_residue_assigned_exactly():
+    allocation = disaggregate(100.0, {"a": 1.0, "b": 1.0, "c": 1.0})
+    assert sum(allocation.values()) == pytest.approx(100.0, abs=1e-9)
+    assert all(round(v, 2) == v for v in allocation.values())
+    assert sorted(allocation.values()) == [33.33, 33.33, 33.34]
+
+
+def test_equal_split_ignores_weights():
+    allocation = disaggregate(90.0, {"a": 100.0, "b": 0.0, "c": 0.0}, method="equal")
+    assert allocation == {"a": 30.0, "b": 30.0, "c": 30.0}
+
+
+def test_zero_weights_fall_back_to_equal():
+    allocation = disaggregate(10.0, {"a": 0.0, "b": 0.0})
+    assert allocation == {"a": 5.0, "b": 5.0}
+
+
+def test_negative_total_splits():
+    allocation = disaggregate(-50.0, {"a": 1.0, "b": 1.0})
+    assert sum(allocation.values()) == -50.0
+
+
+def test_validation():
+    with pytest.raises(PlanningError):
+        disaggregate(10.0, {})
+    with pytest.raises(PlanningError):
+        disaggregate(10.0, {"a": -1.0})
+    with pytest.raises(PlanningError):
+        disaggregate(10.0, {"a": 1.0}, method="magic")
+
+
+HIERARCHY = HierarchyView(
+    "org",
+    {"all": None, "eu": "all", "us": "all", "de": "eu", "fr": "eu"},
+)
+
+
+def test_hierarchy_disaggregation_targets_leaves():
+    allocation = disaggregate_hierarchy(HIERARCHY, "eu", 90.0, {"de": 2.0, "fr": 1.0})
+    assert allocation == {"de": 60.0, "fr": 30.0}
+
+
+def test_hierarchy_disaggregation_of_leaf_is_identity():
+    allocation = disaggregate_hierarchy(HIERARCHY, "us", 42.0, {})
+    assert allocation == {"us": 42.0}
+
+
+def test_aggregate_up_rolls_to_all_levels():
+    totals = aggregate_up(HIERARCHY, {"de": 10.0, "fr": 5.0, "us": 7.0})
+    assert totals["eu"] == 15.0
+    assert totals["all"] == 22.0
+
+
+def test_disaggregate_then_aggregate_is_consistent():
+    allocation = disaggregate_hierarchy(HIERARCHY, "all", 1000.0, {"de": 3, "fr": 1, "us": 4})
+    totals = aggregate_up(HIERARCHY, allocation)
+    assert totals["all"] == pytest.approx(1000.0, abs=1e-9)

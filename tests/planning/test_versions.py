@@ -1,0 +1,79 @@
+"""Tests for planning cubes: versions, copy, compare."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.planning.versions import PlanningCube
+
+
+@pytest.fixture
+def cube():
+    cube = PlanningCube("sales", ["region", "quarter"])
+    cube.set("actuals", ("de", "q1"), 100.0)
+    cube.set("actuals", ("de", "q2"), 120.0)
+    cube.set("actuals", ("us", "q1"), 200.0)
+    return cube
+
+
+def test_version_branching_is_copy_on_write(cube):
+    cube.create_version("plan")
+    assert cube.get("plan", ("de", "q1")) == 100.0  # inherited
+    cube.set("plan", ("de", "q1"), 111.0)
+    assert cube.get("plan", ("de", "q1")) == 111.0
+    assert cube.get("actuals", ("de", "q1")) == 100.0  # untouched
+    assert cube.override_count("plan") == 1
+
+
+def test_chained_versions_resolve_through_parents(cube):
+    cube.create_version("plan")
+    cube.set("plan", ("de", "q1"), 111.0)
+    cube.create_version("whatif", from_version="plan")
+    assert cube.get("whatif", ("de", "q1")) == 111.0
+    cube.delete("whatif", ("de", "q1"))
+    assert cube.get("whatif", ("de", "q1")) == 0.0
+    assert cube.get("plan", ("de", "q1")) == 111.0
+
+
+def test_copy_cells_with_scale_and_slice(cube):
+    cube.create_version("plan")
+    copied = cube.copy_cells("actuals", "plan", scale=1.1, where={0: "de"})
+    assert copied == 2
+    assert cube.get("plan", ("de", "q1")) == pytest.approx(110.0)
+    assert cube.get("plan", ("us", "q1")) == 200.0  # inherited, unscaled
+
+
+def test_totals_with_filter(cube):
+    assert cube.total("actuals") == 420.0
+    assert cube.total("actuals", where={1: "q1"}) == 300.0
+
+
+def test_compare_versions(cube):
+    cube.create_version("plan")
+    cube.set("plan", ("de", "q1"), 150.0)
+    diff = cube.compare("actuals", "plan")
+    assert diff == {("de", "q1"): (100.0, 150.0)}
+
+
+def test_validation(cube):
+    with pytest.raises(PlanningError):
+        cube.create_version("actuals")
+    with pytest.raises(PlanningError):
+        cube.create_version("x", from_version="ghost")
+    with pytest.raises(PlanningError):
+        cube.get("ghost", ("de", "q1"))
+    with pytest.raises(PlanningError):
+        cube.set("actuals", ("de",), 1.0)  # wrong arity
+    with pytest.raises(PlanningError):
+        cube.drop_version("actuals")
+    with pytest.raises(PlanningError):
+        PlanningCube("empty", [])
+
+
+def test_drop_version_guards_dependants(cube):
+    cube.create_version("plan")
+    cube.create_version("child", from_version="plan")
+    with pytest.raises(PlanningError):
+        cube.drop_version("plan")
+    cube.drop_version("child")
+    cube.drop_version("plan")
+    assert cube.versions == ["actuals"]

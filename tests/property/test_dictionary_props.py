@@ -1,0 +1,57 @@
+"""Property tests: dictionary encoding invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.compression import NULL_VID
+from repro.columnstore.dictionary import AppendDictionary, SortedDictionary
+
+values_strategy = st.lists(st.text(max_size=8), max_size=60)
+
+
+@given(values_strategy)
+def test_sorted_dictionary_round_trip(values):
+    dictionary = SortedDictionary(values)
+    for value in values:
+        vid = dictionary.vid_of(value)
+        assert vid != NULL_VID
+        assert dictionary.value_of(vid) == value
+
+
+@given(values_strategy)
+def test_sorted_dictionary_vid_order_equals_value_order(values):
+    dictionary = SortedDictionary(values)
+    decoded = [dictionary.value_of(v) for v in range(len(dictionary))]
+    assert decoded == sorted(set(values))
+
+
+@given(values_strategy, values_strategy)
+def test_encode_many_remap_preserves_lookups(first, second):
+    dictionary = SortedDictionary(first)
+    before = {value: dictionary.vid_of(value) for value in first}
+    remap = dictionary.encode_many(second)
+    for value, old_vid in before.items():
+        new_vid = remap[old_vid] if remap is not None else old_vid
+        assert dictionary.value_of(new_vid) == value
+    for value in second:
+        assert dictionary.value_of(dictionary.vid_of(value)) == value
+
+
+@given(values_strategy)
+def test_append_dictionary_ids_are_stable(values):
+    dictionary = AppendDictionary()
+    first_ids = [dictionary.encode(value) for value in values]
+    second_ids = [dictionary.encode(value) for value in values]
+    assert first_ids == second_ids
+    for value, vid in zip(values, first_ids):
+        assert dictionary.value_of(vid) == value
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+def test_sorted_dictionary_range_vids_cover_exactly(values):
+    dictionary = SortedDictionary(values)
+    low = min(values)
+    high = max(values)
+    lo, hi = dictionary.range_vids(low, high)
+    covered = set(dictionary.values[lo:hi])
+    assert covered == {v for v in set(values) if low <= v <= high}

@@ -1,0 +1,27 @@
+"""Property tests: disaggregation always sums exactly to the target."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planning.disaggregation import disaggregate
+
+
+@given(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.dictionaries(
+        st.text(min_size=1, max_size=4),
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=120)
+def test_exact_sum_property(total, weights):
+    allocation = disaggregate(total, weights, decimals=2)
+    assert set(allocation) == set(weights)
+    assert abs(sum(allocation.values()) - round(total, 2)) < 1e-9
+    # proportionality: zero-weight cells get zero when some weight exists
+    if any(weight > 0 for weight in weights.values()):
+        for key, weight in weights.items():
+            if weight == 0:
+                assert allocation[key] == 0.0

@@ -1,0 +1,64 @@
+"""Property tests: interval labelling agrees with pointer traversal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.graph.hierarchy import HierarchyView
+
+
+@st.composite
+def random_forest(draw):
+    """A random forest as parent pointers (guaranteed acyclic)."""
+    size = draw(st.integers(1, 40))
+    parents = {0: None}
+    for node in range(1, size):
+        # parent is always a smaller id: acyclic by construction
+        parents[node] = draw(
+            st.one_of(st.none(), st.integers(0, node - 1))
+        )
+    return parents
+
+
+def walk_descendants(parents, node):
+    children = {}
+    for child, parent in parents.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(child)
+    stack = [node]
+    found = set()
+    while stack:
+        current = stack.pop()
+        for child in children.get(current, ()):
+            found.add(child)
+            stack.append(child)
+    return found
+
+
+@given(random_forest())
+@settings(max_examples=80)
+def test_descendants_match_pointer_walk(parents):
+    view = HierarchyView("h", parents)
+    for node in parents:
+        assert set(view.descendants(node)) == walk_descendants(parents, node)
+        assert view.descendant_count(node) == len(walk_descendants(parents, node))
+
+
+@given(random_forest())
+@settings(max_examples=80)
+def test_is_descendant_matches_path_to_root(parents):
+    view = HierarchyView("h", parents)
+    for node in parents:
+        ancestors = set(view.path_to_root(node)) - {node}
+        for other in parents:
+            assert view.is_descendant(node, other) == (other in ancestors)
+
+
+@given(random_forest())
+@settings(max_examples=50)
+def test_levels_and_intervals_consistent(parents):
+    view = HierarchyView("h", parents)
+    for node in parents:
+        parent = view.parent(node)
+        if parent is not None:
+            assert view.level(node) == view.level(parent) + 1
+            assert view.is_descendant(node, parent)

@@ -1,0 +1,36 @@
+"""Property tests: shared-log ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soe.services.shared_log import SharedLog
+
+
+@given(
+    st.integers(1, 5),
+    st.integers(1, 3),
+    st.lists(st.integers(), min_size=1, max_size=60),
+)
+@settings(max_examples=50)
+def test_reads_preserve_append_order(stripes, replication, payloads):
+    log = SharedLog(stripes=stripes, replication=replication)
+    for payload in payloads:
+        log.append(payload)
+    streamed = [payload for _address, payload in log.read_from(0)]
+    assert streamed == payloads
+    assert log.tail == len(payloads)
+
+
+@given(
+    st.lists(st.integers(), min_size=2, max_size=40),
+    st.data(),
+)
+@settings(max_examples=50)
+def test_trim_then_stream_yields_suffix(payloads, data):
+    log = SharedLog(stripes=3, replication=2)
+    for payload in payloads:
+        log.append(payload)
+    cut = data.draw(st.integers(0, len(payloads)))
+    log.trim(cut)
+    streamed = [payload for _address, payload in log.read_from(0)]
+    assert streamed == payloads[cut:]

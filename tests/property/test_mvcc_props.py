@@ -1,0 +1,100 @@
+"""Property test: random interleaved transactions keep MVCC consistent."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.table import ColumnTable
+from repro.core import types
+from repro.core.schema import schema
+from repro.errors import WriteConflictError
+from repro.transaction.manager import TransactionManager
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    count = draw(st.integers(1, 30))
+    for _index in range(count):
+        ops.append(
+            draw(
+                st.one_of(
+                    st.tuples(st.just("insert"), st.integers(0, 9)),
+                    st.tuples(st.just("delete"), st.integers(0, 9)),
+                    st.tuples(st.just("commit"), st.just(0)),
+                    st.tuples(st.just("rollback"), st.just(0)),
+                )
+            )
+        )
+    return ops
+
+
+@given(operations(), operations())
+@settings(max_examples=60, deadline=None)
+def test_committed_state_matches_model(script_a, script_b):
+    """Run two transaction scripts back to back; the committed visible
+    multiset must equal a sequential model of the committed effects."""
+    manager = TransactionManager()
+    table = ColumnTable("t", schema(("k", types.INTEGER)))
+
+    model: Counter = Counter()
+
+    for script in (script_a, script_b):
+        txn = manager.begin()
+        pending = Counter()
+        for op, key in script:
+            if not txn.is_active:
+                break
+            if op == "insert":
+                table.insert([key], txn)
+                pending[key] += 1
+            elif op == "delete":
+                matches = table.find_rows(
+                    lambda row, k=key: row[0] == k, txn.snapshot_cid, txn.tid
+                )
+                if matches:
+                    ordinal, position, _row = matches[0]
+                    try:
+                        table.delete_at(ordinal, position, txn)
+                        pending[key] -= 1
+                    except WriteConflictError:
+                        pass
+            elif op == "commit":
+                manager.commit(txn)
+                model.update(pending)
+                pending = Counter()
+            else:
+                manager.rollback(txn)
+                pending = Counter()
+        if txn.is_active:
+            manager.rollback(txn)
+
+    visible = Counter(row[0] for row in table.scan_rows(manager.last_committed_cid))
+    assert visible == +model
+
+
+@given(operations())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_is_frozen_during_concurrent_commits(script):
+    """A reader's view never changes while another transaction commits."""
+    manager = TransactionManager()
+    table = ColumnTable("t", schema(("k", types.INTEGER)))
+
+    setup = manager.begin()
+    table.insert_many([[1], [2], [3]], setup)
+    manager.commit(setup)
+
+    reader = manager.begin()
+    baseline = sorted(
+        row[0] for row in table.scan_rows(reader.snapshot_cid, reader.tid)
+    )
+
+    writer = manager.begin()
+    for op, key in script:
+        if op == "insert":
+            table.insert([key], writer)
+    manager.commit(writer)
+
+    view = sorted(row[0] for row in table.scan_rows(reader.snapshot_cid, reader.tid))
+    assert view == baseline

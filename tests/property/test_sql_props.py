@@ -1,0 +1,52 @@
+"""Property test: SQL aggregates agree with a Python reference model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.one_of(st.none(), st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_group_by_matches_python_model(rows):
+    database = Database()
+    database.execute("CREATE TABLE t (g VARCHAR, v DOUBLE)")
+    if rows:
+        txn = database.begin()
+        database.table("t").insert_many([[g, v] for g, v in rows], txn)
+        database.commit(txn)
+
+    result = database.query(
+        "SELECT g, COUNT(*) AS n, COUNT(v) AS nv, SUM(v) AS s FROM t GROUP BY g ORDER BY g"
+    ).rows
+
+    model = {}
+    for g, v in rows:
+        entry = model.setdefault(g, [0, 0, 0.0])
+        entry[0] += 1
+        if v is not None:
+            entry[1] += 1
+            entry[2] += v
+    expected = [
+        [g, n, nv, (s if nv else None)] for g, (n, nv, s) in sorted(model.items())
+    ]
+    assert len(result) == len(expected)
+    for got, want in zip(result, expected):
+        assert got[0] == want[0]
+        assert got[1] == want[1]
+        assert got[2] == want[2]
+        if want[3] is None:
+            assert got[3] is None
+        else:
+            assert got[3] is not None and math.isclose(got[3], want[3], rel_tol=1e-9, abs_tol=1e-6)

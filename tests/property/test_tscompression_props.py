@@ -1,0 +1,41 @@
+"""Property tests: time-series codec is lossless at the declared scale."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.timeseries.compression import decode, encode
+from repro.engines.timeseries.series import TimeSeries
+
+
+@st.composite
+def series_strategy(draw):
+    n = draw(st.integers(0, 120))
+    deltas = draw(st.lists(st.integers(1, 10_000), min_size=n, max_size=n))
+    timestamps = np.cumsum(np.asarray([1_000_000] + deltas[:-1], dtype=np.int64)) if n else np.empty(0, dtype=np.int64)
+    values = draw(
+        st.lists(
+            st.floats(min_value=-1e7, max_value=1e7, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return TimeSeries(timestamps[:n], np.asarray(values, dtype=np.float64))
+
+
+@given(series_strategy(), st.integers(0, 6))
+@settings(max_examples=60)
+def test_round_trip_within_quantisation(series, scale):
+    restored = decode(encode(series, value_scale=scale))
+    assert np.array_equal(series.timestamps, restored.timestamps)
+    tolerance = 0.51 * 10 ** (-scale)
+    if len(series):
+        assert np.max(np.abs(series.values - restored.values)) <= tolerance
+
+
+@given(series_strategy())
+@settings(max_examples=30)
+def test_double_encode_is_stable(series):
+    once = decode(encode(series, value_scale=4))
+    twice = decode(encode(once, value_scale=4))
+    assert once == twice

@@ -1,0 +1,78 @@
+"""Tests for cluster management: moves, rebalance, stats, discovery."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.soe.engine import SoeEngine
+
+
+@pytest.fixture
+def soe():
+    engine = SoeEngine(node_count=3)
+    engine.create_table("t", ["k", "v"], ["k"], partition_count=6)
+    engine.load("t", [[i, float(i)] for i in range(600)])
+    return engine
+
+
+def test_move_partition_transfers_data_and_metadata(soe):
+    placement = soe.catalog.placement_of("t")
+    partition_id, nodes = next(iter(placement.items()))
+    source = nodes[0]
+    target = next(w for w in soe.worker_ids if w != source)
+    seconds = soe.manager.move_partition("t", partition_id, source, target)
+    assert seconds > 0
+    assert target in soe.catalog.nodes_of("t", partition_id)
+    assert source not in soe.catalog.nodes_of("t", partition_id)
+    rows, _ = soe.aggregate("t", aggregates=[("count", None)])
+    assert rows[0][0] == 600
+
+
+def test_move_unhosted_partition_rejected(soe):
+    with pytest.raises(ClusterError):
+        soe.manager.move_partition("t", 0, "worker9", "worker1")
+
+
+def test_rebalance_levels_partition_counts(soe):
+    # skew: move everything to worker0 first
+    placement = soe.catalog.placement_of("t")
+    for partition_id, nodes in placement.items():
+        if nodes[0] != "worker0":
+            soe.manager.move_partition("t", partition_id, nodes[0], "worker0")
+    moves = soe.manager.rebalance("t")
+    assert moves
+    counts = {
+        worker: len(soe.catalog.partitions_on("t", worker))
+        for worker in soe.worker_ids
+    }
+    assert max(counts.values()) - min(counts.values()) <= 1
+    rows, _ = soe.aggregate("t", aggregates=[("count", None)])
+    assert rows[0][0] == 600
+
+
+def test_hotspot_detection(soe):
+    # drive all scans to the nodes hosting data; coordinator stats track rows
+    soe.aggregate("t", aggregates=[("count", None)])
+    load = soe.stats.node_load()
+    assert sum(load.values()) == 600
+    assert soe.stats.hotspots(factor=100.0) == []
+
+
+def test_discovery_and_auth(soe):
+    assert set(soe.discovery.locate("v2lqp")) == set(soe.worker_ids)
+    assert soe.discovery.locate_one("v2dqp") == "coordinator"
+    soe.auth.create_user("analyst", "secret")
+    soe.auth.grant("analyst", "query")
+    assert soe.auth.authenticate("analyst", "secret")
+    assert soe.auth.check("analyst", "query")
+    assert not soe.auth.check("analyst", "admin")
+    with pytest.raises(ClusterError):
+        soe.auth.require("analyst", "admin")
+    soe.auth.grant("analyst", "*")
+    assert soe.auth.check("analyst", "admin")
+
+
+def test_stop_service_withdraws_announcement(soe):
+    soe.manager.stop_service("worker0", "v2lqp")
+    assert "worker0" not in soe.discovery.locate("v2lqp")
+    with pytest.raises(ClusterError):
+        soe.manager.stop_service("worker0", "v2lqp")

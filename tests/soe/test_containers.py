@@ -1,0 +1,95 @@
+"""Tests for service containerisation (§IV.B)."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.soe.cluster import SimulatedCluster
+from repro.soe.containers import ContainerRuntime, ResourceLimits
+
+
+@pytest.fixture
+def runtime():
+    cluster = SimulatedCluster()
+    for _index in range(3):
+        cluster.add_node()
+    return ContainerRuntime(cluster, node_cpu_capacity=2), cluster
+
+
+def test_deploy_places_on_least_loaded_node(runtime):
+    rt, cluster = runtime
+    first = rt.deploy("v2lqp", object())
+    second = rt.deploy("v2lqp", object())
+    third = rt.deploy("v2lqp", object())
+    assert {first.node_id, second.node_id, third.node_id} == set(cluster.nodes)
+
+
+def test_cpu_capacity_enforced(runtime):
+    rt, cluster = runtime
+    big = ResourceLimits(cpu_shares=2)
+    for _index in range(3):
+        rt.deploy("svc", object(), limits=big)
+    with pytest.raises(ClusterError):
+        rt.deploy("svc", object(), limits=big)
+
+
+def test_explicit_placement_and_service_hosting(runtime):
+    rt, cluster = runtime
+    node_id = next(iter(cluster.nodes))
+    service = object()
+    container = rt.deploy("v2catalog", service, node_id=node_id)
+    assert cluster.node(node_id).service("v2catalog") is service
+    assert container.node_id == node_id
+
+
+def test_oom_kills_container_not_node(runtime):
+    rt, cluster = runtime
+    container = rt.deploy(
+        "v2transact", object(), limits=ResourceLimits(memory_bytes=100)
+    )
+    container.charge_memory(60)
+    with pytest.raises(ClusterError):
+        container.charge_memory(60)
+    assert container.state == "FAILED"
+    assert cluster.node(container.node_id).alive  # isolation held
+
+
+def test_restart_resets_accounting(runtime):
+    rt, _cluster = runtime
+    container = rt.deploy("svc", object(), limits=ResourceLimits(memory_bytes=100))
+    with pytest.raises(ClusterError):
+        container.charge_memory(200)
+    restarted = rt.restart(container.container_id)
+    assert restarted.state == "RUNNING"
+    assert restarted.memory_used == 0
+    assert restarted.restarts == 1
+
+
+def test_stop_withdraws_service(runtime):
+    rt, cluster = runtime
+    container = rt.deploy("v2stats", object())
+    rt.stop(container.container_id)
+    with pytest.raises(ClusterError):
+        cluster.node(container.node_id).service("v2stats")
+
+
+def test_reschedule_off_dead_node(runtime):
+    rt, cluster = runtime
+    container = rt.deploy("v2dqp", object())
+    cluster.kill(container.node_id)
+    failed = rt.handle_node_failure(container.node_id)
+    assert container in failed and container.state == "FAILED"
+    with pytest.raises(ClusterError):
+        rt.restart(container.container_id)
+    replacement = rt.reschedule(container.container_id)
+    assert replacement.node_id != container.node_id
+    assert replacement.state == "RUNNING"
+
+
+def test_statistics(runtime):
+    rt, _cluster = runtime
+    rt.deploy("a", object())
+    second = rt.deploy("b", object())
+    rt.stop(second.container_id)
+    stats = rt.statistics()
+    assert stats["containers"] == 2
+    assert stats["by_state"] == {"RUNNING": 1, "STOPPED": 1}

@@ -1,0 +1,82 @@
+"""Tests for the broker and OLTP/OLAP data-node log application."""
+
+import pytest
+
+from repro.errors import SoeError
+from repro.soe.partitions import PrepackagedPartition
+from repro.soe.replication import DataNode, make_delete, make_insert
+from repro.soe.services.shared_log import SharedLog
+from repro.soe.services.transaction_broker import TransactionBroker
+
+
+def setup_node(mode):
+    broker = TransactionBroker(SharedLog(stripes=1, replication=1))
+    node = DataNode("n1", broker, mode=mode)
+    partitions = [PrepackagedPartition("t", pid, ["k", "v"]) for pid in range(2)]
+    node.own("t", partitions, key_positions=[0], partition_count=2)
+    return broker, node
+
+
+def test_oltp_node_applies_synchronously():
+    broker, node = setup_node("oltp")
+    broker.submit([make_insert("t", [[1, "a"], [2, "b"]])])
+    assert node.store.total_rows() == 2
+    assert node.staleness() == 0
+
+
+def test_olap_node_applies_on_catch_up():
+    broker, node = setup_node("olap")
+    broker.submit([make_insert("t", [[1, "a"]])])
+    broker.submit([make_insert("t", [[2, "b"]])])
+    assert node.store.total_rows() == 0
+    assert node.staleness() == 2
+    applied = node.catch_up()
+    assert applied == 2
+    assert node.store.total_rows() == 2
+    assert node.staleness() == 0
+
+
+def test_olap_partial_catch_up_to_lsn():
+    broker, node = setup_node("olap")
+    broker.submit([make_insert("t", [[1, "a"]])])
+    broker.submit([make_insert("t", [[2, "b"]])])
+    node.catch_up(to_lsn=1)
+    assert node.store.total_rows() == 1
+    assert node.staleness() == 1
+
+
+def test_delete_operation_applies():
+    broker, node = setup_node("oltp")
+    broker.submit([make_insert("t", [[1, "a"], [2, "b"]])])
+    broker.submit([make_delete("t", "k", 1)])
+    assert node.store.total_rows() == 1
+
+
+def test_node_ignores_unowned_tables_and_partitions():
+    broker = TransactionBroker(SharedLog())
+    node = DataNode("n1", broker, mode="oltp")
+    node.own("t", [PrepackagedPartition("t", 0, ["k"])], [0], 4)
+    # rows routing to partitions 1..3 are not owned here
+    broker.submit([make_insert("t", [[i] for i in range(40)])])
+    assert 0 < node.store.total_rows() < 40
+    broker.submit([make_insert("other", [[1]])])  # unknown table: no-op
+
+
+def test_broker_validates_operations():
+    broker = TransactionBroker(SharedLog())
+    with pytest.raises(SoeError):
+        broker.submit([{"bogus": True}])
+
+
+def test_broker_read_since():
+    broker = TransactionBroker(SharedLog())
+    broker.submit([make_insert("t", [[1]])])
+    broker.submit([make_insert("t", [[2]])])
+    entries = list(broker.read_since(1))
+    assert len(entries) == 1
+    assert entries[0][1][0]["rows"] == [[2]]
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(SoeError):
+        DataNode("x", TransactionBroker(SharedLog()), mode="hybrid")

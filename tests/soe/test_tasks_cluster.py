@@ -1,0 +1,89 @@
+"""Tests for task DAGs and the cluster/network substrate."""
+
+import pytest
+
+from repro.errors import ClusterError, CoordinationError
+from repro.soe.cluster import NetworkModel, SimulatedCluster, approx_row_bytes
+from repro.soe.tasks import AggregateSpec, Filter, TaskDag
+
+
+def test_task_dag_topological_order():
+    dag = TaskDag()
+    a = dag.add("scan", "n1", {})
+    b = dag.add("scan", "n2", {})
+    c = dag.add("merge", "coord", {}, [a.task_id, b.task_id])
+    d = dag.add("collect", "coord", {}, [c.task_id])
+    order = [task.task_id for task in dag.topological_order()]
+    assert order.index(a.task_id) < order.index(c.task_id)
+    assert order.index(b.task_id) < order.index(c.task_id)
+    assert order.index(c.task_id) < order.index(d.task_id)
+
+
+def test_task_dag_cycle_detected():
+    dag = TaskDag()
+    a = dag.add("x", "n1", {})
+    b = dag.add("y", "n1", {}, [a.task_id])
+    a.inputs.append(b.task_id)
+    with pytest.raises(CoordinationError):
+        dag.topological_order()
+
+
+def test_task_dag_describe():
+    dag = TaskDag()
+    a = dag.add("scan", "n1", {})
+    dag.add("merge", "coord", {}, [a.task_id])
+    rendered = dag.describe()
+    assert "t0 scan@n1" in rendered
+    assert "t1 merge@coord <- [0]" in rendered
+
+
+def test_aggregate_spec_validation():
+    with pytest.raises(CoordinationError):
+        AggregateSpec("mode")
+    with pytest.raises(CoordinationError):
+        AggregateSpec("sum")  # needs a column
+    assert AggregateSpec("count").column is None
+    assert Filter("a", ">", 1).value == 1
+
+
+def test_network_model_cost():
+    network = NetworkModel(latency_seconds=0.001, bandwidth_bytes_per_second=1000)
+    assert network.cost(0) == 0.001
+    assert network.cost(1000) == pytest.approx(1.001)
+
+
+def test_cluster_transfer_accounting_and_local_free():
+    cluster = SimulatedCluster()
+    cluster.add_node("a")
+    cluster.add_node("b")
+    assert cluster.transfer("a", "a", 10_000) == 0.0
+    assert cluster.stats.messages == 0
+    seconds = cluster.transfer("a", "b", 10_000)
+    assert seconds > 0
+    assert cluster.stats.messages == 1
+    assert cluster.stats.bytes_total == 10_000
+    old = cluster.reset_stats()
+    assert old.messages == 1
+    assert cluster.stats.messages == 0
+
+
+def test_cluster_node_lifecycle():
+    cluster = SimulatedCluster()
+    node = cluster.add_node()
+    assert node.node_id.startswith("node")
+    with pytest.raises(ClusterError):
+        cluster.add_node(node.node_id)
+    with pytest.raises(ClusterError):
+        cluster.node("ghost")
+    cluster.kill(node.node_id)
+    assert cluster.alive_nodes() == []
+    with pytest.raises(ClusterError):
+        node.service("anything")
+    cluster.revive(node.node_id)
+    with pytest.raises(ClusterError):
+        node.service("anything")  # alive but no such service
+
+
+def test_approx_row_bytes():
+    assert approx_row_bytes([1, 2.5]) == 18
+    assert approx_row_bytes(["abc"]) == 6

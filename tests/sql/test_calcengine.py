@@ -1,0 +1,122 @@
+"""Tests for the Calc Engine data-flow graphs."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engines.ml.rops import make_r_adapter
+from repro.errors import PlanError
+from repro.sql.calcengine import CalcScenario
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE sales (region VARCHAR, x DOUBLE, y DOUBLE)")
+    rows = ", ".join(
+        f"('{'EU' if i % 2 == 0 else 'US'}', {float(i)}, {2.0 * i + 1.0})"
+        for i in range(40)
+    )
+    database.execute(f"INSERT INTO sales VALUES {rows}")
+    return database
+
+
+def test_table_source_filter_project(db):
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales")
+    scenario.filter("eu", "src", "region", "=", "EU")
+    scenario.project("out", "eu", ["x", "y"])
+    columns, rows = scenario.execute("out")
+    assert columns == ["x", "y"]
+    assert len(rows) == 20
+
+
+def test_python_operator_transforms_and_drops(db):
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales")
+    scenario.python_operator(
+        "enrich",
+        "src",
+        lambda row: {"region": row["region"], "ratio": row["y"] / (row["x"] + 1)}
+        if row["x"] > 0
+        else None,
+    )
+    columns, rows = scenario.execute("enrich")
+    assert columns == ["region", "ratio"]
+    assert len(rows) == 39  # x == 0 dropped
+
+
+def test_external_r_operator_in_dataflow(db):
+    provider = make_r_adapter()
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales", columns=["x", "y"])
+    scenario.external_operator("lm", "src", provider, "lm")
+    columns, rows = scenario.execute("lm")
+    assert dict(rows)["slope"] == pytest.approx(2.0)
+    assert provider.stats.rows_out == 40
+
+
+def test_optimizer_embraces_filter_before_external_call(db):
+    provider = make_r_adapter()
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales", columns=["region", "x", "y"])
+    scenario.filter("eu", "src", "region", "=", "EU")
+    scenario.project("xy", "eu", ["x", "y"])
+    scenario.external_operator("lm", "xy", provider, "lm")
+    embraced = scenario.optimize()
+    assert embraced == 1
+    columns, rows = scenario.execute("lm")
+    assert dict(rows)["slope"] == pytest.approx(2.0)
+    # only the 20 qualifying rows were shipped to the external system
+    assert provider.stats.rows_out == 20
+    assert scenario.node_output_rows["src"] == 20
+
+
+def test_optimizer_keeps_filter_when_source_is_shared(db):
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales")
+    scenario.filter("eu", "src", "region", "=", "EU")
+    scenario.aggregate("all_agg", "src", [], [("count", None)])
+    assert scenario.optimize() == 0  # src feeds all_agg unfiltered
+    columns, rows = scenario.execute("all_agg")
+    assert rows == [[40]]
+
+
+def test_join_union_aggregate(db):
+    db.execute("CREATE TABLE regions (code VARCHAR, continent VARCHAR)")
+    db.execute("INSERT INTO regions VALUES ('EU', 'Europe'), ('US', 'America')")
+    scenario = CalcScenario("s", db)
+    scenario.table_source("sales_src", "sales")
+    scenario.table_source("dim", "regions")
+    scenario.join("joined", "sales_src", "dim", "region", "code")
+    scenario.aggregate("agg", "joined", ["continent"], [("count", None), ("sum", "x")])
+    columns, rows = scenario.execute("agg")
+    assert columns == ["continent", "count", "sum_x"]
+    assert rows == [["America", 20, sum(float(i) for i in range(1, 40, 2))],
+                    ["Europe", 20, sum(float(i) for i in range(0, 40, 2))]]
+
+    scenario.union("both", ["sales_src", "sales_src"])
+    _cols, doubled = scenario.execute("both")
+    assert len(doubled) == 80
+
+
+def test_graph_validation(db):
+    scenario = CalcScenario("s", db)
+    scenario.table_source("src", "sales")
+    with pytest.raises(PlanError):
+        scenario.table_source("src", "sales")  # duplicate
+    with pytest.raises(PlanError):
+        scenario.filter("f", "ghost", "x", ">", 1)
+    with pytest.raises(PlanError):
+        scenario.filter("f", "src", "x", "~", 1)
+    with pytest.raises(PlanError):
+        scenario.union("u", ["src"])
+    with pytest.raises(PlanError):
+        scenario.execute("ghost")
+
+
+def test_sql_source(db):
+    scenario = CalcScenario("s", db)
+    scenario.sql_source("top", "SELECT region, SUM(x) AS total FROM sales GROUP BY region")
+    columns, rows = scenario.execute("top")
+    assert columns == ["region", "total"]
+    assert len(rows) == 2

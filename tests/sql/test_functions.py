@@ -1,0 +1,117 @@
+"""Tests for the scalar function library."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def one(db, expression, **params):
+    return db.query(f"SELECT {expression} AS v", **params).scalar()
+
+
+def test_string_functions(db):
+    assert one(db, "UPPER('abc')") == "ABC"
+    assert one(db, "LOWER('AbC')") == "abc"
+    assert one(db, "LENGTH('hello')") == 5
+    assert one(db, "SUBSTR('hello', 2, 3)") == "ell"
+    assert one(db, "SUBSTR('hello', 3)") == "llo"
+    assert one(db, "TRIM('  x ')") == "x"
+    assert one(db, "REPLACE('aXa', 'X', 'b')") == "aba"
+    assert one(db, "CONCAT('a', 'b')") == "ab"
+    assert one(db, "INSTR('hello', 'll')") == 3
+
+
+def test_math_functions(db):
+    assert one(db, "ABS(-4)") == 4
+    assert one(db, "ROUND(3.14159, 2)") == 3.14
+    assert one(db, "FLOOR(2.9)") == 2
+    assert one(db, "CEIL(2.1)") == 3
+    assert one(db, "SQRT(16)") == 4.0
+    assert one(db, "POWER(2, 10)") == 1024.0
+    assert one(db, "MOD(10, 3)") == 1
+    assert one(db, "SIGN(-9)") == -1
+
+
+def test_conditional_functions(db):
+    assert one(db, "COALESCE(NULL, NULL, 5)") == 5
+    assert one(db, "IFNULL(NULL, 'x')") == "x"
+    assert one(db, "NULLIF(3, 3)") is None
+    assert one(db, "LEAST(3, 1, 2)") == 1
+    assert one(db, "GREATEST(3, 1, 2)") == 3
+
+
+def test_null_propagation(db):
+    assert one(db, "UPPER(NULL)") is None
+    assert one(db, "ABS(NULL)") is None
+
+
+def test_temporal_functions(db):
+    assert one(db, "YEAR(DATE '2014-07-03')") == 2014
+    assert one(db, "MONTH(DATE '2014-07-03')") == 7
+    assert one(db, "DAY(DATE '2014-07-03')") == 3
+    assert one(db, "ADD_DAYS(DATE '2014-01-30', 3)") == dt.date(2014, 2, 2)
+    assert one(db, "DAYS_BETWEEN(DATE '2014-01-01', DATE '2014-01-31')") == 30
+    pinned = one(db, "CURRENT_DATE()", current_date=dt.date(2015, 1, 1))
+    assert pinned == dt.date(2015, 1, 1)
+
+
+def test_conversion_functions(db):
+    assert one(db, "TO_DOUBLE('2.5')") == 2.5
+    assert one(db, "TO_INT('7')") == 7
+    assert one(db, "TO_VARCHAR(12)") == "12"
+    assert one(db, "TO_DATE('2014-02-03')") == dt.date(2014, 2, 3)
+
+
+def test_currency_conversion_from_parameters(db):
+    rates = {("USD", "EUR"): 0.8}
+    assert one(db, "CONVERT_CURRENCY(100, 'USD', 'EUR')", currency_rates=rates) == 80.0
+    # inverse rate derived automatically
+    assert one(db, "CONVERT_CURRENCY(80, 'EUR', 'USD')", currency_rates=rates) == 100.0
+    assert one(db, "CONVERT_CURRENCY(5, 'EUR', 'EUR')") == 5.0
+
+
+def test_currency_conversion_from_catalog_table(db):
+    db.execute("CREATE TABLE currency_rates (from_currency VARCHAR, to_currency VARCHAR, rate DOUBLE)")
+    db.execute("INSERT INTO currency_rates VALUES ('GBP', 'EUR', 1.25)")
+    assert one(db, "CONVERT_CURRENCY(4, 'GBP', 'EUR')") == 5.0
+
+
+def test_currency_conversion_missing_rate(db):
+    with pytest.raises(ExpressionError):
+        one(db, "CONVERT_CURRENCY(1, 'XXX', 'YYY')")
+
+
+def test_unit_conversion(db):
+    factors = {("kg", "g"): 1000.0}
+    assert one(db, "CONVERT_UNIT(2, 'kg', 'g')", unit_factors=factors) == 2000.0
+    assert one(db, "CONVERT_UNIT(500, 'g', 'kg')", unit_factors=factors) == 0.5
+
+
+def test_geo_functions(db):
+    assert one(db, "ST_DISTANCE(ST_POINT(0, 0), ST_POINT(3, 4))") == 5.0
+    assert one(db, "ST_WITHIN_DISTANCE(ST_POINT(0,0), ST_POINT(1,1), 2)") is True
+    assert one(db, "ST_CONTAINS('POLYGON ((0 0, 2 0, 2 2, 0 2))', ST_POINT(1, 1))") is True
+    assert one(db, "ST_AREA('POLYGON ((0 0, 2 0, 2 2, 0 2))')") == 4.0
+
+
+def test_document_functions(db):
+    doc = '{"a": {"b": [1, 2]}}'
+    assert one(db, f"DOC_EXTRACT('{doc.replace(chr(39), chr(39)*2)}', '$.a.b[1]')") == 2
+
+
+def test_unknown_function(db):
+    with pytest.raises(ExpressionError):
+        one(db, "NO_SUCH_FN(1)")
+
+
+def test_registering_custom_function(db):
+    db.functions.register("TWICE", lambda x: x * 2)
+    assert one(db, "TWICE(21)") == 42

@@ -1,0 +1,48 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql) if t.kind != "EOF"]
+
+
+def test_keywords_and_identifiers():
+    assert kinds("SELECT foo") == [("KEYWORD", "SELECT"), ("IDENT", "foo")]
+    assert kinds("select Foo") == [("KEYWORD", "SELECT"), ("IDENT", "Foo")]
+
+
+def test_numbers():
+    assert kinds("1 2.5 1e3 1.5E-2") == [
+        ("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", "1e3"), ("NUMBER", "1.5E-2"),
+    ]
+
+
+def test_strings_with_escapes():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'open")
+
+
+def test_quoted_identifiers():
+    assert kinds('"Weird Name"') == [("IDENT", "Weird Name")]
+
+
+def test_two_char_operators():
+    assert [v for _k, v in kinds("a <= b <> c || d")] == ["a", "<=", "b", "<>", "c", "||", "d"]
+
+
+def test_comments_are_skipped():
+    assert kinds("SELECT 1 -- trailing\n + 2 /* block */ ") == [
+        ("KEYWORD", "SELECT"), ("NUMBER", "1"), ("PUNCT", "+"), ("NUMBER", "2"),
+    ]
+    with pytest.raises(SqlSyntaxError):
+        tokenize("/* open")
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT ~")

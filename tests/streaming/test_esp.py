@@ -1,0 +1,95 @@
+"""Tests for the event stream processor."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import StreamingError
+from repro.streaming.esp import (
+    CollectSink,
+    DeriveOperator,
+    FilterOperator,
+    ProjectOperator,
+    SlidingWindowThreshold,
+    StreamProcessor,
+    TableSink,
+    TumblingWindowAggregate,
+)
+
+
+def test_filter_project_derive_chain():
+    sink = CollectSink()
+    processor = StreamProcessor(
+        [
+            FilterOperator(lambda e: e["v"] > 0),
+            DeriveOperator("double", lambda e: e["v"] * 2),
+            ProjectOperator(["k", "double"]),
+        ],
+        [sink],
+    )
+    processor.push_many([{"k": 1, "v": 5}, {"k": 2, "v": -1}, {"k": 3, "v": 2}])
+    assert sink.events == [{"k": 1, "double": 10}, {"k": 3, "double": 4}]
+    assert processor.events_in == 3
+    assert processor.events_out == 2
+
+
+def test_tumbling_window_aggregates_per_key():
+    sink = CollectSink()
+    processor = StreamProcessor(
+        [TumblingWindowAggregate("ts", "sensor", "v", width=10)], [sink]
+    )
+    processor.push_many(
+        [
+            {"ts": 1, "sensor": "a", "v": 1.0},
+            {"ts": 5, "sensor": "a", "v": 3.0},
+            {"ts": 7, "sensor": "b", "v": 10.0},
+            {"ts": 12, "sensor": "a", "v": 5.0},  # closes the first window
+        ]
+    )
+    processor.finish()
+    windows = {(e["sensor"], e["window_start"]): e for e in sink.events}
+    first_a = windows[("a", 0)]
+    assert first_a["count"] == 2
+    assert first_a["avg"] == 2.0
+    assert first_a["min"] == 1.0 and first_a["max"] == 3.0
+    assert windows[("b", 0)]["sum"] == 10.0
+    assert windows[("a", 10)]["count"] == 1
+
+
+def test_tumbling_window_requires_order():
+    processor = StreamProcessor(
+        [TumblingWindowAggregate("ts", "k", "v", width=10)], [CollectSink()]
+    )
+    processor.push({"ts": 100, "k": "a", "v": 1.0})
+    with pytest.raises(StreamingError):
+        processor.push({"ts": 50, "k": "a", "v": 1.0})
+
+
+def test_sliding_threshold_alerts_once_until_recovery():
+    sink = CollectSink()
+    processor = StreamProcessor(
+        [SlidingWindowThreshold("k", "v", size=3, threshold=10.0, below=True)], [sink]
+    )
+    for value in (20, 20, 20, 5, 5, 5, 5, 20, 20, 20, 5, 5, 5):
+        processor.push({"k": "d1", "v": value})
+    alerts = [e for e in sink.events if e["alert"] == "below"]
+    assert len(alerts) == 2  # re-alerts only after recovering
+
+
+def test_table_sink_batches_commits():
+    database = Database()
+    database.execute("CREATE TABLE readings (k INT, v DOUBLE)")
+    sink = TableSink(database, "readings", batch_size=10)
+    processor = StreamProcessor([], [sink])
+    processor.push_many({"k": i, "v": float(i)} for i in range(25))
+    # two full batches committed, 5 pending
+    assert database.query("SELECT COUNT(*) FROM readings").scalar() == 20
+    processor.finish()
+    assert database.query("SELECT COUNT(*) FROM readings").scalar() == 25
+    assert sink.inserted == 25
+
+
+def test_window_validation():
+    with pytest.raises(StreamingError):
+        TumblingWindowAggregate("ts", "k", "v", width=0)
+    with pytest.raises(StreamingError):
+        SlidingWindowThreshold("k", "v", size=0, threshold=1.0)

@@ -1,0 +1,66 @@
+"""Tests for the simulated HTM execution model."""
+
+import pytest
+
+from repro.transaction.htm import (
+    GlobalLockExecution,
+    HtmExecution,
+    make_batches,
+)
+
+
+def test_lock_cost_is_linear_in_operations():
+    lock = GlobalLockExecution(op_work=1.0, lock_overhead=0.5)
+    batches = make_batches(operations=100, concurrency=4, granules=1000)
+    stats = lock.run(batches)
+    assert stats.operations == 100
+    assert stats.work_units == pytest.approx(150.0)
+    assert stats.aborts == 0
+
+
+def test_htm_conflict_free_batch_costs_one_round():
+    htm = HtmExecution(op_work=1.0, htm_overhead=0.0)
+    stats = htm.run([[1, 2, 3, 4]])
+    assert stats.aborts == 0
+    assert stats.work_units == pytest.approx(1.0)  # fully parallel round
+
+
+def test_htm_conflicts_abort_and_retry():
+    htm = HtmExecution(op_work=1.0, htm_overhead=0.0, max_retries=5)
+    stats = htm.run([[7, 7, 7]])  # three ops on one granule
+    # round 1 aborts two, round 2 aborts one: three aborts over three rounds
+    assert stats.aborts == 3
+    assert stats.lock_fallbacks == 0
+    assert stats.work_units == pytest.approx(3.0)  # three serial rounds
+
+
+def test_htm_falls_back_to_lock_after_max_retries():
+    htm = HtmExecution(op_work=1.0, htm_overhead=0.0, max_retries=1, lock_overhead=0.5)
+    stats = htm.run([[7, 7]])
+    assert stats.lock_fallbacks == 1
+    assert stats.work_units == pytest.approx(1.0 + 1.5)
+
+
+def test_htm_beats_lock_at_low_contention():
+    batches = make_batches(operations=2_000, concurrency=8, granules=10_000)
+    lock = GlobalLockExecution().run(batches)
+    htm = HtmExecution().run(batches)
+    assert htm.work_units < lock.work_units
+
+
+def test_lock_beats_htm_under_extreme_contention():
+    batches = make_batches(
+        operations=2_000, concurrency=8, granules=4, hot_fraction=0.95
+    )
+    lock = GlobalLockExecution().run(batches)
+    htm = HtmExecution(max_retries=4).run(batches)
+    assert htm.aborts > 0
+    assert htm.work_units > lock.work_units * 0.5  # wasted speculation shows
+
+
+def test_make_batches_deterministic_and_shaped():
+    a = make_batches(100, 10, 50, seed=1)
+    b = make_batches(100, 10, 50, seed=1)
+    assert a == b
+    assert len(a) == 10
+    assert all(len(batch) == 10 for batch in a)

@@ -1,0 +1,49 @@
+"""Tests for MVCC visibility primitives."""
+
+import numpy as np
+import pytest
+
+from repro.transaction.mvcc import INF_CID, is_visible, uncommitted_stamp, visible_mask
+
+
+def test_uncommitted_stamp_requires_positive_tid():
+    assert uncommitted_stamp(3) == -3
+    with pytest.raises(ValueError):
+        uncommitted_stamp(0)
+
+
+def test_committed_row_visible_at_or_after_commit():
+    assert is_visible(created=5, deleted=INF_CID, snapshot_cid=5)
+    assert is_visible(created=5, deleted=INF_CID, snapshot_cid=9)
+    assert not is_visible(created=5, deleted=INF_CID, snapshot_cid=4)
+
+
+def test_deleted_row_invisible_after_delete_commit():
+    assert is_visible(created=1, deleted=7, snapshot_cid=6)
+    assert not is_visible(created=1, deleted=7, snapshot_cid=7)
+
+
+def test_own_uncommitted_changes_visible_to_self_only():
+    assert is_visible(created=-9, deleted=INF_CID, snapshot_cid=0, own_tid=9)
+    assert not is_visible(created=-9, deleted=INF_CID, snapshot_cid=0, own_tid=4)
+    # own delete hides the row from itself
+    assert not is_visible(created=1, deleted=-9, snapshot_cid=5, own_tid=9)
+    # but not from others
+    assert is_visible(created=1, deleted=-9, snapshot_cid=5, own_tid=4)
+
+
+def test_tombstoned_creation_never_visible():
+    assert not is_visible(created=INF_CID, deleted=INF_CID, snapshot_cid=10**9)
+
+
+def test_visible_mask_matches_scalar():
+    created = np.array([1, 5, -3, INF_CID, 2], dtype=np.int64)
+    deleted = np.array([INF_CID, 3, INF_CID, INF_CID, -3], dtype=np.int64)
+    for snapshot in (0, 2, 4, 6):
+        for own in (0, 3):
+            mask = visible_mask(created, deleted, snapshot, own)
+            expected = [
+                is_visible(int(c), int(d), snapshot, own)
+                for c, d in zip(created, deleted)
+            ]
+            assert list(mask) == expected, (snapshot, own)

@@ -1,0 +1,62 @@
+"""Tests for GrowableInt64."""
+
+import numpy as np
+import pytest
+
+from repro.util.arrays import GrowableInt64
+
+
+def test_append_and_indexing():
+    array = GrowableInt64()
+    for value in range(100):
+        position = array.append(value)
+        assert position == value
+    assert len(array) == 100
+    assert array[0] == 0
+    assert array[-1] == 99
+    with pytest.raises(IndexError):
+        array[100]
+    with pytest.raises(IndexError):
+        array[-101]
+
+
+def test_setitem():
+    array = GrowableInt64()
+    array.append(5)
+    array[0] = 9
+    assert array[0] == 9
+    with pytest.raises(IndexError):
+        array[3] = 1
+
+
+def test_view_is_zero_copy_prefix():
+    array = GrowableInt64()
+    for value in range(10):
+        array.append(value)
+    view = array.view()
+    assert len(view) == 10
+    view[3] = 99  # writes through
+    assert array[3] == 99
+
+
+def test_growth_beyond_initial_capacity():
+    array = GrowableInt64(capacity=2)
+    for value in range(1000):
+        array.append(value)
+    assert len(array) == 1000
+    assert list(array.view()[:5]) == [0, 1, 2, 3, 4]
+
+
+def test_extend_bulk():
+    array = GrowableInt64()
+    array.append(1)
+    array.extend(np.arange(500))
+    assert len(array) == 501
+    assert array[500] == 499
+
+
+def test_init_from_existing_array():
+    array = GrowableInt64(np.array([7, 8, 9]))
+    assert len(array) == 3
+    array.append(10)
+    assert list(array.view()) == [7, 8, 9, 10]

@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload generators (determinism + shape)."""
+
+import datetime as dt
+
+from repro.workloads.generators import (
+    ErpConfig,
+    SensorConfig,
+    baskets,
+    dispenser_events,
+    erp_customers,
+    erp_invoices,
+    erp_orders,
+    hurricane_tracks,
+    pipeline_graph,
+    sensor_readings,
+    stock_ticks,
+    text_corpus,
+)
+
+
+def test_erp_generators_are_deterministic():
+    config = ErpConfig(customers=10, orders=50)
+    assert erp_orders(config) == erp_orders(config)
+    assert erp_customers(config) == erp_customers(config)
+
+
+def test_erp_orders_shape():
+    config = ErpConfig(customers=10, orders=200, closed_fraction=0.7)
+    orders = erp_orders(config)
+    assert len(orders) == 200
+    closed = sum(1 for order in orders if order[2] == "closed")
+    assert 0.6 <= closed / 200 <= 0.8
+    assert all(isinstance(order[3], dt.date) for order in orders)
+    # keys are monotone: the application-generated key property (E3)
+    assert [order[0] for order in orders] == list(range(200))
+
+
+def test_invoices_align_with_orders():
+    config = ErpConfig(customers=5, orders=50)
+    orders = erp_orders(config)
+    invoices = erp_invoices(config, orders)
+    assert len(invoices) == 50
+    for order, invoice in zip(orders, invoices):
+        assert invoice[1] == order[0]
+        assert (invoice[2] == "paid") == (order[2] == "closed")
+        assert invoice[3] > order[3]
+
+
+def test_sensor_readings_interval_and_count():
+    config = SensorConfig(sensors=3, readings_per_sensor=100)
+    rows = list(sensor_readings(config))
+    assert len(rows) == 300
+    first_sensor = [row for row in rows if row[0] == 0]
+    deltas = {
+        b[1] - a[1] for a, b in zip(first_sensor, first_sensor[1:])
+    }
+    assert deltas == {60}
+
+
+def test_dispenser_events_decay():
+    events = list(dispenser_events(dispensers=2, steps=50))
+    first = [e["fill_grade"] for e in events if e["dispenser_id"] == 0]
+    assert first[0] > first[-1]
+    assert all(e["fill_grade"] >= 0 for e in events)
+
+
+def test_text_corpus_labels():
+    corpus = text_corpus(documents=50)
+    assert len(corpus) == 50
+    assert {label for _i, _t, label in corpus} == {"positive", "negative"}
+
+
+def test_baskets_plant_associations():
+    data = baskets(200)
+    with_beer = [b for b in data if "beer" in b]
+    assert all("chips" in b for b in with_beer)
+
+
+def test_stock_ticks_correlation_structure():
+    import numpy as np
+
+    ticks = stock_ticks(symbols=4, days=200)
+    returns = {}
+    for symbol, series in ticks.items():
+        prices = np.array([p for _t, p in series])
+        returns[symbol] = np.diff(prices) / prices[:-1]
+    correlated = np.corrcoef(returns["SYM0"], returns["SYM1"])[0, 1]
+    independent = np.corrcoef(returns["SYM2"], returns["SYM3"])[0, 1]
+    assert correlated > 0.5
+    assert abs(independent) < 0.4
+
+
+def test_pipeline_graph_is_connected_tree_plus_extras():
+    junctions, pipes = pipeline_graph(segments=40)
+    assert len(junctions) == 40
+    assert len(pipes) >= 39
+    targets = {pipe[1] for pipe in pipes}
+    assert targets == set(range(1, 40))  # every junction reachable
+
+
+def test_hurricane_tracks_move_northwest():
+    rows = hurricane_tracks(storms=5)
+    by_storm = {}
+    for storm, step, lon, lat, _wind in rows:
+        by_storm.setdefault(storm, []).append((step, lon, lat))
+    for points in by_storm.values():
+        points.sort()
+        assert points[-1][1] < points[0][1]  # west
+        assert points[-1][2] > points[0][2]  # north
