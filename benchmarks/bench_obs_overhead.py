@@ -1,0 +1,107 @@
+"""E21 — observability must be (near) free when nobody is looking.
+
+Claim under test: the `repro.obs` instrumentation added to the vectorised
+executor (a profiler guard per plan node, counter calls per operator)
+costs under 5% on the executor's hot path while collectors are disabled.
+
+Measured shape: best-of-N wall time of a scan → join → aggregate query
+
+* with the dispatch guard removed entirely (the pre-instrumentation
+  executor, reconstructed by rebinding ``_execute_node`` to the raw
+  ``_dispatch_node``),
+* through the instrumented path with collectors disabled (what every
+  un-observed process pays),
+* with metrics + tracing enabled, and with the per-operator profiler —
+  reported for context; these are allowed to cost real money.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro import obs
+from repro.core.database import Database
+from repro.sql import executor
+
+ROWS = 3000
+REPEATS = 30
+
+QUERY = (
+    "SELECT c.country, COUNT(*) AS orders, SUM(o.amount) AS total "
+    "FROM orders AS o JOIN customers AS c ON o.customer_id = c.customer_id "
+    "GROUP BY c.country ORDER BY total DESC"
+)
+
+
+def make_db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE customers (customer_id INT PRIMARY KEY, country VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, amount DOUBLE)"
+    )
+    customers = ", ".join(f"({i}, 'C{i % 11}')" for i in range(200))
+    database.execute(f"INSERT INTO customers VALUES {customers}")
+    orders = ", ".join(
+        f"({i}, {i % 200}, {float(i % 997)})" for i in range(ROWS)
+    )
+    database.execute(f"INSERT INTO orders VALUES {orders}")
+    database.merge("customers")
+    database.merge("orders")
+    return database
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+@pytest.mark.benchmark(group="E21-obs-overhead")
+def test_disabled_instrumentation_costs_under_five_percent(benchmark, reporter):
+    database = make_db()
+    obs.reset()  # collectors off — the default process state
+
+    run_query = lambda: database.query(QUERY)  # noqa: E731
+    run_query()  # warm up (plan caches, delta structures)
+
+    # the pre-instrumentation executor: no guard, no counter calls
+    instrumented = executor._execute_node
+    executor._execute_node = executor._dispatch_node
+    try:
+        bare = best_of(run_query)
+    finally:
+        executor._execute_node = instrumented
+
+    disabled = best_of(run_query)
+    benchmark.pedantic(run_query, rounds=5, iterations=1)
+
+    registry, _ = obs.enable()
+    enabled = best_of(run_query)
+    profiled = best_of(lambda: database.profile(QUERY))
+    collected = len(registry)
+    obs.reset()
+
+    overhead = disabled / bare - 1.0
+    reporter(
+        "E21",
+        bare_ms=round(bare * 1000, 3),
+        disabled_ms=round(disabled * 1000, 3),
+        disabled_overhead=f"{overhead * 100:+.2f}%",
+        enabled_ms=round(enabled * 1000, 3),
+        profiled_ms=round(profiled * 1000, 3),
+        metrics_while_enabled=collected,
+    )
+
+    # the acceptance bound, with a 100µs absolute floor against timer noise
+    assert disabled <= bare * 1.05 + 1e-4, (
+        f"disabled-instrumentation overhead {overhead:.2%} exceeds 5% "
+        f"(bare={bare * 1000:.3f}ms disabled={disabled * 1000:.3f}ms)"
+    )
+    assert collected > 0  # enabling actually collected executor metrics

@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.columnstore.column import DeltaColumn, MainColumn
 from repro.columnstore.table import ColumnTable, TablePartition
 from repro.errors import AgingError
@@ -72,21 +73,23 @@ def move_rows_to_aged(
     aged = ensure_aged_partition(table)
     txn = database.begin()
     moved = 0
-    try:
-        for ordinal, positions in positions_by_ordinal.items():
-            partition = table.partitions[ordinal]
-            if partition is aged:
-                continue
-            rows = partition.rows_at(positions)
-            for position, row in zip(positions, rows):
-                partition.mark_deleted(int(position), txn)
-                new_position = aged.insert_row(row, txn)
-                _unused = new_position
-                moved += 1
-    except Exception:
-        database.rollback(txn)
-        raise
-    database.commit(txn)
+    with obs.latency("aging.migration_seconds", table=table.name):
+        try:
+            for ordinal, positions in positions_by_ordinal.items():
+                partition = table.partitions[ordinal]
+                if partition is aged:
+                    continue
+                rows = partition.rows_at(positions)
+                for position, row in zip(positions, rows):
+                    partition.mark_deleted(int(position), txn)
+                    new_position = aged.insert_row(row, txn)
+                    _unused = new_position
+                    moved += 1
+        except Exception:
+            database.rollback(txn)
+            raise
+        database.commit(txn)
+    obs.count("aging.rows_moved", moved, table=table.name)
     return moved
 
 
@@ -109,6 +112,7 @@ def evict_partition(partition: TablePartition, directory: str | Path) -> Path:
     }
     with open(path, "wb") as handle:
         pickle.dump(payload, handle)
+    obs.count("aging.partitions_evicted")
     partition.storage_path = str(path)
     partition.tier = "extended"
     partition.is_loaded = False
@@ -130,12 +134,14 @@ def reload_partition(partition: TablePartition) -> None:
         return
     if partition.storage_path is None:
         raise AgingError(f"partition {partition.name!r} has no backing file")
-    with open(partition.storage_path, "rb") as handle:
-        payload = pickle.load(handle)
-    partition.main = payload["main"]
-    partition.created = GrowableInt64(payload["created"])
-    partition.deleted = GrowableInt64(payload["deleted"])
-    partition.is_loaded = True
+    with obs.latency("aging.reload_seconds", partition=partition.name):
+        with open(partition.storage_path, "rb") as handle:
+            payload = pickle.load(handle)
+        partition.main = payload["main"]
+        partition.created = GrowableInt64(payload["created"])
+        partition.deleted = GrowableInt64(payload["deleted"])
+        partition.is_loaded = True
+    obs.count("aging.partitions_reloaded")
 
 
 def rehydrate_partition(partition: TablePartition) -> None:

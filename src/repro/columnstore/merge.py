@@ -14,11 +14,11 @@ Optionally the merge also garbage-collects row versions no snapshot can see
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.columnstore.column import DeltaColumn, MainColumn
 from repro.columnstore.compression import NULL_VID, choose_encoding
 from repro.columnstore.table import ColumnTable, TablePartition
@@ -55,13 +55,32 @@ def merge_partition(
     compact: bool = False,
     oldest_active_snapshot: int | None = None,
 ) -> MergeStats:
-    """Merge one partition's delta into its main fragments."""
+    """Merge one partition's delta into its main fragments.
+
+    Wall time comes from the observability layer's stopwatch
+    (:func:`repro.obs.timed`), which doubles as the
+    ``columnstore.merge_seconds`` latency histogram when collectors are
+    enabled — one timer, one source of truth.
+    """
     stats = MergeStats(partitions=1)
-    started = time.perf_counter()
+    with obs.timed("columnstore.merge_seconds", partition=partition.name) as timer:
+        _merge_partition_body(partition, stats, compact, oldest_active_snapshot)
+    stats.duration_seconds = timer.seconds
+    obs.count("columnstore.merge.rows_merged", stats.rows_merged)
+    obs.count("columnstore.merge.rows_compacted", stats.rows_compacted)
+    obs.count("columnstore.merge.ids_rewritten", stats.ids_rewritten)
+    return stats
+
+
+def _merge_partition_body(
+    partition: TablePartition,
+    stats: MergeStats,
+    compact: bool,
+    oldest_active_snapshot: int | None,
+) -> None:
     n_delta = partition.n_delta
     if n_delta == 0 and not compact:
-        stats.duration_seconds = time.perf_counter() - started
-        return stats
+        return
 
     keep: np.ndarray | None = None
     if compact:
@@ -114,12 +133,10 @@ def merge_partition(
     # the delta rows simply became the tail of the new main.
 
     stats.rows_merged = n_delta
-    stats.duration_seconds = time.perf_counter() - started
     stats.details.append(
         f"partition {partition.name}: merged {n_delta} delta rows "
         f"(was {n_main} main), remapped {stats.columns_remapped} columns"
     )
-    return stats
 
 
 def merge_table(

@@ -15,6 +15,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.columnstore.merge import MergeStats, merge_table
 from repro.columnstore.partition import (
     HashPartitioning,
@@ -191,14 +192,45 @@ class Database:
         txn: Transaction | None,
         parameters: Mapping[str, Any] | None,
     ) -> QueryResult:
-        plan = plan_select(statement, self.catalog)
-        context = self._context(txn, parameters)
-        batch = execute_plan(plan, context)
-        return QueryResult(plan.output_names, batch.rows())
+        with obs.latency("sql.select_seconds"):
+            plan = plan_select(statement, self.catalog)
+            context = self._context(txn, parameters)
+            batch = execute_plan(plan, context)
+            return QueryResult(plan.output_names, batch.rows())
 
     def query(self, sql: str, **parameters: Any) -> QueryResult:
         """Convenience: execute a SELECT with keyword parameters."""
         return self.execute(sql, parameters=parameters or None)
+
+    def profile(
+        self,
+        sql: str,
+        txn: Transaction | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> "obs.Profile":
+        """Execute a SELECT with per-operator profiling (EXPLAIN PROFILE).
+
+        Returns a :class:`repro.obs.Profile`: the executed plan tree where
+        every operator node carries its output row count and wall time,
+        plus the ordinary query result and the execution-context counters.
+        Works regardless of whether global observability is enabled — the
+        profiler is installed on this one execution's context.
+        """
+        statement = parse(sql)
+        if not isinstance(statement, (ast.SelectStatement, ast.UnionStatement)):
+            raise PlanError("profile() supports SELECT statements only")
+        plan = plan_select(statement, self.catalog)
+        context = self._context(txn, parameters)
+        profiler = obs.QueryProfiler()
+        context.profiler = profiler
+        with obs.span("sql.profile", sql=sql.strip()):
+            batch = execute_plan(plan, context)
+        result = QueryResult(plan.output_names, batch.rows())
+        root = profiler.root
+        assert root is not None  # the executor always visits plan.root
+        return obs.Profile(
+            sql=sql, root=root, result=result, metrics=dict(context.metrics)
+        )
 
     # -- DML ---------------------------------------------------------------------------
 
@@ -591,6 +623,10 @@ class Database:
             "active_transactions": self.txn_manager.active_count,
             "last_committed_cid": self.txn_manager.last_committed_cid,
             "text_indexes": len(self.text_indexes),
+            "observability": {
+                "enabled": obs.enabled(),
+                "metrics_collected": len(obs.registry()) if obs.enabled() else 0,
+            },
         }
 
 

@@ -75,6 +75,17 @@ class Session:
         """Convenience SELECT wrapper."""
         return self.execute(sql, parameters or None)
 
+    def profile(self, sql: str, **parameters: Any) -> Any:
+        """Execute a SELECT with per-operator profiling.
+
+        Returns a :class:`repro.obs.Profile` whose plan tree carries
+        rows and wall-time per operator (``profile.render()`` prints it);
+        runs inside the session's open transaction, if any.
+        """
+        merged = dict(self.parameters)
+        merged.update(parameters)
+        return self.database.profile(sql, self._txn, merged or None)
+
     # -- context manager -----------------------------------------------------------
 
     def __enter__(self) -> "Session":

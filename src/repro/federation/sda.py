@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Protocol
 
+from repro import obs
 from repro.core.schema import TableSchema
 from repro.errors import FederationError
 
@@ -48,10 +49,14 @@ class TransferLedger:
 
     def record(self, rows: list[list[Any]]) -> None:
         self.rows += len(rows)
+        payload = 0
         for row in rows:
-            self.bytes += sum(
+            payload += sum(
                 len(value) + 1 if isinstance(value, str) else 8 for value in row
             )
+        self.bytes += payload
+        obs.count("federation.rows_shipped", len(rows))
+        obs.count("federation.bytes_shipped", payload)
 
 
 class VirtualTable:
@@ -141,7 +146,9 @@ class SmartDataAccess:
             raise FederationError(
                 f"source {source_name!r} cannot push down aggregation"
             )
-        rows = source.aggregate(remote_table, group_by, aggregates, filters or [])  # type: ignore[attr-defined]
+        obs.count("federation.pushdowns", kind="aggregate", source=source_name.lower())
+        with obs.latency("federation.pushdown_seconds", source=source_name.lower()):
+            rows = source.aggregate(remote_table, group_by, aggregates, filters or [])  # type: ignore[attr-defined]
         self.ledger.record(rows)
         return rows
 
@@ -150,6 +157,8 @@ class SmartDataAccess:
         source = self.source(source_name)
         if "sql" not in source.capabilities():
             raise FederationError(f"source {source_name!r} cannot execute SQL")
-        rows = source.execute_sql(sql)  # type: ignore[attr-defined]
+        obs.count("federation.pushdowns", kind="sql", source=source_name.lower())
+        with obs.latency("federation.pushdown_seconds", source=source_name.lower()):
+            rows = source.execute_sql(sql)  # type: ignore[attr-defined]
         self.ledger.record(rows)
         return rows

@@ -1,0 +1,186 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem for the three ways the reproduction *sees itself*:
+
+* **metrics** — counters, gauges, fixed-bucket histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (process-global default,
+  injectable instances), feeding the SOE's v2stats service (Figure 3);
+* **tracing** — nested wall-time spans with tags and parent links in a
+  ring buffer (:class:`~repro.obs.tracing.Tracer`), dumpable as JSON or
+  a rendered text tree;
+* **profiling** — per-operator row counts and timings for SQL queries
+  (:class:`~repro.obs.profiler.Profile`), surfaced as
+  ``session.profile(sql)``.
+
+Instrumented call sites use the module-level helpers below
+(:func:`count`, :func:`observe`, :func:`span`, :func:`latency`,
+:func:`timed`). All of them except :func:`timed` are near-zero-cost
+no-ops until :func:`enable` installs collectors — the guard is one
+module-global read. :func:`timed` always measures (its ``.seconds`` is
+used for *functional* wall-time accounting, e.g. merge statistics and
+distributed plan costs) but only reports to collectors when enabled.
+
+    from repro import obs
+
+    registry, tracer = obs.enable()
+    ...                             # run instrumented work
+    print(registry.render_text())   # metrics dump
+    print(tracer.render())          # span tree
+    obs.reset()                     # back to a silent process
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.obs import runtime
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import OperatorProfile, Profile, QueryProfiler
+from repro.obs.runtime import disable, enable, is_enabled, registry, reset, tracer
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorProfile",
+    "Profile",
+    "QueryProfiler",
+    "Span",
+    "Tracer",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "is_enabled",
+    "latency",
+    "metrics_dump",
+    "observe",
+    "registry",
+    "render_metrics",
+    "reset",
+    "span",
+    "timed",
+    "tracer",
+]
+
+
+def enabled() -> bool:
+    """Alias of :func:`is_enabled` (reads better at call sites)."""
+    return runtime._enabled
+
+
+# --------------------------------------------------------------------------
+# cheap call-site helpers (no-ops while disabled)
+# --------------------------------------------------------------------------
+
+
+def count(name: str, amount: float = 1.0, **labels: Any) -> None:
+    """Increment a counter — no-op unless collectors are installed."""
+    if runtime._enabled:
+        runtime.registry().counter(name, **labels).inc(amount)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge — no-op unless collectors are installed."""
+    if runtime._enabled:
+        runtime.registry().gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram observation — no-op unless enabled."""
+    if runtime._enabled:
+        runtime.registry().histogram(name, **labels).observe(value)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled instrumentation."""
+
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        return None
+
+    def tag(self, **tags: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **tags: Any):
+    """A tracer span when enabled, a shared no-op otherwise."""
+    if runtime._enabled:
+        return runtime.tracer().span(name, **tags)
+    return _NOOP_SPAN
+
+
+class _Timed:
+    """Measures a section; optionally reports histogram + span on exit."""
+
+    __slots__ = ("name", "labels", "seconds", "_started", "_report")
+
+    def __init__(self, name: str, labels: dict[str, Any], report: bool) -> None:
+        self.name = name
+        self.labels = labels
+        self.seconds = 0.0
+        self._started = 0.0
+        self._report = report
+
+    def __enter__(self) -> "_Timed":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.seconds = perf_counter() - self._started
+        if self._report and runtime._enabled:
+            runtime.registry().histogram(self.name, **self.labels).observe(self.seconds)
+            runtime.tracer().record(self.name, self.seconds, **self.labels)
+
+
+def timed(name: str, **labels: Any) -> _Timed:
+    """Always-measuring stopwatch; reports to collectors when enabled.
+
+    Use where the elapsed time is *functionally* needed (``.seconds``),
+    so wall-time accounting and observability can't drift apart.
+    """
+    return _Timed(name, labels, report=True)
+
+
+def latency(name: str, **labels: Any):
+    """Histogram + span timing when enabled, shared no-op otherwise.
+
+    Use on hot paths where time is only needed for observability.
+    """
+    if runtime._enabled:
+        return _Timed(name, labels, report=True)
+    return _NOOP_SPAN
+
+
+# --------------------------------------------------------------------------
+# dumps
+# --------------------------------------------------------------------------
+
+
+def metrics_dump(prefix: str = "") -> dict[str, dict[str, Any]]:
+    """Summaries of every collected metric (optionally name-filtered)."""
+    return runtime.registry().as_dict(prefix)
+
+
+def render_metrics(prefix: str = "") -> str:
+    """Text dump of every collected metric, one per line."""
+    return runtime.registry().render_text(prefix)

@@ -1,0 +1,237 @@
+"""Counters, gauges, and fixed-bucket histograms behind one registry.
+
+The paper's scale-out extension names a statistics service (v2stats,
+Figure 3) that "can access statistical information about the current
+cluster usage in order to identify hotspots or to monitor performance
+goals". This module is the substrate every instrumented layer feeds: one
+:class:`MetricsRegistry` keyed by ``(metric name, sorted label items)``,
+with a process-global default (see :mod:`repro.obs.runtime`) plus freely
+injectable instances.
+
+Histograms use fixed upper-bound buckets with ``value <= bound``
+semantics (a value equal to a bucket edge lands in that bucket); the
+default edges cover sub-millisecond to ten-second latencies.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+#: default histogram bucket upper bounds, in seconds
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def summary(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, active nodes, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def summary(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``value <= upper_bound`` semantics.
+
+    ``bucket_counts[i]`` counts observations ``v <= buckets[i]`` (and
+    greater than the previous bound); observations above the last bound
+    land in the overflow slot ``bucket_counts[-1]``.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from bucket counts (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max if self.max is not None else self.buckets[-1]
+        return self.max if self.max is not None else self.buckets[-1]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": dict(zip([*self.buckets, float("inf")], self.bucket_counts)),
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """All metrics of one process (or one injected scope)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, LabelKey], Metric] = {}
+
+    # -- metric accessors (create on first touch) ---------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, key[2], buckets or DEFAULT_BUCKETS)
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def _get(self, kind: str, cls: type, name: str, labels: dict[str, Any]) -> Any:
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[2])
+            self._metrics[key] = metric
+        return metric
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Metric | None:
+        """Look up an existing metric of any kind, or ``None``."""
+        key = _label_key(labels)
+        for kind in ("counter", "gauge", "histogram"):
+            metric = self._metrics.get((kind, name, key))
+            if metric is not None:
+                return metric
+        return None
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self, prefix: str = "") -> dict[str, dict[str, Any]]:
+        """Summaries keyed by ``name{label=value,...}``, sorted by name."""
+        out: dict[str, dict[str, Any]] = {}
+        for (_kind, name, labels), metric in sorted(self._metrics.items()):
+            if not name.startswith(prefix):
+                continue
+            rendered = ",".join(f"{key}={value}" for key, value in labels)
+            out[f"{name}{{{rendered}}}" if rendered else name] = metric.summary()
+        return out
+
+    def render_text(self, prefix: str = "") -> str:
+        """One metric per line, for dumps and README examples."""
+        lines: list[str] = []
+        for full_name, summary in self.as_dict(prefix).items():
+            if summary["type"] == "histogram":
+                lines.append(
+                    f"{full_name}  count={summary['count']} sum={summary['sum']:.6f}"
+                    f" mean={summary['mean']:.6f} p95={summary['p95']:.6f}"
+                )
+            else:
+                lines.append(f"{full_name}  {summary['value']:g}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,88 @@
+"""Global observability state: the enabled flag and installed collectors.
+
+Instrumentation call sites throughout the codebase go through the helpers
+in :mod:`repro.obs`; those helpers consult this module's ``_enabled`` flag
+first and return immediately when observability is off. The flag flips on
+only when a collector is installed (:func:`enable`), so an uninstrumented
+process pays a single module-global read plus a branch per call site —
+benchmark E21 (``benchmarks/bench_obs_overhead.py``) verifies the cost.
+
+The default registry and tracer are process-global singletons, created
+lazily. Code that wants isolated collectors (tests, multi-tenant setups)
+constructs its own :class:`~repro.obs.metrics.MetricsRegistry` /
+:class:`~repro.obs.tracing.Tracer` and passes them to :func:`enable`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+_enabled: bool = False
+_registry: "MetricsRegistry | None" = None
+_tracer: "Tracer | None" = None
+
+
+def is_enabled() -> bool:
+    """Is any collector installed? (The hot-path guard.)"""
+    return _enabled
+
+
+def registry() -> "MetricsRegistry":
+    """The current metrics registry (created lazily)."""
+    global _registry
+    if _registry is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def tracer() -> "Tracer":
+    """The current tracer (created lazily)."""
+    global _tracer
+    if _tracer is None:
+        from repro.obs.tracing import Tracer
+
+        _tracer = Tracer()
+    return _tracer
+
+
+def enable(
+    metrics: "MetricsRegistry | None" = None,
+    traces: "Tracer | None" = None,
+) -> tuple["MetricsRegistry", "Tracer"]:
+    """Install collectors and turn instrumentation on.
+
+    Passing explicit instances replaces the current defaults; omitting
+    them keeps (or lazily creates) the process-global ones. Returns the
+    now-active ``(registry, tracer)`` pair.
+    """
+    global _enabled, _registry, _tracer
+    if metrics is not None:
+        _registry = metrics
+    if traces is not None:
+        _tracer = traces
+    _enabled = True
+    return registry(), tracer()
+
+
+def disable() -> None:
+    """Turn instrumentation off; collected data stays readable."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Disable and drop all collected state (test isolation)."""
+    global _enabled, _registry, _tracer
+    _enabled = False
+    if _registry is not None:
+        _registry.reset()
+    if _tracer is not None:
+        _tracer.reset()
+    _registry = None
+    _tracer = None

@@ -1,0 +1,175 @@
+"""Nested spans over an in-memory ring buffer.
+
+A :class:`Tracer` produces spans (``with tracer.span("sql.execute",
+table="orders"): ...``) carrying wall-time, free-form tags, and a link to
+the enclosing span. Finished spans land in a bounded ring buffer (oldest
+evicted first) and can be dumped as JSON or rendered as an indented text
+tree — the "single administration experience" view of where time went
+when a request crossed the ecosystem's layers (core SQL, delta merge,
+SOE services, aging, federation).
+
+The tracer keeps one active-span stack; like the rest of the
+reproduction it models a single-threaded node, so no thread-local
+bookkeeping is attempted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed section; ``parent_id`` links it into the request tree."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    tags: dict[str, Any] = field(default_factory=dict)
+    started_at: float = 0.0       # seconds since the tracer's epoch
+    duration_seconds: float = 0.0
+    _perf_start: float = field(default=0.0, repr=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "tags": self.tags,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+class _ActiveSpan:
+    """Context manager binding one span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def tag(self, **tags: Any) -> "_ActiveSpan":
+        """Attach tags after the span started (e.g. result sizes)."""
+        self.span.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self.span)
+
+
+class Tracer:
+    """Produces nested spans; retains the most recent ``capacity`` ones."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._epoch = time.perf_counter()
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- producing spans ----------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Open a span under the currently active one (if any)."""
+        now = time.perf_counter()
+        record = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            tags=tags,
+            started_at=now - self._epoch,
+            _perf_start=now,
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def record(self, name: str, duration_seconds: float, **tags: Any) -> Span:
+        """Append an already-measured section as a leaf span (no nesting)."""
+        now = time.perf_counter()
+        record = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            tags=tags,
+            started_at=now - self._epoch - duration_seconds,
+            duration_seconds=duration_seconds,
+        )
+        self._next_id += 1
+        self._finished.append(record)
+        return record
+
+    def _finish(self, span: Span) -> None:
+        span.duration_seconds = time.perf_counter() - span._perf_start
+        # tolerate exits out of order (a caller kept the manager around)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        self._finished.append(span)
+
+    # -- reading back -------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first (bounded by the ring buffer)."""
+        return list(self._finished)
+
+    def find(self, name: str) -> list[Span]:
+        return [span for span in self._finished if span.name == name]
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def as_json(self, indent: int | None = None) -> str:
+        """The ring buffer as a JSON array (oldest first)."""
+        return json.dumps([span.as_dict() for span in self._finished], indent=indent, default=str)
+
+    def render(self) -> str:
+        """Indented text tree of the retained spans.
+
+        Spans whose parent was evicted from the ring buffer (or never
+        existed) are shown as roots. Children print in start order.
+        """
+        spans = sorted(self._finished, key=lambda s: (s.started_at, s.span_id))
+        present = {span.span_id for span in spans}
+        children: dict[int | None, list[Span]] = {}
+        for span in spans:
+            parent = span.parent_id if span.parent_id in present else None
+            children.setdefault(parent, []).append(span)
+
+        lines: list[str] = []
+
+        def visit(span: Span, depth: int) -> None:
+            tags = " ".join(f"{key}={value}" for key, value in span.tags.items())
+            suffix = f"  [{tags}]" if tags else ""
+            lines.append(
+                f"{'  ' * depth}{span.name}  {span.duration_seconds * 1000:.3f} ms{suffix}"
+            )
+            for child in children.get(span.span_id, []):
+                visit(child, depth + 1)
+
+        for root in children.get(None, []):
+            visit(root, 0)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._finished.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self._epoch = time.perf_counter()

@@ -1,0 +1,14 @@
+"""The SOE service landscape of the paper's Figure 3 (§IV.B).
+
+One module per named service, each stating the paper text it reproduces
+and its role in the distributed query path:
+
+* :mod:`~repro.soe.services.coordinator` — v2dqp, distributed query plans
+* :mod:`~repro.soe.services.query_service` — v2lqp, node-local execution
+* :mod:`~repro.soe.services.transaction_broker` — v2transact, the write path
+* :mod:`~repro.soe.services.shared_log` — the CORFU-style distributed log
+* :mod:`~repro.soe.services.catalog_service` — v2catalog + partition placement
+* :mod:`~repro.soe.services.discovery` — v2disc&auth, the service registry
+* :mod:`~repro.soe.services.cluster_manager` — v2clustermgr + v2stats,
+  supervision fed by the :mod:`repro.obs` metrics the other services publish
+"""

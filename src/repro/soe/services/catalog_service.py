@@ -3,6 +3,11 @@
 "A catalog service stores and provides schema and metadata information, a
 data discovery service keeps track of the location of the corresponding
 horizontal table partitions."
+
+**Role in the query path:** consulted once per distributed plan — the
+v2dqp coordinator asks it which nodes host which partitions
+(:meth:`CatalogService.placement_of`) before building the task DAG; it
+never touches row data itself.
 """
 
 from __future__ import annotations

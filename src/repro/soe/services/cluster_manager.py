@@ -5,6 +5,14 @@ cluster management service. This service can dynamically start and stop
 other query processing services as well as orchestrate data movement. It
 can access statistical information about the current cluster usage in
 order to identify hotspots or to monitor performance goals."
+
+**Role in the query path:** none on the hot path — v2stats observes it.
+The paper's Figure 3 draws v2stats as a first-class service; here it is
+the consumer of the :mod:`repro.obs` metrics registry: every instrumented
+SOE service (coordinator plans, query-service tasks, broker commits,
+shared-log appends) publishes ``soe.*`` counters and latency histograms,
+and :meth:`ClusterStatisticsService.snapshot` folds them into the
+supervision view used for hotspot detection and rebalancing decisions.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.errors import ClusterError
 from repro.soe.cluster import SimulatedCluster
 from repro.soe.partitions import PrepackagedPartition
@@ -49,12 +58,16 @@ class ClusterStatisticsService:
         )
 
     def snapshot(self) -> dict[str, Any]:
+        """The v2stats view: per-node counters plus the ``soe.*`` metrics
+        published by the instrumented services (empty until
+        :func:`repro.obs.enable` installs collectors)."""
         return {
             "node_load": self.node_load(),
             "tasks": {
                 node_id: service.tasks_executed
                 for node_id, service in self.query_services.items()
             },
+            "metrics": obs.metrics_dump(prefix="soe."),
         }
 
 

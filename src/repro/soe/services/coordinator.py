@@ -1,5 +1,9 @@
 """v2dqp: the distributed query coordinator (§IV.B, Figure 3).
 
+**Role in the query path:** the SOE entry point for distributed reads —
+a client's aggregate/join query arrives here, becomes a task DAG, and
+fans out to the v2lqp query services before partial results merge back.
+
 Translates a query into a task DAG (see :mod:`repro.soe.tasks`), dispatches
 tasks to the query services hosting the partitions, charges every
 cross-node result transfer to the cluster's network model, and merges the
@@ -9,14 +13,21 @@ a clustered execution in combination with efficient communication
 algorithms" [13] — hence the three join strategies (broadcast,
 repartition, co-located) whose communication volumes benchmark E7
 compares.
+
+**Observability:** every distributed plan runs inside
+:meth:`Coordinator._plan`, the single place where ``PlanCost.wall_seconds``
+is measured (via :func:`repro.obs.timed`) and where per-strategy request
+counters and latency histograms feed v2stats — wall-time accounting
+cannot drift between the aggregate and the three join code paths.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
+from repro import obs
 from repro.errors import CoordinationError
 from repro.soe.cluster import SimulatedCluster
 from repro.soe.codegen import finalize_groups, merge_group_states
@@ -89,6 +100,24 @@ class Coordinator:
 
     # -- helpers -------------------------------------------------------------------
 
+    @contextmanager
+    def _plan(self, strategy: str) -> Iterator[PlanCost]:
+        """One distributed plan execution: the single wall-clock.
+
+        Yields the :class:`PlanCost` the strategy fills in; on exit the
+        measured wall time lands on ``cost.wall_seconds`` and — when
+        observability is enabled — on the ``soe.coordinator.plan_seconds``
+        histogram and the ``soe.coordinator.plans`` counter (per strategy),
+        the numbers v2stats reads.
+        """
+        cost = PlanCost(strategy=strategy)
+        with obs.timed("soe.coordinator.plan_seconds", strategy=strategy) as timer:
+            yield cost
+        cost.wall_seconds = timer.seconds
+        obs.count("soe.coordinator.plans", strategy=strategy)
+        obs.count("soe.coordinator.bytes_shipped", cost.bytes_shipped, strategy=strategy)
+        obs.count("soe.coordinator.tasks", cost.tasks, strategy=strategy)
+
     def _assignments(self, table: str) -> dict[str, list[int]]:
         """node id → partition ids it will scan (one replica per partition,
         spread across live hosts)."""
@@ -146,29 +175,27 @@ class Coordinator:
 
     def run_aggregate(self, query: AggregateQuery) -> tuple[list[list[Any]], PlanCost]:
         """Partial aggregation at the data, merge at the coordinator."""
-        started = time.perf_counter()
-        cost = PlanCost(strategy="partial-aggregate")
-        self._ensure_fresh([query.table], query.consistency)
-        dag = TaskDag()
-        partial_ids = []
-        for node_id, partition_ids in self._assignments(query.table).items():
-            task = dag.add(
-                "partial_aggregate",
-                node_id,
-                {
-                    "table": query.table,
-                    "partitions": partition_ids,
-                    "filters": list(query.filters),
-                    "group_by": list(query.group_by),
-                    "aggregates": list(query.aggregates),
-                },
-            )
-            partial_ids.append(task.task_id)
-        merge = dag.add("merge_aggregate", self.node_id, {}, partial_ids)
-        results = self._run_dag(dag, cost)
-        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
-        rows = finalize_groups(merged, list(query.aggregates))
-        cost.wall_seconds = time.perf_counter() - started
+        with self._plan("partial-aggregate") as cost:
+            self._ensure_fresh([query.table], query.consistency)
+            dag = TaskDag()
+            partial_ids = []
+            for node_id, partition_ids in self._assignments(query.table).items():
+                task = dag.add(
+                    "partial_aggregate",
+                    node_id,
+                    {
+                        "table": query.table,
+                        "partitions": partition_ids,
+                        "filters": list(query.filters),
+                        "group_by": list(query.group_by),
+                        "aggregates": list(query.aggregates),
+                    },
+                )
+                partial_ids.append(task.task_id)
+            merge = dag.add("merge_aggregate", self.node_id, {}, partial_ids)
+            results = self._run_dag(dag, cost)
+            merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+            rows = finalize_groups(merged, list(query.aggregates))
         return rows, cost
 
     # -- join queries ---------------------------------------------------------------------
@@ -220,8 +247,11 @@ class Coordinator:
 
     def _join_broadcast(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
         """Gather the dim side once, broadcast it to every fact node."""
-        started = time.perf_counter()
-        cost = PlanCost(strategy="broadcast")
+        with self._plan("broadcast") as cost:
+            rows = self._join_broadcast_body(query, cost)
+        return rows, cost
+
+    def _join_broadcast_body(self, query: JoinQuery, cost: PlanCost) -> list[list[Any]]:
         dag = TaskDag()
         # 1. hash-build tasks on the dim hosts
         build_ids = []
@@ -289,14 +319,15 @@ class Coordinator:
                 cost.messages += 1
                 cost.simulated_network_seconds += seconds
         merged = merge_group_states(partials, list(query.aggregates))
-        rows = finalize_groups(merged, list(query.aggregates))
-        cost.wall_seconds = time.perf_counter() - started
-        return rows, cost
+        return finalize_groups(merged, list(query.aggregates))
 
     def _join_repartition(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
         """Ship both sides hashed on the join key to worker nodes."""
-        started = time.perf_counter()
-        cost = PlanCost(strategy="repartition")
+        with self._plan("repartition") as cost:
+            rows = self._join_repartition_body(query, cost)
+        return rows, cost
+
+    def _join_repartition_body(self, query: JoinQuery, cost: PlanCost) -> list[list[Any]]:
         workers = sorted(self.query_services)
         worker_count = len(workers)
 
@@ -389,45 +420,41 @@ class Coordinator:
                 cost.messages += 1
                 cost.simulated_network_seconds += seconds
         merged = merge_group_states(partials, list(query.aggregates))
-        rows = finalize_groups(merged, list(query.aggregates))
-        cost.wall_seconds = time.perf_counter() - started
-        return rows, cost
+        return finalize_groups(merged, list(query.aggregates))
 
     def _join_colocated(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
         """Both sides hash-partitioned on the join key with aligned
         placement: join entirely node-locally, ship only partial states."""
-        started = time.perf_counter()
-        cost = PlanCost(strategy="colocated")
-        fact_assign = self._assignments(query.fact_table)
-        dag = TaskDag()
-        probe_ids = []
-        for node_id, partition_ids in fact_assign.items():
-            build = dag.add(
-                "build_hash",
-                node_id,
-                {
-                    "table": query.dim_table,
-                    "partitions": partition_ids,
-                    "key_column": query.dim_key,
-                    "columns": self._dim_payload_columns(query),
-                },
-            )
-            probe = dag.add(
-                "join_partial",
-                node_id,
-                {
-                    "table": query.fact_table,
-                    "partitions": partition_ids,
-                    "fact_key": query.fact_key,
-                    "group_from_dim": 0,
-                    "aggregates": list(query.aggregates),
-                },
-                [build.task_id],
-            )
-            probe_ids.append(probe.task_id)
-        merge = dag.add("merge_aggregate", self.node_id, {}, probe_ids)
-        results = self._run_dag(dag, cost)
-        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
-        rows = finalize_groups(merged, list(query.aggregates))
-        cost.wall_seconds = time.perf_counter() - started
+        with self._plan("colocated") as cost:
+            fact_assign = self._assignments(query.fact_table)
+            dag = TaskDag()
+            probe_ids = []
+            for node_id, partition_ids in fact_assign.items():
+                build = dag.add(
+                    "build_hash",
+                    node_id,
+                    {
+                        "table": query.dim_table,
+                        "partitions": partition_ids,
+                        "key_column": query.dim_key,
+                        "columns": self._dim_payload_columns(query),
+                    },
+                )
+                probe = dag.add(
+                    "join_partial",
+                    node_id,
+                    {
+                        "table": query.fact_table,
+                        "partitions": partition_ids,
+                        "fact_key": query.fact_key,
+                        "group_from_dim": 0,
+                        "aggregates": list(query.aggregates),
+                    },
+                    [build.task_id],
+                )
+                probe_ids.append(probe.task_id)
+            merge = dag.add("merge_aggregate", self.node_id, {}, probe_ids)
+            results = self._run_dag(dag, cost)
+            merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+            rows = finalize_groups(merged, list(query.aggregates))
         return rows, cost

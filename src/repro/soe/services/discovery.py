@@ -3,6 +3,10 @@
 "An authorization and a cluster discovery service are bundled together to
 store cluster access rights and keep track of availability of services
 across the cluster."
+
+**Role in the query path:** control plane only — the cluster manager
+announces/withdraws services here and rebalancing looks up live v2lqp
+hosts; no per-query traffic flows through it.
 """
 
 from __future__ import annotations

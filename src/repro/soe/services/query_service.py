@@ -6,12 +6,22 @@ coordinator tasks against the node-local prepackaged partitions, compiling
 each task's kernel first (see :mod:`repro.soe.codegen`); the data service
 (:class:`~repro.soe.replication.DataNode`) owns the partitions and applies
 the shared log.
+
+**Role in the query path:** the leaf executor of the SOE — the v2dqp
+coordinator's task DAG lands here, one task at a time, and only partial
+results travel back.
+
+**Observability:** every task dispatch counts into
+``soe.query_service.tasks`` and the ``soe.query_service.task_seconds``
+latency histogram (labelled by task kind and node), the per-node numbers
+the v2stats service reads to spot hotspots.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro import obs
 from repro.errors import CoordinationError
 from repro.soe.codegen import (
     GroupStates,
@@ -36,15 +46,19 @@ class QueryService:
     def execute(self, task: Task, inputs: dict[int, Any]) -> Any:
         """Run one task; ``inputs`` maps input task id → its result."""
         self.tasks_executed += 1
-        if task.kind == "partial_aggregate":
-            return self._partial_aggregate(task)
-        if task.kind == "build_hash":
-            return self._build_hash(task)
-        if task.kind == "join_partial":
-            return self._join_partial(task, inputs)
-        if task.kind == "scan_ship":
-            return self._scan_ship(task)
-        raise CoordinationError(f"query service cannot execute task kind {task.kind!r}")
+        obs.count("soe.query_service.tasks", kind=task.kind, node=self.node_id)
+        with obs.latency("soe.query_service.task_seconds", kind=task.kind, node=self.node_id):
+            if task.kind == "partial_aggregate":
+                return self._partial_aggregate(task)
+            if task.kind == "build_hash":
+                return self._build_hash(task)
+            if task.kind == "join_partial":
+                return self._join_partial(task, inputs)
+            if task.kind == "scan_ship":
+                return self._scan_ship(task)
+            raise CoordinationError(
+                f"query service cannot execute task kind {task.kind!r}"
+            )
 
     # -- kernels ------------------------------------------------------------------
 

@@ -20,6 +20,12 @@ Storage is pluggable: :class:`MemorySegmentStore` (stands in for the
 paper's NVM variant) or an HDFS-backed store
 (:class:`repro.hadoop.connectors.HdfsSegmentStore`) — "multiple
 implementation variants will be provided (also on top of HDFS)".
+
+**Role in the query path:** none directly — the log is the write side's
+source of truth; query-serving replicas catch up from it asynchronously.
+
+**Observability:** appends, hole fills, and trims count into
+``soe.shared_log.*`` so v2stats can watch log growth and backlog.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterator
 
+from repro import obs
 from repro.errors import LogError
 
 #: sentinel payload for filled holes
@@ -122,6 +129,7 @@ class SharedLog:
         address = self.sequencer.next_address()
         self._write(address, payload)
         self.appends += 1
+        obs.count("soe.shared_log.appends")
         return address
 
     def _write(self, address: int, payload: Any) -> None:
@@ -133,6 +141,7 @@ class SharedLog:
         if self.is_written(address):
             raise LogError(f"address {address} is not a hole")
         self._write(address, HOLE)
+        obs.count("soe.shared_log.holes_filled")
 
     # -- read path ------------------------------------------------------------------
 
@@ -185,6 +194,7 @@ class SharedLog:
             for replica in stripe:
                 dropped += replica.trim(up_to)
         self.trimmed_to = max(self.trimmed_to, up_to)
+        obs.count("soe.shared_log.entries_trimmed", dropped)
         return dropped
 
     def seal(self) -> int:

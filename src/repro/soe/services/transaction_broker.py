@@ -8,12 +8,21 @@ A *transaction* is a list of logical operations
 ``{"op": "insert"|"delete", "table": ..., "rows"/"predicate": ...}``.
 The broker appends it to the log (that append IS the serialisation point),
 then synchronously pushes it to OLTP subscribers; OLAP nodes pull later.
+
+**Role in the query path:** the write side — reads never pass through the
+broker, which is exactly the decoupling the paper claims; the coordinator
+only consults :attr:`TransactionBroker.current_lsn` for strong reads.
+
+**Observability:** commits feed the ``soe.broker.transactions`` /
+``soe.broker.operations`` counters and the ``soe.broker.submit_seconds``
+latency histogram (v2stats surfaces them per cluster).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+from repro import obs
 from repro.errors import SoeError
 from repro.soe.services.shared_log import SharedLog
 
@@ -41,10 +50,13 @@ class TransactionBroker:
         for operation in ops:
             if "op" not in operation or "table" not in operation:
                 raise SoeError(f"malformed operation: {operation!r}")
-        address = self.log.append({"ops": ops})
-        self.transactions += 1
-        for subscriber in self._oltp_subscribers:
-            subscriber(address, ops)
+        with obs.latency("soe.broker.submit_seconds"):
+            address = self.log.append({"ops": ops})
+            self.transactions += 1
+            for subscriber in self._oltp_subscribers:
+                subscriber(address, ops)
+        obs.count("soe.broker.transactions")
+        obs.count("soe.broker.operations", len(ops))
         return address
 
     @property

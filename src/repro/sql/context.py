@@ -27,6 +27,9 @@ class ExecutionContext:
     parameters: dict[str, Any] = field(default_factory=dict)
     #: counters filled during execution (rows scanned, partitions pruned, ...)
     metrics: dict[str, float] = field(default_factory=dict)
+    #: per-operator profiler installed by ``database.profile()``; the
+    #: executor records node timings/row counts on it when not ``None``
+    profiler: Any = None
 
     def bump(self, metric: str, amount: float = 1.0) -> None:
         """Increment an execution metric."""

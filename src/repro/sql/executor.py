@@ -1,14 +1,28 @@
 """The vectorised (column-at-a-time) execution engine.
 
-This is the default engine, mirroring HANA's vectorised OLAP/join engines
-(Figure 2). Operators consume and produce whole :class:`Batch` objects;
-expression evaluation is NumPy-vectorised. At the leaves, scans
+**Paper mapping:** Section II.A / Figure 2 — the "vectorized engine for
+OLAP and mixed workloads" at the heart of the HANA core. **Role in the
+query path:** last stage of parse → plan → execute; it receives the
+:class:`~repro.sql.planner.QueryPlan` produced by
+:mod:`repro.sql.planner` and materialises the result batch the
+:class:`~repro.core.database.Database` facade turns into a
+:class:`~repro.core.result.QueryResult`.
+
+Operators consume and produce whole :class:`Batch` objects; expression
+evaluation is NumPy-vectorised. At the leaves, scans
 
 * prune partitions with range-boundary analysis and the database's
   registered *semantic pruning hooks* (the aging mechanism of Section III),
 * rewrite ``CONTAINS(column, 'terms')`` conjuncts into inverted-index
   probes when a text index exists (Section II.C),
 * apply MVCC visibility and any pushed-down predicate per partition.
+
+**Observability:** every plan-node dispatch passes through
+:func:`_execute_node`, which hands the node to ``context.profiler`` when
+one is installed (``session.profile(sql)`` — see
+:mod:`repro.obs.profiler`); row counters additionally feed
+:mod:`repro.obs` when collectors are enabled. Both hooks are per-node
+(never per-row) and no-ops by default.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.columnstore.partition import CompositePartitioning, RangePartitioning
 from repro.columnstore.table import ColumnTable
 from repro.errors import PlanError
@@ -48,6 +63,17 @@ def execute(plan: QueryPlan, context: ExecutionContext) -> Batch:
 
 
 def _execute_node(node: PlanNode, context: ExecutionContext) -> Batch:
+    """Dispatch one plan node, recording it when a profiler is installed."""
+    profiler = context.profiler
+    if profiler is None:
+        return _dispatch_node(node, context)
+    with profiler.operator(node) as operator:
+        batch = _dispatch_node(node, context)
+        operator.rows = len(batch)
+        return batch
+
+
+def _dispatch_node(node: PlanNode, context: ExecutionContext) -> Batch:
     if isinstance(node, ScanNode):
         return _execute_scan(node, context)
     if isinstance(node, SubqueryScanNode):
@@ -146,6 +172,7 @@ def _execute_scan(node: ScanNode, context: ExecutionContext) -> Batch:
         }
         batch = Batch(columns, len(positions))
         context.bump("rows_scanned", len(positions))
+        obs.count("sql.executor.rows_scanned", len(positions))
         if node.predicate is not None:
             mask = np.asarray(evaluate(node.predicate, batch, context), dtype=bool)
             batch = batch.filter(mask)
@@ -196,6 +223,7 @@ def _scan_rowstore(node: ScanNode, table: Any, context: ExecutionContext) -> Bat
         columns[f"{node.alias}.{name}"] = narrow_to_array(values)
     batch = Batch(columns, len(rows))
     context.bump("rows_scanned", len(rows))
+    obs.count("sql.executor.rows_scanned", len(rows))
     if node.predicate is not None:
         mask = np.asarray(evaluate(node.predicate, batch, context), dtype=bool)
         batch = batch.filter(mask)
@@ -214,6 +242,7 @@ def _prune_partitions(
             survivors = set(spec.prune(low, high))
             pruned = [o for o in ordinals if o in survivors]
             context.bump("partitions_pruned", len(ordinals) - len(pruned))
+            obs.count("sql.executor.partitions_pruned", len(ordinals) - len(pruned), kind="range")
             ordinals = pruned
     database = context.database
     for hook in getattr(database, "pruning_hooks", []):
@@ -221,6 +250,7 @@ def _prune_partitions(
         if kept is not None:
             pruned = [o for o in ordinals if o in kept]
             context.bump("partitions_pruned", len(ordinals) - len(pruned))
+            obs.count("sql.executor.partitions_pruned", len(ordinals) - len(pruned), kind="semantic")
             ordinals = pruned
     return ordinals
 
@@ -380,6 +410,7 @@ def _hash_join(
         columns[key] = array[right_index]
     matched = Batch(columns, len(left_index))
     context.bump("join_rows", len(left_index))
+    obs.count("sql.executor.join_rows", len(left_index))
 
     if node.kind != "left" or not unmatched_left:
         return matched

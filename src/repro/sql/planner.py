@@ -1,5 +1,16 @@
 """Logical planning: SELECT statements become operator trees.
 
+**Paper mapping:** Section II.A / Figure 2 — the planning layer between
+the common SQL frontend and the specialised execution engines; the
+"exploit application knowledge" rewrites of Section III surface here as
+scan annotations. **Role in the query path:** stage two of parse → plan
+→ execute; :func:`plan_select` consumes the AST from
+:mod:`repro.sql.parser` and hands a :class:`QueryPlan` to one of the
+three engines (:mod:`repro.sql.executor`, :mod:`repro.sql.volcano`,
+:mod:`repro.sql.compiler`). The same plan-node tree is what
+``session.profile(sql)`` annotates with measured rows and wall time
+(see :mod:`repro.obs.profiler`).
+
 The planner performs the classical rule-based rewrites the paper's
 execution engines rely on:
 

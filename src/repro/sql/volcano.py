@@ -1,11 +1,17 @@
 """Tuple-at-a-time (Volcano-style) interpreted execution engine.
 
+**Paper mapping:** Section IV.A — the baseline the paper's compilation
+argument is made *against*; the SOE compiles queries to native code
+precisely to eliminate this per-tuple interpretation overhead (citing
+Dees & Sanders [11] and Neumann [12]). **Role in the query path:** an
+alternative stage three — it executes the same
+:class:`~repro.sql.planner.QueryPlan` as the default vectorised engine
+(:mod:`repro.sql.executor`), one row at a time, and exists as the
+benchmark E6 baseline rather than a production path.
+
 This is the classical iterator model: every operator is a Python generator
 pulling one row at a time from its child, and every expression is
-interpreted by walking the AST per row. It exists as the baseline of
-benchmark E6 — the paper's SOE compiles queries to native code precisely
-to eliminate this per-tuple interpretation overhead (Section IV.A,
-citing Dees & Sanders [11] and Neumann [12]).
+interpreted by walking the AST per row.
 
 Rows are dictionaries keyed by qualified column names (``alias.column``).
 """

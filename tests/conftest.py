@@ -4,7 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core.database import Database
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Keep observability state from leaking between tests.
+
+    Collectors are process-global by design (the paper's v2stats reads a
+    shared registry), so every test starts and ends disabled and empty.
+    """
+    obs.reset()
+    yield
+    obs.reset()
 from repro.workloads.generators import (
     ErpConfig,
     erp_customers,

@@ -1,0 +1,201 @@
+"""Metrics primitives: counters, gauges, and histogram bucket semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("requests").inc(-1)
+
+    def test_labels_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks", kind="scan").inc()
+        registry.counter("tasks", kind="join").inc(2)
+        assert registry.counter("tasks", kind="scan").value == 1
+        assert registry.counter("tasks", kind="join").value == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks", a=1, b=2).inc()
+        assert registry.counter("tasks", b=2, a=1).value == 1
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+
+class TestHistogramBucketEdges:
+    """Edge semantics: an observation equal to a bound lands in that bucket."""
+
+    def test_value_on_edge_lands_in_that_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0, 0]
+        histogram.observe(2.0)
+        assert histogram.bucket_counts == [1, 1, 0, 0]
+
+    def test_value_between_edges_lands_in_upper_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.5)
+        assert histogram.bucket_counts == [0, 1, 0, 0]
+
+    def test_value_above_last_edge_lands_in_overflow(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(7.0)
+        assert histogram.bucket_counts == [0, 0, 0, 1]
+
+    def test_zero_lands_in_first_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_default_buckets_are_sorted_with_overflow_slot(self):
+        histogram = Histogram("h")
+        assert histogram.buckets == DEFAULT_BUCKETS
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(histogram.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestHistogramStats:
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 9.5):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 12.0
+        assert histogram.min == 0.5
+        assert histogram.max == 9.5
+        assert histogram.mean == 4.0
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for _ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(4.0)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 5.0  # upper bound of the bucket 4.0 fell in
+
+    def test_quantile_overflow_reports_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(42.0)
+        assert histogram.quantile(1.0) == 42.0
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram("h").quantile(0.95) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_summary_shape(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        summary = histogram.summary()
+        assert summary["type"] == "histogram"
+        assert summary["count"] == 1
+        assert summary["buckets"] == {1.0: 1, float("inf"): 0}
+
+
+class TestRegistry:
+    def test_get_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(0.1)
+        assert len(registry) == 2
+        assert registry.get("a").value == 1
+        assert registry.get("missing") is None
+
+    def test_as_dict_renders_labels_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks", node="n1", kind="scan").inc()
+        assert "tasks{kind=scan,node=n1}" in registry.as_dict()
+
+    def test_as_dict_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("soe.tasks").inc()
+        registry.counter("sql.rows").inc()
+        assert list(registry.as_dict(prefix="soe.")) == ["soe.tasks"]
+
+    def test_render_text_one_line_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("b").observe(0.25)
+        lines = registry.render_text().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  2")
+        assert "count=1" in lines[1]
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestModuleHelpers:
+    """The obs.count/gauge/observe helpers are no-ops until enabled."""
+
+    def test_disabled_helpers_collect_nothing(self):
+        obs.count("x")
+        obs.gauge("y", 5)
+        obs.observe("z", 0.1)
+        assert not obs.enabled()
+        assert len(obs.registry()) == 0
+
+    def test_enabled_helpers_collect(self):
+        registry, _ = obs.enable()
+        obs.count("x", 3)
+        obs.gauge("y", 5, node="n1")
+        obs.observe("z", 0.1)
+        assert registry.get("x").value == 3
+        assert registry.get("y", node="n1").value == 5
+        assert registry.get("z").count == 1
+
+    def test_latency_is_noop_when_disabled(self):
+        with obs.latency("op_seconds") as timer:
+            pass
+        assert timer.seconds == 0.0
+        assert len(obs.registry()) == 0
+
+    def test_timed_always_measures_reports_only_when_enabled(self):
+        with obs.timed("op_seconds") as timer:
+            sum(range(1000))
+        assert timer.seconds > 0.0
+        assert len(obs.registry()) == 0  # disabled: measured but not reported
+
+        registry, _ = obs.enable()
+        with obs.timed("op_seconds") as timer:
+            sum(range(1000))
+        assert timer.seconds > 0.0
+        assert registry.get("op_seconds").count == 1
+
+    def test_metrics_dump_prefix(self):
+        obs.enable()
+        obs.count("soe.tasks")
+        obs.count("sql.rows")
+        assert list(obs.metrics_dump(prefix="sql.")) == ["sql.rows"]

@@ -1,0 +1,161 @@
+"""Tracer behaviour: nesting, parent links, the ring buffer, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer
+
+
+class TestSpanNesting:
+    def test_single_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "root"
+        assert span.parent_id is None
+        assert span.duration_seconds >= 0.0
+
+    def test_nested_span_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, finished_outer = tracer.spans()  # inner finishes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span.span_id
+        assert finished_outer.name == "outer"
+        assert finished_outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.spans()
+        assert a.parent_id == b.parent_id == root.span.span_id
+
+    def test_sequential_roots_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first.parent_id is None
+        assert second.parent_id is None
+
+    def test_tags_and_late_tagging(self):
+        tracer = Tracer()
+        with tracer.span("op", table="orders") as active:
+            active.tag(rows=42)
+        (span,) = tracer.spans()
+        assert span.tags == {"table": "orders", "rows": 42}
+
+    def test_exception_sets_error_tag_and_finishes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.tags["error"] == "RuntimeError"
+
+    def test_record_appends_premeasured_leaf(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            leaf = tracer.record("merge", 0.125, partition="p0")
+        assert leaf.duration_seconds == 0.125
+        assert leaf.parent_id == root.span.span_id
+
+
+class TestRingBuffer:
+    def test_oldest_spans_evicted(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["s2", "s3", "s4"]
+        assert len(tracer) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.find("a")) == 2
+        assert tracer.find("missing") == []
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestDumps:
+    def test_as_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("root", table="t"):
+            with tracer.span("child"):
+                pass
+        spans = json.loads(tracer.as_json())
+        assert [span["name"] for span in spans] == ["child", "root"]
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+    def test_render_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child", rows=7):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "[rows=7]" in lines[1]
+
+    def test_render_orphans_become_roots(self):
+        tracer = Tracer(capacity=1)  # parent gets evicted
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines == [line for line in lines if not line.startswith(" ")]
+
+
+class TestRuntimeToggle:
+    def test_span_helper_is_noop_when_disabled(self):
+        with obs.span("op") as span:
+            span.tag(rows=1)
+        assert len(obs.tracer()) == 0
+
+    def test_span_helper_records_when_enabled(self):
+        _, tracer = obs.enable()
+        with obs.span("op", table="t"):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "op"
+        assert span.tags == {"table": "t"}
+
+    def test_enable_is_idempotent_and_reset_disables(self):
+        registry, tracer = obs.enable()
+        again_registry, again_tracer = obs.enable()
+        assert registry is again_registry
+        assert tracer is again_tracer
+        obs.reset()
+        assert not obs.enabled()
+
+    def test_enable_accepts_injected_collectors(self):
+        mine = Tracer(capacity=8)
+        _, installed = obs.enable(traces=mine)
+        assert installed is mine

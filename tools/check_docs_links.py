@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Verify that every relative markdown link in the repo's docs resolves.
+
+Scans the top-level ``*.md`` files and everything under ``docs/`` for
+``[text](target)`` links, skips externals (``http(s)://``, ``mailto:``)
+and pure in-page anchors, strips ``#fragment`` suffixes, and checks the
+remaining paths exist relative to the file containing the link.
+
+Exit status: 0 when everything resolves, 1 otherwise (one line per
+broken link). Used by CI's docs job; run locally with::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links; deliberately simple — no nested parentheses
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    return files
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    broken: list[tuple[int, str]] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for line_number, target in broken_links(path):
+            failures += 1
+            print(
+                f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                f"broken link -> {target}"
+            )
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all links resolve ({checked} markdown file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
