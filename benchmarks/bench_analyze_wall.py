@@ -1,0 +1,55 @@
+"""E22 — the CI lint gate must stay cheap.
+
+Claim under test: running every ``tools.analyze`` rule over the full
+``src`` tree (one parse + six visitor passes per file) finishes in well
+under 5 seconds, so gating CI on it costs noise, not minutes.
+
+Measured shape: wall time of :func:`tools.analyze.analyze_paths` on
+``src`` (the exact work the CI ``analyze`` job does), plus the per-file
+rate for context. Run directly (``python benchmarks/bench_analyze_wall.py``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from time import perf_counter
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT))
+
+from tools.analyze import analyze_paths  # noqa: E402
+from tools.analyze.core import iter_python_files  # noqa: E402
+
+BUDGET_SECONDS = 5.0
+REPEATS = 3
+
+
+def measure() -> tuple[float, int, int]:
+    src = _REPO_ROOT / "src"
+    file_count = sum(1 for _ in iter_python_files(src))
+    best = float("inf")
+    findings = 0
+    for _ in range(REPEATS):
+        started = perf_counter()
+        findings = len(analyze_paths([src]))
+        best = min(best, perf_counter() - started)
+    return best, file_count, findings
+
+
+def test_full_tree_lint_under_budget():
+    seconds, file_count, _ = measure()
+    assert seconds < BUDGET_SECONDS, (
+        f"linting {file_count} files took {seconds:.2f}s — over the "
+        f"{BUDGET_SECONDS:.0f}s CI budget"
+    )
+
+
+if __name__ == "__main__":
+    seconds, file_count, findings = measure()
+    print(
+        f"analyze src: {file_count} files, {findings} finding(s), "
+        f"best of {REPEATS}: {seconds * 1000:.0f} ms "
+        f"({seconds * 1000 / file_count:.2f} ms/file)"
+    )

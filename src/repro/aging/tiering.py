@@ -86,6 +86,7 @@ def move_rows_to_aged(
                     _unused = new_position
                     moved += 1
         except Exception:
+            obs.count("aging.tiering_rollbacks")
             database.rollback(txn)
             raise
         database.commit(txn)

@@ -1,0 +1,28 @@
+"""repro.analysis — runtime sanitizers for the concurrency layer.
+
+The static half of the correctness tooling (the project-invariant
+linter) lives in ``tools/analyze`` and runs over the source tree; this
+package holds the *dynamic* checks that must run inside the process:
+
+* :mod:`repro.analysis.lockcheck` — a lock-order/race sanitizer that
+  wraps ``threading.Lock`` during tests, records the cross-thread
+  lock-acquisition graph, and fails fast on cycles (potential
+  deadlocks) and self-deadlocks. Enabled by ``REPRO_LOCKCHECK=1`` in
+  CI via an autouse pytest fixture.
+"""
+
+from repro.analysis.lockcheck import (
+    LockOrderError,
+    active,
+    enabled_from_env,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "LockOrderError",
+    "active",
+    "enabled_from_env",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,246 @@
+"""Lock-order/race sanitizer: instrument ``threading.Lock`` during tests.
+
+The SOE concurrency layer (v2transact broker, shared log, transaction
+manager) holds several locks; two code paths acquiring the same pair in
+opposite orders is a deadlock waiting for unlucky scheduling. This
+module catches the *order inversion* without needing the unlucky
+schedule:
+
+* :func:`install` replaces ``threading.Lock`` with a factory returning
+  :class:`InstrumentedLock` wrappers (existing locks are untouched —
+  only locks created after install are tracked, which covers every
+  per-object lock in this codebase since services are built inside
+  tests).
+* Each wrapper records, per thread, the set of locks already held when
+  it is acquired; every (held → acquired) pair becomes an edge in a
+  process-global acquisition graph.
+* Before inserting an edge A→B the checker asks whether B can already
+  reach A. If so, some other code path acquired B before A: a cycle —
+  the canonical potential-deadlock report — and a
+  :class:`LockOrderError` is raised at the acquisition site (strict
+  mode, the default) or recorded for :func:`violations`.
+* Re-acquiring a non-reentrant lock the current thread already holds
+  (guaranteed self-deadlock under blocking acquire) is reported the
+  same way.
+
+Usage::
+
+    from repro.analysis import lockcheck
+
+    with lockcheck.active():          # install → run → uninstall
+        run_concurrent_workload()
+
+CI runs the whole test suite once with ``REPRO_LOCKCHECK=1``; the
+autouse fixture in ``tests/conftest.py`` wraps every test in
+:func:`active` when that variable is set (see :func:`enabled_from_env`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+#: the real factory, captured at import time — the sanitizer's own
+#: bookkeeping must never run through an instrumented lock
+_REAL_LOCK = threading.Lock
+
+
+class LockOrderError(ReproError):
+    """A potential deadlock: lock-order inversion or self-deadlock."""
+
+
+class _Checker:
+    """Process-global acquisition graph + per-thread held-lock stacks."""
+
+    def __init__(self, strict: bool) -> None:
+        self.strict = strict
+        self._graph_lock = _REAL_LOCK()
+        #: edge held → acquired, with one witness (thread, held site, new site)
+        self._edges: dict[str, dict[str, str]] = {}
+        self._held = threading.local()
+        self.violations: list[str] = []
+
+    # -- per-thread held stack ----------------------------------------------
+
+    def _stack(self) -> list["InstrumentedLock"]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- graph ---------------------------------------------------------------
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """DFS over recorded edges: can ``start`` reach ``goal``?"""
+        seen = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._edges.get(node, ()))
+        return False
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise LockOrderError(message)
+
+    def before_acquire(self, lock: "InstrumentedLock", blocking: bool) -> None:
+        stack = self._stack()
+        if blocking and any(held is lock for held in stack):
+            self._fail(
+                f"self-deadlock: thread {threading.current_thread().name!r} "
+                f"re-acquires non-reentrant lock {lock.name} it already holds"
+            )
+        with self._graph_lock:
+            for held in stack:
+                if held.name == lock.name:
+                    continue
+                witnesses = self._edges.setdefault(held.name, {})
+                if lock.name in witnesses:
+                    continue
+                if self._reaches(lock.name, held.name):
+                    direct = self._edges.get(lock.name, {})
+                    first = direct.get(held.name) or "via intermediate locks"
+                    self._fail(
+                        "lock-order inversion (potential deadlock): thread "
+                        f"{threading.current_thread().name!r} acquires {lock.name} "
+                        f"while holding {held.name}, but the reverse order was "
+                        f"recorded earlier ({first})"
+                    )
+                witnesses[lock.name] = (
+                    f"thread {threading.current_thread().name!r} held "
+                    f"{held.name} acquiring {lock.name}"
+                )
+
+    def after_acquire(self, lock: "InstrumentedLock") -> None:
+        self._stack().append(lock)
+
+    def after_release(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+
+class InstrumentedLock:
+    """Drop-in ``threading.Lock`` replacement that reports to a checker."""
+
+    def __init__(self, checker: _Checker, name: str) -> None:
+        self._inner = _REAL_LOCK()
+        self._checker = checker
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        checker = self._checker
+        if checker is not None:
+            checker.before_acquire(self, blocking)
+        got = self._inner.acquire(blocking, timeout)  # repro: allow(RA102) — this IS the lock implementation
+        if got and checker is not None:
+            checker.after_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        if self._checker is not None:
+            self._checker.after_release(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()  # repro: allow(RA102) — released by __exit__
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self.name} {'locked' if self.locked() else 'unlocked'}>"
+
+    def _detach(self) -> None:
+        """Stop reporting (called on uninstall for still-alive locks)."""
+        self._checker = None
+
+
+_STATE_LOCK = _REAL_LOCK()
+_current: _Checker | None = None
+_created: list[InstrumentedLock] = []
+_counter = 0
+
+
+def _instrumented_factory() -> InstrumentedLock:
+    """The ``threading.Lock`` stand-in while the sanitizer is installed."""
+    global _counter
+    import sys
+
+    frame = sys._getframe(1)
+    with _STATE_LOCK:
+        _counter += 1
+        name = f"Lock#{_counter}@{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+        checker = _current
+        if checker is None:  # uninstalled concurrently; hand out a real lock
+            return _REAL_LOCK()  # type: ignore[return-value]
+        lock = InstrumentedLock(checker, name)
+        _created.append(lock)
+    return lock
+
+
+def install(strict: bool = True) -> None:
+    """Start sanitizing: locks created from now on are tracked.
+
+    ``strict=True`` raises :class:`LockOrderError` at the offending
+    acquisition; ``strict=False`` only records into :func:`violations`.
+    """
+    global _current
+    with _STATE_LOCK:
+        if _current is not None:
+            raise LockOrderError("lockcheck is already installed")
+        _current = _Checker(strict)
+    threading.Lock = _instrumented_factory  # type: ignore[assignment]
+
+
+def uninstall() -> list[str]:
+    """Stop sanitizing, restore ``threading.Lock``; returns violations."""
+    global _current
+    threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+    with _STATE_LOCK:
+        checker, _current = _current, None
+        for lock in _created:
+            lock._detach()
+        _created.clear()
+    return checker.violations if checker else []
+
+
+def is_installed() -> bool:
+    return _current is not None
+
+
+def violations() -> list[str]:
+    """Violations recorded so far by the installed checker."""
+    checker = _current
+    return list(checker.violations) if checker else []
+
+
+def enabled_from_env() -> bool:
+    """True when ``REPRO_LOCKCHECK`` requests sanitized test runs."""
+    return os.environ.get("REPRO_LOCKCHECK", "").strip() in ("1", "true", "yes", "on")
+
+
+@contextmanager
+def active(strict: bool = True) -> Iterator[None]:
+    """Install for the duration of a block (the pytest-fixture shape)."""
+    install(strict)
+    try:
+        yield
+    finally:
+        uninstall()

@@ -246,6 +246,7 @@ class Database:
         try:
             count = runner(statement, active, parameters)
         except Exception:
+            obs.count("core.dml_rollbacks")
             if own:
                 self.rollback(active)
             raise
@@ -572,6 +573,7 @@ class Database:
                     self._replay(record, txn)
                 self.txn_manager.commit(txn)
             except Exception:
+                obs.count("core.recovery_rollbacks")
                 self.txn_manager.rollback(txn)
                 raise
         if snapshot is not None or commits:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro import obs
 from repro.aging.tiering import aged_ordinals
 from repro.columnstore.table import ColumnTable
 from repro.core.database import Database
@@ -55,6 +56,7 @@ def load_hdfs_csv_into_database(
             target.insert(_parse_csv_line(line, delimiter), txn)
             count += 1
     except Exception:
+        obs.count("hadoop.import_rollbacks")
         database.rollback(txn)
         raise
     database.commit(txn)
@@ -201,6 +203,7 @@ def export_aged_partition_to_hdfs(
                 partition.mark_deleted(int(position), txn)
                 exported += 1
     except Exception:
+        obs.count("hadoop.export_rollbacks")
         database.rollback(txn)
         raise
     hdfs.write_file(path, lines, overwrite=True)

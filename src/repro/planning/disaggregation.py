@@ -57,7 +57,10 @@ def disaggregate(
 
     factor = 10**decimals
     floored = {key: int(value * factor + 1e-9) if value >= 0 else -int(-value * factor + 1e-9) for key, value in exact.items()}
-    target_units = round(total * factor)
+    # target the *rounded* total's units: round(total * factor) can disagree
+    # with round(total, decimals) when the multiply collapses the float's
+    # representation error onto an exact .5 (e.g. 0.025 * 100 == 2.5)
+    target_units = round(round(total, decimals) * factor)
     residue = target_units - sum(floored.values())
     step = 1 if residue >= 0 else -1
     # rounding residue goes to weighted cells only, by largest remainder

@@ -12,6 +12,7 @@ never touches row data itself.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import CoordinationError
@@ -38,13 +39,17 @@ class CatalogService:
     _tables: dict[str, SoeTableMeta] = field(default_factory=dict)
     #: (table, partition_id) -> node ids hosting a replica
     _placement: dict[tuple[str, int], list[str]] = field(default_factory=dict)
+    #: guards both maps — registration and (re)placement race with the
+    #: cluster manager's rebalancing thread
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     # -- schema -------------------------------------------------------------
 
     def register_table(self, meta: SoeTableMeta) -> None:
-        if meta.name in self._tables:
-            raise CoordinationError(f"SOE table {meta.name!r} already exists")
-        self._tables[meta.name] = meta
+        with self._lock:
+            if meta.name in self._tables:
+                raise CoordinationError(f"SOE table {meta.name!r} already exists")
+            self._tables[meta.name] = meta
 
     def table(self, name: str) -> SoeTableMeta:
         try:
@@ -61,14 +66,16 @@ class CatalogService:
     # -- data discovery ----------------------------------------------------------
 
     def place_partition(self, table: str, partition_id: int, node_id: str) -> None:
-        nodes = self._placement.setdefault((table, partition_id), [])
-        if node_id not in nodes:
-            nodes.append(node_id)
+        with self._lock:
+            nodes = self._placement.setdefault((table, partition_id), [])
+            if node_id not in nodes:
+                nodes.append(node_id)
 
     def unplace_partition(self, table: str, partition_id: int, node_id: str) -> None:
-        nodes = self._placement.get((table, partition_id), [])
-        if node_id in nodes:
-            nodes.remove(node_id)
+        with self._lock:
+            nodes = self._placement.get((table, partition_id), [])
+            if node_id in nodes:
+                nodes.remove(node_id)
 
     def nodes_of(self, table: str, partition_id: int) -> list[str]:
         nodes = self._placement.get((table, partition_id))

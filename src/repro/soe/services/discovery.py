@@ -7,10 +7,16 @@ across the cluster."
 **Role in the query path:** control plane only — the cluster manager
 announces/withdraws services here and rebalancing looks up live v2lqp
 hosts; no per-query traffic flows through it.
+
+**Concurrency:** both registries are mutated from whatever thread starts
+or stops services, so every write happens under the instance lock and
+reads hand out copies (rule RA103 of ``tools/analyze`` enforces the
+write side).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ClusterError
@@ -21,20 +27,24 @@ class DiscoveryService:
     """Service registry: which nodes host which service kind."""
 
     _services: dict[str, list[str]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def announce(self, service_kind: str, node_id: str) -> None:
-        nodes = self._services.setdefault(service_kind, [])
-        if node_id not in nodes:
-            nodes.append(node_id)
+        with self._lock:
+            nodes = self._services.setdefault(service_kind, [])
+            if node_id not in nodes:
+                nodes.append(node_id)
 
     def withdraw(self, service_kind: str, node_id: str) -> None:
-        nodes = self._services.get(service_kind, [])
-        if node_id in nodes:
-            nodes.remove(node_id)
+        with self._lock:
+            nodes = self._services.get(service_kind, [])
+            if node_id in nodes:
+                nodes.remove(node_id)
 
     def locate(self, service_kind: str) -> list[str]:
         """Node ids currently announcing ``service_kind``."""
-        return list(self._services.get(service_kind, []))
+        with self._lock:
+            return list(self._services.get(service_kind, []))
 
     def locate_one(self, service_kind: str) -> str:
         nodes = self.locate(service_kind)
@@ -43,7 +53,8 @@ class DiscoveryService:
         return nodes[0]
 
     def service_kinds(self) -> list[str]:
-        return sorted(self._services)
+        with self._lock:
+            return sorted(self._services)
 
 
 @dataclass
@@ -52,27 +63,33 @@ class AuthorizationService:
 
     _grants: dict[str, set[str]] = field(default_factory=dict)
     _credentials: dict[str, str] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def create_user(self, user: str, secret: str) -> None:
-        if user in self._credentials:
-            raise ClusterError(f"user {user!r} already exists")
-        self._credentials[user] = secret
-        self._grants.setdefault(user, set())
+        with self._lock:
+            if user in self._credentials:
+                raise ClusterError(f"user {user!r} already exists")
+            self._credentials[user] = secret
+            self._grants.setdefault(user, set())
 
     def authenticate(self, user: str, secret: str) -> bool:
-        return self._credentials.get(user) == secret
+        with self._lock:
+            return self._credentials.get(user) == secret
 
     def grant(self, user: str, action: str) -> None:
-        if user not in self._credentials:
-            raise ClusterError(f"unknown user {user!r}")
-        self._grants.setdefault(user, set()).add(action)
+        with self._lock:
+            if user not in self._credentials:
+                raise ClusterError(f"unknown user {user!r}")
+            self._grants.setdefault(user, set()).add(action)
 
     def revoke(self, user: str, action: str) -> None:
-        self._grants.get(user, set()).discard(action)
+        with self._lock:
+            self._grants.get(user, set()).discard(action)
 
     def check(self, user: str, action: str) -> bool:
-        grants = self._grants.get(user, set())
-        return action in grants or "*" in grants
+        with self._lock:
+            grants = self._grants.get(user, set())
+            return action in grants or "*" in grants
 
     def require(self, user: str, action: str) -> None:
         if not self.check(user, action):

@@ -114,6 +114,9 @@ class SharedLog:
         self.stripes = stripes
         self.replication = replication
         self.sequencer = Sequencer()
+        #: serialises replica writes and maintenance (trim/seal); the
+        #: sequencer keeps its own lock and is never held inside this one
+        self._lock = threading.Lock()
         self._segments: list[list[Any]] = [
             [factory(f"stripe{s}_replica{r}") for r in range(replication)]
             for s in range(stripes)
@@ -127,20 +130,23 @@ class SharedLog:
         """Token from the sequencer, then replicate to the stripe; returns
         the global address."""
         address = self.sequencer.next_address()
-        self._write(address, payload)
-        self.appends += 1
+        with self._lock:
+            self._write_locked(address, payload)
+            self.appends += 1
         obs.count("soe.shared_log.appends")
         return address
 
-    def _write(self, address: int, payload: Any) -> None:
+    def _write_locked(self, address: int, payload: Any) -> None:
+        """Replicate one entry to its stripe. Caller holds ``self._lock``."""
         for replica in self._segments[address % self.stripes]:
             replica.write(address, payload)
 
     def fill(self, address: int) -> None:
         """Patch a hole (an address issued but never written)."""
-        if self.is_written(address):
-            raise LogError(f"address {address} is not a hole")
-        self._write(address, HOLE)
+        with self._lock:
+            if self._segments[address % self.stripes][0].has(address):
+                raise LogError(f"address {address} is not a hole")
+            self._write_locked(address, HOLE)
         obs.count("soe.shared_log.holes_filled")
 
     # -- read path ------------------------------------------------------------------
@@ -190,10 +196,11 @@ class SharedLog:
         if up_to > self.tail:
             raise LogError("cannot trim beyond the tail")
         dropped = 0
-        for stripe in self._segments:
-            for replica in stripe:
-                dropped += replica.trim(up_to)
-        self.trimmed_to = max(self.trimmed_to, up_to)
+        with self._lock:
+            for stripe in self._segments:
+                for replica in stripe:
+                    dropped += replica.trim(up_to)
+            self.trimmed_to = max(self.trimmed_to, up_to)
         obs.count("soe.shared_log.entries_trimmed", dropped)
         return dropped
 
@@ -201,9 +208,10 @@ class SharedLog:
         """Fence all segments at the current tail (reconfiguration step);
         returns the seal point."""
         tail = self.tail
-        for stripe in self._segments:
-            for replica in stripe:
-                replica.seal(tail)
+        with self._lock:
+            for stripe in self._segments:
+                for replica in stripe:
+                    replica.seal(tail)
         return tail
 
     def stripe_lengths(self) -> list[int]:

@@ -20,6 +20,7 @@ latency histogram (v2stats surfaces them per cluster).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable
 
 from repro import obs
@@ -35,13 +36,17 @@ class TransactionBroker:
 
     def __init__(self, log: SharedLog) -> None:
         self.log = log
+        #: guards the subscriber list and the commit counter; never held
+        #: while calling out (subscribers, the log) to keep lock order flat
+        self._lock = threading.Lock()
         self._oltp_subscribers: list[Subscriber] = []
         self.transactions = 0
 
     def subscribe_oltp(self, subscriber: Subscriber) -> None:
         """OLTP nodes incorporate "the log during the update transaction" —
         the broker calls them before acknowledging the commit."""
-        self._oltp_subscribers.append(subscriber)
+        with self._lock:
+            self._oltp_subscribers.append(subscriber)
 
     def submit(self, operations: Iterable[Operation]) -> int:
         """Append one transaction; returns its log address (the global
@@ -52,8 +57,10 @@ class TransactionBroker:
                 raise SoeError(f"malformed operation: {operation!r}")
         with obs.latency("soe.broker.submit_seconds"):
             address = self.log.append({"ops": ops})
-            self.transactions += 1
-            for subscriber in self._oltp_subscribers:
+            with self._lock:
+                self.transactions += 1
+                subscribers = list(self._oltp_subscribers)
+            for subscriber in subscribers:
                 subscriber(address, ops)
         obs.count("soe.broker.transactions")
         obs.count("soe.broker.operations", len(ops))

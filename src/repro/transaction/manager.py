@@ -129,8 +129,9 @@ class TransactionManager:
 
     def begin(self) -> Transaction:
         """Start a transaction with a snapshot of the current commit state."""
-        txn = Transaction(tid=next(self._tid_counter), snapshot_cid=self._last_committed_cid)
-        self._active[txn.tid] = txn
+        with self._commit_lock:
+            txn = Transaction(tid=next(self._tid_counter), snapshot_cid=self._last_committed_cid)
+            self._active[txn.tid] = txn
         return txn
 
     def commit(self, txn: Transaction) -> int:
@@ -173,8 +174,9 @@ class TransactionManager:
         for slot in txn._deleted_slots:
             slot.vector[slot.position] = slot.on_abort
         txn.state = TxnState.ABORTED
-        self._active.pop(txn.tid, None)
-        self.aborts += 1
+        with self._commit_lock:
+            self._active.pop(txn.tid, None)
+            self.aborts += 1
 
     def abort_with(self, txn: Transaction, reason: str) -> TransactionAbortedError:
         """Roll back and return an exception describing the abort."""

@@ -1,0 +1,125 @@
+"""Baseline semantics, the CLI driver, and the self-clean acceptance gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.analyze import Baseline, analyze_paths
+from tools.analyze.__main__ import main as analyze_main
+from tools.analyze.core import all_rules
+
+_SEEDED = """\
+import time
+
+
+def hot_path():
+    return time.time()
+"""
+
+
+def _seed_tree(tmp_path: Path) -> Path:
+    pkg = tmp_path / "src" / "repro" / "sql"
+    pkg.mkdir(parents=True)
+    (pkg / "executor.py").write_text(_SEEDED)
+    return tmp_path / "src"
+
+
+# -- acceptance: the shipped tree is clean -----------------------------------------
+
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_has_no_new_findings():
+    """`python -m tools.analyze src` must exit 0 on the repository."""
+    assert analyze_main([str(_REPO_ROOT / "src")]) == 0
+
+
+def test_shipped_baseline_is_empty():
+    baseline = Baseline.load(_REPO_ROOT / "tools" / "analyze" / "baseline.json")
+    assert baseline.entries == {}
+
+
+# -- acceptance: a seeded violation fails the run ---------------------------------
+
+
+def test_seeded_wall_clock_violation_fails(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    exit_code = analyze_main([str(root), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "RA101" in out and "executor.py" in out
+
+
+def test_seeded_violation_json_report(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    exit_code = analyze_main([str(root), "--no-baseline", "--json"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert '"code": "RA101"' in out
+
+
+# -- baseline mechanics -----------------------------------------------------------
+
+
+def test_baseline_accepts_preexisting_findings(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    assert analyze_main([str(root), "--baseline", str(baseline_path), "--write-baseline"]) == 0
+    capsys.readouterr()
+    # same findings now accepted
+    assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 0
+    assert "accepted by the baseline" in capsys.readouterr().out
+
+
+def test_baseline_still_fails_on_new_findings(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    analyze_main([str(root), "--baseline", str(baseline_path), "--write-baseline"])
+    (root / "repro" / "sql" / "planner.py").write_text(_SEEDED)
+    assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 1
+    assert "planner.py" in capsys.readouterr().out
+
+
+def test_baseline_reports_stale_entries(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    analyze_main([str(root), "--baseline", str(baseline_path), "--write-baseline"])
+    (root / "repro" / "sql" / "executor.py").write_text("def hot_path():\n    return 1\n")
+    capsys.readouterr()
+    assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 0
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_baseline_key_survives_line_shifts(tmp_path):
+    root = _seed_tree(tmp_path)
+    before = analyze_paths([str(root)])
+    source = (root / "repro" / "sql" / "executor.py").read_text()
+    (root / "repro" / "sql" / "executor.py").write_text("# a new leading comment\n" + source)
+    after = analyze_paths([str(root)])
+    assert [f.key for f in before] == [f.key for f in after]
+    assert before[0].line != after[0].line
+
+
+# -- CLI plumbing -----------------------------------------------------------------
+
+
+def test_list_rules(capsys):
+    assert analyze_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RA101", "RA102", "RA103", "RA104", "RA105", "RA106"):
+        assert code in out
+
+
+def test_select_unknown_rule_raises(tmp_path):
+    root = _seed_tree(tmp_path)
+    try:
+        analyze_main([str(root), "--select", "RA999"])
+    except ValueError as exc:
+        assert "RA999" in str(exc)
+    else:
+        raise AssertionError("unknown rule code should raise")
+
+
+def test_rule_registry_is_complete():
+    assert sorted(all_rules()) == ["RA101", "RA102", "RA103", "RA104", "RA105", "RA106"]

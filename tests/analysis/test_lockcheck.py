@@ -1,0 +1,122 @@
+"""The lock-order sanitizer: inversion detection, self-deadlock, gating."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockcheck
+
+
+@pytest.fixture
+def fresh_lockcheck():
+    """A sanitizer scope independent of the REPRO_LOCKCHECK autouse one."""
+    was_installed = lockcheck.is_installed()
+    if was_installed:
+        lockcheck.uninstall()
+    yield
+    if lockcheck.is_installed():
+        lockcheck.uninstall()
+    if was_installed:
+        lockcheck.install()
+
+
+def test_lock_order_inversion_detected(fresh_lockcheck):
+    """The seeded A→B / B→A inversion must raise at the second pattern."""
+    with lockcheck.active():
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        with lock_a:
+            with lock_b:
+                pass
+        with pytest.raises(lockcheck.LockOrderError, match="inversion"):
+            with lock_b:
+                with lock_a:
+                    pass
+
+
+def test_inversion_detected_across_threads(fresh_lockcheck):
+    """One order per thread — the cycle only exists in the merged graph."""
+    with lockcheck.active(strict=False):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def first():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        thread = threading.Thread(target=first)
+        thread.start()
+        thread.join()
+        with lock_b:
+            with lock_a:
+                pass
+        assert any("inversion" in v for v in lockcheck.violations())
+
+
+def test_consistent_order_is_clean(fresh_lockcheck):
+    with lockcheck.active():
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert lockcheck.violations() == []
+
+
+def test_self_deadlock_detected(fresh_lockcheck):
+    with lockcheck.active():
+        lock = threading.Lock()
+        with pytest.raises(lockcheck.LockOrderError, match="self-deadlock"):
+            with lock:
+                with lock:
+                    pass
+
+
+def test_non_blocking_reacquire_not_flagged(fresh_lockcheck):
+    """``acquire(blocking=False)`` on a held lock just returns False."""
+    with lockcheck.active():
+        lock = threading.Lock()
+        with lock:
+            assert lock.acquire(blocking=False) is False  # repro: allow(RA102)
+        assert lockcheck.violations() == []
+
+
+def test_uninstall_restores_real_lock(fresh_lockcheck):
+    with lockcheck.active():
+        assert threading.Lock is not lockcheck._REAL_LOCK
+        instrumented = threading.Lock()
+        assert isinstance(instrumented, lockcheck.InstrumentedLock)
+    assert threading.Lock is lockcheck._REAL_LOCK
+    # detached locks keep functioning without reporting
+    with instrumented:
+        pass
+
+
+def test_nested_install_rejected(fresh_lockcheck):
+    with lockcheck.active():
+        with pytest.raises(lockcheck.LockOrderError, match="already installed"):
+            lockcheck.install()
+
+
+def test_env_gating(monkeypatch):
+    monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+    assert lockcheck.enabled_from_env() is False
+    monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+    assert lockcheck.enabled_from_env() is True
+    monkeypatch.setenv("REPRO_LOCKCHECK", "0")
+    assert lockcheck.enabled_from_env() is False
+
+
+def test_transaction_layer_runs_clean_under_sanitizer(fresh_lockcheck):
+    """The shipped SOE/transaction stack holds its locks in one order."""
+    from repro.soe.engine import SoeEngine
+
+    with lockcheck.active():
+        soe = SoeEngine(node_count=2, node_modes="olap")
+        soe.create_table("t", ["k", "v"], ["k"], partition_count=2)
+        soe.load("t", [[i, float(i)] for i in range(50)])
+        assert lockcheck.violations() == []

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
+from repro.analysis import lockcheck
 from repro.core.database import Database
 
 
@@ -18,6 +19,23 @@ def _reset_obs():
     obs.reset()
     yield
     obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck_sanitizer():
+    """Run each test under the lock-order sanitizer when requested.
+
+    ``REPRO_LOCKCHECK=1 pytest`` (the CI sanitizer job) wraps every test
+    in :func:`repro.analysis.lockcheck.active`: locks created by the
+    test are tracked and an acquisition-order cycle fails the test at
+    the offending ``acquire``. Without the variable this fixture is a
+    no-op, so the default suite pays nothing.
+    """
+    if lockcheck.enabled_from_env() and not lockcheck.is_installed():
+        with lockcheck.active():
+            yield
+    else:
+        yield
 from repro.workloads.generators import (
     ErpConfig,
     erp_customers,

@@ -1,0 +1,35 @@
+"""``tools.analyze`` — project-invariant static analysis for the reproduction.
+
+A small, dependency-free AST linter that checks the invariants this
+codebase relies on but that no off-the-shelf tool knows about:
+
+* wall-clock reads must go through :mod:`repro.obs` (RA101),
+* ``threading.Lock`` objects are used via ``with`` (RA102),
+* private containers of lock-owning classes in the SOE concurrency layer
+  are mutated only under their lock (RA103),
+* broad ``except`` blocks either re-raise or log (RA104),
+* no mutable default arguments (RA105),
+* metric registration happens at module scope, hot paths use the
+  ``obs.count``/``obs.observe`` helpers (RA106).
+
+Run it as ``python -m tools.analyze src``. Findings can be suppressed
+inline with ``# repro: allow(RA103)`` or accepted wholesale in
+``tools/analyze/baseline.json``; anything new fails the run (and CI).
+
+The dynamic half of the story — the lock-order sanitizer that runs the
+test suite under ``REPRO_LOCKCHECK=1`` — lives in
+:mod:`repro.analysis.lockcheck` so it ships with the package.
+"""
+
+from tools.analyze.core import Finding, FileContext, Rule, all_rules, analyze_paths, analyze_source
+from tools.analyze.baseline import Baseline
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+]

@@ -1,0 +1,75 @@
+"""CLI: ``python -m tools.analyze src`` — lint the tree, exit 1 on new findings.
+
+Options::
+
+    python -m tools.analyze src                      # text report, default baseline
+    python -m tools.analyze src --json               # machine-readable
+    python -m tools.analyze src --select RA101,RA103 # subset of rules
+    python -m tools.analyze src --write-baseline     # accept current findings
+    python -m tools.analyze --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.analyze.baseline import Baseline
+from tools.analyze.core import all_rules, analyze_paths
+from tools.analyze.reporters import render_json, render_text
+
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Project-invariant linter (rules RA101–RA106).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or trees to analyze (e.g. src)")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(_DEFAULT_BASELINE), metavar="PATH",
+        help="baseline JSON of accepted findings (default: tools/analyze/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline entirely"
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, rule_cls in all_rules().items():
+            print(f"{code}  {rule_cls.name:34s} {rule_cls.description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.analyze src)")
+
+    select = [c.strip() for c in args.select.split(",")] if args.select else None
+    findings = analyze_paths(args.paths, select)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings, justification="accepted by --write-baseline").write(
+            args.baseline
+        )
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    new, baselined, stale = baseline.split(findings)
+    report = render_json(new, baselined, stale) if args.json else render_text(new, baselined, stale)
+    print(report)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

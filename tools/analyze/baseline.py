@@ -1,0 +1,70 @@
+"""Baseline file handling: accepted pre-existing findings.
+
+The baseline is a checked-in JSON list of finding identities (code,
+path, symbol, message — no line numbers, so unrelated edits don't churn
+it). ``python -m tools.analyze src`` fails only on findings *not* in the
+baseline; ``--write-baseline`` regenerates it. An empty baseline is the
+goal state: every entry should carry a ``justification``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.analyze.core import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed like :attr:`Finding.key`."""
+
+    entries: dict[tuple[str, str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {}
+        for item in data.get("findings", []):
+            key = (item["code"], item["path"], item.get("symbol", ""), item["message"])
+            entries[key] = item.get("justification", "")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], justification: str = "") -> "Baseline":
+        return cls({finding.key: justification for finding in findings})
+
+    def write(self, path: str | Path) -> None:
+        items = [
+            {
+                "code": code,
+                "path": rel_path,
+                "symbol": symbol,
+                "message": message,
+                "justification": justification,
+            }
+            for (code, rel_path, symbol, message), justification in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "findings": items}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], list[tuple]]:
+        """Partition findings into (new, baselined); the third element is
+        the stale baseline keys no current finding matches."""
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        seen: set[tuple] = set()
+        for finding in findings:
+            if finding.key in self.entries:
+                matched.append(finding)
+                seen.add(finding.key)
+            else:
+                new.append(finding)
+        stale = [key for key in self.entries if key not in seen]
+        return new, matched, stale

@@ -1,0 +1,206 @@
+"""Linter core: findings, file context, the rule registry, the driver.
+
+Every rule is an :class:`ast.NodeVisitor` subclass registered with
+:func:`register`; the driver parses each file once and runs every
+applicable rule over the same tree. Findings carry a *symbol* (the
+enclosing ``Class.method``) so baseline entries stay stable when
+unrelated edits shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+#: inline suppression syntax: ``# repro: allow(RA103)`` / ``allow(RA101, RA104)``
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9,\s]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str        # posix, relative to the analysis root's parent
+    line: int
+    message: str
+    symbol: str = ""  # enclosing Class.method, for stable baseline keys
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.code, self.path, self.symbol, self.message)
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.code}{sym}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel_path = rel_path.replace(os.sep, "/")
+        self.source = source
+        self.findings: list[Finding] = []
+        self._suppressions = self._parse_suppressions(source)
+
+    @staticmethod
+    def _parse_suppressions(source: str) -> dict[int, set[str]]:
+        """Map line number → codes allowed on that line."""
+        allowed: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                allowed[lineno] = codes
+        return allowed
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        return code in self._suppressions.get(line, ())
+
+    def add(self, code: str, node: ast.AST, message: str, symbol: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        if self.is_suppressed(code, line):
+            return
+        self.findings.append(Finding(code, self.rel_path, line, message, symbol))
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one invariant, one code, one visitor.
+
+    Subclasses set ``code``/``name``/``description`` and implement the
+    usual ``visit_*`` methods, reporting through :meth:`report`. The
+    driver instantiates a fresh rule per file.
+    """
+
+    code: str = "RA000"
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self._symbol_stack: list[str] = []
+
+    # -- scoping -------------------------------------------------------------
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        """Override to scope a rule to part of the tree."""
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._symbol_stack)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(self.code, node, message, self.symbol)
+
+    # -- symbol tracking (shared by every rule) ------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._symbol_stack.append(node.name)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._symbol_stack.append(node.name)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """code → rule class, importing the built-in rules on first use."""
+    import tools.analyze.rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+
+def analyze_source(
+    source: str,
+    rel_path: str = "<memory>.py",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the (optionally filtered) rule set over one source string."""
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - rules.keys()
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        rules = {code: cls for code, cls in rules.items() if code in wanted}
+    ctx = FileContext(rel_path, source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        ctx.findings.append(
+            Finding("RA000", ctx.rel_path, exc.lineno or 0, f"syntax error: {exc.msg}")
+        )
+        return ctx.findings
+    for rule_cls in rules.values():
+        if rule_cls.applies_to(ctx.rel_path):
+            rule_cls(ctx).visit(tree)
+    return sorted(ctx.findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze files/trees. Finding paths are the given roots plus the
+    path below them (``src`` yields ``src/repro/...``) — invoke from the
+    repository root so baseline entries stay machine-independent."""
+    findings: list[Finding] = []
+    for raw in paths:
+        for file_path in iter_python_files(Path(raw)):
+            source = file_path.read_text(encoding="utf-8")
+            findings.extend(analyze_source(source, file_path.as_posix(), select))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))

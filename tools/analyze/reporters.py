@@ -1,0 +1,46 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from tools.analyze.core import Finding
+
+
+def render_text(
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[tuple],
+) -> str:
+    """The default CLI report: one finding per line plus a summary."""
+    lines = [finding.render() for finding in new]
+    summary = Counter(finding.code for finding in new)
+    if new:
+        per_code = ", ".join(f"{code}×{count}" for code, count in sorted(summary.items()))
+        lines.append("")
+        lines.append(f"{len(new)} finding(s): {per_code}")
+    else:
+        lines.append("no new findings")
+    if baselined:
+        lines.append(f"{len(baselined)} pre-existing finding(s) accepted by the baseline")
+    if stale:
+        lines.append(
+            f"warning: {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            "no longer match any finding — prune with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[tuple],
+) -> str:
+    payload = {
+        "new": [finding.as_dict() for finding in new],
+        "baselined": [finding.as_dict() for finding in baselined],
+        "stale_baseline_keys": [list(key) for key in stale],
+        "exit_code": 1 if new else 0,
+    }
+    return json.dumps(payload, indent=2)

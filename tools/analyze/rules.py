@@ -1,0 +1,421 @@
+"""The built-in project-invariant rules (RA101–RA106).
+
+Each rule is deliberately narrow: it encodes one convention this
+codebase has committed to, scoped to the files where the convention is
+binding, so a finding is actionable rather than stylistic noise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.core import FileContext, Rule, register
+
+#: files whose whole job is timekeeping — exempt from RA101/RA106
+_OBS_PATH = "repro/obs/"
+#: the concurrency layer RA103 guards (paper Figure 3: v2transact + services)
+_CONCURRENCY_SCOPE = ("repro/soe/services/", "repro/transaction/")
+
+_WALL_CLOCK_FUNCS = {"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns", "process_time"}
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "extendleft",
+}
+_LOG_ATTRS = {"debug", "info", "warning", "error", "exception", "critical", "log", "count", "gauge", "observe", "warn"}
+_LOG_BASES = {"logging", "logger", "log", "obs", "warnings"}
+
+
+def _is_self_private_attr(node: ast.AST) -> bool:
+    """``self._something`` (single leading underscore, not dunder)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+        and not node.attr.startswith("__")
+    )
+
+
+def _call_name(func: ast.AST) -> str:
+    """Dotted name of a call target, best effort (``time.perf_counter``)."""
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class NoWallClockOutsideObs(Rule):
+    """RA101 — wall-clock reads must go through ``repro.obs``.
+
+    PR 1 consolidated wall-time accounting into ``obs.timed``/``obs.latency``
+    so functional timings and observability cannot drift apart. A raw
+    ``time.time()``/``perf_counter()`` in engine code reintroduces the
+    drift (and un-mockable clocks in tests).
+    """
+
+    code = "RA101"
+    name = "no-wall-clock-outside-obs"
+    description = "time.time()/perf_counter() outside repro.obs must use obs spans"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return _OBS_PATH not in rel_path
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._clock_aliases: set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_FUNCS:
+                    self._clock_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        bare = isinstance(node.func, ast.Name) and name in self._clock_aliases
+        dotted = name.startswith("time.") and name.split(".", 1)[1] in _WALL_CLOCK_FUNCS
+        if bare or dotted:
+            self.report(
+                node,
+                f"wall-clock call {name}() outside repro.obs — use obs.timed()/"
+                "obs.latency() (or obs.span) so timing stays observable",
+            )
+        self.generic_visit(node)
+
+
+@register
+class LockDiscipline(Rule):
+    """RA102 — locks are held via ``with``, never a bare ``.acquire()``.
+
+    A bare ``acquire`` without a ``try/finally`` release leaks the lock on
+    any exception between acquire and release — the classic way a worker
+    wedges the whole broker.
+    """
+
+    code = "RA102"
+    name = "lock-with-statement"
+    description = "no bare .acquire() without try/finally release; prefer `with lock:`"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._finally_protected = 0
+
+    def visit_Try(self, node: ast.Try) -> None:
+        releases = any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "release"
+            for stmt in node.finalbody
+            for n in ast.walk(stmt)
+        )
+        if releases:
+            for stmt in node.body:
+                self._finally_protected += 1
+                self.visit(stmt)
+                self._finally_protected -= 1
+            for part in (node.handlers, node.orelse, node.finalbody):
+                for stmt in part:
+                    self.visit(stmt)
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+            and self._finally_protected == 0
+        ):
+            target = _call_name(node.func.value) or "<lock>"
+            self.report(
+                node,
+                f"bare {target}.acquire() without try/finally release — "
+                f"use `with {target}:`",
+            )
+        self.generic_visit(node)
+
+
+class _LockAttrScanner(ast.NodeVisitor):
+    """Find attributes of a class that hold a ``threading.Lock``/``RLock``:
+    ``self._lock = threading.Lock()`` in any method, or a dataclass field
+    with ``default_factory=threading.Lock``."""
+
+    def __init__(self) -> None:
+        self.lock_attrs: set[str] = set()
+
+    @staticmethod
+    def _is_lock_factory(node: ast.AST) -> bool:
+        name = _call_name(node)
+        return name in ("threading.Lock", "threading.RLock", "Lock", "RLock")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call) and self._is_lock_factory(node.value.func):
+            for target in node.targets:
+                if _is_self_private_attr(target):
+                    self.lock_attrs.add(target.attr)  # type: ignore[union-attr]
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        # dataclass style: _lock: threading.Lock = field(default_factory=threading.Lock)
+        if (
+            isinstance(node.target, ast.Name)
+            and node.target.id.startswith("_")
+            and isinstance(node.value, ast.Call)
+            and _call_name(node.value.func) == "field"
+        ):
+            for kw in node.value.keywords:
+                if kw.arg == "default_factory" and self._is_lock_factory(kw.value):
+                    self.lock_attrs.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # do not descend into nested classes
+
+
+@register
+class GuardedSharedState(Rule):
+    """RA103 — in the SOE concurrency layer, private containers of a
+    lock-owning class are mutated only inside ``with self._lock``.
+
+    These are exactly the objects Figure 3 shares between the broker,
+    coordinator, and query services; an unguarded ``self._active[...] =``
+    is a data race the GIL merely makes rare, not impossible.
+    """
+
+    code = "RA103"
+    name = "guarded-shared-state"
+    description = "self._* container writes in SOE services/transaction need `with self._lock`"
+
+    #: methods that run before the object is shared
+    _SETUP_METHODS = {"__init__", "__post_init__", "__new__"}
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return any(scope in rel_path for scope in _CONCURRENCY_SCOPE)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        scanner = _LockAttrScanner()
+        for stmt in node.body:
+            scanner.visit(stmt)
+        if scanner.lock_attrs:
+            checker = _GuardedWriteChecker(self, scanner.lock_attrs)
+            self._symbol_stack.append(node.name)
+            for stmt in node.body:
+                checker.check(stmt)
+            self._symbol_stack.pop()
+        else:
+            # lock-less classes are out of scope (nothing to hold);
+            # still recurse for nested lock-owning classes
+            self._symbol_stack.append(node.name)
+            self.generic_visit(node)
+            self._symbol_stack.pop()
+
+
+class _GuardedWriteChecker:
+    """Walk one lock-owning class, tracking lock-held regions."""
+
+    def __init__(self, rule: GuardedSharedState, lock_attrs: set[str]) -> None:
+        self.rule = rule
+        self.lock_attrs = lock_attrs
+        self._held = 0
+        self._in_setup = False
+
+    def check(self, node: ast.AST) -> None:
+        method = getattr(node, "name", None)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            was_setup = self._in_setup
+            self._in_setup = method in GuardedSharedState._SETUP_METHODS
+            self.rule._symbol_stack.append(node.name)
+            for stmt in node.body:
+                self.check(stmt)
+            self.rule._symbol_stack.pop()
+            self._in_setup = was_setup
+            return
+        if isinstance(node, ast.With):
+            holds = any(
+                _is_self_private_attr(item.context_expr)
+                and item.context_expr.attr in self.lock_attrs  # type: ignore[union-attr]
+                for item in node.items
+            )
+            if holds:
+                self._held += 1
+            for stmt in node.body:
+                self.check(stmt)
+            if holds:
+                self._held -= 1
+            return
+        self._inspect(node)
+        for child in ast.iter_child_nodes(node):
+            self.check(child)
+
+    def _inspect(self, node: ast.AST) -> None:
+        if self._held or self._in_setup:
+            return
+        # subscript store / delete: self._x[k] = v, del self._x[k]
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if isinstance(target, ast.Subscript) and _is_self_private_attr(target.value):
+                self._report(target, target.value.attr)  # type: ignore[union-attr]
+        # mutation-method call in any position: self._x.append(...),
+        # nodes = self._x.setdefault(...), return self._x.pop(...)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and _is_self_private_attr(node.func.value)
+        ):
+            self._report(node, node.func.value.attr)  # type: ignore[union-attr]
+
+    def _report(self, node: ast.AST, attr: str) -> None:
+        locks = ", ".join(f"self.{name}" for name in sorted(self.lock_attrs))
+        self.rule.report(
+            node,
+            f"write to shared container self.{attr} outside `with {locks}` — "
+            "guard it or move it into __init__",
+        )
+
+
+@register
+class NoSwallowedBroadExcept(Rule):
+    """RA104 — a broad ``except`` must re-raise or log.
+
+    ``except Exception: pass`` hides exactly the failures the HTAP
+    survey calls out (OLTP/OLAP interference surfacing as rare errors);
+    rollback-then-``raise`` and log-and-continue are both fine.
+    """
+
+    code = "RA104"
+    name = "no-swallowed-broad-except"
+    description = "except Exception / bare except must re-raise or log"
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        def broad_name(n: ast.AST) -> bool:
+            return isinstance(n, ast.Name) and n.id in ("Exception", "BaseException")
+
+        if handler.type is None:
+            return True
+        if broad_name(handler.type):
+            return True
+        if isinstance(handler.type, ast.Tuple):
+            return any(broad_name(el) for el in handler.type.elts)
+        return False
+
+    @staticmethod
+    def _handles(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _LOG_ATTRS:
+                    base = _call_name(func.value).split(".")[-1]
+                    if base in _LOG_BASES or base.endswith("logger") or base.endswith("log"):
+                        return True
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad(node) and not self._handles(node):
+            what = "bare except" if node.type is None else "except Exception"
+            self.report(
+                node,
+                f"{what} neither re-raises nor logs — narrow it, re-raise, "
+                "or record it via repro.obs / logging",
+            )
+        self.generic_visit(node)
+
+
+@register
+class NoMutableDefaultArgs(Rule):
+    """RA105 — mutable default arguments.
+
+    A ``def f(x, acc=[])`` default is shared across calls; with the SOE
+    services now reachable from multiple threads this graduates from
+    footgun to data race.
+    """
+
+    code = "RA105"
+    name = "no-mutable-default-args"
+    description = "list/dict/set (or their constructors) as parameter defaults"
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray", "deque", "defaultdict")
+        )
+
+    def _check_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for default in list(node.args.defaults) + list(node.args.kw_defaults):
+            if default is not None and self._is_mutable(default):
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name}() — default to "
+                    "None and create the container inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self._visit_function(node)
+
+
+@register
+class ObsRegistrationConventions(Rule):
+    """RA106 — metric objects are not registered per call.
+
+    Hot paths use the cheap helpers (``obs.count``/``obs.observe``/
+    ``obs.latency``); touching ``registry().counter(...)`` inside a
+    function re-runs name/label interning on every call and bypasses the
+    disabled-mode guard PR 1 benchmarked (E21).
+    """
+
+    code = "RA106"
+    name = "obs-registration-at-module-scope"
+    description = "registry.counter()/histogram()/gauge() calls belong at module scope or in repro.obs"
+
+    _REGISTRATION = {"counter", "histogram", "gauge"}
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return _OBS_PATH not in rel_path
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._function_depth = 0
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._function_depth += 1
+        super()._visit_function(node)
+        self._function_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._function_depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._REGISTRATION
+            and not (isinstance(node.func.value, ast.Name) and node.func.value.id == "obs")
+        ):
+            self.report(
+                node,
+                f"per-call metric registration .{node.func.attr}(...) — register at "
+                "module scope or use the obs.count/obs.observe/obs.gauge helpers",
+            )
+        self.generic_visit(node)
