@@ -1,0 +1,94 @@
+"""E23 — availability under seeded node churn (`repro.chaos`).
+
+Claim under test: with replication=2 and failure-aware coordination
+(bounded retry + replica failover), an SOE landscape under a 10%
+per-tick node-kill schedule completes ≥99% of queries, and every
+completed query returns exactly the fault-free answer. With failover
+disabled the same schedule fails the majority of queries — replication
+alone, without a coordinator that re-plans around dead primaries, buys
+almost nothing.
+
+Measured shape: 200 aggregate queries, one chaos tick each, identical
+seeded `FaultPlan.kill_schedule` for both arms. Run directly
+(``python benchmarks/bench_fault_availability.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.chaos import ChaosController, FaultPlan  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.soe.engine import SoeEngine  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1729"))
+QUERIES = 200
+KILL_RATE = 0.10
+WORKERS = ["worker0", "worker1", "worker2"]
+
+
+def build_soe(chaos: ChaosController | None, failover: bool) -> SoeEngine:
+    soe = SoeEngine(
+        node_count=3, node_modes="olap", replication=2,
+        chaos=chaos, failover=failover,
+    )
+    soe.create_table(
+        "readings", ["sensor_id", "region", "value"], ["sensor_id"], partition_count=6
+    )
+    soe.load("readings", [[i, f"r{i % 5}", float(i % 97)] for i in range(600)])
+    return soe
+
+
+def run_arm(failover: bool) -> dict[str, float]:
+    baseline = sorted(build_soe(None, True).aggregate("readings", group_by=["region"])[0])
+    plan = FaultPlan.kill_schedule(seed=SEED, ticks=QUERIES, rate=KILL_RATE, nodes=WORKERS)
+    controller = ChaosController(plan)
+    soe = build_soe(controller, failover)
+    completed = failed = wrong = 0
+    for _ in range(QUERIES):
+        controller.tick()
+        try:
+            rows, _cost = soe.aggregate("readings", group_by=["region"])
+        except ReproError:
+            failed += 1
+            continue
+        completed += 1
+        if sorted(rows) != baseline:
+            wrong += 1
+    crashes = sum(1 for event in controller.fired if event.kind == "crash")
+    return {
+        "completed": completed,
+        "failed": failed,
+        "wrong": wrong,
+        "crashes": crashes,
+        "availability": completed / QUERIES,
+    }
+
+
+def test_failover_meets_availability_target():
+    stats = run_arm(failover=True)
+    assert stats["availability"] >= 0.99, stats
+    assert stats["wrong"] == 0, "a completed query returned a non-baseline answer"
+    assert stats["crashes"] > 0, "the kill schedule never fired — benchmark is vacuous"
+
+
+def test_no_failover_fails_the_majority():
+    stats = run_arm(failover=False)
+    assert stats["availability"] < 0.5, stats
+    assert stats["wrong"] == 0
+
+
+if __name__ == "__main__":
+    for arm, failover in (("failover=on", True), ("failover=off", False)):
+        stats = run_arm(failover)
+        print(
+            f"[E23] {arm}  queries={QUERIES}  kill_rate={KILL_RATE:.0%}  "
+            f"seed={SEED}  crashes={stats['crashes']}  "
+            f"completed={stats['completed']}  failed={stats['failed']}  "
+            f"wrong={stats['wrong']}  availability={stats['availability']:.1%}"
+        )

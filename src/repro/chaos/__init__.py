@@ -1,0 +1,44 @@
+"""repro.chaos — deterministic fault injection for the scale-out landscape.
+
+The paper's Figure 3 architecture only earns its "thousands of nodes"
+claim if node death, lost messages, log fences, and unreachable remote
+sources are *expected* events. This package makes them schedulable:
+
+* :class:`FaultSpec` / :class:`FaultPlan` — a replayable schedule of
+  faults, addressed by seam event index (not wall time), built either
+  explicitly or from a seed (:meth:`FaultPlan.from_seed`,
+  :meth:`FaultPlan.kill_schedule`);
+* :class:`ChaosController` — applies a plan at the instrumented seams:
+  ``SimulatedCluster.transfer`` (drop/delay), ``Node.service``
+  (crash/slow), ``SharedLog.append`` (stall/seal), federation
+  ``RemoteSource.scan`` (outage, via :meth:`ChaosController.wrap_source`),
+  plus an explicit :meth:`ChaosController.tick` schedule step;
+* :class:`FaultEvent` — the record of one firing, for replay assertions.
+
+A seeded session::
+
+    from repro.chaos import ChaosController, FaultPlan
+    from repro.soe.engine import SoeEngine
+
+    plan = FaultPlan.kill_schedule(seed=42, ticks=50, rate=0.1,
+                                   nodes=["worker0", "worker1", "worker2"])
+    soe = SoeEngine(node_count=3, replication=2,
+                    chaos=ChaosController(plan))
+    ...  # run queries; soe.chaos.fired lists every fault that hit
+
+Identical seeds produce identical fault schedules and — because retries
+and backoff are charged to the simulated clock — identical recovery
+traces, so any chaos failure is replayable from its seed.
+"""
+
+from repro.chaos.controller import ChaosController, ChaosRemoteSource, FaultEvent
+from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "SEAM_KINDS",
+    "ChaosController",
+    "ChaosRemoteSource",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+]

@@ -1,0 +1,206 @@
+"""The chaos controller: applies a fault plan at the instrumented seams.
+
+The controller is *pulled*, never pushed: each seam calls into it at the
+moment the real operation would happen (``SimulatedCluster.transfer``,
+``Node.service``, ``SharedLog.append``, a wrapped ``RemoteSource.scan``,
+or an explicit :meth:`ChaosController.tick`), the controller advances
+that seam's event counter, and any fault scheduled at that index fires —
+by raising the matching :class:`~repro.errors.RetryableError` subtype,
+killing a node, sealing the log, or charging delay to the shared
+:class:`~repro.util.retry.SimulatedClock`. No background threads, no
+wall clocks: two runs over the same plan and the same workload fire the
+same faults at the same points, which is what makes a chaos failure a
+*replayable* failure.
+
+Every firing is recorded in :attr:`ChaosController.fired` and counted
+into the ``chaos.faults`` metric (labelled by kind and seam) so v2stats
+can correlate injected faults with the coordinator's retry/failover
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.errors import (
+    LogSealedError,
+    LogStallError,
+    NodeUnavailableError,
+    RemoteSourceUnavailableError,
+    TransferDroppedError,
+)
+from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec
+from repro.util.retry import SimulatedClock
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    seam: str
+    event: int
+    kind: str
+    target: str | None
+    clock: float
+
+    def describe(self) -> str:
+        who = f" target={self.target}" if self.target else ""
+        return f"{self.kind}@{self.seam}[{self.event}]{who} t={self.clock:.6f}"
+
+
+class ChaosController:
+    """Executes one :class:`FaultPlan` against a landscape."""
+
+    def __init__(self, plan: FaultPlan, clock: SimulatedClock | None = None) -> None:
+        self.plan = plan
+        self.clock = clock or SimulatedClock()
+        self.cluster: Any = None
+        self.log: Any = None
+        self._by_seam = {seam: plan.for_seam(seam) for seam in SEAM_KINDS}
+        self._counters: dict[str, int] = {seam: 0 for seam in SEAM_KINDS}
+        self.fired: list[FaultEvent] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def install(self, cluster: Any = None, log: Any = None) -> "ChaosController":
+        """Attach to a cluster and/or shared log (their seams then consult
+        this controller); returns self for chaining."""
+        if cluster is not None:
+            self.cluster = cluster
+            cluster.chaos = self
+        if log is not None:
+            self.log = log
+            log.chaos = self
+        return self
+
+    def wrap_source(self, source: Any) -> "ChaosRemoteSource":
+        """Proxy a federation source through the ``remote_scan`` seam."""
+        return ChaosRemoteSource(source, self)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _due(self, seam: str) -> list[tuple[int, FaultSpec]]:
+        """Advance the seam's event counter; return the faults due now."""
+        event = self._counters[seam]
+        self._counters[seam] = event + 1
+        return [(event, spec) for spec in self._by_seam[seam].get(event, ())]
+
+    def _record(self, seam: str, event: int, spec: FaultSpec) -> None:
+        self.fired.append(
+            FaultEvent(seam, event, spec.kind, spec.target, self.clock.now)
+        )
+        obs.count("chaos.faults", kind=spec.kind, seam=seam)
+
+    def schedule_fingerprint(self) -> tuple[tuple[str, int, str, str | None], ...]:
+        """Clock-free identity of everything that fired, for determinism
+        assertions: identical seed ⇒ identical fingerprint."""
+        return tuple((e.seam, e.event, e.kind, e.target) for e in self.fired)
+
+    def events_seen(self, seam: str) -> int:
+        return self._counters[seam]
+
+    # -- seams --------------------------------------------------------------
+
+    def on_transfer(self, source: str, target: str, payload_bytes: int) -> float:
+        """Transfer seam: may drop the message or return extra delay."""
+        extra = 0.0
+        for event, spec in self._due("transfer"):
+            if spec.target is not None and spec.target not in (source, target):
+                continue
+            self._record("transfer", event, spec)
+            if spec.kind == "drop":
+                raise TransferDroppedError(
+                    f"chaos: transfer {source}->{target} dropped (event {event})"
+                )
+            self.clock.advance(spec.seconds)
+            extra += spec.seconds
+        return extra
+
+    def on_service(self, node_id: str, service_name: str = "") -> None:
+        """Service-access seam: may crash the node or slow it down."""
+        for event, spec in self._due("service"):
+            if spec.kind == "crash":
+                victim = spec.target or node_id
+                self._record("service", event, spec)
+                if self.cluster is not None and victim in self.cluster.nodes:
+                    self.cluster.nodes[victim].alive = False
+                if victim == node_id:
+                    raise NodeUnavailableError(
+                        node_id,
+                        f"chaos: node {node_id} crashed serving "
+                        f"{service_name or '<service>'} (event {event})",
+                    )
+            elif spec.kind == "slow":
+                if spec.target is None or spec.target == node_id:
+                    self._record("service", event, spec)
+                    self.clock.advance(spec.seconds)
+
+    def on_log_append(self, log: Any = None) -> None:
+        """Shared-log append seam: may stall the append or seal the log."""
+        log = log if log is not None else self.log
+        for event, spec in self._due("log_append"):
+            self._record("log_append", event, spec)
+            if spec.kind == "stall":
+                raise LogStallError(f"chaos: log append stalled (event {event})")
+            if spec.kind == "seal":
+                if log is not None:
+                    log.seal()
+                raise LogSealedError(
+                    f"chaos: log sealed mid-append (event {event})"
+                )
+
+    def on_remote_scan(self, source_name: str, remote_table: str) -> None:
+        """Federation seam: may make the remote source unreachable."""
+        for event, spec in self._due("remote_scan"):
+            if spec.target is not None and spec.target.lower() != source_name.lower():
+                continue
+            self._record("remote_scan", event, spec)
+            raise RemoteSourceUnavailableError(
+                f"chaos: source {source_name!r} unreachable scanning "
+                f"{remote_table!r} (event {event})"
+            )
+
+    def tick(self) -> list[FaultEvent]:
+        """Advance the explicit schedule one step (typically one query);
+        applies crash/revive faults bound to the ``tick`` seam and returns
+        what fired."""
+        before = len(self.fired)
+        for event, spec in self._due("tick"):
+            self._record("tick", event, spec)
+            if self.cluster is None or spec.target is None:
+                continue
+            if spec.kind == "crash":
+                self.cluster.kill(spec.target)
+            elif spec.kind == "revive":
+                self.cluster.revive(spec.target)
+        return self.fired[before:]
+
+
+class ChaosRemoteSource:
+    """A :class:`~repro.federation.sda.RemoteSource` proxy whose calls
+    pass the chaos ``remote_scan`` seam before reaching the real source."""
+
+    def __init__(self, inner: Any, controller: ChaosController) -> None:
+        self._inner = inner
+        self._controller = controller
+        self.name = inner.name
+
+    def capabilities(self) -> set[str]:
+        return self._inner.capabilities()
+
+    def table_schema(self, remote_table: str) -> Any:
+        return self._inner.table_schema(remote_table)
+
+    def scan(self, remote_table: str, filters: Any = None) -> list[list[Any]]:
+        self._controller.on_remote_scan(self.name, remote_table)
+        return self._inner.scan(remote_table, filters)
+
+    def aggregate(self, remote_table: str, *args: Any, **kwargs: Any) -> Any:
+        self._controller.on_remote_scan(self.name, remote_table)
+        return self._inner.aggregate(remote_table, *args, **kwargs)
+
+    def execute_sql(self, sql: str) -> Any:
+        self._controller.on_remote_scan(self.name, "<sql>")
+        return self._inner.execute_sql(sql)

@@ -1,0 +1,194 @@
+"""Fault plans: a replayable schedule of injected failures.
+
+A :class:`FaultPlan` is a plain, sorted tuple of :class:`FaultSpec`
+entries — **data, not behaviour** — so a schedule can be printed,
+diffed, stored next to a failing test, and handed to a fresh
+:class:`~repro.chaos.controller.ChaosController` for an identical
+replay. Faults are addressed by *seam event index*, not wall time: the
+Nth invocation of an instrumented seam fires the faults scheduled at N,
+which is what makes a schedule deterministic regardless of how fast the
+host machine runs.
+
+Seeded constructors (:meth:`FaultPlan.from_seed`,
+:meth:`FaultPlan.kill_schedule`) derive the whole schedule up front from
+one ``random.Random(seed)`` stream, so identical seeds (e.g. the CI
+matrix's ``REPRO_CHAOS_SEED``) always produce identical plans.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ChaosError
+
+#: seam name -> fault kinds that may fire there
+SEAM_KINDS: dict[str, frozenset[str]] = {
+    "transfer": frozenset({"drop", "delay"}),        # SimulatedCluster.transfer
+    "service": frozenset({"crash", "slow"}),         # Node.service / task dispatch
+    "log_append": frozenset({"stall", "seal"}),      # SharedLog.append
+    "remote_scan": frozenset({"outage"}),            # federation RemoteSource.scan
+    "tick": frozenset({"crash", "revive"}),          # explicit schedule steps
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` at the ``at_event``-th
+    invocation of ``seam`` (optionally only for ``target``)."""
+
+    kind: str
+    seam: str
+    at_event: int
+    target: str | None = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        kinds = SEAM_KINDS.get(self.seam)
+        if kinds is None:
+            raise ChaosError(f"unknown seam {self.seam!r} (know {sorted(SEAM_KINDS)})")
+        if self.kind not in kinds:
+            raise ChaosError(
+                f"fault kind {self.kind!r} is not valid at seam {self.seam!r} "
+                f"(valid: {sorted(kinds)})"
+            )
+        if self.at_event < 0:
+            raise ChaosError("at_event must be >= 0")
+        if self.seconds < 0:
+            raise ChaosError("fault seconds must be >= 0")
+
+    def describe(self) -> str:
+        where = f"@{self.seam}[{self.at_event}]"
+        who = f" target={self.target}" if self.target else ""
+        lag = f" +{self.seconds}s" if self.seconds else ""
+        return f"{self.kind}{where}{who}{lag}"
+
+
+class FaultPlan:
+    """An immutable, ordered collection of fault specs."""
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        self.faults: tuple[FaultSpec, ...] = tuple(
+            sorted(
+                faults,
+                key=lambda s: (s.seam, s.at_event, s.kind, s.target or ""),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.faults + other.faults)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self.faults == other.faults
+
+    def __hash__(self) -> int:
+        return hash(self.faults)
+
+    def for_seam(self, seam: str) -> dict[int, list[FaultSpec]]:
+        """event index → faults scheduled there, for one seam."""
+        by_event: dict[int, list[FaultSpec]] = {}
+        for spec in self.faults:
+            if spec.seam == seam:
+                by_event.setdefault(spec.at_event, []).append(spec)
+        return by_event
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "<empty fault plan>"
+        return "\n".join(spec.describe() for spec in self.faults)
+
+    # -- seeded constructors ------------------------------------------------
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        horizon: int = 100,
+        nodes: Sequence[str] = (),
+        sources: Sequence[str] = (),
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 0.002,
+        crash_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_seconds: float = 0.005,
+        stall_rate: float = 0.0,
+        seal_rate: float = 0.0,
+        outage_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """Bernoulli-draw one fault decision per seam per event index.
+
+        The draw order is fixed (event-major, seam order as written), so
+        the plan is a pure function of the arguments — replaying a seed
+        replays the schedule exactly.
+        """
+        rng = random.Random(seed)
+        node_pool = sorted(nodes)
+        source_pool = sorted(sources)
+        faults: list[FaultSpec] = []
+        for event in range(horizon):
+            if drop_rate and rng.random() < drop_rate:
+                faults.append(FaultSpec("drop", "transfer", event))
+            if delay_rate and rng.random() < delay_rate:
+                faults.append(
+                    FaultSpec("delay", "transfer", event, seconds=delay_seconds)
+                )
+            if crash_rate and rng.random() < crash_rate:
+                target = rng.choice(node_pool) if node_pool else None
+                faults.append(FaultSpec("crash", "service", event, target))
+            if slow_rate and rng.random() < slow_rate:
+                faults.append(
+                    FaultSpec("slow", "service", event, seconds=slow_seconds)
+                )
+            if stall_rate and rng.random() < stall_rate:
+                faults.append(FaultSpec("stall", "log_append", event))
+            if seal_rate and rng.random() < seal_rate:
+                faults.append(FaultSpec("seal", "log_append", event))
+            if outage_rate and source_pool and rng.random() < outage_rate:
+                faults.append(
+                    FaultSpec("outage", "remote_scan", event, rng.choice(source_pool))
+                )
+        return cls(faults)
+
+    @classmethod
+    def kill_schedule(
+        cls,
+        seed: int,
+        *,
+        ticks: int,
+        rate: float,
+        nodes: Sequence[str],
+    ) -> "FaultPlan":
+        """A node-kill/repair schedule on the ``tick`` seam.
+
+        At each tick, with probability ``rate``, one node (never the one
+        already down) crashes and the previously crashed node — if any —
+        is repaired first, so at most one node is dead at a time. This
+        models a cluster with working supervision (the paper's
+        v2clustermgr restarts services) under a steady fault rate.
+        """
+        if not nodes:
+            raise ChaosError("kill_schedule needs at least one node")
+        rng = random.Random(seed)
+        pool = sorted(nodes)
+        faults: list[FaultSpec] = []
+        dead: str | None = None
+        for tick in range(ticks):
+            if rng.random() < rate:
+                candidates = [n for n in pool if n != dead]
+                if not candidates:
+                    continue
+                victim = rng.choice(candidates)
+                if dead is not None:
+                    faults.append(FaultSpec("revive", "tick", tick, dead))
+                faults.append(FaultSpec("crash", "tick", tick, victim))
+                dead = victim
+        return cls(faults)

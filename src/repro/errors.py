@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class RetryableError(Exception):
+    """Mixin marking an error as *transient*: a bounded retry (with backoff)
+    may clear it — the node can revive, the message can be resent, the log
+    can reopen. Retry policy is type-driven (``except RetryableError``),
+    never matched on message strings; combine it with the subsystem error
+    (e.g. ``class TransferDroppedError(ClusterError, RetryableError)``) so
+    existing ``except ClusterError`` handlers keep working."""
+
+
 class CatalogError(ReproError):
     """Schema/catalog level problem (unknown or duplicate object)."""
 
@@ -135,12 +144,41 @@ class ClusterError(SoeError):
     """Cluster membership / service orchestration failure."""
 
 
+class NodeUnavailableError(ClusterError, RetryableError):
+    """A node is (currently) down — a replica or a later retry may serve."""
+
+    def __init__(self, node_id: str, message: str | None = None) -> None:
+        super().__init__(message or f"node {node_id} is down")
+        self.node_id = node_id
+
+
+class TransferDroppedError(ClusterError, RetryableError):
+    """A simulated network transfer was dropped (chaos); resend to clear."""
+
+
 class LogError(SoeError):
     """Distributed shared-log failure (hole, trimmed address, seal)."""
 
 
+class LogStallError(LogError, RetryableError):
+    """The shared log momentarily cannot accept appends; retry with backoff."""
+
+
+class LogSealedError(LogError, RetryableError):
+    """A segment is sealed (reconfiguration fence); reopen, then retry."""
+
+
 class CoordinationError(SoeError):
     """Distributed query coordination failure."""
+
+
+class DeadlineExceededError(CoordinationError):
+    """The per-query deadline elapsed on the simulated clock (terminal —
+    deliberately *not* retryable: the budget is spent)."""
+
+
+class ChaosError(ReproError):
+    """Invalid fault plan or chaos-controller misuse."""
 
 
 class HadoopError(ReproError):
@@ -161,6 +199,10 @@ class YarnError(HadoopError):
 
 class FederationError(ReproError):
     """Smart-Data-Access / remote source failure."""
+
+
+class RemoteSourceUnavailableError(FederationError, RetryableError):
+    """A federated source is temporarily unreachable."""
 
 
 class StreamingError(ReproError):

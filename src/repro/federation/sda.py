@@ -22,6 +22,7 @@ from typing import Any, Protocol
 from repro import obs
 from repro.core.schema import TableSchema
 from repro.errors import FederationError
+from repro.util.retry import RetryPolicy, SimulatedClock
 
 FilterTriple = tuple[str, str, Any]  # (column, op, literal)
 
@@ -60,7 +61,14 @@ class TransferLedger:
 
 
 class VirtualTable:
-    """A catalog object backed by a remote source (row-store protocol)."""
+    """A catalog object backed by a remote source (row-store protocol).
+
+    Remote calls run under a bounded :class:`RetryPolicy` — a transient
+    source outage (``RemoteSourceUnavailableError``, e.g. injected by
+    repro.chaos) is retried with backoff on the simulated clock and
+    counted into ``federation.retries``; a persistent outage surfaces as
+    the original :class:`~repro.errors.FederationError` subtype.
+    """
 
     def __init__(
         self,
@@ -68,26 +76,39 @@ class VirtualTable:
         source: RemoteSource,
         remote_table: str,
         ledger: TransferLedger,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         self.name = name
         self.source = source
         self.remote_table = remote_table
         self.schema = source.table_schema(remote_table)
         self.ledger = ledger
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.clock = clock or SimulatedClock()
         self.is_virtual = True
+
+    def _remote(self, fn: Any) -> list[list[Any]]:
+        return self.retry_policy.call(
+            fn,
+            clock=self.clock,
+            on_retry=lambda _attempt, _exc: obs.count(
+                "federation.retries", source=self.source.name.lower()
+            ),
+        )
 
     def scan(self, snapshot_cid: int, own_tid: int = 0) -> list[list[Any]]:
         """Full remote scan (the executor's row-store protocol)."""
-        rows = self.source.scan(self.remote_table)
+        rows = self._remote(lambda: self.source.scan(self.remote_table))
         self.ledger.record(rows)
         return rows
 
     def scan_with_filters(self, filters: list[FilterTriple]) -> list[list[Any]]:
         """Scan with pushed-down filters when the source supports it."""
         if "filter" in self.source.capabilities():
-            rows = self.source.scan(self.remote_table, filters)
+            rows = self._remote(lambda: self.source.scan(self.remote_table, filters))
         else:
-            rows = self.source.scan(self.remote_table)
+            rows = self._remote(lambda: self.source.scan(self.remote_table))
         self.ledger.record(rows)
         return rows
 
@@ -98,10 +119,27 @@ class VirtualTable:
 class SmartDataAccess:
     """The federation frontend attached to one database."""
 
-    def __init__(self, database: Any) -> None:
+    def __init__(
+        self,
+        database: Any,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
         self.database = database
         self._sources: dict[str, RemoteSource] = {}
         self.ledger = TransferLedger()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.clock = clock or SimulatedClock()
+
+    def _remote(self, source_name: str, fn: Any) -> list[list[Any]]:
+        """One remote call under the bounded retry policy."""
+        return self.retry_policy.call(
+            fn,
+            clock=self.clock,
+            on_retry=lambda _attempt, _exc: obs.count(
+                "federation.retries", source=source_name.lower()
+            ),
+        )
 
     # -- sources ---------------------------------------------------------------
 
@@ -126,7 +164,14 @@ class SmartDataAccess:
         self, local_name: str, source_name: str, remote_table: str
     ) -> VirtualTable:
         source = self.source(source_name)
-        virtual = VirtualTable(local_name.lower(), source, remote_table, self.ledger)
+        virtual = VirtualTable(
+            local_name.lower(),
+            source,
+            remote_table,
+            self.ledger,
+            retry_policy=self.retry_policy,
+            clock=self.clock,
+        )
         self.database.catalog.register_table(virtual)
         return virtual
 
@@ -148,7 +193,12 @@ class SmartDataAccess:
             )
         obs.count("federation.pushdowns", kind="aggregate", source=source_name.lower())
         with obs.latency("federation.pushdown_seconds", source=source_name.lower()):
-            rows = source.aggregate(remote_table, group_by, aggregates, filters or [])  # type: ignore[attr-defined]
+            rows = self._remote(
+                source_name,
+                lambda: source.aggregate(  # type: ignore[attr-defined]
+                    remote_table, group_by, aggregates, filters or []
+                ),
+            )
         self.ledger.record(rows)
         return rows
 
@@ -159,6 +209,6 @@ class SmartDataAccess:
             raise FederationError(f"source {source_name!r} cannot execute SQL")
         obs.count("federation.pushdowns", kind="sql", source=source_name.lower())
         with obs.latency("federation.pushdown_seconds", source=source_name.lower()):
-            rows = source.execute_sql(sql)  # type: ignore[attr-defined]
+            rows = self._remote(source_name, lambda: source.execute_sql(sql))  # type: ignore[attr-defined]
         self.ledger.record(rows)
         return rows

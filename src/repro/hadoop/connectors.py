@@ -28,7 +28,7 @@ from repro import obs
 from repro.aging.tiering import aged_ordinals
 from repro.columnstore.table import ColumnTable
 from repro.core.database import Database
-from repro.errors import HadoopError, LogError
+from repro.errors import HadoopError, LogError, LogSealedError
 from repro.hadoop.hdfs import HdfsCluster
 from repro.soe.cluster import NetworkModel
 from repro.soe.engine import SoeEngine
@@ -120,7 +120,7 @@ class HdfsSegmentStore:
 
     def write(self, address: int, payload: Any) -> None:
         if self.sealed_at is not None and address >= self.sealed_at:
-            raise LogError(f"segment {self.name} sealed at {self.sealed_at}")
+            raise LogSealedError(f"segment {self.name} sealed at {self.sealed_at}")
         if address in self._entries:
             raise LogError(f"address {address} already written in {self.name}")
         self.hdfs.append(self.path, [json.dumps({"a": address, "p": payload})])

@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, NodeUnavailableError
 
 
 @dataclass
@@ -60,9 +60,19 @@ class Node:
     def host(self, service_name: str, service: Any) -> None:
         self.services[service_name] = service
 
-    def service(self, service_name: str) -> Any:
+    def check_available(self, service_name: str = "") -> None:
+        """The service-access seam: chaos hook first (a scheduled crash
+        fires here), then the liveness gate. Raises
+        :class:`NodeUnavailableError` (retryable — the failure-aware
+        coordinator fails partition reads over to a replica)."""
+        chaos = self.cluster.chaos
+        if chaos is not None:
+            chaos.on_service(self.node_id, service_name)
         if not self.alive:
-            raise ClusterError(f"node {self.node_id} is down")
+            raise NodeUnavailableError(self.node_id)
+
+    def service(self, service_name: str) -> Any:
+        self.check_available(service_name)
         try:
             return self.services[service_name]
         except KeyError:
@@ -81,6 +91,9 @@ class SimulatedCluster:
     network: NetworkModel = field(default_factory=NetworkModel)
     nodes: dict[str, Node] = field(default_factory=dict)
     stats: TransferStats = field(default_factory=TransferStats)
+    #: optional fault injector (repro.chaos.ChaosController); consulted by
+    #: the transfer and service seams when installed
+    chaos: Any = None
     _counter: itertools.count = field(default_factory=lambda: itertools.count(1))
 
     def add_node(self, node_id: str | None = None) -> Node:
@@ -117,7 +130,11 @@ class SimulatedCluster:
         """
         if source == target:
             return 0.0
-        seconds = self.network.cost(payload_bytes)
+        extra = 0.0
+        if self.chaos is not None:
+            # may raise TransferDroppedError (retryable: the sender resends)
+            extra = self.chaos.on_transfer(source, target, payload_bytes)
+        seconds = self.network.cost(payload_bytes) + extra
         self.stats.messages += 1
         self.stats.bytes_total += payload_bytes
         self.stats.simulated_seconds += seconds

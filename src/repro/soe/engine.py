@@ -33,6 +33,7 @@ from repro.soe.services.query_service import QueryService
 from repro.soe.services.shared_log import SharedLog
 from repro.soe.services.transaction_broker import TransactionBroker
 from repro.soe.tasks import AggregateSpec, Filter
+from repro.util.retry import RetryPolicy, SimulatedClock
 
 
 class SoeEngine:
@@ -47,6 +48,11 @@ class SoeEngine:
         replication: int = 1,
         network: NetworkModel | None = None,
         log_store_factory: Any = None,
+        chaos: Any = None,
+        retry_policy: RetryPolicy | None = None,
+        failover: bool = True,
+        staleness_bound: int = 0,
+        deadline_seconds: float | None = None,
     ) -> None:
         if node_count < 1:
             raise SoeError("need at least one node")
@@ -56,11 +62,18 @@ class SoeEngine:
             replication=log_replication,
             store_factory=log_store_factory,
         )
-        self.broker = TransactionBroker(self.log)
+        #: optional repro.chaos.ChaosController; every retry/backoff in the
+        #: landscape shares its simulated clock so recovery is replayable
+        self.chaos = chaos
+        self.clock = chaos.clock if chaos is not None else SimulatedClock()
+        policy = retry_policy or RetryPolicy()
+        self.broker = TransactionBroker(
+            self.log, retry_policy=policy, clock=self.clock
+        )
         self.catalog = CatalogService()
         self.discovery = DiscoveryService()
         self.auth = AuthorizationService()
-        self.stats = ClusterStatisticsService()
+        self.stats = ClusterStatisticsService(cluster=self.cluster)
         self.manager = ClusterManager(
             self.cluster, self.catalog, self.discovery, self.stats
         )
@@ -80,6 +93,11 @@ class SoeEngine:
             cluster=self.cluster,
             catalog=self.catalog,
             broker=self.broker,
+            retry_policy=policy,
+            clock=self.clock,
+            failover=failover,
+            staleness_bound=staleness_bound,
+            deadline_seconds=deadline_seconds,
         )
         coordinator_node.host("v2dqp", self.coordinator)
         self.discovery.announce("v2dqp", coordinator_node.node_id)
@@ -98,6 +116,9 @@ class SoeEngine:
             self.manager.start_service(node.node_id, "v2lqp", service)
             self.coordinator.register_query_service(service)
             self.data_nodes[node.node_id] = data_node
+
+        if chaos is not None:
+            chaos.install(cluster=self.cluster, log=self.log)
 
     # -- DDL / load ---------------------------------------------------------------
 

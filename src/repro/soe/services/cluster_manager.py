@@ -34,19 +34,33 @@ class ClusterStatisticsService:
     """v2stats: per-node usage counters."""
 
     query_services: dict[str, QueryService] = field(default_factory=dict)
+    #: when set, node_load()/hotspots() skip dead nodes — a crashed node's
+    #: counters are unreachable in a real landscape, and folding its frozen
+    #: load into the mean poisons hotspot detection
+    cluster: SimulatedCluster | None = None
 
     def register(self, service: QueryService) -> None:
         self.query_services[service.node_id] = service
 
+    def _dead(self, node_id: str) -> bool:
+        if self.cluster is None or node_id not in self.cluster.nodes:
+            return False
+        return not self.cluster.nodes[node_id].alive
+
     def node_load(self) -> dict[str, int]:
-        """Rows processed per node since start."""
-        return {
-            node_id: service.rows_processed
-            for node_id, service in self.query_services.items()
-        }
+        """Rows processed per live node since start."""
+        loads: dict[str, int] = {}
+        for node_id, service in self.query_services.items():
+            if self._dead(node_id):
+                obs.count("soe.stats.dead_node_skips")
+                continue
+            loads[node_id] = service.rows_processed
+        return loads
 
     def hotspots(self, factor: float = 2.0) -> list[str]:
-        """Nodes whose load exceeds ``factor`` × mean load."""
+        """Live nodes whose load exceeds ``factor`` × mean live load
+        (dead nodes drop out via :meth:`node_load`, so they can neither
+        be hotspots nor drag the mean down)."""
         loads = self.node_load()
         if not loads:
             return []

@@ -28,7 +28,13 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro import obs
-from repro.errors import CoordinationError
+from repro.errors import (
+    CoordinationError,
+    DeadlineExceededError,
+    NodeUnavailableError,
+    RetryableError,
+    TransferDroppedError,
+)
 from repro.soe.cluster import SimulatedCluster
 from repro.soe.codegen import finalize_groups, merge_group_states
 from repro.soe.partitions import route_row
@@ -36,6 +42,7 @@ from repro.soe.services.catalog_service import CatalogService
 from repro.soe.services.query_service import QueryService
 from repro.soe.services.transaction_broker import TransactionBroker
 from repro.soe.tasks import AggregateSpec, Filter, TaskDag
+from repro.util.retry import RetryPolicy, SimulatedClock
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,13 @@ class PlanCost:
     wall_seconds: float = 0.0
     tasks: int = 0
     strategy: str = ""
+    #: transient-failure recoveries charged to this plan (resends + re-runs)
+    retries: int = 0
+    #: partition reads served by a replica because the primary was down
+    failovers: int = 0
+    #: True when any partition was served by a replica that still lagged
+    #: the log (within the coordinator's staleness bound)
+    degraded: bool = False
 
     def as_dict(self) -> dict[str, float | str]:
         return {
@@ -82,18 +96,45 @@ class PlanCost:
             "wall_seconds": self.wall_seconds,
             "tasks": float(self.tasks),
             "strategy": self.strategy,
+            "retries": float(self.retries),
+            "failovers": float(self.failovers),
+            "degraded": float(self.degraded),
         }
 
 
 @dataclass
 class Coordinator:
-    """The v2dqp service instance."""
+    """The v2dqp service instance.
+
+    **Failure awareness:** every strategy body runs under
+    :meth:`_recover` — a transient failure (dead node, dropped transfer,
+    chaos crash) triggers a bounded re-plan-and-retry with exponential
+    backoff charged to the *simulated* clock. Re-planning recomputes
+    :meth:`_assignments` against current liveness, which is how a
+    partition read fails over from a dead primary to a live replica
+    (within ``staleness_bound`` committed transactions of the log tail;
+    a stale-but-bounded serve marks the plan ``degraded``). A per-query
+    ``deadline_seconds`` budget on the simulated clock aborts hopeless
+    queries with :class:`~repro.errors.DeadlineExceededError`. Counters:
+    ``soe.coordinator.retries`` / ``failovers`` / ``degraded_reads`` /
+    ``failover_catch_ups`` / ``deadline_aborts``.
+    """
 
     node_id: str
     cluster: SimulatedCluster
     catalog: CatalogService
     broker: TransactionBroker
     query_services: dict[str, QueryService] = field(default_factory=dict)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+    #: replica failover for partition reads (the benchmark's control knob)
+    failover: bool = True
+    #: max committed-but-unapplied transactions a failover replica may
+    #: serve with; beyond it the replica is caught up first
+    staleness_bound: int = 0
+    #: per-query budget on the simulated clock (None = no deadline)
+    deadline_seconds: float | None = None
+    _deadline_at: float | None = field(default=None, init=False, repr=False)
 
     def register_query_service(self, service: QueryService) -> None:
         self.query_services[service.node_id] = service
@@ -111,6 +152,11 @@ class Coordinator:
         the numbers v2stats reads.
         """
         cost = PlanCost(strategy=strategy)
+        self._deadline_at = (
+            self.clock.now + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
         with obs.timed("soe.coordinator.plan_seconds", strategy=strategy) as timer:
             yield cost
         cost.wall_seconds = timer.seconds
@@ -118,20 +164,126 @@ class Coordinator:
         obs.count("soe.coordinator.bytes_shipped", cost.bytes_shipped, strategy=strategy)
         obs.count("soe.coordinator.tasks", cost.tasks, strategy=strategy)
 
-    def _assignments(self, table: str) -> dict[str, list[int]]:
+    def _check_deadline(self) -> None:
+        """Abort the query once the simulated clock passes its budget.
+        :class:`DeadlineExceededError` is a plain ``CoordinationError`` —
+        deliberately *not* retryable, so it punches through recovery."""
+        if self._deadline_at is not None and self.clock.now > self._deadline_at:
+            obs.count("soe.coordinator.deadline_aborts")
+            raise DeadlineExceededError(
+                f"query exceeded its {self.deadline_seconds}s deadline "
+                f"(simulated clock {self.clock.now:.6f})"
+            )
+
+    def _charge(self, seconds: float) -> None:
+        """Charge simulated seconds to the query clock, then enforce the
+        deadline — network time and backoff spend the same budget."""
+        self.clock.advance(seconds)
+        self._check_deadline()
+
+    def _recover(self, cost: PlanCost, body: Any) -> Any:
+        """Plan-level recovery: re-run the whole strategy body on any
+        transient failure. Re-running re-plans — :meth:`_assignments`
+        recomputes against *current* liveness, so the retry lands on live
+        replicas instead of the node that just died."""
+        last: RetryableError | None = None
+        for attempt, delay in self.retry_policy.schedule():
+            if attempt:
+                self._charge(delay)
+                cost.retries += 1
+                obs.count("soe.coordinator.retries")
+            try:
+                return body()
+            except RetryableError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def _transfer(
+        self, source: str, target: str, payload_bytes: int, cost: PlanCost
+    ) -> float:
+        """One charged transfer with bounded resend: a dropped message
+        (chaos) is resent under the retry policy rather than failing the
+        whole plan; every resend pays backoff on the simulated clock."""
+        last: TransferDroppedError | None = None
+        for attempt, delay in self.retry_policy.schedule():
+            if attempt:
+                self._charge(delay)
+                cost.retries += 1
+                obs.count("soe.coordinator.retries")
+            try:
+                seconds = self.cluster.transfer(source, target, payload_bytes)
+            except TransferDroppedError as exc:
+                last = exc
+                continue
+            if source != target:
+                cost.bytes_shipped += payload_bytes
+                cost.messages += 1
+                cost.simulated_network_seconds += seconds
+                self._charge(seconds)
+            return seconds
+        assert last is not None
+        raise last
+
+    def _service_for(self, node_id: str) -> QueryService:
+        """Resolve the v2lqp service on a node through the availability
+        seam (liveness gate; scheduled chaos crashes fire here)."""
+        self.cluster.node(node_id).check_available("v2lqp")
+        service = self.query_services.get(node_id)
+        if service is None:
+            raise CoordinationError(f"no query service on {node_id}")
+        return service
+
+    def _assignments(
+        self, table: str, cost: PlanCost | None = None
+    ) -> dict[str, list[int]]:
         """node id → partition ids it will scan (one replica per partition,
-        spread across live hosts)."""
+        spread across hosts; dead primaries fail over when enabled)."""
         placement = self.catalog.placement_of(table)
         assignments: dict[str, list[int]] = {}
         for partition_id, nodes in placement.items():
-            alive = [n for n in nodes if self.cluster.node(n).alive]
-            if not alive:
-                raise CoordinationError(
-                    f"no live replica of {table}#{partition_id}"
-                )
-            chosen = alive[partition_id % len(alive)]
+            chosen = self._choose_host(table, partition_id, nodes, cost)
             assignments.setdefault(chosen, []).append(partition_id)
         return assignments
+
+    def _choose_host(
+        self,
+        table: str,
+        partition_id: int,
+        replicas: list[str],
+        cost: PlanCost | None,
+    ) -> str:
+        """Pick the serving replica for one partition. The deterministic
+        primary is ``replicas[partition_id % len(replicas)]``; a dead
+        primary fails over to a live replica — caught up first when it
+        lags more than ``staleness_bound``, marked degraded otherwise."""
+        primary = replicas[partition_id % len(replicas)]
+        if self.cluster.node(primary).alive:
+            return primary
+        if not self.failover:
+            raise NodeUnavailableError(
+                primary,
+                f"primary {primary} of {table}#{partition_id} is down "
+                "and failover is disabled",
+            )
+        alive = [n for n in replicas if self.cluster.node(n).alive]
+        if not alive:
+            raise CoordinationError(f"no live replica of {table}#{partition_id}")
+        fallback = alive[partition_id % len(alive)]
+        obs.count("soe.coordinator.failovers")
+        if cost is not None:
+            cost.failovers += 1
+        service = self.query_services.get(fallback)
+        if service is not None:
+            staleness = service.data_node.staleness()
+            if staleness > self.staleness_bound:
+                service.data_node.catch_up()
+                obs.count("soe.coordinator.failover_catch_ups")
+            elif staleness > 0:
+                if cost is not None:
+                    cost.degraded = True
+                obs.count("soe.coordinator.degraded_reads")
+        return fallback
 
     def _ensure_fresh(self, tables: list[str], consistency: str) -> None:
         """Strong consistency: ask the broker for "additional updates to be
@@ -155,19 +307,14 @@ class Coordinator:
                 producer = dag.tasks[input_id]
                 result = results[input_id]
                 payload = QueryService.result_bytes(result)
-                seconds = self.cluster.transfer(producer.node_id, task.node_id, payload)
-                if producer.node_id != task.node_id:
-                    cost.bytes_shipped += payload
-                    cost.messages += 1
-                    cost.simulated_network_seconds += seconds
+                self._transfer(producer.node_id, task.node_id, payload, cost)
                 inputs[input_id] = result
             if task.kind in ("merge_aggregate", "collect"):
                 results[task.task_id] = [inputs[input_id] for input_id in task.inputs]
             else:
-                service = self.query_services.get(task.node_id)
-                if service is None:
-                    raise CoordinationError(f"no query service on {task.node_id}")
-                results[task.task_id] = service.execute(task, inputs)
+                results[task.task_id] = self._service_for(task.node_id).execute(
+                    task, inputs
+                )
             cost.tasks += 1
         return results
 
@@ -176,27 +323,30 @@ class Coordinator:
     def run_aggregate(self, query: AggregateQuery) -> tuple[list[list[Any]], PlanCost]:
         """Partial aggregation at the data, merge at the coordinator."""
         with self._plan("partial-aggregate") as cost:
-            self._ensure_fresh([query.table], query.consistency)
-            dag = TaskDag()
-            partial_ids = []
-            for node_id, partition_ids in self._assignments(query.table).items():
-                task = dag.add(
-                    "partial_aggregate",
-                    node_id,
-                    {
-                        "table": query.table,
-                        "partitions": partition_ids,
-                        "filters": list(query.filters),
-                        "group_by": list(query.group_by),
-                        "aggregates": list(query.aggregates),
-                    },
-                )
-                partial_ids.append(task.task_id)
-            merge = dag.add("merge_aggregate", self.node_id, {}, partial_ids)
-            results = self._run_dag(dag, cost)
-            merged = merge_group_states(results[merge.task_id], list(query.aggregates))
-            rows = finalize_groups(merged, list(query.aggregates))
+            rows = self._recover(cost, lambda: self._aggregate_body(query, cost))
         return rows, cost
+
+    def _aggregate_body(self, query: AggregateQuery, cost: PlanCost) -> list[list[Any]]:
+        self._ensure_fresh([query.table], query.consistency)
+        dag = TaskDag()
+        partial_ids = []
+        for node_id, partition_ids in self._assignments(query.table, cost).items():
+            task = dag.add(
+                "partial_aggregate",
+                node_id,
+                {
+                    "table": query.table,
+                    "partitions": partition_ids,
+                    "filters": list(query.filters),
+                    "group_by": list(query.group_by),
+                    "aggregates": list(query.aggregates),
+                },
+            )
+            partial_ids.append(task.task_id)
+        merge = dag.add("merge_aggregate", self.node_id, {}, partial_ids)
+        results = self._run_dag(dag, cost)
+        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+        return finalize_groups(merged, list(query.aggregates))
 
     # -- join queries ---------------------------------------------------------------------
 
@@ -204,14 +354,24 @@ class Coordinator:
         strategy = query.strategy
         if strategy == "auto":
             strategy = self._choose_join_strategy(query)
-        self._ensure_fresh([query.fact_table, query.dim_table], query.consistency)
-        if strategy == "broadcast":
-            return self._join_broadcast(query)
-        if strategy == "repartition":
-            return self._join_repartition(query)
-        if strategy == "colocated":
-            return self._join_colocated(query)
-        raise CoordinationError(f"unknown join strategy {strategy!r}")
+        bodies = {
+            "broadcast": self._join_broadcast_body,
+            "repartition": self._join_repartition_body,
+            "colocated": self._join_colocated_body,
+        }
+        body = bodies.get(strategy)
+        if body is None:
+            raise CoordinationError(f"unknown join strategy {strategy!r}")
+        with self._plan(strategy) as cost:
+
+            def attempt() -> list[list[Any]]:
+                self._ensure_fresh(
+                    [query.fact_table, query.dim_table], query.consistency
+                )
+                return body(query, cost)
+
+            rows = self._recover(cost, attempt)
+        return rows, cost
 
     def _choose_join_strategy(self, query: JoinQuery) -> str:
         fact_meta = self.catalog.table(query.fact_table)
@@ -245,17 +405,12 @@ class Coordinator:
     def _dim_payload_columns(self, query: JoinQuery) -> list[str]:
         return [query.group_column]
 
-    def _join_broadcast(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
-        """Gather the dim side once, broadcast it to every fact node."""
-        with self._plan("broadcast") as cost:
-            rows = self._join_broadcast_body(query, cost)
-        return rows, cost
-
     def _join_broadcast_body(self, query: JoinQuery, cost: PlanCost) -> list[list[Any]]:
+        """Gather the dim side once, broadcast it to every fact node."""
         dag = TaskDag()
         # 1. hash-build tasks on the dim hosts
         build_ids = []
-        for node_id, partition_ids in self._assignments(query.dim_table).items():
+        for node_id, partition_ids in self._assignments(query.dim_table, cost).items():
             task = dag.add(
                 "build_hash",
                 node_id,
@@ -279,12 +434,8 @@ class Coordinator:
         dag2 = TaskDag()
         probe_ids = []
         hash_bytes = QueryService.result_bytes(full_hash)
-        for node_id, partition_ids in self._assignments(query.fact_table).items():
-            seconds = self.cluster.transfer(self.node_id, node_id, hash_bytes)
-            if node_id != self.node_id:
-                cost.bytes_shipped += hash_bytes
-                cost.messages += 1
-                cost.simulated_network_seconds += seconds
+        for node_id, partition_ids in self._assignments(query.fact_table, cost).items():
+            self._transfer(self.node_id, node_id, hash_bytes, cost)
             virtual_input = dag2.add("collect", node_id, {})
             probe = dag2.add(
                 "join_partial",
@@ -306,35 +457,36 @@ class Coordinator:
                 results2[task.task_id] = full_hash
                 continue
             inputs = {input_id: results2[input_id] for input_id in task.inputs}
-            service = self.query_services[task.node_id]
-            results2[task.task_id] = service.execute(task, inputs)
+            results2[task.task_id] = self._service_for(task.node_id).execute(
+                task, inputs
+            )
             cost.tasks += 1
         partials = [results2[task_id] for task_id in probe_ids]
         for task_id in probe_ids:
             producer = dag2.tasks[task_id]
             payload = QueryService.result_bytes(results2[task_id])
-            seconds = self.cluster.transfer(producer.node_id, self.node_id, payload)
-            if producer.node_id != self.node_id:
-                cost.bytes_shipped += payload
-                cost.messages += 1
-                cost.simulated_network_seconds += seconds
+            self._transfer(producer.node_id, self.node_id, payload, cost)
         merged = merge_group_states(partials, list(query.aggregates))
         return finalize_groups(merged, list(query.aggregates))
 
-    def _join_repartition(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
-        """Ship both sides hashed on the join key to worker nodes."""
-        with self._plan("repartition") as cost:
-            rows = self._join_repartition_body(query, cost)
-        return rows, cost
-
     def _join_repartition_body(self, query: JoinQuery, cost: PlanCost) -> list[list[Any]]:
-        workers = sorted(self.query_services)
+        """Ship both sides hashed on the join key to worker nodes."""
+        if self.failover:
+            workers = [
+                node_id
+                for node_id in sorted(self.query_services)
+                if self.cluster.node(node_id).alive
+            ]
+        else:
+            workers = sorted(self.query_services)
+        if not workers:
+            raise CoordinationError("no live workers for a repartition join")
         worker_count = len(workers)
 
         def shuffle(table: str, key_column: str, columns: list[str]) -> list[dict[Any, list[tuple]]]:
             dag = TaskDag()
             ship_ids = []
-            for node_id, partition_ids in self._assignments(table).items():
+            for node_id, partition_ids in self._assignments(table, cost).items():
                 task = dag.add(
                     "scan_ship",
                     node_id,
@@ -358,11 +510,7 @@ class Coordinator:
                         for row in bucket_rows
                     )
                     target_node = workers[bucket]
-                    seconds = self.cluster.transfer(source_node, target_node, payload)
-                    if source_node != target_node:
-                        cost.bytes_shipped += payload
-                        cost.messages += 1
-                        cost.simulated_network_seconds += seconds
+                    self._transfer(source_node, target_node, payload, cost)
                     for row in bucket_rows:
                         buckets[bucket].setdefault(row[key_position], []).append(row)
             return buckets
@@ -376,6 +524,8 @@ class Coordinator:
         # local join + aggregate per worker bucket, merge at coordinator
         partials = []
         for bucket_index in range(worker_count):
+            # availability seam: the bucket's worker must be reachable
+            self._service_for(workers[bucket_index])
             groups: dict[tuple, list[Any]] = {}
             dim_bucket = dim_buckets[bucket_index]
             for key, fact_rows in fact_buckets[bucket_index].items():
@@ -414,47 +564,41 @@ class Coordinator:
                                 states[index] = value if states[index] is None or value > states[index] else states[index]
             partials.append(groups)
             payload = QueryService.result_bytes(groups)
-            seconds = self.cluster.transfer(workers[bucket_index], self.node_id, payload)
-            if workers[bucket_index] != self.node_id:
-                cost.bytes_shipped += payload
-                cost.messages += 1
-                cost.simulated_network_seconds += seconds
+            self._transfer(workers[bucket_index], self.node_id, payload, cost)
         merged = merge_group_states(partials, list(query.aggregates))
         return finalize_groups(merged, list(query.aggregates))
 
-    def _join_colocated(self, query: JoinQuery) -> tuple[list[list[Any]], PlanCost]:
+    def _join_colocated_body(self, query: JoinQuery, cost: PlanCost) -> list[list[Any]]:
         """Both sides hash-partitioned on the join key with aligned
         placement: join entirely node-locally, ship only partial states."""
-        with self._plan("colocated") as cost:
-            fact_assign = self._assignments(query.fact_table)
-            dag = TaskDag()
-            probe_ids = []
-            for node_id, partition_ids in fact_assign.items():
-                build = dag.add(
-                    "build_hash",
-                    node_id,
-                    {
-                        "table": query.dim_table,
-                        "partitions": partition_ids,
-                        "key_column": query.dim_key,
-                        "columns": self._dim_payload_columns(query),
-                    },
-                )
-                probe = dag.add(
-                    "join_partial",
-                    node_id,
-                    {
-                        "table": query.fact_table,
-                        "partitions": partition_ids,
-                        "fact_key": query.fact_key,
-                        "group_from_dim": 0,
-                        "aggregates": list(query.aggregates),
-                    },
-                    [build.task_id],
-                )
-                probe_ids.append(probe.task_id)
-            merge = dag.add("merge_aggregate", self.node_id, {}, probe_ids)
-            results = self._run_dag(dag, cost)
-            merged = merge_group_states(results[merge.task_id], list(query.aggregates))
-            rows = finalize_groups(merged, list(query.aggregates))
-        return rows, cost
+        fact_assign = self._assignments(query.fact_table, cost)
+        dag = TaskDag()
+        probe_ids = []
+        for node_id, partition_ids in fact_assign.items():
+            build = dag.add(
+                "build_hash",
+                node_id,
+                {
+                    "table": query.dim_table,
+                    "partitions": partition_ids,
+                    "key_column": query.dim_key,
+                    "columns": self._dim_payload_columns(query),
+                },
+            )
+            probe = dag.add(
+                "join_partial",
+                node_id,
+                {
+                    "table": query.fact_table,
+                    "partitions": partition_ids,
+                    "fact_key": query.fact_key,
+                    "group_from_dim": 0,
+                    "aggregates": list(query.aggregates),
+                },
+                [build.task_id],
+            )
+            probe_ids.append(probe.task_id)
+        merge = dag.add("merge_aggregate", self.node_id, {}, probe_ids)
+        results = self._run_dag(dag, cost)
+        merged = merge_group_states(results[merge.task_id], list(query.aggregates))
+        return finalize_groups(merged, list(query.aggregates))

@@ -34,7 +34,7 @@ import threading
 from typing import Any, Callable, Iterator
 
 from repro import obs
-from repro.errors import LogError
+from repro.errors import LogError, LogSealedError
 
 #: sentinel payload for filled holes
 HOLE = {"__hole__": True}
@@ -50,7 +50,9 @@ class MemorySegmentStore:
 
     def write(self, address: int, payload: Any) -> None:
         if self.sealed_at is not None and address >= self.sealed_at:
-            raise LogError(f"segment {self.name} sealed at {self.sealed_at}")
+            raise LogSealedError(
+                f"segment {self.name} sealed at {self.sealed_at}"
+            )
         if address in self._entries:
             raise LogError(f"address {address} already written in {self.name}")
         self._entries[address] = payload
@@ -114,6 +116,10 @@ class SharedLog:
         self.stripes = stripes
         self.replication = replication
         self.sequencer = Sequencer()
+        #: optional fault injector (repro.chaos); consulted before appends
+        self.chaos: Any = None
+        #: bumped by every seal-and-reopen reconfiguration
+        self.epoch = 0
         #: serialises replica writes and maintenance (trim/seal); the
         #: sequencer keeps its own lock and is never held inside this one
         self._lock = threading.Lock()
@@ -128,13 +134,38 @@ class SharedLog:
 
     def append(self, payload: Any) -> int:
         """Token from the sequencer, then replicate to the stripe; returns
-        the global address."""
+        the global address.
+
+        The seal check runs *before* the sequencer hands out a token:
+        an append rejected by a fenced segment must not burn an address
+        (the hole would stall every replica's catch-up stream). A seal
+        landing between the check and the write still surfaces as
+        :class:`LogSealedError`; :meth:`reconfigure` fills any hole that
+        race leaves behind.
+        """
+        if self.chaos is not None:
+            # may raise LogStallError, or seal the log and raise
+            # LogSealedError — both before an address is issued
+            self.chaos.on_log_append(self)
+        with self._lock:
+            if self._sealed_locked():
+                raise LogSealedError(
+                    f"log sealed (epoch {self.epoch}); reconfigure() to reopen"
+                )
         address = self.sequencer.next_address()
         with self._lock:
             self._write_locked(address, payload)
             self.appends += 1
         obs.count("soe.shared_log.appends")
         return address
+
+    def _sealed_locked(self) -> bool:
+        """Any segment fenced? Caller holds ``self._lock``."""
+        return any(
+            replica.sealed_at is not None
+            for stripe in self._segments
+            for replica in stripe
+        )
 
     def _write_locked(self, address: int, payload: Any) -> None:
         """Replicate one entry to its stripe. Caller holds ``self._lock``."""
@@ -213,6 +244,23 @@ class SharedLog:
                 for replica in stripe:
                     replica.seal(tail)
         return tail
+
+    def reconfigure(self) -> int:
+        """Seal-and-reopen recovery (the CORFU reconfiguration step the
+        transaction broker drives on transaction-service failover): fill
+        any hole below the tail so catch-up readers cannot stall on it,
+        lift every fence, and bump the epoch. Returns the new epoch."""
+        tail = self.tail
+        with self._lock:
+            for stripe in self._segments:
+                for replica in stripe:
+                    replica.sealed_at = None
+            for address in range(self.trimmed_to, tail):
+                if not self._segments[address % self.stripes][0].has(address):
+                    self._write_locked(address, HOLE)
+        self.epoch += 1
+        obs.count("soe.shared_log.reconfigurations")
+        return self.epoch
 
     def stripe_lengths(self) -> list[int]:
         """Entries per stripe (first replica) — balance diagnostics."""

@@ -24,23 +24,42 @@ import threading
 from typing import Any, Callable, Iterable
 
 from repro import obs
-from repro.errors import SoeError
+from repro.errors import LogSealedError, LogStallError, SoeError
 from repro.soe.services.shared_log import SharedLog
+from repro.util.retry import RetryPolicy, SimulatedClock
 
 Operation = dict[str, Any]
 Subscriber = Callable[[int, list[Operation]], None]
 
 
 class TransactionBroker:
-    """Serialises transactions through the shared log."""
+    """Serialises transactions through the shared log.
 
-    def __init__(self, log: SharedLog) -> None:
+    **Failure awareness:** an append that hits a sealed segment (the
+    fence a failed-over transaction service leaves behind) triggers the
+    CORFU recovery step — :meth:`SharedLog.reconfigure` (seal-and-reopen)
+    — and a bounded retry; a stalled append retries with exponential
+    backoff charged to the *simulated* clock. Both paths are counted
+    (``soe.broker.retries`` / ``soe.broker.log_recoveries``) so v2stats
+    sees every recovery.
+    """
+
+    def __init__(
+        self,
+        log: SharedLog,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
         self.log = log
         #: guards the subscriber list and the commit counter; never held
         #: while calling out (subscribers, the log) to keep lock order flat
         self._lock = threading.Lock()
         self._oltp_subscribers: list[Subscriber] = []
         self.transactions = 0
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.clock = clock or SimulatedClock()
+        self.retries = 0
+        self.log_recoveries = 0
 
     def subscribe_oltp(self, subscriber: Subscriber) -> None:
         """OLTP nodes incorporate "the log during the update transaction" —
@@ -56,7 +75,7 @@ class TransactionBroker:
             if "op" not in operation or "table" not in operation:
                 raise SoeError(f"malformed operation: {operation!r}")
         with obs.latency("soe.broker.submit_seconds"):
-            address = self.log.append({"ops": ops})
+            address = self._append_with_recovery({"ops": ops})
             with self._lock:
                 self.transactions += 1
                 subscribers = list(self._oltp_subscribers)
@@ -65,6 +84,32 @@ class TransactionBroker:
         obs.count("soe.broker.transactions")
         obs.count("soe.broker.operations", len(ops))
         return address
+
+    def _append_with_recovery(self, payload: dict[str, Any]) -> int:
+        """Append under the broker's bounded retry policy.
+
+        A sealed log means the previous configuration was fenced — the
+        broker reopens it (seal-and-reopen) before retrying; a stall just
+        backs off. Exhausting the policy re-raises the last transient
+        error (still a ``LogError``, so callers see the subsystem type).
+        """
+        last: LogStallError | LogSealedError | None = None
+        for attempt, delay in self.retry_policy.schedule():
+            if attempt:
+                self.clock.advance(delay)
+                self.retries += 1
+                obs.count("soe.broker.retries")
+            try:
+                return self.log.append(payload)
+            except LogSealedError as exc:
+                last = exc
+                self.log.reconfigure()
+                self.log_recoveries += 1
+                obs.count("soe.broker.log_recoveries")
+            except LogStallError as exc:
+                last = exc
+        assert last is not None
+        raise last
 
     @property
     def current_lsn(self) -> int:

@@ -1,0 +1,104 @@
+"""Deterministic retry/backoff primitives for the failure-aware layers.
+
+The SOE coordinator, the transaction broker, and the federation frontend
+all retry transient failures (:class:`repro.errors.RetryableError`). Two
+properties are non-negotiable for a reproducible system:
+
+* **bounded** — every retry loop has an attempt cap (linter rule RA107
+  flags unbounded ``while True`` retry shapes), and
+* **simulated time** — backoff is charged to a :class:`SimulatedClock`,
+  never the wall clock, so an identical fault schedule yields an
+  identical recovery trace (and tests never sleep).
+
+Backoff is exponential *without jitter*: jitter exists to de-correlate
+real fleets; here determinism is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.errors import ReproError, RetryableError
+
+T = TypeVar("T")
+
+
+class SimulatedClock:
+    """Monotonic simulated seconds; advanced by backoff and chaos delays."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Charge ``seconds`` of simulated time; returns the new now."""
+        if seconds < 0:
+            raise ReproError("cannot advance the simulated clock backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.6f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base_delay * multiplier**(n-1)``
+    capped at ``max_delay``, for at most ``max_attempts`` total tries."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ReproError("invalid backoff parameters")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff charged before try number ``attempt`` (try 0 is free)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def schedule(self) -> Iterator[tuple[int, float]]:
+        """``(attempt, delay_before)`` pairs: (0, 0.0), (1, d1), (2, d2)…"""
+        for attempt in range(self.max_attempts):
+            yield attempt, self.delay_before(attempt)
+
+    def total_backoff(self) -> float:
+        """Simulated seconds a fully-exhausted retry sequence charges."""
+        return sum(delay for _attempt, delay in self.schedule())
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        clock: SimulatedClock,
+        on_retry: Callable[[int, RetryableError], None] | None = None,
+    ) -> T:
+        """Run ``fn`` under this policy; backoff is charged to ``clock``.
+
+        Only :class:`RetryableError` triggers a retry; anything else
+        propagates immediately. After the last attempt the final
+        transient error is re-raised unchanged, so callers still see the
+        subsystem type (``ClusterError``, ``LogError``, …).
+        """
+        last: RetryableError | None = None
+        for attempt, delay in self.schedule():
+            if attempt:
+                clock.advance(delay)
+                if on_retry is not None:
+                    on_retry(attempt, last)  # type: ignore[arg-type]
+            try:
+                return fn()
+            except RetryableError as exc:
+                last = exc
+        assert last is not None
+        raise last

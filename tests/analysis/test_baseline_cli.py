@@ -107,7 +107,7 @@ def test_baseline_key_survives_line_shifts(tmp_path):
 def test_list_rules(capsys):
     assert analyze_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RA101", "RA102", "RA103", "RA104", "RA105", "RA106"):
+    for code in ("RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107"):
         assert code in out
 
 
@@ -122,4 +122,6 @@ def test_select_unknown_rule_raises(tmp_path):
 
 
 def test_rule_registry_is_complete():
-    assert sorted(all_rules()) == ["RA101", "RA102", "RA103", "RA104", "RA105", "RA106"]
+    assert sorted(all_rules()) == [
+        "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
+    ]

@@ -340,6 +340,113 @@ def test_ra106_obs_package_exempt():
     assert codes(src, rel_path="src/repro/obs/runtime.py", select=["RA106"]) == []
 
 
+# -- RA107: bounded retry loops --------------------------------------------------
+
+
+def test_ra107_flags_while_true_retry():
+    src = """
+        def fetch(node):
+            while True:
+                try:
+                    return node.service("v2lqp")
+                except NodeUnavailableError:
+                    continue
+    """
+    found = findings_for(src, select=["RA107"])
+    assert [f.code for f in found] == ["RA107"]
+    assert "NodeUnavailableError" in found[0].message
+
+
+def test_ra107_flags_tuple_catch_and_swallow_without_continue():
+    src = """
+        def append(log, payload):
+            while True:
+                try:
+                    return log.append(payload)
+                except (LogStallError, ValueError):
+                    pass
+    """
+    assert codes(src, select=["RA107"]) == ["RA107"]
+
+
+def test_ra107_accepts_bounded_retry_policy_loop():
+    src = """
+        def fetch(policy, clock, node):
+            last = None
+            for attempt, delay in policy.schedule():
+                if attempt:
+                    clock.advance(delay)
+                try:
+                    return node.service("v2lqp")
+                except NodeUnavailableError as exc:
+                    last = exc
+            raise last
+    """
+    assert codes(src, select=["RA107"]) == []
+
+
+def test_ra107_accepts_handler_that_escapes_the_loop():
+    src = """
+        def fetch(node):
+            while True:
+                try:
+                    return node.service("v2lqp")
+                except NodeUnavailableError:
+                    raise
+
+        def drain(queue):
+            while True:
+                try:
+                    queue.pull()
+                except LogStallError:
+                    break
+    """
+    assert codes(src, select=["RA107"]) == []
+
+
+def test_ra107_ignores_non_retryable_catches_and_bounded_tests():
+    src = """
+        def parse(tokens):
+            while True:
+                try:
+                    step(tokens)
+                except StopIteration:
+                    continue
+
+        def poll(flag, node):
+            while flag.is_set():
+                try:
+                    node.service("v2lqp")
+                except NodeUnavailableError:
+                    continue
+    """
+    assert codes(src, select=["RA107"]) == []
+
+
+def test_ra107_suppressed_inline():
+    src = """
+        def fetch(node):
+            while True:
+                try:
+                    return node.service("v2lqp")
+                except NodeUnavailableError:  # repro: allow(RA107)
+                    continue
+    """
+    assert codes(src, select=["RA107"]) == []
+
+
+def test_ra107_out_of_scope_path_not_checked():
+    src = """
+        def fetch(node):
+            while True:
+                try:
+                    return node.service("v2lqp")
+                except NodeUnavailableError:
+                    continue
+    """
+    assert codes(src, rel_path="scripts/oneoff.py", select=["RA107"]) == []
+
+
 # -- suppression / driver plumbing ---------------------------------------------
 
 

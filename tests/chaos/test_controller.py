@@ -1,0 +1,211 @@
+"""ChaosController seams: each fault kind fires at its scheduled event."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosController, FaultPlan, FaultSpec
+from repro.errors import (
+    LogSealedError,
+    LogStallError,
+    NodeUnavailableError,
+    RemoteSourceUnavailableError,
+    TransferDroppedError,
+)
+from repro.soe.cluster import SimulatedCluster
+from repro.soe.services.shared_log import SharedLog
+
+
+def make_cluster(*node_ids: str) -> SimulatedCluster:
+    cluster = SimulatedCluster()
+    for node_id in node_ids:
+        cluster.add_node(node_id)
+    return cluster
+
+
+class TestTransferSeam:
+    def test_drop_fires_at_the_scheduled_event_only(self):
+        plan = FaultPlan([FaultSpec("drop", "transfer", 1)])
+        cluster = make_cluster("a", "b")
+        ChaosController(plan).install(cluster=cluster)
+        cluster.transfer("a", "b", 100)  # event 0: clean
+        with pytest.raises(TransferDroppedError):
+            cluster.transfer("a", "b", 100)  # event 1: dropped
+        cluster.transfer("a", "b", 100)  # event 2: clean again
+
+    def test_drop_with_target_filter_skips_other_routes(self):
+        plan = FaultPlan([FaultSpec("drop", "transfer", 0, target="c")])
+        cluster = make_cluster("a", "b", "c")
+        ChaosController(plan).install(cluster=cluster)
+        # event 0 is a->b; the fault is bound to node c, so nothing fires
+        cluster.transfer("a", "b", 10)
+        assert cluster.stats.messages == 1
+
+    def test_delay_charges_extra_seconds_and_the_clock(self):
+        plan = FaultPlan([FaultSpec("delay", "transfer", 0, seconds=0.5)])
+        cluster = make_cluster("a", "b")
+        controller = ChaosController(plan).install(cluster=cluster)
+        base = cluster.network.cost(100)
+        seconds = cluster.transfer("a", "b", 100)
+        assert seconds == pytest.approx(base + 0.5)
+        assert controller.clock.now == pytest.approx(0.5)
+
+    def test_local_transfers_never_consult_chaos(self):
+        plan = FaultPlan([FaultSpec("drop", "transfer", 0)])
+        cluster = make_cluster("a")
+        controller = ChaosController(plan).install(cluster=cluster)
+        assert cluster.transfer("a", "a", 100) == 0.0
+        assert controller.events_seen("transfer") == 0
+
+
+class TestServiceSeam:
+    def test_crash_kills_the_accessed_node_and_raises(self):
+        plan = FaultPlan([FaultSpec("crash", "service", 0)])
+        cluster = make_cluster("a")
+        cluster.node("a").host("svc", object())
+        ChaosController(plan).install(cluster=cluster)
+        with pytest.raises(NodeUnavailableError):
+            cluster.node("a").service("svc")
+        assert not cluster.node("a").alive
+
+    def test_crash_with_target_kills_that_node_not_the_caller(self):
+        plan = FaultPlan([FaultSpec("crash", "service", 0, target="b")])
+        cluster = make_cluster("a", "b")
+        cluster.node("a").host("svc", object())
+        ChaosController(plan).install(cluster=cluster)
+        cluster.node("a").service("svc")  # survives: the victim was b
+        assert not cluster.node("b").alive
+        assert cluster.node("a").alive
+
+    def test_slow_charges_the_clock_without_failing(self):
+        plan = FaultPlan([FaultSpec("slow", "service", 0, seconds=0.25)])
+        cluster = make_cluster("a")
+        cluster.node("a").host("svc", "payload")
+        controller = ChaosController(plan).install(cluster=cluster)
+        assert cluster.node("a").service("svc") == "payload"
+        assert controller.clock.now == pytest.approx(0.25)
+
+    def test_dead_node_raises_even_without_chaos(self):
+        cluster = make_cluster("a")
+        cluster.node("a").host("svc", object())
+        cluster.kill("a")
+        with pytest.raises(NodeUnavailableError):
+            cluster.node("a").service("svc")
+
+
+class TestLogSeam:
+    def test_stall_raises_without_burning_an_address(self):
+        plan = FaultPlan([FaultSpec("stall", "log_append", 0)])
+        log = SharedLog(stripes=1, replication=1)
+        ChaosController(plan).install(log=log)
+        with pytest.raises(LogStallError):
+            log.append({"x": 1})
+        assert log.tail == 0  # no hole left behind
+        assert log.append({"x": 1}) == 0
+
+    def test_seal_fences_the_log_until_reconfigure(self):
+        plan = FaultPlan([FaultSpec("seal", "log_append", 0)])
+        log = SharedLog(stripes=1, replication=1)
+        ChaosController(plan).install(log=log)
+        with pytest.raises(LogSealedError):
+            log.append({"x": 1})
+        with pytest.raises(LogSealedError):
+            log.append({"x": 2})  # still fenced
+        assert log.reconfigure() == 1
+        assert log.append({"x": 3}) == 0
+
+
+class FakeSchema:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeSource:
+    name = "fake"
+
+    def capabilities(self):
+        return {"filter", "aggregate", "sql"}
+
+    def table_schema(self, remote_table):
+        return FakeSchema(remote_table)
+
+    def scan(self, remote_table, filters=None):
+        return [[1]]
+
+    def aggregate(self, remote_table, group_by, aggregates, filters):
+        return [[1]]
+
+    def execute_sql(self, sql):
+        return [[1]]
+
+
+class TestRemoteScanSeam:
+    def test_outage_fires_then_clears(self):
+        plan = FaultPlan([FaultSpec("outage", "remote_scan", 0, target="fake")])
+        controller = ChaosController(plan)
+        wrapped = controller.wrap_source(FakeSource())
+        with pytest.raises(RemoteSourceUnavailableError):
+            wrapped.scan("t")
+        assert wrapped.scan("t") == [[1]]
+
+    def test_outage_for_other_source_passes_through(self):
+        plan = FaultPlan([FaultSpec("outage", "remote_scan", 0, target="other")])
+        controller = ChaosController(plan)
+        wrapped = controller.wrap_source(FakeSource())
+        assert wrapped.scan("t") == [[1]]
+
+    def test_wrapper_preserves_schema_and_capabilities(self):
+        wrapped = ChaosController(FaultPlan()).wrap_source(FakeSource())
+        assert wrapped.name == "fake"
+        assert "aggregate" in wrapped.capabilities()
+        assert wrapped.table_schema("t").name == "t"
+
+
+class TestTickSeamAndRecords:
+    def test_tick_applies_crash_and_revive(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("crash", "tick", 0, target="a"),
+                FaultSpec("revive", "tick", 1, target="a"),
+            ]
+        )
+        cluster = make_cluster("a")
+        controller = ChaosController(plan).install(cluster=cluster)
+        fired = controller.tick()
+        assert [event.kind for event in fired] == ["crash"]
+        assert not cluster.node("a").alive
+        controller.tick()
+        assert cluster.node("a").alive
+        assert controller.tick() == []  # nothing scheduled at tick 2
+
+    def test_fired_events_and_fingerprint_record_everything(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("drop", "transfer", 0),
+                FaultSpec("crash", "tick", 0, target="a"),
+            ]
+        )
+        cluster = make_cluster("a", "b")
+        controller = ChaosController(plan).install(cluster=cluster)
+        controller.tick()
+        with pytest.raises(TransferDroppedError):
+            cluster.transfer("a", "b", 10)
+        assert controller.schedule_fingerprint() == (
+            ("tick", 0, "crash", "a"),
+            ("transfer", 0, "drop", None),
+        )
+
+    def test_faults_counted_into_obs(self):
+        obs.reset()
+        obs.enable()
+        try:
+            plan = FaultPlan([FaultSpec("drop", "transfer", 0)])
+            cluster = make_cluster("a", "b")
+            ChaosController(plan).install(cluster=cluster)
+            with pytest.raises(TransferDroppedError):
+                cluster.transfer("a", "b", 10)
+            dump = obs.metrics_dump(prefix="chaos.faults")
+            assert any("kind=drop" in key for key in dump)
+        finally:
+            obs.reset()

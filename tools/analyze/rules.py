@@ -1,4 +1,4 @@
-"""The built-in project-invariant rules (RA101–RA106).
+"""The built-in project-invariant rules (RA101–RA107).
 
 Each rule is deliberately narrow: it encodes one convention this
 codebase has committed to, scoped to the files where the convention is
@@ -23,6 +23,15 @@ _MUTATING_METHODS = {
 }
 _LOG_ATTRS = {"debug", "info", "warning", "error", "exception", "critical", "log", "count", "gauge", "observe", "warn"}
 _LOG_BASES = {"logging", "logger", "log", "obs", "warnings"}
+#: the transient-error types repro.util.retry retries on (RA107)
+_RETRYABLE_NAMES = {
+    "RetryableError",
+    "NodeUnavailableError",
+    "TransferDroppedError",
+    "LogStallError",
+    "LogSealedError",
+    "RemoteSourceUnavailableError",
+}
 
 
 def _is_self_private_attr(node: ast.AST) -> bool:
@@ -418,4 +427,75 @@ class ObsRegistrationConventions(Rule):
                 f"per-call metric registration .{node.func.attr}(...) — register at "
                 "module scope or use the obs.count/obs.observe/obs.gauge helpers",
             )
+        self.generic_visit(node)
+
+
+@register
+class BoundedRetryLoops(Rule):
+    """RA107 — retry loops over transient errors must be bounded.
+
+    A ``while True`` that swallows a :class:`RetryableError` subtype and
+    goes around again has no attempt cap: against a *persistent* failure
+    (node never revives, source stays dark) it spins forever — in this
+    codebase that means a hung test, since faults are deterministic, not
+    eventually-lucky. The sanctioned shape is iterating
+    ``RetryPolicy.schedule()`` (repro.util.retry), which bounds attempts
+    and charges backoff to the simulated clock.
+    """
+
+    code = "RA107"
+    name = "bounded-retry-loops"
+    description = "while True swallowing RetryableError needs an attempt cap (RetryPolicy.schedule)"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/" in rel_path or "tools/" in rel_path
+
+    @staticmethod
+    def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+        def name_of(node: ast.AST) -> str:
+            if isinstance(node, ast.Attribute):
+                return node.attr
+            if isinstance(node, ast.Name):
+                return node.id
+            return ""
+
+        if handler.type is None:
+            return set()
+        if isinstance(handler.type, ast.Tuple):
+            return {name_of(el) for el in handler.type.elts}
+        return {name_of(handler.type)}
+
+    @staticmethod
+    def _leaves_loop(handler: ast.ExceptHandler) -> bool:
+        """Does the handler escape the retry loop (re-raise/break/return)?"""
+        return any(
+            isinstance(n, (ast.Raise, ast.Break, ast.Return))
+            for n in ast.walk(handler)
+        )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._reported: set[int] = set()
+
+    def visit_While(self, node: ast.While) -> None:
+        unbounded = isinstance(node.test, ast.Constant) and bool(node.test.value)
+        if unbounded:
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if not isinstance(inner, ast.Try):
+                        continue
+                    for handler in inner.handlers:
+                        caught = self._caught_names(handler) & _RETRYABLE_NAMES
+                        if not caught or self._leaves_loop(handler):
+                            continue
+                        if id(handler) in self._reported:
+                            continue
+                        self._reported.add(id(handler))
+                        self.report(
+                            handler,
+                            f"unbounded retry: while True swallows "
+                            f"{sorted(caught)[0]} with no attempt cap — iterate "
+                            "RetryPolicy.schedule() (repro.util.retry) instead",
+                        )
         self.generic_visit(node)
