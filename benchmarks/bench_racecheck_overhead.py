@@ -1,0 +1,112 @@
+"""E24 — the happens-before race sanitizer must stay affordable.
+
+Claim under test: running a lock-heavy transactional workload under
+``repro.analysis.racecheck`` costs less than 3x the uninstrumented wall
+time with the FastTrack epoch optimization on, so CI can afford a full
+sanitized pass of the concurrency suites. The full-vector-clock arm
+(``full_vc=True``) is measured alongside for comparison — it is the
+algorithm FastTrack shortcuts, not a gated budget.
+
+Measured shape: ``THREADS`` worker threads each drive ``TXNS_PER_THREAD``
+transactions through one shared :class:`TransactionManager` (build a
+``ROW_WIDTH``-column row, checksum it, begin → redo-log append →
+commit), with the manager's commit state tracked as a racecheck
+``Shared`` mapping so every commit exercises the read/write
+instrumentation, the lock edges, and the start/join edges. The per-txn
+row work keeps the synchronization : compute mix representative — a
+commit that does nothing but take locks measures the wrapper, not the
+sanitizer. Run directly (``python benchmarks/bench_racecheck_overhead.py``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis import racecheck  # noqa: E402
+from repro.transaction.manager import TransactionManager  # noqa: E402
+
+BUDGET_RATIO = 3.0
+THREADS = 4
+TXNS_PER_THREAD = 150
+ROW_WIDTH = 96
+REPEATS = 3
+
+
+def _workload() -> int:
+    """Concurrent commits against one manager; returns the last cid."""
+    applied = racecheck.Shared({}, "bench.applied") if racecheck.is_installed() else {}
+    lock = threading.Lock()
+    manager = TransactionManager()
+    columns = [f"c{i}" for i in range(ROW_WIDTH)]
+
+    def worker(worker_id: int) -> None:
+        for index in range(TXNS_PER_THREAD):
+            row = {name: worker_id * 31 + index * ordinal for ordinal, name in enumerate(columns)}
+            checksum = sum(hash(item) for item in row.items()) & 0xFFFFFFFF
+            txn = manager.begin()
+            txn.log_redo({"op": "insert", "row": row, "checksum": checksum})
+            cid = manager.commit(txn)
+            with lock:
+                applied[worker_id] = cid
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return manager.last_committed_cid
+
+
+def _time_workload() -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = perf_counter()
+        _workload()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def measure() -> dict[str, float]:
+    base = _time_workload()
+    with racecheck.active():
+        fasttrack = _time_workload()
+    with racecheck.active(full_vc=True):
+        full_vc = _time_workload()
+    return {
+        "base_s": base,
+        "fasttrack_s": fasttrack,
+        "full_vc_s": full_vc,
+        "fasttrack_ratio": fasttrack / base,
+        "full_vc_ratio": full_vc / base,
+    }
+
+
+def test_fasttrack_overhead_under_budget():
+    results = measure()
+    assert results["fasttrack_ratio"] < BUDGET_RATIO, (
+        f"racecheck (FastTrack) cost {results['fasttrack_ratio']:.2f}x the "
+        f"uninstrumented workload — over the {BUDGET_RATIO:.0f}x budget"
+    )
+
+
+if __name__ == "__main__":
+    results = measure()
+    txns = THREADS * TXNS_PER_THREAD
+    print(
+        f"racecheck overhead ({THREADS} threads x {TXNS_PER_THREAD} txns = {txns} commits, "
+        f"best of {REPEATS}):\n"
+        f"  off       {results['base_s'] * 1000:7.1f} ms\n"
+        f"  fasttrack {results['fasttrack_s'] * 1000:7.1f} ms  "
+        f"({results['fasttrack_ratio']:.2f}x, budget <{BUDGET_RATIO:.0f}x)\n"
+        f"  full_vc   {results['full_vc_s'] * 1000:7.1f} ms  "
+        f"({results['full_vc_ratio']:.2f}x, comparison arm)"
+    )
+    if results["fasttrack_ratio"] >= BUDGET_RATIO:
+        sys.exit(1)

@@ -9,6 +9,16 @@ package holds the *dynamic* checks that must run inside the process:
   lock-acquisition graph, and fails fast on cycles (potential
   deadlocks) and self-deadlocks. Enabled by ``REPRO_LOCKCHECK=1`` in
   CI via an autouse pytest fixture.
+* :mod:`repro.analysis.racecheck` — a happens-before data-race
+  sanitizer (FastTrack-style vector clocks with the epoch
+  optimisation). Lock acquire/release, ``Thread.start``/``join``,
+  ``queue.Queue`` hand-offs, and the SOE message seams establish
+  happens-before edges; state wrapped by
+  :func:`repro.analysis.racecheck.track_fields` records read/write
+  epochs, and an access with no happens-before edge from its
+  predecessor raises :class:`~repro.analysis.racecheck.DataRaceError`.
+  Enabled by ``REPRO_RACECHECK=1`` (install lockcheck first when
+  combining the two).
 """
 
 from repro.analysis.lockcheck import (
@@ -18,9 +28,13 @@ from repro.analysis.lockcheck import (
     install,
     uninstall,
 )
+from repro.analysis.racecheck import DataRaceError, Shared, track_fields
 
 __all__ = [
     "LockOrderError",
+    "DataRaceError",
+    "Shared",
+    "track_fields",
     "active",
     "enabled_from_env",
     "install",

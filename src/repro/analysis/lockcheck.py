@@ -94,9 +94,13 @@ class _Checker:
         if self.strict:
             raise LockOrderError(message)
 
-    def before_acquire(self, lock: "InstrumentedLock", blocking: bool) -> None:
+    def before_acquire(
+        self, lock: "InstrumentedLock", blocking: bool, timeout: float = -1
+    ) -> None:
         stack = self._stack()
-        if blocking and any(held is lock for held in stack):
+        # a re-acquire only deadlocks when it would wait forever: a
+        # non-blocking or timed attempt fails and returns False instead
+        if blocking and timeout < 0 and any(held is lock for held in stack):
             self._fail(
                 f"self-deadlock: thread {threading.current_thread().name!r} "
                 f"re-acquires non-reentrant lock {lock.name} it already holds"
@@ -144,7 +148,7 @@ class InstrumentedLock:
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         checker = self._checker
         if checker is not None:
-            checker.before_acquire(self, blocking)
+            checker.before_acquire(self, blocking, timeout)
         got = self._inner.acquire(blocking, timeout)  # repro: allow(RA102) — this IS the lock implementation
         if got and checker is not None:
             checker.after_acquire(self)

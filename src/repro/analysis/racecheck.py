@@ -1,0 +1,732 @@
+"""Happens-before data-race sanitizer (FastTrack-style vector clocks).
+
+PR 2's :mod:`repro.analysis.lockcheck` catches lock-*order* bugs, but an
+unguarded read racing a guarded write never inverts any order — it is
+invisible to a lock-graph checker. This module finds exactly those races
+from a *single* test run, no unlucky schedule required, by tracking the
+happens-before (HB) relation the program actually establishes:
+
+* every thread carries a **vector clock** ``C_t`` (thread → logical time);
+* synchronization seams publish/adopt clocks: a lock release joins the
+  releaser's clock into the lock's clock and an acquire joins it back
+  (:class:`TrackedLock`, installed as the ``threading.Lock`` factory);
+  ``Thread.start``/``join`` edge parent↔child; ``queue.Queue.put``/``get``
+  edge producer→consumer; the SOE message seams the chaos controller
+  already hooks (``SimulatedCluster.transfer``,
+  ``SharedLog.append``) act as fences, mirroring the serialisation
+  points of the paper's Figure 3 services;
+* guarded state is wrapped in a :class:`Shared` proxy (installed by the
+  :func:`track_fields` class decorator on the SOE services, the
+  transaction manager, and the streaming operators) that records
+  **read/write epochs** per container, with the FastTrack optimisation:
+  a variable's reads are a single epoch ``(tid, clock)`` until two
+  threads read concurrently, only then promoting to a full read vector —
+  the common same-thread case is one tuple comparison
+  (``install(full_vc=True)`` disables the optimisation; benchmark E24
+  measures the difference);
+* an access whose predecessor epoch is *not* ⊑ the current thread's
+  clock has no happens-before edge — a data race.
+  :class:`DataRaceError` carries both access sites (strict mode, the
+  default) or the report accumulates into :func:`violations`.
+
+Usage mirrors lockcheck::
+
+    from repro.analysis import racecheck
+
+    with racecheck.active():
+        run_concurrent_workload()
+
+CI runs the concurrency-heavy suites with ``REPRO_RACECHECK=1``; the
+autouse fixture in ``tests/conftest.py`` wraps every test in
+:func:`active` when that variable is set, and ``REPRO_RACECHECK_REPORT``
+names a JSON file for the per-session violations report (uploaded as a
+CI artifact). Racecheck composes with lockcheck: install lockcheck
+first and racecheck's lock factory wraps lockcheck's instrumented
+locks, so one run checks both lock order and happens-before.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import ReproError
+
+#: the raw lock primitive — detector bookkeeping must never be tracked
+_RAW_LOCK = threading._allocate_lock
+
+Epoch = tuple[int, int]  # (tid, clock)
+
+
+class DataRaceError(ReproError):
+    """Two accesses to shared state with no happens-before edge."""
+
+
+def _hb(epoch: Epoch | None, clock: dict[int, int]) -> bool:
+    """Does ``epoch`` happen-before a thread whose vector clock is ``clock``?"""
+    if epoch is None:
+        return True
+    return epoch[1] <= clock.get(epoch[0], 0)
+
+
+def _join(into: dict[int, int], other: dict[int, int]) -> None:
+    for tid, clock in other.items():
+        if clock > into.get(tid, 0):
+            into[tid] = clock
+
+
+#: frames to elide from reported sites: this module and threading internals
+_SKIP_FILES = (__file__, threading.__file__)
+
+
+def _site() -> str:
+    """A short ``file:line in func`` chain of the current access site,
+    skipping the detector's own frames (cheap: no linecache I/O)."""
+    frame = sys._getframe(1)
+    parts: list[str] = []
+    while frame is not None and len(parts) < 3:
+        code = frame.f_code
+        if code.co_filename not in _SKIP_FILES:
+            parts.append(
+                f"{os.path.basename(code.co_filename)}:{frame.f_lineno} "
+                f"in {code.co_name}"
+            )
+        frame = frame.f_back
+    return " <- ".join(parts) if parts else "<unknown>"
+
+
+class _VarState:
+    """FastTrack per-variable state: one write epoch, epoch-or-vector reads."""
+
+    __slots__ = (
+        "name",
+        "write_epoch",
+        "write_site",
+        "write_thread",
+        "read_epoch",
+        "read_site",
+        "read_thread",
+        "read_vc",
+        "read_sites",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.write_epoch: Epoch | None = None
+        self.write_site = ""
+        self.write_thread = ""
+        self.read_epoch: Epoch | None = None
+        self.read_site = ""
+        self.read_thread = ""
+        self.read_vc: dict[int, int] | None = None
+        self.read_sites: dict[int, tuple[str, str]] = {}
+
+
+class _Detector:
+    """Vector clocks per thread, clocks per sync object, FastTrack checks."""
+
+    def __init__(self, strict: bool, full_vc: bool) -> None:
+        self.strict = strict
+        self.full_vc = full_vc
+        self.violations: list[str] = []
+        self._state_lock = _RAW_LOCK()
+        self._local = threading.local()
+        self._next_tid = 0
+        #: tid -> (thread name, live vector clock); the clock dict is the
+        #: same object the owning thread mutates, so joins at ``join()``
+        #: time see the thread's final state
+        self._threads: dict[int, tuple[str, dict[int, int]]] = {}
+        #: id(sync object) -> (strong ref, vector clock)
+        self._sync: dict[int, tuple[Any, dict[int, int]]] = {}
+        self.reads_checked = 0
+        self.writes_checked = 0
+        self.epoch_fast_hits = 0
+
+    # -- thread registry -----------------------------------------------------
+
+    def _state(self) -> tuple[int, dict[int, int]]:
+        """(tid, vector clock) of the calling thread, registering on first
+        use. Caller holds ``self._state_lock``.
+
+        Identity is ``get_ident()`` only — calling
+        ``threading.current_thread()`` here would deadlock: a child
+        thread's very first tracked access is ``Event.set`` inside
+        ``_bootstrap_inner`` *before* the thread is in ``_active``, so
+        ``current_thread()`` fabricates a ``_DummyThread`` whose
+        ``__init__`` builds another Event → another instrumented lock →
+        re-entry into this (non-reentrant) state lock."""
+        state = getattr(self._local, "state", None)
+        if state is None:
+            tid = self._next_tid
+            self._next_tid += 1
+            clock: dict[int, int] = {tid: 1}
+            main = threading.main_thread()
+            name = main.name if main.ident == threading.get_ident() else f"thread#{tid}"
+            self._threads[tid] = (name, clock)
+            state = (tid, clock)
+            self._local.state = state
+        return state
+
+    def register_thread(self, thread: threading.Thread) -> None:
+        """Adopt the ``start()``-time parent clock snapshot; runs first on
+        the child thread (the ``run()`` wrapper the patched start
+        installs, i.e. after ``_bootstrap_inner`` registered the thread)."""
+        with self._state_lock:
+            tid, clock = self._state()
+            parent = getattr(thread, "_racecheck_parent_vc", None)
+            if parent is not None:
+                _join(clock, parent)
+            thread._racecheck_tid = tid  # type: ignore[attr-defined]
+            self._threads[tid] = (thread.name, clock)
+
+    def _thread_name(self, tid: int) -> str:
+        entry = self._threads.get(tid)
+        return entry[0] if entry else f"thread#{tid}"
+
+    # -- synchronization edges ----------------------------------------------
+
+    def _sync_vc(self, obj: Any) -> dict[int, int]:
+        entry = self._sync.get(id(obj))
+        if entry is None or entry[0] is not obj:
+            entry = (obj, {})
+            self._sync[id(obj)] = entry
+        return entry[1]
+
+    def acquire_edge(self, obj: Any) -> None:
+        """Adopt the sync object's clock (lock acquire, queue get)."""
+        with self._state_lock:
+            _tid, clock = self._state()
+            _join(clock, self._sync_vc(obj))
+
+    def release_edge(self, obj: Any) -> None:
+        """Publish the thread's clock into the sync object (lock release,
+        queue put), then advance the thread's own epoch."""
+        with self._state_lock:
+            tid, clock = self._state()
+            _join(self._sync_vc(obj), clock)
+            clock[tid] += 1
+
+    def fence(self, obj: Any) -> None:
+        """Bidirectional edge for message seams: successive users of the
+        seam are totally ordered (the SOE transfer / log-append shape)."""
+        with self._state_lock:
+            tid, clock = self._state()
+            vc = self._sync_vc(obj)
+            _join(clock, vc)
+            _join(vc, clock)
+            clock[tid] += 1
+
+    def on_thread_start(self, thread: threading.Thread) -> None:
+        with self._state_lock:
+            tid, clock = self._state()
+            thread._racecheck_parent_vc = dict(clock)  # type: ignore[attr-defined]
+            clock[tid] += 1
+
+    def on_thread_join(self, thread: threading.Thread) -> None:
+        child_tid = getattr(thread, "_racecheck_tid", None)
+        if child_tid is None:
+            return  # child never touched tracked state
+        with self._state_lock:
+            _tid, clock = self._state()
+            entry = self._threads.get(child_tid)
+            if entry is not None:
+                _join(clock, entry[1])
+
+    # -- access checks (FastTrack) -------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise DataRaceError(message)
+
+    def read(self, var: _VarState) -> None:
+        with self._state_lock:
+            tid, clock = self._state()
+            self.reads_checked += 1
+            own = clock[tid]
+            if not self.full_vc and var.read_epoch == (tid, own):
+                self.epoch_fast_hits += 1
+                return  # same-epoch read: already checked
+            if not _hb(var.write_epoch, clock):
+                self._fail(
+                    f"data race on {var.name}: read in thread "
+                    f"{self._thread_name(tid)!r} at [{_site()}] has no "
+                    f"happens-before edge from the write in thread "
+                    f"{var.write_thread!r} at [{var.write_site}]"
+                )
+            site = _site()
+            if self.full_vc or var.read_vc is not None:
+                if var.read_vc is None:
+                    var.read_vc = {}
+                    if var.read_epoch is not None:
+                        var.read_vc[var.read_epoch[0]] = var.read_epoch[1]
+                        var.read_sites.setdefault(
+                            var.read_epoch[0], (var.read_thread, var.read_site)
+                        )
+                        var.read_epoch = None
+                var.read_vc[tid] = own
+                var.read_sites[tid] = (self._thread_name(tid), site)
+            elif (
+                var.read_epoch is None
+                or var.read_epoch[0] == tid
+                or _hb(var.read_epoch, clock)
+            ):
+                # the FastTrack epoch case: one reader at a time
+                var.read_epoch = (tid, own)
+                var.read_thread = self._thread_name(tid)
+                var.read_site = site
+            else:
+                # two concurrent readers: promote to a read vector
+                var.read_vc = {var.read_epoch[0]: var.read_epoch[1], tid: own}
+                var.read_sites = {
+                    var.read_epoch[0]: (var.read_thread, var.read_site),
+                    tid: (self._thread_name(tid), site),
+                }
+                var.read_epoch = None
+
+    def write(self, var: _VarState) -> None:
+        with self._state_lock:
+            tid, clock = self._state()
+            self.writes_checked += 1
+            own = clock[tid]
+            if var.write_epoch == (tid, own):
+                self.epoch_fast_hits += 1
+                return  # same-epoch write: already checked
+            if not _hb(var.write_epoch, clock):
+                self._fail(
+                    f"data race on {var.name}: write in thread "
+                    f"{self._thread_name(tid)!r} at [{_site()}] has no "
+                    f"happens-before edge from the write in thread "
+                    f"{var.write_thread!r} at [{var.write_site}]"
+                )
+            if var.read_vc is not None:
+                for reader, at in var.read_vc.items():
+                    if at > clock.get(reader, 0):
+                        name, site = var.read_sites.get(reader, ("?", "?"))
+                        self._fail(
+                            f"data race on {var.name}: write in thread "
+                            f"{self._thread_name(tid)!r} at [{_site()}] has no "
+                            f"happens-before edge from the read in thread "
+                            f"{name!r} at [{site}]"
+                        )
+            elif not _hb(var.read_epoch, clock):
+                self._fail(
+                    f"data race on {var.name}: write in thread "
+                    f"{self._thread_name(tid)!r} at [{_site()}] has no "
+                    f"happens-before edge from the read in thread "
+                    f"{var.read_thread!r} at [{var.read_site}]"
+                )
+            var.write_epoch = (tid, own)
+            var.write_thread = self._thread_name(tid)
+            var.write_site = _site()
+            # after an exclusive write every earlier read happens-before it
+            var.read_epoch = None
+            var.read_vc = None
+            var.read_sites = {}
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "reads_checked": self.reads_checked,
+            "writes_checked": self.writes_checked,
+            "epoch_fast_hits": self.epoch_fast_hits,
+            "threads_seen": self._next_tid,
+        }
+
+
+# --------------------------------------------------------------------------
+# tracked state: the Shared proxy and the @track_fields decorator
+# --------------------------------------------------------------------------
+
+#: container methods that mutate (everything else delegated is a read)
+_WRITE_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "add", "discard", "appendleft", "extendleft",
+        "sort", "reverse",
+    }
+)
+
+_MISSING = object()
+
+
+def _on_read(var: _VarState) -> None:
+    detector = _current
+    if detector is not None:
+        detector.read(var)
+
+
+def _on_write(var: _VarState) -> None:
+    detector = _current
+    if detector is not None:
+        detector.write(var)
+
+
+class Shared:
+    """A delegating proxy that reports container reads/writes.
+
+    Granularity is the whole container — exactly the unit the ``with
+    self._lock`` convention guards — so a guarded write racing an
+    unguarded read is caught regardless of which keys they touch.
+    Mutating methods (``append``/``update``/``setdefault``/…) and the
+    store/delete dunders count as writes; everything else is a read.
+    """
+
+    __slots__ = ("_obj", "_var")
+
+    def __init__(self, obj: Any, name: str) -> None:
+        object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_var", _VarState(name))
+
+    def unwrap(self) -> Any:
+        """The raw container (escape hatch; accesses are untracked)."""
+        return self._obj
+
+    def __getattr__(self, name: str) -> Any:
+        target = getattr(self._obj, name)
+        var = self._var
+        if not callable(target):
+            _on_read(var)
+            return target
+        if name in _WRITE_METHODS:
+            @functools.wraps(target)
+            def method(*args: Any, **kwargs: Any) -> Any:
+                _on_write(var)
+                return target(*args, **kwargs)
+        else:
+            @functools.wraps(target)
+            def method(*args: Any, **kwargs: Any) -> Any:
+                _on_read(var)
+                return target(*args, **kwargs)
+        return method
+
+    def __getitem__(self, key: Any) -> Any:
+        _on_read(self._var)
+        return self._obj[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        _on_write(self._var)
+        self._obj[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        _on_write(self._var)
+        del self._obj[key]
+
+    def __contains__(self, key: Any) -> bool:
+        _on_read(self._var)
+        return key in self._obj
+
+    def __len__(self) -> int:
+        _on_read(self._var)
+        return len(self._obj)
+
+    def __iter__(self) -> Iterator[Any]:
+        _on_read(self._var)
+        return iter(self._obj)
+
+    def __bool__(self) -> bool:
+        _on_read(self._var)
+        return bool(self._obj)
+
+    def __eq__(self, other: Any) -> bool:
+        _on_read(self._var)
+        if isinstance(other, Shared):
+            other = other._obj
+        return self._obj == other
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        return f"<Shared {self._var.name} {self._obj!r}>"
+
+
+def track_fields(*names: str) -> Callable[[type], type]:
+    """Class decorator: wrap the named container attributes in
+    :class:`Shared` proxies on construction *while racecheck is
+    installed*. When the sanitizer is off, instances are built exactly as
+    before — zero overhead, mirroring lockcheck's created-after-install
+    rule. Apply outermost (above ``@dataclass``)::
+
+        @track_fields("_services")
+        @dataclass
+        class DiscoveryService: ...
+
+    Tracked fields must not be rebound after ``__init__`` (use
+    ``.clear()``/``.update()`` instead of assigning a fresh container) or
+    the proxy — and tracking — is silently dropped.
+    """
+
+    def decorate(cls: type) -> type:
+        original_init = cls.__init__
+
+        @functools.wraps(original_init)
+        def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+            original_init(self, *args, **kwargs)
+            if _current is not None:
+                for name in names:
+                    value = getattr(self, name, _MISSING)
+                    if value is not _MISSING and not isinstance(value, Shared):
+                        object.__setattr__(
+                            self, name, Shared(value, f"{cls.__name__}.{name}")
+                        )
+
+        cls.__init__ = __init__  # type: ignore[method-assign]
+        cls.__racecheck_fields__ = names  # type: ignore[attr-defined]
+        return cls
+
+    return decorate
+
+
+# --------------------------------------------------------------------------
+# instrumentation: locks, threads, queues, SOE seams
+# --------------------------------------------------------------------------
+
+
+class TrackedLock:
+    """Lock wrapper contributing release→acquire happens-before edges.
+
+    ``inner`` is whatever the previously-installed ``threading.Lock``
+    factory produced — a raw lock, or lockcheck's ``InstrumentedLock``
+    when both sanitizers are active (install lockcheck first)."""
+
+    def __init__(self, inner: Any, name: str) -> None:
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)  # repro: allow(RA102) — this IS the lock implementation
+        if got:
+            detector = _current
+            if detector is not None:
+                detector.acquire_edge(self)
+        return got
+
+    def release(self) -> None:
+        # publish the clock *before* the inner release so the next
+        # acquirer observes it
+        detector = _current
+        if detector is not None:
+            detector.release_edge(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()  # repro: allow(RA102) — released by __exit__
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<TrackedLock {self.name}>"
+
+
+_STATE_LOCK = _RAW_LOCK()
+_current: _Detector | None = None
+_counter = 0
+#: (owner object, attribute name, original) for every patch applied by install()
+_patches: list[tuple[Any, str, Any]] = []
+#: violations carried across per-test install/uninstall cycles, for the
+#: end-of-session report (see write_report)
+_session_violations: list[str] = []
+_session_stats: dict[str, int] = {}
+
+
+def _tracked_lock_factory() -> TrackedLock:
+    global _counter
+    frame = sys._getframe(1)
+    with _STATE_LOCK:
+        _counter += 1
+        name = (
+            f"Lock#{_counter}@{os.path.basename(frame.f_code.co_filename)}"
+            f":{frame.f_lineno}"
+        )
+        prev_factory = _prev_lock_factory
+    return TrackedLock(prev_factory(), name)
+
+
+_prev_lock_factory: Callable[[], Any] = threading.Lock
+
+
+def _patch(owner: Any, attr: str, replacement: Any) -> None:
+    _patches.append((owner, attr, getattr(owner, attr)))
+    setattr(owner, attr, replacement)
+
+
+def _install_thread_hooks() -> None:
+    original_start = threading.Thread.start
+    original_join = threading.Thread.join
+
+    @functools.wraps(original_start)
+    def start(self: threading.Thread) -> None:
+        detector = _current
+        if detector is not None:
+            detector.on_thread_start(self)
+            original_run = self.run
+
+            @functools.wraps(original_run)
+            def run() -> None:
+                inner = _current
+                if inner is not None:
+                    inner.register_thread(self)
+                original_run()
+
+            # instance attribute shadows the method only for this thread;
+            # registration must happen on the child, after _bootstrap_inner
+            # put it in threading._active
+            self.run = run  # type: ignore[method-assign]
+        original_start(self)
+
+    @functools.wraps(original_join)
+    def join(self: threading.Thread, timeout: float | None = None) -> None:
+        original_join(self, timeout)
+        detector = _current
+        if detector is not None and not self.is_alive():
+            detector.on_thread_join(self)
+
+    _patch(threading.Thread, "start", start)
+    _patch(threading.Thread, "join", join)
+
+
+def _install_queue_hooks() -> None:
+    import queue
+
+    original_put = queue.Queue.put
+    original_get = queue.Queue.get
+
+    @functools.wraps(original_put)
+    def put(self: Any, item: Any, *args: Any, **kwargs: Any) -> None:
+        detector = _current
+        if detector is not None:
+            detector.release_edge(self)
+        original_put(self, item, *args, **kwargs)
+
+    @functools.wraps(original_get)
+    def get(self: Any, *args: Any, **kwargs: Any) -> Any:
+        result = original_get(self, *args, **kwargs)
+        detector = _current
+        if detector is not None:
+            detector.acquire_edge(self)
+        return result
+
+    _patch(queue.Queue, "put", put)
+    _patch(queue.Queue, "get", get)
+
+
+def _install_soe_seams() -> None:
+    """Fence the message seams the chaos controller already hooks: a
+    cluster transfer and a shared-log append are the serialisation points
+    of Figure 3, so successive users are happens-before ordered."""
+    from repro.soe.cluster import SimulatedCluster
+    from repro.soe.services.shared_log import SharedLog
+
+    original_transfer = SimulatedCluster.transfer
+    original_append = SharedLog.append
+
+    @functools.wraps(original_transfer)
+    def transfer(self: Any, source: str, target: str, payload_bytes: int) -> float:
+        detector = _current
+        if detector is not None:
+            detector.fence(self)
+        return original_transfer(self, source, target, payload_bytes)
+
+    @functools.wraps(original_append)
+    def append(self: Any, payload: Any) -> int:
+        detector = _current
+        if detector is not None:
+            detector.fence(self)
+        return original_append(self, payload)
+
+    _patch(SimulatedCluster, "transfer", transfer)
+    _patch(SharedLog, "append", append)
+
+
+# --------------------------------------------------------------------------
+# lifecycle
+# --------------------------------------------------------------------------
+
+
+def install(strict: bool = True, full_vc: bool = False) -> None:
+    """Start sanitizing: locks/threads/queues/seams report HB edges and
+    ``track_fields`` state constructed from now on records access epochs.
+
+    ``strict=True`` raises :class:`DataRaceError` at the racing access;
+    ``strict=False`` accumulates into :func:`violations`. ``full_vc=True``
+    disables the FastTrack read-epoch optimisation (full read vectors for
+    every variable — the E24 benchmark's comparison arm).
+    """
+    global _current, _prev_lock_factory
+    with _STATE_LOCK:
+        if _current is not None:
+            raise DataRaceError("racecheck is already installed")
+        _current = _Detector(strict, full_vc)
+        _prev_lock_factory = threading.Lock
+    _patch(threading, "Lock", _tracked_lock_factory)
+    _install_thread_hooks()
+    _install_queue_hooks()
+    _install_soe_seams()
+
+
+def uninstall() -> list[str]:
+    """Stop sanitizing, undo every patch; returns the violations."""
+    global _current
+    with _STATE_LOCK:
+        detector, _current = _current, None
+        for owner, attr, original in reversed(_patches):
+            setattr(owner, attr, original)
+        _patches.clear()
+    if detector is None:
+        return []
+    _session_violations.extend(detector.violations)
+    for key, value in detector.stats().items():
+        _session_stats[key] = _session_stats.get(key, 0) + value
+    return list(detector.violations)
+
+
+def is_installed() -> bool:
+    return _current is not None
+
+
+def violations() -> list[str]:
+    """Violations recorded so far by the installed detector."""
+    detector = _current
+    return list(detector.violations) if detector else []
+
+
+def stats() -> dict[str, int]:
+    """Access/edge counters of the installed detector (empty when off)."""
+    detector = _current
+    return detector.stats() if detector else {}
+
+
+def enabled_from_env() -> bool:
+    """True when ``REPRO_RACECHECK`` requests sanitized test runs."""
+    return os.environ.get("REPRO_RACECHECK", "").strip() in ("1", "true", "yes", "on")
+
+
+def write_report(path: str | Path) -> None:
+    """Dump the session-accumulated violations report as JSON (the CI
+    artifact: ``REPRO_RACECHECK_REPORT=racecheck-report.json``)."""
+    payload = {
+        "violations": list(_session_violations),
+        "violation_count": len(_session_violations),
+        "stats": dict(_session_stats),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@contextmanager
+def active(strict: bool = True, full_vc: bool = False) -> Iterator[None]:
+    """Install for the duration of a block (the pytest-fixture shape)."""
+    install(strict, full_vc)
+    try:
+        yield
+    finally:
+        uninstall()

@@ -24,13 +24,16 @@ with the log replication mechanism".
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
+from repro.analysis.racecheck import track_fields
 from repro.errors import SoeError
 from repro.soe.partitions import LocalStore, PrepackagedPartition, route_row
 from repro.soe.services.transaction_broker import Operation, TransactionBroker
 
 
+@track_fields("_ownership")
 class DataNode:
     """One database node's data service state + log application logic."""
 
@@ -48,6 +51,10 @@ class DataNode:
         self.store = LocalStore()
         #: table -> (owned partition ids, key positions, partition count)
         self._ownership: dict[str, tuple[set[int], list[int], int]] = {}
+        #: serialises log application: _on_commit escapes to whichever
+        #: thread calls broker.submit() (RA108), so the apply path and the
+        #: pull/staleness path must not interleave
+        self._apply_lock = threading.Lock()
         self.applied_lsn = broker.current_lsn
         self.applies = 0
         if mode == "oltp":
@@ -63,36 +70,46 @@ class DataNode:
         partition_count: int,
     ) -> None:
         """Install prepackaged partitions this node is responsible for."""
-        owned = self._ownership.setdefault(table, (set(), key_positions, partition_count))[0]
-        for partition in partitions:
-            self.store.install(partition)
-            owned.add(partition.partition_id)
+        # ownership changes race the apply path on an OLTP node: the
+        # broker may push a commit into _on_commit mid-install (RA108)
+        with self._apply_lock:
+            owned = self._ownership.setdefault(
+                table, (set(), key_positions, partition_count)
+            )[0]
+            for partition in partitions:
+                self.store.install(partition)
+                owned.add(partition.partition_id)
 
     def owned_partitions(self, table: str) -> set[int]:
-        return set(self._ownership.get(table, (set(), [], 0))[0])
+        with self._apply_lock:
+            return set(self._ownership.get(table, (set(), [], 0))[0])
 
     # -- log application --------------------------------------------------------------
 
     def _on_commit(self, address: int, operations: list[Operation]) -> None:
-        # OLTP path: called synchronously by the broker
-        self._apply(operations)
-        self.applied_lsn = address + 1
+        # OLTP path: called synchronously by the broker, on the submitting
+        # thread — serialise against a concurrent catch_up()
+        with self._apply_lock:
+            self._apply(operations)
+            self.applied_lsn = address + 1
 
     def catch_up(self, to_lsn: int | None = None) -> int:
         """OLAP path: pull and apply the log suffix; returns txns applied."""
         target = to_lsn if to_lsn is not None else self.broker.current_lsn
         applied = 0
-        for address, operations in self.broker.read_since(self.applied_lsn):
-            if address >= target:
-                break
-            self._apply(operations)
-            self.applied_lsn = address + 1
-            applied += 1
+        with self._apply_lock:
+            for address, operations in self.broker.read_since(self.applied_lsn):
+                if address >= target:
+                    break
+                self._apply(operations)
+                self.applied_lsn = address + 1
+                applied += 1
         return applied
 
     def staleness(self) -> int:
         """Committed transactions this node has not applied yet."""
-        return self.broker.current_lsn - self.applied_lsn
+        with self._apply_lock:
+            return self.broker.current_lsn - self.applied_lsn
 
     def _apply(self, operations: list[Operation]) -> None:
         for operation in operations:

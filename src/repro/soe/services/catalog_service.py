@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.racecheck import track_fields
 from repro.errors import CoordinationError
 
 
@@ -32,6 +33,7 @@ class SoeTableMeta:
         return [self.columns.index(column) for column in self.key_columns]
 
 
+@track_fields("_tables", "_placement")
 @dataclass
 class CatalogService:
     """Schemas plus partition → hosting-node discovery."""
@@ -52,16 +54,19 @@ class CatalogService:
             self._tables[meta.name] = meta
 
     def table(self, name: str) -> SoeTableMeta:
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise CoordinationError(f"unknown SOE table {name!r}") from None
+        with self._lock:
+            meta = self._tables.get(name)
+        if meta is None:
+            raise CoordinationError(f"unknown SOE table {name!r}")
+        return meta
 
     def has_table(self, name: str) -> bool:
-        return name in self._tables
+        with self._lock:
+            return name in self._tables
 
     def tables(self) -> list[str]:
-        return sorted(self._tables)
+        with self._lock:
+            return sorted(self._tables)
 
     # -- data discovery ----------------------------------------------------------
 
@@ -78,26 +83,29 @@ class CatalogService:
                 nodes.remove(node_id)
 
     def nodes_of(self, table: str, partition_id: int) -> list[str]:
-        nodes = self._placement.get((table, partition_id))
-        if not nodes:
-            raise CoordinationError(
-                f"partition {table}#{partition_id} is not placed anywhere"
-            )
-        return list(nodes)
+        with self._lock:
+            nodes = self._placement.get((table, partition_id))
+            if nodes:
+                return list(nodes)
+        raise CoordinationError(
+            f"partition {table}#{partition_id} is not placed anywhere"
+        )
 
     def placement_of(self, table: str) -> dict[int, list[str]]:
         """partition id → hosting nodes, for every *placed* partition."""
         self.table(table)
-        return {
-            partition_id: list(nodes)
-            for (t, partition_id), nodes in sorted(self._placement.items())
-            if t == table and nodes
-        }
+        with self._lock:
+            return {
+                partition_id: list(nodes)
+                for (t, partition_id), nodes in sorted(self._placement.items())
+                if t == table and nodes
+            }
 
     def partitions_on(self, table: str, node_id: str) -> list[int]:
         """Partition ids of ``table`` hosted on ``node_id``."""
-        return sorted(
-            partition_id
-            for (t, partition_id), nodes in self._placement.items()
-            if t == table and node_id in nodes
-        )
+        with self._lock:
+            return sorted(
+                partition_id
+                for (t, partition_id), nodes in self._placement.items()
+                if t == table and node_id in nodes
+            )

@@ -19,9 +19,11 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.racecheck import track_fields
 from repro.errors import ClusterError
 
 
+@track_fields("_services")
 @dataclass
 class DiscoveryService:
     """Service registry: which nodes host which service kind."""
@@ -57,6 +59,7 @@ class DiscoveryService:
             return sorted(self._services)
 
 
+@track_fields("_grants", "_credentials")
 @dataclass
 class AuthorizationService:
     """Credentials and access-rights store (deliberately simple ACLs)."""

@@ -34,12 +34,14 @@ import threading
 from typing import Any, Callable, Iterator
 
 from repro import obs
+from repro.analysis.racecheck import track_fields
 from repro.errors import LogError, LogSealedError
 
 #: sentinel payload for filled holes
 HOLE = {"__hole__": True}
 
 
+@track_fields("_entries")
 class MemorySegmentStore:
     """One replica of one stripe: an in-memory address → payload map."""
 
@@ -94,8 +96,11 @@ class Sequencer:
 
     @property
     def tail(self) -> int:
-        """The next address to be issued (== log length)."""
-        return self._next
+        """The next address to be issued (== log length). Read under the
+        dispenser's lock — the unguarded read racing ``next_address`` is
+        the check-then-act shape RA109 flags."""
+        with self._lock:
+            return self._next
 
 
 StoreFactory = Callable[[str], Any]
@@ -187,7 +192,11 @@ class SharedLog:
         return self.sequencer.tail
 
     def is_written(self, address: int) -> bool:
-        return self._segments[address % self.stripes][0].has(address)
+        # the read side takes the same lock the write side holds — an
+        # unguarded `.has()` would race a concurrent append's `.write()`
+        # (found by repro.analysis.racecheck on the segment entry maps)
+        with self._lock:
+            return self._segments[address % self.stripes][0].has(address)
 
     def read(self, address: int) -> Any:
         """Read one address from the stripe's first live replica."""
@@ -196,11 +205,12 @@ class SharedLog:
         if not 0 <= address < self.tail:
             raise LogError(f"address {address} beyond tail {self.tail}")
         errors: list[str] = []
-        for replica in self._segments[address % self.stripes]:
-            try:
-                return replica.read(address)
-            except LogError as exc:
-                errors.append(str(exc))
+        with self._lock:
+            for replica in self._segments[address % self.stripes]:
+                try:
+                    return replica.read(address)
+                except LogError as exc:
+                    errors.append(str(exc))
         raise LogError(f"address {address}: all replicas failed: {errors}")
 
     def read_from(self, address: int, limit: int | None = None) -> Iterator[tuple[int, Any]]:

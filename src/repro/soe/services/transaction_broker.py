@@ -24,6 +24,7 @@ import threading
 from typing import Any, Callable, Iterable
 
 from repro import obs
+from repro.analysis.racecheck import track_fields
 from repro.errors import LogSealedError, LogStallError, SoeError
 from repro.soe.services.shared_log import SharedLog
 from repro.util.retry import RetryPolicy, SimulatedClock
@@ -32,6 +33,7 @@ Operation = dict[str, Any]
 Subscriber = Callable[[int, list[Operation]], None]
 
 
+@track_fields("_oltp_subscribers")
 class TransactionBroker:
     """Serialises transactions through the shared log.
 

@@ -14,6 +14,7 @@ from collections import deque
 
 from typing import Any, Callable, Iterable
 
+from repro.analysis.racecheck import track_fields
 from repro.errors import StreamingError
 
 Event = dict[str, Any]
@@ -64,6 +65,7 @@ class DeriveOperator(StreamOperator):
         yield enriched
 
 
+@track_fields("_states")
 class TumblingWindowAggregate(StreamOperator):
     """Per-key aggregation over non-overlapping time windows.
 
@@ -117,14 +119,17 @@ class TumblingWindowAggregate(StreamOperator):
                 "max": maximum,
                 "avg": total / count,
             }
-        self._states = {}
+        # clear in place, never rebind: the container may be a racecheck
+        # Shared proxy and a fresh dict would silently drop the tracking
+        self._states.clear()
 
     def flush(self) -> Iterable[Event]:
         if self._states and self._window_start is not None:
             yield from self._emit()
-            self._states = {}
+            self._states.clear()
 
 
+@track_fields("_windows", "_alerted")
 class SlidingWindowThreshold(StreamOperator):
     """Emit an alert when the mean over the last N events of a key crosses
     a threshold (the dispenser-refill trigger of Scenario V.3)."""
@@ -174,6 +179,7 @@ class Sink:
         raise NotImplementedError
 
 
+@track_fields("events")
 class CollectSink(Sink):
     """Collects events into a list (tests, debugging)."""
 
@@ -212,7 +218,16 @@ class TableSink(Sink):
 
 
 class StreamProcessor:
-    """An operator chain feeding one or more sinks."""
+    """An operator chain feeding one or more sinks.
+
+    **Concurrency contract:** one pipeline is single-threaded — operators
+    keep per-key window state and sinks batch transactions, none of it
+    lock-guarded. The contract is *enforced*, not hoped for: the window
+    operators' and collect sink's state is ``racecheck.track_fields``
+    tracked, so two threads pushing into one pipeline under
+    ``REPRO_RACECHECK=1`` fail with a ``DataRaceError`` naming both
+    sites. Fan in upstream (one thread per pipeline) instead.
+    """
 
     def __init__(self, operators: list[StreamOperator], sinks: list[Sink]) -> None:
         self.operators = operators

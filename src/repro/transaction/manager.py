@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.analysis.racecheck import track_fields
 from repro.errors import InvalidTransactionStateError, TransactionAbortedError
 from repro.transaction.mvcc import INF_CID, uncommitted_stamp
 
@@ -108,6 +109,7 @@ class Transaction:
         self._commit_hooks.append(hook)
 
 
+@track_fields("_active")
 class TransactionManager:
     """Hands out transactions and serialises commit stamping."""
 
@@ -124,8 +126,13 @@ class TransactionManager:
 
     @property
     def last_committed_cid(self) -> int:
-        """The most recent commit id (== the freshest possible snapshot)."""
-        return self._last_committed_cid
+        """The most recent commit id (== the freshest possible snapshot).
+
+        Read under the commit lock: an unguarded read here is the classic
+        check-then-act race against a concurrent commit's stamp (RA109).
+        """
+        with self._commit_lock:
+            return self._last_committed_cid
 
     def begin(self) -> Transaction:
         """Start a transaction with a snapshot of the current commit state."""
@@ -186,4 +193,5 @@ class TransactionManager:
     @property
     def active_count(self) -> int:
         """Number of currently running transactions."""
-        return len(self._active)
+        with self._commit_lock:
+            return len(self._active)

@@ -124,4 +124,116 @@ def test_select_unknown_rule_raises(tmp_path):
 def test_rule_registry_is_complete():
     assert sorted(all_rules()) == [
         "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
+        "RA108", "RA109", "RA110",
     ]
+
+
+# -- --changed: lint only files differing from the merge-base ----------------------
+
+
+def _git_repo_with_history(tmp_path, monkeypatch):
+    """A temp repo: one clean committed file on main, then edits on a branch."""
+    import subprocess
+
+    def git(*args):
+        subprocess.run(
+            ["git", *args], cwd=tmp_path, check=True, capture_output=True,
+            env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                 "HOME": str(tmp_path), "PATH": __import__("os").environ["PATH"]},
+        )
+
+    pkg = tmp_path / "src" / "repro" / "sql"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("def ok():\n    return 1\n")
+    git("init", "-b", "main")
+    git("add", ".")
+    git("commit", "-m", "seed")
+    git("checkout", "-b", "feature")
+    monkeypatch.chdir(tmp_path)
+    return pkg
+
+
+def test_changed_mode_lints_only_diffing_files(tmp_path, monkeypatch, capsys):
+    pkg = _git_repo_with_history(tmp_path, monkeypatch)
+    # a new (untracked) file with a violation; clean.py is unchanged
+    (pkg / "dirty.py").write_text(_SEEDED)
+    exit_code = analyze_main(["src", "--changed", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "dirty.py" in out and "clean.py" not in out
+
+
+def test_changed_mode_no_changes_exits_zero(tmp_path, monkeypatch, capsys):
+    _git_repo_with_history(tmp_path, monkeypatch)
+    exit_code = analyze_main(["src", "--changed", "--no-baseline"])
+    assert exit_code == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_changed_mode_respects_roots(tmp_path, monkeypatch, capsys):
+    _git_repo_with_history(tmp_path, monkeypatch)
+    other = tmp_path / "scripts"
+    other.mkdir()
+    (other / "dirty.py").write_text(_SEEDED)
+    exit_code = analyze_main(["src", "--changed", "--no-baseline"])
+    assert exit_code == 0  # the violation is outside the analyzed roots
+
+
+def test_changed_mode_falls_back_without_git(tmp_path, monkeypatch, capsys):
+    root = _seed_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(
+        "tools.analyze.__main__.changed_python_files", lambda roots: None
+    )
+    exit_code = analyze_main([str(root), "--changed", "--no-baseline"])
+    captured = capsys.readouterr()
+    assert exit_code == 1  # full-run fallback still finds the seeded RA101
+    assert "falling back to a full run" in captured.err
+
+
+def test_changed_mode_rejects_baseline_rewrites(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        analyze_main(["src", "--changed", "--baseline-prune"])
+    with pytest.raises(SystemExit):
+        analyze_main(["src", "--changed", "--write-baseline"])
+
+
+# -- --baseline-prune: drop stale entries -----------------------------------------
+
+
+def test_baseline_prune_drops_stale_keeps_live(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    # baseline the live finding, then add a stale entry by hand
+    live = analyze_paths([str(root)])
+    baseline = Baseline.from_findings(live, justification="live")
+    baseline.entries[("RA101", "gone/file.py", "old", "stale message")] = "stale"
+    baseline.write(baseline_path)
+
+    exit_code = analyze_main(
+        [str(root), "--baseline-prune", "--baseline", str(baseline_path)]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "pruned 1 stale entry" in out
+
+    pruned = Baseline.load(baseline_path)
+    assert len(pruned.entries) == len(live)
+    assert all(key[1] != "gone/file.py" for key in pruned.entries)
+    # the tree still passes against the pruned baseline
+    assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 0
+    capsys.readouterr()
+
+
+def test_baseline_prune_noop_on_exact_baseline(tmp_path, capsys):
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    analyze_main([str(root), "--write-baseline", "--baseline", str(baseline_path)])
+    capsys.readouterr()
+    assert analyze_main(
+        [str(root), "--baseline-prune", "--baseline", str(baseline_path)]
+    ) == 0
+    assert "pruned 0 stale entries" in capsys.readouterr().out

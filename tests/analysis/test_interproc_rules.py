@@ -1,0 +1,484 @@
+"""The interprocedural thread-escape rules (RA108–RA110)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.analyze import analyze_source
+
+_SOE_PATH = "src/repro/soe/services/example.py"
+_REPRO_PATH = "src/repro/soe/example.py"
+
+
+def findings_for(source: str, rel_path: str = _REPRO_PATH, select=None):
+    return analyze_source(textwrap.dedent(source), rel_path, select)
+
+
+def codes(source: str, rel_path: str = _REPRO_PATH, select=None):
+    return [f.code for f in findings_for(source, rel_path, select)]
+
+
+# -- RA108: escape to thread/callback without lock -------------------------------
+
+
+def test_ra108_flags_callback_escape_sharing_unguarded_state():
+    src = """
+        class Node:
+            def __init__(self, broker):
+                self._applied = {}
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                self._applied[address] = ops
+
+            def staleness(self):
+                return len(self._applied)
+    """
+    found = findings_for(src, select=["RA108"])
+    assert [f.code for f in found] == ["RA108"]
+    assert "self._applied" in found[0].message
+    assert "subscribe_oltp" in found[0].message
+
+
+def test_ra108_flags_thread_target_escape():
+    src = """
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._results = []
+
+            def launch(self):
+                self._worker = threading.Thread(target=self._run)
+                self._worker.start()
+
+            def _run(self):
+                self._results.append(1)
+
+            def results(self):
+                return list(self._results)
+    """
+    assert codes(src, select=["RA108"]) == ["RA108"]
+
+
+def test_ra108_flags_escaped_lambda():
+    src = """
+        class Collector:
+            def __init__(self, bus):
+                self._events = []
+                bus.subscribe(lambda event: self._events.append(event))
+
+            def drain(self):
+                return list(self._events)
+    """
+    assert codes(src, select=["RA108"]) == ["RA108"]
+
+
+def test_ra108_clean_when_both_sides_guarded():
+    src = """
+        import threading
+
+        class Node:
+            def __init__(self, broker):
+                self._lock = threading.Lock()
+                self._applied = {}
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                with self._lock:
+                    self._applied[address] = ops
+
+            def staleness(self):
+                with self._lock:
+                    return len(self._applied)
+    """
+    assert codes(src, select=["RA108"]) == []
+
+
+def test_ra108_guarded_call_site_confers_guardedness():
+    """`with self._lock: self._apply(...)` protects _apply's body — the
+    caller-holds-lock idiom must not be flagged."""
+    src = """
+        import threading
+
+        class Node:
+            def __init__(self, broker):
+                self._lock = threading.Lock()
+                self._state = {}
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                with self._lock:
+                    self._apply(address, ops)
+
+            def _apply(self, address, ops):
+                self._state[address] = ops
+
+            def snapshot(self):
+                with self._lock:
+                    return dict(self._state)
+    """
+    assert codes(src, select=["RA108"]) == []
+
+
+def test_ra108_read_only_shared_state_is_clean():
+    src = """
+        class Node:
+            def __init__(self, broker):
+                self.mode = "oltp"
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                if self.mode == "oltp":
+                    pass
+
+            def describe(self):
+                return self.mode
+    """
+    assert codes(src, select=["RA108"]) == []
+
+
+def test_ra108_per_txn_hooks_are_not_escapes():
+    """txn.on_commit runs on the committing thread — not a thread escape."""
+    src = """
+        class Table:
+            def __init__(self):
+                self._subscribers = []
+
+            def insert(self, row, txn):
+                txn.on_commit(lambda cid: self._notify(cid))
+
+            def _notify(self, cid):
+                for subscriber in self._subscribers:
+                    subscriber(cid)
+
+            def subscribe(self, fn):
+                self._subscribers.append(fn)
+    """
+    assert codes(src, select=["RA108"]) == []
+
+
+def test_ra108_suppression():
+    src = """
+        class Node:
+            def __init__(self, broker):
+                self._applied = {}
+                broker.subscribe_oltp(self._on_commit)  # repro: allow(RA108)
+
+            def _on_commit(self, address, ops):
+                self._applied[address] = ops
+
+            def staleness(self):
+                return len(self._applied)
+    """
+    assert codes(src, select=["RA108"]) == []
+
+
+def test_ra108_scoped_to_repro():
+    src = """
+        class Node:
+            def __init__(self, broker):
+                self._applied = {}
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                self._applied[address] = ops
+
+            def staleness(self):
+                return len(self._applied)
+    """
+    assert codes(src, rel_path="benchmarks/bench_example.py", select=["RA108"]) == []
+
+
+# -- RA109: check-then-act reads --------------------------------------------------
+
+
+def test_ra109_flags_unguarded_read_of_guarded_attr():
+    src = """
+        import threading
+
+        class Catalog:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._tables = {}
+
+            def register(self, name, meta):
+                with self._lock:
+                    self._tables[name] = meta
+
+            def has_table(self, name):
+                return name in self._tables
+    """
+    found = findings_for(src, rel_path=_SOE_PATH, select=["RA109"])
+    assert [f.code for f in found] == ["RA109"]
+    assert "self._tables" in found[0].message
+    assert found[0].symbol == "Catalog.has_table"
+
+
+def test_ra109_clean_when_read_is_guarded():
+    src = """
+        import threading
+
+        class Catalog:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._tables = {}
+
+            def register(self, name, meta):
+                with self._lock:
+                    self._tables[name] = meta
+
+            def has_table(self, name):
+                with self._lock:
+                    return name in self._tables
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA109"]) == []
+
+
+def test_ra109_locked_suffix_helpers_exempt():
+    """*_locked helpers run with the caller's lock held — their direct
+    reads are checked at the call sites, not their bodies."""
+    src = """
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def write(self, address, payload):
+                with self._lock:
+                    self._entries[address] = payload
+
+            def _sealed_locked(self):
+                return len(self._entries) > 10
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA109"]) == []
+
+
+def test_ra109_setup_reads_exempt():
+    src = """
+        import threading
+
+        class Catalog:
+            def __init__(self, seed):
+                self._lock = threading.Lock()
+                self._tables = {}
+                for name in seed:
+                    self._tables[name] = None
+
+            def register(self, name, meta):
+                with self._lock:
+                    self._tables[name] = meta
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA109"]) == []
+
+
+def test_ra109_requires_a_guarded_write():
+    """A never-guarded attribute is RA103's business, not a check-then-act."""
+    src = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = {}
+
+            def bump(self, key):
+                self._hits[key] = self._hits.get(key, 0) + 1
+
+            def peek(self, key):
+                return self._hits.get(key, 0)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA109"]) == []
+
+
+def test_ra109_scoped_to_concurrency_layer():
+    src = """
+        import threading
+
+        class Catalog:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._tables = {}
+
+            def register(self, name, meta):
+                with self._lock:
+                    self._tables[name] = meta
+
+            def has_table(self, name):
+                return name in self._tables
+    """
+    assert codes(src, rel_path="src/repro/columnstore/table.py", select=["RA109"]) == []
+
+
+def test_ra109_suppression():
+    src = """
+        import threading
+
+        class Catalog:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._tables = {}
+
+            def register(self, name, meta):
+                with self._lock:
+                    self._tables[name] = meta
+
+            def has_table(self, name):
+                return name in self._tables  # repro: allow(RA109)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA109"]) == []
+
+
+# -- RA110: unsafe publication after Thread.start ---------------------------------
+
+
+def test_ra110_flags_assignment_after_start():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._config = None
+                self._stop = False
+
+            def launch(self):
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                self._config = {"batch": 10}
+                return worker
+
+            def _loop(self):
+                while not self._stop:
+                    process(self._config)
+    """
+    found = findings_for(src, select=["RA110"])
+    assert [f.code for f in found] == ["RA110"]
+    assert "self._config" in found[0].message
+    assert found[0].symbol == "Runner.launch"
+
+
+def test_ra110_flags_inline_start():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._config = None
+
+            def launch(self):
+                threading.Thread(target=self._loop).start()
+                self._config = {"batch": 10}
+
+            def _loop(self):
+                process(self._config)
+    """
+    assert codes(src, select=["RA110"]) == ["RA110"]
+
+
+def test_ra110_clean_when_assigned_before_start():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._config = None
+
+            def launch(self):
+                self._config = {"batch": 10}
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                return worker
+
+            def _loop(self):
+                process(self._config)
+    """
+    assert codes(src, select=["RA110"]) == []
+
+
+def test_ra110_clean_when_both_sides_guarded():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._config = None
+
+            def launch(self):
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                with self._lock:
+                    self._config = {"batch": 10}
+                return worker
+
+            def _loop(self):
+                with self._lock:
+                    process(self._config)
+    """
+    assert codes(src, select=["RA110"]) == []
+
+
+def test_ra110_ignores_attrs_the_thread_never_reads():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._done = False
+
+            def launch(self):
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                self._unrelated = 1
+                return worker
+
+            def _loop(self):
+                self._done = True
+    """
+    assert codes(src, select=["RA110"]) == []
+
+
+def test_ra110_suppression():
+    src = """
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._config = None
+
+            def launch(self):
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                self._config = {"batch": 10}  # repro: allow(RA110)
+                return worker
+
+            def _loop(self):
+                process(self._config)
+    """
+    assert codes(src, select=["RA110"]) == []
+
+
+# -- summaries shared across the three rules --------------------------------------
+
+
+def test_rules_share_one_summary_per_class():
+    """All three rules run over one source without re-summarizing (smoke:
+    the combined run matches the union of individual runs)."""
+    src = """
+        import threading
+
+        class Node:
+            def __init__(self, broker):
+                self._applied = {}
+                broker.subscribe_oltp(self._on_commit)
+
+            def _on_commit(self, address, ops):
+                self._applied[address] = ops
+
+            def staleness(self):
+                return len(self._applied)
+    """
+    combined = codes(src, select=["RA108", "RA109", "RA110"])
+    assert combined == ["RA108"]

@@ -120,3 +120,69 @@ def test_transaction_layer_runs_clean_under_sanitizer(fresh_lockcheck):
         soe.create_table("t", ["k", "v"], ["k"], partition_count=2)
         soe.load("t", [[i, float(i)] for i in range(50)])
         assert lockcheck.violations() == []
+
+
+# -- edge cases around install/uninstall boundaries (PR 4) -------------------------
+
+
+def test_uninstall_while_lock_held(fresh_lockcheck):
+    """Uninstalling with a lock still held must detach cleanly: the held
+    lock keeps working (release succeeds) and reports nothing further."""
+    lockcheck.install()
+    lock = threading.Lock()
+    assert isinstance(lock, lockcheck.InstrumentedLock)
+    lock.acquire()
+    try:
+        lockcheck.uninstall()
+        assert lock.locked()
+    finally:
+        lock.release()
+    assert not lock.locked()
+    # detached: usable, but no checker to report to
+    with lock:
+        pass
+    assert lockcheck.violations() == []
+
+
+def test_nonblocking_reacquire_and_release_of_unlocked(fresh_lockcheck):
+    """The wrapper must preserve raw-lock semantics exactly: a failed
+    non-blocking reacquire returns False (and must not poison the order
+    graph), and releasing an unlocked lock raises RuntimeError."""
+    with lockcheck.active():
+        lock = threading.Lock()
+        assert lock.acquire(blocking=False) is True
+        assert lock.acquire(blocking=False) is False  # held: no deadlock report
+        lock.release()
+        with pytest.raises(RuntimeError):
+            lock.release()
+        # the failed reacquire left no residue: normal use stays clean
+        with lock:
+            pass
+        assert lockcheck.violations() == []
+
+
+def test_timeout_acquire_preserved(fresh_lockcheck):
+    with lockcheck.active():
+        lock = threading.Lock()
+        with lock:
+            assert lock.acquire(blocking=True, timeout=0.01) is False
+        assert lock.acquire(blocking=True, timeout=0.01) is True
+        lock.release()
+
+
+def test_locks_created_before_install_are_untracked_but_functional(fresh_lockcheck):
+    """A raw lock predating install() contributes no graph edges — an
+    inversion against it is invisible (documented limit), but using it
+    under the sanitizer must work and not crash the checker."""
+    early = threading.Lock()
+    with lockcheck.active():
+        assert not isinstance(early, lockcheck.InstrumentedLock)
+        late = threading.Lock()
+        assert isinstance(late, lockcheck.InstrumentedLock)
+        with early:
+            with late:
+                pass
+        with late:
+            with early:  # would be an inversion if `early` were tracked
+                pass
+        assert lockcheck.violations() == []

@@ -1,0 +1,454 @@
+"""The happens-before race sanitizer: detection, HB edges, FastTrack, gating.
+
+The cross-thread tests synchronize with a busy-wait on a plain list —
+deliberately NOT ``threading.Event``: an Event's internal condition lock
+is instrumented while racecheck is installed, so waiting on one would
+create exactly the happens-before edge the test needs to be absent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis import racecheck
+from repro.analysis.racecheck import DataRaceError, Shared, track_fields
+
+
+@pytest.fixture
+def fresh_racecheck():
+    """A sanitizer scope independent of the REPRO_RACECHECK autouse one."""
+    was_installed = racecheck.is_installed()
+    if was_installed:
+        racecheck.uninstall()
+    yield
+    if racecheck.is_installed():
+        racecheck.uninstall()
+    if was_installed:
+        racecheck.install()
+
+
+def _spin_until(flag: list) -> None:
+    deadline = time.monotonic() + 10.0
+    while not flag[0]:
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            raise AssertionError("worker never signalled")
+        time.sleep(0)
+
+
+class _Service:
+    """Guarded writes, configurable reads — the seeded-race shape."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state = Shared({}, "_Service._state")
+
+    def guarded_write(self, key, value) -> None:
+        with self._lock:
+            self._state[key] = value
+
+    def unguarded_write(self, key, value) -> None:
+        self._state[key] = value
+
+    def guarded_read(self, key):
+        with self._lock:
+            return self._state.get(key)
+
+    def unguarded_read(self, key):
+        return self._state.get(key)
+
+
+# -- the seeded race (acceptance criterion) ---------------------------------------
+
+
+def test_seeded_race_unguarded_write_vs_guarded_read(fresh_racecheck):
+    """An unguarded write racing a guarded read is a data race: the lock
+    the reader holds was never touched by the writer, so no HB edge."""
+    with racecheck.active():
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.unguarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        with pytest.raises(DataRaceError) as exc:
+            service.guarded_read("k")
+        thread.join()
+    message = str(exc.value)
+    assert "_Service._state" in message
+    # both access sites are named
+    assert "guarded_read" in message and "unguarded_write" in message
+
+
+def test_seeded_race_accumulates_when_not_strict(fresh_racecheck):
+    with racecheck.active(strict=False):
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.unguarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        service.guarded_read("k")
+        thread.join()
+        violations = racecheck.violations()
+    assert len(violations) == 1
+    assert "no happens-before edge" in violations[0]
+
+
+def test_write_write_race_detected(fresh_racecheck):
+    with racecheck.active(strict=False):
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.unguarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        service.unguarded_write("k", 2)
+        thread.join()
+        assert any("write in thread" in v for v in racecheck.violations())
+
+
+# -- happens-before edges make the same shapes clean ------------------------------
+
+
+def test_lock_edge_makes_guarded_access_clean(fresh_racecheck):
+    with racecheck.active():
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.guarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        assert service.guarded_read("k") == 1
+        thread.join()
+        assert racecheck.violations() == []
+
+
+def test_start_and_join_edges(fresh_racecheck):
+    """Parent-before-start and child-before-join accesses are ordered."""
+    with racecheck.active():
+        shared = Shared({}, "startjoin")
+        shared["before"] = 1  # parent write before start
+
+        def child():
+            assert shared["before"] == 1  # ordered by the start edge
+            shared["after"] = 2
+
+        thread = threading.Thread(target=child)
+        thread.start()
+        thread.join()
+        assert shared["after"] == 2  # ordered by the join edge
+        assert racecheck.violations() == []
+
+
+def test_queue_put_get_edge(fresh_racecheck):
+    import queue
+
+    with racecheck.active():
+        shared = Shared({}, "queued")
+        channel = queue.Queue()
+
+        def producer():
+            shared["a"] = 1
+            channel.put("ready")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        channel.get()  # adopts the producer's clock
+        assert shared["a"] == 1
+        thread.join()
+        assert racecheck.violations() == []
+
+
+def test_shared_log_append_is_a_fence(fresh_racecheck):
+    """The SOE seam: successive users of one SharedLog are ordered even
+    when the log itself was built before install (raw, untracked locks)."""
+    from repro.soe.services.shared_log import SharedLog
+
+    log = SharedLog(stripes=1, replication=1)  # pre-install: no lock edges
+    with racecheck.active():
+        shared = Shared({}, "log_guarded")
+        flag = [False]
+
+        def writer():
+            shared["x"] = 1
+            log.append({"ops": []})
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        log.append({"ops": []})  # fence: adopts the writer's clock
+        assert shared["x"] == 1
+        thread.join()
+        assert racecheck.violations() == []
+
+
+# -- FastTrack mechanics ----------------------------------------------------------
+
+
+def test_same_thread_reread_hits_epoch_fast_path(fresh_racecheck):
+    with racecheck.active():
+        shared = Shared({}, "fast")
+        shared["k"] = 1
+        for _ in range(5):
+            shared.get("k")
+        stats = racecheck.stats()
+        assert stats["epoch_fast_hits"] > 0
+
+
+def test_concurrent_reads_promote_then_write_races_both(fresh_racecheck):
+    """Two lock-ordered readers force the read vector; a later unguarded
+    write must race the reader the writer has no edge from."""
+    with racecheck.active(strict=False):
+        shared = Shared({}, "promoted")
+        lock = threading.Lock()
+        with lock:
+            shared.get("k")  # reader 1: main thread (guarded)
+        flag = [False]
+
+        def reader():
+            with lock:
+                shared.get("k")  # reader 2: child thread, ordered via lock
+            flag[0] = True
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        _spin_until(flag)
+        shared["k"] = 1  # no edge from the child's read
+        thread.join()
+        assert any("read in thread" in v for v in racecheck.violations())
+
+
+def test_full_vc_mode_finds_the_same_race(fresh_racecheck):
+    with racecheck.active(strict=False, full_vc=True):
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.unguarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        service.guarded_read("k")
+        thread.join()
+        assert len(racecheck.violations()) == 1
+        assert racecheck.stats()["epoch_fast_hits"] == 0
+
+
+# -- the Shared proxy -------------------------------------------------------------
+
+
+def test_shared_proxy_delegates_container_protocol(fresh_racecheck):
+    with racecheck.active():
+        shared = Shared({"a": 1}, "proxy")
+        assert shared["a"] == 1
+        assert "a" in shared
+        assert len(shared) == 1
+        assert list(shared) == ["a"]
+        assert bool(shared)
+        assert shared == {"a": 1}
+        assert shared != {"b": 2}
+        shared["b"] = 2
+        del shared["b"]
+        shared.update({"c": 3})
+        assert shared.unwrap() == {"a": 1, "c": 3}
+        assert "proxy" in repr(shared)
+
+
+def test_track_fields_wraps_only_while_installed(fresh_racecheck):
+    @track_fields("_data")
+    class Holder:
+        def __init__(self):
+            self._data = {}
+
+    plain = Holder()
+    assert not isinstance(plain._data, Shared)
+
+    with racecheck.active():
+        tracked = Holder()
+        assert isinstance(tracked._data, Shared)
+    assert Holder.__racecheck_fields__ == ("_data",)
+
+
+def test_track_fields_missing_attr_is_tolerated(fresh_racecheck):
+    @track_fields("_absent")
+    class Holder:
+        def __init__(self):
+            self._present = 1
+
+    with racecheck.active():
+        assert Holder()._present == 1
+
+
+# -- lifecycle / gating -----------------------------------------------------------
+
+
+def test_install_uninstall_restores_patched_seams(fresh_racecheck):
+    import queue
+
+    before = (
+        threading.Lock,
+        threading.Thread.start,
+        threading.Thread.join,
+        queue.Queue.put,
+        queue.Queue.get,
+    )
+    racecheck.install()
+    assert threading.Lock is not before[0]
+    racecheck.uninstall()
+    after = (
+        threading.Lock,
+        threading.Thread.start,
+        threading.Thread.join,
+        queue.Queue.put,
+        queue.Queue.get,
+    )
+    assert before == after
+
+
+def test_nested_install_rejected(fresh_racecheck):
+    with racecheck.active():
+        with pytest.raises(DataRaceError, match="already installed"):
+            racecheck.install()
+
+
+def test_env_gating(monkeypatch):
+    monkeypatch.delenv("REPRO_RACECHECK", raising=False)
+    assert not racecheck.enabled_from_env()
+    for value in ("1", "true", "yes", "on"):
+        monkeypatch.setenv("REPRO_RACECHECK", value)
+        assert racecheck.enabled_from_env()
+    monkeypatch.setenv("REPRO_RACECHECK", "0")
+    assert not racecheck.enabled_from_env()
+
+
+def test_write_report_accumulates_across_cycles(fresh_racecheck, tmp_path):
+    baseline = len(racecheck._session_violations)
+    with racecheck.active(strict=False):
+        service = _Service()
+        flag = [False]
+
+        def writer():
+            service.unguarded_write("k", 1)
+            flag[0] = True
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        _spin_until(flag)
+        service.guarded_read("k")
+        thread.join()
+    report_path = tmp_path / "report.json"
+    racecheck.write_report(report_path)
+    payload = json.loads(report_path.read_text())
+    assert payload["violation_count"] == len(racecheck._session_violations)
+    assert len(payload["violations"]) >= baseline + 1
+    assert payload["stats"]["writes_checked"] >= 1
+
+
+def test_composes_with_lockcheck(fresh_racecheck):
+    """Install lockcheck first; racecheck wraps its instrumented locks so
+    one run checks both lock order and happens-before."""
+    from repro.analysis import lockcheck
+
+    lockcheck_was = lockcheck.is_installed()
+    if lockcheck_was:
+        lockcheck.uninstall()
+    lockcheck.install()
+    try:
+        with racecheck.active():
+            service = _Service()
+            flag = [False]
+
+            def writer():
+                service.guarded_write("k", 1)
+                flag[0] = True
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            _spin_until(flag)
+            assert service.guarded_read("k") == 1
+            thread.join()
+            assert racecheck.violations() == []
+            assert isinstance(service._lock, racecheck.TrackedLock)
+            assert isinstance(service._lock._inner, lockcheck.InstrumentedLock)
+    finally:
+        lockcheck.uninstall()
+        if lockcheck_was:
+            lockcheck.install()
+
+
+# -- integration with the instrumented services -----------------------------------
+
+
+def test_transaction_manager_concurrent_commits_clean(fresh_racecheck):
+    from repro.transaction.manager import TransactionManager
+
+    with racecheck.active():
+        manager = TransactionManager()
+        assert isinstance(manager._active, Shared)
+        flag = [False]
+
+        def committer():
+            for _ in range(5):
+                txn = manager.begin()
+                manager.commit(txn)
+            flag[0] = True
+
+        thread = threading.Thread(target=committer)
+        thread.start()
+        for _ in range(5):
+            txn = manager.begin()
+            manager.commit(txn)
+        _spin_until(flag)
+        thread.join()
+        manager.last_committed_cid
+        assert manager.active_count == 0
+        assert racecheck.violations() == []
+
+
+def test_oltp_replication_clean_under_sanitizer(fresh_racecheck):
+    """The RA108 finding this PR fixed: broker-pushed _on_commit racing
+    catch_up/staleness. With _apply_lock on both sides the run is clean."""
+    from repro.soe.replication import DataNode, make_insert
+    from repro.soe.services.shared_log import SharedLog
+    from repro.soe.services.transaction_broker import TransactionBroker
+
+    with racecheck.active():
+        broker = TransactionBroker(SharedLog(stripes=1, replication=1))
+        node = DataNode("n1", broker, mode="oltp")
+        flag = [False]
+
+        def submitter():
+            for i in range(5):
+                broker.submit([make_insert("t", [[i]])])
+            flag[0] = True
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        _spin_until(flag)
+        node.staleness()
+        node.owned_partitions("t")
+        thread.join()
+        assert racecheck.violations() == []

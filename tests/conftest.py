@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import obs
-from repro.analysis import lockcheck
+from repro.analysis import lockcheck, racecheck
 from repro.core.database import Database
 
 
@@ -36,6 +38,35 @@ def _lockcheck_sanitizer():
             yield
     else:
         yield
+
+
+@pytest.fixture(autouse=True)
+def _racecheck_sanitizer(_lockcheck_sanitizer):
+    """Run each test under the happens-before race sanitizer when requested.
+
+    ``REPRO_RACECHECK=1 pytest`` (the CI racecheck job) wraps every test
+    in :func:`repro.analysis.racecheck.active`: locks, threads, and
+    queues created by the test contribute happens-before edges, tracked
+    service state records access epochs, and a racing pair fails the
+    test with a :class:`~repro.analysis.racecheck.DataRaceError` naming
+    both sites. Depending on ``_lockcheck_sanitizer`` orders the two —
+    lockcheck installs first so racecheck's lock factory wraps its
+    instrumented locks and one run checks both properties.
+    """
+    if racecheck.enabled_from_env() and not racecheck.is_installed():
+        with racecheck.active():
+            yield
+    else:
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the accumulated racecheck report when CI asks for an artifact."""
+    report_path = os.environ.get("REPRO_RACECHECK_REPORT")
+    if report_path and racecheck.enabled_from_env():
+        racecheck.write_report(report_path)
+
+
 from repro.workloads.generators import (
     ErpConfig,
     erp_customers,

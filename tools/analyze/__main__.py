@@ -5,13 +5,16 @@ Options::
     python -m tools.analyze src                      # text report, default baseline
     python -m tools.analyze src --json               # machine-readable
     python -m tools.analyze src --select RA101,RA103 # subset of rules
+    python -m tools.analyze src --changed            # only files differing from merge-base
     python -m tools.analyze src --write-baseline     # accept current findings
+    python -m tools.analyze src --baseline-prune     # drop stale baseline entries
     python -m tools.analyze --list-rules
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -20,6 +23,45 @@ from tools.analyze.core import all_rules, analyze_paths
 from tools.analyze.reporters import render_json, render_text
 
 _DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: refs tried, in order, as the diff base for --changed
+_MERGE_BASE_REFS = ("origin/main", "main", "origin/master", "master")
+
+
+def _git(*args: str) -> list[str]:
+    out = subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True, timeout=30
+    ).stdout
+    return [line.strip() for line in out.splitlines() if line.strip()]
+
+
+def changed_python_files(roots: list[str]) -> list[str] | None:
+    """Python files under ``roots`` that differ from the merge-base with the
+    main branch, plus untracked ones. Returns None when git state can't be
+    determined (caller falls back to a full run)."""
+    base = None
+    for ref in _MERGE_BASE_REFS:
+        try:
+            base = _git("merge-base", ref, "HEAD")[0]
+            break
+        except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError, IndexError):
+            continue
+    if base is None:
+        return None
+    try:
+        candidates = set(_git("diff", "--name-only", base))
+        candidates |= set(_git("ls-files", "--others", "--exclude-standard"))
+    except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
+        return None
+    root_paths = [Path(r) for r in roots]
+    selected = []
+    for name in sorted(candidates):
+        path = Path(name)
+        if path.suffix != ".py" or not path.exists():
+            continue
+        if any(root == path or root in path.parents for root in root_paths):
+            selected.append(name)
+    return selected
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,6 +86,16 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline", action="store_true",
         help="accept all current findings into the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files differing from the merge-base with main "
+        "(plus untracked files) — the fast pre-commit mode",
+    )
+    parser.add_argument(
+        "--baseline-prune", action="store_true",
+        help="analyze, drop baseline entries no current finding matches, "
+        "rewrite the baseline, and exit 0",
+    )
     parser.add_argument("--list-rules", action="store_true", help="print the rule table")
     args = parser.parse_args(argv)
 
@@ -53,9 +105,27 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if not args.paths:
         parser.error("no paths given (try: python -m tools.analyze src)")
+    if args.changed and (args.baseline_prune or args.write_baseline):
+        parser.error("--changed cannot be combined with baseline rewriting "
+                     "(prune/write need findings for the whole tree)")
+
+    paths: list[str] = list(args.paths)
+    if args.changed:
+        changed = changed_python_files(paths)
+        if changed is None:
+            print(
+                "analyze: --changed could not determine a merge base; "
+                "falling back to a full run",
+                file=sys.stderr,
+            )
+        else:
+            if not changed:
+                print("no changed python files")
+                return 0
+            paths = changed
 
     select = [c.strip() for c in args.select.split(",")] if args.select else None
-    findings = analyze_paths(args.paths, select)
+    findings = analyze_paths(paths, select)
 
     if args.write_baseline:
         Baseline.from_findings(findings, justification="accepted by --write-baseline").write(
@@ -66,6 +136,17 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
     new, baselined, stale = baseline.split(findings)
+
+    if args.baseline_prune:
+        for key in stale:
+            del baseline.entries[key]
+        baseline.write(args.baseline)
+        print(
+            f"pruned {len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}; "
+            f"{len(baseline.entries)} remain in {args.baseline}"
+        )
+        return 0
+
     report = render_json(new, baselined, stale) if args.json else render_text(new, baselined, stale)
     print(report)
     return 1 if new else 0

@@ -1,0 +1,459 @@
+"""Interprocedural summaries for the thread-escape rules (RA108–RA110).
+
+The per-method rules in :mod:`tools.analyze.rules` see one function at a
+time; the races PR 4's runtime sanitizer (repro.analysis.racecheck)
+catches are *inter*-method by nature — a callback registered in
+``__init__`` escapes to whatever thread calls the broker, then races a
+reader three methods away. This module builds the summaries those rules
+need, over the same single ``ast.parse`` the driver already does:
+
+* a :class:`MethodSummary` per method: every ``self.<attr>`` access with
+  its *guardedness* (textually inside ``with self.<lock>:``), the
+  self-call edges (``self.helper()`` — with the guardedness of the call
+  site), escape events (a bound method / local function / lambda handed
+  to a thread constructor or a callback-registration call), and thread
+  starts;
+* a :class:`ClassSummary` aggregating them, with
+  :meth:`ClassSummary.transitive_accesses` — the call-graph closure in
+  which a *guarded call site confers guardedness on the callee's
+  accesses* (the ``with self._lock: self._apply(...)`` idiom: the
+  helper's body is lock-protected even though it contains no ``with``).
+
+Summaries are cached on the :class:`~tools.analyze.core.FileContext`
+(keyed by class node identity) so RA108/RA109/RA110 share one build.
+
+The helpers here deliberately do not import :mod:`tools.analyze.rules`
+(rules imports this module).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: methods that run before the object can be shared between threads
+SETUP_METHODS = {"__init__", "__post_init__", "__new__"}
+
+#: container methods that mutate their receiver (matches the runtime
+#: sanitizer's Shared proxy write classification)
+MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "extendleft",
+    "sort", "reverse",
+}
+
+#: callback-registration shapes that publish a callable to a long-lived
+#: shared object (``broker.subscribe_oltp(self._on_commit)``). Names are
+#: deliberately narrow: per-object hooks like ``txn.on_commit`` run on
+#: the registering side's thread and are not escapes.
+_ESCAPE_PREFIXES = ("subscribe", "register_callback", "add_listener", "add_callback")
+_ESCAPE_NAMES = {"spawn", "call_soon", "call_later", "defer"}
+
+_THREAD_CTORS = {"Thread", "threading.Thread", "Timer", "threading.Timer"}
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock", "Lock", "RLock"}
+
+
+def _call_name(func: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+    return ".".join(reversed(parts))
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` → ``"X"`` (any visibility), else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and not node.attr.startswith("__")
+    ):
+        return node.attr
+    return None
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.<attr>`` access inside one method body."""
+
+    attr: str
+    guarded: bool      # textually (or via a guarded call site) under `with self.<lock>:`
+    is_write: bool
+    is_bind: bool      # plain rebinding `self.x = ...` (the publication shape)
+    method: str        # the method whose body contains the node
+    node: ast.AST
+
+    def reguard(self) -> "Access":
+        return Access(self.attr, True, self.is_write, self.is_bind, self.method, self.node)
+
+
+@dataclass
+class Escape:
+    """A callable handed to a thread constructor or callback registry."""
+
+    kind: str                       # "thread" | "callback"
+    via: str                        # Thread ctor / registration call name
+    target: str | None              # self-method name, if a bound method escaped
+    local: "MethodSummary | None"   # summary of an escaped local function / lambda
+    node: ast.AST
+    method: str                     # method containing the escape site
+
+    def describe(self) -> str:
+        return f"self.{self.target}" if self.target else (self.local.name if self.local else "?")
+
+
+@dataclass
+class ThreadStart:
+    """A ``t.start()`` (or inline ``Thread(...).start()``) in a method body."""
+
+    targets: tuple[str, ...]        # candidate self-method targets of the thread
+    locals: tuple["MethodSummary", ...]
+    node: ast.AST
+
+
+@dataclass
+class MethodSummary:
+    """Direct (non-transitive) facts about one method body."""
+
+    name: str
+    accesses: list[Access] = field(default_factory=list)
+    self_calls: list[tuple[str, bool]] = field(default_factory=list)  # (callee, call-site guarded)
+    escapes: list[Escape] = field(default_factory=list)
+    starts: list[ThreadStart] = field(default_factory=list)
+
+
+@dataclass
+class ClassSummary:
+    """All method summaries of one class plus its lock attributes."""
+
+    name: str
+    node: ast.ClassDef
+    lock_attrs: set[str]
+    methods: dict[str, MethodSummary]
+
+    @property
+    def escapes(self) -> list[Escape]:
+        return [esc for m in self.methods.values() for esc in m.escapes]
+
+    def _seed(self, target: str | MethodSummary) -> MethodSummary | None:
+        if isinstance(target, MethodSummary):
+            return target
+        return self.methods.get(target)
+
+    def transitive_accesses(self, target: str | MethodSummary) -> list[Access]:
+        """Every access reachable from ``target`` through self-calls, with
+        guarded call sites conferring guardedness on callee accesses."""
+        seed = self._seed(target)
+        if seed is None:
+            return []
+        out: list[Access] = []
+        seen: set[tuple[str, bool]] = set()
+
+        def walk(summary: MethodSummary, guarded_ctx: bool) -> None:
+            key = (summary.name, guarded_ctx)
+            if key in seen:
+                return
+            seen.add(key)
+            for access in summary.accesses:
+                out.append(access.reguard() if guarded_ctx else access)
+            for callee, call_guarded in summary.self_calls:
+                callee_summary = self.methods.get(callee)
+                if callee_summary is not None:
+                    walk(callee_summary, guarded_ctx or call_guarded)
+
+        walk(seed, False)
+        return out
+
+    def closure(self, target: str | MethodSummary) -> set[str]:
+        """Class-method names reachable from ``target`` (incl. itself)."""
+        seed = self._seed(target)
+        if seed is None:
+            return set()
+        reached: set[str] = set()
+        frontier = [seed]
+        if seed.name in self.methods:
+            reached.add(seed.name)
+        while frontier:
+            summary = frontier.pop()
+            for callee, _ in summary.self_calls:
+                if callee not in reached and callee in self.methods:
+                    reached.add(callee)
+                    frontier.append(self.methods[callee])
+        return reached
+
+
+class _LockAttrScanner(ast.NodeVisitor):
+    """``self._lock = threading.Lock()`` / dataclass ``field(default_factory=...)``."""
+
+    def __init__(self) -> None:
+        self.lock_attrs: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call) and _call_name(node.value.func) in _LOCK_FACTORIES:
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    self.lock_attrs.add(attr)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Call)
+            and _call_name(node.value.func) == "field"
+        ):
+            for kw in node.value.keywords:
+                if kw.arg == "default_factory" and _call_name(kw.value) in _LOCK_FACTORIES:
+                    self.lock_attrs.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # nested classes summarize separately
+
+
+class _MethodWalker:
+    """Build one :class:`MethodSummary` from one method body."""
+
+    def __init__(self, class_summary_names: set[str], lock_attrs: set[str], name: str) -> None:
+        self.method_names = class_summary_names
+        self.lock_attrs = lock_attrs
+        self.summary = MethodSummary(name)
+        self._held = 0
+        #: local function name -> its summary (for escape resolution)
+        self._locals: dict[str, MethodSummary] = {}
+        #: thread variable name -> (self-method targets, local summaries)
+        self._threads: dict[str, tuple[tuple[str, ...], tuple[MethodSummary, ...]]] = {}
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> MethodSummary:
+        for stmt in node.body:
+            self._walk(stmt)
+        return self.summary
+
+    # -- recursive walk ------------------------------------------------------
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested function runs on its caller's schedule, not under
+            # any lock the *defining* frame happens to hold
+            nested = _MethodWalker(self.method_names, self.lock_attrs, node.name)
+            self._locals[node.name] = nested.run(node)
+            return
+        if isinstance(node, ast.Lambda):
+            nested = _MethodWalker(
+                self.method_names, self.lock_attrs, f"<lambda:{node.lineno}>"
+            )
+            nested._walk(node.body)
+            self._locals[nested.summary.name] = nested.summary
+            return
+        if isinstance(node, ast.With):
+            holds = any(
+                (attr := _self_attr(item.context_expr)) is not None
+                and attr in self.lock_attrs
+                for item in node.items
+            )
+            for item in node.items:
+                self._walk(item.context_expr)
+            if holds:
+                self._held += 1
+            for stmt in node.body:
+                self._walk(stmt)
+            if holds:
+                self._held -= 1
+            return
+        self._inspect(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+    # -- fact extraction -----------------------------------------------------
+
+    def _record(self, attr: str, node: ast.AST, *, write: bool, bind: bool = False) -> None:
+        if attr in self.lock_attrs:
+            return
+        self.summary.accesses.append(
+            Access(attr, self._held > 0, write, bind, self.summary.name, node)
+        )
+
+    def _inspect(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._inspect_store(target)
+            self._maybe_thread_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._inspect_store(node.target, also_read=True)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._inspect_store(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._inspect_store(target)
+        elif isinstance(node, ast.Call):
+            self._inspect_call(node)
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if attr is not None:
+                if attr in self.method_names:
+                    # property read / bound-method reference: a call edge
+                    self.summary.self_calls.append((attr, self._held > 0))
+                else:
+                    self._record(attr, node, write=False)
+
+    def _inspect_store(self, target: ast.AST, also_read: bool = False) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            if also_read:
+                self._record(attr, target, write=False)
+            self._record(attr, target, write=True, bind=not also_read)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                self._record(attr, target, write=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._inspect_store(element)
+
+    def _inspect_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver_attr = _self_attr(func.value)
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                if func.attr in self.method_names:
+                    self.summary.self_calls.append((func.attr, self._held > 0))
+                elif func.attr in MUTATING_METHODS:
+                    pass  # self.foo() on an unknown name: not an attr access
+                # `self.x.append(...)` handled below via receiver_attr? no:
+                # here func.value IS self, receiver_attr is None
+            elif receiver_attr is not None:
+                # self.<attr>.<method>(...)
+                if func.attr in MUTATING_METHODS:
+                    self._record(receiver_attr, node, write=True)
+                else:
+                    self._record(receiver_attr, node, write=False)
+            name = _call_name(func)
+            if name in _THREAD_CTORS:
+                self._escape_thread(node, name)
+            elif self._is_registration(func.attr) and not (
+                isinstance(func.value, ast.Name) and func.value.id == "self"
+            ):
+                self._escape_callback(node, func.attr)
+            if func.attr == "start":
+                self._maybe_start(node)
+        elif isinstance(func, ast.Name) and func.id in _THREAD_CTORS:
+            self._escape_thread(node, func.id)
+
+    @staticmethod
+    def _is_registration(name: str) -> bool:
+        return name.startswith(_ESCAPE_PREFIXES) or name in _ESCAPE_NAMES
+
+    # -- escapes / thread tracking ------------------------------------------
+
+    def _escaping_callables(
+        self, args: list[ast.AST]
+    ) -> tuple[tuple[str, ...], tuple[MethodSummary, ...]]:
+        targets: list[str] = []
+        locals_: list[MethodSummary] = []
+        for arg in args:
+            attr = _self_attr(arg)
+            if attr is not None and attr in self.method_names:
+                targets.append(attr)
+            elif isinstance(arg, ast.Name) and arg.id in self._locals:
+                locals_.append(self._locals[arg.id])
+            elif isinstance(arg, ast.Lambda):
+                nested = _MethodWalker(
+                    self.method_names, self.lock_attrs, f"<lambda:{arg.lineno}>"
+                )
+                nested._walk(arg.body)
+                locals_.append(nested.summary)
+        return tuple(targets), tuple(locals_)
+
+    def _escape_thread(self, node: ast.Call, ctor: str) -> None:
+        args = [kw.value for kw in node.keywords if kw.arg in ("target", "function")]
+        args += list(node.args)
+        targets, locals_ = self._escaping_callables(args)
+        for target in targets:
+            self.summary.escapes.append(
+                Escape("thread", ctor, target, None, node, self.summary.name)
+            )
+        for local in locals_:
+            self.summary.escapes.append(
+                Escape("thread", ctor, None, local, node, self.summary.name)
+            )
+
+    def _escape_callback(self, node: ast.Call, via: str) -> None:
+        targets, locals_ = self._escaping_callables(
+            list(node.args) + [kw.value for kw in node.keywords]
+        )
+        for target in targets:
+            self.summary.escapes.append(
+                Escape("callback", via, target, None, node, self.summary.name)
+            )
+        for local in locals_:
+            self.summary.escapes.append(
+                Escape("callback", via, None, local, node, self.summary.name)
+            )
+
+    def _maybe_thread_assign(self, node: ast.Assign) -> None:
+        """``t = threading.Thread(target=...)`` — remember the thread
+        variable so a later ``t.start()`` knows what runs on it."""
+        if not (
+            isinstance(node.value, ast.Call)
+            and _call_name(node.value.func) in _THREAD_CTORS
+        ):
+            return
+        args = [
+            kw.value for kw in node.value.keywords if kw.arg in ("target", "function")
+        ] + list(node.value.args)
+        targets, locals_ = self._escaping_callables(args)
+        if targets or locals_:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._threads[target.id] = (targets, locals_)
+
+    def _maybe_start(self, node: ast.Call) -> None:
+        func = node.func
+        assert isinstance(func, ast.Attribute)
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id in self._threads:
+            targets, locals_ = self._threads[receiver.id]
+            self.summary.starts.append(ThreadStart(targets, locals_, node))
+        elif isinstance(receiver, ast.Call) and _call_name(receiver.func) in _THREAD_CTORS:
+            # inline Thread(target=...).start()
+            args = [kw.value for kw in receiver.keywords if kw.arg in ("target", "function")]
+            args += list(receiver.args)
+            targets, locals_ = self._escaping_callables(args)
+            if targets or locals_:
+                self.summary.starts.append(ThreadStart(targets, locals_, node))
+
+
+def summarize_class(node: ast.ClassDef) -> ClassSummary:
+    """Build the class summary (no caching — see :func:`class_summary`)."""
+    scanner = _LockAttrScanner()
+    method_nodes: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    for stmt in node.body:
+        scanner.visit(stmt)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method_nodes.append(stmt)
+    method_names = {m.name for m in method_nodes}
+    methods = {
+        m.name: _MethodWalker(method_names, scanner.lock_attrs, m.name).run(m)
+        for m in method_nodes
+    }
+    return ClassSummary(node.name, node, scanner.lock_attrs, methods)
+
+
+def class_summary(ctx: object, node: ast.ClassDef) -> ClassSummary:
+    """Cached per-(FileContext, class node) summary — RA108/109/110 share it."""
+    cache = getattr(ctx, "_interproc_summaries", None)
+    if cache is None:
+        cache = {}
+        setattr(ctx, "_interproc_summaries", cache)
+    summary = cache.get(id(node))
+    if summary is None:
+        summary = summarize_class(node)
+        cache[id(node)] = summary
+    return summary

@@ -1,14 +1,19 @@
-"""The built-in project-invariant rules (RA101–RA107).
+"""The built-in project-invariant rules (RA101–RA110).
 
 Each rule is deliberately narrow: it encodes one convention this
 codebase has committed to, scoped to the files where the convention is
 binding, so a finding is actionable rather than stylistic noise.
+RA101–RA107 are single-method checks; RA108–RA110 are interprocedural
+(call-graph + field-escape summaries from :mod:`tools.analyze.interproc`)
+— the static complement of the runtime happens-before sanitizer in
+:mod:`repro.analysis.racecheck`.
 """
 
 from __future__ import annotations
 
 import ast
 
+from tools.analyze import interproc
 from tools.analyze.core import FileContext, Rule, register
 
 #: files whose whole job is timekeeping — exempt from RA101/RA106
@@ -499,3 +504,203 @@ class BoundedRetryLoops(Rule):
                             "RetryPolicy.schedule() (repro.util.retry) instead",
                         )
         self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# interprocedural thread-escape rules (RA108–RA110)
+# --------------------------------------------------------------------------
+
+#: caller-holds-lock helpers are checked at their call sites, not their bodies
+def _is_locked_helper(name: str) -> bool:
+    return name.endswith("_locked")
+
+
+@register
+class ThreadEscapeWithoutLock(Rule):
+    """RA108 — mutable state escaping to a spawned thread or callback
+    without lock protection.
+
+    A bound method handed to ``threading.Thread(target=...)`` or a
+    callback registry (``broker.subscribe_oltp(self._on_commit)``) runs
+    on a foreign thread. Every attribute that method (transitively)
+    touches is therefore shared with the rest of the class — if any of
+    those attributes is also written, and either side accesses it
+    outside a ``with self.<lock>:`` region, two threads can interleave
+    on it. Guarded call sites confer guardedness on the callee
+    (``with self._lock: self._apply(...)`` protects ``_apply``'s body),
+    so the fix is a lock around both sides, not a rename.
+    """
+
+    code = "RA108"
+    name = "thread-escape-without-lock"
+    description = "method escaping to a thread/callback shares unguarded mutable state"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/" in rel_path
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        summary = interproc.class_summary(self.ctx, node)
+        self._symbol_stack.append(node.name)
+        for escape in summary.escapes:
+            self._check_escape(summary, escape)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def _check_escape(self, summary: interproc.ClassSummary, escape: interproc.Escape) -> None:
+        target = escape.target if escape.target is not None else escape.local
+        if target is None:
+            return
+        escaped = summary.transitive_accesses(target)
+        if not escaped:
+            return
+        closure = summary.closure(target)
+        outside: list[interproc.Access] = []
+        for name, method in summary.methods.items():
+            if name in closure or name in interproc.SETUP_METHODS:
+                continue
+            outside.extend(summary.transitive_accesses(method))
+        escaped_attrs = {a.attr for a in escaped}
+        racy: set[str] = set()
+        for attr in sorted(escaped_attrs & {a.attr for a in outside}):
+            accesses = [a for a in escaped + outside if a.attr == attr]
+            if any(a.is_write for a in accesses) and any(not a.guarded for a in accesses):
+                racy.add(attr)
+        if racy:
+            attrs = ", ".join(f"self.{a}" for a in sorted(racy))
+            where = "thread" if escape.kind == "thread" else f"callback ({escape.via})"
+            self._symbol_stack.append(escape.method)
+            self.report(
+                escape.node,
+                f"{escape.describe()} escapes to a {where} but shares {attrs} "
+                "with other methods without consistent lock protection — "
+                "guard both sides with one lock",
+            )
+            self._symbol_stack.pop()
+
+
+@register
+class CheckThenActRead(Rule):
+    """RA109 — a read outside the ``with lock:`` that guards the write.
+
+    RA103 catches unguarded *writes*; the subtler half of the race is
+    the check-then-act read — ``if x in self._tables`` outside the lock
+    while another thread mutates ``self._tables`` inside it. The read
+    sees a torn decision even though every write is guarded. Flagged
+    per (method, attribute) for private attributes that have at least
+    one guarded non-setup write. ``*_locked`` helper methods (the
+    caller-holds-lock convention) and setup methods are exempt, as are
+    reads reached only through guarded call sites.
+    """
+
+    code = "RA109"
+    name = "check-then-act-read"
+    description = "unguarded read of an attribute whose writes are lock-guarded"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return any(scope in rel_path for scope in _CONCURRENCY_SCOPE)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        summary = interproc.class_summary(self.ctx, node)
+        self._symbol_stack.append(node.name)
+        if summary.lock_attrs:
+            self._check(summary)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def _check(self, summary: interproc.ClassSummary) -> None:
+        roots = [
+            m for name, m in summary.methods.items()
+            if name not in interproc.SETUP_METHODS and not _is_locked_helper(name)
+        ]
+        accesses: list[interproc.Access] = []
+        for method in roots:
+            accesses.extend(summary.transitive_accesses(method))
+        guarded_written = {
+            a.attr for a in accesses
+            if a.is_write and a.guarded and a.attr.startswith("_")
+        }
+        reported: set[tuple[str, str]] = set()
+        for access in accesses:
+            if (
+                access.attr in guarded_written
+                and not access.is_write
+                and not access.guarded
+                and not _is_locked_helper(access.method)
+                and access.method not in interproc.SETUP_METHODS
+                and (access.method, access.attr) not in reported
+            ):
+                reported.add((access.method, access.attr))
+                locks = ", ".join(f"self.{n}" for n in sorted(summary.lock_attrs))
+                self._symbol_stack.append(access.method)
+                self.report(
+                    access.node,
+                    f"read of self.{access.attr} outside `with {locks}` while "
+                    "its writes are guarded — check-then-act race; take the "
+                    "lock around the read",
+                )
+                self._symbol_stack.pop()
+
+
+@register
+class UnsafePublicationAfterStart(Rule):
+    """RA110 — assigning ``self._x`` after ``Thread.start()`` on a thread
+    that reads it.
+
+    ``t.start(); self._config = build()`` publishes the attribute with
+    no happens-before edge to the already-running thread: the target may
+    read the old value, the new one, or (for compound state) a mix.
+    Assign before ``start()``, or guard both the assignment and the
+    thread's reads with one lock.
+    """
+
+    code = "RA110"
+    name = "unsafe-publication-after-start"
+    description = "self attribute assigned after Thread.start() on a thread that reads it"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/" in rel_path
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        summary = interproc.class_summary(self.ctx, node)
+        self._symbol_stack.append(node.name)
+        for method in summary.methods.values():
+            if method.starts:
+                self._check_method(summary, method)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def _check_method(
+        self, summary: interproc.ClassSummary, method: interproc.MethodSummary
+    ) -> None:
+        reported: set[tuple[int, str]] = set()
+        for start in method.starts:
+            target_reads: dict[str, bool] = {}  # attr -> all reads guarded
+            for target in list(start.targets) + list(start.locals):
+                for access in summary.transitive_accesses(target):
+                    if not access.is_write:
+                        seen = target_reads.get(access.attr, True)
+                        target_reads[access.attr] = seen and access.guarded
+            if not target_reads:
+                continue
+            start_line = getattr(start.node, "lineno", 0)
+            for access in method.accesses:
+                line = getattr(access.node, "lineno", 0)
+                if (
+                    access.is_bind
+                    and line > start_line
+                    and access.attr in target_reads
+                    and not (access.guarded and target_reads[access.attr])
+                    and (line, access.attr) not in reported
+                ):
+                    reported.add((line, access.attr))
+                    self._symbol_stack.append(method.name)
+                    self.report(
+                        access.node,
+                        f"self.{access.attr} assigned after the thread reading "
+                        "it was started — unsafe publication; assign before "
+                        "start() or lock both sides",
+                    )
+                    self._symbol_stack.pop()
