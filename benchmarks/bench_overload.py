@@ -1,0 +1,115 @@
+"""E25 — OLTP goodput under an OLAP burst (`repro.qos` admission control).
+
+Claim under test: with class-aware admission control (bounded per-class
+queues + smooth weighted round-robin, weights oltp=8 : olap=2), the OLTP
+class keeps ≥90% of its no-burst goodput while a 3×-rate OLAP burst
+saturates the landscape — the excess OLAP work is shed at the front
+door. With QoS off (one arrival-order queue, no class isolation) the
+same burst makes OLTP queries wait behind the analytical backlog and
+goodput collapses below half of baseline.
+
+Goodput = OLTP queries served within the wait SLO, on the simulated
+clock. Deterministic: identical arrival schedule, no randomness. Run
+directly (``python benchmarks/bench_overload.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.errors import AdmissionRejectedError  # noqa: E402
+from repro.qos import AdmissionConfig, AdmissionController  # noqa: E402
+from repro.util.retry import SimulatedClock  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))  # shifts the burst phase
+TICKS = 200
+BURST_START, BURST_END = 20 + SEED % 7, 180 + SEED % 7
+OLAP_PER_TICK = 3  # burst arrival rate (vs 1 oltp/tick)
+SERVICE_SLOTS = 2  # landscape capacity per tick
+SLO_WAIT = 4.0  # an oltp answer older than this is useless
+
+
+def run_arm(burst: bool, fifo: bool) -> dict[str, float]:
+    clock = SimulatedClock()
+    admission = AdmissionController(
+        AdmissionConfig(queue_depth=16, fifo=fifo), clock=clock
+    )
+    oltp_good = oltp_served = shed = 0
+    for tick in range(TICKS):
+        try:
+            admission.submit("oltp")
+        except AdmissionRejectedError:
+            shed += 1
+        if burst and BURST_START <= tick < BURST_END:
+            for _ in range(OLAP_PER_TICK):
+                try:
+                    admission.submit("olap")
+                except AdmissionRejectedError:
+                    shed += 1
+        for ticket in admission.run_all(limit=SERVICE_SLOTS):
+            if ticket.query_class == "oltp":
+                oltp_served += 1
+                if ticket.wait_seconds <= SLO_WAIT:
+                    oltp_good += 1
+        clock.advance(1.0)
+    for ticket in admission.run_all():  # drain the tail, SLO still applies
+        if ticket.query_class == "oltp":
+            oltp_served += 1
+            if ticket.wait_seconds <= SLO_WAIT:
+                oltp_good += 1
+    assert admission.conserved()
+    counts = admission.counts()
+    return {
+        "oltp_goodput": oltp_good,
+        "oltp_served": oltp_served,
+        "olap_served": counts["executed"] - oltp_served,
+        "shed": counts["shed"],
+        "submitted": counts["submitted"],
+    }
+
+
+def run_all_arms() -> dict[str, dict[str, float]]:
+    return {
+        "baseline": run_arm(burst=False, fifo=False),
+        "qos_on": run_arm(burst=True, fifo=False),
+        "qos_off": run_arm(burst=True, fifo=True),
+    }
+
+
+def test_qos_on_keeps_oltp_goodput():
+    arms = run_all_arms()
+    baseline = arms["baseline"]["oltp_goodput"]
+    assert baseline >= 0.95 * TICKS, arms["baseline"]
+    assert arms["qos_on"]["oltp_goodput"] >= 0.90 * baseline, arms
+    # the burst was real: admission shed analytical overload
+    assert arms["qos_on"]["shed"] > 0, arms["qos_on"]
+
+
+def test_qos_off_collapses_under_the_same_burst():
+    arms = run_all_arms()
+    baseline = arms["baseline"]["oltp_goodput"]
+    assert arms["qos_off"]["oltp_goodput"] < 0.5 * baseline, arms
+    # identical load reached both arms — only scheduling differs
+    assert arms["qos_off"]["submitted"] == arms["qos_on"]["submitted"]
+
+
+def test_arms_are_deterministic():
+    assert run_all_arms() == run_all_arms()
+
+
+if __name__ == "__main__":
+    arms = run_all_arms()
+    baseline = arms["baseline"]["oltp_goodput"]
+    for name, stats in arms.items():
+        ratio = stats["oltp_goodput"] / baseline if baseline else 0.0
+        print(
+            f"[E25] {name:8s}  oltp_goodput={stats['oltp_goodput']:.0f} "
+            f"({ratio:.1%} of baseline)  oltp_served={stats['oltp_served']:.0f}  "
+            f"olap_served={stats['olap_served']:.0f}  shed={stats['shed']:.0f}  "
+            f"submitted={stats['submitted']:.0f}"
+        )

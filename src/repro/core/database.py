@@ -117,23 +117,29 @@ class Database:
         sql: str,
         txn: Transaction | None = None,
         parameters: Mapping[str, Any] | None = None,
+        budget: Any = None,
     ) -> QueryResult:
         """Parse and execute one SQL statement.
 
         Without an explicit transaction, writes auto-commit and reads use
-        the freshest committed snapshot.
+        the freshest committed snapshot. ``budget`` (a
+        :class:`repro.qos.QueryBudget`) governs SELECTs: crossing a soft
+        limit returns a truncated result with ``QueryResult.degraded``
+        set; crossing a hard limit raises
+        :class:`~repro.errors.BudgetExceededError`.
         """
         statement = parse(sql)
-        return self.execute_statement(statement, txn, parameters)
+        return self.execute_statement(statement, txn, parameters, budget)
 
     def execute_statement(
         self,
         statement: ast.Statement,
         txn: Transaction | None = None,
         parameters: Mapping[str, Any] | None = None,
+        budget: Any = None,
     ) -> QueryResult:
         if isinstance(statement, (ast.SelectStatement, ast.UnionStatement)):
-            return self._execute_select(statement, txn, parameters)
+            return self._execute_select(statement, txn, parameters, budget)
         if isinstance(statement, ast.InsertStatement):
             return self._autocommit(statement, txn, self._execute_insert, parameters)
         if isinstance(statement, ast.UpdateStatement):
@@ -191,11 +197,25 @@ class Database:
         statement: "ast.SelectStatement | ast.UnionStatement",
         txn: Transaction | None,
         parameters: Mapping[str, Any] | None,
+        budget: Any = None,
     ) -> QueryResult:
         with obs.latency("sql.select_seconds"):
             plan = plan_select(statement, self.catalog)
             context = self._context(txn, parameters)
+            governor = None
+            if budget is not None:
+                from repro.qos.governor import ResourceGovernor
+
+                governor = ResourceGovernor(budget)
+                context.governor = governor
             batch = execute_plan(plan, context)
+            if governor is not None and governor.degraded:
+                return QueryResult(
+                    plan.output_names,
+                    batch.rows(),
+                    degraded=True,
+                    degraded_reasons=list(governor.degraded_reasons),
+                )
             return QueryResult(plan.output_names, batch.rows())
 
     def query(self, sql: str, **parameters: Any) -> QueryResult:

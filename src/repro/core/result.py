@@ -8,11 +8,24 @@ from typing import Any, Iterator
 class QueryResult:
     """Column names plus materialised rows, with convenience accessors."""
 
-    def __init__(self, columns: list[str], rows: list[list[Any]], rowcount: int | None = None) -> None:
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[list[Any]],
+        rowcount: int | None = None,
+        degraded: bool = False,
+        degraded_reasons: list[str] | None = None,
+    ) -> None:
         self.columns = columns
         self.rows = rows
         #: affected-row count for DML; defaults to len(rows) for queries
         self.rowcount = rowcount if rowcount is not None else len(rows)
+        #: True when a resource-governor soft limit truncated the answer —
+        #: the rows are a correct prefix, not the complete result (same
+        #: contract as the coordinator's staleness-bounded failover reads)
+        self.degraded = degraded
+        #: which budget dimensions latched ("rows", "bytes", "seconds")
+        self.degraded_reasons = degraded_reasons or []
 
     def __iter__(self) -> Iterator[list[Any]]:
         return iter(self.rows)
@@ -59,4 +72,5 @@ class QueryResult:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return f"QueryResult({len(self.rows)} rows, columns={self.columns})"
+        suffix = ", degraded=True" if self.degraded else ""
+        return f"QueryResult({len(self.rows)} rows, columns={self.columns}{suffix})"

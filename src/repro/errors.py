@@ -181,6 +181,42 @@ class ChaosError(ReproError):
     """Invalid fault plan or chaos-controller misuse."""
 
 
+class QosError(ReproError):
+    """Base class for overload-protection (repro.qos) errors."""
+
+
+class AdmissionRejectedError(QosError, RetryableError):
+    """The admission controller shed this query (queue past its
+    high-water mark, or a hotspot placement penalty). Retryable by
+    design: backing off and resubmitting is the intended client
+    response to load shedding."""
+
+    def __init__(self, query_class: str, reason: str, message: str | None = None) -> None:
+        super().__init__(
+            message
+            or f"admission rejected ({reason}) for class {query_class!r}"
+        )
+        self.query_class = query_class
+        self.reason = reason
+
+
+class BudgetExceededError(QosError):
+    """A query blew through its hard resource budget (rows, bytes, or
+    operator seconds). Terminal — deliberately *not* retryable: re-running
+    the same query spends the same budget again."""
+
+
+class CircuitOpenError(QosError):
+    """The circuit breaker guarding this seam is open: recent calls
+    failed past the threshold and the cool-down has not elapsed. Fail
+    fast — deliberately *not* retryable, so retry loops cannot burn
+    backoff budget against a seam known to be down."""
+
+    def __init__(self, breaker: str, message: str | None = None) -> None:
+        super().__init__(message or f"circuit breaker {breaker!r} is open")
+        self.breaker = breaker
+
+
 class HadoopError(ReproError):
     """Base class for the simulated Hadoop substrate."""
 
@@ -207,3 +243,9 @@ class RemoteSourceUnavailableError(FederationError, RetryableError):
 
 class StreamingError(ReproError):
     """Event-stream-processor failure."""
+
+
+class BackpressureError(StreamingError, RetryableError):
+    """A bounded stream buffer with the ``block`` policy is full: the
+    producer must pump the pipeline (drain downstream) before offering
+    more events. Retryable — draining clears it."""

@@ -78,6 +78,7 @@ class VirtualTable:
         ledger: TransferLedger,
         retry_policy: RetryPolicy | None = None,
         clock: SimulatedClock | None = None,
+        breaker: Any = None,
     ) -> None:
         self.name = name
         self.source = source
@@ -86,9 +87,15 @@ class VirtualTable:
         self.ledger = ledger
         self.retry_policy = retry_policy or RetryPolicy()
         self.clock = clock or SimulatedClock()
+        #: optional repro.qos CircuitBreaker for this source; open means
+        #: scans fail fast (CircuitOpenError) with zero retry attempts
+        self.breaker = breaker
         self.is_virtual = True
 
     def _remote(self, fn: Any) -> list[list[Any]]:
+        if self.breaker is not None:
+            wrapped = fn
+            fn = lambda: self.breaker.call(wrapped)  # noqa: E731
         return self.retry_policy.call(
             fn,
             clock=self.clock,
@@ -124,15 +131,40 @@ class SmartDataAccess:
         database: Any,
         retry_policy: RetryPolicy | None = None,
         clock: SimulatedClock | None = None,
+        breaker_config: Any = None,
     ) -> None:
         self.database = database
         self._sources: dict[str, RemoteSource] = {}
         self.ledger = TransferLedger()
         self.retry_policy = retry_policy or RetryPolicy()
         self.clock = clock or SimulatedClock()
+        #: a repro.qos BreakerConfig enables per-source circuit breakers
+        #: on every remote call (scan, aggregate/SQL pushdown)
+        self.breaker_config = breaker_config
+        self.breakers: dict[str, Any] = {}
+
+    def breaker_for(self, source_name: str) -> Any:
+        """The source's circuit breaker (lazily created), or ``None``
+        when federation breakers are not configured."""
+        if self.breaker_config is None:
+            return None
+        key = source_name.lower()
+        breaker = self.breakers.get(key)
+        if breaker is None:
+            from repro.qos.breaker import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                f"sda.{key}", self.breaker_config, clock=self.clock
+            )
+            self.breakers[key] = breaker
+        return breaker
 
     def _remote(self, source_name: str, fn: Any) -> list[list[Any]]:
         """One remote call under the bounded retry policy."""
+        breaker = self.breaker_for(source_name)
+        if breaker is not None:
+            wrapped = fn
+            fn = lambda: breaker.call(wrapped)  # noqa: E731
         return self.retry_policy.call(
             fn,
             clock=self.clock,
@@ -171,6 +203,7 @@ class SmartDataAccess:
             self.ledger,
             retry_policy=self.retry_policy,
             clock=self.clock,
+            breaker=self.breaker_for(source_name),
         )
         self.database.catalog.register_table(virtual)
         return virtual

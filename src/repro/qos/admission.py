@@ -1,0 +1,325 @@
+"""Admission control: per-class weighted queues with deterministic shedding.
+
+The paper positions HANA on Figure 1's *density* axis — one system
+serving transactional, analytical, streaming, and background work at
+once — which is exactly the workload-isolation problem the HTAP survey
+calls the defining robustness question: an OLAP burst must not starve
+OLTP. The :class:`AdmissionController` is the front door that makes the
+isolation hold under overload:
+
+* every query is submitted under one of four **workload classes**
+  (``oltp`` / ``olap`` / ``streaming`` / ``background``), each with its
+  own bounded queue and scheduling weight;
+* queues past their **high-water mark shed deterministically**: the
+  submit fails with :class:`~repro.errors.AdmissionRejectedError`
+  (retryable — back off and resubmit) instead of growing without bound;
+* dequeue order is **smooth weighted round-robin** — a deterministic
+  schedule (no randomness, no wall clock) that gives every class
+  service proportional to its weight, so a saturating OLAP burst still
+  leaves the OLTP class its share of slots;
+* **hotspot placement penalty** (the ROADMAP v2stats item, bounded
+  version): when wired to :class:`ClusterStatisticsService`, background
+  work targeting a node the statistics service flags as hot is shed
+  rather than queued — full auto-rebalancing remains a future PR.
+
+Accounting is conservation-exact and exactly-once, asserted by the
+hypothesis property suite: ``submitted == admitted + shed`` per class,
+and no ticket is ever both shed and executed. Counters:
+``qos.submitted`` / ``qos.admitted`` / ``qos.shed`` (by class and
+reason) / ``qos.executed``; gauge ``qos.queue_depth`` per class;
+histogram ``qos.admission_wait_seconds`` on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro import obs
+from repro.analysis.racecheck import track_fields
+from repro.errors import AdmissionRejectedError, QosError
+from repro.util.retry import SimulatedClock
+
+#: the four workload classes of the density axis, in scheduling order
+QUERY_CLASSES: tuple[str, ...] = ("oltp", "olap", "streaming", "background")
+
+DEFAULT_WEIGHTS: dict[str, int] = {
+    "oltp": 8,
+    "streaming": 4,
+    "olap": 2,
+    "background": 1,
+}
+
+DEFAULT_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Weights, queue bounds, and scheduling mode.
+
+    ``queue_depth`` is the per-class high-water mark: a submit that
+    would push a class queue past it is shed. ``fifo=True`` disables
+    class-aware scheduling (one global arrival-order queue) — the
+    "QoS off" arm of benchmark E25.
+    """
+
+    weights: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS)
+    )
+    queue_depth: Mapping[str, int] | int = DEFAULT_DEPTH
+    fifo: bool = False
+    #: classes subject to the hotspot placement penalty
+    hotspot_shed_classes: tuple[str, ...] = ("background",)
+    #: load factor passed to ClusterStatisticsService.hotspots()
+    hotspot_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for query_class, weight in self.weights.items():
+            if query_class not in QUERY_CLASSES:
+                raise QosError(f"unknown query class {query_class!r}")
+            if weight < 1:
+                raise QosError(f"weight for {query_class!r} must be >= 1")
+        for query_class in self.hotspot_shed_classes:
+            if query_class not in QUERY_CLASSES:
+                raise QosError(f"unknown query class {query_class!r}")
+        if isinstance(self.queue_depth, int):
+            if self.queue_depth < 1:
+                raise QosError("queue_depth must be >= 1")
+        else:
+            for query_class, depth in self.queue_depth.items():
+                if query_class not in QUERY_CLASSES:
+                    raise QosError(f"unknown query class {query_class!r}")
+                if depth < 1:
+                    raise QosError(f"queue_depth for {query_class!r} must be >= 1")
+
+    def weight_of(self, query_class: str) -> int:
+        return self.weights.get(query_class, 1)
+
+    def depth_of(self, query_class: str) -> int:
+        if isinstance(self.queue_depth, int):
+            return self.queue_depth
+        return self.queue_depth.get(query_class, DEFAULT_DEPTH)
+
+
+@dataclass
+class Ticket:
+    """One admitted unit of work and its lifecycle."""
+
+    ticket_id: int
+    query_class: str
+    job: Callable[[], Any] | None
+    target_nodes: tuple[str, ...]
+    enqueued_at: float
+    state: str = "queued"  # queued | executed | failed
+    started_at: float | None = None
+    wait_seconds: float | None = None
+    result: Any = None
+    error: BaseException | None = None
+
+
+@track_fields("_queues", "_counts")
+class AdmissionController:
+    """The bounded, weighted front door for query execution.
+
+    Single-instance, lock-guarded (race-clean under ``REPRO_RACECHECK``);
+    time comes exclusively from the shared
+    :class:`~repro.util.retry.SimulatedClock`, so an identical submit
+    schedule yields an identical shed/served trace.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        clock: SimulatedClock | None = None,
+        stats: Any = None,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.clock = clock or SimulatedClock()
+        #: optional ClusterStatisticsService for the hotspot penalty
+        self.stats = stats
+        self._lock = threading.Lock()
+        self._next_id = 0
+        # depth is enforced at submit (high-water shed), never by silent
+        # eviction — an unbounded deque here is the mechanism, not a leak
+        self._queues: dict[str, deque[Ticket]] = {
+            query_class: deque()  # repro: allow(unbounded-queue)
+            for query_class in QUERY_CLASSES
+        }
+        # smooth weighted round-robin running credit per class
+        self._credit: dict[str, int] = {c: 0 for c in QUERY_CLASSES}
+        self._counts: dict[str, dict[str, int]] = {
+            query_class: {"submitted": 0, "admitted": 0, "shed": 0, "executed": 0, "failed": 0}
+            for query_class in QUERY_CLASSES
+        }
+        self.shed_tickets: list[int] = []
+        self.executed_tickets: list[int] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def _shed(self, query_class: str, reason: str) -> None:
+        obs.count("qos.shed", cls=query_class, reason=reason)
+        raise AdmissionRejectedError(query_class, reason)
+
+    def _hot_targets(self, query_class: str, target_nodes: tuple[str, ...]) -> set[str]:
+        if (
+            self.stats is None
+            or not target_nodes
+            or query_class not in self.config.hotspot_shed_classes
+        ):
+            return set()
+        hot = set(self.stats.hotspots(self.config.hotspot_factor))
+        return hot & set(target_nodes)
+
+    def submit(
+        self,
+        query_class: str,
+        job: Callable[[], Any] | None = None,
+        *,
+        target_nodes: tuple[str, ...] = (),
+        at: float | None = None,
+    ) -> Ticket:
+        """Admit one unit of work or shed it.
+
+        Sheds (raises :class:`AdmissionRejectedError`) when the class
+        queue is at its high-water mark, or when a hotspot-penalised
+        class targets a node v2stats flags as hot. ``at`` overrides the
+        enqueue timestamp for arrival-driven simulations (defaults to
+        the shared clock's now).
+        """
+        if query_class not in QUERY_CLASSES:
+            raise QosError(f"unknown query class {query_class!r}")
+        with self._lock:
+            self._counts[query_class]["submitted"] += 1
+            self._next_id += 1
+            ticket_id = self._next_id
+        obs.count("qos.submitted", cls=query_class)
+        hot = self._hot_targets(query_class, target_nodes)
+        if hot:
+            with self._lock:
+                self._counts[query_class]["shed"] += 1
+                self.shed_tickets.append(ticket_id)
+            self._shed(query_class, "hotspot")
+        with self._lock:
+            if len(self._queues[query_class]) >= self.config.depth_of(query_class):
+                self._counts[query_class]["shed"] += 1
+                self.shed_tickets.append(ticket_id)
+                overloaded = True
+            else:
+                overloaded = False
+                ticket = Ticket(
+                    ticket_id=ticket_id,
+                    query_class=query_class,
+                    job=job,
+                    target_nodes=tuple(target_nodes),
+                    enqueued_at=at if at is not None else self.clock.now,
+                )
+                self._queues[query_class].append(ticket)
+                self._counts[query_class]["admitted"] += 1
+                depth = len(self._queues[query_class])
+        if overloaded:
+            self._shed(query_class, "overload")
+        obs.count("qos.admitted", cls=query_class)
+        obs.gauge("qos.queue_depth", depth, cls=query_class)
+        return ticket
+
+    # -- scheduling ---------------------------------------------------------
+
+    def queued(self, query_class: str | None = None) -> int:
+        with self._lock:
+            if query_class is not None:
+                return len(self._queues[query_class])
+            return sum(len(q) for q in self._queues.values())
+
+    def _pick_class_locked(self) -> str | None:
+        """Smooth weighted round-robin over the non-empty class queues.
+
+        Every eligible class earns its weight in credit; the richest
+        class serves one query and pays back the total eligible weight.
+        Deterministic: ties break in ``QUERY_CLASSES`` order.
+        """
+        eligible = [c for c in QUERY_CLASSES if self._queues[c]]
+        if not eligible:
+            return None
+        if self.config.fifo:
+            return min(eligible, key=lambda c: self._queues[c][0].ticket_id)
+        total = 0
+        for query_class in eligible:
+            self._credit[query_class] += self.config.weight_of(query_class)
+            total += self.config.weight_of(query_class)
+        chosen = max(eligible, key=lambda c: (self._credit[c], -QUERY_CLASSES.index(c)))
+        self._credit[chosen] -= total
+        return chosen
+
+    def run_one(self) -> Ticket | None:
+        """Serve the next query per the weighted schedule; ``None`` when
+        every queue is empty. The ticket's job (if any) runs exactly
+        once; a raising job marks the ticket ``failed`` and keeps the
+        exception on ``ticket.error`` (load shedding is the submitter's
+        signal — execution failures are the landscape's)."""
+        with self._lock:
+            query_class = self._pick_class_locked()
+            if query_class is None:
+                return None
+            ticket = self._queues[query_class].popleft()
+            depth = len(self._queues[query_class])
+        ticket.started_at = self.clock.now
+        ticket.wait_seconds = max(0.0, self.clock.now - ticket.enqueued_at)
+        obs.gauge("qos.queue_depth", depth, cls=query_class)
+        obs.observe("qos.admission_wait_seconds", ticket.wait_seconds, cls=query_class)
+        if ticket.job is None:
+            ticket.state = "executed"
+        else:
+            try:
+                ticket.result = ticket.job()
+                ticket.state = "executed"
+            except Exception as exc:
+                ticket.state = "failed"
+                ticket.error = exc
+                obs.count("qos.job_failures", cls=query_class)
+        with self._lock:
+            self._counts[query_class]["executed"] += 1
+            if ticket.state == "failed":
+                self._counts[query_class]["failed"] += 1
+            self.executed_tickets.append(ticket.ticket_id)
+        obs.count("qos.executed", cls=query_class)
+        return ticket
+
+    def run_all(self, limit: int | None = None) -> list[Ticket]:
+        """Drain the queues (optionally at most ``limit`` queries)."""
+        served: list[Ticket] = []
+        while limit is None or len(served) < limit:
+            ticket = self.run_one()
+            if ticket is None:
+                break
+            served.append(ticket)
+        return served
+
+    # -- accounting ---------------------------------------------------------
+
+    def counts(self, query_class: str | None = None) -> dict[str, int]:
+        """Per-class (or summed) lifecycle counters."""
+        with self._lock:
+            if query_class is not None:
+                return dict(self._counts[query_class])
+            totals = {"submitted": 0, "admitted": 0, "shed": 0, "executed": 0, "failed": 0}
+            for per_class in self._counts.values():
+                for key, value in per_class.items():
+                    totals[key] += value
+            return totals
+
+    def conserved(self) -> bool:
+        """The invariant the property suite hammers: every submitted
+        query is accounted exactly once as admitted or shed, and nothing
+        was both shed and executed."""
+        totals = self.counts()
+        disjoint = not (set(self.shed_tickets) & set(self.executed_tickets))
+        return totals["submitted"] == totals["admitted"] + totals["shed"] and disjoint
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "queued": {c: len(q) for c, q in self._queues.items()},
+                "counts": {c: dict(v) for c, v in self._counts.items()},
+            }

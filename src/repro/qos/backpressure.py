@@ -1,0 +1,139 @@
+"""Bounded stream buffers with pluggable overflow policies.
+
+The ESP chapter of the paper feeds "millions of events" into the core;
+without a bound, a fast source grows an inter-operator queue without
+limit. :class:`BoundedBuffer` is the primitive the backpressured stream
+processor (``streaming/esp.py``) places between operators:
+
+* ``drop_oldest`` — ring-buffer semantics: admit the new event, evict
+  the oldest unconsumed one (freshness wins — the right default for
+  dashboards and monitors);
+* ``drop_newest`` — keep the backlog, refuse the new event (order
+  wins — the right default for audit-style streams);
+* ``block`` — refuse with :class:`~repro.errors.BackpressureError`
+  (retryable): in the single-threaded simulation "blocking" means the
+  producer must drain downstream and re-offer, which is exactly what
+  the backpressured processor's pump does.
+
+Every buffer tracks a high-water mark and drop counts, mirrored to
+``qos.buffer.depth`` / ``qos.buffer.watermark`` gauges and
+``qos.buffer.dropped`` counters so overload is visible, not silent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro import obs
+from repro.analysis.racecheck import track_fields
+from repro.errors import BackpressureError, QosError
+
+#: recognised overflow policies
+POLICIES: tuple[str, ...] = ("drop_oldest", "drop_newest", "block")
+
+
+@track_fields("_items")
+class BoundedBuffer:
+    """A bounded FIFO between two stream operators.
+
+    ``offer()`` returns True when the event was admitted; False means it
+    was dropped by policy (``block`` raises instead — the caller pumps
+    downstream and retries). ``take()`` pops the oldest admitted event.
+    """
+
+    def __init__(self, name: str, capacity: int, policy: str = "drop_oldest") -> None:
+        if capacity < 1:
+            raise QosError("capacity must be >= 1")
+        if policy not in POLICIES:
+            raise QosError(f"unknown backpressure policy {policy!r}")
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        self._lock = threading.Lock()
+        # bounded by the explicit capacity check in offer(); maxlen would
+        # silently evict and bypass the policy accounting
+        self._items: deque[Any] = deque()  # repro: allow(unbounded-queue)
+        self.watermark = 0
+        self.dropped_oldest = 0
+        self.dropped_newest = 0
+        self.offered = 0
+        self.taken = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        with self._lock:
+            return len(self._items) >= self.capacity
+
+    def offer(self, item: Any) -> bool:
+        """Admit ``item`` or apply the overflow policy."""
+        with self._lock:
+            self.offered += 1
+            if len(self._items) >= self.capacity:
+                if self.policy == "drop_oldest":
+                    self._items.popleft()
+                    self.dropped_oldest += 1
+                    obs.count("qos.buffer.dropped", buffer=self.name, policy="drop_oldest")
+                elif self.policy == "drop_newest":
+                    self.dropped_newest += 1
+                    obs.count("qos.buffer.dropped", buffer=self.name, policy="drop_newest")
+                    return False
+                else:  # block
+                    obs.count("qos.buffer.blocked", buffer=self.name)
+                    raise BackpressureError(
+                        f"buffer {self.name!r} full "
+                        f"(capacity={self.capacity}, policy=block)"
+                    )
+            self._items.append(item)
+            depth = len(self._items)
+            if depth > self.watermark:
+                self.watermark = depth
+                obs.gauge("qos.buffer.watermark", depth, buffer=self.name)
+            obs.gauge("qos.buffer.depth", depth, buffer=self.name)
+            return True
+
+    def take(self) -> Any:
+        """Pop the oldest event; raises :class:`QosError` when empty
+        (callers gate on ``len()`` — an empty take is a pump bug)."""
+        with self._lock:
+            if not self._items:
+                raise QosError(f"buffer {self.name!r} is empty")
+            item = self._items.popleft()
+            self.taken += 1
+            obs.gauge("qos.buffer.depth", len(self._items), buffer=self.name)
+            return item
+
+    def drain(self) -> list[Any]:
+        """Pop everything currently buffered, oldest first."""
+        with self._lock:
+            items = list(self._items)
+            self.taken += len(items)
+            self._items.clear()
+            obs.gauge("qos.buffer.depth", 0, buffer=self.name)
+            return items
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "policy": self.policy,
+                "watermark": self.watermark,
+                "dropped": self.dropped_oldest + self.dropped_newest,
+                "offered": self.offered,
+                "taken": self.taken,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            depth = len(self._items)
+        return (
+            f"BoundedBuffer({self.name!r}, {depth}/{self.capacity}, "
+            f"policy={self.policy})"
+        )

@@ -1,0 +1,194 @@
+"""Circuit breakers: stop burning retry budget against a failing seam.
+
+The failure-aware layer (PR 3) retries transient errors with bounded
+backoff — correct for a *blip*, wasteful for a seam that is down and
+staying down: every query pays the full retry schedule before failing.
+A :class:`CircuitBreaker` watches the recent outcome window of one seam
+(the SDA federation scan, ``SimulatedCluster.transfer``,
+``SharedLog.append``); once the failure rate crosses the threshold it
+*opens* and every call fails fast with a typed
+:class:`~repro.errors.CircuitOpenError` — which is deliberately not a
+:class:`~repro.errors.RetryableError`, so it punches straight through
+every retry loop (zero retry attempts against an open breaker). After a
+cool-down on the shared :class:`~repro.util.retry.SimulatedClock` the
+breaker goes *half-open* and lets probe calls through; one success
+closes it, one failure re-opens it and re-arms the cool-down.
+
+State machine (the only legal transitions — asserted by the hypothesis
+property test):
+
+    closed ──(failure rate ≥ threshold)──► open
+    open ──(cool-down elapsed)──► half-open
+    half-open ──(probe succeeds)──► closed
+    half-open ──(probe fails)──► open
+
+Every transition is recorded in :attr:`CircuitBreaker.transitions` with
+the simulated clock reading, counted into ``qos.breaker.trips`` /
+``qos.breaker.recoveries``, and mirrored to the ``qos.breaker.state``
+gauge so v2stats sees seam health.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro import obs
+from repro.errors import CircuitOpenError, QosError, RetryableError
+from repro.util.retry import SimulatedClock
+
+T = TypeVar("T")
+
+#: gauge encoding of breaker states (for ``qos.breaker.state``)
+STATE_CODES: dict[str, int] = {"closed": 0, "half_open": 1, "open": 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """When to trip and how long to cool down.
+
+    A breaker trips when, among the last ``window`` outcomes and with at
+    least ``min_calls`` of them observed, the failure fraction reaches
+    ``failure_threshold``. Cool-down is charged to the simulated clock.
+    """
+
+    failure_threshold: float = 0.5
+    min_calls: int = 4
+    window: int = 8
+    cooldown_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise QosError("failure_threshold must be in (0, 1]")
+        if self.min_calls < 1 or self.window < self.min_calls:
+            raise QosError("need window >= min_calls >= 1")
+        if self.cooldown_seconds < 0:
+            raise QosError("cooldown_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded state change, stamped with the simulated clock."""
+
+    source: str
+    target: str
+    at: float
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one seam, on simulated time.
+
+    Only :class:`~repro.errors.RetryableError` outcomes count as
+    failures — those are the transient infrastructure faults the retry
+    layer would otherwise hammer; domain errors (a malformed query, an
+    unknown table) pass through without moving the breaker.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: BreakerConfig | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config or BreakerConfig()
+        self.clock = clock or SimulatedClock()
+        self.state = "closed"
+        self.transitions: list[Transition] = []
+        self.fast_fails = 0
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at: float | None = None
+        obs.gauge("qos.breaker.state", STATE_CODES[self.state], breaker=self.name)
+
+    # -- state machine ------------------------------------------------------
+
+    def _move(self, target: str) -> None:
+        self.transitions.append(Transition(self.state, target, self.clock.now))
+        self.state = target
+        obs.gauge("qos.breaker.state", STATE_CODES[target], breaker=self.name)
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def allow(self) -> None:
+        """Gate one call. Open + cool-down elapsed moves to half-open
+        (the call proceeds as the probe); open otherwise fails fast."""
+        if self.state == "closed":
+            return
+        if self.state == "open":
+            assert self._opened_at is not None
+            if self.clock.now - self._opened_at >= self.config.cooldown_seconds:
+                self._move("half_open")
+                obs.count("qos.breaker.probes", breaker=self.name)
+                return
+            self.fast_fails += 1
+            obs.count("qos.breaker.fast_fails", breaker=self.name)
+            raise CircuitOpenError(
+                self.name,
+                f"circuit breaker {self.name!r} is open "
+                f"(cool-down until t={self._opened_at + self.config.cooldown_seconds:.6f}, "
+                f"now t={self.clock.now:.6f})",
+            )
+        # half-open: the in-flight probe decides; further calls pass too —
+        # deterministic single-threaded execution serialises them anyway
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self._outcomes.clear()
+            self._opened_at = None
+            self._move("closed")
+            obs.count("qos.breaker.recoveries", breaker=self.name)
+            return
+        if self.state == "closed":
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == "half_open":
+            self._opened_at = self.clock.now
+            self._move("open")
+            obs.count("qos.breaker.trips", breaker=self.name, kind="probe")
+            return
+        if self.state == "closed":
+            self._outcomes.append(False)
+            if (
+                len(self._outcomes) >= self.config.min_calls
+                and self._failure_rate() >= self.config.failure_threshold
+            ):
+                self._opened_at = self.clock.now
+                self._move("open")
+                obs.count("qos.breaker.trips", breaker=self.name, kind="threshold")
+
+    # -- call wrapper -------------------------------------------------------
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run one call through the breaker.
+
+        Transient failures (:class:`RetryableError`) count against the
+        window and re-raise unchanged, so wrapping a seam inside an
+        existing retry loop keeps the loop's error handling intact —
+        until the breaker opens, at which point the non-retryable
+        :class:`CircuitOpenError` punches through the loop.
+        """
+        self.allow()
+        try:
+            result = fn()
+        except RetryableError:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "failure_rate": self._failure_rate(),
+            "fast_fails": self.fast_fails,
+            "transitions": len(self.transitions),
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, state={self.state})"

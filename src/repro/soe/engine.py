@@ -53,6 +53,7 @@ class SoeEngine:
         failover: bool = True,
         staleness_bound: int = 0,
         deadline_seconds: float | None = None,
+        breaker_config: Any = None,
     ) -> None:
         if node_count < 1:
             raise SoeError("need at least one node")
@@ -67,8 +68,23 @@ class SoeEngine:
         self.chaos = chaos
         self.clock = chaos.clock if chaos is not None else SimulatedClock()
         policy = retry_policy or RetryPolicy()
+        #: a repro.qos BreakerConfig arms circuit breakers on the two SOE
+        #: overload seams: cluster transfer and shared-log append
+        self.breakers: dict[str, Any] = {}
+        if breaker_config is not None:
+            from repro.qos.breaker import CircuitBreaker
+
+            self.breakers["soe.transfer"] = CircuitBreaker(
+                "soe.transfer", breaker_config, clock=self.clock
+            )
+            self.breakers["soe.log_append"] = CircuitBreaker(
+                "soe.log_append", breaker_config, clock=self.clock
+            )
         self.broker = TransactionBroker(
-            self.log, retry_policy=policy, clock=self.clock
+            self.log,
+            retry_policy=policy,
+            clock=self.clock,
+            breaker=self.breakers.get("soe.log_append"),
         )
         self.catalog = CatalogService()
         self.discovery = DiscoveryService()
@@ -98,6 +114,7 @@ class SoeEngine:
             failover=failover,
             staleness_bound=staleness_bound,
             deadline_seconds=deadline_seconds,
+            transfer_breaker=self.breakers.get("soe.transfer"),
         )
         coordinator_node.host("v2dqp", self.coordinator)
         self.discovery.announce("v2dqp", coordinator_node.node_id)

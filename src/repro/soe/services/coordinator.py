@@ -134,6 +134,10 @@ class Coordinator:
     staleness_bound: int = 0
     #: per-query budget on the simulated clock (None = no deadline)
     deadline_seconds: float | None = None
+    #: optional repro.qos CircuitBreaker guarding cluster transfers; once
+    #: open, transfers fail fast with the non-retryable CircuitOpenError
+    #: instead of paying the resend schedule against a down network
+    transfer_breaker: Any = None
     _deadline_at: float | None = field(default=None, init=False, repr=False)
 
     def register_query_service(self, service: QueryService) -> None:
@@ -212,7 +216,12 @@ class Coordinator:
                 cost.retries += 1
                 obs.count("soe.coordinator.retries")
             try:
-                seconds = self.cluster.transfer(source, target, payload_bytes)
+                if self.transfer_breaker is not None:
+                    seconds = self.transfer_breaker.call(
+                        lambda: self.cluster.transfer(source, target, payload_bytes)
+                    )
+                else:
+                    seconds = self.cluster.transfer(source, target, payload_bytes)
             except TransferDroppedError as exc:
                 last = exc
                 continue

@@ -51,8 +51,13 @@ class TransactionBroker:
         log: SharedLog,
         retry_policy: RetryPolicy | None = None,
         clock: SimulatedClock | None = None,
+        breaker: Any = None,
     ) -> None:
         self.log = log
+        #: optional repro.qos CircuitBreaker on the append seam; once open,
+        #: submits fail fast (CircuitOpenError, non-retryable) instead of
+        #: running the seal-and-reopen/backoff schedule per transaction
+        self.breaker = breaker
         #: guards the subscriber list and the commit counter; never held
         #: while calling out (subscribers, the log) to keep lock order flat
         self._lock = threading.Lock()
@@ -102,6 +107,8 @@ class TransactionBroker:
                 self.retries += 1
                 obs.count("soe.broker.retries")
             try:
+                if self.breaker is not None:
+                    return self.breaker.call(lambda: self.log.append(payload))
                 return self.log.append(payload)
             except LogSealedError as exc:
                 last = exc

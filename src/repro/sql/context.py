@@ -30,6 +30,9 @@ class ExecutionContext:
     #: per-operator profiler installed by ``database.profile()``; the
     #: executor records node timings/row counts on it when not ``None``
     profiler: Any = None
+    #: per-query ResourceGovernor installed by ``database.execute(budget=...)``;
+    #: both engines charge row production against it at their yield points
+    governor: Any = None
 
     def bump(self, metric: str, amount: float = 1.0) -> None:
         """Increment an execution metric."""

@@ -152,8 +152,11 @@ def _execute_scan(node: ScanNode, context: ExecutionContext) -> Batch:
     ordinals = _prune_partitions(table, conjuncts, context)
     index_positions = _contains_probe(node, table, conjuncts, database)
 
+    governor = context.governor
     parts: list[Batch] = []
     for ordinal in ordinals:
+        if governor is not None and governor.should_stop:
+            break
         partition = table.partitions[ordinal]
         positions = partition.visible_positions(context.snapshot_cid, context.own_tid)
         if index_positions is not None:
@@ -164,6 +167,16 @@ def _execute_scan(node: ScanNode, context: ExecutionContext) -> Batch:
                 (int(p) in allowed for p in positions), dtype=bool, count=len(positions)
             )
             positions = positions[keep]
+        if governor is not None:
+            # batch-granular yield point: truncate instead of overshooting
+            # the soft row budget, then charge what survives
+            remaining = governor.remaining_rows()
+            if remaining is not None and len(positions) > remaining:
+                positions = positions[:remaining]
+            governor.charge(
+                rows=len(positions),
+                bytes_=len(positions) * 8 * max(len(node.columns), 1),
+            )
         if len(positions) == 0:
             continue
         columns = {
@@ -214,6 +227,15 @@ def _scan_rowstore(node: ScanNode, table: Any, context: ExecutionContext) -> Bat
         rows = table.scan_with_filters(triples)
     else:
         rows = table.scan(context.snapshot_cid, context.own_tid)
+    governor = context.governor
+    if governor is not None:
+        remaining = governor.remaining_rows()
+        if remaining is not None and len(rows) > remaining:
+            rows = rows[:remaining]
+        governor.charge(
+            rows=len(rows),
+            bytes_=len(rows) * 8 * max(len(table.schema.column_names), 1),
+        )
     names = [name.lower() for name in table.schema.column_names]
     columns: dict[str, np.ndarray] = {}
     for index, name in enumerate(names):

@@ -227,15 +227,20 @@ def _iter_scan(node: ScanNode, context: ExecutionContext) -> Iterator[Row]:
     if not node.table:
         yield {}
         return
+    governor = context.governor
     table = context.database.catalog.table(node.table)
     if isinstance(table, ColumnTable):
         for partition in table.partitions:
+            if governor is not None and governor.should_stop:
+                return
             positions = partition.visible_positions(context.snapshot_cid, context.own_tid)
             columns = {
                 name.lower(): partition.values_at(name, positions)
                 for name in node.columns
             }
             for index in range(len(positions)):
+                if governor is not None and governor.should_stop:
+                    return
                 row = {
                     f"{node.alias}.{name}": values[index]
                     for name, values in columns.items()
@@ -245,6 +250,8 @@ def _iter_scan(node: ScanNode, context: ExecutionContext) -> Iterator[Row]:
     else:
         names = [name.lower() for name in table.schema.column_names]
         for values in table.scan(context.snapshot_cid, context.own_tid):
+            if governor is not None and governor.should_stop:
+                return
             row = {f"{node.alias}.{name}": value for name, value in zip(names, values)}
             if node.predicate is None or bool(eval_row(node.predicate, row, context)):
                 yield row
@@ -372,8 +379,33 @@ def _finalise(state: Any, call: ast.FunctionCall) -> Any:
 
 
 def execute_volcano(plan: QueryPlan, context: ExecutionContext) -> list[list[Any]]:
-    """Run a plan tuple-at-a-time; returns output rows."""
+    """Run a plan tuple-at-a-time; returns output rows.
+
+    When the context carries a :class:`~repro.qos.governor.ResourceGovernor`,
+    each yielded row is charged against the query budget — a latched soft
+    limit stops the iteration (partial, ``degraded`` answer); a hard limit
+    raises :class:`~repro.errors.BudgetExceededError` from ``charge()``.
+    """
+    governor = context.governor
     rows = []
     for row in _iter_node(plan.root, context):
-        rows.append([row[name] for name in plan.output_names])
+        out = [row[name] for name in plan.output_names]
+        if governor is not None:
+            governor.charge(rows=1, bytes_=sum(_row_bytes(value) for value in out))
+            if governor.should_stop:
+                rows.append(out)
+                break
+        rows.append(out)
     return rows
+
+
+def _row_bytes(value: Any) -> int:
+    """Cheap per-value size estimate for byte budgets (not sys.getsizeof —
+    deterministic across interpreter builds)."""
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    return 8

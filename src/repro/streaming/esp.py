@@ -16,6 +16,7 @@ from typing import Any, Callable, Iterable
 
 from repro.analysis.racecheck import track_fields
 from repro.errors import StreamingError
+from repro.qos.backpressure import BoundedBuffer
 
 Event = dict[str, Any]
 
@@ -272,3 +273,115 @@ class StreamProcessor:
         for sink in self.sinks:
             if hasattr(sink, "flush"):
                 sink.flush()
+
+
+class BackpressuredProcessor:
+    """A :class:`StreamProcessor` with bounded inter-operator buffers.
+
+    Overload protection for the "millions of events" ingest path: every
+    stage boundary (ingest → op₀ → … → opₙ → sinks) is a
+    :class:`~repro.qos.backpressure.BoundedBuffer` with one shared
+    overflow ``policy`` — ``drop_oldest`` (freshness wins),
+    ``drop_newest`` (order wins), or ``block`` (lossless: a full buffer
+    forces a synchronous downstream drain before the producer's event is
+    admitted, the single-threaded meaning of "the producer blocks").
+
+    Events accumulate in the ingest buffer and move when :meth:`pump`
+    runs — at the *consumer's* cadence (and at :meth:`finish`), so a
+    producer outrunning the pump sees the overflow policy bite; only
+    ``block`` pumps automatically instead of ever dropping. The pump
+    drains downstream-first, freeing sink-side capacity before upstream
+    stages refill it, which minimises drops under the drop policies. Same
+    single-threaded contract as :class:`StreamProcessor`; buffer state is
+    race-tracked, drops and watermarks surface on each buffer's
+    ``qos.buffer.*`` metrics and :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        operators: list[StreamOperator],
+        sinks: list[Sink],
+        capacity: int = 64,
+        policy: str = "drop_oldest",
+    ) -> None:
+        self.operators = operators
+        self.sinks = sinks
+        self.policy = policy
+        #: buffers[i] feeds operators[i]; buffers[len(operators)] feeds sinks
+        self.buffers = [
+            BoundedBuffer(f"esp.stage{index}", capacity, policy)
+            for index in range(len(operators) + 1)
+        ]
+        self.events_in = 0
+        self.events_out = 0
+
+    def offer(self, event: Event) -> bool:
+        """Admit one event into the ingest buffer; returns False when a
+        drop policy rejected it. With ``block``, a full ingest buffer is
+        pumped (never dropped) before the event is admitted."""
+        self.events_in += 1
+        ingest = self.buffers[0]
+        if self.policy == "block" and ingest.full:
+            self.pump()
+        return ingest.offer(event)
+
+    def offer_many(self, events: Iterable[Event]) -> int:
+        """Offer a batch; returns how many were admitted."""
+        return sum(1 for event in events if self.offer(event))
+
+    def _emit(self, event: Event) -> None:
+        self.events_out += 1
+        for sink in self.sinks:
+            sink.consume(event)
+
+    def _offer_downstream(self, stage: int, event: Event) -> None:
+        buffer = self.buffers[stage]
+        if self.policy == "block" and buffer.full:
+            # lossless mode: make room by draining the consumer side now
+            self._drain_stage(stage)
+        buffer.offer(event)
+
+    def _drain_stage(self, stage: int) -> None:
+        buffer = self.buffers[stage]
+        while len(buffer):
+            event = buffer.take()
+            if stage == len(self.operators):
+                self._emit(event)
+            else:
+                for produced in self.operators[stage].process(event):
+                    self._offer_downstream(stage + 1, produced)
+
+    def pump(self) -> None:
+        """Move every buffered event through the chain to the sinks."""
+        # free downstream capacity first, then cascade front to back
+        for stage in reversed(range(len(self.buffers))):
+            self._drain_stage(stage)
+        for stage in range(len(self.buffers)):
+            self._drain_stage(stage)
+
+    def finish(self) -> None:
+        """Drain the buffers, flush windows and sinks at stream end."""
+        self.pump()
+        for index, operator in enumerate(self.operators):
+            for event in operator.flush():
+                self._offer_downstream(index + 1, event)
+            for stage in range(index + 1, len(self.buffers)):
+                self._drain_stage(stage)
+        for sink in self.sinks:
+            if hasattr(sink, "flush"):
+                sink.flush()
+
+    @property
+    def dropped(self) -> int:
+        return sum(
+            buffer.dropped_oldest + buffer.dropped_newest for buffer in self.buffers
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Per-stage buffer depths, watermarks, and drop counts."""
+        return {
+            "events_in": self.events_in,
+            "events_out": self.events_out,
+            "dropped": self.dropped,
+            "stages": [buffer.snapshot() for buffer in self.buffers],
+        }

@@ -124,7 +124,7 @@ def test_select_unknown_rule_raises(tmp_path):
 def test_rule_registry_is_complete():
     assert sorted(all_rules()) == [
         "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
-        "RA108", "RA109", "RA110",
+        "RA108", "RA109", "RA110", "RA111",
     ]
 
 

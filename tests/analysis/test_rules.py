@@ -480,3 +480,83 @@ def test_findings_sorted_and_symbolised():
     found = findings_for(src, select=["RA101"])
     assert [f.symbol for f in found] == ["Engine.a", "Engine.b"]
     assert found[0].line < found[1].line
+
+
+# -- RA111: unbounded queues in streaming/SOE/federation paths -------------------
+
+
+def test_ra111_flags_unbounded_deque_in_scope():
+    src = """
+        from collections import deque
+
+        class Buffer:
+            def __init__(self):
+                self.items = deque()
+    """
+    assert codes(src, rel_path="src/repro/streaming/esp.py", select=["RA111"]) == ["RA111"]
+
+
+def test_ra111_flags_unbounded_queue_constructors():
+    src = """
+        import queue
+
+        def build():
+            return queue.Queue(), queue.SimpleQueue()
+    """
+    assert codes(src, rel_path="src/repro/soe/engine.py", select=["RA111"]) == [
+        "RA111",
+        "RA111",
+    ]
+
+
+def test_ra111_queue_zero_maxsize_is_unbounded():
+    src = """
+        from queue import Queue
+
+        def build():
+            return Queue(0)
+    """
+    assert codes(src, rel_path="src/repro/soe/engine.py", select=["RA111"]) == ["RA111"]
+
+
+def test_ra111_accepts_bounded_containers():
+    src = """
+        from collections import deque
+        from queue import Queue
+
+        def build(n):
+            return deque(maxlen=16), deque([], 8), Queue(maxsize=32), Queue(n)
+    """
+    assert codes(src, rel_path="src/repro/streaming/esp.py", select=["RA111"]) == []
+
+
+def test_ra111_deque_maxlen_none_is_unbounded():
+    src = """
+        from collections import deque
+
+        def build():
+            return deque([], maxlen=None)
+    """
+    assert codes(src, rel_path="src/repro/federation/sda.py", select=["RA111"]) == ["RA111"]
+
+
+def test_ra111_suppressed_by_code_and_by_name():
+    src = """
+        from collections import deque
+
+        def build():
+            a = deque()  # repro: allow(RA111)
+            b = deque()  # repro: allow(unbounded-queue)
+            return a, b
+    """
+    assert codes(src, rel_path="src/repro/streaming/esp.py", select=["RA111"]) == []
+
+
+def test_ra111_out_of_scope_path_not_checked():
+    src = """
+        from collections import deque
+
+        def build():
+            return deque()
+    """
+    assert codes(src, rel_path="src/repro/sql/executor.py", select=["RA111"]) == []

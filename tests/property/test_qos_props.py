@@ -1,0 +1,227 @@
+"""Property tests for overload protection (hypothesis).
+
+Two invariants the QoS layer stakes its accounting on:
+
+* **conservation / exactly-once** — over any submit schedule and any
+  admission configuration, ``submitted == admitted + shed`` per class
+  and globally, and no ticket is ever both shed and executed;
+* **breaker state-machine legality** — over any outcome/clock-advance
+  sequence, a breaker only makes the four legal transitions, and never
+  reaches ``half_open`` without first being ``open`` for at least the
+  configured cool-down.
+
+``REPRO_CHAOS_SEED`` shifts the derandomised hypothesis universe the
+same way the chaos suites shift their fault plans.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionRejectedError, CircuitOpenError, RetryableError
+from repro.qos import (
+    AdmissionConfig,
+    AdmissionController,
+    BreakerConfig,
+    CircuitBreaker,
+    QUERY_CLASSES,
+)
+from repro.util.retry import SimulatedClock
+
+SEED_OFFSET = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+LEGAL_TRANSITIONS = {
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
+}
+
+
+# -- conservation / exactly-once ----------------------------------------------
+
+
+submit_schedules = st.lists(
+    st.tuples(
+        st.sampled_from(QUERY_CLASSES),
+        st.booleans(),  # target the hot node?
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+admission_configs = st.builds(
+    AdmissionConfig,
+    weights=st.fixed_dictionaries(
+        {c: st.integers(min_value=1, max_value=9) for c in QUERY_CLASSES}
+    ),
+    queue_depth=st.one_of(
+        st.integers(min_value=1, max_value=8),
+        st.fixed_dictionaries(
+            {c: st.integers(min_value=1, max_value=8) for c in QUERY_CLASSES}
+        ),
+    ),
+    fifo=st.booleans(),
+)
+
+
+class HotStats:
+    def __init__(self, hot: list[str]) -> None:
+        self.hot = hot
+
+    def hotspots(self, factor: float = 2.0) -> list[str]:
+        return list(self.hot)
+
+
+@seed(987_001 + SEED_OFFSET)
+@settings(max_examples=60, deadline=None)
+@given(
+    config=admission_configs,
+    schedule=submit_schedules,
+    drain_every=st.integers(min_value=1, max_value=7),
+    hot_node=st.booleans(),
+)
+def test_admission_conserves_every_submit(config, schedule, drain_every, hot_node):
+    stats = HotStats(["worker0"] if hot_node else [])
+    ac = AdmissionController(config, stats=stats)
+    submitted = admitted = shed = 0
+    for index, (query_class, target_hot) in enumerate(schedule):
+        targets = ("worker0",) if target_hot else ("worker1",)
+        submitted += 1
+        try:
+            ac.submit(query_class, lambda: None, target_nodes=targets)
+            admitted += 1
+        except AdmissionRejectedError as exc:
+            shed += 1
+            assert isinstance(exc, RetryableError)
+        if index % drain_every == 0:
+            ac.run_all(limit=2)
+    served = ac.run_all()
+    executed = sum(1 for t in served if t.state == "executed")
+    assert executed == len(served)
+
+    totals = ac.counts()
+    assert totals["submitted"] == submitted
+    assert totals["admitted"] == admitted
+    assert totals["shed"] == shed
+    assert submitted == admitted + shed
+    # exactly-once: everything admitted was eventually served, nothing shed was
+    assert totals["executed"] == admitted
+    assert not set(ac.shed_tickets) & set(ac.executed_tickets)
+    assert ac.conserved()
+    assert ac.queued() == 0
+
+
+@seed(987_002 + SEED_OFFSET)
+@settings(max_examples=40, deadline=None)
+@given(schedule=submit_schedules)
+def test_fifo_and_weighted_serve_the_same_multiset(schedule):
+    """Scheduling mode reorders service, never changes who gets served."""
+
+    def admitted_classes(fifo: bool) -> list[str]:
+        ac = AdmissionController(AdmissionConfig(queue_depth=4, fifo=fifo))
+        for query_class, _ in schedule:
+            try:
+                ac.submit(query_class)
+            except AdmissionRejectedError:
+                pass
+        return sorted(t.query_class for t in ac.run_all())
+
+    assert admitted_classes(True) == admitted_classes(False)
+
+
+# -- breaker state-machine legality -------------------------------------------
+
+
+breaker_configs = st.builds(
+    BreakerConfig,
+    failure_threshold=st.floats(min_value=0.25, max_value=1.0),
+    min_calls=st.integers(min_value=1, max_value=4),
+    window=st.integers(min_value=4, max_value=8),
+    cooldown_seconds=st.floats(min_value=0.1, max_value=5.0),
+)
+
+breaker_events = st.lists(
+    st.one_of(
+        st.just(("call", True)),
+        st.just(("call", False)),
+        st.tuples(
+            st.just("advance"), st.floats(min_value=0.0, max_value=3.0)
+        ),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+class Transient(RetryableError):
+    pass
+
+
+def _fail():
+    raise Transient("transient seam failure")
+
+
+@seed(987_003 + SEED_OFFSET)
+@settings(max_examples=60, deadline=None)
+@given(config=breaker_configs, events=breaker_events)
+def test_breaker_transitions_are_always_legal(config, events):
+    clock = SimulatedClock()
+    breaker = CircuitBreaker("prop", config, clock=clock)
+    for kind, value in events:
+        if kind == "advance":
+            clock.advance(value)
+            continue
+        try:
+            if value:
+                breaker.call(lambda: "ok")
+            else:
+                breaker.call(_fail)
+        except (RetryableError, CircuitOpenError):
+            pass
+
+    transitions = breaker.transitions
+    for t in transitions:
+        assert (t.source, t.target) in LEGAL_TRANSITIONS, transitions
+    # chained: each transition starts where the previous one ended
+    for prev, nxt in zip(transitions, transitions[1:]):
+        assert prev.target == nxt.source
+        assert nxt.at >= prev.at
+    if transitions:
+        assert transitions[0].source == "closed"
+    # half-open is only ever entered after a full cool-down in open
+    for prev, nxt in zip(transitions, transitions[1:]):
+        if nxt.target == "half_open":
+            assert prev.target == "open"
+            assert nxt.at - prev.at >= config.cooldown_seconds - 1e-9
+
+
+@seed(987_004 + SEED_OFFSET)
+@settings(max_examples=40, deadline=None)
+@given(config=breaker_configs, advances=st.lists(
+    st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=40
+))
+def test_open_breaker_never_touches_the_seam_before_cooldown(config, advances):
+    clock = SimulatedClock()
+    breaker = CircuitBreaker("prop", config, clock=clock)
+    # drive it open
+    while breaker.state != "open":
+        try:
+            breaker.call(_fail)
+        except RetryableError:
+            pass
+    opened_at = clock.now
+    touches = []
+    for delta in advances:
+        clock.advance(delta)
+        try:
+            breaker.call(lambda: touches.append(clock.now))
+        except CircuitOpenError:
+            pass
+        if breaker.state == "closed":
+            break
+    for touched_at in touches:
+        assert touched_at - opened_at >= config.cooldown_seconds - 1e-9

@@ -1,0 +1,254 @@
+"""Admission controller: weighted scheduling, shedding, conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import AdmissionRejectedError, QosError, RetryableError
+from repro.qos import AdmissionConfig, AdmissionController, DEFAULT_WEIGHTS, QUERY_CLASSES
+from repro.util.retry import SimulatedClock
+
+
+class StubStats:
+    """Stands in for ClusterStatisticsService.hotspots()."""
+
+    def __init__(self, hot: list[str]) -> None:
+        self.hot = hot
+        self.factor_seen: float | None = None
+
+    def hotspots(self, factor: float = 2.0) -> list[str]:
+        self.factor_seen = factor
+        return list(self.hot)
+
+
+def fill(ac: AdmissionController, spec: dict[str, int]) -> None:
+    for query_class, count in spec.items():
+        for _ in range(count):
+            ac.submit(query_class)
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_submit_and_run_one_executes_job_exactly_once():
+    calls = []
+    ac = AdmissionController()
+    ticket = ac.submit("oltp", lambda: calls.append(1) or "ok")
+    assert ticket.state == "queued"
+    served = ac.run_one()
+    assert served is ticket
+    assert ticket.state == "executed"
+    assert ticket.result == "ok"
+    assert calls == [1]
+    assert ac.run_one() is None
+
+
+def test_failing_job_marks_ticket_failed_and_keeps_error():
+    def boom():
+        raise ValueError("job blew up")
+
+    ac = AdmissionController()
+    ac.submit("olap", boom)
+    ticket = ac.run_one()
+    assert ticket.state == "failed"
+    assert isinstance(ticket.error, ValueError)
+    assert ac.counts("olap")["failed"] == 1
+    # a failed job still counts as executed (it was served exactly once)
+    assert ac.counts("olap")["executed"] == 1
+
+
+def test_wait_seconds_measured_on_simulated_clock():
+    clock = SimulatedClock()
+    ac = AdmissionController(clock=clock)
+    ac.submit("oltp")
+    clock.advance(2.5)
+    ticket = ac.run_one()
+    assert ticket.wait_seconds == pytest.approx(2.5)
+    assert ticket.started_at == pytest.approx(clock.now)
+
+
+def test_unknown_class_rejected():
+    ac = AdmissionController()
+    with pytest.raises(QosError):
+        ac.submit("adhoc")
+
+
+def test_config_validation():
+    with pytest.raises(QosError):
+        AdmissionConfig(weights={"oltp": 0})
+    with pytest.raises(QosError):
+        AdmissionConfig(weights={"mystery": 1})
+    with pytest.raises(QosError):
+        AdmissionConfig(queue_depth=0)
+    with pytest.raises(QosError):
+        AdmissionConfig(queue_depth={"olap": -1})
+    with pytest.raises(QosError):
+        AdmissionConfig(hotspot_shed_classes=("mystery",))
+
+
+# -- shedding ------------------------------------------------------------------
+
+
+def test_depth_overflow_sheds_with_retryable_error():
+    ac = AdmissionController(AdmissionConfig(queue_depth=2))
+    ac.submit("olap")
+    ac.submit("olap")
+    with pytest.raises(AdmissionRejectedError) as exc_info:
+        ac.submit("olap")
+    assert exc_info.value.reason == "overload"
+    assert exc_info.value.query_class == "olap"
+    # load shedding is the client's cue to back off and resubmit
+    assert isinstance(exc_info.value, RetryableError)
+    # other classes still have room
+    ac.submit("oltp")
+
+
+def test_per_class_depth_mapping():
+    ac = AdmissionController(AdmissionConfig(queue_depth={"oltp": 1, "background": 3}))
+    ac.submit("oltp")
+    with pytest.raises(AdmissionRejectedError):
+        ac.submit("oltp")
+    fill(ac, {"background": 3})
+    with pytest.raises(AdmissionRejectedError):
+        ac.submit("background")
+    # unlisted classes fall back to the default depth
+    fill(ac, {"olap": 4})
+
+
+def test_conservation_under_shedding():
+    ac = AdmissionController(AdmissionConfig(queue_depth=3))
+    admitted = shed = 0
+    for _ in range(10):
+        try:
+            ac.submit("streaming")
+            admitted += 1
+        except AdmissionRejectedError:
+            shed += 1
+    assert (admitted, shed) == (3, 7)
+    totals = ac.counts()
+    assert totals["submitted"] == 10
+    assert totals["admitted"] == 3
+    assert totals["shed"] == 7
+    ac.run_all()
+    assert ac.conserved()
+    assert not set(ac.shed_tickets) & set(ac.executed_tickets)
+
+
+# -- scheduling ----------------------------------------------------------------
+
+
+def test_swrr_serves_proportionally_to_weights():
+    ac = AdmissionController(AdmissionConfig(queue_depth=100))
+    fill(ac, {"oltp": 40, "background": 40})
+    first_nine = [t.query_class for t in ac.run_all(limit=9)]
+    # weights 8:1 — in any 9-slot window oltp gets 8 slots
+    assert first_nine.count("oltp") == 8
+    assert first_nine.count("background") == 1
+
+
+def test_swrr_full_drain_respects_weight_ratio():
+    ac = AdmissionController(AdmissionConfig(queue_depth=100))
+    fill(ac, {"oltp": 24, "olap": 24})
+    served = [t.query_class for t in ac.run_all(limit=10)]
+    # 8:2 → every 5-slot window is 4 oltp + 1 olap
+    assert served.count("oltp") == 8
+    assert served.count("olap") == 2
+
+
+def test_swrr_is_deterministic():
+    def trace() -> list[str]:
+        ac = AdmissionController(AdmissionConfig(queue_depth=100))
+        fill(ac, {"oltp": 10, "olap": 10, "streaming": 10, "background": 10})
+        return [t.query_class for t in ac.run_all()]
+
+    assert trace() == trace()
+
+
+def test_fifo_mode_serves_in_arrival_order():
+    ac = AdmissionController(AdmissionConfig(fifo=True, queue_depth=100))
+    ac.submit("background")
+    ac.submit("oltp")
+    ac.submit("olap")
+    served = [t.query_class for t in ac.run_all()]
+    assert served == ["background", "oltp", "olap"]
+
+
+def test_exhausted_class_yields_slots_to_the_rest():
+    ac = AdmissionController(AdmissionConfig(queue_depth=100))
+    fill(ac, {"oltp": 2, "background": 5})
+    served = [t.query_class for t in ac.run_all()]
+    assert served.count("oltp") == 2
+    assert served.count("background") == 5
+    # once oltp drains, background gets every remaining slot
+    assert served[-3:] == ["background"] * 3
+
+
+# -- hotspot placement penalty -------------------------------------------------
+
+
+def test_background_targeting_hot_node_is_shed():
+    stats = StubStats(["worker1"])
+    ac = AdmissionController(
+        AdmissionConfig(hotspot_factor=3.0), stats=stats
+    )
+    with pytest.raises(AdmissionRejectedError) as exc_info:
+        ac.submit("background", target_nodes=("worker1", "worker2"))
+    assert exc_info.value.reason == "hotspot"
+    assert stats.factor_seen == 3.0
+    assert ac.counts("background")["shed"] == 1
+    assert ac.conserved()
+
+
+def test_hotspot_penalty_spares_other_classes_and_cold_targets():
+    stats = StubStats(["worker1"])
+    ac = AdmissionController(stats=stats)
+    # oltp is not in hotspot_shed_classes — admitted even on the hot node
+    ac.submit("oltp", target_nodes=("worker1",))
+    # background on a cold node is admitted
+    ac.submit("background", target_nodes=("worker2",))
+    # background with no placement constraint is admitted
+    ac.submit("background")
+    assert ac.counts()["shed"] == 0
+
+
+def test_no_stats_service_disables_hotspot_penalty():
+    ac = AdmissionController()
+    ac.submit("background", target_nodes=("worker0",))
+    assert ac.counts("background")["admitted"] == 1
+
+
+# -- accounting / metrics ------------------------------------------------------
+
+
+def test_obs_counters_track_lifecycle():
+    obs.reset()
+    obs.enable()
+    ac = AdmissionController(AdmissionConfig(queue_depth=1))
+    ac.submit("oltp", lambda: 1)
+    with pytest.raises(AdmissionRejectedError):
+        ac.submit("oltp")
+    ac.run_all()
+    counters = {
+        key: series["value"]
+        for key, series in obs.metrics_dump().items()
+        if series.get("type") == "counter" and key.startswith("qos.")
+    }
+    assert counters["qos.submitted{cls=oltp}"] == 2
+    assert counters["qos.admitted{cls=oltp}"] == 1
+    assert counters["qos.shed{cls=oltp,reason=overload}"] == 1
+    assert counters["qos.executed{cls=oltp}"] == 1
+
+
+def test_snapshot_shape():
+    ac = AdmissionController()
+    ac.submit("streaming")
+    snap = ac.snapshot()
+    assert snap["queued"]["streaming"] == 1
+    assert snap["counts"]["streaming"]["admitted"] == 1
+    assert set(snap["queued"]) == set(QUERY_CLASSES)
+
+
+def test_default_weights_cover_all_classes():
+    assert set(DEFAULT_WEIGHTS) == set(QUERY_CLASSES)
+    assert all(weight >= 1 for weight in DEFAULT_WEIGHTS.values())

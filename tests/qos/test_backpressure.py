@@ -1,0 +1,185 @@
+"""Bounded buffers and the backpressured stream processor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BackpressureError, QosError, RetryableError
+from repro.qos import BoundedBuffer, POLICIES
+from repro.streaming.esp import (
+    BackpressuredProcessor,
+    CollectSink,
+    DeriveOperator,
+    FilterOperator,
+    TumblingWindowAggregate,
+)
+
+
+# -- BoundedBuffer -------------------------------------------------------------
+
+
+def test_buffer_validation():
+    with pytest.raises(QosError):
+        BoundedBuffer("b", 0)
+    with pytest.raises(QosError):
+        BoundedBuffer("b", 4, policy="spill")
+    assert POLICIES == ("drop_oldest", "drop_newest", "block")
+
+
+def test_drop_oldest_keeps_the_freshest():
+    buffer = BoundedBuffer("b", 3, policy="drop_oldest")
+    for i in range(5):
+        assert buffer.offer(i)  # always admitted; oldest evicted
+    assert buffer.drain() == [2, 3, 4]
+    assert buffer.dropped_oldest == 2
+    assert buffer.offered == 5
+
+
+def test_drop_newest_keeps_the_backlog():
+    buffer = BoundedBuffer("b", 3, policy="drop_newest")
+    admitted = [buffer.offer(i) for i in range(5)]
+    assert admitted == [True, True, True, False, False]
+    assert buffer.drain() == [0, 1, 2]
+    assert buffer.dropped_newest == 2
+
+
+def test_block_policy_raises_retryable_backpressure():
+    buffer = BoundedBuffer("b", 2, policy="block")
+    buffer.offer("a")
+    buffer.offer("b")
+    with pytest.raises(BackpressureError) as exc_info:
+        buffer.offer("c")
+    assert isinstance(exc_info.value, RetryableError)
+    # draining clears it — the producer's retry succeeds
+    buffer.take()
+    assert buffer.offer("c")
+    assert buffer.drain() == ["b", "c"]
+
+
+def test_watermark_tracks_high_water():
+    buffer = BoundedBuffer("b", 10)
+    for i in range(6):
+        buffer.offer(i)
+    for _ in range(6):
+        buffer.take()
+    buffer.offer("late")
+    assert buffer.watermark == 6
+    assert len(buffer) == 1
+
+
+def test_take_empty_is_a_pump_bug():
+    buffer = BoundedBuffer("b", 2)
+    with pytest.raises(QosError):
+        buffer.take()
+
+
+def test_snapshot_accounting():
+    buffer = BoundedBuffer("b", 2, policy="drop_oldest")
+    for i in range(4):
+        buffer.offer(i)
+    buffer.take()
+    snap = buffer.snapshot()
+    assert snap["offered"] == 4
+    assert snap["taken"] == 1
+    assert snap["dropped"] == 2
+    assert snap["depth"] == 1
+    assert snap["watermark"] == 2
+
+
+# -- BackpressuredProcessor ----------------------------------------------------
+
+
+def events(n: int) -> list[dict]:
+    return [{"t": i, "key": "k", "value": float(i)} for i in range(n)]
+
+
+def passthrough() -> list:
+    return [DeriveOperator("tag", lambda e: "seen")]
+
+
+def test_drop_oldest_processor_keeps_freshest_events():
+    sink = CollectSink()
+    proc = BackpressuredProcessor(passthrough(), [sink], capacity=4, policy="drop_oldest")
+    for event in events(20):
+        assert proc.offer(event)
+    proc.finish()
+    assert [e["t"] for e in sink.events] == [16, 17, 18, 19]
+    assert proc.dropped == 16
+    assert proc.events_in == 20
+    assert proc.events_out == 4
+
+
+def test_drop_newest_processor_keeps_earliest_events():
+    sink = CollectSink()
+    proc = BackpressuredProcessor(passthrough(), [sink], capacity=4, policy="drop_newest")
+    admitted = proc.offer_many(events(20))
+    proc.finish()
+    assert admitted == 4
+    assert [e["t"] for e in sink.events] == [0, 1, 2, 3]
+    assert proc.dropped == 16
+
+
+def test_block_policy_is_lossless():
+    sink = CollectSink()
+    proc = BackpressuredProcessor(passthrough(), [sink], capacity=4, policy="block")
+    for event in events(50):
+        assert proc.offer(event)
+    proc.finish()
+    assert [e["t"] for e in sink.events] == list(range(50))
+    assert proc.dropped == 0
+
+
+def test_pumping_consumer_loses_nothing_under_drop_policy():
+    sink = CollectSink()
+    proc = BackpressuredProcessor(passthrough(), [sink], capacity=4, policy="drop_oldest")
+    for event in events(40):
+        proc.offer(event)
+        proc.pump()  # consumer keeps pace with the producer
+    proc.finish()
+    assert [e["t"] for e in sink.events] == list(range(40))
+    assert proc.dropped == 0
+
+
+def test_operators_run_and_windows_flush_through_buffers():
+    sink = CollectSink()
+    proc = BackpressuredProcessor(
+        [
+            FilterOperator(lambda e: e["t"] % 2 == 0),
+            TumblingWindowAggregate("t", "key", "value", width=10),
+        ],
+        [sink],
+        capacity=64,
+        policy="block",
+    )
+    proc.offer_many(events(20))
+    proc.finish()
+    # events 0..18 even → windows [0,10) and [10,20), one key each
+    assert len(sink.events) == 2
+    assert sink.events[0]["count"] == 5
+    assert sink.events[1]["window_start"] == 10
+
+
+def test_snapshot_reports_per_stage_buffers():
+    proc = BackpressuredProcessor(passthrough(), [CollectSink()], capacity=4)
+    proc.offer_many(events(10))
+    snap = proc.snapshot()
+    assert snap["events_in"] == 10
+    assert len(snap["stages"]) == 2  # ingest→op, op→sinks
+    assert snap["stages"][0]["name"] == "esp.stage0"
+    assert snap["dropped"] == 6
+
+
+def test_drop_counts_surface_on_obs_metrics():
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    buffer = BoundedBuffer("metered", 1, policy="drop_oldest")
+    buffer.offer(1)
+    buffer.offer(2)
+    counters = {
+        key: series["value"]
+        for key, series in obs.metrics_dump().items()
+        if series.get("type") == "counter"
+    }
+    assert counters["qos.buffer.dropped{buffer=metered,policy=drop_oldest}"] == 1

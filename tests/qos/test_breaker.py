@@ -1,0 +1,246 @@
+"""Circuit breakers: trip/cool-down state machine, fail-fast, zero retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    LogStallError,
+    QosError,
+    RemoteSourceUnavailableError,
+    RetryableError,
+)
+from repro.qos import BreakerConfig, CircuitBreaker, STATE_CODES
+from repro.soe.services.transaction_broker import TransactionBroker
+from repro.soe.replication import make_insert
+from repro.util.retry import RetryPolicy, SimulatedClock
+
+
+def failing():
+    raise RemoteSourceUnavailableError("remote down")
+
+
+def make_breaker(clock=None, **overrides) -> CircuitBreaker:
+    defaults = dict(
+        failure_threshold=0.5, min_calls=2, window=4, cooldown_seconds=10.0
+    )
+    defaults.update(overrides)
+    return CircuitBreaker("seam", BreakerConfig(**defaults), clock=clock or SimulatedClock())
+
+
+def trip(breaker: CircuitBreaker) -> None:
+    for _ in range(breaker.config.min_calls):
+        with pytest.raises(RetryableError):
+            breaker.call(failing)
+    assert breaker.state == "open"
+
+
+# -- config --------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(QosError):
+        BreakerConfig(failure_threshold=0.0)
+    with pytest.raises(QosError):
+        BreakerConfig(failure_threshold=1.5)
+    with pytest.raises(QosError):
+        BreakerConfig(min_calls=0)
+    with pytest.raises(QosError):
+        BreakerConfig(min_calls=5, window=4)
+    with pytest.raises(QosError):
+        BreakerConfig(cooldown_seconds=-1)
+
+
+# -- tripping ------------------------------------------------------------------
+
+
+def test_trips_at_failure_threshold():
+    breaker = make_breaker()
+    with pytest.raises(RetryableError):
+        breaker.call(failing)
+    assert breaker.state == "closed"  # min_calls not reached
+    with pytest.raises(RetryableError):
+        breaker.call(failing)
+    assert breaker.state == "open"
+    assert breaker.transitions[-1].source == "closed"
+    assert breaker.transitions[-1].target == "open"
+
+
+def test_successes_keep_failure_rate_below_threshold():
+    breaker = make_breaker(window=4, min_calls=4)
+    for _ in range(3):
+        breaker.call(lambda: "ok")
+    with pytest.raises(RetryableError):
+        breaker.call(failing)
+    assert breaker.state == "closed"  # 1/4 failures < 0.5
+
+
+def test_domain_errors_do_not_count_as_failures():
+    breaker = make_breaker()
+
+    def bad_query():
+        raise ValueError("unknown table")
+
+    for _ in range(5):
+        with pytest.raises(ValueError):
+            breaker.call(bad_query)
+    assert breaker.state == "closed"
+    assert breaker.transitions == []
+
+
+def test_open_breaker_fails_fast_with_typed_error():
+    breaker = make_breaker()
+    trip(breaker)
+    calls = []
+    with pytest.raises(CircuitOpenError) as exc_info:
+        breaker.call(lambda: calls.append(1))
+    assert calls == []  # the seam was never touched
+    assert exc_info.value.breaker == "seam"
+    # deliberately NOT retryable: it must punch through retry loops
+    assert not isinstance(exc_info.value, RetryableError)
+    assert breaker.fast_fails == 1
+
+
+# -- cool-down and recovery ----------------------------------------------------
+
+
+def test_cooldown_elapses_into_half_open_probe_then_closed():
+    clock = SimulatedClock()
+    breaker = make_breaker(clock=clock)
+    trip(breaker)
+    clock.advance(9.99)
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "ok")
+    clock.advance(0.01)
+    assert breaker.call(lambda: "ok") == "ok"  # the probe
+    assert breaker.state == "closed"
+    targets = [t.target for t in breaker.transitions]
+    assert targets == ["open", "half_open", "closed"]
+
+
+def test_failed_probe_reopens_and_rearms_cooldown():
+    clock = SimulatedClock()
+    breaker = make_breaker(clock=clock)
+    trip(breaker)
+    clock.advance(10.0)
+    with pytest.raises(RetryableError):
+        breaker.call(failing)  # probe fails
+    assert breaker.state == "open"
+    # cool-down restarted from the probe failure
+    clock.advance(9.0)
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "ok")
+    clock.advance(1.0)
+    breaker.call(lambda: "ok")
+    assert breaker.state == "closed"
+
+
+def test_recovery_clears_the_outcome_window():
+    clock = SimulatedClock()
+    breaker = make_breaker(clock=clock)
+    trip(breaker)
+    clock.advance(10.0)
+    breaker.call(lambda: "ok")
+    # one fresh failure must not re-trip against the stale window
+    with pytest.raises(RetryableError):
+        breaker.call(failing)
+    assert breaker.state == "closed"
+
+
+def test_transitions_are_stamped_with_simulated_time():
+    clock = SimulatedClock()
+    breaker = make_breaker(clock=clock)
+    clock.advance(5.0)
+    trip(breaker)
+    assert breaker.transitions[0].at == pytest.approx(5.0)
+    clock.advance(10.0)
+    breaker.call(lambda: "ok")
+    half_open = breaker.transitions[1]
+    assert half_open.target == "half_open"
+    assert half_open.at - breaker.transitions[0].at >= breaker.config.cooldown_seconds
+
+
+def test_snapshot_and_state_codes():
+    breaker = make_breaker()
+    snap = breaker.snapshot()
+    assert snap["state"] == "closed"
+    assert set(STATE_CODES) == {"closed", "half_open", "open"}
+    trip(breaker)
+    assert breaker.snapshot()["failure_rate"] == 1.0
+
+
+# -- zero retries against an open breaker --------------------------------------
+
+
+def test_retry_policy_does_not_retry_an_open_breaker():
+    clock = SimulatedClock()
+    breaker = make_breaker(clock=clock, cooldown_seconds=1000.0)
+    policy = RetryPolicy(max_attempts=4)
+    retries = []
+
+    def guarded():
+        return breaker.call(failing)
+
+    # first policy.call: failures count, breaker opens mid-schedule, and
+    # the resulting CircuitOpenError aborts the loop (it is not retryable)
+    with pytest.raises((RetryableError, CircuitOpenError)):
+        policy.call(guarded, clock=clock, on_retry=lambda a, e: retries.append(a))
+    assert breaker.state == "open"
+    retries_before = len(retries)
+    attempts = []
+
+    def probe():
+        attempts.append(1)
+        return breaker.call(failing)
+
+    with pytest.raises(CircuitOpenError):
+        policy.call(probe, clock=clock, on_retry=lambda a, e: retries.append(a))
+    # fail-fast: exactly one attempt, zero retries, seam never touched
+    assert attempts == [1]
+    assert len(retries) == retries_before
+
+
+class StallingLog:
+    """A shared log that is down and staying down."""
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.tail = 0
+
+    def append(self, payload):
+        self.appends += 1
+        raise LogStallError("log stalled")
+
+    def reconfigure(self):
+        pass
+
+
+def test_broker_stops_retrying_once_log_breaker_opens():
+    clock = SimulatedClock()
+    log = StallingLog()
+    breaker = CircuitBreaker(
+        "soe.log_append",
+        BreakerConfig(failure_threshold=0.5, min_calls=2, window=4,
+                      cooldown_seconds=10_000.0),
+        clock=clock,
+    )
+    broker = TransactionBroker(
+        log,
+        retry_policy=RetryPolicy(max_attempts=5),
+        clock=clock,
+        breaker=breaker,
+    )
+    # first submit: the breaker opens after min_calls stalls, then the
+    # CircuitOpenError punches through the broker's retry loop
+    with pytest.raises(CircuitOpenError):
+        broker.submit([make_insert("t", [[1]])])
+    assert breaker.state == "open"
+    appends_before = log.appends
+    retries_before = broker.retries
+    with pytest.raises(CircuitOpenError):
+        broker.submit([make_insert("t", [[2]])])
+    # zero retry attempts and zero seam touches against the open breaker
+    assert broker.retries == retries_before
+    assert log.appends == appends_before
+    assert breaker.fast_fails >= 1

@@ -1,0 +1,121 @@
+"""Bit-for-bit reproducibility of the whole overload-protection stack.
+
+The ISSUE's acceptance bar: an identical seeded chaos schedule plus an
+identical submit schedule must yield identical shed/degraded/breaker-trip
+behaviour across runs — asserted on ``schedule_fingerprint()`` and the
+full ``qos.*`` counter dump, not on summary statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.chaos import ChaosController, FaultPlan
+from repro.errors import AdmissionRejectedError, ReproError
+from repro.qos import AdmissionConfig, AdmissionController, BreakerConfig
+from repro.soe.engine import SoeEngine
+
+SEED = 4242 + int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+WORKERS = ["worker0", "worker1", "worker2"]
+
+
+def build_soe(controller: ChaosController | None) -> SoeEngine:
+    soe = SoeEngine(
+        node_count=3,
+        node_modes="olap",
+        replication=2,
+        chaos=controller,
+        breaker_config=BreakerConfig(
+            failure_threshold=0.5, min_calls=4, window=8, cooldown_seconds=0.5
+        ),
+    )
+    soe.create_table(
+        "readings", ["sensor_id", "region", "value"], ["sensor_id"], partition_count=6
+    )
+    soe.load("readings", [[i, f"r{i % 5}", float(i % 97)] for i in range(300)])
+    return soe
+
+
+def run_overloaded_landscape() -> tuple:
+    """One seeded chaos + admission + breaker run; returns its full trace."""
+    obs.reset()
+    obs.enable()
+    plan = FaultPlan.from_seed(
+        seed=SEED,
+        horizon=120,
+        nodes=WORKERS,
+        drop_rate=0.25,
+        delay_rate=0.1,
+        stall_rate=0.2,
+    )
+    controller = ChaosController(plan)
+    soe = build_soe(controller)
+    admission = AdmissionController(
+        AdmissionConfig(queue_depth=4), clock=soe.clock, stats=soe.stats
+    )
+
+    def olap_job():
+        rows, _cost = soe.aggregate("readings", group_by=["region"])
+        return len(rows)
+
+    def oltp_job():
+        return soe.insert("readings", [[1000 + admission.queued(), "r9", 1.0]])
+
+    outcomes: list[str] = []
+    for step in range(60):
+        controller.tick()
+        query_class = ("oltp", "olap", "olap", "background")[step % 4]
+        job = oltp_job if query_class == "oltp" else olap_job
+        try:
+            admission.submit(
+                query_class, job, target_nodes=(WORKERS[step % 3],)
+            )
+            outcomes.append("admitted")
+        except AdmissionRejectedError as exc:
+            outcomes.append(f"shed:{exc.reason}")
+        if step % 3 == 0:
+            for ticket in admission.run_all(limit=2):
+                if ticket.state == "failed" and not isinstance(
+                    ticket.error, ReproError
+                ):
+                    raise ticket.error  # only landscape faults are expected
+                outcomes.append(f"{ticket.query_class}:{ticket.state}")
+    for ticket in admission.run_all():
+        outcomes.append(f"{ticket.query_class}:{ticket.state}")
+
+    counters = {
+        key: series["value"]
+        for key, series in obs.metrics_dump().items()
+        if series.get("type") == "counter" and key.startswith("qos.")
+    }
+    breaker_trace = {
+        name: [(t.source, t.target, t.at) for t in breaker.transitions]
+        for name, breaker in sorted(soe.breakers.items())
+    }
+    assert admission.conserved()
+    return (
+        controller.schedule_fingerprint(),
+        tuple(outcomes),
+        counters,
+        breaker_trace,
+        admission.counts(),
+    )
+
+
+def test_identical_seeds_reproduce_shed_and_breaker_trace_bit_for_bit():
+    first = run_overloaded_landscape()
+    second = run_overloaded_landscape()
+    assert first[0] == second[0], "chaos schedule fingerprint diverged"
+    assert first[1] == second[1], "admission outcome trace diverged"
+    assert first[2] == second[2], "qos.* counters diverged"
+    assert first[3] == second[3], "breaker transition trace diverged"
+    assert first[4] == second[4], "admission counts diverged"
+
+
+def test_overloaded_run_actually_sheds():
+    fingerprint, outcomes, counters, _breakers, counts = run_overloaded_landscape()
+    assert fingerprint  # the plan scheduled real faults
+    assert counts["shed"] > 0, "depth 4 under a 60-submit burst must shed"
+    assert counts["submitted"] == counts["admitted"] + counts["shed"]
+    assert any(key.startswith("qos.shed") for key in counters)

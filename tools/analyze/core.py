@@ -17,7 +17,8 @@ from pathlib import Path
 from typing import Iterable, Iterator, Type
 
 #: inline suppression syntax: ``# repro: allow(RA103)`` / ``allow(RA101, RA104)``
-_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9,\s]+)\)")
+#: — a rule may also be named by its slug, e.g. ``allow(unbounded-queue)``
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Za-z0-9,\s_-]+)\)")
 
 
 @dataclass(frozen=True)
@@ -70,12 +71,20 @@ class FileContext:
                 allowed[lineno] = codes
         return allowed
 
-    def is_suppressed(self, code: str, line: int) -> bool:
-        return code in self._suppressions.get(line, ())
+    def is_suppressed(self, code: str, line: int, rule_name: str = "") -> bool:
+        allowed = self._suppressions.get(line, ())
+        return code in allowed or (bool(rule_name) and rule_name in allowed)
 
-    def add(self, code: str, node: ast.AST, message: str, symbol: str = "") -> None:
+    def add(
+        self,
+        code: str,
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+        rule_name: str = "",
+    ) -> None:
         line = getattr(node, "lineno", 0)
-        if self.is_suppressed(code, line):
+        if self.is_suppressed(code, line, rule_name):
             return
         self.findings.append(Finding(code, self.rel_path, line, message, symbol))
 
@@ -110,7 +119,7 @@ class Rule(ast.NodeVisitor):
         return ".".join(self._symbol_stack)
 
     def report(self, node: ast.AST, message: str) -> None:
-        self.ctx.add(self.code, node, message, self.symbol)
+        self.ctx.add(self.code, node, message, self.symbol, rule_name=self.name)
 
     # -- symbol tracking (shared by every rule) ------------------------------
 

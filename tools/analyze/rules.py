@@ -704,3 +704,92 @@ class UnsafePublicationAfterStart(Rule):
                         "start() or lock both sides",
                     )
                     self._symbol_stack.pop()
+
+
+@register
+class BoundedQueues(Rule):
+    """RA111 — unbounded ``queue.Queue()`` / ``deque()`` in overload-sensitive
+    packages.
+
+    A queue without ``maxsize``/``maxlen`` in the scale-out, streaming,
+    or federation path grows without limit under load — the failure mode
+    the admission controller and stream backpressure exist to prevent.
+    Bound it, or annotate a deliberately unbounded container (one whose
+    depth is enforced elsewhere, e.g. by shed-at-submit) with
+    ``# repro: allow(unbounded-queue)``.
+    """
+
+    code = "RA111"
+    name = "unbounded-queue"
+    description = "queue.Queue()/deque() without maxsize/maxlen in soe/streaming/federation/qos"
+
+    _SCOPES = (
+        "repro/soe/",
+        "repro/streaming/",
+        "repro/federation/",
+        "repro/qos/",
+    )
+    _QUEUE_NAMES = {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"}
+    _QUEUE_MODULES = {"queue", "multiprocessing"}
+    _DEQUE_MODULES = {"collections"}
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return any(scope in rel_path for scope in cls._SCOPES)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        kind = self._constructor_kind(node.func)
+        if kind == "deque" and not self._deque_bounded(node):
+            self.report(
+                node,
+                "deque() without maxlen grows without bound under load; "
+                "pass maxlen=... or annotate `# repro: allow(unbounded-queue)`",
+            )
+        elif kind == "queue" and not self._queue_bounded(node):
+            self.report(
+                node,
+                "Queue() without maxsize grows without bound under load; "
+                "pass maxsize=... or annotate `# repro: allow(unbounded-queue)`",
+            )
+        self.generic_visit(node)
+
+    def _constructor_kind(self, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            if func.id == "deque":
+                return "deque"
+            if func.id in self._QUEUE_NAMES:
+                return "queue"
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.attr == "deque" and func.value.id in self._DEQUE_MODULES:
+                return "deque"
+            if func.attr in self._QUEUE_NAMES and func.value.id in self._QUEUE_MODULES:
+                return "queue"
+        return None
+
+    @staticmethod
+    def _deque_bounded(node: ast.Call) -> bool:
+        # deque(iterable, maxlen) — second positional is the bound
+        if len(node.args) >= 2:
+            return not _is_none(node.args[1])
+        for keyword in node.keywords:
+            if keyword.arg == "maxlen":
+                return not _is_none(keyword.value)
+        return False
+
+    @staticmethod
+    def _queue_bounded(node: ast.Call) -> bool:
+        # Queue(maxsize) — zero/negative means infinite
+        candidates = list(node.args[:1]) + [
+            keyword.value for keyword in node.keywords if keyword.arg == "maxsize"
+        ]
+        for value in candidates:
+            if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                return value.value > 0
+            if not _is_none(value):
+                return True  # a computed bound: trust it
+        return False
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None

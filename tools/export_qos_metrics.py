@@ -1,0 +1,118 @@
+"""Export the qos.* metric surface of a seeded overload run as JSON.
+
+CI's ``qos`` job runs this once per ``REPRO_CHAOS_SEED`` and uploads the
+result as a build artifact, so a regression in shed/degraded/breaker
+behaviour is diffable across commits: identical seed → identical file.
+
+Usage: ``PYTHONPATH=src python tools/export_qos_metrics.py [out.json]``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT))
+
+from repro import obs  # noqa: E402
+from repro.errors import (  # noqa: E402
+    AdmissionRejectedError,
+    BudgetExceededError,
+    RemoteSourceUnavailableError,
+)
+from repro.qos import (  # noqa: E402
+    AdmissionConfig,
+    AdmissionController,
+    BoundedBuffer,
+    BreakerConfig,
+    CircuitBreaker,
+    QueryBudget,
+    ResourceGovernor,
+)
+from repro.util.retry import SimulatedClock  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def exercise() -> dict:
+    """One deterministic pass over every qos primitive."""
+    obs.reset()
+    obs.enable()
+    clock = SimulatedClock()
+
+    admission = AdmissionController(
+        AdmissionConfig(queue_depth=4), clock=clock
+    )
+    shed = 0
+    for index in range(24 + SEED % 5):
+        query_class = ("oltp", "olap", "olap", "background")[index % 4]
+        try:
+            admission.submit(query_class)
+        except AdmissionRejectedError:
+            shed += 1
+        if index % 3 == 0:
+            admission.run_all(limit=1)
+    admission.run_all()
+
+    governor = ResourceGovernor(QueryBudget(soft_rows=10, hard_rows=50), clock=clock)
+    governor.charge(rows=12)
+    try:
+        ResourceGovernor(QueryBudget(hard_rows=1), clock=clock).charge(rows=2)
+    except BudgetExceededError:
+        pass
+
+    breaker = CircuitBreaker(
+        "export.seam",
+        BreakerConfig(min_calls=2, window=4, cooldown_seconds=5.0),
+        clock=clock,
+    )
+
+    def down():
+        raise RemoteSourceUnavailableError("down")
+
+    for _ in range(3):
+        try:
+            breaker.call(down)
+        except Exception:
+            pass
+    clock.advance(5.0)
+    breaker.call(lambda: "ok")
+
+    buffer = BoundedBuffer("export.buffer", 4, policy="drop_oldest")
+    for item in range(10 + SEED % 3):
+        buffer.offer(item)
+    buffer.drain()
+
+    assert admission.conserved()
+    counters = {
+        key: series["value"]
+        for key, series in sorted(obs.metrics_dump().items())
+        if series.get("type") == "counter" and key.startswith("qos.")
+    }
+    return {
+        "seed": SEED,
+        "counters": counters,
+        "admission": admission.counts(),
+        "breaker": breaker.snapshot(),
+        "buffer": buffer.snapshot(),
+        "governor": governor.snapshot(),
+    }
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("qos-metrics.json")
+    payload = exercise()
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(payload['counters'])} qos counters, seed={SEED})")
+
+
+def test_export_is_deterministic(tmp_path=None):
+    assert exercise() == exercise()
+
+
+if __name__ == "__main__":
+    main()
