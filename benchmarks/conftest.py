@@ -2,22 +2,33 @@
 
 Every benchmark prints the series it measures (the "table rows" of the
 corresponding experiment in EXPERIMENTS.md) in addition to the
-pytest-benchmark timing statistics. Run with::
+pytest-benchmark timing statistics, and the same rows are written as
+machine-readable ``BENCH_<experiment>.json`` files at session end (see
+:mod:`reporting`; ``REPRO_BENCH_DIR`` overrides the output directory).
+Run with::
 
     pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-def report(experiment: str, **fields) -> None:
-    """Print one measured series row, uniformly formatted."""
-    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
-    print(f"\n[{experiment}] {rendered}")
+import reporting  # noqa: E402
+
+report = reporting.report
 
 
 @pytest.fixture
 def reporter():
     return report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for path in reporting.flush():
+        print(f"[bench] wrote {path}")

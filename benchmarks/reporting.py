@@ -1,0 +1,48 @@
+"""Machine-readable benchmark results: ``BENCH_<experiment>.json``.
+
+Every measured series row goes through :func:`report`, which both prints
+the human-readable line (as before) and accumulates the row in memory.
+:func:`flush` then writes one ``BENCH_<experiment>.json`` per experiment
+— the artifact CI uploads — to ``REPRO_BENCH_DIR`` (default: the current
+working directory).
+
+Used from both entry points: the pytest path (``benchmarks/conftest.py``
+re-exports :func:`report` as the ``reporter`` fixture and flushes at
+session end) and the ``python benchmarks/bench_*.py`` script path (the
+``__main__`` blocks call :func:`report`/:func:`flush` directly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+_ROWS: dict[str, list[dict[str, Any]]] = {}
+
+
+def report(experiment: str, **fields: Any) -> None:
+    """Print one measured series row, uniformly formatted, and record it."""
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"\n[{experiment}] {rendered}")
+    _ROWS.setdefault(experiment, []).append(dict(fields))
+
+
+def output_dir() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def flush() -> list[Path]:
+    """Write one ``BENCH_<experiment>.json`` per reported experiment."""
+    written: list[Path] = []
+    for experiment, rows in sorted(_ROWS.items()):
+        path = output_dir() / f"BENCH_{experiment}.json"
+        payload = {"experiment": experiment, "rows": rows}
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    _ROWS.clear()
+    return written

@@ -31,15 +31,20 @@ from repro.core.result import QueryResult
 from repro.core.schema import ColumnSpec, TableSchema
 from repro.errors import DuplicateObjectError, PlanError, TableNotFoundError
 from repro.sql import ast
+from repro.sql import plancache
 from repro.sql.context import ExecutionContext
 from repro.sql.executor import execute as execute_plan
 from repro.sql.expressions import Batch, evaluate
+from repro.sql.feedback import CardinalityFeedback, ReplanSignal
 from repro.sql.functions import FunctionRegistry
 from repro.sql.parser import parse
-from repro.sql.planner import plan_select
+from repro.sql.planner import QueryPlan, plan_select
 from repro.transaction.manager import Transaction, TransactionManager
 
 PruningHook = Callable[[ColumnTable, list[ast.Expr], ExecutionContext], set[int] | None]
+
+#: simulated optimizer cost charged to the query budget per re-planning pass
+REPLAN_PLANNING_SECONDS = 0.005
 
 
 class Database:
@@ -61,6 +66,16 @@ class Database:
         self.pruning_hooks: list[PruningHook] = []
         #: session defaults copied into every execution context
         self.parameters: dict[str, Any] = {}
+        #: observed cardinalities per operator signature (docs/OPTIMIZER.md)
+        self.feedback = CardinalityFeedback()
+        #: compiled logical plans keyed by query-shape fingerprint
+        self.plan_cache = plancache.PlanCache()
+        #: master switches for the adaptive optimizer — benchmarks flip
+        #: these to measure static vs. adaptive planning (E26)
+        self.plan_cache_enabled = True
+        self.adaptive_planning = True
+        #: mid-query re-optimizations allowed per statement execution
+        self.max_reoptimizations = 1
         if self.persistence is not None:
             self._recover()
 
@@ -99,6 +114,8 @@ class Database:
                 sorted_dictionaries=sorted_dictionaries,
             )
         self.catalog.register_table(table)
+        # DDL invalidation: a (re)created table voids plans that read it
+        self.plan_cache.invalidate_table(name.lower())
         return table
 
     def drop_table(self, name: str) -> None:
@@ -106,6 +123,9 @@ class Database:
         self.text_indexes = {
             key: index for key, index in self.text_indexes.items() if key[0] != name.lower()
         }
+        # DDL invalidation: cached plans and learned cardinalities both die
+        self.plan_cache.invalidate_table(name.lower())
+        self.feedback.forget_table(name.lower())
 
     def table(self, name: str) -> Any:
         return self.catalog.table(name)
@@ -192,6 +212,44 @@ class Database:
             parameters=merged,
         )
 
+    def _plan_with_cache(
+        self, statement: "ast.SelectStatement | ast.UnionStatement"
+    ) -> tuple[QueryPlan, str | None]:
+        """Plan through the plan cache (docs/OPTIMIZER.md).
+
+        A hit patches the cached plan's literal slots with this
+        statement's constants and skips planning entirely; a miss (or a
+        stale entry whose feedback versions moved) plans with the current
+        feedback store and caches the result.
+        """
+        if not self.plan_cache_enabled:
+            return plan_select(statement, self.catalog, feedback=self.feedback), None
+        key = plancache.fingerprint(statement)
+        entry = self.plan_cache.get(key, self.feedback)
+        if entry is not None and plancache.bind(entry, statement):
+            return entry.plan, key
+        with obs.latency("sql.plan_seconds"):
+            plan = plan_select(statement, self.catalog, feedback=self.feedback)
+        self._cache_plan(key, statement, plan)
+        return plan, key
+
+    def _cache_plan(
+        self,
+        key: str,
+        statement: "ast.SelectStatement | ast.UnionStatement",
+        plan: QueryPlan,
+    ) -> None:
+        tables = plancache.plan_tables(plan.root)
+        self.plan_cache.put(
+            key,
+            plancache.PlanEntry(
+                plan=plan,
+                slots=plancache.collect_literals(statement),
+                tables=tables,
+                versions=self.feedback.versions(tables),
+            ),
+        )
+
     def _execute_select(
         self,
         statement: "ast.SelectStatement | ast.UnionStatement",
@@ -200,23 +258,52 @@ class Database:
         budget: Any = None,
     ) -> QueryResult:
         with obs.latency("sql.select_seconds"):
-            plan = plan_select(statement, self.catalog)
+            plan, cache_key = self._plan_with_cache(statement)
             context = self._context(txn, parameters)
+            context.feedback = self.feedback
             governor = None
             if budget is not None:
                 from repro.qos.governor import ResourceGovernor
 
                 governor = ResourceGovernor(budget)
                 context.governor = governor
-            batch = execute_plan(plan, context)
+            reoptimizations = 0
+            if self.adaptive_planning:
+                context.replans_remaining = self.max_reoptimizations
+                context.scan_cache = {}
+            while True:
+                try:
+                    batch = execute_plan(plan, context)
+                    break
+                except ReplanSignal:
+                    # mid-query re-optimization: the aborted attempt's
+                    # actuals are already in the feedback store, and its
+                    # completed scans stay memoised on context.scan_cache,
+                    # so the re-planned attempt resumes rather than redoes
+                    reoptimizations += 1
+                    context.replans_remaining -= 1
+                    obs.count("sql.reopt.replans")
+                    if governor is not None:
+                        governor.charge_planning(REPLAN_PLANNING_SECONDS)
+                    with obs.latency("sql.plan_seconds"):
+                        plan = plan_select(
+                            statement, self.catalog, feedback=self.feedback
+                        )
+                    if cache_key is not None:
+                        self._cache_plan(cache_key, statement, plan)
+            if reoptimizations:
+                context.bump("reoptimizations", reoptimizations)
             if governor is not None and governor.degraded:
                 return QueryResult(
                     plan.output_names,
                     batch.rows(),
                     degraded=True,
                     degraded_reasons=list(governor.degraded_reasons),
+                    reoptimizations=reoptimizations,
                 )
-            return QueryResult(plan.output_names, batch.rows())
+            return QueryResult(
+                plan.output_names, batch.rows(), reoptimizations=reoptimizations
+            )
 
     def query(self, sql: str, **parameters: Any) -> QueryResult:
         """Convenience: execute a SELECT with keyword parameters."""
@@ -239,8 +326,12 @@ class Database:
         statement = parse(sql)
         if not isinstance(statement, (ast.SelectStatement, ast.UnionStatement)):
             raise PlanError("profile() supports SELECT statements only")
-        plan = plan_select(statement, self.catalog)
+        plan = plan_select(statement, self.catalog, feedback=self.feedback)
         context = self._context(txn, parameters)
+        # profiled runs do not auto-record feedback: a profile is a
+        # measurement, and feeding it back is the caller's explicit call
+        # (``database.feedback.harvest(profile.root)``) — so profiling a
+        # query never changes how its next plain execution is planned
         profiler = obs.QueryProfiler()
         context.profiler = profiler
         with obs.span("sql.profile", sql=sql.strip()):
@@ -498,6 +589,9 @@ class Database:
         if not isinstance(table, ColumnTable):
             return MergeStats()
         stats = merge_table(table, compact=compact)
+        # a delta merge changes partition layout and the cost picture:
+        # plans against the pre-merge shape must be re-planned
+        self.plan_cache.invalidate_table(table.name)
         if compact and self.persistence is not None:
             # compaction invalidates nothing logically, but take a savepoint
             # so the (logical) log stays small
@@ -510,6 +604,7 @@ class Database:
         for table in list(self.catalog.tables()):
             if isinstance(table, ColumnTable):
                 total.merge(merge_table(table, compact=compact))
+                self.plan_cache.invalidate_table(table.name)
         return total
 
     # -- durability ------------------------------------------------------------------------------

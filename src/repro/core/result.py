@@ -15,6 +15,7 @@ class QueryResult:
         rowcount: int | None = None,
         degraded: bool = False,
         degraded_reasons: list[str] | None = None,
+        reoptimizations: int = 0,
     ) -> None:
         self.columns = columns
         self.rows = rows
@@ -26,6 +27,9 @@ class QueryResult:
         self.degraded = degraded
         #: which budget dimensions latched ("rows", "bytes", "seconds")
         self.degraded_reasons = degraded_reasons or []
+        #: how many mid-query re-optimizations this execution performed
+        #: (docs/OPTIMIZER.md; mirrors ``PlanCost.reoptimizations``)
+        self.reoptimizations = reoptimizations
 
     def __iter__(self) -> Iterator[list[Any]]:
         return iter(self.rows)

@@ -13,6 +13,17 @@ later optimisation PR can show *which operator* got faster.
 When no profiler is installed the executor's guard is a single attribute
 read and ``is None`` branch per plan node (not per row); benchmark E21
 bounds the cost.
+
+**Profiler as feedback source:** each :class:`OperatorProfile` also
+captures the plan node's cardinality ``signature`` (when the planner
+assigned one), so a finished profile tree can be replayed into the
+optimizer's feedback store —
+``database.feedback.harvest(profile.root)`` records every signed
+operator's measured row count exactly as live execution would have. The
+profiler thereby closes the adaptive loop from the observability side:
+measure once with ``session.profile(sql)``, and subsequent plans of the
+same query shapes use the observed cardinalities (see
+``docs/OPTIMIZER.md``).
 """
 
 from __future__ import annotations
@@ -70,6 +81,9 @@ class OperatorProfile:
     rows: int = 0                 # output row count
     wall_seconds: float = 0.0     # inclusive of children
     children: list["OperatorProfile"] = field(default_factory=list)
+    #: the node's cardinality-feedback signature, when the planner signed
+    #: it — lets ``CardinalityFeedback.harvest`` replay this profile
+    signature: str | None = None
 
     @property
     def wall_ms(self) -> float:
@@ -123,7 +137,11 @@ class QueryProfiler:
         self._stack: list[OperatorProfile] = []
 
     def operator(self, node: "PlanNode") -> _OperatorFrame:
-        profile = OperatorProfile(type(node).__name__, describe_node(node))
+        profile = OperatorProfile(
+            type(node).__name__,
+            describe_node(node),
+            signature=getattr(node, "signature", None),
+        )
         if self._stack:
             self._stack[-1].children.append(profile)
         else:

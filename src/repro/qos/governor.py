@@ -136,6 +136,19 @@ class ResourceGovernor:
         if b.soft_seconds is not None and self.elapsed_seconds >= b.soft_seconds:
             self._degrade("seconds")
 
+    def charge_planning(self, seconds: float) -> None:
+        """Charge (simulated) optimizer time against the same budget.
+
+        Mid-query re-optimization is not free: the database charges each
+        re-planning pass here before building the new plan, so a query
+        near its time budget degrades or raises instead of burning the
+        remaining budget on planning work (``docs/OPTIMIZER.md``).
+        """
+        if seconds:
+            self.clock.advance(seconds)
+        obs.count("qos.planning_charges")
+        self.charge(0, 0)
+
     def remaining_rows(self) -> int | None:
         """Rows producible before the *soft* row limit latches, or
         ``None`` when unbounded — lets vectorized scans truncate a batch

@@ -87,6 +87,10 @@ class PlanCost:
     #: True when any partition was served by a replica that still lagged
     #: the log (within the coordinator's staleness bound)
     degraded: bool = False
+    #: how many times the plan was re-optimized mid-query — strategy-body
+    #: re-plans against fresh cluster state (mirrors the SQL path's
+    #: ``QueryResult.reoptimizations``; see docs/OPTIMIZER.md)
+    reoptimizations: int = 0
 
     def as_dict(self) -> dict[str, float | str]:
         return {
@@ -99,6 +103,7 @@ class PlanCost:
             "retries": float(self.retries),
             "failovers": float(self.failovers),
             "degraded": float(self.degraded),
+            "reoptimizations": float(self.reoptimizations),
         }
 
 
@@ -195,6 +200,9 @@ class Coordinator:
             if attempt:
                 self._charge(delay)
                 cost.retries += 1
+                # each retry re-plans the strategy body against current
+                # liveness: a mid-query re-optimization in PlanCost terms
+                cost.reoptimizations += 1
                 obs.count("soe.coordinator.retries")
             try:
                 return body()

@@ -14,6 +14,19 @@ what "compiled" means here; benchmark E6 measures the gap.
 
 Unsupported plan shapes raise :class:`CompileError`; callers fall back to
 the vectorised engine.
+
+**Relation to the adaptive optimizer** (``docs/OPTIMIZER.md``): the
+compiler consumes the same feedback-annotated
+:class:`~repro.sql.planner.QueryPlan` as the other engines, so a plan
+re-ordered from observed cardinalities compiles to a correspondingly
+better fused loop. Two deliberate differences: literal values are baked
+into the generated source by ``repr``, so compiled functions are *not*
+literal-patchable and the plan cache (:mod:`repro.sql.plancache`) caches
+logical plans rather than compiled code; and the fused loop has no
+per-operator boundary to measure, so compiled execution neither records
+cardinality feedback nor triggers mid-query re-optimization — it is the
+beneficiary of feedback gathered by the interpreted engines, not a
+source of it.
 """
 
 from __future__ import annotations

@@ -33,6 +33,16 @@ class ExecutionContext:
     #: per-query ResourceGovernor installed by ``database.execute(budget=...)``;
     #: both engines charge row production against it at their yield points
     governor: Any = None
+    #: the database's CardinalityFeedback store; when present the engines
+    #: record every signed operator's actual row count on it
+    feedback: Any = None
+    #: per-query scan memoisation keyed by scan signature — lets a
+    #: mid-query re-optimization resume without re-reading (or
+    #: re-charging) scans the aborted attempt already completed
+    scan_cache: dict[str, Any] | None = None
+    #: how many mid-query re-optimizations this execution may still
+    #: trigger; 0 disables the blow-out check entirely
+    replans_remaining: int = 0
 
     def bump(self, metric: str, amount: float = 1.0) -> None:
         """Increment an execution metric."""

@@ -23,6 +23,16 @@ one is installed (``session.profile(sql)`` — see
 :mod:`repro.obs.profiler`); row counters additionally feed
 :mod:`repro.obs` when collectors are enabled. Both hooks are per-node
 (never per-row) and no-ops by default.
+
+**Adaptivity:** the same per-node boundary feeds
+:func:`repro.sql.feedback.observe_actual` — actual row counts of signed
+scans and joins go to the database's cardinality feedback store, and a
+>10× estimate blow-out raises
+:class:`~repro.sql.feedback.ReplanSignal` for mid-query
+re-optimization. Completed scans are memoised on
+``context.scan_cache`` so a re-planned attempt resumes from them
+instead of re-reading (and re-charging) the data. See
+``docs/OPTIMIZER.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.columnstore.partition import CompositePartitioning, RangePartitioning
 from repro.columnstore.table import ColumnTable
 from repro.errors import PlanError
 from repro.sql import ast
+from repro.sql import feedback as fb
 from repro.sql.context import ExecutionContext
 from repro.sql.expressions import Batch, evaluate, is_null_mask
 from repro.sql.planner import (
@@ -63,13 +74,22 @@ def execute(plan: QueryPlan, context: ExecutionContext) -> Batch:
 
 
 def _execute_node(node: PlanNode, context: ExecutionContext) -> Batch:
-    """Dispatch one plan node, recording it when a profiler is installed."""
+    """Dispatch one plan node, recording it when a profiler is installed.
+
+    This boundary is also the adaptive loop's measurement point: signed
+    nodes report their actual row count to the feedback store and may
+    raise :class:`~repro.sql.feedback.ReplanSignal` on a >10× estimate
+    blow-out (see :func:`repro.sql.feedback.observe_actual`).
+    """
     profiler = context.profiler
     if profiler is None:
-        return _dispatch_node(node, context)
+        batch = _dispatch_node(node, context)
+        fb.observe_actual(node, len(batch), context)
+        return batch
     with profiler.operator(node) as operator:
         batch = _dispatch_node(node, context)
         operator.rows = len(batch)
+        fb.observe_actual(node, len(batch), context)
         return batch
 
 
@@ -139,8 +159,36 @@ def _dispatch_node(node: PlanNode, context: ExecutionContext) -> Batch:
 
 
 def _execute_scan(node: ScanNode, context: ExecutionContext) -> Batch:
+    """Scan with per-query memoisation keyed by the node's signature.
+
+    The memo exists for mid-query re-optimization: when a
+    :class:`~repro.sql.feedback.ReplanSignal` aborts an attempt, the
+    re-planned attempt finds identical scans (same table + predicate
+    shape, possibly under a different alias) already materialised and
+    resumes from them — no re-read, no double governor charge.
+    """
     if not node.table:  # FROM-less SELECT: one virtual row
         return Batch({}, 1)
+    cache = context.scan_cache
+    if cache is None or node.signature is None:
+        return _execute_scan_uncached(node, context)
+    cached = cache.get(node.signature)
+    if cached is not None:
+        columns, length = cached
+        context.bump("scans_reused")
+        obs.count("sql.executor.scans_reused")
+        return Batch(
+            {f"{node.alias}.{name}": array for name, array in columns.items()}, length
+        )
+    batch = _execute_scan_uncached(node, context)
+    cache[node.signature] = (
+        {key.split(".", 1)[1]: array for key, array in batch.columns.items()},
+        len(batch),
+    )
+    return batch
+
+
+def _execute_scan_uncached(node: ScanNode, context: ExecutionContext) -> Batch:
     database = context.database
     if database is None:
         raise PlanError("scan requires a database in the execution context")

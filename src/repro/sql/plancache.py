@@ -1,0 +1,335 @@
+"""Plan cache: skip planning entirely for repeated query *shapes*.
+
+**Paper mapping:** HANA's front door compiles a statement once and
+reuses the plan for every later execution with different parameter
+values; caching repeated traffic is the in-memory reuse argument of
+*SAP HANA and its performance benefits* (PAPERS.md) and the stated
+prerequisite for the front-door session layer (ROADMAP item 3).
+
+**Key idea — shape, not text.** :func:`fingerprint` renders a parsed
+statement with every expression literal replaced by ``?`` so that
+``... WHERE amount > 100`` and ``... WHERE amount > 250`` share one
+cache entry. Two things deliberately stay *verbatim* because the planner
+consumes them at plan time (they are part of the plan, not runtime
+inputs): ``ORDER BY 2`` positional ordinals, and ``LIMIT``/``OFFSET``
+counts.
+
+**Binding.** A cached plan references the *first* statement's frozen
+:class:`~repro.sql.ast.Literal` leaves by identity (the planner rebuilds
+interior expression nodes but never literal leaves). On a hit,
+:func:`bind` walks the *new* statement in the same deterministic order
+as :func:`collect_literals` did for the cached one and patches each
+cached literal's ``value`` in place; the engines read ``Literal.value``
+at execution time, so the cached plan then computes with the fresh
+constants. This is the single place the repo mutates a frozen AST node,
+and it makes a cache entry single-execution at a time — acceptable here
+because sessions execute statements serially (a real engine would
+parameterise the plan instead).
+
+**Invalidation** is two-tier:
+
+* *explicit* — ``invalidate_table()`` on DDL (CREATE/DROP) and on delta
+  merge, since a merge changes partition layout and the cost picture;
+* *feedback staleness* — each entry snapshots the per-table versions of
+  the :class:`~repro.sql.feedback.CardinalityFeedback` store; when a
+  table's observed cardinalities change significantly the version moves
+  and the entry is re-planned on next lookup.
+
+Hits, misses, evictions, staleness drops, and invalidations are all
+counted through :mod:`repro.obs` (``sql.plancache.*``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro import obs
+from repro.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sql.feedback import CardinalityFeedback
+
+#: default number of cached plans before LRU eviction
+DEFAULT_CAPACITY = 128
+
+
+# --------------------------------------------------------------------------
+# fingerprinting
+# --------------------------------------------------------------------------
+
+
+def _fp_expr(expr: ast.Expr) -> str:
+    """Render an expression with literals as ``?`` (shape only)."""
+    if isinstance(expr, ast.Literal):
+        return "?"
+    if isinstance(expr, ast.ColumnRef):
+        return str(expr)
+    if isinstance(expr, ast.Star):
+        return str(expr)
+    if isinstance(expr, ast.BinaryOp):
+        return f"({_fp_expr(expr.left)} {expr.op} {_fp_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op} {_fp_expr(expr.operand)})"
+    if isinstance(expr, ast.IsNull):
+        return f"({_fp_expr(expr.operand)} IS {'NOT ' if expr.negated else ''}NULL)"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(_fp_expr(item) for item in expr.items)
+        return f"({_fp_expr(expr.operand)} {'NOT ' if expr.negated else ''}IN ({items}))"
+    if isinstance(expr, ast.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({_fp_expr(expr.operand)} {word} "
+            f"{_fp_expr(expr.low)} AND {_fp_expr(expr.high)})"
+        )
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(_fp_expr(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, result in expr.branches:
+            parts.append(f"WHEN {_fp_expr(condition)} THEN {_fp_expr(result)}")
+        if expr.otherwise is not None:
+            parts.append(f"ELSE {_fp_expr(expr.otherwise)}")
+        parts.append("END")
+        return " ".join(parts)
+    return str(expr)
+
+
+def _is_ordinal(expr: ast.Expr) -> bool:
+    """ORDER BY position ordinals are consumed at plan time, so they are
+    part of the query *shape* and are neither wildcarded nor patched."""
+    return isinstance(expr, ast.Literal) and isinstance(expr.value, int)
+
+
+def _fp_order(order_by: list[tuple[ast.Expr, bool]]) -> str:
+    keys = ", ".join(
+        (str(expr.value) if _is_ordinal(expr) else _fp_expr(expr))
+        + (" ASC" if ascending else " DESC")
+        for expr, ascending in order_by
+    )
+    return f" ORDER BY {keys}" if keys else ""
+
+
+def _fp_table_ref(ref: ast.TableRef) -> str:
+    if ref.subquery is not None:
+        return f"({fingerprint(ref.subquery)}) AS {ref.alias}"
+    return f"{ref.name} AS {ref.alias}"
+
+
+def _fp_select(statement: ast.SelectStatement) -> str:
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(
+        ", ".join(
+            _fp_expr(item.expr) + (f" AS {item.alias}" if item.alias else "")
+            for item in statement.items
+        )
+    )
+    if statement.from_table is not None:
+        parts.append(f"FROM {_fp_table_ref(statement.from_table)}")
+    for clause in statement.joins:
+        parts.append(f"{clause.kind.upper()} JOIN {_fp_table_ref(clause.table)}")
+        if clause.condition is not None:
+            parts.append(f"ON {_fp_expr(clause.condition)}")
+    if statement.where is not None:
+        parts.append(f"WHERE {_fp_expr(statement.where)}")
+    if statement.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(_fp_expr(expr) for expr in statement.group_by)
+        )
+    if statement.having is not None:
+        parts.append(f"HAVING {_fp_expr(statement.having)}")
+    text = " ".join(parts) + _fp_order(statement.order_by)
+    if statement.limit is not None:
+        text += f" LIMIT {statement.limit}"
+    if statement.offset is not None:
+        text += f" OFFSET {statement.offset}"
+    return text
+
+
+def fingerprint(statement: ast.SelectStatement | ast.UnionStatement) -> str:
+    """The normalized query-shape key: literals stripped, structure kept."""
+    if isinstance(statement, ast.UnionStatement):
+        pieces = [_fp_select(statement.selects[0])]
+        for connector_all, select in zip(statement.alls, statement.selects[1:]):
+            pieces.append("UNION ALL" if connector_all else "UNION")
+            pieces.append(_fp_select(select))
+        text = " ".join(pieces) + _fp_order(statement.order_by)
+        if statement.limit is not None:
+            text += f" LIMIT {statement.limit}"
+        if statement.offset is not None:
+            text += f" OFFSET {statement.offset}"
+        return text
+    return _fp_select(statement)
+
+
+# --------------------------------------------------------------------------
+# literal slots
+# --------------------------------------------------------------------------
+
+
+def collect_literals(
+    statement: ast.SelectStatement | ast.UnionStatement,
+) -> list[ast.Literal]:
+    """Every patchable literal leaf, in the deterministic traversal order
+    that :func:`fingerprint` renders them (ORDER BY ordinals excluded)."""
+    slots: list[ast.Literal] = []
+
+    def expr(node: ast.Expr) -> None:
+        if isinstance(node, ast.Literal):
+            slots.append(node)
+            return
+        for child in node.children():
+            expr(child)
+
+    def order(order_by: list[tuple[ast.Expr, bool]]) -> None:
+        for key, _ascending in order_by:
+            if not _is_ordinal(key):
+                expr(key)
+
+    def select(stmt: ast.SelectStatement) -> None:
+        for item in stmt.items:
+            expr(item.expr)
+        if stmt.from_table is not None and stmt.from_table.subquery is not None:
+            select(stmt.from_table.subquery)
+        for clause in stmt.joins:
+            if clause.table.subquery is not None:
+                select(clause.table.subquery)
+            if clause.condition is not None:
+                expr(clause.condition)
+        if stmt.where is not None:
+            expr(stmt.where)
+        for key in stmt.group_by:
+            expr(key)
+        if stmt.having is not None:
+            expr(stmt.having)
+        order(stmt.order_by)
+
+    if isinstance(statement, ast.UnionStatement):
+        for stmt in statement.selects:
+            select(stmt)
+        order(statement.order_by)
+    else:
+        select(statement)
+    return slots
+
+
+def plan_tables(root: Any) -> frozenset[str]:
+    """Every base table a plan tree scans (duck-typed over plan nodes)."""
+    tables: set[str] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        table = getattr(node, "table", None)
+        if isinstance(table, str) and table:
+            tables.add(table)
+        stack.extend(node.children())
+    return frozenset(tables)
+
+
+@dataclass
+class PlanEntry:
+    """One cached plan plus everything needed to reuse and invalidate it."""
+
+    plan: Any  # a planner PlanNode tree
+    slots: list[ast.Literal]  # literal leaves the plan references, in order
+    tables: frozenset[str]  # base tables the plan reads
+    versions: dict[str, int] = field(default_factory=dict)  # feedback snapshot
+
+
+def bind(entry: PlanEntry, statement: ast.SelectStatement | ast.UnionStatement) -> bool:
+    """Patch the cached plan's literal slots with the new statement's values.
+
+    Returns False (treat as a miss) when the slot layouts disagree, which
+    would mean two different shapes collided on one fingerprint.
+    """
+    fresh = collect_literals(statement)
+    if len(fresh) != len(entry.slots):
+        return False
+    for slot, source in zip(entry.slots, fresh):
+        # Literal is frozen by design; the cache is the one sanctioned writer.
+        object.__setattr__(slot, "value", source.value)
+    return True
+
+
+# --------------------------------------------------------------------------
+# the cache
+# --------------------------------------------------------------------------
+
+
+class PlanCache:
+    """A bounded LRU of compiled plans keyed by query-shape fingerprint."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, PlanEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str, feedback: "CardinalityFeedback | None" = None) -> PlanEntry | None:
+        """Look up a plan; drops and misses entries whose feedback snapshot
+        no longer matches (the table's observed cardinalities moved)."""
+        entry = self._entries.get(key)
+        if entry is not None and feedback is not None:
+            if feedback.versions(entry.tables) != entry.versions:
+                del self._entries[key]
+                self.stale += 1
+                obs.count("sql.plancache.stale")
+                entry = None
+        if entry is None:
+            self.misses += 1
+            obs.count("sql.plancache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.count("sql.plancache.hits")
+        return entry
+
+    def put(self, key: str, entry: PlanEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.count("sql.plancache.evictions")
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every entry reading ``table`` (DDL / delta-merge hook)."""
+        victims = [
+            key for key, entry in self._entries.items() if table in entry.tables
+        ]
+        for key in victims:
+            del self._entries[key]
+        if victims:
+            self.invalidations += len(victims)
+            obs.count("sql.plancache.invalidations", len(victims))
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale": self.stale,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

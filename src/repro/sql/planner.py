@@ -23,15 +23,33 @@ execution engines rely on:
 Partition pruning (range bounds plus the semantic aging rules of
 Section III) and CONTAINS-index probes are *annotated* on scan nodes here
 and resolved by the executors, which have access to live table state.
+
+Since PR 6 the planner is also **cost- and feedback-aware** (see
+``docs/OPTIMIZER.md`` for the full pipeline):
+
+* every :class:`ScanNode` and :class:`JoinNode` carries an
+  ``estimated_rows`` cardinality (catalog row counts × per-conjunct
+  selectivity heuristics) and a workload-stable ``signature`` from
+  :mod:`repro.sql.feedback`;
+* when :func:`plan_select` is given a
+  :class:`~repro.sql.feedback.CardinalityFeedback` store, *observed*
+  row counts override the static estimates, and inner/cross join chains
+  are **greedily reordered** smallest-estimate-first (connected
+  relations preferred so equi joins stay hash joins);
+* the executors compare ``estimated_rows`` with actuals at run time and
+  trigger mid-query re-optimization on a >10× blow-out
+  (:func:`repro.sql.feedback.observe_actual`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any
 
+from repro import obs
 from repro.errors import PlanError, TableNotFoundError
 from repro.sql import ast
+from repro.sql import feedback as fb
 
 
 # --------------------------------------------------------------------------
@@ -48,12 +66,20 @@ class PlanNode:
 
 @dataclass
 class ScanNode(PlanNode):
-    """Scan of a base table with pushed-down conjuncts."""
+    """Scan of a base table with pushed-down conjuncts.
+
+    ``estimated_rows``/``signature`` feed the adaptive loop: the engines
+    compare actual output counts against the estimate (mid-query
+    re-optimization) and record them in the feedback store under the
+    signature.
+    """
 
     table: str
     alias: str
     columns: list[str]
     predicate: ast.Expr | None = None
+    estimated_rows: float | None = None
+    signature: str | None = None
 
     def children(self) -> list[PlanNode]:
         return []
@@ -89,6 +115,8 @@ class JoinNode(PlanNode):
     kind: str  # "inner" | "left" | "cross"
     equi: list[tuple[ast.Expr, ast.Expr]] = field(default_factory=list)
     residual: ast.Expr | None = None
+    estimated_rows: float | None = None
+    signature: str | None = None
 
     def children(self) -> list[PlanNode]:
         return [self.left, self.right]
@@ -172,8 +200,35 @@ class QueryPlan:
 # --------------------------------------------------------------------------
 
 
+#: fallback cardinality when the catalog cannot answer (e.g. derived tables)
+DEFAULT_ROW_ESTIMATE = 1000.0
+
+#: rough textbook selectivities per conjunct shape
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def _selectivity(conjunct: ast.Expr) -> float:
+    """Static selectivity heuristic for one pushed-down conjunct."""
+    if isinstance(conjunct, ast.BinaryOp):
+        if conjunct.op == "=":
+            return 0.15
+        if conjunct.op in _RANGE_OPS:
+            return 0.40
+        if conjunct.op in ("!=", "<>"):
+            return 0.85
+        if conjunct.op == "LIKE":
+            return 0.25
+    if isinstance(conjunct, ast.Between):
+        return 0.30
+    if isinstance(conjunct, ast.InList):
+        return min(0.15 * max(len(conjunct.items), 1), 0.5)
+    if isinstance(conjunct, ast.IsNull):
+        return 0.9 if conjunct.negated else 0.1
+    return 0.5
+
+
 class CatalogView:
-    """The planner's minimal view of the catalog: column names per table."""
+    """The planner's minimal view of the catalog: columns and row counts."""
 
     def __init__(self, catalog: Any) -> None:
         self._catalog = catalog
@@ -183,18 +238,44 @@ class CatalogView:
             raise TableNotFoundError(table)
         return [name.lower() for name in self._catalog.table(table).schema.column_names]
 
+    def row_count_of(self, table: str) -> float:
+        """Catalog cardinality for the static estimate; safe fallback."""
+        if self._catalog is None or not self._catalog.has_table(table):
+            return DEFAULT_ROW_ESTIMATE
+        obj = self._catalog.table(table)
+        partitions = getattr(obj, "partitions", None)
+        if partitions is not None:
+            # physical main+delta rows; dead versions inflate this a
+            # little, which is acceptable for a planning estimate
+            return float(sum(len(partition) for partition in partitions))
+        try:
+            return float(len(obj))
+        except TypeError:  # a table object without __len__ (e.g. virtual)
+            obs.count("sql.planner.rowcount_fallbacks")
+            return DEFAULT_ROW_ESTIMATE
+
 
 def plan_select(
-    statement: "ast.SelectStatement | ast.UnionStatement", catalog: Any
+    statement: "ast.SelectStatement | ast.UnionStatement",
+    catalog: Any,
+    feedback: "fb.CardinalityFeedback | None" = None,
 ) -> QueryPlan:
-    """Plan a SELECT or UNION statement against the given catalog."""
+    """Plan a SELECT or UNION statement against the given catalog.
+
+    With a ``feedback`` store the planner prefers observed cardinalities
+    over its static estimates and may reorder inner-join chains.
+    """
     if isinstance(statement, ast.UnionStatement):
-        return _plan_union(statement, catalog)
-    return _Planner(CatalogView(catalog)).plan(statement)
+        return _plan_union(statement, catalog, feedback)
+    return _Planner(CatalogView(catalog), feedback).plan(statement)
 
 
-def _plan_union(statement: ast.UnionStatement, catalog: Any) -> QueryPlan:
-    plans = [plan_select(select, catalog) for select in statement.selects]
+def _plan_union(
+    statement: ast.UnionStatement,
+    catalog: Any,
+    feedback: "fb.CardinalityFeedback | None" = None,
+) -> QueryPlan:
+    plans = [plan_select(select, catalog, feedback) for select in statement.selects]
     arity = len(plans[0].output_names)
     for plan in plans[1:]:
         if len(plan.output_names) != arity:
@@ -232,8 +313,11 @@ def _plan_union(statement: ast.UnionStatement, catalog: Any) -> QueryPlan:
 
 
 class _Planner:
-    def __init__(self, catalog: CatalogView) -> None:
+    def __init__(
+        self, catalog: CatalogView, feedback: "fb.CardinalityFeedback | None" = None
+    ) -> None:
         self._catalog = catalog
+        self._feedback = feedback
         self._counter = 0
 
     def _fresh(self, prefix: str) -> str:
@@ -245,6 +329,8 @@ class _Planner:
     def plan(self, statement: ast.SelectStatement) -> QueryPlan:
         if statement.from_table is None:
             return self._plan_projection_only(statement)
+
+        statement = self._maybe_reorder_joins(statement)
 
         sources: dict[str, PlanNode] = {}
         source_order: list[str] = []
@@ -270,6 +356,8 @@ class _Planner:
         def finish_source(alias: str, node: PlanNode) -> PlanNode:
             predicate = ast.and_together(pushed.get(alias, []))
             if predicate is None:
+                if isinstance(node, ScanNode):
+                    self._annotate_scan(node)
                 return node
             if isinstance(node, ScanNode):
                 node.predicate = (
@@ -277,6 +365,7 @@ class _Planner:
                     if node.predicate is None
                     else ast.BinaryOp("AND", node.predicate, predicate)
                 )
+                self._annotate_scan(node)
                 return node
             return FilterNode(node, predicate)
 
@@ -314,6 +403,7 @@ class _Planner:
                 equi=equi,
                 residual=ast.and_together(residuals),
             )
+            self._annotate_join(tree)
             joined_aliases.add(clause.table.alias)
 
         # 3. leftover WHERE conjuncts apply above the join tree
@@ -365,6 +455,152 @@ class _Planner:
         if statement.limit is not None or statement.offset is not None:
             tree = LimitNode(tree, statement.limit, statement.offset)
         return QueryPlan(tree, output_names)
+
+    # -- cardinality estimates & feedback-driven join order ------------------
+
+    def _static_scan_estimate(self, table: str, conjuncts: list[ast.Expr]) -> float:
+        estimate = self._catalog.row_count_of(table)
+        for conjunct in conjuncts:
+            estimate *= _selectivity(conjunct)
+        return max(estimate, 1.0)
+
+    def _annotate_scan(self, node: ScanNode) -> None:
+        """Attach signature + cardinality estimate, preferring feedback."""
+        if not node.table:
+            return
+        node.signature = fb.scan_signature(node.table, node.predicate)
+        observed = (
+            self._feedback.observed(node.signature) if self._feedback is not None else None
+        )
+        if observed is not None:
+            node.estimated_rows = max(observed, 1.0)
+        else:
+            node.estimated_rows = self._static_scan_estimate(
+                node.table, ast.split_conjuncts(node.predicate)
+            )
+
+    def _annotate_join(self, node: JoinNode) -> None:
+        """Attach signature + estimate; the static rule is ``max(l, r)``
+        for equi joins and ``l × r`` for pure cross products."""
+        left_rows = getattr(node.left, "estimated_rows", None)
+        right_rows = getattr(node.right, "estimated_rows", None)
+        left_sig = getattr(node.left, "signature", None)
+        right_sig = getattr(node.right, "signature", None)
+        if left_sig is not None and right_sig is not None:
+            node.signature = fb.join_signature(left_sig, right_sig, node.equi)
+        left_rows = left_rows if left_rows is not None else DEFAULT_ROW_ESTIMATE
+        right_rows = right_rows if right_rows is not None else DEFAULT_ROW_ESTIMATE
+        if node.kind == "cross" and not node.equi:
+            estimate = left_rows * right_rows
+        else:
+            estimate = max(left_rows, right_rows)
+        if node.kind == "left":
+            estimate = max(estimate, left_rows)
+        for conjunct in ast.split_conjuncts(node.residual):
+            estimate *= _selectivity(conjunct)
+        estimate = max(estimate, 1.0)
+        observed = (
+            self._feedback.observed(node.signature)
+            if self._feedback is not None and node.signature is not None
+            else None
+        )
+        node.estimated_rows = max(observed, 1.0) if observed is not None else estimate
+
+    def _maybe_reorder_joins(self, statement: ast.SelectStatement) -> ast.SelectStatement:
+        """Feedback-driven greedy join reordering.
+
+        Only fires when a feedback store is present, at least one base
+        relation has an observed cardinality, and every join is inner or
+        cross (outer joins are order-sensitive and never reordered).
+        Relations are placed smallest-estimate-first, preferring ones
+        connected to the already-placed set so equi predicates keep
+        turning into hash joins. The reordered statement expresses every
+        join as a cross clause with all conjuncts pooled in WHERE — the
+        regular pushdown + cross→inner upgrade machinery then re-derives
+        the equi joins for the new order.
+        """
+        feedback = self._feedback
+        if feedback is None or statement.from_table is None or not statement.joins:
+            return statement
+        if any(clause.kind not in ("inner", "cross") for clause in statement.joins):
+            return statement
+        refs = [statement.from_table] + [clause.table for clause in statement.joins]
+        if any(ref.subquery is not None for ref in refs):
+            return statement
+        if len({ref.alias for ref in refs}) != len(refs):
+            return statement
+
+        pool: list[ast.Expr] = list(ast.split_conjuncts(statement.where))
+        for clause in statement.joins:
+            pool.extend(ast.split_conjuncts(clause.condition))
+        try:
+            alias_sets = [
+                (conjunct, self._aliases_of(conjunct, statement)) for conjunct in pool
+            ]
+        except PlanError:
+            return statement  # regular planning will surface the error
+
+        local: dict[str, list[ast.Expr]] = {ref.alias: [] for ref in refs}
+        edges: dict[str, set[str]] = {ref.alias: set() for ref in refs}
+        for conjunct, aliases in alias_sets:
+            if len(aliases) == 1:
+                alias = next(iter(aliases))
+                if alias in local:
+                    local[alias].append(conjunct)
+            else:
+                for a in aliases:
+                    for b in aliases:
+                        if a != b and a in edges and b in edges:
+                            edges[a].add(b)
+
+        estimates: dict[str, float] = {}
+        informed = False
+        for ref in refs:
+            assert ref.name is not None
+            signature = fb.scan_signature(ref.name, ast.and_together(local[ref.alias]))
+            observed = feedback.observed(signature)
+            if observed is not None:
+                informed = True
+                estimates[ref.alias] = max(observed, 1.0)
+            else:
+                estimates[ref.alias] = self._static_scan_estimate(
+                    ref.name, local[ref.alias]
+                )
+        if not informed:
+            return statement  # nothing observed yet: keep the written order
+
+        position = {ref.alias: index for index, ref in enumerate(refs)}
+
+        def rank(ref: ast.TableRef) -> tuple[float, int]:
+            return (estimates[ref.alias], position[ref.alias])
+
+        ordered = [min(refs, key=rank)]
+        placed = {ordered[0].alias}
+        rest = [ref for ref in refs if ref.alias not in placed]
+        while rest:
+            connected = [ref for ref in rest if edges[ref.alias] & placed]
+            nxt = min(connected or rest, key=rank)
+            ordered.append(nxt)
+            placed.add(nxt.alias)
+            rest = [ref for ref in rest if ref.alias != nxt.alias]
+
+        if [ref.alias for ref in ordered] == [ref.alias for ref in refs]:
+            return statement
+        # hysteresis: only deviate from the written order when the new
+        # driver is substantially smaller — near-ties would make repeated
+        # executions flip-flop between orders for marginal gain
+        if estimates[ordered[0].alias] * 2.0 > estimates[refs[0].alias]:
+            return statement
+        obs.count("sql.planner.reorders")
+        return dataclass_replace(
+            statement,
+            from_table=ordered[0],
+            joins=[
+                ast.JoinClause(kind="cross", table=ref, condition=None)
+                for ref in ordered[1:]
+            ],
+            where=ast.and_together(pool),
+        )
 
     def _plan_projection_only(self, statement: ast.SelectStatement) -> QueryPlan:
         """SELECT without FROM: evaluate expressions over one virtual row."""

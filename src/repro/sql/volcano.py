@@ -14,6 +14,15 @@ pulling one row at a time from its child, and every expression is
 interpreted by walking the AST per row.
 
 Rows are dictionaries keyed by qualified column names (``alias.column``).
+
+**Adaptivity:** streaming operators never know their final row count, so
+the engine's one natural materialisation point — the build side of a
+hash join in :func:`_iter_join` — doubles as its mid-query
+re-optimization checkpoint: the materialised build cardinality is
+reported to :func:`repro.sql.feedback.observe_actual`, which records it
+in the feedback store and raises
+:class:`~repro.sql.feedback.ReplanSignal` on a >10× estimate blow-out
+(see ``docs/OPTIMIZER.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import numpy as np
 from repro.columnstore.table import ColumnTable
 from repro.errors import ExpressionError, PlanError
 from repro.sql import ast
+from repro.sql import feedback as fb
 from repro.sql.context import ExecutionContext
 from repro.sql.planner import (
     AggregateNode,
@@ -259,6 +269,9 @@ def _iter_scan(node: ScanNode, context: ExecutionContext) -> Iterator[Row]:
 
 def _iter_join(node: JoinNode, context: ExecutionContext) -> Iterator[Row]:
     right_rows = list(_iter_node(node.right, context))
+    # the build side is fully materialised here — the volcano engine's
+    # checkpoint for feedback recording and mid-query re-optimization
+    fb.observe_actual(node.right, len(right_rows), context)
     if node.kind == "cross" and not node.equi:
         for left_row in _iter_node(node.left, context):
             for right_row in right_rows:

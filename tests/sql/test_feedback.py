@@ -1,0 +1,178 @@
+"""Cardinality feedback: signatures, the EWMA store, and the replan trigger.
+
+Covers the three pieces of :mod:`repro.sql.feedback` (docs/OPTIMIZER.md):
+signature normalization (literals stripped, aliases dropped, conjuncts
+sorted), the versioned observed-cardinality store the planner and plan
+cache consult, and :func:`~repro.sql.feedback.observe_actual` — the single
+measurement point both engines call, which raises
+:class:`~repro.sql.feedback.ReplanSignal` on a >10x estimation miss.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.sql import feedback as fb
+from repro.sql.parser import parse
+
+
+def where(sql_predicate: str):
+    """Parse just a predicate by wrapping it in a throwaway SELECT."""
+    return parse(f"SELECT * FROM t WHERE {sql_predicate}").where
+
+
+class TestSignatures:
+    def test_literals_are_stripped(self):
+        assert fb.scan_signature("t", where("amount > 100")) == fb.scan_signature(
+            "t", where("amount > 999")
+        )
+
+    def test_alias_qualifiers_are_stripped(self):
+        assert fb.scan_signature("t", where("t.status = 'a'")) == fb.scan_signature(
+            "t", where("status = 'b'")
+        )
+
+    def test_conjunct_order_does_not_matter(self):
+        left = fb.scan_signature("t", where("a = 1 AND b > 2"))
+        right = fb.scan_signature("t", where("b > 9 AND a = 7"))
+        assert left == right
+
+    def test_different_shapes_get_different_signatures(self):
+        assert fb.scan_signature("t", where("a = 1")) != fb.scan_signature(
+            "t", where("a > 1")
+        )
+        assert fb.scan_signature("t", where("a = 1")) != fb.scan_signature(
+            "u", where("a = 1")
+        )
+        assert fb.scan_signature("t", None) != fb.scan_signature("t", where("a = 1"))
+
+    def test_join_signature_sorts_equi_keys(self):
+        a = parse("SELECT * FROM t WHERE x = 1").where.left  # ColumnRef x
+        b = parse("SELECT * FROM t WHERE y = 1").where.left  # ColumnRef y
+        forward = fb.join_signature("scan:t|", "scan:u|", [(a, a), (b, b)])
+        reverse = fb.join_signature("scan:t|", "scan:u|", [(b, b), (a, a)])
+        assert forward == reverse
+
+    def test_tables_of_signature_walks_nested_joins(self):
+        nested = fb.join_signature(
+            fb.join_signature("scan:orders|", "scan:customers|", []),
+            "scan:invoices|(paid = ?)",
+            [],
+        )
+        assert fb.tables_of_signature(nested) == {"orders", "customers", "invoices"}
+
+
+class TestStore:
+    def test_first_observation_is_taken_verbatim(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 100)
+        assert store.observed("scan:t|") == 100.0
+        assert store.samples("scan:t|") == 1
+
+    def test_ewma_smooths_later_observations(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 100)
+        store.record("scan:t|", 200)
+        assert store.observed("scan:t|") == pytest.approx(150.0)
+
+    def test_version_bumps_on_first_sample_only_in_steady_state(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 100)
+        first = store.table_version("t")
+        assert first >= 1
+        store.record("scan:t|", 110)  # steady: within the 2x drift band
+        assert store.table_version("t") == first
+
+    def test_version_bumps_on_significant_drift(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 100)
+        before = store.table_version("t")
+        store.record("scan:t|", 100_000)
+        assert store.table_version("t") > before
+
+    def test_versions_snapshot_covers_unseen_tables(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 10)
+        snapshot = store.versions(["t", "never_seen"])
+        assert snapshot["never_seen"] == 0
+        assert snapshot["t"] >= 1
+
+    def test_forget_table_drops_signatures_and_bumps_version(self):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|", 10)
+        store.record("scan:u|", 20)
+        before = store.table_version("t")
+        store.forget_table("t")
+        assert store.observed("scan:t|") is None
+        assert store.observed("scan:u|") == 20.0
+        assert store.table_version("t") > before
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        store = fb.CardinalityFeedback()
+        store.record("scan:t|(a = ?)", 42)
+        path = tmp_path / "feedback.json"
+        store.save(path)
+        restored = fb.CardinalityFeedback()
+        restored.load(path)
+        assert restored.observed("scan:t|(a = ?)") == 42.0
+        assert restored.samples("scan:t|(a = ?)") == 1
+        assert restored.table_version("t") == store.table_version("t")
+
+
+class TestHarvest:
+    def test_profile_feeds_the_store_only_when_harvested(self, db):
+        db.execute("CREATE TABLE t (id INT, grp VARCHAR)")
+        db.execute(
+            "INSERT INTO t VALUES " + ", ".join(f"({i}, 'g{i % 3}')" for i in range(30))
+        )
+        profile = db.profile("SELECT COUNT(*) FROM t WHERE grp = 'g0'")
+        signature = fb.scan_signature("t", where("grp = 'g0'"))
+        # profiling alone is a measurement, not feedback
+        assert db.feedback.observed(signature) is None
+        recorded = db.feedback.harvest(profile.root)
+        assert recorded >= 1
+        assert db.feedback.observed(signature) == 10.0
+
+
+class FakeNode(SimpleNamespace):
+    pass
+
+
+def context_with(store, replans: int = 1, governor=None) -> SimpleNamespace:
+    return SimpleNamespace(feedback=store, replans_remaining=replans, governor=governor)
+
+
+class TestObserveActual:
+    def test_records_and_raises_on_blowout(self):
+        store = fb.CardinalityFeedback()
+        node = FakeNode(signature="scan:t|", estimated_rows=10.0)
+        with pytest.raises(fb.ReplanSignal) as excinfo:
+            fb.observe_actual(node, 500, context_with(store))
+        # the fresh count lands before the signal so the re-plan sees it
+        assert store.observed("scan:t|") == 500.0
+        assert excinfo.value.actual == 500
+        assert excinfo.value.estimated == 10.0
+
+    def test_exact_factor_does_not_trigger(self):
+        store = fb.CardinalityFeedback()
+        node = FakeNode(signature="scan:t|", estimated_rows=10.0)
+        fb.observe_actual(node, 100, context_with(store))  # exactly 10x: no replan
+
+    def test_suppressed_when_replans_exhausted(self):
+        store = fb.CardinalityFeedback()
+        node = FakeNode(signature="scan:t|", estimated_rows=1.0)
+        fb.observe_actual(node, 10_000, context_with(store, replans=0))
+        assert store.observed("scan:t|") == 10_000.0  # still recorded
+
+    def test_suppressed_when_governor_degraded(self):
+        store = fb.CardinalityFeedback()
+        node = FakeNode(signature="scan:t|", estimated_rows=1.0)
+        degraded = SimpleNamespace(should_stop=True)
+        fb.observe_actual(node, 10_000, context_with(store, governor=degraded))
+
+    def test_unsigned_node_is_ignored(self):
+        store = fb.CardinalityFeedback()
+        fb.observe_actual(FakeNode(), 10_000, context_with(store))
+        assert len(store) == 0

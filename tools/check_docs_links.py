@@ -3,8 +3,12 @@
 
 Scans the top-level ``*.md`` files and everything under ``docs/`` for
 ``[text](target)`` links, skips externals (``http(s)://``, ``mailto:``)
-and pure in-page anchors, strips ``#fragment`` suffixes, and checks the
-remaining paths exist relative to the file containing the link.
+and checks that
+
+* relative file targets exist (with ``#fragment`` suffixes stripped), and
+* anchors — both in-page ``#fragment`` links and cross-file
+  ``other.md#fragment`` links — name a real heading in the target
+  markdown file, using GitHub's heading slugification.
 
 Exit status: 0 when everything resolves, 1 otherwise (one line per
 broken link). Used by CI's docs job; run locally with::
@@ -23,6 +27,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: inline markdown links; deliberately simple — no nested parentheses
 LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: inline formatting stripped from heading text before slugification
+FORMATTING = re.compile(r"[`*_]|\[|\]\([^)]*\)")
+
 SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
@@ -32,18 +41,64 @@ def doc_files() -> list[Path]:
     return files
 
 
-def broken_links(path: Path) -> list[tuple[int, str]]:
-    broken: list[tuple[int, str]] = []
+def slugify(heading: str) -> str:
+    """GitHub's anchor id for a heading: lowercase, spaces to dashes,
+    everything but alphanumerics/dash/underscore dropped."""
+    text = FORMATTING.sub("", heading).strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+    return "".join(out)
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a markdown file exposes (with GitHub's
+    ``-1``/``-2`` suffixes for duplicate headings)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    fenced = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+_ANCHOR_CACHE: dict[Path, set[str]] = {}
+
+
+def cached_anchors(path: Path) -> set[str]:
+    if path not in _ANCHOR_CACHE:
+        _ANCHOR_CACHE[path] = anchors_of(path)
+    return _ANCHOR_CACHE[path]
+
+
+def broken_links(path: Path) -> list[tuple[int, str, str]]:
+    broken: list[tuple[int, str, str]] = []
     for line_number, line in enumerate(path.read_text().splitlines(), start=1):
         for target in LINK.findall(line):
-            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            if target.startswith(SKIP_PREFIXES):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            resolved = (path.parent / relative).resolve()
+            relative, _, fragment = target.partition("#")
+            resolved = (path.parent / relative).resolve() if relative else path
             if not resolved.exists():
-                broken.append((line_number, target))
+                broken.append((line_number, target, "missing file"))
+                continue
+            if fragment and resolved.suffix.lower() == ".md":
+                if fragment not in cached_anchors(resolved):
+                    broken.append((line_number, target, "dangling anchor"))
     return broken
 
 
@@ -52,16 +107,16 @@ def main() -> int:
     checked = 0
     for path in doc_files():
         checked += 1
-        for line_number, target in broken_links(path):
+        for line_number, target, reason in broken_links(path):
             failures += 1
             print(
                 f"{path.relative_to(REPO_ROOT)}:{line_number}: "
-                f"broken link -> {target}"
+                f"{reason} -> {target}"
             )
     if failures:
         print(f"{failures} broken link(s) across {checked} file(s)")
         return 1
-    print(f"all links resolve ({checked} markdown file(s) checked)")
+    print(f"all links and anchors resolve ({checked} markdown file(s) checked)")
     return 0
 
 
