@@ -10,8 +10,9 @@ Claims under test (docs/OPTIMIZER.md):
 * **Repeated-shape traffic is cache-hot.** Mixed traffic over a handful
   of query shapes with varying literals reaches a >= 90% plan-cache hit
   rate once each shape has absorbed its cold miss.
-* **A hit is much cheaper than planning.** fingerprint + lookup + bind
-  beats a full ``plan_select`` by >= 5x (measured ~10x+).
+* **A hit is much cheaper than planning.** fingerprint + lookup +
+  instantiate (binding a private deep copy of the cached plan) beats a
+  full ``plan_select`` by >= 5x.
 
 Deterministic workload, wall-clock timings. Run directly
 (``python benchmarks/bench_adaptive_planning.py``, which writes
@@ -116,21 +117,45 @@ def run_hit_rate_arm(statements: int = 200) -> dict[str, float]:
 
 
 def run_lookup_arm(iterations: int = 300) -> dict[str, float]:
-    """Cache-hit lookup (fingerprint + get + bind) vs full planning."""
+    """Cache-hit lookup (fingerprint + get + instantiate) vs full planning.
+
+    The hit loop alternates two literal values so every other iteration
+    pays the substitution-copy path (changed constants rebuild the spine
+    above each slot), not just the shared-plan shortcut.
+    """
     db = build_db()
     db.execute(SKEWED_SQL)  # warm feedback + cache
     db.execute(SKEWED_SQL)
     statement = parse(SKEWED_SQL)
-    start = time.perf_counter()
-    for _ in range(iterations):
+    variants = [statement, parse(SKEWED_SQL.replace("'rare'", "'common'"))]
+
+    def plan_once() -> None:
         plan_select(statement, db.catalog, feedback=db.feedback)
-    plan_seconds = (time.perf_counter() - start) / iterations
-    start = time.perf_counter()
-    for _ in range(iterations):
-        key = plancache.fingerprint(statement)
+
+    hit_index = 0
+
+    def hit_once() -> None:
+        nonlocal hit_index
+        bound = variants[hit_index % 2]
+        hit_index += 1
+        key = plancache.fingerprint(bound)
         entry = db.plan_cache.get(key, db.feedback)
-        assert entry is not None and plancache.bind(entry, statement)
-    hit_seconds = (time.perf_counter() - start) / iterations
+        assert entry is not None
+        assert plancache.instantiate(entry, bound) is not None
+
+    def best_of(step, repeats: int = 5) -> float:
+        """Min-of-means over several repeats: scheduler noise only ever
+        slows a repeat down, so the minimum is the honest per-call cost."""
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                step()
+            best = min(best, (time.perf_counter() - start) / iterations)
+        return best
+
+    plan_seconds = best_of(plan_once)
+    hit_seconds = best_of(hit_once)
     return {
         "plan_microseconds": plan_seconds * 1e6,
         "hit_microseconds": hit_seconds * 1e6,

@@ -217,17 +217,20 @@ class Database:
     ) -> tuple[QueryPlan, str | None]:
         """Plan through the plan cache (docs/OPTIMIZER.md).
 
-        A hit patches the cached plan's literal slots with this
-        statement's constants and skips planning entirely; a miss (or a
-        stale entry whose feedback versions moved) plans with the current
-        feedback store and caches the result.
+        A hit binds a *private copy* of the cached plan to this
+        statement's constants and skips planning entirely (the entry is
+        never mutated, so concurrent sessions can hit the same shape); a
+        miss (or a stale entry whose feedback versions moved) plans with
+        the current feedback store and caches the result.
         """
         if not self.plan_cache_enabled:
             return plan_select(statement, self.catalog, feedback=self.feedback), None
         key = plancache.fingerprint(statement)
         entry = self.plan_cache.get(key, self.feedback)
-        if entry is not None and plancache.bind(entry, statement):
-            return entry.plan, key
+        if entry is not None:
+            bound = plancache.instantiate(entry, statement)
+            if bound is not None:
+                return bound, key
         with obs.latency("sql.plan_seconds"):
             plan = plan_select(statement, self.catalog, feedback=self.feedback)
         self._cache_plan(key, statement, plan)

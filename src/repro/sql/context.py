@@ -36,10 +36,18 @@ class ExecutionContext:
     #: the database's CardinalityFeedback store; when present the engines
     #: record every signed operator's actual row count on it
     feedback: Any = None
-    #: per-query scan memoisation keyed by scan signature — lets a
-    #: mid-query re-optimization resume without re-reading (or
-    #: re-charging) scans the aborted attempt already completed
+    #: per-query scan memoisation keyed by scan signature *plus* bound
+    #: literal values and column subset — lets a mid-query
+    #: re-optimization resume without re-reading (or re-charging) scans
+    #: the aborted attempt already completed
     scan_cache: dict[str, Any] | None = None
+    #: transient flag a scan operator sets when its batch must not be
+    #: recorded as a true observed cardinality — served from the scan
+    #: memo (already recorded once) or truncated by the governor (a
+    #: degraded count would bias future estimates low). Consumed — read
+    #: and reset — by the executor's measurement point right after the
+    #: scan dispatch returns.
+    feedback_exempt: bool = False
     #: how many mid-query re-optimizations this execution may still
     #: trigger; 0 disables the blow-out check entirely
     replans_remaining: int = 0

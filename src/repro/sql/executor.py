@@ -30,8 +30,10 @@ scans and joins go to the database's cardinality feedback store, and a
 >10× estimate blow-out raises
 :class:`~repro.sql.feedback.ReplanSignal` for mid-query
 re-optimization. Completed scans are memoised on
-``context.scan_cache`` so a re-planned attempt resumes from them
-instead of re-reading (and re-charging) the data. See
+``context.scan_cache`` — keyed by signature *plus* bound literal
+values and column subset, so same-shape scans with different
+constants never share a batch — and a re-planned attempt resumes
+from them instead of re-reading (and re-charging) the data. See
 ``docs/OPTIMIZER.md``.
 """
 
@@ -84,13 +86,26 @@ def _execute_node(node: PlanNode, context: ExecutionContext) -> Batch:
     profiler = context.profiler
     if profiler is None:
         batch = _dispatch_node(node, context)
-        fb.observe_actual(node, len(batch), context)
+        _observe(node, batch, context)
         return batch
     with profiler.operator(node) as operator:
         batch = _dispatch_node(node, context)
         operator.rows = len(batch)
-        fb.observe_actual(node, len(batch), context)
+        _observe(node, batch, context)
         return batch
+
+
+def _observe(node: PlanNode, batch: Batch, context: ExecutionContext) -> None:
+    """Feed the node's actual row count to the adaptive loop — unless the
+    scan flagged the batch as exempt: a memo-served scan would
+    double-record the count it already reported when first materialised
+    (and could re-raise the very blow-out that triggered the re-plan),
+    and a governor-truncated scan would record a degraded count as a true
+    cardinality, biasing future estimates low."""
+    if context.feedback_exempt:
+        context.feedback_exempt = False
+        return
+    fb.observe_actual(node, len(batch), context)
 
 
 def _dispatch_node(node: PlanNode, context: ExecutionContext) -> Batch:
@@ -159,33 +174,68 @@ def _dispatch_node(node: PlanNode, context: ExecutionContext) -> Batch:
 
 
 def _execute_scan(node: ScanNode, context: ExecutionContext) -> Batch:
-    """Scan with per-query memoisation keyed by the node's signature.
+    """Scan with per-query memoisation keyed by signature + bound values.
 
     The memo exists for mid-query re-optimization: when a
     :class:`~repro.sql.feedback.ReplanSignal` aborts an attempt, the
-    re-planned attempt finds identical scans (same table + predicate
-    shape, possibly under a different alias) already materialised and
-    resumes from them — no re-read, no double governor charge.
+    re-planned attempt finds identical scans (same table, predicate,
+    constants, and columns — possibly under a different alias) already
+    materialised and resumes from them — no re-read, no double governor
+    charge. The key must be *value*-inclusive: the literal-stripped
+    signature alone would collide same-shape scans with different
+    constants (a self-join's two sides) or different column needs, which
+    is a wrong-results bug, not a cache miss. Truncated (governor-
+    degraded) scans are never memoised.
     """
     if not node.table:  # FROM-less SELECT: one virtual row
         return Batch({}, 1)
     cache = context.scan_cache
-    if cache is None or node.signature is None:
+    key = _scan_memo_key(node)
+    if cache is None or key is None:
         return _execute_scan_uncached(node, context)
-    cached = cache.get(node.signature)
+    cached = cache.get(key)
     if cached is not None:
         columns, length = cached
         context.bump("scans_reused")
         obs.count("sql.executor.scans_reused")
+        context.feedback_exempt = True  # count was recorded when materialised
         return Batch(
             {f"{node.alias}.{name}": array for name, array in columns.items()}, length
         )
     batch = _execute_scan_uncached(node, context)
-    cache[node.signature] = (
-        {key.split(".", 1)[1]: array for key, array in batch.columns.items()},
-        len(batch),
-    )
+    if not context.feedback_exempt:  # a truncated batch is not the scan's output
+        cache[key] = (
+            {key_.split(".", 1)[1]: array for key_, array in batch.columns.items()},
+            len(batch),
+        )
     return batch
+
+
+def _scan_memo_key(node: ScanNode) -> str | None:
+    """Value-inclusive memo key: signature + bound literals + columns."""
+    if node.signature is None:
+        return None
+    values = ";".join(
+        repr(literal.value) for literal in _predicate_literals(node.predicate)
+    )
+    return f"{node.signature}|vals={values}|cols={','.join(sorted(node.columns))}"
+
+
+def _predicate_literals(expr: ast.Expr | None) -> list[ast.Literal]:
+    """Literal leaves of a predicate, in deterministic traversal order."""
+    if expr is None:
+        return []
+    out: list[ast.Literal] = []
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.Literal):
+            out.append(node)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return out
 
 
 def _execute_scan_uncached(node: ScanNode, context: ExecutionContext) -> Batch:
@@ -204,6 +254,7 @@ def _execute_scan_uncached(node: ScanNode, context: ExecutionContext) -> Batch:
     parts: list[Batch] = []
     for ordinal in ordinals:
         if governor is not None and governor.should_stop:
+            context.feedback_exempt = True  # remaining partitions dropped
             break
         partition = table.partitions[ordinal]
         positions = partition.visible_positions(context.snapshot_cid, context.own_tid)
@@ -221,6 +272,7 @@ def _execute_scan_uncached(node: ScanNode, context: ExecutionContext) -> Batch:
             remaining = governor.remaining_rows()
             if remaining is not None and len(positions) > remaining:
                 positions = positions[:remaining]
+                context.feedback_exempt = True  # degraded, not a true count
             governor.charge(
                 rows=len(positions),
                 bytes_=len(positions) * 8 * max(len(node.columns), 1),
@@ -280,6 +332,7 @@ def _scan_rowstore(node: ScanNode, table: Any, context: ExecutionContext) -> Bat
         remaining = governor.remaining_rows()
         if remaining is not None and len(rows) > remaining:
             rows = rows[:remaining]
+            context.feedback_exempt = True  # degraded, not a true count
         governor.charge(
             rows=len(rows),
             bytes_=len(rows) * 8 * max(len(table.schema.column_names), 1),

@@ -14,17 +14,19 @@ consumes them at plan time (they are part of the plan, not runtime
 inputs): ``ORDER BY 2`` positional ordinals, and ``LIMIT``/``OFFSET``
 counts.
 
-**Binding.** A cached plan references the *first* statement's frozen
+**Binding.** A cached plan references the cached statement's frozen
 :class:`~repro.sql.ast.Literal` leaves by identity (the planner rebuilds
 interior expression nodes but never literal leaves). On a hit,
-:func:`bind` walks the *new* statement in the same deterministic order
-as :func:`collect_literals` did for the cached one and patches each
-cached literal's ``value`` in place; the engines read ``Literal.value``
-at execution time, so the cached plan then computes with the fresh
-constants. This is the single place the repo mutates a frozen AST node,
-and it makes a cache entry single-execution at a time — acceptable here
-because sessions execute statements serially (a real engine would
-parameterise the plan instead).
+:func:`instantiate` walks the *new* statement in the same deterministic
+order as :func:`collect_literals` and builds a *substitution copy* of
+the cached plan: only the spine above each literal whose value actually
+changed is rebuilt, and every untouched subtree — the entire plan, when
+the constants happen to match — is shared with the cached entry. Sharing
+is safe because plans are read-only during execution; nothing is ever
+mutated, so any number of executions of one shape may run concurrently,
+each on its own bound copy. :class:`PlanCache` itself is likewise
+thread-safe — lookups, inserts, invalidation, and the counters are
+guarded by one lock.
 
 **Invalidation** is two-tier:
 
@@ -41,6 +43,8 @@ counted through :mod:`repro.obs` (``sql.plancache.*``).
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -100,8 +104,14 @@ def _fp_expr(expr: ast.Expr) -> str:
 
 def _is_ordinal(expr: ast.Expr) -> bool:
     """ORDER BY position ordinals are consumed at plan time, so they are
-    part of the query *shape* and are neither wildcarded nor patched."""
-    return isinstance(expr, ast.Literal) and isinstance(expr.value, int)
+    part of the query *shape* and are neither wildcarded nor patched.
+    ``bool`` is a subclass of ``int`` but TRUE/FALSE are ordinary value
+    literals, not positions — they stay patchable like any other."""
+    return (
+        isinstance(expr, ast.Literal)
+        and isinstance(expr.value, int)
+        and not isinstance(expr.value, bool)
+    )
 
 
 def _fp_order(order_by: list[tuple[ast.Expr, bool]]) -> str:
@@ -239,21 +249,130 @@ class PlanEntry:
     slots: list[ast.Literal]  # literal leaves the plan references, in order
     tables: frozenset[str]  # base tables the plan reads
     versions: dict[str, int] = field(default_factory=dict)  # feedback snapshot
+    #: ids of the containers between the plan root and each slot literal;
+    #: precomputed so :func:`instantiate` rebuilds only this spine
+    spine: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.spine is None:
+            self.spine = slot_spine(self.plan, self.slots)
 
 
-def bind(entry: PlanEntry, statement: ast.SelectStatement | ast.UnionStatement) -> bool:
-    """Patch the cached plan's literal slots with the new statement's values.
+#: per-dataclass field-name cache for the substitution walk
+#: (``None`` marks a non-dataclass type: an opaque leaf)
+_FIELDS: dict[type, tuple[str, ...] | None] = {}
 
-    Returns False (treat as a miss) when the slot layouts disagree, which
-    would mean two different shapes collided on one fingerprint.
+
+def _field_names(cls: type) -> tuple[str, ...] | None:
+    names = _FIELDS.get(cls, False)
+    if names is False:
+        names = (
+            tuple(f.name for f in dataclasses.fields(cls))
+            if dataclasses.is_dataclass(cls)
+            else None
+        )
+        _FIELDS[cls] = names
+    return names
+
+
+def slot_spine(root: Any, slots: list[ast.Literal]) -> frozenset[int]:
+    """ids of every container on a path from ``root`` down to a slot
+    literal — the only objects :func:`_substitute` may need to rebuild.
+    Computed once when a plan is cached; the ids stay valid because the
+    cache entry keeps the whole object graph alive."""
+    slot_ids = {id(slot) for slot in slots}
+    spine: set[int] = set()
+
+    def walk(value: Any) -> bool:
+        if isinstance(value, ast.Literal):
+            return id(value) in slot_ids
+        if value is None or isinstance(value, (str, int, float)):
+            return False
+        if isinstance(value, (list, tuple)):
+            hit = False
+            for item in value:
+                hit = walk(item) or hit
+        else:
+            names = _field_names(type(value))
+            if names is None:
+                return False
+            hit = False
+            for name in names:
+                hit = walk(getattr(value, name)) or hit
+        if hit:
+            spine.add(id(value))
+        return hit
+
+    walk(root)
+    return frozenset(spine)
+
+
+def _substitute(value: Any, mapping: dict[int, ast.Literal], spine: frozenset[int]) -> Any:
+    """Structure-sharing substitution over a plan (or expression) tree.
+
+    Rebuilds only the spine above each literal in ``mapping`` (keyed by
+    the *cached* literal's ``id``); every subtree off the precomputed
+    ``spine`` is returned as-is and shared with the cached plan — safe
+    because plans are read-only during execution.
+    """
+    if isinstance(value, ast.Literal):
+        return mapping.get(id(value), value)
+    if id(value) not in spine:
+        return value
+    if isinstance(value, list):
+        rebuilt_list = [_substitute(item, mapping, spine) for item in value]
+        if all(new is old for new, old in zip(rebuilt_list, value)):
+            return value
+        return rebuilt_list
+    if isinstance(value, tuple):
+        rebuilt_tuple = tuple(_substitute(item, mapping, spine) for item in value)
+        if all(new is old for new, old in zip(rebuilt_tuple, value)):
+            return value
+        return rebuilt_tuple
+    names = _field_names(type(value))
+    if names is None:  # unreachable for spine members, but stay safe
+        return value
+    changes: dict[str, Any] = {}
+    for name in names:
+        old = getattr(value, name)
+        new = _substitute(old, mapping, spine)
+        if new is not old:
+            changes[name] = new
+    if not changes:
+        return value
+    # shallow clone without __init__/dataclasses.replace overhead — also
+    # sidesteps frozen-dataclass __setattr__ for the AST expression nodes
+    clone = object.__new__(type(value))
+    clone.__dict__.update(value.__dict__)
+    clone.__dict__.update(changes)
+    return clone
+
+
+def instantiate(
+    entry: PlanEntry, statement: ast.SelectStatement | ast.UnionStatement
+) -> Any | None:
+    """A per-execution view of the cached plan, bound to ``statement``.
+
+    Literal slots whose values differ from the cached ones are replaced
+    by the new statement's literal leaves via :func:`_substitute`; when
+    every constant matches, the cached plan is returned directly (it is
+    read-only during execution, so sharing is safe — the cached entry is
+    never mutated either way, and concurrent executions of the same
+    shape never see each other's values). Returns ``None`` (treat as a
+    miss) when the slot layouts disagree, which would mean two different
+    shapes collided on one fingerprint.
     """
     fresh = collect_literals(statement)
     if len(fresh) != len(entry.slots):
-        return False
-    for slot, source in zip(entry.slots, fresh):
-        # Literal is frozen by design; the cache is the one sanctioned writer.
-        object.__setattr__(slot, "value", source.value)
-    return True
+        return None
+    mapping = {
+        id(slot): source
+        for slot, source in zip(entry.slots, fresh)
+        if type(slot.value) is not type(source.value) or slot.value != source.value
+    }
+    if not mapping:
+        return entry.plan
+    return _substitute(entry.plan, mapping, entry.spine or frozenset())
 
 
 # --------------------------------------------------------------------------
@@ -262,11 +381,18 @@ def bind(entry: PlanEntry, statement: ast.SelectStatement | ast.UnionStatement) 
 
 
 class PlanCache:
-    """A bounded LRU of compiled plans keyed by query-shape fingerprint."""
+    """A bounded LRU of compiled plans keyed by query-shape fingerprint.
+
+    Thread-safe: the entry map and the counters are guarded by one lock,
+    so concurrent sessions on one database may look up, insert, and
+    invalidate freely. Entries themselves are immutable after ``put`` —
+    executions bind literals into private copies via :func:`instantiate`.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[str, PlanEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -274,62 +400,69 @@ class PlanCache:
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str, feedback: "CardinalityFeedback | None" = None) -> PlanEntry | None:
         """Look up a plan; drops and misses entries whose feedback snapshot
         no longer matches (the table's observed cardinalities moved)."""
-        entry = self._entries.get(key)
-        if entry is not None and feedback is not None:
-            if feedback.versions(entry.tables) != entry.versions:
-                del self._entries[key]
-                self.stale += 1
-                obs.count("sql.plancache.stale")
-                entry = None
-        if entry is None:
-            self.misses += 1
-            obs.count("sql.plancache.misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        obs.count("sql.plancache.hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and feedback is not None:
+                if feedback.versions(entry.tables) != entry.versions:
+                    del self._entries[key]
+                    self.stale += 1
+                    obs.count("sql.plancache.stale")
+                    entry = None
+            if entry is None:
+                self.misses += 1
+                obs.count("sql.plancache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.count("sql.plancache.hits")
+            return entry
 
     def put(self, key: str, entry: PlanEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            obs.count("sql.plancache.evictions")
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                obs.count("sql.plancache.evictions")
 
     def invalidate_table(self, table: str) -> int:
         """Drop every entry reading ``table`` (DDL / delta-merge hook)."""
-        victims = [
-            key for key, entry in self._entries.items() if table in entry.tables
-        ]
-        for key in victims:
-            del self._entries[key]
-        if victims:
-            self.invalidations += len(victims)
-            obs.count("sql.plancache.invalidations", len(victims))
-        return len(victims)
+        with self._lock:
+            victims = [
+                key for key, entry in self._entries.items() if table in entry.tables
+            ]
+            for key in victims:
+                del self._entries[key]
+            if victims:
+                self.invalidations += len(victims)
+                obs.count("sql.plancache.invalidations", len(victims))
+            return len(victims)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, Any]:
-        lookups = self.hits + self.misses
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "stale": self.stale,
-            "invalidations": self.invalidations,
-            "hit_rate": (self.hits / lookups) if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "stale": self.stale,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

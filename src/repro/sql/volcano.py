@@ -270,8 +270,12 @@ def _iter_scan(node: ScanNode, context: ExecutionContext) -> Iterator[Row]:
 def _iter_join(node: JoinNode, context: ExecutionContext) -> Iterator[Row]:
     right_rows = list(_iter_node(node.right, context))
     # the build side is fully materialised here — the volcano engine's
-    # checkpoint for feedback recording and mid-query re-optimization
-    fb.observe_actual(node.right, len(right_rows), context)
+    # checkpoint for feedback recording and mid-query re-optimization.
+    # A latched governor means the build may be truncated: a degraded
+    # count must not be recorded as a true observed cardinality.
+    governor = context.governor
+    if governor is None or not governor.should_stop:
+        fb.observe_actual(node.right, len(right_rows), context)
     if node.kind == "cross" and not node.equi:
         for left_row in _iter_node(node.left, context):
             for right_row in right_rows:

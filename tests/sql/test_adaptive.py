@@ -142,6 +142,83 @@ class TestFeedbackDrivenReordering:
         assert first == again and len(first) > 0
 
 
+class TestScanMemoCorrectness:
+    """The per-query scan memo must never conflate distinct scans.
+
+    Its key includes the bound literal values and the column subset on
+    top of the literal-stripped signature — a self-join's two sides share
+    a predicate *shape* but not (necessarily) constants or columns, and
+    serving one side's batch for the other is a wrong-results bug.
+    """
+
+    def _db(self) -> Database:
+        db = Database()
+        db.execute("CREATE TABLE t (id INT, x INT, y VARCHAR)")
+        db.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(f"({i}, {i % 3}, 'v{i}')" for i in range(30))
+        )
+        return db
+
+    def test_self_join_with_different_literals(self):
+        # x is a function of id, so no row has both x = 1 and x = 2
+        db = self._db()
+        result = db.execute(
+            "SELECT a.id, b.id FROM t a JOIN t b ON a.id = b.id "
+            "WHERE a.x = 1 AND b.x = 2"
+        )
+        assert result.rows == []
+
+    def test_self_join_with_equal_literals_still_shares(self):
+        db = self._db()
+        result = db.execute(
+            "SELECT COUNT(*) FROM t a JOIN t b ON a.id = b.id "
+            "WHERE a.x = 1 AND b.x = 1"
+        )
+        assert result.scalar() == 10  # ids 1, 4, ..., 28
+
+    def test_self_join_with_different_column_subsets(self):
+        # both scans share shape and constants but need different columns;
+        # serving the (id, x) batch for the (id, x, y) side would lose y
+        db = self._db()
+        result = db.execute(
+            "SELECT a.x, b.y FROM t a JOIN t b ON a.id = b.id "
+            "WHERE a.x >= 0 AND b.x >= 0 ORDER BY a.id LIMIT 2"
+        )
+        assert result.rows == [[0, "v0"], [1, "v1"]]
+
+
+class TestFeedbackHygiene:
+    """Only true, complete row counts may enter the feedback store."""
+
+    def _scan_samples(self, db: Database) -> dict[str, int]:
+        data = db.feedback.as_dict()
+        return {
+            signature: count
+            for signature, count in data["samples"].items()
+            if signature.startswith("scan:skewed|")
+        }
+
+    def test_memoised_scan_does_not_double_record(self):
+        db = skewed_db()
+        result = db.execute(BLOWOUT_SQL)
+        assert result.reoptimizations == 1
+        # the re-planned attempt served the scan from the memo; recording
+        # it again would double-weight the EWMA and could re-trigger the
+        # very blow-out that caused the re-plan
+        samples = self._scan_samples(db)
+        assert samples and all(count == 1 for count in samples.values()), samples
+
+    def test_truncated_scan_is_not_recorded(self):
+        db = skewed_db()
+        result = db.execute(BLOWOUT_SQL, budget=QueryBudget(soft_rows=5))
+        assert result.degraded
+        # the governor cut the scan short: 5 rows is a degraded answer,
+        # not the table's cardinality — recording it would bias future
+        # estimates low and churn plan-cache versions
+        assert self._scan_samples(db) == {}
+
+
 class TestGovernorInterplay:
     def test_degraded_governor_suppresses_replanning(self):
         db = skewed_db()

@@ -55,12 +55,42 @@ class TestFingerprint:
         values = [slot.value for slot in plancache.collect_literals(statement)]
         assert values == [7]
 
-    def test_bind_rejects_slot_count_mismatch(self):
+    def test_boolean_order_keys_are_literals_not_ordinals(self):
+        # bool is a subclass of int, but ORDER BY TRUE is a value literal:
+        # it must be wildcarded in the fingerprint and stay patchable
+        assert plancache.fingerprint(
+            parse("SELECT a FROM t ORDER BY TRUE")
+        ) == plancache.fingerprint(parse("SELECT a FROM t ORDER BY FALSE"))
+        values = [
+            slot.value
+            for slot in plancache.collect_literals(parse("SELECT a FROM t ORDER BY TRUE"))
+        ]
+        assert values == [True]
+
+    def test_instantiate_rejects_slot_count_mismatch(self):
         cached = parse("SELECT a FROM t WHERE a = 1")
         entry = plancache.PlanEntry(
             plan=None, slots=plancache.collect_literals(cached), tables=frozenset()
         )
-        assert not plancache.bind(entry, parse("SELECT a FROM t WHERE a = 1 AND b = 2"))
+        assert (
+            plancache.instantiate(entry, parse("SELECT a FROM t WHERE a = 1 AND b = 2"))
+            is None
+        )
+
+    def test_instantiate_never_mutates_the_cached_entry(self):
+        from repro.sql.planner import plan_select
+        from repro.core.database import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        cached = parse("SELECT a FROM t WHERE a = 1")
+        plan = plan_select(cached, db.catalog)
+        entry = plancache.PlanEntry(
+            plan=plan, slots=plancache.collect_literals(cached), tables=frozenset({"t"})
+        )
+        bound = plancache.instantiate(entry, parse("SELECT a FROM t WHERE a = 99"))
+        assert bound is not None and bound is not plan
+        assert [slot.value for slot in entry.slots] == [1]  # original untouched
 
 
 def traffic_db() -> Database:
@@ -206,3 +236,38 @@ class TestSeededDeterminism:
 
     def test_replay_is_deterministic(self):
         assert self._run(cached=True) == self._run(cached=True)
+
+
+class TestConcurrency:
+    """Concurrent executions of one shape must not share bound constants.
+
+    Each hit binds a private copy of the cached plan (``instantiate``),
+    so one thread's literals can never leak into another thread's
+    execution; the cache's own bookkeeping is lock-guarded.
+    """
+
+    def test_concurrent_same_shape_different_literals(self):
+        import threading
+
+        db = traffic_db()
+        sql = "SELECT COUNT(*) FROM t WHERE id < {}"
+        db.execute(sql.format(1))  # cold miss
+        db.execute(sql.format(2))  # absorbs first-sample staleness
+        failures: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def worker(bound: int) -> None:
+            barrier.wait()
+            for _ in range(25):
+                got = db.execute(sql.format(bound)).scalar()
+                if got != bound:
+                    failures.append(f"WHERE id < {bound} returned {got}")
+
+        threads = [
+            threading.Thread(target=worker, args=(bound,)) for bound in (5, 17, 29, 38)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
