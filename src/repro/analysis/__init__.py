@@ -19,8 +19,15 @@ package holds the *dynamic* checks that must run inside the process:
   predecessor raises :class:`~repro.analysis.racecheck.DataRaceError`.
   Enabled by ``REPRO_RACECHECK=1`` (install lockcheck first when
   combining the two).
+* :mod:`repro.analysis.plancheck` — a verifier over the ``QueryPlan``
+  IR proving schema soundness, estimate sanity, plan-cache safety, and
+  governor charge coverage. Always consulted at plan-cache insert (a
+  failing entry is never cached); ``REPRO_PLANCHECK=1`` additionally
+  verifies every fresh plan and every cache-hit binding, escalating
+  violations to :class:`~repro.analysis.plancheck.PlanCheckError`.
 """
 
+from repro.analysis import plancheck
 from repro.analysis.lockcheck import (
     LockOrderError,
     active,
@@ -28,10 +35,14 @@ from repro.analysis.lockcheck import (
     install,
     uninstall,
 )
+from repro.analysis.plancheck import PlanCheckError, PlanFinding
 from repro.analysis.racecheck import DataRaceError, Shared, track_fields
 
 __all__ = [
     "LockOrderError",
+    "PlanCheckError",
+    "PlanFinding",
+    "plancheck",
     "DataRaceError",
     "Shared",
     "track_fields",

@@ -16,6 +16,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
+from repro.analysis import plancheck
 from repro.columnstore.merge import MergeStats, merge_table
 from repro.columnstore.partition import (
     HashPartitioning,
@@ -50,7 +51,12 @@ REPLAN_PLANNING_SECONDS = 0.005
 class Database:
     """One in-memory database instance (the HANA core of the ecosystem)."""
 
-    def __init__(self, name: str = "hana", data_dir: str | os.PathLike[str] | None = None) -> None:
+    def __init__(
+        self,
+        name: str = "hana",
+        data_dir: str | os.PathLike[str] | None = None,
+        persist_feedback: bool = True,
+    ) -> None:
         self.name = name
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
@@ -76,6 +82,18 @@ class Database:
         self.adaptive_planning = True
         #: mid-query re-optimizations allowed per statement execution
         self.max_reoptimizations = 1
+        #: learned cardinalities survive restarts (ROADMAP item 1): the
+        #: feedback store autoloads here and autosaves at every savepoint,
+        #: so a recovered instance plans with its pre-crash estimates
+        #: instead of re-learning from scratch. ``persist_feedback=False``
+        #: opts out (e.g. benchmarks that want a cold optimizer).
+        self._feedback_path = (
+            self.persistence.directory / "feedback.json"
+            if self.persistence is not None and persist_feedback
+            else None
+        )
+        if self._feedback_path is not None and self._feedback_path.exists():
+            self.feedback.load(self._feedback_path)
         if self.persistence is not None:
             self._recover()
 
@@ -224,12 +242,19 @@ class Database:
         the current feedback store and caches the result.
         """
         if not self.plan_cache_enabled:
-            return plan_select(statement, self.catalog, feedback=self.feedback), None
+            plan = plan_select(statement, self.catalog, feedback=self.feedback)
+            if plancheck.enabled():
+                plancheck.check_plan(plan, self.catalog)
+            return plan, None
         key = plancache.fingerprint(statement)
         entry = self.plan_cache.get(key, self.feedback)
         if entry is not None:
             bound = plancache.instantiate(entry, statement)
             if bound is not None:
+                if plancheck.enabled():
+                    findings = plancheck.verify_binding(entry, bound, statement)
+                    if findings:
+                        raise plancheck.PlanCheckError(findings)
                 return bound, key
         with obs.latency("sql.plan_seconds"):
             plan = plan_select(statement, self.catalog, feedback=self.feedback)
@@ -243,15 +268,25 @@ class Database:
         plan: QueryPlan,
     ) -> None:
         tables = plancache.plan_tables(plan.root)
-        self.plan_cache.put(
-            key,
-            plancache.PlanEntry(
-                plan=plan,
-                slots=plancache.collect_literals(statement),
-                tables=tables,
-                versions=self.feedback.versions(tables),
-            ),
+        entry = plancache.PlanEntry(
+            plan=plan,
+            slots=plancache.collect_literals(statement),
+            tables=tables,
+            versions=self.feedback.versions(tables),
         )
+        findings = plancheck.verify_entry(entry, statement, key, self.catalog)
+        if findings:
+            # a plan that fails verification is never cached: the fresh
+            # plan still answers this query, the shape just replans on
+            # every execution. Genuine IR corruption (anything beyond a
+            # cache-suitability finding) is a planner bug and escalates
+            # to a hard error under REPRO_PLANCHECK.
+            obs.count("sql.plancheck.rejected")
+            if plancheck.enabled() and any(f.check != "cache" for f in findings):
+                raise plancheck.PlanCheckError(findings)
+            return
+        entry.seal = plancheck.entry_seal(entry)
+        self.plan_cache.put(key, entry)
 
     def _execute_select(
         self,
@@ -629,6 +664,7 @@ class Database:
         self.persistence.write_physical_savepoint(
             tables, self.txn_manager.last_committed_cid
         )
+        self._save_feedback()
 
     def savepoint(self) -> None:
         """Write a logical snapshot of all committed data; truncate the log."""
@@ -647,6 +683,12 @@ class Database:
                     "rows": rows,
                 }
         self.persistence.write_savepoint({"cid": snapshot_cid, "tables": tables_payload})
+        self._save_feedback()
+
+    def _save_feedback(self) -> None:
+        """Persist the cardinality feedback store next to the savepoint."""
+        if self._feedback_path is not None:
+            self.feedback.save(self._feedback_path)
 
     def _recover(self) -> None:
         """Load the latest savepoint and replay the redo-log tail.

@@ -252,6 +252,9 @@ class PlanEntry:
     #: ids of the containers between the plan root and each slot literal;
     #: precomputed so :func:`instantiate` rebuilds only this spine
     spine: frozenset[int] | None = None
+    #: slot-value fingerprint recorded by ``plancheck.entry_seal`` at
+    #: insert; a later mismatch proves the frozen entry was mutated
+    seal: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.spine is None:

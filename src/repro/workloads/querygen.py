@@ -1,0 +1,234 @@
+"""Seeded SQL query-shape generator for plan-corpus verification.
+
+``python -m tools.analyze --plan-corpus`` feeds every generated query
+through the planner and the plan cache and runs
+:mod:`repro.analysis.plancheck` over the resulting plans, entries, and
+bindings — a breadth gate over query *shapes* that complements the
+depth of the hand-written tests. The generator is deterministic under a
+seed so a CI failure reproduces locally with the same corpus.
+
+The schema is the synthetic ERP triple (customers/orders/invoices) the
+rest of the suite uses; shapes cover filters (comparison, IN, BETWEEN,
+LIKE, IS NULL), inner/left joins, grouped aggregation with HAVING,
+DISTINCT, ORDER BY (columns, expressions, and ordinals), LIMIT/OFFSET,
+UNION [ALL], and derived tables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+#: table -> (columns, numeric columns, text columns)
+SCHEMA: dict[str, dict[str, list[str]]] = {
+    "customers": {
+        "columns": ["customer_id", "name", "country", "city"],
+        "numeric": ["customer_id"],
+        "text": ["name", "country", "city"],
+    },
+    "orders": {
+        "columns": ["order_id", "customer_id", "status", "amount", "currency"],
+        "numeric": ["order_id", "customer_id", "amount"],
+        "text": ["status", "currency"],
+    },
+    "invoices": {
+        "columns": ["invoice_id", "order_id", "paid", "amount"],
+        "numeric": ["invoice_id", "order_id", "amount"],
+        "text": ["paid"],
+    },
+}
+
+#: join equi-keys between tables that share one
+JOINS: list[tuple[str, str, str]] = [
+    ("customers", "orders", "customer_id"),
+    ("orders", "invoices", "order_id"),
+]
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+def ddl() -> list[str]:
+    """CREATE TABLE statements matching :data:`SCHEMA` (all typed loosely —
+    the generator only needs names to resolve)."""
+    statements = []
+    for table, info in SCHEMA.items():
+        columns = ", ".join(
+            f"{column} DOUBLE" if column in info["numeric"] else f"{column} VARCHAR"
+            for column in info["columns"]
+        )
+        statements.append(f"CREATE TABLE {table} ({columns})")
+    return statements
+
+
+def _literal(rng: random.Random, numeric: bool) -> str:
+    if numeric:
+        if rng.random() < 0.5:
+            return str(rng.randint(0, 500))
+        return f"{rng.uniform(0, 500):.2f}"
+    return f"'{rng.choice(_WORDS)}'"
+
+
+def _predicate(rng: random.Random, table: str, alias: str | None = None) -> str:
+    info = SCHEMA[table]
+    prefix = f"{alias or table}."
+    kind = rng.randrange(6)
+    if kind == 0:
+        column = rng.choice(info["numeric"])
+        op = rng.choice([">", "<", ">=", "<=", "=", "<>"])
+        return f"{prefix}{column} {op} {_literal(rng, True)}"
+    if kind == 1:
+        column = rng.choice(info["numeric"])
+        low = rng.randint(0, 200)
+        return f"{prefix}{column} BETWEEN {low} AND {low + rng.randint(1, 200)}"
+    if kind == 2:
+        column = rng.choice(info["columns"])
+        numeric = column in info["numeric"]
+        values = ", ".join(_literal(rng, numeric) for _ in range(rng.randint(1, 4)))
+        return f"{prefix}{column} IN ({values})"
+    if kind == 3:
+        column = rng.choice(info["text"])
+        return f"{prefix}{column} LIKE '%{rng.choice(_WORDS)[:2]}%'"
+    if kind == 4:
+        column = rng.choice(info["columns"])
+        maybe_not = "NOT " if rng.random() < 0.5 else ""
+        return f"{prefix}{column} IS {maybe_not}NULL"
+    left = _predicate(rng, table, alias)
+    right = _predicate(rng, table, alias)
+    return f"({left} {rng.choice(['AND', 'OR'])} {right})"
+
+
+def _simple_select(rng: random.Random) -> str:
+    table = rng.choice(list(SCHEMA))
+    info = SCHEMA[table]
+    count = rng.randint(1, len(info["columns"]))
+    columns = rng.sample(info["columns"], count)
+    items = []
+    for column in columns:
+        if column in info["numeric"] and rng.random() < 0.3:
+            items.append(f"{column} + {rng.randint(1, 9)} AS {column}_adj")
+        else:
+            items.append(column)
+    sql = f"SELECT {', '.join(items)} FROM {table}"
+    if rng.random() < 0.8:
+        sql += f" WHERE {_predicate(rng, table)}"
+    return sql
+
+
+def _join_select(rng: random.Random) -> str:
+    left, right, key = rng.choice(JOINS)
+    kind = rng.choice(["JOIN", "LEFT JOIN"])
+    left_col = rng.choice(SCHEMA[left]["columns"])
+    right_col = rng.choice(
+        [column for column in SCHEMA[right]["columns"] if column != left_col]
+    )
+    sql = (
+        f"SELECT {left}.{left_col}, {right}.{right_col} FROM {left} "
+        f"{kind} {right} ON {left}.{key} = {right}.{key}"
+    )
+    if rng.random() < 0.7:
+        table = rng.choice([left, right])
+        sql += f" WHERE {_predicate(rng, table)}"
+    return sql
+
+
+def _aggregate_select(rng: random.Random) -> str:
+    table = rng.choice(list(SCHEMA))
+    info = SCHEMA[table]
+    group = rng.choice(info["text"])
+    metric = rng.choice(info["numeric"])
+    func = rng.choice(["SUM", "AVG", "MIN", "MAX", "COUNT"])
+    sql = (
+        f"SELECT {group}, {func}({metric}) AS metric FROM {table} "
+        f"GROUP BY {group}"
+    )
+    if rng.random() < 0.5:
+        sql += f" HAVING {func}({metric}) > {rng.randint(1, 100)}"
+    if rng.random() < 0.5:
+        sql += f" ORDER BY metric {rng.choice(['ASC', 'DESC'])}"
+    return sql
+
+
+def _derived_select(rng: random.Random) -> str:
+    inner = _simple_select(rng)
+    # the derived table exposes the inner output names; project them all
+    return f"SELECT * FROM ({inner}) d"
+
+
+def _union_select(rng: random.Random) -> str:
+    table = rng.choice(list(SCHEMA))
+    column = rng.choice(SCHEMA[table]["numeric"])
+    all_kw = " ALL" if rng.random() < 0.5 else ""
+    return (
+        f"SELECT {column} FROM {table} WHERE {column} > {rng.randint(0, 100)} "
+        f"UNION{all_kw} "
+        f"SELECT {column} FROM {table} WHERE {column} < {rng.randint(100, 300)}"
+    )
+
+
+def _decorate(rng: random.Random, sql: str, table_hint: str | None = None) -> str:
+    """Append DISTINCT / ORDER BY / LIMIT decorations where legal."""
+    if sql.startswith("SELECT ") and rng.random() < 0.2 and " UNION" not in sql:
+        sql = "SELECT DISTINCT " + sql[len("SELECT ") :]
+    if " ORDER BY " not in sql and rng.random() < 0.4:
+        sql += f" ORDER BY 1{' DESC' if rng.random() < 0.5 else ''}"
+    if rng.random() < 0.4:
+        sql += f" LIMIT {rng.randint(1, 50)}"
+        if rng.random() < 0.3:
+            sql += f" OFFSET {rng.randint(0, 20)}"
+    return sql
+
+
+_SHAPES = [
+    (_simple_select, 4),
+    (_join_select, 3),
+    (_aggregate_select, 2),
+    (_derived_select, 1),
+    (_union_select, 1),
+]
+
+
+def generate_queries(count: int, seed: int = 0) -> Iterator[str]:
+    """Yield ``count`` deterministic SELECT statements for the ERP schema."""
+    rng = random.Random(seed)
+    population = [shape for shape, weight in _SHAPES for _ in range(weight)]
+    for _ in range(count):
+        shape = rng.choice(population)
+        yield _decorate(rng, shape(rng))
+
+
+def perturb_literals(sql: str, seed: int = 0) -> str:
+    """Same query shape, different constants — exercises cache-hit binding.
+
+    Rewrites every integer/float token (outside quoted strings) to a
+    different number, except ORDER BY ordinals (those name columns).
+    LIMIT/OFFSET changes shift the fingerprint — the corpus run then
+    verifies the perturbed query as a fresh plan instead of a binding,
+    which is still a valid target.
+    """
+    rng = random.Random(seed)
+    out: list[str] = []
+    index = 0
+    in_string = False
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            in_string = not in_string
+            out.append(char)
+            index += 1
+            continue
+        if not in_string and char.isdigit():
+            start = index
+            while index < len(sql) and (sql[index].isdigit() or sql[index] == "."):
+                index += 1
+            token = sql[start:index]
+            if "".join(out).rstrip().upper().endswith("ORDER BY"):
+                out.append(token)  # an ordinal names a column, not a constant
+                continue
+            if "." in token:
+                out.append(f"{float(token) + rng.randint(1, 9)}")
+            else:
+                out.append(str(int(token) + rng.randint(1, 9)))
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)

@@ -124,7 +124,8 @@ def test_select_unknown_rule_raises(tmp_path):
 def test_rule_registry_is_complete():
     assert sorted(all_rules()) == [
         "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
-        "RA108", "RA109", "RA110", "RA111",
+        "RA108", "RA109", "RA110", "RA111", "RA112", "RA113", "RA114",
+        "RA115",
     ]
 
 
@@ -237,3 +238,58 @@ def test_baseline_prune_noop_on_exact_baseline(tmp_path, capsys):
         [str(root), "--baseline-prune", "--baseline", str(baseline_path)]
     ) == 0
     assert "pruned 0 stale entries" in capsys.readouterr().out
+
+
+def test_baseline_file_is_byte_stable(tmp_path):
+    import json
+
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    analyze_main([str(root), "--write-baseline", "--baseline", str(baseline_path)])
+    first = baseline_path.read_text()
+    # a rewrite of the same content must be byte-identical (sorted keys)
+    Baseline.load(baseline_path).write(baseline_path)
+    assert baseline_path.read_text() == first
+    payload = json.loads(first)
+    assert first == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# -- SARIF output -----------------------------------------------------------------
+
+
+def test_sarif_report_written(tmp_path):
+    import json
+
+    root = _seed_tree(tmp_path)
+    sarif_path = tmp_path / "out.sarif"
+    assert analyze_main(
+        [str(root), "--no-baseline", "--sarif", str(sarif_path)]
+    ) == 1
+    payload = json.loads(sarif_path.read_text())
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "tools.analyze"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RA101", "RA112", "RA115"} <= rule_ids
+    results = run["results"]
+    assert results and results[0]["ruleId"] == "RA101"
+    assert results[0]["level"] == "warning"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("executor.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_baselined_findings_are_notes(tmp_path, capsys):
+    import json
+
+    root = _seed_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    analyze_main([str(root), "--write-baseline", "--baseline", str(baseline_path)])
+    capsys.readouterr()
+    sarif_path = tmp_path / "out.sarif"
+    assert analyze_main(
+        [str(root), "--baseline", str(baseline_path), "--sarif", str(sarif_path)]
+    ) == 0
+    payload = json.loads(sarif_path.read_text())
+    levels = {result["level"] for result in payload["runs"][0]["results"]}
+    assert levels == {"note"}

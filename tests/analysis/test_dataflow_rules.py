@@ -1,0 +1,286 @@
+"""Unit tests for the CFG/dataflow rules RA112–RA115 and their engine."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from tools.analyze import analyze_source
+from tools.analyze.core import FileContext
+from tools.analyze import dataflow
+
+
+def findings_for(source: str, rel_path: str = "src/repro/sql/executor.py", select=None):
+    return analyze_source(textwrap.dedent(source), rel_path, select)
+
+
+def codes(source: str, rel_path: str = "src/repro/sql/executor.py", select=None):
+    return [f.code for f in findings_for(source, rel_path, select)]
+
+
+# -- dataflow engine units ----------------------------------------------------------
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0]
+
+
+def test_copy_env_resolves_alias_chains():
+    func = _func(
+        """
+        def f(self):
+            lock = self._lock
+            guard = lock
+            guard2 = guard
+            return guard2
+        """
+    )
+    env = dataflow.copy_env(func)
+    assert env["lock"] == "self._lock"
+    assert env["guard2"] == "self._lock"
+
+
+def test_copy_env_drops_reassigned_names():
+    func = _func(
+        """
+        def f(self, other):
+            lock = self._lock
+            lock = other._lock
+            return lock
+        """
+    )
+    assert "lock" not in dataflow.copy_env(func)
+
+
+def test_taint_flows_through_zip_and_tuple_unpack():
+    func = _func(
+        """
+        def f(entry, fresh):
+            for slot, new in zip(entry.slots, fresh):
+                use(slot)
+        """
+    )
+    ctx = FileContext("src/repro/sql/x.py", "")
+    cfg = dataflow.get_cfg(ctx, func)
+    states = dataflow.TaintAnalysis(initial_tainted={"entry"}, env={}).run(cfg)
+    tainted = set().union(*(s for s in states.values() if s))
+    assert "slot" in tainted
+
+
+def test_unknown_call_results_are_untainted():
+    func = _func(
+        """
+        def f(entry):
+            clone = rebuild(entry)
+            clone.x = 1
+        """
+    )
+    ctx = FileContext("src/repro/sql/x.py", "")
+    cfg = dataflow.get_cfg(ctx, func)
+    states = dataflow.TaintAnalysis(initial_tainted={"entry"}, env={}).run(cfg)
+    tainted = set().union(*(s for s in states.values() if s))
+    assert "clone" not in tainted
+
+
+def test_lock_held_analysis_tracks_aliases():
+    func = _func(
+        """
+        def f(self):
+            lock = self._lock
+            with lock:
+                work()
+            after()
+        """
+    )
+    ctx = FileContext("src/repro/x.py", "")
+    cfg = dataflow.get_cfg(ctx, func)
+    env = dataflow.copy_env(func)
+    states = dataflow.LockHeldAnalysis(env).run(cfg)
+    held_sets = [s for s in states.values() if s]
+    assert any("self._lock" in s for s in held_sets)
+
+
+# -- RA112: frozen plan-cache entry mutation ---------------------------------------
+
+
+def test_ra112_flags_in_place_literal_binding():
+    # the exact PR 6 frozen-plan bug: writing fresh literal values into
+    # the cached entry instead of building a substitution copy
+    src = """
+        def bind(entry: "PlanEntry", fresh):
+            for slot, new in zip(entry.slots, fresh):
+                object.__setattr__(slot, "value", new.value)
+            return entry.plan
+    """
+    assert codes(src, rel_path="src/repro/sql/plancache.py", select=["RA112"]) == ["RA112"]
+
+
+def test_ra112_flags_mutation_of_cache_get_result():
+    src = """
+        def touch(self, key):
+            entry = self.plan_cache.get(key)
+            entry.versions["t"] = 3
+    """
+    assert codes(src, rel_path="src/repro/core/database.py", select=["RA112"]) == ["RA112"]
+
+
+def test_ra112_flags_mutating_method_on_tainted_value():
+    src = """
+        def touch(self, key):
+            entry = self._entries.get(key)
+            entry.slots.append(None)
+    """
+    assert codes(src, rel_path="src/repro/sql/plancache.py", select=["RA112"]) == ["RA112"]
+
+
+def test_ra112_accepts_substitution_copy():
+    src = """
+        def bind(entry: "PlanEntry", statement):
+            clone = object.__new__(type(entry.plan))
+            clone.__dict__.update(entry.plan.__dict__)
+            return clone
+    """
+    assert codes(src, rel_path="src/repro/sql/plancache.py", select=["RA112"]) == []
+
+
+def test_ra112_out_of_scope_path_is_skipped():
+    src = """
+        def bind(entry: "PlanEntry", fresh):
+            entry.slots.append(None)
+    """
+    assert codes(src, rel_path="src/repro/streaming/windows.py", select=["RA112"]) == []
+
+
+# -- RA113: blocking call while a lock is held -------------------------------------
+
+
+def test_ra113_flags_sleep_in_with_lock():
+    src = """
+        import time
+
+        def flush(self):
+            with self._lock:
+                time.sleep(0.1)
+    """
+    assert codes(src, rel_path="src/repro/soe/services/broker.py", select=["RA113"]) == ["RA113"]
+
+
+def test_ra113_tracks_lock_aliases_and_open():
+    src = """
+        def persist(self):
+            lock = self._lock
+            with lock:
+                handle = open("/tmp/x")
+    """
+    assert codes(src, rel_path="src/repro/soe/services/broker.py", select=["RA113"]) == ["RA113"]
+
+
+def test_ra113_flags_thread_join_under_lock_but_not_str_join():
+    src = """
+        def stop(self):
+            with self._lock:
+                self._worker.join()
+                label = ",".join(self._names)
+    """
+    assert codes(src, rel_path="src/repro/soe/services/broker.py", select=["RA113"]) == ["RA113"]
+
+
+def test_ra113_accepts_blocking_work_after_release():
+    src = """
+        import time
+
+        def flush(self):
+            with self._lock:
+                items = list(self._queue)
+            time.sleep(0.1)
+            return items
+    """
+    assert codes(src, rel_path="src/repro/soe/services/broker.py", select=["RA113"]) == []
+
+
+# -- RA114: storage row loop without a governor charge ------------------------------
+
+
+def test_ra114_flags_uncharged_scan_loop():
+    src = """
+        def scan(self, table, txn, governor):
+            out = []
+            for position in table.visible_positions(txn):
+                out.append(position)
+            return out
+    """
+    assert codes(src, select=["RA114"]) == ["RA114"]
+
+
+def test_ra114_accepts_charge_inside_loop():
+    src = """
+        def scan(self, table, txn, governor):
+            out = []
+            for position in table.visible_positions(txn):
+                governor.charge(1)
+                out.append(position)
+            return out
+    """
+    assert codes(src, select=["RA114"]) == []
+
+
+def test_ra114_accepts_charge_on_path_into_loop():
+    src = """
+        def scan(self, table, txn, governor):
+            governor.charge(table.row_count)
+            out = []
+            for position in table.visible_positions(txn):
+                out.append(position)
+            return out
+    """
+    assert codes(src, select=["RA114"]) == []
+
+
+def test_ra114_skips_interior_operators_without_governor():
+    src = """
+        def probe(self, rows):
+            out = []
+            for row in rows:
+                out.append(row)
+            return out
+    """
+    assert codes(src, select=["RA114"]) == []
+
+
+# -- RA115: observe_actual without evaluating the exemption guards ------------------
+
+
+def test_ra115_flags_unguarded_observation():
+    src = """
+        def finish(self, feedback, node, count):
+            feedback.observe_actual(node.signature, count)
+    """
+    assert codes(src, select=["RA115"]) == ["RA115"]
+
+
+def test_ra115_accepts_early_return_guard():
+    src = """
+        def finish(self, ctx, feedback, node, count):
+            if ctx.feedback_exempt:
+                return
+            feedback.observe_actual(node.signature, count)
+    """
+    assert codes(src, select=["RA115"]) == []
+
+
+def test_ra115_accepts_enclosing_if_guard():
+    src = """
+        def finish(self, governor, feedback, sig, count):
+            if not governor.should_stop():
+                feedback.observe_actual(sig, count)
+    """
+    assert codes(src, select=["RA115"]) == []
+
+
+def test_ra115_skips_the_primitive_itself():
+    src = """
+        def observe_actual(self, signature, count):
+            self._observed[signature] = count
+    """
+    assert codes(src, select=["RA115"]) == []

@@ -7,7 +7,7 @@ import os
 import pytest
 
 from repro import obs
-from repro.analysis import lockcheck, racecheck
+from repro.analysis import lockcheck, plancheck, racecheck
 from repro.core.database import Database
 
 
@@ -55,6 +55,25 @@ def _racecheck_sanitizer(_lockcheck_sanitizer):
     """
     if racecheck.enabled_from_env() and not racecheck.is_installed():
         with racecheck.active():
+            yield
+    else:
+        yield
+
+
+@pytest.fixture(autouse=True)
+def _plancheck_sanitizer():
+    """Run each test under the plan-IR verifier when requested.
+
+    ``REPRO_PLANCHECK=1 pytest`` (the CI plancheck job) installs
+    :mod:`repro.analysis.plancheck` for every test: each freshly planned
+    query, plan-cache insert, and cache-hit binding is verified and a
+    violation fails the test with a
+    :class:`~repro.analysis.plancheck.PlanCheckError` naming the node
+    and invariant. Without the variable this fixture is a no-op (the
+    insert-time soft check still runs — it only refuses to cache).
+    """
+    if plancheck.enabled_from_env() and not plancheck.is_installed():
+        with plancheck.active():
             yield
     else:
         yield

@@ -1,0 +1,51 @@
+"""Cardinality feedback survives restarts: autosave at savepoint, autoload at open."""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+
+
+def _warm(database: Database) -> None:
+    database.execute("CREATE TABLE t (amount INT)")
+    database.execute("INSERT INTO t VALUES (1), (5), (10), (50)")
+    database.query("SELECT amount FROM t WHERE amount > 3")
+
+
+def test_feedback_round_trips_across_restart(tmp_path):
+    database = Database(data_dir=tmp_path)
+    _warm(database)
+    observed = database.feedback.as_dict()["observed"]
+    assert observed, "the warm-up query should record scan cardinalities"
+    database.savepoint()
+    assert (tmp_path / "feedback.json").exists()
+    database.persistence.close()
+
+    recovered = Database(data_dir=tmp_path)
+    for signature, count in observed.items():
+        assert recovered.feedback.observed(signature) == count
+
+
+def test_physical_savepoint_also_persists_feedback(tmp_path):
+    database = Database(data_dir=tmp_path)
+    _warm(database)
+    database.physical_savepoint()
+    assert (tmp_path / "feedback.json").exists()
+
+
+def test_persist_feedback_opt_out(tmp_path):
+    database = Database(data_dir=tmp_path, persist_feedback=False)
+    _warm(database)
+    database.savepoint()
+    assert not (tmp_path / "feedback.json").exists()
+    database.persistence.close()
+
+    # an opted-out restart starts cold even when a store file exists
+    Database(data_dir=tmp_path).savepoint()
+    assert (tmp_path / "feedback.json").exists()
+    cold = Database(data_dir=tmp_path, persist_feedback=False)
+    assert cold.feedback.as_dict()["observed"] == {}
+
+
+def test_in_memory_database_never_touches_disk():
+    database = Database()
+    assert database._feedback_path is None

@@ -8,6 +8,8 @@ Options::
     python -m tools.analyze src --changed            # only files differing from merge-base
     python -m tools.analyze src --write-baseline     # accept current findings
     python -m tools.analyze src --baseline-prune     # drop stale baseline entries
+    python -m tools.analyze src --sarif out.sarif    # also write a SARIF report
+    python -m tools.analyze --plan-corpus            # verify a generated plan corpus
     python -m tools.analyze --list-rules
 """
 
@@ -20,7 +22,7 @@ from pathlib import Path
 
 from tools.analyze.baseline import Baseline
 from tools.analyze.core import all_rules, analyze_paths
-from tools.analyze.reporters import render_json, render_text
+from tools.analyze.reporters import render_json, render_sarif, render_text
 
 _DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 
@@ -67,7 +69,7 @@ def changed_python_files(roots: list[str]) -> list[str] | None:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analyze",
-        description="Project-invariant linter (rules RA101–RA106).",
+        description="Project-invariant linter (rules RA101–RA115).",
     )
     parser.add_argument("paths", nargs="*", help="files or trees to analyze (e.g. src)")
     parser.add_argument("--json", action="store_true", help="emit a JSON report")
@@ -96,6 +98,23 @@ def main(argv: list[str] | None = None) -> int:
         help="analyze, drop baseline entries no current finding matches, "
         "rewrite the baseline, and exit 0",
     )
+    parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report (GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--plan-corpus", action="store_true",
+        help="plan a seeded query corpus and verify every plan, cache "
+        "entry, and binding with repro.analysis.plancheck",
+    )
+    parser.add_argument(
+        "--corpus-count", type=int, default=300, metavar="N",
+        help="queries in the --plan-corpus run (default: 300)",
+    )
+    parser.add_argument(
+        "--corpus-seed", type=int, default=0, metavar="SEED",
+        help="seed for the --plan-corpus generator (default: 0)",
+    )
     parser.add_argument("--list-rules", action="store_true", help="print the rule table")
     args = parser.parse_args(argv)
 
@@ -103,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
         for code, rule_cls in all_rules().items():
             print(f"{code}  {rule_cls.name:34s} {rule_cls.description}")
         return 0
+    if args.plan_corpus:
+        from tools.analyze.plancorpus import run_plan_corpus
+
+        return run_plan_corpus(count=args.corpus_count, seed=args.corpus_seed)
     if not args.paths:
         parser.error("no paths given (try: python -m tools.analyze src)")
     if args.changed and (args.baseline_prune or args.write_baseline):
@@ -138,15 +161,24 @@ def main(argv: list[str] | None = None) -> int:
     new, baselined, stale = baseline.split(findings)
 
     if args.baseline_prune:
-        for key in stale:
+        # an entry is dead if no current finding matches it OR its file is
+        # gone entirely (deleted/renamed modules would otherwise pin
+        # accepted findings forever)
+        dead = set(stale)
+        dead.update(key for key in baseline.entries if not Path(key[1]).exists())
+        for key in dead:
             del baseline.entries[key]
         baseline.write(args.baseline)
         print(
-            f"pruned {len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}; "
+            f"pruned {len(dead)} stale entr{'y' if len(dead) == 1 else 'ies'}; "
             f"{len(baseline.entries)} remain in {args.baseline}"
         )
         return 0
 
+    if args.sarif:
+        Path(args.sarif).write_text(
+            render_sarif(new, baselined, stale) + "\n", encoding="utf-8"
+        )
     report = render_json(new, baselined, stale) if args.json else render_text(new, baselined, stale)
     print(report)
     return 1 if new else 0

@@ -52,7 +52,10 @@ class Baseline:
             for (code, rel_path, symbol, message), justification in sorted(self.entries.items())
         ]
         payload = {"version": _VERSION, "findings": items}
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        # sorted keys keep the checked-in file byte-stable across rewrites
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
     def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], list[tuple]]:
         """Partition findings into (new, baselined); the third element is

@@ -1,0 +1,534 @@
+"""Intraprocedural CFG + forward dataflow for the lint rules.
+
+RA101–RA111 are (mostly) single-pass AST walks; the plan-cache and
+governor invariants added with the plancheck work need *path*
+information — "is this value derived from a frozen cache entry?",
+"which locks are held at this call?", "does every path to this call
+evaluate a guard?". This module supplies the shared machinery:
+
+* :class:`CFG` / :func:`get_cfg` — a per-function control-flow graph of
+  basic blocks whose elements are ``(kind, ast_node)`` pairs. ``kind``
+  is ``"stmt"`` (a non-branching statement), ``"test"`` (a branch or
+  loop condition — *evaluated on every path leaving the block*),
+  ``"loop"`` (a ``for`` header, carrying its target binding),
+  ``"acquire"``/``"release"`` (a ``with``-item entering/leaving scope).
+  Loops get back edges, ``try`` bodies get edges into their handlers,
+  ``break``/``continue``/``return``/``raise`` divert the walk. Nested
+  ``def``/``class`` are opaque single elements — rules analyze each
+  function separately.
+* :class:`ForwardAnalysis` — a worklist fixpoint driver: subclasses
+  define ``initial``/``transfer``/``join`` and get back the state
+  *entering* every element. Unreachable blocks stay at ``None``.
+* :class:`TaintAnalysis` — reaching-taint over variable names, with
+  pass-through calls (``zip``/``enumerate``/...), method-on-tainted
+  propagation, and tuple-unpack binding (RA112).
+* :class:`LockHeldAnalysis` — may-analysis of held locks, identities
+  canonicalised through :func:`copy_env` (RA113).
+* :class:`GuardPassedAnalysis` — must-analysis: has every path
+  evaluated a test mentioning one of the guard tokens? (RA115).
+
+CFGs are cached per :class:`~tools.analyze.core.FileContext` (keyed by
+function node identity) so the four dataflow rules build each one once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from tools.analyze.core import FileContext
+
+
+def call_name(func: ast.AST) -> str:
+    """Dotted name of a call target, best effort (``time.sleep``)."""
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+    return ".".join(reversed(parts))
+
+
+def canonical_name(node: ast.AST, env: dict[str, str] | None = None) -> str | None:
+    """Dotted name of a ``Name``/``Attribute`` chain, with local aliases
+    resolved through ``env`` (``lock = self._lock; with lock:`` names
+    ``self._lock``). Returns None for anything else (calls, literals)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = env.get(node.id, node.id) if env else node.id
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def root_name(node: ast.AST) -> str | None:
+    """Base variable of an ``Attribute``/``Subscript`` chain (``entry``
+    for ``entry.plan.children[0]``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def copy_env(func: ast.AST) -> dict[str, str]:
+    """Flow-insensitive copy propagation: local name → the canonical
+    dotted chain it aliases, for names assigned exactly once from a
+    plain ``Name``/``Attribute`` chain. Multiply-assigned names drop out
+    (their identity is path-dependent and not worth guessing)."""
+    env: dict[str, str] = {}
+    dropped: set[str] = set()
+
+    def bind(name: str, source: ast.AST) -> None:
+        if name in dropped:
+            return
+        if name in env:
+            del env[name]
+            dropped.add(name)
+            return
+        chain = canonical_name(source)
+        if chain:
+            env[name] = chain
+        else:
+            dropped.add(name)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                bind(target.id, node.value)
+        elif isinstance(node, ast.withitem) and isinstance(
+            node.optional_vars, ast.Name
+        ):
+            bind(node.optional_vars.id, node.context_expr)
+    # resolve alias-of-alias chains (a = self._lock; b = a)
+    for name in list(env):
+        seen = {name}
+        chain = env[name]
+        while True:
+            head = chain.split(".", 1)[0]
+            if head in seen or head not in env:
+                break
+            seen.add(head)
+            rest = chain[len(head) :]
+            chain = env[head] + rest
+        env[name] = chain
+    return env
+
+
+# --------------------------------------------------------------------------
+# CFG
+# --------------------------------------------------------------------------
+
+
+class Block:
+    """One basic block: straight-line elements plus graph edges."""
+
+    __slots__ = ("index", "elements", "succs", "preds")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.elements: list[tuple[str, ast.AST]] = []
+        self.succs: list["Block"] = []
+        self.preds: list["Block"] = []
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self._loops: list[tuple[Block, Block]] = []  # (header, after)
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        end = self._stmts(func.body, self.entry)
+        self._edge(end, self.exit)
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block | None, dst: Block) -> None:
+        if src is not None and dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def _stmts(self, body: list[ast.stmt], current: Block) -> Block:
+        for stmt in body:
+            next_block = self._stmt(stmt, current)
+            if next_block is None:
+                # break/continue/return/raise ended the path; anything
+                # after it lives in a predecessor-less (dead) block
+                next_block = self._new_block()
+            current = next_block
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: Block) -> Block | None:
+        if isinstance(stmt, ast.If):
+            current.elements.append(("test", stmt.test))
+            then_block = self._new_block()
+            self._edge(current, then_block)
+            then_end = self._stmts(stmt.body, then_block)
+            after = self._new_block()
+            if stmt.orelse:
+                else_block = self._new_block()
+                self._edge(current, else_block)
+                else_end = self._stmts(stmt.orelse, else_block)
+                self._edge(else_end, after)
+            else:
+                self._edge(current, after)
+            self._edge(then_end, after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new_block()
+            self._edge(current, header)
+            if isinstance(stmt, ast.While):
+                header.elements.append(("test", stmt.test))
+            else:
+                header.elements.append(("loop", stmt))
+            after = self._new_block()
+            body_block = self._new_block()
+            self._edge(header, body_block)
+            self._edge(header, after)
+            self._loops.append((header, after))
+            body_end = self._stmts(stmt.body, body_block)
+            self._loops.pop()
+            self._edge(body_end, header)
+            if stmt.orelse:
+                return self._stmts(stmt.orelse, after)
+            return after
+        if isinstance(stmt, ast.Try):
+            first_new = len(self.blocks)
+            body_block = self._new_block()
+            self._edge(current, body_block)
+            body_end = self._stmts(stmt.body, body_block)
+            if stmt.orelse:
+                body_end = self._stmts(stmt.orelse, body_end)
+            body_range = self.blocks[first_new : len(self.blocks)]
+            after = self._new_block()
+            self._edge(body_end, after)
+            for handler in stmt.handlers:
+                handler_block = self._new_block()
+                # an exception can surface anywhere in the body: edge
+                # from every body block into the handler
+                for block in body_range:
+                    self._edge(block, handler_block)
+                handler_block.elements.append(("stmt", handler))
+                handler_end = self._stmts(handler.body, handler_block)
+                self._edge(handler_end, after)
+            if stmt.finalbody:
+                return self._stmts(stmt.finalbody, after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                current.elements.append(("acquire", item))
+            end = self._stmts(stmt.body, current)
+            for item in reversed(stmt.items):
+                end.elements.append(("release", item))
+            return end
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._edge(current, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(current, self._loops[-1][0])
+            return None
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.elements.append(("stmt", stmt))
+            self._edge(current, self.exit)
+            return None
+        # nested defs/classes are opaque: rules analyze them separately
+        current.elements.append(("stmt", stmt))
+        return current
+
+    # -- queries -----------------------------------------------------------
+
+    def elements(self) -> Iterator[tuple[Block, int, str, ast.AST]]:
+        for block in self.blocks:
+            for index, (kind, node) in enumerate(block.elements):
+                yield block, index, kind, node
+
+    def reaching_blocks(self, target: Block) -> list[Block]:
+        """Every block from which ``target`` is reachable (excl. itself)."""
+        seen: set[int] = set()
+        stack = list(target.preds)
+        result: list[Block] = []
+        while stack:
+            block = stack.pop()
+            if block.index in seen:
+                continue
+            seen.add(block.index)
+            result.append(block)
+            stack.extend(block.preds)
+        return result
+
+
+def get_cfg(ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build (or reuse) the CFG of ``func``; cached on the file context so
+    every dataflow rule shares one graph per function."""
+    cache: dict[int, CFG] = ctx.__dict__.setdefault("_dataflow_cfgs", {})
+    cfg = cache.get(id(func))
+    if cfg is None:
+        cfg = CFG(func)
+        cache[id(func)] = cfg
+    return cfg
+
+
+def get_copy_env(
+    ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+) -> dict[str, str]:
+    """:func:`copy_env` of ``func``, cached on the file context alongside
+    the CFG so the rules that need both don't recompute either."""
+    cache: dict[int, dict[str, str]] = ctx.__dict__.setdefault("_dataflow_envs", {})
+    env = cache.get(id(func))
+    if env is None:
+        env = copy_env(func)
+        cache[id(func)] = env
+    return env
+
+
+# --------------------------------------------------------------------------
+# fixpoint driver
+# --------------------------------------------------------------------------
+
+
+class ForwardAnalysis:
+    """Worklist forward dataflow. Subclasses define the lattice via
+    ``initial``/``transfer``/``join``; ``run`` returns the state *entering*
+    each element keyed by ``(block_index, element_index)``. ``None`` is
+    the unreachable state: ``join`` never sees it (the driver short-
+    circuits), and unreachable elements are absent from the result."""
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, state: Any, kind: str, node: ast.AST) -> Any:
+        raise NotImplementedError
+
+    def join(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> dict[tuple[int, int], Any]:
+        entry_states: dict[int, Any] = {cfg.entry.index: self.initial()}
+        element_states: dict[tuple[int, int], Any] = {}
+        worklist = [cfg.entry]
+        iterations = 0
+        limit = 50 * (len(cfg.blocks) + 1)  # fixpoint backstop
+        while worklist and iterations < limit:
+            iterations += 1
+            block = worklist.pop()
+            state = entry_states.get(block.index)
+            if state is None:
+                continue
+            for index, (kind, node) in enumerate(block.elements):
+                element_states[(block.index, index)] = state
+                state = self.transfer(state, kind, node)
+            for succ in block.succs:
+                old = entry_states.get(succ.index)
+                merged = state if old is None else self.join(old, state)
+                if merged != old:
+                    entry_states[succ.index] = merged
+                    worklist.append(succ)
+        self.entry_states = entry_states
+        return element_states
+
+
+# --------------------------------------------------------------------------
+# concrete analyses
+# --------------------------------------------------------------------------
+
+#: calls whose result carries the taint of any argument (iteration
+#: adaptors — the PR 6 bug walked ``zip(entry.slots, ...)``)
+_PASS_THROUGH_CALLS = {
+    "zip", "enumerate", "sorted", "reversed", "iter", "next", "getattr",
+    "min", "max", "filter", "map",
+}
+
+
+class TaintAnalysis(ForwardAnalysis):
+    """Which local names (currently) hold a value derived from a source?
+
+    ``state`` is a frozenset of variable names. Sources are provided by
+    the rule: ``initial_tainted`` seeds parameters, ``is_source`` marks
+    expressions (e.g. ``plan_cache.get(...)``). Propagation covers
+    attribute/subscript loads, pass-through calls, methods invoked *on*
+    a tainted receiver, tuple unpacking, and ``for``-target binding."""
+
+    def __init__(
+        self,
+        initial_tainted: set[str] = frozenset(),
+        env: dict[str, str] | None = None,
+    ) -> None:
+        self.initial_tainted = frozenset(initial_tainted)
+        self.env = env or {}
+
+    def is_source(self, expr: ast.AST) -> bool:
+        return False
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial(self) -> frozenset:
+        return self.initial_tainted
+
+    def join(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    # -- expression taint --------------------------------------------------
+
+    def expr_tainted(self, expr: ast.AST, state: frozenset) -> bool:
+        if self.is_source(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in state
+        if isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self.expr_tainted(expr.value, state)
+        if isinstance(expr, ast.Call):
+            name = call_name(expr.func)
+            if name in _PASS_THROUGH_CALLS and any(
+                self.expr_tainted(arg, state) for arg in expr.args
+            ):
+                return True
+            # a method on a tainted object returns tainted substructure
+            if isinstance(expr.func, ast.Attribute):
+                return self.expr_tainted(expr.func.value, state)
+            return False
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self.expr_tainted(item, state) for item in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tainted(expr.body, state) or self.expr_tainted(
+                expr.orelse, state
+            )
+        if isinstance(expr, ast.NamedExpr):
+            return self.expr_tainted(expr.value, state)
+        return False
+
+    # -- binding -----------------------------------------------------------
+
+    def _bind(self, target: ast.AST, tainted: bool, state: frozenset) -> frozenset:
+        if isinstance(target, ast.Name):
+            return state | {target.id} if tainted else state - {target.id}
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for item in target.elts:
+                state = self._bind(item, tainted, state)
+            return state
+        if isinstance(target, ast.Starred):
+            return self._bind(target.value, tainted, state)
+        return state  # attribute/subscript targets bind no local name
+
+    def transfer(self, state: frozenset, kind: str, node: ast.AST) -> frozenset:
+        if kind == "loop" and isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._bind(node.target, self.expr_tainted(node.iter, state), state)
+        if kind == "acquire" and isinstance(node, ast.withitem):
+            if isinstance(node.optional_vars, ast.Name):
+                return self._bind(
+                    node.optional_vars,
+                    self.expr_tainted(node.context_expr, state),
+                    state,
+                )
+            return state
+        if kind != "stmt":
+            return state
+        if isinstance(node, ast.Assign):
+            tainted = self.expr_tainted(node.value, state)
+            for target in node.targets:
+                state = self._bind(target, tainted, state)
+            return state
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return self._bind(
+                node.target, self.expr_tainted(node.value, state), state
+            )
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and self.expr_tainted(
+                node.value, state
+            ):
+                return state | {node.target.id}
+            return state
+        if isinstance(node, ast.ExceptHandler):
+            if node.name:
+                return state - {node.name}
+            return state
+        return state
+
+
+#: a ``with`` target counts as a lock when any dotted component
+#: mentions one (``self._lock``, ``cache_lock``, ``self._mutex``)
+def is_lock_name(chain: str | None) -> bool:
+    if not chain:
+        return False
+    return any(
+        "lock" in part.lower() or "mutex" in part.lower()
+        for part in chain.split(".")
+    )
+
+
+class LockHeldAnalysis(ForwardAnalysis):
+    """May-analysis: the set of lock identities (canonical dotted names)
+    held on *some* path at each element."""
+
+    def __init__(self, env: dict[str, str] | None = None) -> None:
+        self.env = env or {}
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def _lock_of(self, item: ast.withitem) -> str | None:
+        chain = canonical_name(item.context_expr, self.env)
+        return chain if is_lock_name(chain) else None
+
+    def transfer(self, state: frozenset, kind: str, node: ast.AST) -> frozenset:
+        if kind == "acquire" and isinstance(node, ast.withitem):
+            lock = self._lock_of(node)
+            if lock:
+                return state | {lock}
+        elif kind == "release" and isinstance(node, ast.withitem):
+            lock = self._lock_of(node)
+            if lock:
+                return state - {lock}
+        return state
+
+
+class GuardPassedAnalysis(ForwardAnalysis):
+    """Must-analysis: has *every* path to an element evaluated a branch
+    test mentioning one of ``tokens``? Used by RA115 — both the
+    early-return guard (``if exempt: return``) and the enclosing-if
+    pattern count, because the *test* is evaluated either way."""
+
+    def __init__(self, tokens: tuple[str, ...], env: dict[str, str] | None = None) -> None:
+        self.tokens = tokens
+        self.env = env or {}
+
+    def initial(self) -> bool:
+        return False
+
+    def join(self, left: bool, right: bool) -> bool:
+        return left and right
+
+    def _mentions_token(self, expr: ast.AST) -> bool:
+        for node in ast.walk(expr):
+            chain = None
+            if isinstance(node, ast.Attribute):
+                chain = node.attr
+            elif isinstance(node, ast.Name):
+                chain = self.env.get(node.id, node.id)
+            if chain and any(token in chain for token in self.tokens):
+                return True
+        return False
+
+    def transfer(self, state: bool, kind: str, node: ast.AST) -> bool:
+        if state:
+            return True
+        if kind == "test" and self._mentions_token(node):
+            return True
+        if kind == "loop" and isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._mentions_token(node.iter)
+        return state

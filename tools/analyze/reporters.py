@@ -1,11 +1,11 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF for CI."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
 
-from tools.analyze.core import Finding
+from tools.analyze.core import Finding, all_rules
 
 
 def render_text(
@@ -44,3 +44,65 @@ def render_json(
         "exit_code": 1 if new else 0,
     }
     return json.dumps(payload, indent=2)
+
+
+def render_sarif(
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[tuple],
+) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests, so findings
+    surface as PR annotations. New findings report at ``warning`` level;
+    baselined ones are included as ``note`` so the dashboard still shows
+    the accepted debt (``stale`` keys have no location and are omitted).
+    """
+    rules_meta = [
+        {
+            "id": code,
+            "name": rule_cls.name,
+            "shortDescription": {"text": rule_cls.description},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for code, rule_cls in sorted(all_rules().items())
+    ]
+
+    def result(finding: Finding, level: str) -> dict:
+        return {
+            "ruleId": finding.code,
+            "level": level,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    },
+                    "logicalLocations": (
+                        [{"fullyQualifiedName": finding.symbol}]
+                        if finding.symbol
+                        else []
+                    ),
+                }
+            ],
+        }
+
+    payload = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tools.analyze",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [result(finding, "warning") for finding in new]
+                + [result(finding, "note") for finding in baselined],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

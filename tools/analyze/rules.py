@@ -1,4 +1,4 @@
-"""The built-in project-invariant rules (RA101–RA110).
+"""The built-in project-invariant rules (RA101–RA115).
 
 Each rule is deliberately narrow: it encodes one convention this
 codebase has committed to, scoped to the files where the convention is
@@ -6,14 +6,19 @@ binding, so a finding is actionable rather than stylistic noise.
 RA101–RA107 are single-method checks; RA108–RA110 are interprocedural
 (call-graph + field-escape summaries from :mod:`tools.analyze.interproc`)
 — the static complement of the runtime happens-before sanitizer in
-:mod:`repro.analysis.racecheck`.
+:mod:`repro.analysis.racecheck`; RA111 is a constructor check; and
+RA112–RA115 are CFG/dataflow rules (taint, lock-held regions, and
+must-pass-guard analyses from :mod:`tools.analyze.dataflow`) — the
+static complement of the runtime plan verifier in
+:mod:`repro.analysis.plancheck`. See docs/ANALYSIS.md for the full
+catalogue with bad/good examples.
 """
 
 from __future__ import annotations
 
 import ast
 
-from tools.analyze import interproc
+from tools.analyze import dataflow, interproc
 from tools.analyze.core import FileContext, Rule, register
 
 #: files whose whole job is timekeeping — exempt from RA101/RA106
@@ -74,6 +79,7 @@ class NoWallClockOutsideObs(Rule):
     code = "RA101"
     name = "no-wall-clock-outside-obs"
     description = "time.time()/perf_counter() outside repro.obs must use obs spans"
+    source_prefilter = ("time",)
 
     @classmethod
     def applies_to(cls, rel_path: str) -> bool:
@@ -115,6 +121,7 @@ class LockDiscipline(Rule):
     code = "RA102"
     name = "lock-with-statement"
     description = "no bare .acquire() without try/finally release; prefer `with lock:`"
+    source_prefilter = ("acquire",)
 
     def __init__(self, ctx: FileContext) -> None:
         super().__init__(ctx)
@@ -204,6 +211,7 @@ class GuardedSharedState(Rule):
     code = "RA103"
     name = "guarded-shared-state"
     description = "self._* container writes in SOE services/transaction need `with self._lock`"
+    source_prefilter = ("Lock",)
 
     #: methods that run before the object is shared
     _SETUP_METHODS = {"__init__", "__post_init__", "__new__"}
@@ -312,6 +320,7 @@ class NoSwallowedBroadExcept(Rule):
     code = "RA104"
     name = "no-swallowed-broad-except"
     description = "except Exception / bare except must re-raise or log"
+    source_prefilter = ("except",)
 
     @staticmethod
     def _is_broad(handler: ast.ExceptHandler) -> bool:
@@ -404,6 +413,7 @@ class ObsRegistrationConventions(Rule):
     code = "RA106"
     name = "obs-registration-at-module-scope"
     description = "registry.counter()/histogram()/gauge() calls belong at module scope or in repro.obs"
+    source_prefilter = ("counter", "histogram", "gauge")
 
     _REGISTRATION = {"counter", "histogram", "gauge"}
 
@@ -451,6 +461,7 @@ class BoundedRetryLoops(Rule):
     code = "RA107"
     name = "bounded-retry-loops"
     description = "while True swallowing RetryableError needs an attempt cap (RetryPolicy.schedule)"
+    source_prefilter = ("while",)
 
     @classmethod
     def applies_to(cls, rel_path: str) -> bool:
@@ -534,6 +545,7 @@ class ThreadEscapeWithoutLock(Rule):
     code = "RA108"
     name = "thread-escape-without-lock"
     description = "method escaping to a thread/callback shares unguarded mutable state"
+    source_prefilter = ("Thread", "Timer", "subscribe", "register_callback", "add_listener", "add_callback")
 
     @classmethod
     def applies_to(cls, rel_path: str) -> bool:
@@ -596,6 +608,7 @@ class CheckThenActRead(Rule):
     code = "RA109"
     name = "check-then-act-read"
     description = "unguarded read of an attribute whose writes are lock-guarded"
+    source_prefilter = ("Lock",)
 
     @classmethod
     def applies_to(cls, rel_path: str) -> bool:
@@ -658,6 +671,7 @@ class UnsafePublicationAfterStart(Rule):
     code = "RA110"
     name = "unsafe-publication-after-start"
     description = "self attribute assigned after Thread.start() on a thread that reads it"
+    source_prefilter = ("Thread", "Timer")
 
     @classmethod
     def applies_to(cls, rel_path: str) -> bool:
@@ -722,6 +736,7 @@ class BoundedQueues(Rule):
     code = "RA111"
     name = "unbounded-queue"
     description = "queue.Queue()/deque() without maxsize/maxlen in soe/streaming/federation/qos"
+    source_prefilter = ("Queue", "deque")
 
     _SCOPES = (
         "repro/soe/",
@@ -793,3 +808,355 @@ class BoundedQueues(Rule):
 
 def _is_none(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
+
+
+# --------------------------------------------------------------------------
+# RA112–RA115: dataflow rules (tools.analyze.dataflow)
+# --------------------------------------------------------------------------
+
+
+class _DataflowRule(Rule):
+    """Shared driver for the CFG-based rules: visit each function once and
+    hand it (plus its cached CFG) to ``check_function``. Subclasses set
+    ``source_prefilter`` so the driver skips files that can't contain the
+    pattern."""
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._symbol_stack.append(node.name)
+        self.check_function(node)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        raise NotImplementedError
+
+
+@register
+class FrozenPlanEntryMutation(_DataflowRule):
+    """RA112 — a value derived from a frozen plan-cache entry is mutated.
+
+    ``PlanCache`` entries are shared across sessions: ``instantiate``
+    must build a substitution *copy*, never write through the frozen
+    spine (the PR 6 frozen-plan bug wrote new literal values into the
+    cached plan, corrupting every later hit of that shape). Taint starts
+    at ``plan_cache.get(...)``/``_entries.get(...)`` results and at
+    parameters annotated ``PlanEntry``, flows through iteration adaptors
+    (``zip``, ``enumerate``), attribute loads, and tuple unpacking; any
+    attribute/subscript store, mutating method call, or
+    ``setattr``/``object.__setattr__`` on a tainted value is a finding.
+    """
+
+    code = "RA112"
+    name = "frozen-plan-entry-mutation"
+    description = "value tainted by a frozen plan-cache entry flows to a mutation site"
+    source_prefilter = ("plan_cache", "plancache", "PlanEntry", "_entries")
+
+    _SETATTR_CALLS = {"setattr", "object.__setattr__"}
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/sql/" in rel_path or "repro/core/" in rel_path
+
+    class _Taint(dataflow.TaintAnalysis):
+        def is_source(self, expr: ast.AST) -> bool:
+            if not (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "get"
+            ):
+                return False
+            receiver = dataflow.canonical_name(expr.func.value, self.env) or ""
+            return (
+                receiver.endswith("_entries")
+                or "plan_cache" in receiver
+                or "plancache" in receiver
+            )
+
+    def check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        seeds = {
+            arg.arg
+            for arg in [*func.args.args, *func.args.posonlyargs, *func.args.kwonlyargs]
+            if arg.annotation is not None and "PlanEntry" in ast.dump(arg.annotation)
+        }
+        if not seeds and not any(
+            token in self.ctx.source for token in ("plan_cache", "plancache", "_entries")
+        ):
+            return
+        cfg = dataflow.get_cfg(self.ctx, func)
+        env = dataflow.get_copy_env(self.ctx, func)
+        analysis = self._Taint(initial_tainted=seeds, env=env)
+        states = analysis.run(cfg)
+        for block, index, kind, node in cfg.elements():
+            state = states.get((block.index, index))
+            if kind != "stmt" or not state:
+                continue
+            self._scan_mutations(node, state)
+
+    def _scan_mutations(self, stmt: ast.AST, tainted: frozenset) -> None:
+        def flag(node: ast.AST, what: str) -> None:
+            self.report(
+                node,
+                f"{what} on a value derived from a frozen plan-cache entry — "
+                "cached plans are shared across sessions and must stay "
+                "immutable; bind constants via a substitution copy "
+                "(plancache.instantiate) instead",
+            )
+
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                            root = dataflow.root_name(leaf)
+                            if root in tainted:
+                                flag(node, "attribute/subscript store")
+                                break
+                    else:
+                        continue
+                    break
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        and dataflow.root_name(target) in tainted
+                    ):
+                        flag(node, "delete")
+            elif isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if name in self._SETATTR_CALLS and node.args:
+                    root = dataflow.root_name(node.args[0])
+                    if root in tainted or (
+                        isinstance(node.args[0], ast.Name)
+                        and node.args[0].id in tainted
+                    ):
+                        flag(node, f"{name}()")
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and dataflow.root_name(node.func.value) in tainted
+                ):
+                    flag(node, f".{node.func.attr}()")
+
+
+@register
+class BlockingCallUnderLock(_DataflowRule):
+    """RA113 — a blocking call is reachable while a lock is held.
+
+    Sleeping or doing IO inside a ``with lock:`` region serialises every
+    thread contending for that lock behind the slow operation — the
+    latency cliff the governor exists to prevent. Lock identity is
+    tracked through local aliases (``lock = self._lock; with lock:``)
+    and held regions through the CFG, so a blocking call in a helper
+    branch of the region is still caught. ``Condition.wait`` is exempt
+    (it releases the lock while waiting).
+    """
+
+    code = "RA113"
+    name = "blocking-call-under-lock"
+    description = "sleep/IO/join reachable while a lock is held"
+    source_prefilter = ("lock", "Lock", "mutex")
+
+    _BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.")
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/" in rel_path
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._sleep_aliases: set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    self._sleep_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cfg = dataflow.get_cfg(self.ctx, func)
+        env = dataflow.get_copy_env(self.ctx, func)
+        states = dataflow.LockHeldAnalysis(env).run(cfg)
+        for block, index, kind, node in cfg.elements():
+            held = states.get((block.index, index))
+            if kind != "stmt" or not held:
+                continue
+            for call, what in self._blocking_calls(node):
+                self.report(
+                    call,
+                    f"{what} while holding {', '.join(sorted(held))} — move "
+                    "the blocking work outside the critical section (snapshot "
+                    "under the lock, block after release)",
+                )
+
+    def _blocking_calls(self, stmt: ast.AST) -> list[tuple[ast.Call, str]]:
+        found: list[tuple[ast.Call, str]] = []
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == "time.sleep" or name in self._sleep_aliases:
+                found.append((node, f"{name}() sleeps"))
+            elif name == "open":
+                found.append((node, "open() does file IO"))
+            elif name.startswith(self._BLOCKING_PREFIXES):
+                found.append((node, f"{name}() blocks on an external resource"))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and not node.args
+                and not node.keywords
+            ):
+                # zero-argument .join() is a thread join; str.join always
+                # takes the iterable positionally
+                found.append((node, ".join() waits on another thread"))
+        return found
+
+
+@register
+class UnchargedRowLoop(_DataflowRule):
+    """RA114 — a storage-scan loop produces rows with no governor charge
+    in sight.
+
+    Every row that leaves a scan must be charged to the query's
+    ``ResourceGovernor`` (docs/QOS.md), or a runaway query sails past
+    its budget. A ``for`` loop over a storage source (partitions,
+    visible positions, scan ordinals) that yields or appends rows needs
+    charge evidence — ``.charge()``, ``.should_stop``,
+    ``.remaining_rows`` — inside the loop or on the path into it.
+    Interior operator loops (join probes, aggregation) are out of
+    scope: their input was already charged at the scan.
+    """
+
+    code = "RA114"
+    name = "uncharged-row-loop"
+    description = "storage-source row loop with no governor charge on the path"
+    source_prefilter = ("governor",)
+
+    _SOURCE_NAMES = {"ordinals", "positions", "partitions", "rows", "batches"}
+    _SOURCE_ATTRS = {"partitions", "visible_positions", "scan", "scan_rows"}
+    _CHARGE_ATTRS = {"charge", "should_stop", "remaining_rows", "charge_planning"}
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/sql/" in rel_path
+
+    def check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if "governor" not in ast.dump(func):
+            return  # interior operator: inputs already charged upstream
+        cfg = dataflow.get_cfg(self.ctx, func)
+        for block, index, kind, node in cfg.elements():
+            if kind != "loop" or not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not self._is_storage_source(node.iter):
+                continue
+            if not self._produces_rows(node):
+                continue
+            if self._has_charge(node):
+                continue
+            if any(
+                self._has_charge(element_node)
+                for reaching in cfg.reaching_blocks(block)
+                for _kind, element_node in reaching.elements
+            ):
+                continue
+            self.report(
+                node,
+                "loop over a storage source emits rows with no governor "
+                "charge inside the loop or on the path into it — charge "
+                "the batch (governor.charge) or gate on should_stop",
+            )
+
+    def _is_storage_source(self, iterable: ast.expr) -> bool:
+        for node in ast.walk(iterable):
+            if isinstance(node, ast.Attribute) and node.attr in self._SOURCE_ATTRS:
+                return True
+            if isinstance(node, ast.Name) and node.id in self._SOURCE_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _produces_rows(loop: ast.For | ast.AsyncFor) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend")
+            ):
+                return True
+        return False
+
+    def _has_charge(self, node: ast.AST) -> bool:
+        for leaf in ast.walk(node):
+            if isinstance(leaf, ast.Attribute) and leaf.attr in self._CHARGE_ATTRS:
+                return True
+        return False
+
+
+@register
+class UnguardedFeedbackObservation(_DataflowRule):
+    """RA115 — ``observe_actual`` is reachable without evaluating the
+    exemption guards.
+
+    A memo-served scan or a governor-truncated batch must *not* record
+    its row count as a true cardinality: the memo would double-record
+    and a degraded count biases future estimates low (the PR 6
+    scan-memo bug class). Every path to an ``observe_actual`` call in
+    engine code must evaluate a test mentioning ``feedback_exempt``,
+    ``should_stop``, or ``degraded`` first — the early-return guard and
+    the enclosing-``if`` both qualify.
+    """
+
+    code = "RA115"
+    name = "unguarded-feedback-observation"
+    description = "observe_actual reachable on a memo-served/degraded path"
+    source_prefilter = ("observe_actual",)
+
+    _GUARD_TOKENS = ("feedback_exempt", "should_stop", "degraded")
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/sql/" in rel_path
+
+    def check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if func.name == "observe_actual":
+            return  # the feedback-store primitive itself, not a call site
+        calls = [
+            node
+            for node in ast.walk(func)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "observe_actual"
+        ]
+        if not calls:
+            return
+        cfg = dataflow.get_cfg(self.ctx, func)
+        env = dataflow.get_copy_env(self.ctx, func)
+        states = dataflow.GuardPassedAnalysis(self._GUARD_TOKENS, env).run(cfg)
+        # map each call to the guard state of the element holding it; a
+        # loop header's element spans only its iterable (the body's calls
+        # live in the body blocks), and unreachable elements stay absent
+        call_states: dict[int, bool] = {}
+        for block, index, kind, node in cfg.elements():
+            state = states.get((block.index, index))
+            if state is None:
+                continue
+            scope: ast.AST = node
+            if kind == "loop" and isinstance(node, (ast.For, ast.AsyncFor)):
+                scope = node.iter
+            for leaf in ast.walk(scope):
+                if isinstance(leaf, ast.Call):
+                    call_states[id(leaf)] = state
+        for call in calls:
+            if call_states.get(id(call), True) is False:
+                self.report(
+                    call,
+                    "observe_actual() reachable without evaluating "
+                    "feedback_exempt/should_stop/degraded — a memo-served or "
+                    "truncated batch would be recorded as a true cardinality",
+                )
