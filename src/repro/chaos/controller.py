@@ -162,6 +162,25 @@ class ChaosController:
                 f"{remote_table!r} (event {event})"
             )
 
+    def on_partition_move(self, donor: str, recipient: str, phase: str) -> None:
+        """Partition-move seam: fired by the mover at every phase
+        boundary; may kill the donor or the recipient node right there.
+        The kill both marks the node dead (so subsequent service access
+        fails) and raises, so the mover's journaled recovery path — not
+        the happy path — finishes the move."""
+        for event, spec in self._due("partition_move"):
+            victim = donor if spec.kind == "kill_donor" else recipient
+            if spec.target is not None and spec.target != victim:
+                continue
+            self._record("partition_move", event, spec)
+            if self.cluster is not None and victim in self.cluster.nodes:
+                self.cluster.nodes[victim].alive = False
+            raise NodeUnavailableError(
+                victim,
+                f"chaos: {spec.kind} killed {victim} at move phase "
+                f"{phase!r} (event {event})",
+            )
+
     def tick(self) -> list[FaultEvent]:
         """Advance the explicit schedule one step (typically one query);
         applies crash/revive faults bound to the ``tick`` seam and returns

@@ -30,6 +30,10 @@ SEAM_KINDS: dict[str, frozenset[str]] = {
     "log_append": frozenset({"stall", "seal"}),      # SharedLog.append
     "remote_scan": frozenset({"outage"}),            # federation RemoteSource.scan
     "tick": frozenset({"crash", "revive"}),          # explicit schedule steps
+    # PartitionMover phase boundaries: each move fires this seam once per
+    # phase transition, so at_event addresses "kill the donor/recipient
+    # just after phase N" deterministically
+    "partition_move": frozenset({"kill_donor", "kill_recipient"}),
 }
 
 

@@ -144,6 +144,17 @@ class ClusterError(SoeError):
     """Cluster membership / service orchestration failure."""
 
 
+class MoveError(ClusterError):
+    """Online partition movement failed. Failures in any pre-flip phase
+    roll back completely (the donor stays authoritative, the recipient's
+    staging copy is garbage-collected); post-flip failures roll forward."""
+
+
+class MoveAbortedError(MoveError):
+    """A move was aborted and rolled back; the donor remains the sole
+    catalog owner of the partition."""
+
+
 class NodeUnavailableError(ClusterError, RetryableError):
     """A node is (currently) down — a replica or a later retry may serve."""
 

@@ -68,6 +68,8 @@ class SoeEngine:
         self.chaos = chaos
         self.clock = chaos.clock if chaos is not None else SimulatedClock()
         policy = retry_policy or RetryPolicy()
+        #: shared by broker/coordinator and the movement factories below
+        self._retry_policy = policy
         #: a repro.qos BreakerConfig arms circuit breakers on the two SOE
         #: overload seams: cluster transfer and shared-log append
         self.breakers: dict[str, Any] = {}
@@ -244,6 +246,39 @@ class SoeEngine:
             consistency=consistency,
         )
         return self.coordinator.run_join(query)
+
+    # -- online data movement -----------------------------------------------------------------
+
+    def make_mover(self, governor: Any = None, **kwargs: Any) -> Any:
+        """A :class:`~repro.soe.movement.PartitionMover` wired to this
+        landscape (shared clock, retry policy, transfer breaker, chaos)."""
+        from repro.soe.movement import PartitionMover
+
+        return PartitionMover(
+            cluster=self.cluster,
+            catalog=self.catalog,
+            broker=self.broker,
+            data_nodes=self.data_nodes,
+            clock=self.clock,
+            retry_policy=self._retry_policy,
+            transfer_breaker=self.breakers.get("soe.transfer"),
+            chaos=self.chaos,
+            governor=governor,
+            **kwargs,
+        )
+
+    def make_rebalancer(self, mover: Any = None, **kwargs: Any) -> Any:
+        """An :class:`~repro.soe.movement.AutoRebalancer` consuming this
+        landscape's v2stats hotspot signal."""
+        from repro.soe.movement import AutoRebalancer
+
+        return AutoRebalancer(
+            mover=mover or self.make_mover(),
+            stats=self.stats,
+            catalog=self.catalog,
+            cluster=self.cluster,
+            **kwargs,
+        )
 
     # -- monitoring ---------------------------------------------------------------------------
 

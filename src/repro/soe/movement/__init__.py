@@ -1,0 +1,27 @@
+"""repro.soe.movement — online, crash-safe partition movement.
+
+The paper's v2clustermgr "orchestrate[s] data movement … to identify
+hotspots or to monitor performance goals" (§IV.B). This package is the
+online half of that loop: :class:`PartitionMover` migrates a partition
+between data nodes *while queries run*, via a five-phase, journaled,
+crash-safe protocol (snapshot copy → CORFU catch-up → atomic ownership
+flip → drain → trim), and :class:`AutoRebalancer` drives it off the
+v2stats hotspot signal. See docs/ARCHITECTURE.md, "Online data
+movement".
+"""
+
+from repro.soe.movement.mover import (
+    PHASES,
+    MoveJournal,
+    MoveState,
+    PartitionMover,
+)
+from repro.soe.movement.rebalancer import AutoRebalancer
+
+__all__ = [
+    "PHASES",
+    "AutoRebalancer",
+    "MoveJournal",
+    "MoveState",
+    "PartitionMover",
+]

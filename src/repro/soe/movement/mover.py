@@ -1,0 +1,520 @@
+"""The five-phase, crash-safe online partition migration protocol.
+
+Phases (each transition is a journaled :class:`MoveState` record and a
+``partition_move`` chaos seam event):
+
+1. **snapshot_copy** — clone the partition at a pinned MVCC position
+   (:meth:`DataNode.snapshot_partition` takes the copy and the donor's
+   log-apply cursor atomically) and ship it; the donor keeps serving
+   reads and applying the log the whole time.
+2. **catch_up** — replay the committed delta from the CORFU shared log
+   (``broker.read_since(snapshot_lsn)``) into the staged copy until its
+   staleness against the log tail is within bound.
+3. **flip** — the commit point: install ownership on the recipient,
+   swap the catalog placement in one locked transaction
+   (:meth:`CatalogService.swap_placement`), release on the donor — all
+   through the locked ownership API, install-before-release, so there
+   is never a zero-owner window and a transient dual copy is harmless
+   (both sides are log-consistent).
+4. **drain** — the donor retains its (released) copy so in-flight
+   queries that pinned it finish against local data; the mover waits a
+   bounded number of rounds for the pins to release.
+5. **trim** — free the retained donor copy (deferred, never forced, if
+   still pinned).
+
+Crash safety is the journal + the flip ordering: any failure *before*
+the catalog swap rolls back — the donor stays the sole authoritative
+owner and the recipient's staging state is garbage-collected; any
+failure *after* it rolls forward — the recipient is the owner and the
+donor's leftovers are trimmed. A restarted mover replays the same
+decision from the journaled ``flip_committed`` bit (:meth:`resume`),
+so recovery is deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import obs
+from repro.analysis.racecheck import track_fields
+from repro.errors import (
+    MoveAbortedError,
+    MoveError,
+    NodeUnavailableError,
+    QosError,
+    SoeError,
+)
+from repro.soe.replication import DataNode, apply_to_partition
+from repro.util.retry import RetryPolicy, SimulatedClock
+
+#: protocol phases in order; the chaos ``partition_move`` seam fires once
+#: per transition, so ``at_event=k`` kills at the start of ``PHASES[k]``
+PHASES: tuple[str, ...] = ("snapshot_copy", "catch_up", "flip", "drain", "trim")
+
+#: terminal journal states
+_DONE = "done"
+_ABORTED = "aborted"
+
+
+@dataclass
+class MoveState:
+    """The journaled state of one partition move."""
+
+    move_id: str
+    table: str
+    partition_id: int
+    donor: str
+    recipient: str
+    phase: str = "pending"
+    #: donor log-apply cursor the snapshot copy reflects
+    snapshot_lsn: int = -1
+    #: log position the staged copy has been caught up to
+    applied_lsn: int = -1
+    #: True once the catalog placement swap committed — the protocol's
+    #: single durable decision bit: False ⇒ roll back, True ⇒ roll forward
+    flip_committed: bool = False
+    aborted: bool = False
+    rolled_forward: bool = False
+    trimmed: bool = False
+    bytes_copied: int = 0
+    catchup_ops: int = 0
+    retries: int = 0
+    history: list[str] = field(default_factory=list)
+    error: str = ""
+    #: the in-flight staged copy — process state, deliberately *not*
+    #: journaled: a restarted mover cannot resume a half-shipped copy, it
+    #: rolls back to the donor instead
+    staging: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def done(self) -> bool:
+        return self.phase in (_DONE, _ABORTED)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "move_id": self.move_id,
+            "table": self.table,
+            "partition_id": self.partition_id,
+            "donor": self.donor,
+            "recipient": self.recipient,
+            "phase": self.phase,
+            "snapshot_lsn": self.snapshot_lsn,
+            "applied_lsn": self.applied_lsn,
+            "flip_committed": self.flip_committed,
+            "aborted": self.aborted,
+            "rolled_forward": self.rolled_forward,
+            "trimmed": self.trimmed,
+            "bytes_copied": self.bytes_copied,
+            "catchup_ops": self.catchup_ops,
+            "retries": self.retries,
+            "history": list(self.history),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "MoveState":
+        state = cls(
+            move_id=record["move_id"],
+            table=record["table"],
+            partition_id=record["partition_id"],
+            donor=record["donor"],
+            recipient=record["recipient"],
+        )
+        for key in (
+            "phase",
+            "snapshot_lsn",
+            "applied_lsn",
+            "flip_committed",
+            "aborted",
+            "rolled_forward",
+            "trimmed",
+            "bytes_copied",
+            "catchup_ops",
+            "retries",
+            "error",
+        ):
+            if key in record:
+                setattr(state, key, record[key])
+        state.history = list(record.get("history", ()))
+        return state
+
+
+@track_fields("_records")
+class MoveJournal:
+    """Append-only per-move phase journal (the crash-recovery source of
+    truth — everything a restarted mover needs is in the latest record)."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, state: MoveState) -> None:
+        with self._lock:
+            self._records.setdefault(state.move_id, []).append(state.to_dict())
+
+    def entries(self, move_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._records.get(move_id, ())]
+
+    def latest(self, move_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            records = self._records.get(move_id)
+            return dict(records[-1]) if records else None
+
+    def move_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def open_moves(self) -> list[str]:
+        """Moves whose latest journaled phase is not terminal — the set a
+        restarted mover must resume (roll forward) or roll back."""
+        with self._lock:
+            return sorted(
+                move_id
+                for move_id, records in self._records.items()
+                if records and records[-1]["phase"] not in (_DONE, _ABORTED)
+            )
+
+
+@track_fields("_moves")
+class PartitionMover:
+    """Runs the five-phase online migration protocol against a landscape.
+
+    ``phase_hook`` (if given) is called with the :class:`MoveState` at
+    every phase transition *before* the chaos seam fires — tests use it
+    to run queries and commit writes mid-move, proving the donor keeps
+    serving and the catch-up phase absorbs concurrent commits.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        catalog: Any,
+        broker: Any,
+        data_nodes: dict[str, DataNode],
+        *,
+        clock: SimulatedClock | None = None,
+        retry_policy: RetryPolicy | None = None,
+        transfer_breaker: Any = None,
+        chaos: Any = None,
+        governor: Any = None,
+        staleness_bound: int = 0,
+        max_catchup_rounds: int = 8,
+        drain_rounds: int = 4,
+        drain_wait_seconds: float = 0.001,
+        journal: MoveJournal | None = None,
+        phase_hook: Callable[[MoveState], None] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.broker = broker
+        self.data_nodes = data_nodes
+        self.clock = clock or SimulatedClock()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.transfer_breaker = transfer_breaker
+        self.chaos = chaos
+        self.governor = governor
+        self.staleness_bound = staleness_bound
+        self.max_catchup_rounds = max_catchup_rounds
+        self.drain_rounds = drain_rounds
+        self.drain_wait_seconds = drain_wait_seconds
+        self.journal = journal or MoveJournal()
+        self.phase_hook = phase_hook
+        self._moves: dict[str, MoveState] = {}
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def move(
+        self,
+        table: str,
+        partition_id: int,
+        donor: str,
+        recipient: str,
+        *,
+        raise_on_abort: bool = False,
+    ) -> MoveState:
+        """Migrate one partition online; returns the final (terminal)
+        :class:`MoveState`. A failure mid-protocol does not raise — it
+        rolls back or forward per the journal and reports through
+        ``state.aborted`` / ``state.error`` (``raise_on_abort`` upgrades
+        a rollback to :class:`~repro.errors.MoveAbortedError`). Usage
+        errors — unknown nodes, unowned partition, governor-degraded
+        landscape — raise :class:`~repro.errors.MoveError` before any
+        state changes."""
+        state = self._begin(table.lower(), partition_id, donor, recipient)
+        with obs.span(
+            "soe.movement.move",
+            table=state.table,
+            partition=str(partition_id),
+            donor=donor,
+            recipient=recipient,
+        ):
+            try:
+                self._snapshot_copy(state)
+                self._catch_up(state)
+                self._flip(state)
+                self._drain(state)
+                self._trim(state)
+                self._finish(state, _DONE)
+            except (SoeError, QosError) as exc:
+                self._recover(state, exc)
+        if state.aborted and raise_on_abort:
+            raise MoveAbortedError(
+                f"move {state.move_id} aborted: {state.error}"
+            )
+        return state
+
+    def resume(self, move_id: str) -> MoveState:
+        """Finish an interrupted move from its journal: roll forward if
+        the flip committed, roll back otherwise. Deterministic — the
+        decision is a pure function of the latest journal record."""
+        record = self.journal.latest(move_id)
+        if record is None:
+            raise MoveError(f"no journal for move {move_id!r}")
+        state = MoveState.from_dict(record)
+        if state.done:
+            return state
+        with self._lock:
+            self._moves[state.move_id] = state
+        obs.count("soe.movement.resumes")
+        if state.flip_committed:
+            self._roll_forward(state)
+        else:
+            self._rollback(state, "resumed before flip commit")
+        return state
+
+    def recover_all(self) -> list[MoveState]:
+        """Resume every open journaled move (a restarted mover's first
+        act)."""
+        return [self.resume(move_id) for move_id in self.journal.open_moves()]
+
+    def moves(self) -> list[MoveState]:
+        with self._lock:
+            return [self._moves[k] for k in sorted(self._moves)]
+
+    # -- protocol phases ----------------------------------------------------
+
+    def _begin(
+        self, table: str, partition_id: int, donor: str, recipient: str
+    ) -> MoveState:
+        if donor == recipient:
+            raise MoveError(
+                f"cannot move {table}#{partition_id} onto its own host"
+            )
+        if donor not in self.data_nodes:
+            raise MoveError(f"unknown donor node {donor!r}")
+        if recipient not in self.data_nodes:
+            raise MoveError(f"unknown recipient node {recipient!r}")
+        if self.governor is not None and self.governor.should_stop:
+            obs.count("soe.movement.deferred")
+            raise MoveError(
+                f"move of {table}#{partition_id} deferred: "
+                "resource governor reports degraded landscape"
+            )
+        donor_node = self.data_nodes[donor]
+        if partition_id not in donor_node.owned_partitions(table):
+            raise MoveError(f"{donor} does not own {table}#{partition_id}")
+        if partition_id in self.data_nodes[recipient].owned_partitions(table):
+            raise MoveError(f"{recipient} already owns {table}#{partition_id}")
+        if donor not in self.catalog.nodes_of(table, partition_id):
+            raise MoveError(
+                f"catalog does not place {table}#{partition_id} on {donor}"
+            )
+        with self._lock:
+            self._sequence += 1
+            state = MoveState(
+                move_id=f"move-{self._sequence:04d}-{table}#{partition_id}",
+                table=table,
+                partition_id=partition_id,
+                donor=donor,
+                recipient=recipient,
+            )
+            self._moves[state.move_id] = state
+        self.journal.record(state)
+        obs.count("soe.movement.started")
+        return state
+
+    def _phase(self, state: MoveState, phase: str) -> None:
+        """One phase transition: journal it, let user work interleave,
+        then give chaos its shot at killing a participant right here."""
+        state.phase = phase
+        state.history.append(phase)
+        self.journal.record(state)
+        obs.count("soe.movement.phases", phase=phase)
+        if self.phase_hook is not None:
+            self.phase_hook(state)
+        if self.chaos is not None:
+            self.chaos.on_partition_move(state.donor, state.recipient, phase)
+
+    def _snapshot_copy(self, state: MoveState) -> None:
+        self._phase(state, "snapshot_copy")
+        donor_node = self.data_nodes[state.donor]
+        clone, snapshot_lsn = donor_node.snapshot_partition(
+            state.table, state.partition_id
+        )
+        state.snapshot_lsn = snapshot_lsn
+        state.applied_lsn = snapshot_lsn
+        state.bytes_copied = clone.size_bytes()
+        if self.governor is not None:
+            # the copy is real work: charge it so migrations degrade
+            # before queries do (BudgetExceededError aborts the move)
+            self.governor.charge(rows=len(clone), bytes_=state.bytes_copied)
+        self._transfer(state, state.bytes_copied)
+        state.staging = clone
+        self.journal.record(state)
+
+    def _catch_up(self, state: MoveState) -> None:
+        self._phase(state, "catch_up")
+        donor_node = self.data_nodes[state.donor]
+        key_positions, partition_count = donor_node.ownership_meta(state.table)
+        for _ in range(self.max_catchup_rounds):
+            tail = self.broker.current_lsn
+            if tail - state.applied_lsn <= self.staleness_bound:
+                break
+            round_rows = 0
+            for address, operations in self.broker.read_since(state.applied_lsn):
+                if address >= tail:
+                    break
+                round_rows += apply_to_partition(
+                    state.staging, operations, key_positions, partition_count
+                )
+                state.applied_lsn = address + 1
+            state.catchup_ops += round_rows
+            obs.count("soe.movement.catchup_rounds")
+            if self.governor is not None and round_rows:
+                self.governor.charge(rows=round_rows)
+        if self.broker.current_lsn - state.applied_lsn > self.staleness_bound:
+            raise MoveError(
+                f"catch-up did not converge within {self.max_catchup_rounds} "
+                f"rounds (staleness "
+                f"{self.broker.current_lsn - state.applied_lsn} > "
+                f"bound {self.staleness_bound})"
+            )
+        self.journal.record(state)
+
+    def _flip(self, state: MoveState) -> None:
+        self._phase(state, "flip")
+
+        def commit() -> None:
+            self.catalog.swap_placement(
+                state.table, state.partition_id, state.donor, state.recipient
+            )
+            # the durable decision bit: journaled the instant the catalog
+            # swap lands, so recovery rolls the same way the catalog reads
+            state.flip_committed = True
+            self.journal.record(state)
+
+        DataNode.transfer_ownership(
+            self.data_nodes[state.donor],
+            self.data_nodes[state.recipient],
+            state.table,
+            state.staging,
+            partition_lsn=state.applied_lsn,
+            retain_on_donor=True,
+            commit=commit,
+        )
+        state.staging = None
+        obs.count("soe.movement.flips")
+
+    def _drain(self, state: MoveState) -> None:
+        self._phase(state, "drain")
+        donor_node = self.data_nodes[state.donor]
+        for _ in range(self.drain_rounds):
+            if donor_node.pin_count(state.table, state.partition_id) == 0:
+                return
+            self.clock.advance(self.drain_wait_seconds)
+
+    def _trim(self, state: MoveState) -> None:
+        self._phase(state, "trim")
+        self._trim_retained(state)
+
+    def _trim_retained(self, state: MoveState) -> None:
+        donor_node = self.data_nodes.get(state.donor)
+        if donor_node is None:
+            return
+        try:
+            state.trimmed = donor_node.drop_retained(
+                state.table, state.partition_id
+            )
+        except SoeError:
+            # still pinned — leave the retained copy; harmless (it is no
+            # longer owned, so the log is not applied to it) and a later
+            # trim pass or node restart frees it
+            obs.count("soe.movement.trim_deferred")
+
+    # -- transfer with retries ---------------------------------------------
+
+    def _transfer(self, state: MoveState, payload_bytes: int) -> float:
+        def send() -> float:
+            self._check_alive(state.donor)
+            self._check_alive(state.recipient)
+            return self.cluster.transfer(state.donor, state.recipient, payload_bytes)
+
+        def attempt() -> float:
+            if self.transfer_breaker is not None:
+                return self.transfer_breaker.call(send)
+            return send()
+
+        def on_retry(attempt_number: int, exc: Exception) -> None:
+            state.retries += 1
+            obs.count("soe.movement.transfer_retries")
+
+        return self.retry_policy.call(attempt, clock=self.clock, on_retry=on_retry)
+
+    def _check_alive(self, node_id: str) -> None:
+        node = self.cluster.nodes.get(node_id)
+        if node is not None and not node.alive:
+            raise NodeUnavailableError(
+                node_id, f"node {node_id} is down mid-move"
+            )
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self, state: MoveState, exc: Exception) -> None:
+        state.error = f"{type(exc).__name__}: {exc}"
+        if state.flip_committed:
+            self._roll_forward(state)
+        else:
+            self._rollback(state, state.error)
+
+    def _rollback(self, state: MoveState, reason: str) -> None:
+        """Pre-flip failure: the donor stays authoritative; any
+        recipient-side staging state is garbage-collected."""
+        state.error = state.error or reason
+        state.staging = None
+        recipient_node = self.data_nodes.get(state.recipient)
+        if (
+            recipient_node is not None
+            and state.partition_id in recipient_node.owned_partitions(state.table)
+        ):
+            # install happened but the catalog swap did not: undo it
+            recipient_node.release_ownership(state.table, state.partition_id)
+        state.aborted = True
+        obs.count("soe.movement.rollbacks")
+        self._finish(state, _ABORTED)
+
+    def _roll_forward(self, state: MoveState) -> None:
+        """Post-flip failure: the recipient is the owner; finish the
+        donor-side release and trim."""
+        donor_node = self.data_nodes.get(state.donor)
+        if (
+            donor_node is not None
+            and state.partition_id in donor_node.owned_partitions(state.table)
+        ):
+            donor_node.release_ownership(
+                state.table, state.partition_id, retain_data=True
+            )
+        self._trim_retained(state)
+        state.rolled_forward = True
+        obs.count("soe.movement.roll_forwards")
+        self._finish(state, _DONE)
+
+    def _finish(self, state: MoveState, outcome: str) -> None:
+        state.phase = outcome
+        state.history.append(outcome)
+        self.journal.record(state)
+        obs.count("soe.movement.moves", outcome=outcome)

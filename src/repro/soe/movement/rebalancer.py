@@ -1,0 +1,108 @@
+"""Hotspot-driven auto-rebalancing: the closed v2stats loop (§IV.B).
+
+"It can access statistical information about the current cluster usage
+in order to identify hotspots" — :class:`AutoRebalancer` consumes
+:meth:`ClusterStatisticsService.hotspots` over the *windowed* load view
+(so a node that was hot an hour ago does not keep shedding partitions)
+and issues a bounded number of online moves per step through the
+:class:`~repro.soe.movement.mover.PartitionMover`. Every decision is
+deterministic: hotspots arrive sorted, targets tie-break on node id,
+and the shed partition is the lowest-numbered one the donor primaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.errors import MoveError
+from repro.soe.movement.mover import MoveState, PartitionMover
+
+
+class AutoRebalancer:
+    """Sheds partitions off hotspot nodes onto the coldest live peer."""
+
+    def __init__(
+        self,
+        mover: PartitionMover,
+        stats: Any,
+        catalog: Any,
+        cluster: Any,
+        *,
+        hotspot_factor: float = 2.0,
+        max_moves_per_step: int = 1,
+        governor: Any = None,
+    ) -> None:
+        self.mover = mover
+        self.stats = stats
+        self.catalog = catalog
+        self.cluster = cluster
+        self.hotspot_factor = hotspot_factor
+        self.max_moves_per_step = max_moves_per_step
+        self.governor = governor
+        self.steps = 0
+
+    def step(self) -> list[MoveState]:
+        """One supervision tick: detect hotspots in the current load
+        window, issue at most ``max_moves_per_step`` online moves.
+        Returns the terminal move states (which may include aborts —
+        the caller sees exactly what chaos did to each move)."""
+        self.steps += 1
+        if self.governor is not None and self.governor.should_stop:
+            # migrations are the *least* urgent work on a degraded
+            # landscape: back off and let queries have the budget
+            obs.count("soe.movement.rebalancer_deferred")
+            return []
+        hotspots = self.stats.hotspots(self.hotspot_factor, window=True)
+        moves: list[MoveState] = []
+        for donor in hotspots:
+            if len(moves) >= self.max_moves_per_step:
+                break
+            state = self._shed_one(donor)
+            if state is not None:
+                moves.append(state)
+        return moves
+
+    def _shed_one(self, donor: str) -> MoveState | None:
+        """Move the lowest-numbered primary partition off ``donor`` onto
+        the live node primarying the fewest partitions of the same table
+        (ties break on node id). Skips the donor when no move would
+        actually level the placement."""
+        if not self._alive(donor):
+            return None
+        for table in self.catalog.tables():
+            placement = self.catalog.placement_of(table)
+            if not placement:
+                continue
+            primaries: dict[str, list[int]] = {}
+            for partition_id, nodes in placement.items():
+                primaries.setdefault(nodes[0], []).append(partition_id)
+            for node_id in self.stats.query_services:
+                primaries.setdefault(node_id, [])
+            donor_partitions = sorted(primaries.get(donor, ()))
+            if not donor_partitions:
+                continue
+            candidates = [
+                node_id
+                for node_id in primaries
+                if node_id != donor and self._alive(node_id)
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda n: (len(primaries[n]), n))
+            if len(donor_partitions) <= len(primaries[target]) + 1:
+                # moving would just swap the imbalance around
+                continue
+            for partition_id in donor_partitions:
+                try:
+                    state = self.mover.move(table, partition_id, donor, target)
+                except MoveError:
+                    obs.count("soe.movement.rebalancer_skips")
+                    continue
+                obs.count("soe.movement.rebalancer_moves")
+                return state
+        return None
+
+    def _alive(self, node_id: str) -> bool:
+        node = self.cluster.nodes.get(node_id)
+        return node is not None and node.alive

@@ -82,6 +82,26 @@ class CatalogService:
             if node_id in nodes:
                 nodes.remove(node_id)
 
+    def swap_placement(
+        self, table: str, partition_id: int, from_node: str, to_node: str
+    ) -> None:
+        """Atomically retarget one replica slot from ``from_node`` to
+        ``to_node`` — a single lock region, so discovery never observes a
+        window with zero owners (or with both) during a partition move.
+        This is the ownership flip's commit point: the movement protocol
+        treats a completed swap as committed and everything before it as
+        rollback-able."""
+        with self._lock:
+            nodes = self._placement.get((table, partition_id))
+            if not nodes or from_node not in nodes:
+                raise CoordinationError(
+                    f"{from_node} does not host {table}#{partition_id}"
+                )
+            if to_node in nodes:
+                nodes.remove(from_node)
+            else:
+                nodes[nodes.index(from_node)] = to_node
+
     def nodes_of(self, table: str, partition_id: int) -> list[str]:
         with self._lock:
             nodes = self._placement.get((table, partition_id))

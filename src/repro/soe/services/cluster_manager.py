@@ -23,7 +23,7 @@ from typing import Any
 from repro import obs
 from repro.errors import ClusterError
 from repro.soe.cluster import SimulatedCluster
-from repro.soe.partitions import PrepackagedPartition
+from repro.soe.replication import DataNode
 from repro.soe.services.catalog_service import CatalogService
 from repro.soe.services.discovery import DiscoveryService
 from repro.soe.services.query_service import QueryService
@@ -38,6 +38,8 @@ class ClusterStatisticsService:
     #: counters are unreachable in a real landscape, and folding its frozen
     #: load into the mean poisons hotspot detection
     cluster: SimulatedCluster | None = None
+    #: per-node counter values at the last window_load() call
+    _window_marks: dict[str, int] = field(default_factory=dict, repr=False)
 
     def register(self, service: QueryService) -> None:
         self.query_services[service.node_id] = service
@@ -57,11 +59,26 @@ class ClusterStatisticsService:
             loads[node_id] = service.rows_processed
         return loads
 
-    def hotspots(self, factor: float = 2.0) -> list[str]:
+    def window_load(self) -> dict[str, int]:
+        """Rows processed per live node *since the previous call* — the
+        windowed view the auto-rebalancer steers by, so a node that was
+        hot an hour ago but is balanced now does not keep shedding
+        partitions off its historical counters."""
+        loads = self.node_load()
+        delta = {
+            node_id: load - self._window_marks.get(node_id, 0)
+            for node_id, load in loads.items()
+        }
+        self._window_marks.update(loads)
+        return delta
+
+    def hotspots(self, factor: float = 2.0, *, window: bool = False) -> list[str]:
         """Live nodes whose load exceeds ``factor`` × mean live load
         (dead nodes drop out via :meth:`node_load`, so they can neither
-        be hotspots nor drag the mean down)."""
-        loads = self.node_load()
+        be hotspots nor drag the mean down). With ``window`` the
+        comparison uses :meth:`window_load` deltas instead of the
+        cumulative counters."""
+        loads = self.window_load() if window else self.node_load()
         if not loads:
             return []
         mean = sum(loads.values()) / len(loads)
@@ -119,33 +136,58 @@ class ClusterManager:
         """Ship one prepackaged partition between nodes; returns the
         simulated transfer seconds (this is the "fast distribution of the
         data when scaling out" path — the partition travels as one
-        payload)."""
+        payload).
+
+        This is the *offline fast path*: one snapshot, one transfer, one
+        flip, no catch-up or drain — correct only while no writes race
+        the move. The crash-safe online protocol (queries and log-applied
+        writes keep running) is :class:`repro.soe.movement.PartitionMover`.
+        The flip goes through the locked ownership API
+        (:meth:`DataNode.transfer_ownership`) and the catalog's
+        single-transaction :meth:`CatalogService.swap_placement` —
+        install-before-discard, so a failure at any point (a dropped
+        transfer raises before anything mutates) never loses the
+        partition or leaves it owner-less.
+        """
+        if source_node == target_node:
+            raise ClusterError(
+                f"cannot move {table}#{partition_id} onto its own host"
+            )
         source = self.cluster.node(source_node).service("v2lqp")
         target = self.cluster.node(target_node).service("v2lqp")
-        partition = source.data_node.store.remove(table, partition_id)
-        if partition is None:
+        donor: DataNode = source.data_node
+        if not donor.store.has_partition(table, partition_id):
             raise ClusterError(
                 f"{source_node} does not host {table}#{partition_id}"
             )
-        payload = partition.to_payload()
+        clone, partition_lsn = donor.snapshot_partition(table, partition_id)
         seconds = self.cluster.transfer(
-            source_node, target_node, partition.size_bytes()
+            source_node, target_node, clone.size_bytes()
         )
-        target.data_node.store.install(PrepackagedPartition.from_payload(payload))
-        source.data_node._ownership[table][0].discard(partition_id)
-        target_ownership = target.data_node._ownership.setdefault(
+        DataNode.transfer_ownership(
+            donor,
+            target.data_node,
             table,
-            (set(), *source.data_node._ownership[table][1:]),
+            clone,
+            partition_lsn=partition_lsn,
+            commit=lambda: self.catalog.swap_placement(
+                table, partition_id, source_node, target_node
+            ),
         )
-        target_ownership[0].add(partition_id)
-        self.catalog.unplace_partition(table, partition_id, source_node)
-        self.catalog.place_partition(table, partition_id, target_node)
+        obs.count("soe.movement.offline_moves")
         return seconds
 
     def rebalance(self, table: str) -> list[tuple[int, str, str]]:
         """Greedy move partitions from the most- to the least-loaded node.
 
-        Returns the moves performed as (partition id, source, target).
+        Deterministic: load ties break on node id, and the moved
+        partition is always the lowest-numbered one on the donor.
+        Failure-aware: a failed move leaves the bookkeeping untouched
+        (``move_partition`` mutates nothing on failure), is counted, and
+        the (partition, donor, target) lane is excluded from further
+        attempts — no infinite loop against a dead node, no stale
+        ``count_per_node``. Returns the moves performed as
+        (partition id, source, target).
         """
         placement = self.catalog.placement_of(table)
         count_per_node: dict[str, list[int]] = {}
@@ -153,14 +195,41 @@ class ClusterManager:
             count_per_node.setdefault(nodes[0], []).append(partition_id)
         for node_id in self.discovery.locate("v2lqp"):
             count_per_node.setdefault(node_id, [])
+        for partition_ids in count_per_node.values():
+            partition_ids.sort()
         moves: list[tuple[int, str, str]] = []
+        failed: set[tuple[int, str, str]] = set()
         while True:
-            most = max(count_per_node, key=lambda n: len(count_per_node[n]))
-            least = min(count_per_node, key=lambda n: len(count_per_node[n]))
+            live_targets = [
+                node_id
+                for node_id in count_per_node
+                if self.cluster.node(node_id).alive
+            ]
+            if not live_targets:
+                break
+            most = min(
+                count_per_node, key=lambda n: (-len(count_per_node[n]), n)
+            )
+            least = min(
+                live_targets, key=lambda n: (len(count_per_node[n]), n)
+            )
             if len(count_per_node[most]) - len(count_per_node[least]) <= 1:
                 break
-            partition_id = count_per_node[most].pop()
-            self.move_partition(table, partition_id, most, least)
+            candidates = [
+                partition_id
+                for partition_id in count_per_node[most]
+                if (partition_id, most, least) not in failed
+            ]
+            if not candidates:
+                break
+            partition_id = candidates[0]
+            try:
+                self.move_partition(table, partition_id, most, least)
+            except ClusterError:
+                obs.count("soe.rebalance.failed_moves")
+                failed.add((partition_id, most, least))
+                continue
+            count_per_node[most].remove(partition_id)
             count_per_node[least].append(partition_id)
             moves.append((partition_id, most, least))
         return moves

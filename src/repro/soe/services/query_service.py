@@ -48,17 +48,22 @@ class QueryService:
         self.tasks_executed += 1
         obs.count("soe.query_service.tasks", kind=task.kind, node=self.node_id)
         with obs.latency("soe.query_service.task_seconds", kind=task.kind, node=self.node_id):
-            if task.kind == "partial_aggregate":
-                return self._partial_aggregate(task)
-            if task.kind == "build_hash":
-                return self._build_hash(task)
-            if task.kind == "join_partial":
-                return self._join_partial(task, inputs)
-            if task.kind == "scan_ship":
-                return self._scan_ship(task)
-            raise CoordinationError(
-                f"query service cannot execute task kind {task.kind!r}"
-            )
+            # pin the task's partitions so a concurrent partition move
+            # cannot trim a retained donor copy out from under this scan
+            with self.data_node.pinned(
+                task.params.get("table"), task.params.get("partitions", ())
+            ):
+                if task.kind == "partial_aggregate":
+                    return self._partial_aggregate(task)
+                if task.kind == "build_hash":
+                    return self._build_hash(task)
+                if task.kind == "join_partial":
+                    return self._join_partial(task, inputs)
+                if task.kind == "scan_ship":
+                    return self._scan_ship(task)
+                raise CoordinationError(
+                    f"query service cannot execute task kind {task.kind!r}"
+                )
 
     # -- kernels ------------------------------------------------------------------
 

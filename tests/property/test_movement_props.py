@@ -1,0 +1,90 @@
+"""Property: a move killed before its flip commit is exactly a no-op.
+
+For any partition, any kill kind, and any pre-flip phase boundary, the
+aborted move leaves the landscape bit-identical to not having moved at
+all: same catalog placement, same per-node ownership sets, same
+per-node store contents — even with a committed-but-unapplied log
+suffix in flight — and no committed row is lost. This is the rollback
+half of the crash-safety contract; the roll-forward half is covered by
+the deterministic kill matrix in tests/chaos/test_movement_chaos.py.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosController, FaultPlan, FaultSpec
+from repro.soe.engine import SoeEngine
+from repro.soe.movement import PHASES
+
+SEED_OFFSET = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+ROWS = [[i, f"r{i % 3}", float(i % 7)] for i in range(60)]
+PRE_FLIP_BOUNDARIES = range(PHASES.index("flip") + 1)
+
+
+def build_soe(chaos: ChaosController | None = None) -> SoeEngine:
+    soe = SoeEngine(node_count=3, node_modes="olap", chaos=chaos)
+    soe.create_table(
+        "readings", ["sensor_id", "region", "value"], ["sensor_id"], partition_count=4
+    )
+    soe.load("readings", ROWS)
+    return soe
+
+
+def raw_fingerprint(soe: SoeEngine):
+    """Placement, ownership, and store contents — *without* forcing any
+    catch-up, so a rollback that secretly applied or dropped anything
+    shows up."""
+    placement = soe.catalog.placement_of("readings")
+    ownership = {}
+    stores = {}
+    for node_id, node in soe.data_nodes.items():
+        ownership[node_id] = sorted(node.owned_partitions("readings"))
+        stores[node_id] = sorted(
+            (p.partition_id, sorted(p.rows()))
+            for p in node.store.partitions_of("readings")
+        )
+    return placement, ownership, stores
+
+
+@given(
+    phase_index=st.sampled_from(list(PRE_FLIP_BOUNDARIES)),
+    kind=st.sampled_from(["kill_donor", "kill_recipient"]),
+    partition_choice=st.integers(min_value=0, max_value=2**16),
+    extra_rows=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_preflip_kill_makes_move_a_noop(
+    phase_index, kind, partition_choice, extra_rows
+):
+    plan = FaultPlan([FaultSpec(kind, "partition_move", phase_index)])
+    chaos = ChaosController(plan)
+    soe = build_soe(chaos=chaos)
+    if extra_rows:
+        # a committed-but-unapplied log suffix in flight: catch-up reads
+        # it into the staging copy, and the rollback must discard that
+        # copy without touching any node's real store
+        soe.insert(
+            "readings",
+            [[10_000 + SEED_OFFSET + i, "new", 1.0] for i in range(extra_rows)],
+        )
+    donor_partitions = soe.catalog.partitions_on("readings", "worker0")
+    pid = donor_partitions[partition_choice % len(donor_partitions)]
+
+    before = raw_fingerprint(soe)
+    state = soe.make_mover().move("readings", pid, "worker0", "worker1")
+    assert state.aborted
+    assert not state.flip_committed
+
+    victim = "worker0" if kind == "kill_donor" else "worker1"
+    soe.cluster.revive(victim)
+    assert raw_fingerprint(soe) == before
+    # and nothing committed was lost: the full strong scan still sees
+    # every row, including the in-flight suffix
+    rows, _ = soe.aggregate(
+        "readings", aggregates=[("count", None)], consistency="strong"
+    )
+    assert rows[0][0] == 60 + extra_rows

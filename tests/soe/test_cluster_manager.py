@@ -76,3 +76,91 @@ def test_stop_service_withdraws_announcement(soe):
     assert "worker0" not in soe.discovery.locate("v2lqp")
     with pytest.raises(ClusterError):
         soe.manager.stop_service("worker0", "v2lqp")
+
+
+def test_move_partition_rejects_same_node(soe):
+    with pytest.raises(ClusterError):
+        soe.manager.move_partition("t", 0, "worker0", "worker0")
+
+
+def test_move_partition_does_not_alias_ownership_metadata(soe):
+    # regression: the old path shared the donor's key-position list and
+    # partition count tuple tail with the recipient via setdefault(...)
+    placement = soe.catalog.placement_of("t")
+    partition_id, nodes = next(iter(placement.items()))
+    source, target = nodes[0], next(w for w in soe.worker_ids if w != nodes[0])
+    soe.manager.move_partition("t", partition_id, source, target)
+    donor_meta = soe.data_nodes[source]._ownership["t"]
+    target_meta = soe.data_nodes[target]._ownership["t"]
+    assert donor_meta[1] is not target_meta[1]
+    assert donor_meta[1] == target_meta[1]
+
+
+def test_move_partition_survives_dropped_transfer_without_losing_data(soe):
+    # regression for remove-before-install: a transfer failure must leave
+    # the donor untouched and authoritative, not swallow the partition
+    from repro.chaos import ChaosController, FaultPlan, FaultSpec
+    from repro.errors import TransferDroppedError
+
+    placement = soe.catalog.placement_of("t")
+    partition_id, nodes = next(iter(placement.items()))
+    source, target = nodes[0], next(w for w in soe.worker_ids if w != nodes[0])
+    chaos = ChaosController(FaultPlan([FaultSpec("drop", "transfer", 0)]))
+    chaos.install(cluster=soe.cluster)
+    with pytest.raises(TransferDroppedError):
+        soe.manager.move_partition("t", partition_id, source, target)
+    assert soe.catalog.nodes_of("t", partition_id) == [source]
+    assert partition_id in soe.data_nodes[source].owned_partitions("t")
+    assert soe.data_nodes[source].store.has_partition("t", partition_id)
+    assert partition_id not in soe.data_nodes[target].owned_partitions("t")
+    rows, _ = soe.aggregate("t", aggregates=[("count", None)])
+    assert rows[0][0] == 600
+
+
+def _skew_to_worker0(soe):
+    for partition_id, nodes in soe.catalog.placement_of("t").items():
+        if nodes[0] != "worker0":
+            soe.manager.move_partition("t", partition_id, nodes[0], "worker0")
+
+
+def test_rebalance_is_deterministic():
+    def run():
+        engine = SoeEngine(node_count=3)
+        engine.create_table("t", ["k", "v"], ["k"], partition_count=6)
+        engine.load("t", [[i, float(i)] for i in range(600)])
+        _skew_to_worker0(engine)
+        return engine.manager.rebalance("t"), engine.catalog.placement_of("t")
+
+    assert run() == run()
+
+
+def test_rebalance_skips_dead_targets(soe):
+    _skew_to_worker0(soe)
+    soe.cluster.kill("worker2")
+    moves = soe.manager.rebalance("t")
+    assert moves
+    assert all(target != "worker2" for _, _, target in moves)
+    live_counts = {
+        worker: len(soe.catalog.partitions_on("t", worker))
+        for worker in ("worker0", "worker1")
+    }
+    assert max(live_counts.values()) - min(live_counts.values()) <= 1
+
+
+def test_rebalance_survives_a_failed_move(soe):
+    # one dropped transfer mid-rebalance: the failed lane is skipped, the
+    # bookkeeping stays truthful, and leveling still completes
+    from repro.chaos import ChaosController, FaultPlan, FaultSpec
+
+    _skew_to_worker0(soe)
+    chaos = ChaosController(FaultPlan([FaultSpec("drop", "transfer", 0)]))
+    chaos.install(cluster=soe.cluster)
+    moves = soe.manager.rebalance("t")
+    assert moves
+    counts = {
+        worker: len(soe.catalog.partitions_on("t", worker))
+        for worker in soe.worker_ids
+    }
+    assert max(counts.values()) - min(counts.values()) <= 1
+    rows, _ = soe.aggregate("t", aggregates=[("count", None)])
+    assert rows[0][0] == 600
