@@ -1,0 +1,104 @@
+"""E28 — systematic interleaving exploration stays affordable (`repro.analysis.schedcheck`).
+
+Claim under test: the bounded model checker explores the PartitionMover
+flip/drain harness **exhaustively** at preemption bound 2 in well under
+60 s of wall time, because sleep-set pruning and the preemption budget
+cut the schedule tree by an order of magnitude — which is what makes a
+per-PR CI `schedcheck` job viable at all. The other three protocol
+harnesses are measured alongside; all must come back clean.
+
+Measured shape: for each registered protocol harness, one
+:func:`repro.analysis.schedcheck.explore` call at bound 2 under the full
+oracle stack (lockcheck + strict racecheck + deadlock/livelock). Per
+harness we record schedules executed, total runs (replay prefixes
+included), branches pruned by sleep sets vs. skipped by the preemption
+budget, the pruning ratio, and wall seconds. Run directly
+(``python benchmarks/bench_schedcheck.py``, writes ``BENCH_E28.json``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from repro.analysis.schedcheck import explore  # noqa: E402
+from repro.analysis.schedcheck.harnesses import HARNESSES  # noqa: E402
+
+BOUND = 2
+#: the acceptance budget for the flagship mover harness (ISSUE: < 60 s)
+MOVER_BUDGET_SECONDS = 60.0
+
+
+def measure() -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for name in sorted(HARNESSES):
+        fn = HARNESSES[name][0]
+        report = explore(fn, name=name, max_preemptions=BOUND)
+        rows.append(
+            {
+                "harness": name,
+                "bound": BOUND,
+                "ok": report.ok,
+                "complete": report.complete,
+                "schedules": report.schedules,
+                "runs": report.runs,
+                "sleep_pruned_runs": report.sleep_pruned_runs,
+                "pruned_branches": report.pruned_branches,
+                "budget_skipped": report.budget_skipped,
+                "pruning_ratio": round(report.pruning_ratio, 3),
+                "wall_seconds": round(report.wall_seconds, 3),
+            }
+        )
+    return rows
+
+
+def test_mover_harness_exhaustive_at_bound_2_under_budget():
+    report = explore(
+        HARNESSES["mover_flip_drain"][0],
+        name="mover_flip_drain",
+        max_preemptions=BOUND,
+    )
+    assert report.ok, [f.to_dict() for f in report.failures]
+    assert report.complete, "search was capped — not exhaustive"
+    assert report.wall_seconds < MOVER_BUDGET_SECONDS, (
+        f"mover flip/drain at bound {BOUND} took {report.wall_seconds:.1f}s "
+        f"— over the {MOVER_BUDGET_SECONDS:.0f}s budget"
+    )
+    assert report.pruning_ratio > 0.0, "pruning never fired"
+
+
+def test_all_harnesses_clean_at_bound_2():
+    rows = measure()
+    bad = [row for row in rows if not (row["ok"] and row["complete"])]
+    assert not bad, bad
+
+
+def main() -> int:
+    import reporting
+
+    rows = measure()
+    for row in rows:
+        reporting.report("E28", **row)
+    for path in reporting.flush():
+        print(f"wrote {path}")
+    failed = [row["harness"] for row in rows if not row["ok"]]
+    slow = [
+        row["harness"]
+        for row in rows
+        if row["harness"] == "mover_flip_drain"
+        and float(row["wall_seconds"]) >= MOVER_BUDGET_SECONDS  # type: ignore[arg-type]
+    ]
+    if failed:
+        print(f"failing harnesses: {failed}")
+    if slow:
+        print(f"over wall budget: {slow}")
+    return 1 if failed or slow else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

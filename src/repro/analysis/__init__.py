@@ -25,9 +25,19 @@ package holds the *dynamic* checks that must run inside the process:
   failing entry is never cached); ``REPRO_PLANCHECK=1`` additionally
   verifies every fresh plan and every cache-hit binding, escalating
   violations to :class:`~repro.analysis.plancheck.PlanCheckError`.
+* :mod:`repro.analysis.schedcheck` — a bounded model checker: a
+  deterministic scheduler serializes a multi-threaded test and a DFS
+  explorer re-executes it over *every* interleaving up to a preemption
+  bound (sleep-set pruned), running lockcheck + strict racecheck +
+  deadlock/livelock oracles on each schedule. Failing schedules replay
+  bit-for-bit via ``REPRO_SCHEDCHECK_REPLAY=<fingerprint>``.
+* :mod:`repro.analysis.events` — the shared interesting-event registry:
+  the single table of concurrency seams (locks, threads, queues,
+  tracked fields, SOE message fences) racecheck instruments and
+  schedcheck yields at, so the two can never drift apart.
 """
 
-from repro.analysis import plancheck
+from repro.analysis import events, plancheck, schedcheck
 from repro.analysis.lockcheck import (
     LockOrderError,
     active,
@@ -37,12 +47,16 @@ from repro.analysis.lockcheck import (
 )
 from repro.analysis.plancheck import PlanCheckError, PlanFinding
 from repro.analysis.racecheck import DataRaceError, Shared, track_fields
+from repro.analysis.schedcheck import SchedCheckError
 
 __all__ = [
     "LockOrderError",
     "PlanCheckError",
     "PlanFinding",
+    "SchedCheckError",
+    "events",
     "plancheck",
+    "schedcheck",
     "DataRaceError",
     "Shared",
     "track_fields",

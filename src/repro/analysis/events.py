@@ -1,0 +1,207 @@
+"""The shared interesting-event registry: one table of concurrency seams.
+
+Every dynamic concurrency tool in ``repro.analysis`` cares about the same
+small set of *interesting events* — the synchronization and shared-state
+operations where thread interleavings can matter:
+
+* ``threading.Lock`` acquire/release,
+* ``threading.Thread`` start/join,
+* ``queue.Queue`` put/get,
+* reads/writes of ``Shared``/``@track_fields`` containers,
+* the SOE message seams the chaos controller already hooks
+  (``SharedLog.append``, ``SimulatedCluster.transfer``).
+
+Before this module, :mod:`repro.analysis.racecheck` hard-coded that list
+in its installer functions; :mod:`repro.analysis.schedcheck` needs the
+*same* list as its yield points (a schedule decision is only worth taking
+where an interesting event happens). Defining the table twice would let
+the two tools silently drift — a seam racecheck fences but schedcheck
+never yields at is a schedule the model checker cannot reach. So the
+table lives here, once:
+
+* :data:`SEAMS` names every seam with its happens-before ``kind``
+  (acquire / release / fence / start / join / read / write) and, for the
+  seams installed by monkey-patching a concrete attribute, a resolvable
+  ``target`` — racecheck derives its edge instrumentation from it and
+  schedcheck derives its yield points;
+* the **field-access dispatch** (:func:`notify_field` and the listener
+  registry) is the single hook the :class:`~repro.analysis.racecheck.Shared`
+  proxy calls on every tracked container access. racecheck registers its
+  detector as a listener at import time; schedcheck prepends its
+  scheduler while exploring; future tools plug in the same way.
+
+The registry is declarative: it does not patch anything itself. Each
+tool still owns *how* it wraps a seam (racecheck adds vector-clock
+edges, schedcheck adds scheduling points) — what they share is *which*
+operations count.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: raw lock for listener-registry swaps (never the patched factory)
+_RAW_LOCK = threading._allocate_lock
+
+
+@dataclass(frozen=True)
+class Seam:
+    """One interesting event: where interleavings can matter and why."""
+
+    #: stable dotted name, e.g. ``"lock.acquire"`` — tools key on this
+    name: str
+    #: happens-before role: ``acquire`` | ``release`` | ``fence`` |
+    #: ``start`` | ``join`` | ``read`` | ``write``
+    kind: str
+    #: may the operation block the calling thread? (a deterministic
+    #: scheduler must model blocking seams so a serialized thread never
+    #: actually parks in the OS)
+    blocking: bool
+    #: ``"module.path:Attr.path"`` of the attribute a tool patches to
+    #: observe this seam, or ``""`` for seams reached another way (the
+    #: lock *factory* and the ``Shared`` field dispatch)
+    target: str
+    #: one-line rationale, surfaced by docs and ``--list`` style CLIs
+    doc: str
+
+
+#: the canonical seam table — extend HERE, not in individual tools
+SEAMS: tuple[Seam, ...] = (
+    Seam(
+        "lock.acquire", "acquire", True, "",
+        "mutex acquire; installed via the threading.Lock factory",
+    ),
+    Seam(
+        "lock.release", "release", False, "",
+        "mutex release publishes the holder's writes to the next acquirer",
+    ),
+    Seam(
+        "thread.start", "start", False, "threading:Thread.start",
+        "parent's pre-start writes happen-before everything in the child",
+    ),
+    Seam(
+        "thread.join", "join", True, "threading:Thread.join",
+        "everything in the child happens-before the joiner's continuation",
+    ),
+    Seam(
+        "queue.put", "release", True, "queue:Queue.put",
+        "producer publishes to whoever gets the item (release edge)",
+    ),
+    Seam(
+        "queue.get", "acquire", True, "queue:Queue.get",
+        "consumer adopts the producer's clock (acquire edge)",
+    ),
+    Seam(
+        "field.read", "read", False, "",
+        "tracked-container read via the Shared proxy / notify_field",
+    ),
+    Seam(
+        "field.write", "write", False, "",
+        "tracked-container write via the Shared proxy / notify_field",
+    ),
+    Seam(
+        "soe.log_append", "fence", False,
+        "repro.soe.services.shared_log:SharedLog.append",
+        "the CORFU append is the serialisation point of the write path",
+    ),
+    Seam(
+        "soe.cluster_transfer", "fence", False,
+        "repro.soe.cluster:SimulatedCluster.transfer",
+        "node-to-node shipping totally orders successive seam users",
+    ),
+)
+
+_BY_NAME: dict[str, Seam] = {s.name: s for s in SEAMS}
+
+
+def seams(kind: str | None = None, patchable: bool | None = None) -> tuple[Seam, ...]:
+    """The registry, optionally filtered by ``kind`` and patchability."""
+    found = SEAMS
+    if kind is not None:
+        found = tuple(s for s in found if s.kind == kind)
+    if patchable is not None:
+        found = tuple(s for s in found if bool(s.target) == patchable)
+    return found
+
+
+def seam(name: str) -> Seam:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown seam {name!r}; registered: {sorted(_BY_NAME)}") from None
+
+
+def resolve(target_seam: Seam) -> tuple[Any, str]:
+    """(owner object, attribute name) to patch for a patchable seam.
+
+    Imports the owning module lazily so the registry itself never drags
+    SOE modules in at ``repro.analysis`` import time.
+    """
+    if not target_seam.target:
+        raise ValueError(f"seam {target_seam.name!r} has no patchable target")
+    module_path, _, attr_path = target_seam.target.partition(":")
+    owner: Any = importlib.import_module(module_path)
+    parts = attr_path.split(".")
+    for part in parts[:-1]:
+        owner = getattr(owner, part)
+    return owner, parts[-1]
+
+
+# --------------------------------------------------------------------------
+# field-access dispatch (the Shared proxy's single hook)
+# --------------------------------------------------------------------------
+
+#: listener(var, is_write) — ``var`` is the racecheck ``_VarState`` of the
+#: tracked container (``var.name`` is its display name). Swapped as an
+#: immutable tuple so dispatch is a lock-free read.
+FieldListener = Callable[[Any, bool], None]
+
+_listener_lock = _RAW_LOCK()
+_field_listeners: tuple[FieldListener, ...] = ()
+#: tools that want Shared proxies created even while racecheck is off
+#: (schedcheck explores without the race oracle on request)
+_proxy_requests = 0
+
+
+def add_field_listener(listener: FieldListener, *, front: bool = False) -> None:
+    """Register for every tracked-field access. ``front=True`` runs the
+    listener before previously-registered ones — a scheduler must yield
+    *before* the race detector checks the access, so the detector sees
+    the access ordering the chosen schedule actually produced."""
+    global _field_listeners
+    with _listener_lock:
+        remaining = tuple(l for l in _field_listeners if l is not listener)
+        _field_listeners = (listener, *remaining) if front else (*remaining, listener)
+
+
+def remove_field_listener(listener: FieldListener) -> None:
+    global _field_listeners
+    with _listener_lock:
+        _field_listeners = tuple(l for l in _field_listeners if l is not listener)
+
+
+def notify_field(var: Any, is_write: bool) -> None:
+    """Dispatch one tracked-container access to every listener."""
+    for listener in _field_listeners:
+        listener(var, is_write)
+
+
+def request_field_proxies() -> None:
+    """Ask ``@track_fields`` to build ``Shared`` proxies even while the
+    race detector is not installed (paired with :func:`release_field_proxies`)."""
+    global _proxy_requests
+    with _listener_lock:
+        _proxy_requests += 1
+
+
+def release_field_proxies() -> None:
+    global _proxy_requests
+    with _listener_lock:
+        _proxy_requests = max(0, _proxy_requests - 1)
+
+
+def field_proxies_requested() -> bool:
+    return _proxy_requests > 0

@@ -48,6 +48,12 @@ from repro.errors import ReproError
 #: bookkeeping must never run through an instrumented lock
 _REAL_LOCK = threading.Lock
 
+#: what an InstrumentedLock wraps: whatever ``threading.Lock`` was at
+#: install time. Normally the real factory; under schedcheck it is the
+#: deterministic-scheduler lock, which must stay *innermost* so a
+#: contended acquire parks in the scheduler instead of the OS.
+_base_factory = _REAL_LOCK
+
 
 class LockOrderError(ReproError):
     """A potential deadlock: lock-order inversion or self-deadlock."""
@@ -141,7 +147,7 @@ class InstrumentedLock:
     """Drop-in ``threading.Lock`` replacement that reports to a checker."""
 
     def __init__(self, checker: _Checker, name: str) -> None:
-        self._inner = _REAL_LOCK()
+        self._inner = _base_factory()
         self._checker = checker
         self.name = name
 
@@ -205,18 +211,20 @@ def install(strict: bool = True) -> None:
     ``strict=True`` raises :class:`LockOrderError` at the offending
     acquisition; ``strict=False`` only records into :func:`violations`.
     """
-    global _current
+    global _current, _base_factory
     with _STATE_LOCK:
         if _current is not None:
             raise LockOrderError("lockcheck is already installed")
         _current = _Checker(strict)
+    _base_factory = threading.Lock
     threading.Lock = _instrumented_factory  # type: ignore[assignment]
 
 
 def uninstall() -> list[str]:
     """Stop sanitizing, restore ``threading.Lock``; returns violations."""
-    global _current
-    threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+    global _current, _base_factory
+    threading.Lock = _base_factory  # type: ignore[assignment]
+    _base_factory = _REAL_LOCK
     with _STATE_LOCK:
         checker, _current = _current, None
         for lock in _created:

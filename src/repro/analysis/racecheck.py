@@ -43,6 +43,12 @@ names a JSON file for the per-session violations report (uploaded as a
 CI artifact). Racecheck composes with lockcheck: install lockcheck
 first and racecheck's lock factory wraps lockcheck's instrumented
 locks, so one run checks both lock order and happens-before.
+
+The seam list itself is not private to this module: it lives in
+:mod:`repro.analysis.events`, the shared interesting-event registry,
+which :mod:`repro.analysis.schedcheck` consumes as its yield points —
+an event worth a happens-before edge is exactly an event worth a
+schedule decision.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.analysis import events
 from repro.errors import ReproError
 
 #: the raw lock primitive — detector bookkeeping must never be tracked
@@ -81,8 +88,9 @@ def _join(into: dict[int, int], other: dict[int, int]) -> None:
             into[tid] = clock
 
 
-#: frames to elide from reported sites: this module and threading internals
-_SKIP_FILES = (__file__, threading.__file__)
+#: frames to elide from reported sites: this module, the shared event
+#: dispatch, and threading internals
+_SKIP_FILES = (__file__, events.__file__, threading.__file__)
 
 
 def _site() -> str:
@@ -356,15 +364,28 @@ _MISSING = object()
 
 
 def _on_read(var: _VarState) -> None:
-    detector = _current
-    if detector is not None:
-        detector.read(var)
+    events.notify_field(var, False)
 
 
 def _on_write(var: _VarState) -> None:
+    events.notify_field(var, True)
+
+
+def _detector_field_listener(var: _VarState, is_write: bool) -> None:
+    """The race detector's tap on the shared field-access dispatch
+    (:func:`repro.analysis.events.notify_field`); registered once at
+    import and a no-op while the sanitizer is not installed. Other tools
+    (schedcheck's scheduler) register their own listeners *in front*, so
+    a schedule decision is taken before the access is checked."""
     detector = _current
     if detector is not None:
-        detector.write(var)
+        if is_write:
+            detector.write(var)
+        else:
+            detector.read(var)
+
+
+events.add_field_listener(_detector_field_listener)
 
 
 class Shared:
@@ -468,7 +489,10 @@ def track_fields(*names: str) -> Callable[[type], type]:
         @functools.wraps(original_init)
         def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
             original_init(self, *args, **kwargs)
-            if _current is not None:
+            # proxies are built while the detector is installed, or while
+            # another events-registry consumer (schedcheck without the
+            # race oracle) asked for field dispatch
+            if _current is not None or events.field_proxies_requested():
                 for name in names:
                     value = getattr(self, name, _MISSING)
                     if value is not _MISSING and not isinstance(value, Shared):
@@ -595,57 +619,58 @@ def _install_thread_hooks() -> None:
     _patch(threading.Thread, "join", join)
 
 
-def _install_queue_hooks() -> None:
-    import queue
+def _edge_wrapper(original: Callable[..., Any], kind: str) -> Callable[..., Any]:
+    """Wrap one patchable seam with the HB edge its registry kind
+    prescribes. ``release`` publishes before the operation (the next
+    acquirer must see the producer's clock), ``acquire`` adopts after it
+    (the consumer joins only once the handoff really happened), ``fence``
+    totally orders successive users."""
+    if kind == "release":
 
-    original_put = queue.Queue.put
-    original_get = queue.Queue.get
+        @functools.wraps(original)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            detector = _current
+            if detector is not None:
+                detector.release_edge(self)
+            return original(self, *args, **kwargs)
 
-    @functools.wraps(original_put)
-    def put(self: Any, item: Any, *args: Any, **kwargs: Any) -> None:
-        detector = _current
-        if detector is not None:
-            detector.release_edge(self)
-        original_put(self, item, *args, **kwargs)
+    elif kind == "acquire":
 
-    @functools.wraps(original_get)
-    def get(self: Any, *args: Any, **kwargs: Any) -> Any:
-        result = original_get(self, *args, **kwargs)
-        detector = _current
-        if detector is not None:
-            detector.acquire_edge(self)
-        return result
+        @functools.wraps(original)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            result = original(self, *args, **kwargs)
+            detector = _current
+            if detector is not None:
+                detector.acquire_edge(self)
+            return result
 
-    _patch(queue.Queue, "put", put)
-    _patch(queue.Queue, "get", get)
+    elif kind == "fence":
+
+        @functools.wraps(original)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            detector = _current
+            if detector is not None:
+                detector.fence(self)
+            return original(self, *args, **kwargs)
+
+    else:  # pragma: no cover - registry misuse is a programming error
+        raise ReproError(f"no edge instrumentation for seam kind {kind!r}")
+    return wrapper
 
 
-def _install_soe_seams() -> None:
-    """Fence the message seams the chaos controller already hooks: a
-    cluster transfer and a shared-log append are the serialisation points
-    of Figure 3, so successive users are happens-before ordered."""
-    from repro.soe.cluster import SimulatedCluster
-    from repro.soe.services.shared_log import SharedLog
-
-    original_transfer = SimulatedCluster.transfer
-    original_append = SharedLog.append
-
-    @functools.wraps(original_transfer)
-    def transfer(self: Any, source: str, target: str, payload_bytes: int) -> float:
-        detector = _current
-        if detector is not None:
-            detector.fence(self)
-        return original_transfer(self, source, target, payload_bytes)
-
-    @functools.wraps(original_append)
-    def append(self: Any, payload: Any) -> int:
-        detector = _current
-        if detector is not None:
-            detector.fence(self)
-        return original_append(self, payload)
-
-    _patch(SimulatedCluster, "transfer", transfer)
-    _patch(SharedLog, "append", append)
+def _install_registry_seams() -> None:
+    """Instrument every patchable seam of the shared interesting-event
+    registry (:mod:`repro.analysis.events`): queue handoffs and the SOE
+    message seams the chaos controller already hooks. The registry is the
+    single seam table racecheck and schedcheck both consume — add a seam
+    there and both tools pick it up. Thread start/join need ``run()``
+    surgery and install in :func:`_install_thread_hooks`; the lock seams
+    install through the ``threading.Lock`` factory."""
+    for seam in events.seams(patchable=True):
+        if seam.kind in ("start", "join"):
+            continue  # bespoke: _install_thread_hooks
+        owner, attr = events.resolve(seam)
+        _patch(owner, attr, _edge_wrapper(getattr(owner, attr), seam.kind))
 
 
 # --------------------------------------------------------------------------
@@ -670,8 +695,7 @@ def install(strict: bool = True, full_vc: bool = False) -> None:
         _prev_lock_factory = threading.Lock
     _patch(threading, "Lock", _tracked_lock_factory)
     _install_thread_hooks()
-    _install_queue_hooks()
-    _install_soe_seams()
+    _install_registry_seams()
 
 
 def uninstall() -> list[str]:
@@ -692,6 +716,13 @@ def uninstall() -> list[str]:
 
 def is_installed() -> bool:
     return _current is not None
+
+
+def current_detector() -> Any:
+    """The installed detector, or ``None``. Semi-internal: schedcheck
+    drives thread start-edge/registration through it directly so detector
+    tids are assigned at policy-chosen points instead of OS-racy ones."""
+    return _current
 
 
 def violations() -> list[str]:

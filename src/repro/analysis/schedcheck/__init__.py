@@ -1,0 +1,62 @@
+"""``repro.analysis.schedcheck`` — a bounded model checker for SOE protocols.
+
+A CHESS/loom-style systematic concurrency tester: the scheduler
+(:mod:`.scheduler`) serializes a multi-threaded test onto one OS thread
+and yields at exactly the seams racecheck instruments (the shared
+registry in :mod:`repro.analysis.events`); the explorer (:mod:`.explore`)
+re-executes the test once per schedule, searching all interleavings up
+to a preemption bound with sleep-set pruning, running lockcheck + strict
+racecheck + built-in deadlock/livelock detection on every one. Failing
+schedules come back as fingerprints that replay bit-for-bit.
+
+Entry points:
+
+* :func:`explore` / :func:`replay` — the library API;
+* :func:`exhaustive` — the pytest decorator (honours
+  ``REPRO_SCHEDCHECK_REPLAY=<fingerprint>``);
+* ``python -m repro.analysis.schedcheck`` — the CLI over the protocol
+  harnesses in :mod:`.harnesses`;
+* see docs/ANALYSIS.md, "Systematic exploration".
+"""
+
+from repro.analysis.schedcheck.explore import (
+    REPLAY_ENV,
+    ExplorationReport,
+    ReplayResult,
+    ScheduleFailure,
+    exhaustive,
+    explore,
+    fingerprint_of,
+    parse_fingerprint,
+    replay,
+)
+from repro.analysis.schedcheck.scheduler import (
+    DeadlockError,
+    LivelockError,
+    Op,
+    SchedCheckError,
+    Scheduler,
+    dependent,
+    instrument,
+    instrument_locks,
+)
+
+__all__ = [
+    "REPLAY_ENV",
+    "DeadlockError",
+    "ExplorationReport",
+    "LivelockError",
+    "Op",
+    "ReplayResult",
+    "SchedCheckError",
+    "ScheduleFailure",
+    "Scheduler",
+    "dependent",
+    "exhaustive",
+    "explore",
+    "fingerprint_of",
+    "instrument",
+    "instrument_locks",
+    "parse_fingerprint",
+    "replay",
+]

@@ -1,0 +1,154 @@
+"""CLI: ``python -m repro.analysis.schedcheck`` — explore the protocol
+harnesses, print exploration stats, and exit non-zero on any failing
+schedule. The CI ``schedcheck`` job drives this with ``--all --json``.
+
+Examples::
+
+    python -m repro.analysis.schedcheck --list
+    python -m repro.analysis.schedcheck --harness mover_flip_drain --bound 2
+    python -m repro.analysis.schedcheck --all --bound 2 --wall-budget 50
+    python -m repro.analysis.schedcheck --harness sequencer_append \\
+        --mutation sequencer-tail-race --replay v1:1.0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+from repro.analysis.schedcheck.explore import explore, replay
+from repro.analysis.schedcheck.harnesses import HARNESSES
+
+MUTATION_ENV = "REPRO_SCHEDCHECK_MUTATION"
+
+
+def _human(report: dict[str, Any]) -> str:
+    status = "ok" if report["ok"] else "FAIL"
+    line = (
+        f"{report['harness']}: {status} — {report['schedules']} schedules "
+        f"({report['runs']} runs) at bound {report['max_preemptions']}, "
+        f"{report['pruned_branches']} sleep-pruned + "
+        f"{report['budget_skipped']} budget-skipped branches "
+        f"(pruning ratio {report['pruning_ratio']:.2f}), "
+        f"{report['wall_seconds']:.2f}s"
+        + ("" if report["complete"] else " [capped]")
+    )
+    for failure in report["failures"]:
+        headline = failure["message"].splitlines()[0] if failure["message"] else "(no message)"
+        line += (
+            f"\n  failing schedule {failure['fingerprint']} "
+            f"[bound {failure['bound']}]: {failure['error_type']}: {headline}"
+        )
+    return line
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.schedcheck",
+        description=(
+            "Bounded model checking of the SOE protocol harnesses: explore "
+            "every thread interleaving up to a preemption bound under the "
+            "racecheck/lockcheck/deadlock/livelock oracles."
+        ),
+    )
+    parser.add_argument("--harness", action="append", default=[], help="harness name (repeatable)")
+    parser.add_argument("--all", action="store_true", help="run every registered harness")
+    parser.add_argument("--list", action="store_true", help="list harnesses and exit")
+    parser.add_argument("--bound", type=int, default=2, help="max preemptions (default 2)")
+    parser.add_argument("--max-schedules", type=int, default=None, help="cap schedules per harness")
+    parser.add_argument(
+        "--wall-budget", type=float, default=None,
+        help="wall-clock seconds per harness before the search caps itself",
+    )
+    parser.add_argument("--step-budget", type=int, default=20_000, help="livelock step budget per run")
+    parser.add_argument("--replay", default=None, help="replay one fingerprint instead of exploring")
+    parser.add_argument(
+        "--mutation", default=None,
+        help=f"set {MUTATION_ENV} (seeded-bug calibration, e.g. sequencer-tail-race)",
+    )
+    parser.add_argument("--no-racecheck", action="store_true", help="skip the race oracle")
+    parser.add_argument("--no-lockcheck", action="store_true", help="skip the lock-order oracle")
+    parser.add_argument("--json", dest="json_out", default=None, help="write a JSON report to this path")
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="explore past the first failing schedule of each harness",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, doc) in HARNESSES.items():
+            print(f"{name:30s} {doc}")
+        return 0
+
+    names = list(HARNESSES) if args.all else args.harness
+    if not names:
+        parser.error("pick --harness NAME (repeatable), --all, or --list")
+    unknown = [n for n in names if n not in HARNESSES]
+    if unknown:
+        parser.error(f"unknown harness(es) {unknown}; see --list")
+
+    if args.mutation:
+        os.environ[MUTATION_ENV] = args.mutation
+
+    try:
+        reports: list[dict[str, Any]] = []
+        failed = False
+        for name in names:
+            fn = HARNESSES[name][0]
+            if args.replay:
+                result = replay(
+                    fn,
+                    args.replay,
+                    step_budget=args.step_budget,
+                    use_lockcheck=not args.no_lockcheck,
+                    use_racecheck=not args.no_racecheck,
+                )
+                ok = result.failure is None
+                failed = failed or not ok
+                print(
+                    f"{name}: replay {result.fingerprint} → "
+                    + ("ok" if ok else f"{type(result.failure).__name__}: {result.failure}")
+                )
+                reports.append(
+                    {
+                        "harness": name,
+                        "ok": ok,
+                        "replayed": result.fingerprint,
+                        "error": None if ok else str(result.failure),
+                        "trace_len": len(result.trace),
+                    }
+                )
+                continue
+            report = explore(
+                fn,
+                name=name,
+                max_preemptions=args.bound,
+                step_budget=args.step_budget,
+                max_schedules=args.max_schedules,
+                max_seconds=args.wall_budget,
+                use_lockcheck=not args.no_lockcheck,
+                use_racecheck=not args.no_racecheck,
+                stop_on_failure=not args.keep_going,
+            )
+            payload = report.to_dict()
+            reports.append(payload)
+            failed = failed or not report.ok
+            print(_human(payload))
+    finally:
+        if args.mutation:
+            os.environ.pop(MUTATION_ENV, None)
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump({"reports": reports}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

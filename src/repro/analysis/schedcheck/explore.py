@@ -1,0 +1,588 @@
+"""Schedule exploration: bounded DFS over the scheduler's decision tree.
+
+:func:`explore` re-executes a test function once per schedule, driving the
+:class:`~repro.analysis.schedcheck.scheduler.Scheduler` with a tree policy
+that replays a recorded decision prefix and extends it at the frontier.
+Three classic model-checking techniques bound the search:
+
+* **Iterative preemption bounding** (CHESS): schedules are explored in
+  rounds of at most 0, then 1, then ``max_preemptions`` preemptions — a
+  *preemption* being a switch away from a thread that could have
+  continued. Forced switches (the current thread blocked or finished)
+  are free. Most concurrency bugs need very few preemptions, so the
+  cheap rounds find most bugs and the bound caps the blow-up.
+* **Sleep sets** (a DPOR-family pruning): after exploring child ``c`` of
+  a decision node, sibling branches may skip any thread whose pending
+  operation is *independent* of every operation tried before it —
+  running it first would commute into an already-explored interleaving.
+  A run whose every eligible continuation is asleep is abandoned early
+  (it cannot reveal new behaviour).
+* **Step budgets** turn non-termination into a reported livelock.
+
+Every executed schedule runs under the existing oracles — lockcheck and
+strict racecheck are reinstalled *fresh per run* so detector thread ids
+and messages are schedule-deterministic — plus the scheduler's own
+deadlock detector. A failing schedule yields a **fingerprint**: the
+sequence of thread choices taken at real decision points, serialized as
+``v1:<tid>.<tid>...``. :func:`replay` (or the ``REPRO_SCHEDCHECK_REPLAY``
+environment variable through the :func:`exhaustive` decorator) feeds the
+same choices back through the same policy, reproducing the failure
+bit-for-bit — same trace, same oracle message.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis import lockcheck, racecheck
+from repro.analysis.schedcheck.scheduler import (
+    DeadlockError,
+    LivelockError,
+    Op,
+    SchedCheckError,
+    Scheduler,
+    _PruneRun,
+    dependent,
+    instrument,
+    instrument_locks,
+)
+
+_FINGERPRINT_VERSION = "v1"
+
+
+# --------------------------------------------------------------------------
+# the decision tree
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Node:
+    """One decision point on the current DFS path: ≥2 eligible threads."""
+
+    enabled: list[int]
+    eligible: list[int]
+    pending: dict[int, Op]
+    current: int
+    budget_before: int
+    sleep_in: frozenset[int]
+    tried: list[int] = field(default_factory=list)
+    sleep_after: dict[int, frozenset[int]] = field(default_factory=dict)
+    path_choice: int = -1
+
+
+class _TreePolicy:
+    """Replays the recorded prefix of ``nodes`` and extends the frontier.
+
+    The same class serves DFS exploration (``forced=None``; the frontier
+    default prefers the current thread, i.e. depth-first with zero-cost
+    choices first) and fingerprint replay (``forced`` pins every frontier
+    choice). Sleep sets are maintained identically in both modes so a
+    replayed run passes through the very same decision points.
+    """
+
+    def __init__(
+        self,
+        nodes: list[_Node],
+        budget: int,
+        forced: list[int] | None = None,
+    ) -> None:
+        self.nodes = nodes
+        self.budget = budget
+        self.forced = forced
+        self.depth = 0
+        self.run_sleep: set[int] = set()
+        self.choices: list[int] = []
+
+    # -- scheduler callbacks ----------------------------------------------
+
+    def choose(self, current: int, enabled: list[int], pending: dict[int, Op]) -> int:
+        eligible = [t for t in enabled if t not in self.run_sleep]
+        if not eligible:
+            raise _PruneRun()
+        if len(eligible) == 1:
+            return eligible[0]
+
+        if self.depth < len(self.nodes):
+            # replaying the recorded path prefix
+            node = self.nodes[self.depth]
+            if sorted(node.enabled) != sorted(enabled):
+                raise SchedCheckError(
+                    "nondeterministic test: enabled threads diverged while "
+                    f"replaying decision {self.depth} (recorded "
+                    f"{sorted(node.enabled)}, observed {sorted(enabled)}); "
+                    "schedcheck requires the test body to be deterministic "
+                    "apart from scheduling"
+                )
+            chosen = node.path_choice
+            self.run_sleep = set(node.sleep_after[chosen])
+            self._charge(node, chosen)
+            self.depth += 1
+            self.choices.append(chosen)
+            return chosen
+
+        # the frontier: a fresh decision point
+        node = _Node(
+            enabled=list(enabled),
+            eligible=list(eligible),
+            pending=dict(pending),
+            current=current,
+            budget_before=self.budget,
+            sleep_in=frozenset(self.run_sleep),
+        )
+        if self.forced is not None and len(self.choices) < len(self.forced):
+            chosen = self.forced[len(self.choices)]
+            if chosen not in eligible:
+                raise SchedCheckError(
+                    f"replay diverged: fingerprint chooses thread {chosen} at "
+                    f"decision {len(self.choices)} but eligible threads are "
+                    f"{eligible}"
+                )
+        else:
+            chosen = current if current in eligible else eligible[0]
+        commit_choice(node, chosen)
+        self._charge(node, chosen)
+        self.nodes.append(node)
+        self.depth += 1
+        self.choices.append(chosen)
+        self.run_sleep = set(node.sleep_after[chosen])
+        return chosen
+
+    def on_op(self, tid: int, op: Op, pending: dict[int, Op]) -> None:
+        # wake any sleeper whose pending operation the executed op could
+        # interact with — its order relative to the path is no longer
+        # covered by a previously-explored sibling
+        if self.run_sleep:
+            self.run_sleep = {
+                u
+                for u in self.run_sleep
+                if u != tid and not dependent(pending.get(u), op)
+            }
+
+    # -- internals ---------------------------------------------------------
+
+    def _charge(self, node: _Node, chosen: int) -> None:
+        if preemption_cost(node, chosen):
+            self.budget -= 1
+
+
+def preemption_cost(node: _Node, choice: int) -> int:
+    """1 when taking ``choice`` preempts a continuable current thread."""
+    return 1 if (node.current in node.eligible and choice != node.current) else 0
+
+
+def commit_choice(node: _Node, chosen: int) -> None:
+    """Record ``chosen`` as the branch the next run will take, computing
+    the child's sleep set: previously-tried siblings (and inherited
+    sleepers) stay asleep iff their pending op is independent of the op
+    now being executed."""
+    op_chosen = node.pending[chosen]
+    basis = set(node.sleep_in) | set(node.tried)
+    node.sleep_after[chosen] = frozenset(
+        u
+        for u in basis
+        if u != chosen and not dependent(node.pending.get(u), op_chosen)
+    )
+    if chosen not in node.tried:
+        node.tried.append(chosen)
+    node.path_choice = chosen
+
+
+def fingerprint_of(choices: list[int]) -> str:
+    return _FINGERPRINT_VERSION + ":" + ".".join(str(c) for c in choices)
+
+
+def parse_fingerprint(fingerprint: str) -> list[int]:
+    version, _, body = fingerprint.partition(":")
+    if version != _FINGERPRINT_VERSION:
+        raise SchedCheckError(
+            f"unknown fingerprint version {version!r} (expected "
+            f"{_FINGERPRINT_VERSION!r})"
+        )
+    if not body:
+        return []
+    try:
+        return [int(part) for part in body.split(".")]
+    except ValueError:
+        raise SchedCheckError(f"malformed fingerprint {fingerprint!r}") from None
+
+
+# --------------------------------------------------------------------------
+# reports
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleFailure:
+    """One failing schedule, replayable via its fingerprint."""
+
+    fingerprint: str
+    bound: int
+    error_type: str
+    message: str
+    trace: list[tuple[int, str, str]]
+    error: BaseException | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "bound": self.bound,
+            "error_type": self.error_type,
+            "message": self.message,
+            "trace_len": len(self.trace),
+        }
+
+
+@dataclass
+class ExplorationReport:
+    """What :func:`explore` did and found."""
+
+    harness: str = ""
+    schedules: int = 0  #: distinct complete schedules executed
+    runs: int = 0  #: total executions (incl. sleep-pruned partial runs)
+    decisions: int = 0  #: decision points expanded across the search
+    pruned_branches: int = 0  #: branches skipped because asleep
+    budget_skipped: int = 0  #: branches skipped by the preemption bound
+    sleep_pruned_runs: int = 0  #: runs abandoned with all-eligible asleep
+    deadlocks: int = 0
+    livelocks: int = 0
+    failures: list[ScheduleFailure] = field(default_factory=list)
+    per_bound: dict[int, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    complete: bool = True  #: False when a max_schedules/max_seconds cap hit
+    max_preemptions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of considered branches the search did not have to
+        execute (sleep-set + preemption-bound savings)."""
+        skipped = self.pruned_branches + self.budget_skipped
+        considered = self.schedules + skipped
+        return skipped / considered if considered else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "harness": self.harness,
+            "ok": self.ok,
+            "schedules": self.schedules,
+            "runs": self.runs,
+            "decisions": self.decisions,
+            "pruned_branches": self.pruned_branches,
+            "budget_skipped": self.budget_skipped,
+            "sleep_pruned_runs": self.sleep_pruned_runs,
+            "pruning_ratio": round(self.pruning_ratio, 4),
+            "deadlocks": self.deadlocks,
+            "livelocks": self.livelocks,
+            "failures": [f.to_dict() for f in self.failures],
+            "per_bound": {str(k): v for k, v in self.per_bound.items()},
+            "wall_seconds": round(self.wall_seconds, 3),
+            "complete": self.complete,
+            "max_preemptions": self.max_preemptions,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one fingerprint."""
+
+    fingerprint: str
+    failure: BaseException | None
+    trace: list[tuple[int, str, str]]
+    steps: int
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+# --------------------------------------------------------------------------
+# one instrumented execution (the oracle sandwich)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _RunOutcome:
+    failure: BaseException | None
+    pruned: bool
+    trace: list[tuple[int, str, str]]
+    steps: int
+
+
+def _run_once(
+    fn: Callable[[], None],
+    policy: _TreePolicy,
+    *,
+    step_budget: int,
+    use_lockcheck: bool,
+    use_racecheck: bool,
+) -> _RunOutcome:
+    """Execute ``fn`` once under ``policy`` with fresh oracles.
+
+    The ambient sanitizers (conftest may have lockcheck/racecheck
+    installed session-wide) are torn down and re-installed afterwards:
+    a shared detector would accumulate thread ids across runs and make
+    failure messages schedule-dependent. Install order puts the
+    scheduler's lock layer *innermost* — ``instrument_locks`` first, then
+    lockcheck, then racecheck, then the remaining yield points — so
+    ``TrackedLock`` wraps the instrumented lock wraps ``SchedLock``, and a
+    contended acquire parks in the scheduler (never the OS) even through
+    lock factories captured before exploration started.
+    """
+    ambient_race = racecheck.is_installed()
+    ambient_lock = lockcheck.is_installed()
+    if ambient_race:
+        racecheck.uninstall()
+    if ambient_lock:
+        lockcheck.uninstall()
+    # the lock-name counter is cosmetic but appears in oracle messages;
+    # pin it so replays reproduce failures bit-for-bit
+    prev_counter = racecheck._counter
+    racecheck._counter = 0
+    sched = Scheduler(policy, step_budget=step_budget)
+    undo_locks = instrument_locks(sched)
+    if use_lockcheck:
+        lockcheck.install(strict=True)
+    if use_racecheck:
+        racecheck.install(strict=True)
+    undo = instrument(sched)
+    try:
+        sched.run(fn)
+    finally:
+        undo()
+        if use_racecheck and racecheck.is_installed():
+            racecheck.uninstall()
+        if use_lockcheck and lockcheck.is_installed():
+            lockcheck.uninstall()
+        undo_locks()
+        racecheck._counter = prev_counter
+        if ambient_lock:
+            lockcheck.install(strict=True)
+        if ambient_race:
+            racecheck.install(strict=True)
+    return _RunOutcome(sched.failure, sched.pruned, sched.trace, sched.steps)
+
+
+# --------------------------------------------------------------------------
+# the DFS driver
+# --------------------------------------------------------------------------
+
+
+def _backtrack(nodes: list[_Node], report: ExplorationReport) -> bool:
+    """Rewind the path stack to the deepest node with an affordable,
+    untried, awake sibling and commit that branch for the next run.
+    Returns False when the tree for this bound is exhausted."""
+    while nodes:
+        node = nodes[-1]
+        alternatives = [
+            t
+            for t in node.eligible
+            if t not in node.tried
+            and preemption_cost(node, t) <= node.budget_before
+        ]
+        if alternatives:
+            commit_choice(node, alternatives[0])
+            return True
+        report.decisions += 1
+        for t in node.enabled:
+            if t in node.tried:
+                continue
+            if t in node.sleep_in:
+                report.pruned_branches += 1
+            else:
+                report.budget_skipped += 1
+        nodes.pop()
+    return False
+
+
+def explore(
+    fn: Callable[[], None],
+    *,
+    name: str = "",
+    max_preemptions: int = 2,
+    step_budget: int = 20_000,
+    max_schedules: int | None = None,
+    max_seconds: float | None = None,
+    use_lockcheck: bool = True,
+    use_racecheck: bool = True,
+    stop_on_failure: bool = True,
+) -> ExplorationReport:
+    """Exhaustively explore ``fn``'s schedules up to ``max_preemptions``.
+
+    Bounds are iterative: the search completes every schedule with 0
+    preemptions, then every additional one reachable with 1, and so on —
+    re-executions of schedules already seen at a lower bound are detected
+    by fingerprint and not double-counted. ``max_schedules`` and
+    ``max_seconds`` cap the search (``report.complete`` turns False).
+    """
+    report = ExplorationReport(
+        harness=name or getattr(fn, "__name__", "harness"),
+        max_preemptions=max_preemptions,
+    )
+    seen: set[str] = set()
+    failed: set[str] = set()
+    started = time.monotonic()  # repro: allow(RA101) — wall budget for the search itself
+
+    for bound in range(max_preemptions + 1):
+        report.per_bound.setdefault(bound, 0)
+        nodes: list[_Node] = []
+        more = True
+        while more:
+            if max_schedules is not None and report.schedules >= max_schedules:
+                report.complete = False
+                more = False
+                break
+            if (
+                max_seconds is not None
+                and time.monotonic() - started > max_seconds  # repro: allow(RA101)
+            ):
+                report.complete = False
+                more = False
+                break
+            policy = _TreePolicy(nodes, bound)
+            outcome = _run_once(
+                fn,
+                policy,
+                step_budget=step_budget,
+                use_lockcheck=use_lockcheck,
+                use_racecheck=use_racecheck,
+            )
+            report.runs += 1
+            fp = fingerprint_of(policy.choices)
+            if outcome.pruned:
+                report.sleep_pruned_runs += 1
+            elif fp not in seen:
+                seen.add(fp)
+                report.schedules += 1
+                report.per_bound[bound] += 1
+            if outcome.failure is not None and fp not in failed:
+                failed.add(fp)
+                if isinstance(outcome.failure, DeadlockError):
+                    report.deadlocks += 1
+                elif isinstance(outcome.failure, LivelockError):
+                    report.livelocks += 1
+                report.failures.append(
+                    ScheduleFailure(
+                        fingerprint=fp,
+                        bound=bound,
+                        error_type=type(outcome.failure).__name__,
+                        message=str(outcome.failure),
+                        trace=outcome.trace,
+                        error=outcome.failure,
+                    )
+                )
+                if stop_on_failure:
+                    report.decisions += len(nodes)
+                    report.wall_seconds = time.monotonic() - started  # repro: allow(RA101)
+                    return report
+            more = _backtrack(nodes, report)
+        if not report.complete:
+            break
+
+    report.wall_seconds = time.monotonic() - started  # repro: allow(RA101)
+    return report
+
+
+def replay(
+    fn: Callable[[], None],
+    fingerprint: str,
+    *,
+    step_budget: int = 20_000,
+    use_lockcheck: bool = True,
+    use_racecheck: bool = True,
+) -> ReplayResult:
+    """Re-execute ``fn`` under the exact schedule ``fingerprint`` encodes.
+
+    The choices are fed back through the same policy machinery that
+    produced them (sleep sets and all), so the run passes through the
+    identical sequence of decision points — and, the test body being
+    deterministic, produces the identical trace and failure.
+    """
+    choices = parse_fingerprint(fingerprint)
+    policy = _TreePolicy([], budget=1_000_000_000, forced=choices)
+    outcome = _run_once(
+        fn,
+        policy,
+        step_budget=step_budget,
+        use_lockcheck=use_lockcheck,
+        use_racecheck=use_racecheck,
+    )
+    return ReplayResult(
+        fingerprint=fingerprint,
+        failure=outcome.failure,
+        trace=outcome.trace,
+        steps=outcome.steps,
+    )
+
+
+# --------------------------------------------------------------------------
+# the pytest-facing decorator
+# --------------------------------------------------------------------------
+
+#: set to a failing fingerprint to rerun exactly that schedule
+REPLAY_ENV = "REPRO_SCHEDCHECK_REPLAY"
+
+
+def exhaustive(
+    max_preemptions: int = 2,
+    *,
+    step_budget: int = 20_000,
+    max_schedules: int | None = None,
+    max_seconds: float | None = None,
+    use_lockcheck: bool = True,
+    use_racecheck: bool = True,
+) -> Callable[[Callable[[], None]], Callable[[], None]]:
+    """Run a zero-argument test body under exhaustive schedule
+    exploration; fail with the first failing schedule's fingerprint.
+
+    With ``REPRO_SCHEDCHECK_REPLAY=<fingerprint>`` in the environment the
+    test instead replays that single schedule — the debugging loop for a
+    fingerprint reported by CI.
+    """
+
+    def decorate(fn: Callable[[], None]) -> Callable[[], None]:
+        def wrapper() -> None:
+            override = os.environ.get(REPLAY_ENV)
+            if override:
+                result = replay(
+                    fn,
+                    override,
+                    step_budget=step_budget,
+                    use_lockcheck=use_lockcheck,
+                    use_racecheck=use_racecheck,
+                )
+                if result.failure is not None:
+                    raise result.failure
+                return
+            report = explore(
+                fn,
+                name=fn.__name__,
+                max_preemptions=max_preemptions,
+                step_budget=step_budget,
+                max_schedules=max_schedules,
+                max_seconds=max_seconds,
+                use_lockcheck=use_lockcheck,
+                use_racecheck=use_racecheck,
+                stop_on_failure=True,
+            )
+            if report.failures:
+                failure = report.failures[0]
+                raise SchedCheckError(
+                    f"schedule {failure.fingerprint} fails with "
+                    f"{failure.error_type}: {failure.message}\n"
+                    f"(replay with {REPLAY_ENV}={failure.fingerprint}; "
+                    f"{report.schedules} schedules explored at bound "
+                    f"{report.max_preemptions})"
+                ) from failure.error
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

@@ -1,0 +1,316 @@
+"""Small-model harnesses: the four SOE/QoS protocols worth model-checking.
+
+Each harness is a zero-argument callable that builds a *tiny* instance of
+one protocol (model checking pays exponentially for every extra thread
+and synchronization op), runs a two-to-three-thread scenario, and asserts
+the protocol's invariant at the end. :func:`repro.analysis.schedcheck.explore`
+re-executes the callable once per schedule; any assertion failure, oracle
+error (racecheck/lockcheck strict), deadlock, or livelock on *any*
+schedule is a finding.
+
+Threads are always given explicit names — ``threading``'s default
+``Thread-N`` names use a process-global counter, which would make oracle
+messages differ between runs and break bit-for-bit replay.
+
+``sequencer_append`` doubles as the seeded-mutation harness: with
+``REPRO_SCHEDCHECK_MUTATION=sequencer-tail-race`` in the environment the
+:class:`~repro.soe.services.shared_log.Sequencer` re-grows the unguarded
+read-increment race that racecheck found in PR 4, and schedcheck must
+rediscover it within the preemption-2 bound (the calibration test that
+proves the explorer actually explores).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import AdmissionRejectedError
+
+
+# --------------------------------------------------------------------------
+# 1. PartitionMover flip/drain vs a concurrent pinned query
+# --------------------------------------------------------------------------
+
+
+def mover_flip_drain() -> None:
+    """Five-phase online move racing a pinned read launched at the flip.
+
+    Invariants: the move completes (never aborts), the query reads the
+    complete partition from *some* owner within one catalog retry (the
+    coordinator's failover discipline), and afterwards exactly one node
+    owns the partition.
+    """
+    from repro.soe.cluster import SimulatedCluster
+    from repro.soe.movement.mover import MoveJournal, PartitionMover
+    from repro.soe.partitions import hash_partition_rows
+    from repro.soe.replication import DataNode
+    from repro.soe.services.catalog_service import CatalogService, SoeTableMeta
+    from repro.soe.services.shared_log import SharedLog
+    from repro.soe.services.transaction_broker import TransactionBroker
+
+    log = SharedLog(stripes=1, replication=1)
+    broker = TransactionBroker(log)
+    cluster = SimulatedCluster()
+    cluster.add_node("donor")
+    cluster.add_node("recipient")
+    catalog = CatalogService()
+    columns = ["k", "v"]
+    catalog.register_table(SoeTableMeta("t", columns, ["k"], 2))
+    donor = DataNode("donor", broker, mode="olap")
+    recipient = DataNode("recipient", broker, mode="olap")
+    nodes = {"donor": donor, "recipient": recipient}
+    rows = [[i, float(i)] for i in range(4)]
+    parts = hash_partition_rows(rows, columns, [0], 2, "t")
+    donor.own("t", parts, [0], 2)
+    for part in parts:
+        catalog.place_partition("t", part.partition_id, "donor")
+    pid = 0
+    expected_rows = len(parts[pid])
+
+    errors: list[str] = []
+    query_thread: list[threading.Thread] = []
+
+    def pinned_read() -> None:
+        # the coordinator's shape: catalog → pin → read, with one retry
+        # if the partition vanished between the catalog read and the pin
+        # (the donor trimmed it after the flip)
+        for _ in range(2):
+            owner_id = catalog.nodes_of("t", pid)[0]
+            node = nodes[owner_id]
+            node.pin_partition("t", pid)
+            try:
+                if node.store.has_partition("t", pid):
+                    seen = len(node.store.partition("t", pid))
+                    if seen != expected_rows:
+                        errors.append(
+                            f"read {seen} rows from {owner_id}, "
+                            f"expected {expected_rows}"
+                        )
+                    return
+            finally:
+                node.unpin_partition("t", pid)
+        errors.append("no owner served the partition within one retry")
+
+    def hook(state: Any) -> None:
+        if state.phase == "flip":
+            thread = threading.Thread(target=pinned_read, name="query")
+            query_thread.append(thread)
+            thread.start()
+
+    mover = PartitionMover(
+        cluster,
+        catalog,
+        broker,
+        nodes,
+        journal=MoveJournal(),
+        phase_hook=hook,
+        max_catchup_rounds=2,
+        drain_rounds=1,
+    )
+    state = mover.move("t", pid, "donor", "recipient")
+    for thread in query_thread:
+        thread.join()
+    assert not state.aborted, f"move aborted: {state.error}"
+    assert errors == [], errors
+    assert catalog.nodes_of("t", pid) == ["recipient"]
+    assert pid in recipient.owned_partitions("t")
+    assert pid not in donor.owned_partitions("t")
+
+
+# --------------------------------------------------------------------------
+# 2. DataNode ownership install vs replication apply
+# --------------------------------------------------------------------------
+
+
+def ownership_install_vs_apply() -> None:
+    """``install_ownership`` racing the broker's OLTP push path.
+
+    A recipient installs a snapshot copy (taken at ``lsn``) while a
+    writer commits through the broker, whose ``_on_commit`` callback
+    applies into the recipient from the writer's thread. Exactly-once:
+    every key must appear exactly once afterwards, no matter where the
+    install lands relative to the two commits.
+    """
+    from repro.soe.partitions import hash_partition_rows
+    from repro.soe.replication import DataNode, make_insert
+    from repro.soe.services.shared_log import SharedLog
+    from repro.soe.services.transaction_broker import TransactionBroker
+
+    log = SharedLog(stripes=1, replication=1)
+    broker = TransactionBroker(log)
+    recipient = DataNode("recipient", broker, mode="oltp")
+    donor = DataNode("donor", broker, mode="olap")
+    columns = ["k", "v"]
+    rows = [[i, float(i)] for i in range(2)]
+    parts = hash_partition_rows(rows, columns, [0], 1, "t")
+    donor.own("t", parts, [0], 1)
+    clone, lsn = donor.snapshot_partition("t", 0)
+
+    def writer() -> None:
+        broker.submit([make_insert("t", [[100, 100.0]])])
+        broker.submit([make_insert("t", [[101, 101.0]])])
+
+    thread = threading.Thread(target=writer, name="writer")
+    thread.start()
+    recipient.install_ownership("t", clone, [0], 1, lsn)
+    thread.join()
+    recipient.catch_up()
+
+    got = sorted(row[0] for row in recipient.store.partition("t", 0).rows())
+    assert got == [0, 1, 100, 101], f"rows applied wrong: {got}"
+
+
+# --------------------------------------------------------------------------
+# 3. PlanCache concurrent bind vs invalidate
+# --------------------------------------------------------------------------
+
+
+def plancache_bind_invalidate() -> None:
+    """Two binders racing a table invalidation on one ``PlanCache``.
+
+    Invariants: no oracle error on any interleaving, the accounting
+    stays within capacity and consistent, and the ``q1`` entry can only
+    *vanish* through the one table invalidation — though it may also
+    legally survive it (the invalidator can run before the binder's
+    first ``put``, or the binder can re-insert after the drop).
+    """
+    from repro.sql.plancache import PlanCache, PlanEntry
+
+    cache = PlanCache(capacity=2)
+
+    def entry_for(table: str) -> PlanEntry:
+        # an opaque (non-dataclass) plan object is a legal leaf: the
+        # harness checks the cache's locking, not plan instantiation
+        return PlanEntry(plan=object(), slots=[], tables=frozenset({table}))
+
+    def binder() -> None:
+        for _ in range(2):
+            if cache.get("q1") is None:
+                cache.put("q1", entry_for("t"))
+
+    def invalidator() -> None:
+        cache.invalidate_table("t")
+        cache.put("q2", entry_for("u"))
+
+    threads = [
+        threading.Thread(target=binder, name="binder"),
+        threading.Thread(target=invalidator, name="invalidator"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(cache) <= 2
+    assert cache.get("q2") is not None, "untouched-table entry lost"
+    stats = cache.stats()
+    assert stats["size"] == len(cache), "size accounting drifted"
+    # one invalidate_table call can drop at most the single live q1 entry
+    assert stats["invalidations"] <= 1, stats
+    if "q1" not in cache:
+        # capacity 2 with two keys never evicts, so only the
+        # invalidation can explain a missing q1
+        assert stats["invalidations"] == 1, stats
+
+
+# --------------------------------------------------------------------------
+# 4. AdmissionController enqueue vs shed vs drain
+# --------------------------------------------------------------------------
+
+
+def admission_enqueue_shed() -> None:
+    """A depth-1 front door: submitter racing a drainer.
+
+    Depending on the schedule the second submit is shed (queue still
+    full) or admitted (the drainer popped first) — both are legal; what
+    must hold on *every* schedule is ticket conservation:
+    submitted == admitted + shed, and nothing both shed and executed.
+    """
+    from repro.qos.admission import AdmissionConfig, AdmissionController
+
+    controller = AdmissionController(AdmissionConfig(queue_depth=1))
+
+    def submitter() -> None:
+        for _ in range(2):
+            try:
+                controller.submit("olap")
+            except AdmissionRejectedError:
+                pass
+
+    def drainer() -> None:
+        controller.run_one()
+        controller.run_one()
+
+    threads = [
+        threading.Thread(target=submitter, name="submitter"),
+        threading.Thread(target=drainer, name="drainer"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    controller.run_all()
+
+    assert controller.conserved(), controller.snapshot()
+    counts = controller.counts("olap")
+    assert counts["submitted"] == 2
+
+
+# --------------------------------------------------------------------------
+# 5. shared-log sequencer (the seeded-mutation calibration harness)
+# --------------------------------------------------------------------------
+
+
+def sequencer_append() -> None:
+    """Two appenders on a one-stripe log: addresses must be unique and
+    the tail must account for both. Clean today; under
+    ``REPRO_SCHEDCHECK_MUTATION=sequencer-tail-race`` the sequencer's
+    lock is bypassed and schedcheck must find the duplicate-address /
+    data-race failure within two preemptions."""
+    from repro.soe.services.shared_log import SharedLog
+
+    log = SharedLog(stripes=1, replication=1)
+
+    def appender(tag: str) -> Callable[[], None]:
+        def run() -> None:
+            log.append({"who": tag})
+
+        return run
+
+    threads = [
+        threading.Thread(target=appender("a"), name="appender-a"),
+        threading.Thread(target=appender("b"), name="appender-b"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert log.tail == 2, f"tail {log.tail} after two appends"
+    assert log.is_written(0) and log.is_written(1)
+
+
+#: name -> (callable, one-line description); the CLI and CI job iterate this
+HARNESSES: dict[str, tuple[Callable[[], None], str]] = {
+    "mover_flip_drain": (
+        mover_flip_drain,
+        "PartitionMover flip/drain vs a concurrent pinned query",
+    ),
+    "ownership_install_vs_apply": (
+        ownership_install_vs_apply,
+        "DataNode ownership install vs broker OLTP apply push",
+    ),
+    "plancache_bind_invalidate": (
+        plancache_bind_invalidate,
+        "PlanCache concurrent bind vs table invalidation",
+    ),
+    "admission_enqueue_shed": (
+        admission_enqueue_shed,
+        "AdmissionController enqueue/shed vs drain (ticket conservation)",
+    ),
+    "sequencer_append": (
+        sequencer_append,
+        "shared-log sequencer appends (seeded-mutation calibration)",
+    ),
+}

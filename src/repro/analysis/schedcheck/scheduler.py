@@ -1,0 +1,682 @@
+"""The deterministic cooperative scheduler behind ``repro.analysis.schedcheck``.
+
+A CHESS/loom-style model checker re-executes a multi-threaded test many
+times, each time forcing a different interleaving. That only works if the
+test's threads never actually run concurrently: this module serializes
+them onto a single *runnable token*. Every thread parks on a private gate
+(a raw OS lock) and only the token holder executes; at each *yield point*
+— the seams in :mod:`repro.analysis.events`: lock acquire/release, thread
+start/join, queue put/get, tracked-field access, ``SharedLog.append``,
+``SimulatedCluster.transfer`` — the running thread asks the scheduling
+*policy* which thread runs next and hands the token over. Between yield
+points threads run uninstrumented straight-line code, which is sound for
+the same reason racecheck only instruments these seams: interleavings of
+code that touches no shared state are equivalent.
+
+Blocking operations are *modeled*, never performed: a thread that would
+block on a lock, queue, or join instead marks itself blocked and parks in
+the scheduler (``block_on``), to be woken by the matching ``notify``.
+Because the scheduler therefore always knows the complete blocked-set, it
+detects **deadlock** exactly (every live thread blocked) and **livelock**
+by step budget (the policy keeps choosing but nothing terminates). Both
+are reported as failures of the schedule being explored.
+
+Known model limits (documented, asserted nowhere):
+
+* timed waits (``Lock.acquire(timeout=...)``, ``Queue.get(timeout=...)``,
+  ``Thread.join(timeout=...)``) are modeled as untimed — time is
+  simulated in this codebase, so a schedule where the timeout fires is a
+  schedule where the wakeup is delayed forever, i.e. covered by deadlock
+  detection;
+* ``threading.Condition``/``Event`` park on raw locks the scheduler
+  cannot see; harnesses must synchronize with locks, queues, joins, or
+  tracked fields (everything under ``src/repro`` already does).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.analysis import events, racecheck
+from repro.errors import ReproError
+
+#: raw-lock factory: gates must bypass the patched ``threading.Lock``
+_RAW_LOCK = threading._allocate_lock
+
+# our wrappers sit between user code and racecheck's site capture; hide
+# them from reported access sites just like racecheck hides its own
+if __file__ not in racecheck._SKIP_FILES:
+    racecheck._SKIP_FILES = (*racecheck._SKIP_FILES, __file__)
+
+
+class SchedCheckError(ReproError):
+    """Scheduler misuse, replay divergence, or an exploration failure."""
+
+
+class DeadlockError(SchedCheckError):
+    """Every live thread of a schedule is blocked on a modeled wait."""
+
+
+class LivelockError(SchedCheckError):
+    """A schedule exhausted its step budget without terminating."""
+
+
+class _SchedAbort(BaseException):
+    """Unwinds a model thread while a run is torn down (failure, prune,
+    or drain). A ``BaseException`` so harness code catching ``Exception``
+    cannot swallow it and keep running off-schedule."""
+
+
+class _PruneRun(BaseException):
+    """Raised by a policy when every eligible continuation is in the
+    sleep set: the rest of this run would re-execute an interleaving
+    equivalence class that has already been explored."""
+
+
+@dataclass(frozen=True)
+class Op:
+    """One pending interesting event: what a thread will do next.
+
+    ``kind`` is a seam name from :data:`repro.analysis.events.SEAMS`
+    (plus the synthetic ``"thread.begin"`` for a thread's first step);
+    ``okey`` is the per-run sequential id of the sync object or tracked
+    field involved (0 when there is none). Per-run ids — not object ids
+    or racecheck's global lock counter — keep traces and fingerprints
+    stable across repeated executions of the same program.
+    """
+
+    kind: str
+    okey: int
+    label: str
+    is_write: bool = False
+
+
+_FIELD_KINDS = frozenset({"field.read", "field.write"})
+_COMMUTING_KINDS = frozenset({"thread.begin", "thread.join", "thread.start"})
+
+
+def dependent(a: Op | None, b: Op | None) -> bool:
+    """May the order of two pending operations matter? (the persistent-set
+    independence relation used by sleep-set pruning).
+
+    Conservative by construction: unknown pairs are dependent. Known
+    commuting pairs: anything on *different* objects; read/read on the
+    same tracked field; thread begin/start/join bookkeeping (their
+    effects are captured by the blocked/runnable state transitions the
+    scheduler models separately, and a fresh thread's first tracked
+    touch is itself a yield point).
+    """
+    if a is None or b is None:
+        return True
+    if a.kind in _COMMUTING_KINDS or b.kind in _COMMUTING_KINDS:
+        return False
+    if a.okey != b.okey:
+        return False
+    if a.kind in _FIELD_KINDS and b.kind in _FIELD_KINDS:
+        return a.is_write or b.is_write
+    return True
+
+
+class _TState:
+    """Per-model-thread scheduler state."""
+
+    __slots__ = (
+        "tid", "name", "gate", "state", "waiting_on", "pending",
+        "thread", "parked", "guard_depth",
+    )
+
+    def __init__(self, tid: int, name: str) -> None:
+        self.tid = tid
+        self.name = name
+        self.gate = _RAW_LOCK()
+        self.gate.acquire()  # repro: allow(RA102) — born held: a release is a grant, never paired here
+        self.state = "runnable"  # runnable | blocked | finished
+        self.waiting_on: tuple | None = None
+        self.pending: Op | None = None
+        self.thread: threading.Thread | None = None
+        self.parked = False
+        self.guard_depth = 0
+
+
+class Scheduler:
+    """Serializes model threads onto one runnable token and consults a
+    policy at every yield point. One instance per executed schedule."""
+
+    def __init__(self, policy: Any, step_budget: int = 20_000) -> None:
+        self.policy = policy
+        self.step_budget = step_budget
+        #: executed transitions: (tid, op.kind, op.label)
+        self.trace: list[tuple[int, str, str]] = []
+        self.failure: BaseException | None = None
+        self.failure_tid: int | None = None
+        self.pruned = False
+        self.steps = 0
+        self._local = threading.local()
+        self._threads: list[_TState] = []
+        self._by_thread: dict[int, _TState] = {}
+        self._objs: dict[int, tuple[int, Any]] = {}
+        self._aborting = False
+        self._fail_lock = _RAW_LOCK()
+
+    # -- identity ----------------------------------------------------------
+
+    def me(self) -> _TState | None:
+        return getattr(self._local, "st", None)
+
+    def _active_here(self) -> _TState | None:
+        """The current model thread, or ``None`` when the caller is
+        untracked, inside a modeled operation (guard), or unwinding."""
+        st = self.me()
+        if st is None or self._aborting or st.guard_depth > 0:
+            return None
+        return st
+
+    def key_of(self, obj: Any) -> int:
+        """Per-run sequential id for a sync object / tracked field. Holds
+        a strong reference so ``id`` reuse cannot alias two objects."""
+        entry = self._objs.get(id(obj))
+        if entry is None or entry[1] is not obj:
+            entry = (len(self._objs) + 1, obj)
+            self._objs[id(obj)] = entry
+        return entry[0]
+
+    @contextmanager
+    def guard(self) -> Iterator[None]:
+        """Suppress nested yield points while performing the inner
+        (real) half of a modeled operation — e.g. ``Queue.put`` takes the
+        queue's internal mutex, which is itself a patched lock."""
+        st = self.me()
+        if st is None:
+            yield
+            return
+        st.guard_depth += 1
+        try:
+            yield
+        finally:
+            st.guard_depth -= 1
+
+    # -- scheduling core ---------------------------------------------------
+
+    def yield_point(self, op: Op) -> None:
+        """The running thread is about to execute ``op``; let the policy
+        pick who proceeds."""
+        st = self._active_here()
+        if st is None:
+            return
+        self._step(st, op)
+
+    def block_on(self, key: tuple, op: Op) -> None:
+        """The running thread cannot proceed until ``notify(key)``.
+        Returns once re-scheduled; the caller re-checks its condition."""
+        st = self._active_here()
+        if st is None:
+            return
+        st.state = "blocked"
+        st.waiting_on = key
+        self._step(st, op)
+
+    def notify(self, key: tuple) -> None:
+        """Mark every thread blocked on ``key`` runnable again. They do
+        not run until a policy chooses them."""
+        if self.me() is None or self._aborting:
+            return
+        for other in self._threads:
+            if other.state == "blocked" and other.waiting_on == key:
+                other.state = "runnable"
+                other.waiting_on = None
+
+    def _step(self, st: _TState, op: Op) -> None:
+        self.steps += 1
+        if self.steps > self.step_budget:
+            self._fail(
+                LivelockError(
+                    f"step budget {self.step_budget} exhausted at {op.label}: "
+                    "livelock, or a model too large for exhaustive exploration"
+                ),
+                st,
+            )
+        st.pending = op
+        chosen = self._choose(st)
+        if chosen is not st:
+            self._switch_to(st, chosen)
+        # the token is (back) with st: op executes now
+        st.pending = None
+        self._executed(st, op)
+
+    def _executed(self, st: _TState, op: Op) -> None:
+        self.trace.append((st.tid, op.kind, op.label))
+        others = {
+            t.tid: t.pending
+            for t in self._threads
+            if t is not st and t.state == "runnable" and t.pending is not None
+        }
+        self.policy.on_op(st.tid, op, others)
+
+    def _choose(self, st: _TState) -> _TState:
+        enabled = [t for t in self._threads if t.state == "runnable"]
+        if not enabled:
+            blocked = "; ".join(
+                f"thread {t.tid} ({t.name}) blocked on {t.waiting_on!r}"
+                f" at {t.pending.label if t.pending else '?'}"
+                for t in self._threads
+                if t.state == "blocked"
+            )
+            self._fail(DeadlockError(f"all threads blocked: {blocked}"), st)
+        try:
+            chosen_tid = self.policy.choose(
+                current=st.tid,
+                enabled=[t.tid for t in enabled],
+                pending={t.tid: t.pending for t in enabled},
+            )
+        except _PruneRun:
+            self.pruned = True
+            self._abort(exclude=st)
+            raise _SchedAbort() from None
+        for t in enabled:
+            if t.tid == chosen_tid:
+                return t
+        raise SchedCheckError(
+            f"policy chose thread {chosen_tid} which is not enabled "
+            f"({[t.tid for t in enabled]})"
+        )
+
+    def _switch_to(self, st: _TState, chosen: _TState) -> None:
+        st.parked = True
+        chosen.parked = False
+        chosen.gate.release()
+        st.gate.acquire()  # repro: allow(RA102) — token hand-off: the next grantor releases
+        st.parked = False
+        if self._aborting:
+            raise _SchedAbort() from None
+
+    def _fail(self, exc: BaseException, st: _TState | None) -> None:
+        """Record the first failure of this run and unwind the caller."""
+        with self._fail_lock:
+            if self.failure is None:
+                self.failure = exc
+                self.failure_tid = st.tid if st is not None else None
+        self._abort(exclude=st)
+        raise _SchedAbort() from None
+
+    def _abort(self, exclude: _TState | None = None) -> None:
+        """Stop scheduling and wake every parked thread so it unwinds.
+        Only ever called by the token holder, so all other model threads
+        are genuinely parked on their gates."""
+        self._aborting = True
+        for t in self._threads:
+            if t is exclude or not t.parked:
+                continue
+            t.parked = False
+            try:
+                t.gate.release()
+            except RuntimeError:  # pragma: no cover - already released
+                pass
+
+    # -- thread lifecycle --------------------------------------------------
+
+    def register_thread(self, thread: threading.Thread) -> _TState:
+        st = _TState(len(self._threads), thread.name)
+        st.pending = Op("thread.begin", 0, f"begin:{thread.name}")
+        st.thread = thread
+        self._threads.append(st)
+        self._by_thread[id(thread)] = st
+        return st
+
+    def state_for(self, thread: threading.Thread) -> _TState | None:
+        return self._by_thread.get(id(thread))
+
+    def gated(self, st: _TState, original_run: Callable[[], None]) -> None:
+        """Body of a model thread: park until first granted, then run the
+        target with failure capture, then hand the token onward."""
+        self._local.st = st
+        st.parked = True
+        st.gate.acquire()  # repro: allow(RA102) — waits for the first grant; released on hand-off
+        st.parked = False
+        try:
+            if not self._aborting:
+                st.pending = None
+                self._executed(st, Op("thread.begin", 0, f"begin:{st.name}"))
+                original_run()
+        except _SchedAbort:
+            pass
+        except BaseException as exc:  # repro: allow(RA104) — recorded in self.failure, re-raised by run()
+            with self._fail_lock:
+                if self.failure is None:
+                    self.failure = exc
+                    self.failure_tid = st.tid
+            self._abort(exclude=st)
+        finally:
+            try:
+                self._thread_finished(st)
+            except _SchedAbort:
+                pass
+            self._local.st = None
+
+    def _thread_finished(self, st: _TState) -> None:
+        st.state = "finished"
+        if self._aborting:
+            return
+        for other in self._threads:
+            if other.state == "blocked" and other.waiting_on == ("thread.join", st.tid):
+                other.state = "runnable"
+                other.waiting_on = None
+        root = self._threads[0]
+        if (
+            root.state == "blocked"
+            and root.waiting_on == ("drain",)
+            and all(t.state == "finished" for t in self._threads[1:])
+        ):
+            root.state = "runnable"
+            root.waiting_on = None
+        enabled = [t for t in self._threads if t.state == "runnable"]
+        if not enabled:
+            blocked = [t for t in self._threads if t.state == "blocked"]
+            if blocked:
+                self._fail(
+                    DeadlockError(
+                        "all threads blocked after thread "
+                        f"{st.tid} ({st.name}) finished: "
+                        + "; ".join(
+                            f"thread {t.tid} on {t.waiting_on!r}" for t in blocked
+                        )
+                    ),
+                    st,
+                )
+            return
+        # forced handoff: the finishing thread grants its successor and exits
+        try:
+            chosen_tid = self.policy.choose(
+                current=st.tid,
+                enabled=[t.tid for t in enabled],
+                pending={t.tid: t.pending for t in enabled},
+            )
+        except _PruneRun:
+            self.pruned = True
+            self._abort(exclude=st)
+            return
+        for t in enabled:
+            if t.tid == chosen_tid:
+                t.parked = False
+                t.gate.release()
+                return
+        raise SchedCheckError(f"policy chose non-enabled thread {chosen_tid}")
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, fn: Callable[[], None]) -> None:
+        """Execute ``fn`` as the root model thread under this scheduler.
+        Failures (oracle errors, assertions, deadlock, livelock) land in
+        ``self.failure``; sleep-set prunes set ``self.pruned``."""
+        if self._threads:
+            raise SchedCheckError("Scheduler instances are single-use")
+        root = _TState(0, "root")
+        self._threads.append(root)
+        self._local.st = root
+        try:
+            try:
+                fn()
+            except _SchedAbort:
+                pass
+            except BaseException as exc:  # repro: allow(RA104) — recorded in self.failure, re-raised below
+                with self._fail_lock:
+                    if self.failure is None:
+                        self.failure = exc
+                        self.failure_tid = 0
+                self._abort(exclude=root)
+            if self.failure is None and not self._aborting:
+                try:
+                    self._drain(root)
+                except _SchedAbort:
+                    pass
+        finally:
+            self._local.st = None
+            self._aborting = True
+            self._abort(exclude=root)
+            for t in self._threads[1:]:
+                if t.thread is not None:
+                    t.thread.join(timeout=5.0)
+
+    def _drain(self, root: _TState) -> None:
+        """Root finished its body: keep scheduling until every spawned
+        thread ran to completion (a test that forgets to join still has
+        its stragglers explored rather than leaked)."""
+        op = Op("thread.join", 0, "drain")
+        while any(t.state != "finished" for t in self._threads[1:]):
+            self.block_on(("drain",), op)
+
+
+# --------------------------------------------------------------------------
+# instrumentation: turning the event-registry seams into yield points
+# --------------------------------------------------------------------------
+
+
+class SchedLock:
+    """``threading.Lock`` stand-in during exploration. Wraps whatever the
+    previously-installed factory builds (racecheck's ``TrackedLock`` over
+    lockcheck's instrumented lock over the raw lock), yields at the
+    ``lock.acquire``/``lock.release`` seams, and models contention
+    cooperatively so a contending thread parks in the scheduler, never in
+    the OS."""
+
+    __slots__ = ("_inner", "_sched", "_okey")
+
+    def __init__(self, inner: Any, sched: Scheduler) -> None:
+        self._inner = inner
+        self._sched = sched
+        self._okey = sched.key_of(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sched = self._sched
+        if sched._active_here() is None:
+            return self._inner.acquire(blocking, timeout)  # repro: allow(RA102) — this IS the lock implementation
+        op = Op("lock.acquire", self._okey, f"lock#{self._okey}.acquire")
+        sched.yield_point(op)
+        while True:
+            with sched.guard():
+                got = self._inner.acquire(False)  # repro: allow(RA102) — this IS the lock implementation
+            if got:
+                return True
+            if not blocking:
+                return False
+            # timed acquires are modeled as untimed (simulated time)
+            sched.block_on(("lock", self._okey), op)
+
+    def release(self) -> None:
+        sched = self._sched
+        if sched._active_here() is None:
+            self._inner.release()
+            return
+        sched.yield_point(Op("lock.release", self._okey, f"lock#{self._okey}.release"))
+        with sched.guard():
+            self._inner.release()
+        sched.notify(("lock", self._okey))
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()  # repro: allow(RA102) — released by __exit__
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+def _fence_wrapper(inner: Any, name: str, sched: Scheduler) -> Any:
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if sched._active_here() is not None:
+            sched.yield_point(Op(name, sched.key_of(self), name))
+        return inner(self, *args, **kwargs)
+
+    wrapper.__name__ = getattr(inner, "__name__", name)
+    wrapper.__wrapped__ = inner
+    return wrapper
+
+
+def instrument_locks(sched: Scheduler) -> Callable[[], None]:
+    """Install the ``SchedLock`` factory as the *innermost* lock layer
+    (seams lock.acquire / lock.release).
+
+    This must run **before** ``lockcheck.install``/``racecheck.install``
+    so every instrumented lock bottoms out in a ``SchedLock`` — including
+    locks built through factory references captured earlier (module
+    globals, dataclass ``default_factory``). A contended acquire then
+    always parks in the scheduler, never in the OS, no matter which
+    sanitizer layer the caller entered through. Returns an undo callable.
+    """
+    prev_factory = threading.Lock
+
+    def lock_factory() -> SchedLock:
+        return SchedLock(prev_factory(), sched)
+
+    threading.Lock = lock_factory  # type: ignore[assignment]
+
+    def undo() -> None:
+        threading.Lock = prev_factory  # type: ignore[assignment]
+
+    return undo
+
+
+def instrument(sched: Scheduler) -> Callable[[], None]:
+    """Install yield points for every non-lock seam in the event registry,
+    layered on top of whatever is already installed (the lock seams go in
+    separately — and innermost — via :func:`instrument_locks`; then
+    lockcheck, then racecheck, then this). Returns an undo callable
+    restoring the previous layer exactly."""
+    patches: list[tuple[Any, str, Any]] = []
+
+    def patch(owner: Any, attr: str, replacement: Any) -> None:
+        patches.append((owner, attr, owner.__dict__.get(attr, getattr(owner, attr))))
+        setattr(owner, attr, replacement)
+
+    # -- threads (seams thread.start / thread.join)
+    #
+    # Determinism needs surgery here. racecheck's patched ``start`` has the
+    # child register with the detector the moment its OS thread spawns —
+    # *before* our gate parks it — so detector tids would be assigned at
+    # OS-racy times. Instead we call the *base* ``Thread.start`` directly,
+    # run the detector's start edge on the token holder, and defer child
+    # registration into the gate (``gated`` runs it once the child is first
+    # granted, i.e. at a policy-chosen point). The ``_started`` Event
+    # handshake inside ``Thread.start``/``_bootstrap_inner`` is rebuilt on a
+    # raw lock for the same reason: its patched-lock ops would otherwise
+    # yield and hit the detector at times the scheduler does not control.
+    inner_start = threading.Thread.start
+    inner_join = threading.Thread.join
+    base_start = inner_start
+    while hasattr(base_start, "__wrapped__"):
+        base_start = base_start.__wrapped__
+
+    def start(self: threading.Thread) -> None:
+        if sched._active_here() is None:
+            inner_start(self)
+            return
+        sched.yield_point(Op("thread.start", 0, f"start:{self.name}"))
+        detector = racecheck.current_detector()
+        if detector is not None:
+            detector.on_thread_start(self)
+        st = sched.register_thread(self)
+        original_run = self.run
+
+        def model_run() -> None:
+            inner_detector = racecheck.current_detector()
+            if inner_detector is not None:
+                inner_detector.register_thread(self)
+            original_run()
+
+        self.run = lambda: sched.gated(st, model_run)
+        self._started._cond = threading.Condition(_RAW_LOCK())
+        with sched.guard():
+            base_start(self)
+
+    def join(self: threading.Thread, timeout: float | None = None) -> None:
+        target = sched.state_for(self)
+        if sched._active_here() is None or target is None:
+            inner_join(self, timeout)
+            return
+        op = Op("thread.join", 0, f"join:thread#{target.tid}")
+        sched.yield_point(op)
+        while target.state != "finished" and not sched._aborting:
+            sched.block_on(("thread.join", target.tid), op)
+        with sched.guard():
+            inner_join(self, 5.0)
+
+    patch(threading.Thread, "start", start)
+    patch(threading.Thread, "join", join)
+
+    # -- queues (seams queue.put / queue.get), modeled non-blocking
+    inner_put = queue_module.Queue.put
+    inner_get = queue_module.Queue.get
+
+    def put(self: Any, item: Any, block: bool = True, timeout: float | None = None) -> None:
+        if sched._active_here() is None:
+            inner_put(self, item, block, timeout)
+            return
+        okey = sched.key_of(self)
+        op = Op("queue.put", okey, f"queue#{okey}.put")
+        sched.yield_point(op)
+        while True:
+            with sched.guard():
+                try:
+                    inner_put(self, item, False)
+                    stored = True
+                except queue_module.Full:
+                    stored = False
+            if stored:
+                sched.notify(("queue.item", okey))
+                return
+            if not block:
+                raise queue_module.Full
+            sched.block_on(("queue.space", okey), op)
+
+    def get(self: Any, block: bool = True, timeout: float | None = None) -> Any:
+        if sched._active_here() is None:
+            return inner_get(self, block, timeout)
+        okey = sched.key_of(self)
+        op = Op("queue.get", okey, f"queue#{okey}.get")
+        sched.yield_point(op)
+        while True:
+            with sched.guard():
+                try:
+                    item = inner_get(self, False)
+                    found = True
+                except queue_module.Empty:
+                    found = False
+                    item = None
+            if found:
+                sched.notify(("queue.space", okey))
+                return item
+            if not block:
+                raise queue_module.Empty
+            sched.block_on(("queue.item", okey), op)
+
+    patch(queue_module.Queue, "put", put)
+    patch(queue_module.Queue, "get", get)
+
+    # -- message fences from the registry (SharedLog.append, transfer)
+    for seam in events.seams(kind="fence", patchable=True):
+        owner, attr = events.resolve(seam)
+        patch(owner, attr, _fence_wrapper(getattr(owner, attr), seam.name, sched))
+
+    # -- tracked-field accesses, via the shared dispatch. front=True so
+    # the scheduler yields *before* the race detector observes the access.
+    def field_listener(var: Any, is_write: bool) -> None:
+        st = sched._active_here()
+        if st is None:
+            return
+        kind = "field.write" if is_write else "field.read"
+        sched.yield_point(Op(kind, sched.key_of(var), var.name, is_write))
+
+    events.add_field_listener(field_listener, front=True)
+    events.request_field_proxies()
+
+    def undo() -> None:
+        events.release_field_proxies()
+        events.remove_field_listener(field_listener)
+        for owner, attr, original in reversed(patches):
+            setattr(owner, attr, original)
+
+    return undo

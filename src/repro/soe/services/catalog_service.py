@@ -43,7 +43,14 @@ class CatalogService:
     _placement: dict[tuple[str, int], list[str]] = field(default_factory=dict)
     #: guards both maps — registration and (re)placement race with the
     #: cluster manager's rebalancing thread
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        # a lambda, not `threading.Lock` itself: the factory must be
+        # looked up at *instance* creation so sanitizer/scheduler lock
+        # layers installed after this module imported still wrap it
+        default_factory=lambda: threading.Lock(),
+        repr=False,
+        compare=False,
+    )
 
     # -- schema -------------------------------------------------------------
 

@@ -29,7 +29,14 @@ class DiscoveryService:
     """Service registry: which nodes host which service kind."""
 
     _services: dict[str, list[str]] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        # a lambda, not `threading.Lock` itself: the factory must be
+        # looked up at *instance* creation so sanitizer/scheduler lock
+        # layers installed after this module imported still wrap it
+        default_factory=lambda: threading.Lock(),
+        repr=False,
+        compare=False,
+    )
 
     def announce(self, service_kind: str, node_id: str) -> None:
         with self._lock:
@@ -66,7 +73,14 @@ class AuthorizationService:
 
     _grants: dict[str, set[str]] = field(default_factory=dict)
     _credentials: dict[str, str] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        # a lambda, not `threading.Lock` itself: the factory must be
+        # looked up at *instance* creation so sanitizer/scheduler lock
+        # layers installed after this module imported still wrap it
+        default_factory=lambda: threading.Lock(),
+        repr=False,
+        compare=False,
+    )
 
     def create_user(self, user: str, secret: str) -> None:
         with self._lock:

@@ -81,17 +81,45 @@ class MemorySegmentStore:
         return len(self._entries)
 
 
+def _seeded_mutation(name: str) -> bool:
+    """True when the named calibration bug is switched on.
+
+    ``REPRO_SCHEDCHECK_MUTATION=<name>`` re-introduces a *fixed* bug so
+    the schedcheck explorer can prove it would have found it (the model
+    checker's smoke-detector test). Read from the environment at call
+    time — never cached — so a test can flip it per-run. Production code
+    paths are unchanged while the variable is unset.
+    """
+    import os
+
+    return os.environ.get("REPRO_SCHEDCHECK_MUTATION", "") == name
+
+
+@track_fields("_cells")
 class Sequencer:
-    """The centralised address dispenser (cheap: one atomic counter)."""
+    """The centralised address dispenser (cheap: one atomic counter).
+
+    The counter lives in a racecheck-tracked cell so the PR 4 race this
+    class had (unguarded read-increment in ``next_address`` racing the
+    ``tail`` read) stays *visible* to the dynamic tools: under
+    ``REPRO_SCHEDCHECK_MUTATION=sequencer-tail-race`` the lock is
+    bypassed and schedcheck/racecheck must rediscover the bug.
+    """
 
     def __init__(self) -> None:
-        self._next = 0
+        self._cells = {"next": 0}
         self._lock = threading.Lock()
 
     def next_address(self) -> int:
+        if _seeded_mutation("sequencer-tail-race"):
+            # the PR 4 bug, verbatim: check-then-act without the lock —
+            # two appenders can be handed the same address
+            address = self._cells["next"]  # repro: allow(RA109) — the seeded bug itself
+            self._cells["next"] = address + 1  # repro: allow(RA103) — the seeded bug itself
+            return address
         with self._lock:
-            address = self._next
-            self._next += 1
+            address = self._cells["next"]
+            self._cells["next"] = address + 1
             return address
 
     @property
@@ -99,8 +127,10 @@ class Sequencer:
         """The next address to be issued (== log length). Read under the
         dispenser's lock — the unguarded read racing ``next_address`` is
         the check-then-act shape RA109 flags."""
+        if _seeded_mutation("sequencer-tail-race"):
+            return self._cells["next"]  # repro: allow(RA109) — the seeded bug itself
         with self._lock:
-            return self._next
+            return self._cells["next"]
 
 
 StoreFactory = Callable[[str], Any]

@@ -560,3 +560,110 @@ def test_ra111_out_of_scope_path_not_checked():
             return deque()
     """
     assert codes(src, rel_path="src/repro/sql/executor.py", select=["RA111"]) == []
+
+
+# -- RA116: polling loops without a scheduling seam -------------------------------
+
+_SOE_PATH = "src/repro/soe/services/node.py"
+
+
+def test_ra116_flags_time_sleep_in_scope():
+    src = """
+        import time
+
+        def wait_ready(node):
+            time.sleep(0.05)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == ["RA116"]
+
+
+def test_ra116_flags_imported_sleep_alias():
+    src = """
+        from time import sleep
+
+        def wait_ready(node):
+            sleep(0.05)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == ["RA116"]
+
+
+def test_ra116_flags_busy_wait_loop():
+    src = """
+        def wait_flip(mover):
+            while not mover.flip_committed:
+                pass
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == ["RA116"]
+
+
+def test_ra116_accepts_clock_advancing_drain():
+    src = """
+        def drain(node, clock):
+            while node.pin_count(0) > 0:
+                clock.advance(0.001)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+def test_ra116_accepts_queue_and_lock_waits():
+    src = """
+        def consume(q, out):
+            while not q.empty():
+                out.extend([q.get()])
+
+        def guarded(lock, state):
+            while not state.done:
+                with lock:
+                    state = state.refresh()
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+def test_ra116_accepts_work_loop_mutating_tested_object():
+    src = """
+        def pump(stack):
+            while stack:
+                stack.pop()
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+def test_ra116_accepts_loop_assigning_test_name():
+    src = """
+        def catch_up(broker, lsn, bound):
+            while lsn < bound:
+                lsn = broker.applied_lsn()
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+def test_ra116_while_true_left_to_ra107():
+    src = """
+        def forever():
+            while True:
+                pass
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+def test_ra116_out_of_scope_path_not_checked():
+    src = """
+        import time
+
+        def wait():
+            time.sleep(1)
+    """
+    assert codes(src, rel_path="src/repro/sql/executor.py", select=["RA116"]) == []
+
+
+def test_ra116_suppressed_by_code_and_by_name():
+    src = """
+        import time
+
+        def wait_a(node):
+            time.sleep(0.01)  # repro: allow(RA116)
+
+        def wait_b(node):
+            time.sleep(0.01)  # repro: allow(polling-loop-without-seam)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []

@@ -1,0 +1,141 @@
+"""Inline-suppression hygiene: comment-only parsing and the stale audit.
+
+A ``# repro: allow(...)`` that no longer suppresses anything is a latent
+hazard — it would silently swallow the *next* finding on its line — so
+``--suppression-report`` lists every such token, and only real comments
+(never docstrings quoting the syntax) count as suppressions at all.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.analyze import analyze_source
+from tools.analyze.__main__ import main as analyze_main
+from tools.analyze.core import FileContext, audit_suppressions
+
+_LIVE = """\
+import time
+
+
+def hot_path():
+    return time.time()  # repro: allow(RA101)
+"""
+
+_STALE = """\
+import time
+
+
+def fixed_path():
+    return 1  # repro: allow(RA101)
+"""
+
+_DOCSTRING_MENTION = '''\
+import time
+
+
+def hot_path():
+    """Suppress a finding with ``# repro: allow(RA101)`` on its line."""
+    return time.time()
+'''
+
+
+def _tree(tmp_path: Path, name: str, source: str) -> str:
+    pkg = tmp_path / "src" / "repro" / "sql"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / name).write_text(source)
+    return str(tmp_path / "src")
+
+
+# -- parsing: only real comments suppress ------------------------------------------
+
+
+def test_docstring_mention_does_not_suppress():
+    findings = analyze_source(_DOCSTRING_MENTION, "src/repro/sql/executor.py")
+    assert [f.code for f in findings] == ["RA101"]
+
+
+def test_docstring_mention_is_not_a_suppression_line():
+    ctx = FileContext("src/repro/sql/executor.py", _DOCSTRING_MENTION)
+    assert ctx._suppressions == {}
+
+
+def test_comment_suppression_still_works():
+    assert analyze_source(_LIVE, "src/repro/sql/executor.py") == []
+
+
+def test_suppressed_findings_are_recorded_for_the_audit():
+    ctx = FileContext("src/repro/sql/executor.py", _LIVE)
+    from tools.analyze.core import _run_rules
+
+    _run_rules(ctx)
+    assert ctx.findings == []
+    assert [f.code for f in ctx.suppressed] == ["RA101"]
+    assert ctx.stale_suppressions() == []
+
+
+def test_stale_suppression_reported_with_line_and_token():
+    ctx = FileContext("src/repro/sql/executor.py", _STALE)
+    from tools.analyze.core import _run_rules
+
+    _run_rules(ctx)
+    assert ctx.findings == []
+    assert ctx.stale_suppressions() == [(5, "RA101")]
+
+
+def test_partially_stale_multi_token_line():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def hot_path():\n"
+        "    return time.time()  # repro: allow(RA101, RA104)\n"
+    )
+    ctx = FileContext("src/repro/sql/executor.py", source)
+    from tools.analyze.core import _run_rules
+
+    _run_rules(ctx)
+    # RA101 fired and was swallowed; the RA104 token guards nothing
+    assert ctx.stale_suppressions() == [(5, "RA104")]
+
+
+# -- the audit driver --------------------------------------------------------------
+
+
+def test_audit_mixes_live_and_stale(tmp_path):
+    root = _tree(tmp_path, "live.py", _LIVE)
+    _tree(tmp_path, "stale.py", _STALE)
+    stale = audit_suppressions([root])
+    assert [(Path(p).name, line, token) for p, line, token in stale] == [
+        ("stale.py", 5, "RA101")
+    ]
+
+
+def test_audit_clean_tree_is_empty(tmp_path):
+    root = _tree(tmp_path, "live.py", _LIVE)
+    assert audit_suppressions([root]) == []
+
+
+# -- the CLI flag ------------------------------------------------------------------
+
+
+def test_cli_suppression_report_flags_stale(tmp_path, capsys):
+    root = _tree(tmp_path, "stale.py", _STALE)
+    assert analyze_main([root, "--suppression-report"]) == 1
+    out = capsys.readouterr().out
+    assert "stale.py:5: stale suppression allow(RA101)" in out
+    assert "1 stale suppression(s)" in out
+
+
+def test_cli_suppression_report_clean_exits_zero(tmp_path, capsys):
+    root = _tree(tmp_path, "live.py", _LIVE)
+    assert analyze_main([root, "--suppression-report"]) == 0
+    assert "no stale suppressions" in capsys.readouterr().out
+
+
+def test_shipped_tree_has_no_stale_suppressions():
+    repo_root = Path(__file__).resolve().parents[2]
+    stale = audit_suppressions(
+        [repo_root / "src", repo_root / "tools", repo_root / "tests"]
+    )
+    assert stale == [], f"stale inline suppressions: {stale}"

@@ -8,6 +8,7 @@ Options::
     python -m tools.analyze src --changed            # only files differing from merge-base
     python -m tools.analyze src --write-baseline     # accept current findings
     python -m tools.analyze src --baseline-prune     # drop stale baseline entries
+    python -m tools.analyze src --suppression-report # list stale inline allows
     python -m tools.analyze src --sarif out.sarif    # also write a SARIF report
     python -m tools.analyze --plan-corpus            # verify a generated plan corpus
     python -m tools.analyze --list-rules
@@ -21,7 +22,7 @@ import sys
 from pathlib import Path
 
 from tools.analyze.baseline import Baseline
-from tools.analyze.core import all_rules, analyze_paths
+from tools.analyze.core import all_rules, analyze_paths, audit_suppressions
 from tools.analyze.reporters import render_json, render_sarif, render_text
 
 _DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
@@ -69,7 +70,7 @@ def changed_python_files(roots: list[str]) -> list[str] | None:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analyze",
-        description="Project-invariant linter (rules RA101–RA115).",
+        description="Project-invariant linter (rules RA101–RA116).",
     )
     parser.add_argument("paths", nargs="*", help="files or trees to analyze (e.g. src)")
     parser.add_argument("--json", action="store_true", help="emit a JSON report")
@@ -97,6 +98,11 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline-prune", action="store_true",
         help="analyze, drop baseline entries no current finding matches, "
         "rewrite the baseline, and exit 0",
+    )
+    parser.add_argument(
+        "--suppression-report", action="store_true",
+        help="list inline `# repro: allow(...)` tokens that no longer "
+        "suppress any finding (candidates for deletion); exit 1 if any",
     )
     parser.add_argument(
         "--sarif", default=None, metavar="PATH",
@@ -148,6 +154,20 @@ def main(argv: list[str] | None = None) -> int:
             paths = changed
 
     select = [c.strip() for c in args.select.split(",")] if args.select else None
+
+    if args.suppression_report:
+        stale_allows = audit_suppressions(paths, select)
+        if not stale_allows:
+            print("no stale suppressions")
+            return 0
+        for rel_path, line, token in stale_allows:
+            print(
+                f"{rel_path}:{line}: stale suppression allow({token}) — "
+                "it suppressed nothing; delete it or fix the token"
+            )
+        print(f"{len(stale_allows)} stale suppression(s)")
+        return 1
+
     findings = analyze_paths(paths, select)
 
     if args.write_baseline:

@@ -10,13 +10,16 @@ unrelated edits shift line numbers.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Type
 
-#: inline suppression syntax: ``# repro: allow(RA103)`` / ``allow(RA101, RA104)``
+#: inline suppression syntax: a line comment of the form
+#: ``repro: allow(RA103)`` or ``repro: allow(RA101, RA104)`` (hash-prefixed)
 #: — a rule may also be named by its slug, e.g. ``allow(unbounded-queue)``
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Za-z0-9,\s_-]+)\)")
 
@@ -58,17 +61,37 @@ class FileContext:
         self.rel_path = rel_path.replace(os.sep, "/")
         self.source = source
         self.findings: list[Finding] = []
+        #: findings an inline ``allow`` swallowed — kept for the
+        #: suppression audit (``--suppression-report``)
+        self.suppressed: list[Finding] = []
         self._suppressions = self._parse_suppressions(source)
+        #: line → allow-tokens that actually suppressed a finding there
+        self._used_suppressions: dict[int, set[str]] = {}
 
     @staticmethod
     def _parse_suppressions(source: str) -> dict[int, set[str]]:
-        """Map line number → codes allowed on that line."""
+        """Map line number → codes/slugs allowed on that line.
+
+        Tokenize-driven so only real ``#`` comments count — a docstring
+        *describing* the ``repro: allow(...)`` syntax must not suppress
+        anything. Malformed source (which :func:`analyze_source` reports
+        as RA000 anyway) falls back to a plain line scan.
+        """
         allowed: dict[int, set[str]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match:
-                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
-                allowed[lineno] = codes
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(tok.string)
+                if match:
+                    codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                    allowed.setdefault(tok.start[0], set()).update(codes)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            for lineno, line in enumerate(source.splitlines(), start=1):
+                match = _SUPPRESS_RE.search(line)
+                if match:
+                    codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                    allowed[lineno] = codes
         return allowed
 
     def is_suppressed(self, code: str, line: int, rule_name: str = "") -> bool:
@@ -84,9 +107,23 @@ class FileContext:
         rule_name: str = "",
     ) -> None:
         line = getattr(node, "lineno", 0)
-        if self.is_suppressed(code, line, rule_name):
+        allowed = self._suppressions.get(line)
+        if allowed and (code in allowed or (rule_name and rule_name in allowed)):
+            used = self._used_suppressions.setdefault(line, set())
+            used.update({code, rule_name} & allowed)
+            self.suppressed.append(Finding(code, self.rel_path, line, message, symbol))
             return
         self.findings.append(Finding(code, self.rel_path, line, message, symbol))
+
+    def stale_suppressions(self) -> list[tuple[int, str]]:
+        """``(line, token)`` pairs whose ``allow`` swallowed nothing this
+        run — candidates for deletion (the guarded code was fixed, the
+        rule changed, or the token was misspelled)."""
+        stale: list[tuple[int, str]] = []
+        for line, tokens in sorted(self._suppressions.items()):
+            used = self._used_suppressions.get(line, set())
+            stale.extend((line, token) for token in sorted(tokens - used))
+        return stale
 
 
 class Rule(ast.NodeVisitor):
@@ -174,12 +211,8 @@ def all_rules() -> dict[str, Type[Rule]]:
 # --------------------------------------------------------------------------
 
 
-def analyze_source(
-    source: str,
-    rel_path: str = "<memory>.py",
-    select: Iterable[str] | None = None,
-) -> list[Finding]:
-    """Run the (optionally filtered) rule set over one source string."""
+def _run_rules(ctx: FileContext, select: Iterable[str] | None = None) -> None:
+    """Run the (optionally filtered) rule set over a prepared context."""
     rules = all_rules()
     if select is not None:
         wanted = set(select)
@@ -187,22 +220,31 @@ def analyze_source(
         if unknown:
             raise ValueError(f"unknown rule codes: {sorted(unknown)}")
         rules = {code: cls for code, cls in rules.items() if code in wanted}
-    ctx = FileContext(rel_path, source)
     try:
-        tree = ast.parse(source)
+        tree = ast.parse(ctx.source)
     except SyntaxError as exc:
         ctx.findings.append(
             Finding("RA000", ctx.rel_path, exc.lineno or 0, f"syntax error: {exc.msg}")
         )
-        return ctx.findings
+        return
     for rule_cls in rules.values():
         if not rule_cls.applies_to(ctx.rel_path):
             continue
         if rule_cls.source_prefilter and not any(
-            token in source for token in rule_cls.source_prefilter
+            token in ctx.source for token in rule_cls.source_prefilter
         ):
             continue
         rule_cls(ctx).visit(tree)
+
+
+def analyze_source(
+    source: str,
+    rel_path: str = "<memory>.py",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the (optionally filtered) rule set over one source string."""
+    ctx = FileContext(rel_path, source)
+    _run_rules(ctx, select)
     return sorted(ctx.findings, key=lambda f: (f.path, f.line, f.code))
 
 
@@ -229,3 +271,25 @@ def analyze_paths(
             source = file_path.read_text(encoding="utf-8")
             findings.extend(analyze_source(source, file_path.as_posix(), select))
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def audit_suppressions(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[tuple[str, int, str]]:
+    """Stale inline suppressions: ``(path, line, token)`` for every
+    ``# repro: allow(...)`` token that suppressed no finding when the
+    full rule set ran. These are dead weight — the guarded code was
+    fixed, the rule moved, or the token was misspelled — and each one
+    would silently swallow a *future* finding on its line."""
+    stale: list[tuple[str, int, str]] = []
+    for raw in paths:
+        for file_path in iter_python_files(Path(raw)):
+            source = file_path.read_text(encoding="utf-8")
+            ctx = FileContext(file_path.as_posix(), source)
+            _run_rules(ctx, select)
+            stale.extend(
+                (ctx.rel_path, line, token)
+                for line, token in ctx.stale_suppressions()
+            )
+    return stale

@@ -182,7 +182,11 @@ class _LockAttrScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        # dataclass style: _lock: threading.Lock = field(default_factory=threading.Lock)
+        # dataclass style, either factory spelling:
+        #   _lock: threading.Lock = field(default_factory=threading.Lock)
+        #   _lock: threading.Lock = field(default_factory=lambda: threading.Lock())
+        # (the lambda defers the factory lookup so sanitizer lock layers
+        # installed after import still wrap the instance's lock)
         if (
             isinstance(node.target, ast.Name)
             and node.target.id.startswith("_")
@@ -190,7 +194,13 @@ class _LockAttrScanner(ast.NodeVisitor):
             and _call_name(node.value.func) == "field"
         ):
             for kw in node.value.keywords:
-                if kw.arg == "default_factory" and self._is_lock_factory(kw.value):
+                if kw.arg != "default_factory":
+                    continue
+                factory = kw.value
+                if isinstance(factory, ast.Lambda) and isinstance(factory.body, ast.Call):
+                    if self._is_lock_factory(factory.body.func):
+                        self.lock_attrs.add(node.target.id)
+                elif self._is_lock_factory(factory):
                     self.lock_attrs.add(node.target.id)
         self.generic_visit(node)
 
@@ -1160,3 +1170,105 @@ class UnguardedFeedbackObservation(_DataflowRule):
                     "feedback_exempt/should_stop/degraded — a memo-served or "
                     "truncated batch would be recorded as a true cardinality",
                 )
+
+
+@register
+class PollingLoopWithoutSeam(Rule):
+    """RA116 — wall-clock polling in the concurrency layer: ``time.sleep``
+    or a busy-wait loop that spins without touching a scheduling seam.
+
+    schedcheck (repro.analysis.schedcheck) serializes threads onto one
+    runnable token and hands it over only at the registry seams
+    (repro.analysis.events): lock/queue ops, join, tracked fields, the
+    message fences. A wait built from ``time.sleep`` or from re-testing
+    a condition whose inputs the loop body never changes makes progress
+    only through *wall time* or *another OS thread* — under exploration
+    that is a guaranteed livelock verdict, and in production it couples
+    protocol progress to real time the simulated clock cannot advance.
+    Wait on a lock/queue/join, or advance the injected clock.
+    """
+
+    code = "RA116"
+    name = "polling-loop-without-seam"
+    description = "time.sleep/busy-wait polling in soe/qos without a yield or clock seam"
+    source_prefilter = ("sleep", "while")
+
+    #: calls that reach a scheduling seam (or the simulated clock) and so
+    #: let a waiting loop be woken / explored deterministically
+    _SEAM_CALLS = frozenset({
+        "acquire", "release", "wait", "join", "get", "put", "get_nowait",
+        "put_nowait", "advance", "tick", "notify", "notify_all",
+        "append", "transfer",
+    })
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/soe/" in rel_path or "repro/qos/" in rel_path
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        if name in ("time.sleep", "sleep"):
+            self.report(
+                node,
+                "time.sleep() in the concurrency layer — wall-time waits are "
+                "invisible to schedcheck and the simulated clock; block on a "
+                "lock/queue/join or charge the injected clock instead",
+            )
+        self.generic_visit(node)
+
+    # -- busy-wait detection --------------------------------------------------
+
+    @staticmethod
+    def _dotted_names(node: ast.AST) -> set[str]:
+        """Bare names, attribute chains, and leaf attrs mentioned in a node."""
+        names: set[str] = set()
+        for leaf in ast.walk(node):
+            if isinstance(leaf, ast.Name):
+                names.add(leaf.id)
+            elif isinstance(leaf, ast.Attribute):
+                names.add(leaf.attr)
+                dotted = _call_name(leaf)
+                if dotted:
+                    names.add(dotted)
+        return names
+
+    def _makes_progress(self, body: list[ast.stmt], test_names: set[str]) -> bool:
+        for stmt in body:
+            for leaf in ast.walk(stmt):
+                if isinstance(leaf, (ast.Yield, ast.YieldFrom, ast.Await,
+                                     ast.Return, ast.Raise, ast.Break)):
+                    return True
+                if isinstance(leaf, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        leaf.targets if isinstance(leaf, ast.Assign) else [leaf.target]
+                    )
+                    for target in targets:
+                        if self._dotted_names(target) & test_names:
+                            return True
+                if isinstance(leaf, ast.Call):
+                    name = _call_name(leaf.func)
+                    attr = name.rsplit(".", 1)[-1]
+                    if attr in self._SEAM_CALLS:
+                        return True
+                    # a method call on an object the test reads presumably
+                    # mutates it (``while stack: stack.pop()``)
+                    if isinstance(leaf.func, ast.Attribute) and (
+                        self._dotted_names(leaf.func.value) & test_names
+                    ):
+                        return True
+        return False
+
+    def visit_While(self, node: ast.While) -> None:
+        # `while True:` is RA107's territory (unbounded retry); a test the
+        # loop can never observe changing is ours
+        if not isinstance(node.test, ast.Constant):
+            test_names = self._dotted_names(node.test)
+            if not self._makes_progress(node.body, test_names):
+                self.report(
+                    node,
+                    "busy-wait: the loop re-tests a condition its body never "
+                    "changes and touches no scheduling seam — it spins until "
+                    "another OS thread intervenes, which schedcheck reports "
+                    "as livelock; wait on a lock/queue/join or the clock",
+                )
+        self.generic_visit(node)
