@@ -1,0 +1,229 @@
+"""E29 — zombie-write rejection under rolling partitions (`repro.soe.membership`).
+
+Claim under test: with epoch-fenced ownership leases enforced on every
+write path, a landscape under a seeded rolling-partition schedule loses
+**zero** acknowledged writes — an isolated owner cannot commit, so it
+never acknowledges, and once its lease has been failed over its stale
+fence token is rejected (never merged) after the heal. With fencing
+disabled, the same schedule demonstrably split-brains: the isolated
+owner keeps acknowledging writes into its local copy, and those rows
+are absent from the committed history — acknowledged-then-lost.
+
+Measured shape: `TICKS` membership ticks against one
+`FaultPlan.partition_schedule` (identical for both arms). Each tick
+runs one front-door insert (coordinator-routed, live lease view) plus
+one direct client write at whatever node the *client* still believes
+owns the row's partition — the zombie path once that node has been
+partitioned away and failed over. `heal_after` is chosen longer than
+both the lease TTL and the detector's dead threshold, so every
+isolation walks the full ladder: silence → suspect → dead → lease
+expiry → fail-over to the surviving replica → heal → stale-token
+rejection. Ground truth for loss is the shared log: an acknowledged
+key missing from the committed history was lost the moment the client
+was told "ok". Both arms are pure functions of the seed — the driver
+replays each arm and asserts bit-identical stats. Run directly
+(``python benchmarks/bench_membership.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from repro.chaos import ChaosController, FaultPlan  # noqa: E402
+from repro.errors import FencedError, NetworkPartitionedError, SoeError  # noqa: E402
+from repro.soe.cluster import approx_row_bytes  # noqa: E402
+from repro.soe.engine import SoeEngine  # noqa: E402
+from repro.soe.partitions import route_row  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1729"))
+TICKS = 40
+RATE = 0.30
+#: ticks an isolation lasts — longer than lease TTL (5 ticks) and the
+#: detector's dead threshold (6 ticks), so fail-over happens *during*
+#: the cut and the victim comes back as a true zombie
+HEAL_AFTER = 9
+WORKERS = ["worker0", "worker1", "worker2"]
+TABLE = "readings"
+PARTITIONS = 6
+PRELOAD = 600
+
+
+def build_soe(chaos: ChaosController, enforce: bool):
+    soe = SoeEngine(node_count=3, node_modes="olap", replication=2, chaos=chaos)
+    soe.create_table(
+        TABLE, ["sensor_id", "region", "value"], ["sensor_id"], partition_count=PARTITIONS
+    )
+    soe.load(TABLE, [[i, f"r{i % 5}", float(i % 97)] for i in range(PRELOAD)])
+    membership = soe.enable_membership(enforce=enforce)
+    return soe, membership
+
+
+def key_routed_to(soe: SoeEngine, pid: int, start: int) -> int:
+    meta = soe.catalog.table(TABLE)
+    return next(
+        k
+        for k in range(start, start + 100_000)
+        if route_row([k, "x", 0.0], meta.key_positions, meta.partition_count) == pid
+    )
+
+
+def direct_write(soe, membership, node_id: str, key: int, enforce: bool) -> str:
+    """One client write at ``node_id`` carrying whatever fence tokens
+    that node still believes in. Returns the outcome: ``acked``
+    (committed through the log), ``zombie_acked`` (unfenced arm only:
+    the isolated node acknowledged into its local copy — the write the
+    log never sees), ``unavailable``, or ``fenced``."""
+    row = [key, "client", 1.0]
+    if enforce:
+        try:
+            soe.data_nodes[node_id].ingest(
+                TABLE, [row], fence=membership.cached_tokens(node_id, TABLE)
+            )
+            return "acked"
+        except FencedError:
+            return "fenced"
+        except NetworkPartitionedError:
+            return "unavailable"
+    # fencing off: the node is disciplined while it can reach the log,
+    # undisciplined when it cannot — it serves the write locally anyway
+    operation = {"op": "insert", "table": TABLE, "rows": [row]}
+    try:
+        soe.cluster.transfer(node_id, "coordinator", approx_row_bytes(row))
+        soe.broker.submit([operation])
+        return "acked"
+    except NetworkPartitionedError:
+        soe.data_nodes[node_id].ingest(TABLE, [row])
+        return "zombie_acked"
+
+
+def committed_keys(soe: SoeEngine, floor: int) -> set[int]:
+    """Every client key the shared log actually serialized."""
+    keys: set[int] = set()
+    for _address, ops in soe.broker.read_since(0):
+        for operation in ops:
+            if operation.get("op") == "insert" and operation.get("table") == TABLE:
+                for row in operation.get("rows", []):
+                    if row[0] >= floor:
+                        keys.add(row[0])
+    return keys
+
+
+def run_arm(enforce: bool) -> dict[str, object]:
+    plan = FaultPlan.partition_schedule(
+        SEED, ticks=TICKS, rate=RATE, nodes=WORKERS, heal_after=HEAL_AFTER
+    )
+    chaos = ChaosController(plan)
+    soe, membership = build_soe(chaos, enforce)
+    acked: list[int] = []
+    outcomes = {"acked": 0, "zombie_acked": 0, "unavailable": 0, "fenced": 0}
+    front_door_ok = front_door_failed = 0
+    for tick in range(TICKS):
+        chaos.tick()
+        membership.step()
+        # front-door traffic: the coordinator routes by the live lease view
+        try:
+            soe.insert(TABLE, [[10_000 + tick, "front", 0.5]])
+            acked.append(10_000 + tick)
+            front_door_ok += 1
+        except SoeError:
+            front_door_failed += 1
+        # direct traffic: a client pinned to the node it believes owns
+        # the row — the isolated victim when there is one
+        isolated = soe.cluster.isolated_nodes()
+        node_id = isolated[0] if isolated else WORKERS[tick % len(WORKERS)]
+        believed = membership.cached_tokens(node_id, TABLE)
+        if not believed:
+            continue
+        pid = believed[tick % len(believed)].partition_id
+        key = key_routed_to(soe, pid, start=50_000 + 1_000 * tick)
+        outcome = direct_write(soe, membership, node_id, key, enforce)
+        outcomes[outcome] += 1
+        if outcome in ("acked", "zombie_acked"):
+            acked.append(key)
+
+    soe.cluster.heal()
+    for _ in range(6):
+        membership.step()
+    soe.catch_up_all()
+
+    committed = committed_keys(soe, floor=10_000)
+    lost = sorted(k for k in acked if k not in committed)
+    rows, _ = soe.aggregate(TABLE, aggregates=[("count", None)], consistency="strong")
+    isolations = sum(1 for event in chaos.fired if event.kind == "partition")
+    return {
+        "enforce": enforce,
+        "isolations": isolations,
+        "schedule": chaos.schedule_fingerprint(),
+        "front_door_ok": front_door_ok,
+        "front_door_failed": front_door_failed,
+        "direct": dict(outcomes),
+        "acked_total": len(acked),
+        "committed_client_rows": len(committed & set(acked)),
+        "lost_acked": lost,
+        "strong_count": rows[0][0],
+        "lease_violations": membership.check_invariants(),
+    }
+
+
+def test_fencing_loses_nothing_and_rejects_zombies():
+    stats = run_arm(enforce=True)
+    assert stats["isolations"] > 0, "the partition schedule never fired — vacuous"
+    assert stats["lost_acked"] == [], stats
+    assert stats["lease_violations"] == []
+    # the zombie path was actually exercised: isolated owners were told
+    # "unavailable" mid-cut and "fenced" after fail-over — never "ok"
+    assert stats["direct"]["unavailable"] + stats["direct"]["fenced"] > 0, stats
+    assert stats["direct"]["zombie_acked"] == 0
+    # every acknowledged write is in the committed history and visible
+    assert stats["committed_client_rows"] == stats["acked_total"]
+    assert stats["strong_count"] == PRELOAD + stats["acked_total"]
+
+
+def test_without_fencing_the_same_schedule_loses_acked_writes():
+    stats = run_arm(enforce=False)
+    assert stats["isolations"] > 0
+    assert stats["direct"]["zombie_acked"] > 0, stats
+    # split-brain demonstrated: acknowledged writes the log never saw
+    assert len(stats["lost_acked"]) == stats["direct"]["zombie_acked"], stats
+    assert stats["lost_acked"] != []
+
+
+def test_both_arms_replay_bit_for_bit():
+    assert run_arm(enforce=True) == run_arm(enforce=True)
+    assert run_arm(enforce=False) == run_arm(enforce=False)
+
+
+def main() -> None:
+    import reporting
+
+    for enforce in (True, False):
+        stats = run_arm(enforce)
+        reporting.report(
+            "E29",
+            arm="fencing=on" if enforce else "fencing=off",
+            seed=SEED,
+            ticks=TICKS,
+            isolations=stats["isolations"],
+            front_door_ok=stats["front_door_ok"],
+            front_door_failed=stats["front_door_failed"],
+            direct_acked=stats["direct"]["acked"],
+            direct_zombie_acked=stats["direct"]["zombie_acked"],
+            direct_unavailable=stats["direct"]["unavailable"],
+            direct_fenced=stats["direct"]["fenced"],
+            acked_total=stats["acked_total"],
+            lost_acked=len(stats["lost_acked"]),
+            strong_count=stats["strong_count"],
+            lease_violations=len(stats["lease_violations"]),
+        )
+    for path in reporting.flush():
+        print(f"[bench] wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

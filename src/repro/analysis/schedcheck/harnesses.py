@@ -291,6 +291,73 @@ def sequencer_append() -> None:
     assert log.is_written(0) and log.is_written(1)
 
 
+# --------------------------------------------------------------------------
+# 6. lease flip grant vs the donor's renew/validate loop
+# --------------------------------------------------------------------------
+
+
+def lease_flip_fencing() -> None:
+    """The mover's flip-time lease grant racing the donor holder.
+
+    Thread ``flip`` grants the recipient the next epoch (which
+    supersedes the donor) and revokes whatever is left of the donor's
+    lease; thread ``donor`` keeps renewing and validating its original
+    epoch-1 token, recording each outcome. Legal on every schedule: any
+    *prefix* of donor successes followed only by fenced outcomes — once
+    fenced, never ok again (epochs are monotone, so a stale token cannot
+    resurrect). Afterwards the recipient must hold epoch 2, the donor's
+    token must be dead, and the journal must satisfy the
+    exactly-one-holder-per-epoch invariant.
+    """
+    from repro.errors import FencedError
+    from repro.soe.membership.leases import LeaseManager
+    from repro.util.retry import SimulatedClock
+
+    leases = LeaseManager(clock=SimulatedClock(), ttl_seconds=100.0)
+    donor_token = leases.grant("t", 0, "donor").token()
+    outcomes: list[str] = []
+
+    def donor_loop() -> None:
+        for _ in range(3):
+            try:
+                leases.renew(donor_token)
+                leases.validate(donor_token)
+                outcomes.append("ok")
+            except FencedError:
+                outcomes.append("fenced")
+
+    def flip() -> None:
+        leases.grant("t", 0, "recipient")
+        # returns False — the grant already superseded the donor — but
+        # must be safe to race with the donor's renews
+        leases.revoke("t", 0, "donor")
+
+    threads = [
+        threading.Thread(target=donor_loop, name="donor"),
+        threading.Thread(target=flip, name="flip"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    current = leases.current("t", 0)
+    assert current is not None and current.holder == "recipient", current
+    assert current.epoch == 2, current
+    assert leases.holder("t", 0) == "recipient"
+    try:
+        leases.validate(donor_token)
+        raise AssertionError("stale donor token validated after the flip")
+    except FencedError:
+        pass
+    if "fenced" in outcomes:
+        first = outcomes.index("fenced")
+        assert all(o == "fenced" for o in outcomes[first:]), (
+            f"donor came back from the dead: {outcomes}"
+        )
+    assert leases.exactly_one_holder_violations() == []
+
+
 #: name -> (callable, one-line description); the CLI and CI job iterate this
 HARNESSES: dict[str, tuple[Callable[[], None], str]] = {
     "mover_flip_drain": (
@@ -312,5 +379,9 @@ HARNESSES: dict[str, tuple[Callable[[], None], str]] = {
     "sequencer_append": (
         sequencer_append,
         "shared-log sequencer appends (seeded-mutation calibration)",
+    ),
+    "lease_flip_fencing": (
+        lease_flip_fencing,
+        "lease flip grant vs donor renew/validate (fencing monotone)",
     ),
 }

@@ -7,7 +7,9 @@ sources are *expected* events. This package makes them schedulable:
 * :class:`FaultSpec` / :class:`FaultPlan` — a replayable schedule of
   faults, addressed by seam event index (not wall time), built either
   explicitly or from a seed (:meth:`FaultPlan.from_seed`,
-  :meth:`FaultPlan.kill_schedule`);
+  :meth:`FaultPlan.kill_schedule`, :meth:`FaultPlan.partition_schedule`
+  — the latter drives the asymmetric reachability matrix with
+  ``partition``/``heal`` faults: gray failures, not crash-stop);
 * :class:`ChaosController` — applies a plan at the instrumented seams:
   ``SimulatedCluster.transfer`` (drop/delay), ``Node.service``
   (crash/slow), ``SharedLog.append`` (stall/seal), federation
@@ -32,7 +34,7 @@ traces, so any chaos failure is replayable from its seed.
 """
 
 from repro.chaos.controller import ChaosController, ChaosRemoteSource, FaultEvent
-from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec
+from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec, parse_partition_target
 
 __all__ = [
     "SEAM_KINDS",
@@ -41,4 +43,5 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
+    "parse_partition_target",
 ]

@@ -31,7 +31,7 @@ from repro.errors import (
     RemoteSourceUnavailableError,
     TransferDroppedError,
 )
-from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec
+from repro.chaos.plan import SEAM_KINDS, FaultPlan, FaultSpec, parse_partition_target
 from repro.util.retry import SimulatedClock
 
 
@@ -125,7 +125,9 @@ class ChaosController:
                 victim = spec.target or node_id
                 self._record("service", event, spec)
                 if self.cluster is not None and victim in self.cluster.nodes:
-                    self.cluster.nodes[victim].alive = False
+                    # through kill(), not the raw alive bit, so membership
+                    # subscribers (discovery withdraw) see the crash
+                    self.cluster.kill(victim)
                 if victim == node_id:
                     raise NodeUnavailableError(
                         node_id,
@@ -164,17 +166,27 @@ class ChaosController:
 
     def on_partition_move(self, donor: str, recipient: str, phase: str) -> None:
         """Partition-move seam: fired by the mover at every phase
-        boundary; may kill the donor or the recipient node right there.
-        The kill both marks the node dead (so subsequent service access
-        fails) and raises, so the mover's journaled recovery path — not
-        the happy path — finishes the move."""
+        boundary; may kill *or isolate* the donor or the recipient right
+        there. A kill marks the node dead (so subsequent service access
+        fails) and raises, steering the mover onto its journaled recovery
+        path. A ``partition_*`` fault is a gray failure: the victim is
+        cut from everyone but keeps running, the seam does NOT raise, and
+        the move proceeds until a transfer actually hits the cut link —
+        exactly the scenario lease fencing exists for."""
         for event, spec in self._due("partition_move"):
-            victim = donor if spec.kind == "kill_donor" else recipient
+            gray = spec.kind.startswith("partition_")
+            victim = donor if spec.kind.endswith("donor") else recipient
             if spec.target is not None and spec.target != victim:
                 continue
             self._record("partition_move", event, spec)
+            if gray:
+                if self.cluster is not None and victim in self.cluster.nodes:
+                    self.cluster.isolate(victim)
+                continue
             if self.cluster is not None and victim in self.cluster.nodes:
-                self.cluster.nodes[victim].alive = False
+                # through kill(), not the raw alive bit, so membership
+                # subscribers (discovery withdraw) see the crash
+                self.cluster.kill(victim)
             raise NodeUnavailableError(
                 victim,
                 f"chaos: {spec.kind} killed {victim} at move phase "
@@ -183,17 +195,31 @@ class ChaosController:
 
     def tick(self) -> list[FaultEvent]:
         """Advance the explicit schedule one step (typically one query);
-        applies crash/revive faults bound to the ``tick`` seam and returns
-        what fired."""
+        applies crash/revive/partition/heal faults bound to the ``tick``
+        seam and returns what fired."""
         before = len(self.fired)
         for event, spec in self._due("tick"):
             self._record("tick", event, spec)
-            if self.cluster is None or spec.target is None:
+            if self.cluster is None:
+                continue
+            if spec.kind == "heal" and spec.target is None:
+                self.cluster.heal()
+                continue
+            if spec.target is None:
                 continue
             if spec.kind == "crash":
                 self.cluster.kill(spec.target)
             elif spec.kind == "revive":
                 self.cluster.revive(spec.target)
+            elif spec.kind == "partition":
+                source, other, symmetric = parse_partition_target(spec.target)
+                if other is None:
+                    self.cluster.isolate(source)
+                else:
+                    self.cluster.partition(source, other, symmetric=symmetric)
+            elif spec.kind == "heal":
+                source, other, _ = parse_partition_target(spec.target)
+                self.cluster.heal(source, other)
         return self.fired[before:]
 
 

@@ -29,12 +29,34 @@ SEAM_KINDS: dict[str, frozenset[str]] = {
     "service": frozenset({"crash", "slow"}),         # Node.service / task dispatch
     "log_append": frozenset({"stall", "seal"}),      # SharedLog.append
     "remote_scan": frozenset({"outage"}),            # federation RemoteSource.scan
-    "tick": frozenset({"crash", "revive"}),          # explicit schedule steps
+    # explicit schedule steps; partition/heal drive the asymmetric
+    # reachability matrix — target "a" isolates node a from everyone,
+    # "a->b" cuts one directed link, "a<->b" cuts both directions; a heal
+    # with no target heals the whole cluster
+    "tick": frozenset({"crash", "revive", "partition", "heal"}),
     # PartitionMover phase boundaries: each move fires this seam once per
-    # phase transition, so at_event addresses "kill the donor/recipient
-    # just after phase N" deterministically
-    "partition_move": frozenset({"kill_donor", "kill_recipient"}),
+    # phase transition, so at_event addresses "kill (or isolate) the
+    # donor/recipient just after phase N" deterministically. The
+    # partition_* kinds are gray failures: the victim keeps running but
+    # is cut from everyone, and the seam does NOT raise — the move
+    # continues until a transfer actually hits the cut link.
+    "partition_move": frozenset(
+        {"kill_donor", "kill_recipient", "partition_donor", "partition_recipient"}
+    ),
 }
+
+
+def parse_partition_target(target: str) -> tuple[str, str | None, bool]:
+    """Decode a partition/heal fault target: ``"a"`` (isolate a),
+    ``"a->b"`` (directed cut), ``"a<->b"`` (symmetric cut). Returns
+    ``(source, target_or_None, symmetric)``."""
+    if "<->" in target:
+        source, _, other = target.partition("<->")
+        return source, other, True
+    if "->" in target:
+        source, _, other = target.partition("->")
+        return source, other, False
+    return target, None, False
 
 
 @dataclass(frozen=True)
@@ -195,4 +217,52 @@ class FaultPlan:
                     faults.append(FaultSpec("revive", "tick", tick, dead))
                 faults.append(FaultSpec("crash", "tick", tick, victim))
                 dead = victim
+        return cls(faults)
+
+    @classmethod
+    def partition_schedule(
+        cls,
+        seed: int,
+        *,
+        ticks: int,
+        rate: float,
+        nodes: Sequence[str],
+        heal_after: int = 3,
+    ) -> "FaultPlan":
+        """A rolling network-partition schedule on the ``tick`` seam.
+
+        At each tick, with probability ``rate``, one node is *isolated*
+        (partitioned from everyone while still running — the zombie-owner
+        gray failure) and any previously isolated node is healed first,
+        so at most one node is cut at a time; an isolation also heals by
+        itself after ``heal_after`` ticks. Mirrors
+        :meth:`kill_schedule`'s shape so kill- and partition-matrix tests
+        stay comparable, and is a pure function of its arguments: one
+        seed, one schedule, bit for bit.
+        """
+        if not nodes:
+            raise ChaosError("partition_schedule needs at least one node")
+        if heal_after < 1:
+            raise ChaosError("heal_after must be >= 1")
+        rng = random.Random(seed)
+        pool = sorted(nodes)
+        faults: list[FaultSpec] = []
+        cut: str | None = None
+        cut_at = -1
+        for tick in range(ticks):
+            if cut is not None and tick - cut_at >= heal_after:
+                faults.append(FaultSpec("heal", "tick", tick, cut))
+                cut = None
+            if rng.random() < rate:
+                candidates = [n for n in pool if n != cut]
+                if not candidates:
+                    continue
+                victim = rng.choice(candidates)
+                if cut is not None:
+                    faults.append(FaultSpec("heal", "tick", tick, cut))
+                faults.append(FaultSpec("partition", "tick", tick, victim))
+                cut = victim
+                cut_at = tick
+        if cut is not None and ticks > 0:
+            faults.append(FaultSpec("heal", "tick", ticks - 1, cut))
         return cls(faults)

@@ -167,6 +167,40 @@ class TransferDroppedError(ClusterError, RetryableError):
     """A simulated network transfer was dropped (chaos); resend to clear."""
 
 
+class NetworkPartitionedError(TransferDroppedError):
+    """The directed link between two nodes is cut by a network partition:
+    the message is dropped, not delayed. Retryable with backoff — the
+    partition may heal — and a ``TransferDroppedError``, so every resend
+    path (coordinator, mover, broker heartbeats) already handles it."""
+
+    def __init__(self, source: str, target: str, message: str | None = None) -> None:
+        super().__init__(
+            message or f"link {source} -> {target} is partitioned"
+        )
+        self.source = source
+        self.target = target
+
+
+class MembershipError(ClusterError):
+    """Membership/lease protocol misuse (unknown lease, premature fencing
+    of an unreachable-but-unexpired holder, bad detector wiring)."""
+
+
+class FencedError(MembershipError):
+    """A writer presented a stale-epoch (or missing, or revoked) fence
+    token on an ownership-mutating path. Deliberately *not* retryable —
+    it punches through :class:`~repro.util.retry.RetryPolicy` exactly
+    like ``CircuitOpenError``: the epoch has moved on, and re-running the
+    same write re-presents the same stale token. The only recovery is to
+    re-acquire a current lease (a new decision, not a retry)."""
+
+
+class LeaseExpiredError(FencedError):
+    """The fence token's lease TTL elapsed on the simulated clock before
+    the write. Still non-retryable: an expired holder must *renew* (and
+    may discover it was superseded), never blind-retry the write."""
+
+
 class LogError(SoeError):
     """Distributed shared-log failure (hole, trimmed address, seal)."""
 

@@ -90,6 +90,8 @@ class SoeEngine:
         )
         self.catalog = CatalogService()
         self.discovery = DiscoveryService()
+        #: installed by enable_membership(); None ⇒ legacy (unfenced) mode
+        self.membership: Any = None
         self.auth = AuthorizationService()
         self.stats = ClusterStatisticsService(cluster=self.cluster)
         self.manager = ClusterManager(
@@ -136,8 +138,70 @@ class SoeEngine:
             self.coordinator.register_query_service(service)
             self.data_nodes[node.node_id] = data_node
 
+        # dead-node leakage fix: the cluster tells discovery about
+        # membership transitions, so kill() immediately withdraws every
+        # announcement of the dead node and revive() restores them
+        self.cluster.notify_membership(
+            self.discovery.mark_failed, self.discovery.restore
+        )
+
         if chaos is not None:
             chaos.install(cluster=self.cluster, log=self.log)
+
+    # -- membership & fencing -----------------------------------------------------
+
+    def enable_membership(
+        self,
+        *,
+        ttl_seconds: float = 0.05,
+        suspect_after: float = 0.02,
+        dead_after: float = 0.06,
+        heartbeat_interval: float = 0.01,
+        enforce: bool = True,
+        journal: Any = None,
+    ) -> Any:
+        """Turn on partition-tolerant membership for this landscape.
+
+        Creates the :class:`~repro.soe.membership.MembershipService`
+        (failure detector + epoch-numbered ownership leases), installs
+        its :class:`~repro.soe.membership.FencingGuard` on every
+        ownership-mutating seam — broker submits, shared-log appends,
+        catalog placement swaps, data-node ownership changes and ingest
+        — watches every worker, and grants epoch-1 leases for every
+        already-placed partition. ``enforce=False`` builds the whole
+        apparatus but leaves the guard disabled (the bench's split-brain
+        arm). Call again after new tables load to bootstrap their
+        leases, or use ``self.membership.bootstrap(table)`` directly.
+        """
+        from repro.soe.membership import MembershipService
+
+        membership = self.membership
+        if membership is None:
+            membership = MembershipService(
+                self.cluster,
+                self.catalog,
+                self.clock,
+                coordinator=self.coordinator.node_id,
+                ttl_seconds=ttl_seconds,
+                suspect_after=suspect_after,
+                dead_after=dead_after,
+                heartbeat_interval=heartbeat_interval,
+                enforce=enforce,
+                journal=journal,
+                discovery=self.discovery,
+            )
+            self.membership = membership
+            self.broker.fencing = membership.guard
+            self.log.fencing = membership.guard
+            self.catalog.fencing = membership.guard
+            for node_id, data_node in sorted(self.data_nodes.items()):
+                data_node.fencing = membership.guard
+                data_node.cluster = self.cluster
+                data_node.gateway = self.coordinator.node_id
+                membership.detector.watch(node_id)
+        for table in self.catalog.tables():
+            membership.bootstrap(table)
+        return membership
 
     # -- DDL / load ---------------------------------------------------------------
 
@@ -187,15 +251,41 @@ class SoeEngine:
 
     # -- writes through the log ---------------------------------------------------------
 
-    def insert(self, table: str, rows: list[list[Any]]) -> int:
-        """Commit an insert transaction via the broker; returns its LSN."""
-        self.catalog.table(table.lower())
-        return self.broker.submit([make_insert(table.lower(), rows)])
+    def insert(self, table: str, rows: list[list[Any]], via: str | None = None) -> int:
+        """Commit an insert transaction via the broker; returns its LSN.
+
+        With membership enabled the write carries fence tokens: the
+        front door (``via=None``) presents the coordinator's *current*
+        lease view, while ``via=<worker>`` models a client whose write
+        enters at that worker — the hop to the gateway is charged to the
+        network (so a partitioned worker cannot even reach the broker)
+        and the tokens presented are what that worker *believes* it
+        holds, which is exactly where a healed zombie gets fenced."""
+        name = table.lower()
+        self.catalog.table(name)
+        operation = make_insert(name, rows)
+        if self.membership is None:
+            return self.broker.submit([operation])
+        if via is None:
+            fence = self.membership.current_tokens(name)
+        else:
+            from repro.soe.cluster import approx_row_bytes
+
+            payload = sum(approx_row_bytes(row) for row in rows)
+            self.cluster.transfer(via, self.coordinator.node_id, payload)
+            fence = self.membership.cached_tokens(via, name)
+        return self.broker.submit([operation], fence=fence)
 
     def delete(self, table: str, column: str, value: Any) -> int:
         """Commit a delete-by-value transaction; returns its LSN."""
-        self.catalog.table(table.lower())
-        return self.broker.submit([make_delete(table.lower(), column, value)])
+        name = table.lower()
+        self.catalog.table(name)
+        fence = (
+            self.membership.current_tokens(name)
+            if self.membership is not None
+            else None
+        )
+        return self.broker.submit([make_delete(name, column, value)], fence=fence)
 
     def catch_up_all(self) -> int:
         """Force every OLAP node to apply the full log."""
@@ -264,6 +354,7 @@ class SoeEngine:
             transfer_breaker=self.breakers.get("soe.transfer"),
             chaos=self.chaos,
             governor=governor,
+            membership=kwargs.pop("membership", self.membership),
             **kwargs,
         )
 

@@ -1,0 +1,49 @@
+"""repro.soe.membership — partition-tolerant membership and fencing.
+
+The SOE's answer to gray failures: a heartbeat
+:class:`FailureDetector` fed by per-link reachability (not the
+crash-stop ``alive`` bit), a :class:`LeaseManager` issuing
+epoch-numbered ownership leases per partition (journaled like
+``MoveJournal`` for deterministic view-change recovery), and a
+:class:`FencingGuard` validating :class:`FenceToken` s on every
+ownership-mutating seam — ``DataNode`` writes/transfer,
+``CatalogService.swap_placement``, ``TransactionBroker`` /
+``SharedLog.append``, and the ``PartitionMover`` flip. A stale-epoch
+writer gets a non-retryable :class:`~repro.errors.FencedError` instead
+of corrupting state; bench E29 measures the difference.
+
+Wiring for a full landscape lives in :class:`MembershipService`
+(``SoeEngine.enable_membership()``): detector verdicts drive discovery
+withdraw/restore and lease fail-over, and per-node token caches model
+the stale view a partitioned node keeps serving with.
+"""
+
+from repro.soe.membership.detector import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    Verdict,
+)
+from repro.soe.membership.leases import (
+    FenceToken,
+    FencingGuard,
+    Lease,
+    LeaseJournal,
+    LeaseManager,
+)
+from repro.soe.membership.service import MembershipService
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "FailureDetector",
+    "FenceToken",
+    "FencingGuard",
+    "Lease",
+    "LeaseJournal",
+    "LeaseManager",
+    "MembershipService",
+    "Verdict",
+]

@@ -1,0 +1,168 @@
+"""Heartbeat-driven failure detection on the simulated clock.
+
+The chaos layer's crash-stop model flips a globally-consistent
+``Node.alive`` bit — every observer agrees instantly, which is exactly
+what real failure detection never gets. The :class:`FailureDetector`
+instead *probes*: each tick it round-trips a heartbeat over
+``SimulatedCluster.transfer`` from its origin node to every watched
+node, so it is fed by per-link reachability (the asymmetric partition
+matrix) and by chaos drop faults, not by the alive bit. A node that is
+up but unreachable — the gray failure — looks exactly like a dead one,
+which is the honest view a coordinator actually has.
+
+Verdicts follow the classic timeout ladder on ``SimulatedClock``:
+
+* ``alive``   — heard within ``suspect_after`` seconds,
+* ``suspect`` — silent for ``suspect_after`` but not yet ``dead_after``,
+* ``dead``    — silent for ``dead_after`` seconds.
+
+Transitions are recorded (and counted into ``soe.membership.verdicts``)
+and routed to service discovery: a ``dead`` verdict withdraws the node's
+announcements (``DiscoveryService.mark_failed``), a recovery re-announces
+them (``restore``). View changes (lease transfer off a dead holder) are
+the :class:`~repro.soe.membership.service.MembershipService`'s job —
+the detector only decides *who is silent*, deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.errors import MembershipError, TransferDroppedError
+from repro.util.retry import SimulatedClock
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+#: heartbeat payload size charged to the network model per probe leg
+HEARTBEAT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One detector state transition."""
+
+    node_id: str
+    previous: str
+    state: str
+    at: float
+    silence: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.node_id}: {self.previous} -> {self.state} "
+            f"t={self.at:.6f} silent={self.silence:.6f}s"
+        )
+
+
+class FailureDetector:
+    """Probes watched nodes from ``origin`` and keeps a per-node
+    alive/suspect/dead state machine on the simulated clock."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        clock: SimulatedClock,
+        *,
+        origin: str,
+        suspect_after: float = 0.02,
+        dead_after: float = 0.06,
+        interval: float = 0.01,
+        discovery: Any = None,
+    ) -> None:
+        if not 0 < suspect_after < dead_after:
+            raise MembershipError(
+                "need 0 < suspect_after < dead_after for a monotone ladder"
+            )
+        if interval <= 0:
+            raise MembershipError("heartbeat interval must be > 0")
+        self.cluster = cluster
+        self.clock = clock
+        self.origin = origin
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.interval = interval
+        self.discovery = discovery
+        self._last_heard: dict[str, float] = {}
+        self._state: dict[str, str] = {}
+        self.verdicts: list[Verdict] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def watch(self, node_id: str) -> None:
+        """Start probing ``node_id`` (initially alive, heard just now)."""
+        self.cluster.node(node_id)
+        self._last_heard.setdefault(node_id, self.clock.now)
+        self._state.setdefault(node_id, ALIVE)
+
+    def watched(self) -> list[str]:
+        return sorted(self._state)
+
+    def state(self, node_id: str) -> str:
+        try:
+            return self._state[node_id]
+        except KeyError:
+            raise MembershipError(f"node {node_id!r} is not watched") from None
+
+    def dead_nodes(self) -> list[str]:
+        return sorted(n for n, s in self._state.items() if s == DEAD)
+
+    # -- probing ------------------------------------------------------------
+
+    def probe(self, node_id: str) -> bool:
+        """One heartbeat round trip. Fails on a dead node, a cut link in
+        either direction, or a chaos-dropped heartbeat (the gray cases
+        that make a detector necessary)."""
+        node = self.cluster.nodes.get(node_id)
+        if node is None or not node.alive:
+            return False
+        try:
+            self.cluster.transfer(self.origin, node_id, HEARTBEAT_BYTES)
+            self.cluster.transfer(node_id, self.origin, HEARTBEAT_BYTES)
+        except TransferDroppedError:
+            return False
+        return True
+
+    def tick(self, advance: float | None = None) -> list[Verdict]:
+        """Advance the clock one heartbeat interval (or ``advance``
+        seconds), probe every watched node in sorted order, and return
+        the verdict transitions this tick produced."""
+        self.clock.advance(self.interval if advance is None else advance)
+        now = self.clock.now
+        transitions: list[Verdict] = []
+        for node_id in sorted(self._state):
+            if self.probe(node_id):
+                self._last_heard[node_id] = now
+                new_state = ALIVE
+            else:
+                silence = now - self._last_heard[node_id]
+                if silence >= self.dead_after:
+                    new_state = DEAD
+                elif silence >= self.suspect_after:
+                    new_state = SUSPECT
+                else:
+                    new_state = self._state[node_id]
+            previous = self._state[node_id]
+            if new_state != previous:
+                self._state[node_id] = new_state
+                verdict = Verdict(
+                    node_id=node_id,
+                    previous=previous,
+                    state=new_state,
+                    at=now,
+                    silence=now - self._last_heard[node_id],
+                )
+                self.verdicts.append(verdict)
+                transitions.append(verdict)
+                obs.count(
+                    "soe.membership.verdicts", node=node_id, state=new_state
+                )
+                if self.discovery is not None:
+                    if new_state == DEAD:
+                        self.discovery.mark_failed(node_id)
+                    elif previous == DEAD:
+                        self.discovery.restore(node_id)
+        return transitions

@@ -1,0 +1,498 @@
+"""Epoch-fenced ownership leases for the scale-out landscape.
+
+The shared log already fences *log writers* during reconfiguration with
+its seal/epoch discipline (``SharedLog.reconfigure``). This module
+applies the same seal-before-write idea to *partition ownership*: the
+:class:`LeaseManager` issues epoch-numbered leases per ``(table,
+partition)``, and every ownership-mutating seam (``DataNode`` writes and
+transfer, ``CatalogService.swap_placement``, ``TransactionBroker`` /
+``SharedLog.append``, the ``PartitionMover`` flip) validates a
+:class:`FenceToken` against the current lease before touching state.
+
+Acquiring a lease **is** the seal: ``acquire`` bumps the partition's
+epoch and instantly invalidates every token minted at an earlier epoch,
+so a zombie owner — alive, serving, but partitioned away from the
+coordinator — gets a non-retryable :class:`~repro.errors.FencedError`
+instead of corrupting state. Epochs are monotone per partition and
+survive revocation and expiry, so a token can never be resurrected.
+
+Every grant/renew/revoke/expire is journaled (:class:`LeaseJournal`,
+the ``MoveJournal`` idiom) so a view change replays deterministically:
+``LeaseManager.recover(journal, ...)`` folds the journal back into the
+exact lease table, and :meth:`LeaseManager.exactly_one_holder_violations`
+checks the Jepsen-style invariant — at most one grant per (table,
+partition, epoch) — over everything that ever happened.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro import obs
+from repro.analysis.racecheck import track_fields
+from repro.errors import FencedError, LeaseExpiredError, MembershipError
+from repro.util.retry import SimulatedClock
+
+
+@dataclass(frozen=True)
+class FenceToken:
+    """The capability a lease-holder presents on every ownership-mutating
+    path: compared by value against the current lease — table, partition,
+    holder, and (crucially) epoch must all match."""
+
+    table: str
+    partition_id: int
+    holder: str
+    epoch: int
+
+    def describe(self) -> str:
+        return f"{self.table}#{self.partition_id}@e{self.epoch}:{self.holder}"
+
+
+@dataclass
+class Lease:
+    """One epoch-numbered ownership grant with a TTL on the simulated
+    clock. ``revoked`` is a one-way bit; supersession is expressed by a
+    *newer* lease at a higher epoch, never by mutating the old one."""
+
+    table: str
+    partition_id: int
+    holder: str
+    epoch: int
+    granted_at: float
+    expires_at: float
+    revoked: bool = False
+
+    def token(self) -> FenceToken:
+        return FenceToken(self.table, self.partition_id, self.holder, self.epoch)
+
+    def expired(self, now: float) -> bool:
+        return now > self.expires_at
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "partition_id": self.partition_id,
+            "holder": self.holder,
+            "epoch": self.epoch,
+            "granted_at": self.granted_at,
+            "expires_at": self.expires_at,
+            "revoked": self.revoked,
+        }
+
+
+def _key(table: str, partition_id: int) -> str:
+    return f"{table}#{partition_id}"
+
+
+class LeaseJournal:
+    """Append-only lease event journal (the ``MoveJournal`` idiom): the
+    crash-recovery source of truth for the membership view. Events are
+    plain dicts so a journal can be printed, diffed, and replayed."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, event: str, lease: Lease, at: float) -> None:
+        entry = dict(lease.to_dict(), event=event, at=at)
+        with self._lock:
+            self._records.setdefault(
+                _key(lease.table, lease.partition_id), []
+            ).append(entry)
+
+    def entries(self, table: str, partition_id: int) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._records.get(_key(table, partition_id), ())]
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def all_entries(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                dict(record)
+                for key in sorted(self._records)
+                for record in self._records[key]
+            ]
+
+
+@track_fields("_leases")
+class LeaseManager:
+    """Issues, renews, revokes, validates, and recovers ownership leases.
+
+    Thread-safe: the flip path (mover) races holder renews/validates in
+    the schedcheck ``lease_flip_fencing`` harness, so every state
+    transition happens under one lock and epochs are read-modify-written
+    atomically.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        *,
+        ttl_seconds: float = 1.0,
+        journal: LeaseJournal | None = None,
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise MembershipError("lease ttl_seconds must be > 0")
+        self.clock = clock or SimulatedClock()
+        self.ttl_seconds = ttl_seconds
+        self.journal = journal or LeaseJournal()
+        self._leases: dict[tuple[str, int], Lease] = {}
+        #: last epoch ever granted per partition — survives revoke/expiry
+        #: so epochs are monotone and stale tokens stay stale forever
+        self._epochs: dict[tuple[str, int], int] = {}
+        self._lock = threading.Lock()
+
+    # -- grants -------------------------------------------------------------
+
+    def grant(
+        self,
+        table: str,
+        partition_id: int,
+        holder: str,
+        *,
+        ttl_seconds: float | None = None,
+    ) -> Lease:
+        """Grant ``holder`` the next-epoch lease. A grant *supersedes*:
+        like sealing a log segment, it instantly fences every token of
+        the previous holder — which is exactly why callers coordinating
+        with an unreachable holder must wait out its TTL first (see
+        ``MembershipService.grant``)."""
+        ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
+        now = self.clock.now
+        with self._lock:
+            epoch = self._epochs.get((table, partition_id), 0) + 1
+            lease = Lease(
+                table=table,
+                partition_id=partition_id,
+                holder=holder,
+                epoch=epoch,
+                granted_at=now,
+                expires_at=now + ttl,
+            )
+            self._epochs[(table, partition_id)] = epoch
+            self._leases[(table, partition_id)] = lease
+            self.journal.record("grant", lease, now)
+        obs.count("soe.membership.lease", op="grant")
+        return lease
+
+    def renew(self, token: FenceToken, *, ttl_seconds: float | None = None) -> Lease:
+        """Extend the holder's TTL. Requires a *currently valid* token:
+        a superseded or expired holder cannot renew its way back in — it
+        must re-acquire (a new epoch, a new decision)."""
+        ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
+        now = self.clock.now
+        with self._lock:
+            self._validate_locked(token, now)
+            lease = self._leases[(token.table, token.partition_id)]
+            renewed = Lease(
+                table=lease.table,
+                partition_id=lease.partition_id,
+                holder=lease.holder,
+                epoch=lease.epoch,
+                granted_at=lease.granted_at,
+                expires_at=now + ttl,
+            )
+            self._leases[(token.table, token.partition_id)] = renewed
+            self.journal.record("renew", renewed, now)
+        obs.count("soe.membership.lease", op="renew")
+        return renewed
+
+    def revoke(self, table: str, partition_id: int, holder: str) -> bool:
+        """Revoke ``holder``'s lease if it is still the current holder
+        (e.g. the donor at flip commit). Returns False — and journals
+        nothing — if a newer epoch already superseded it."""
+        now = self.clock.now
+        with self._lock:
+            lease = self._leases.get((table, partition_id))
+            if lease is None or lease.holder != holder or lease.revoked:
+                return False
+            revoked = Lease(
+                table=lease.table,
+                partition_id=lease.partition_id,
+                holder=lease.holder,
+                epoch=lease.epoch,
+                granted_at=lease.granted_at,
+                expires_at=lease.expires_at,
+                revoked=True,
+            )
+            self._leases[(table, partition_id)] = revoked
+            self.journal.record("revoke", revoked, now)
+        obs.count("soe.membership.lease", op="revoke")
+        return True
+
+    def expire_sweep(self) -> list[Lease]:
+        """Journal an ``expire`` event for every lease whose TTL elapsed
+        (validation already rejects them; the sweep makes expiry visible
+        to the journal and the invariant checker)."""
+        now = self.clock.now
+        swept: list[Lease] = []
+        with self._lock:
+            for key, lease in sorted(self._leases.items()):
+                if not lease.revoked and lease.expired(now):
+                    revoked = Lease(
+                        table=lease.table,
+                        partition_id=lease.partition_id,
+                        holder=lease.holder,
+                        epoch=lease.epoch,
+                        granted_at=lease.granted_at,
+                        expires_at=lease.expires_at,
+                        revoked=True,
+                    )
+                    self._leases[key] = revoked
+                    self.journal.record("expire", revoked, now)
+                    swept.append(revoked)
+        for _ in swept:
+            obs.count("soe.membership.lease", op="expire")
+        return swept
+
+    # -- reads --------------------------------------------------------------
+
+    def current(self, table: str, partition_id: int) -> Lease | None:
+        """The latest lease record for the partition (may be revoked or
+        expired — use :meth:`holder` for the *valid* holder)."""
+        with self._lock:
+            return self._leases.get((table, partition_id))
+
+    def holder(self, table: str, partition_id: int) -> str | None:
+        """The holder of the currently *valid* (unrevoked, unexpired)
+        lease, or None."""
+        now = self.clock.now
+        with self._lock:
+            lease = self._leases.get((table, partition_id))
+            if lease is None or lease.revoked or lease.expired(now):
+                return None
+            return lease.holder
+
+    def token_for(self, table: str, partition_id: int) -> FenceToken | None:
+        """The current valid holder's token (the front door always sees
+        the live view), or None."""
+        now = self.clock.now
+        with self._lock:
+            lease = self._leases.get((table, partition_id))
+            if lease is None or lease.revoked or lease.expired(now):
+                return None
+            return lease.token()
+
+    def leased_partitions(self, table: str) -> list[int]:
+        """Partition ids of ``table`` that have ever been leased."""
+        with self._lock:
+            return sorted(pid for (t, pid) in self._leases if t == table)
+
+    def is_managed(self, table: str, partition_id: int) -> bool:
+        with self._lock:
+            return (table, partition_id) in self._leases
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, token: FenceToken) -> None:
+        """The fencing check: raise :class:`FencedError` unless ``token``
+        matches the current lease at the current epoch, unrevoked and
+        unexpired. Non-retryable by construction."""
+        self._check(token, self.clock.now)
+
+    def _check(self, token: FenceToken, now: float) -> None:
+        with self._lock:
+            self._validate_locked(token, now)
+
+    def _validate_locked(self, token: FenceToken, now: float) -> None:
+        lease = self._leases.get((token.table, token.partition_id))
+        if lease is None:
+            raise FencedError(
+                f"no lease exists for {token.describe()} (unmanaged partition?)"
+            )
+        if lease.epoch != token.epoch or lease.holder != token.holder:
+            raise FencedError(
+                f"stale fence token {token.describe()}: current lease is "
+                f"epoch {lease.epoch} held by {lease.holder!r}"
+            )
+        if lease.revoked:
+            raise FencedError(f"lease for {token.describe()} was revoked")
+        if lease.expired(now):
+            raise LeaseExpiredError(
+                f"lease for {token.describe()} expired at "
+                f"t={lease.expires_at:.6f} (now t={now:.6f})"
+            )
+
+    # -- recovery & invariants ---------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal: LeaseJournal,
+        clock: SimulatedClock | None = None,
+        *,
+        ttl_seconds: float = 1.0,
+    ) -> "LeaseManager":
+        """Rebuild the lease table by folding the journal, exactly like
+        ``MoveJournal`` recovery: the journal is the source of truth, so
+        two recoveries from the same journal yield identical views."""
+        manager = cls(clock=clock, ttl_seconds=ttl_seconds, journal=LeaseJournal())
+        for entry in journal.all_entries():
+            lease = Lease(
+                table=entry["table"],
+                partition_id=entry["partition_id"],
+                holder=entry["holder"],
+                epoch=entry["epoch"],
+                granted_at=entry["granted_at"],
+                expires_at=entry["expires_at"],
+                revoked=entry["revoked"],
+            )
+            key = (lease.table, lease.partition_id)
+            with manager._lock:
+                current = manager._leases.get(key)
+                if current is None or lease.epoch >= current.epoch:
+                    manager._leases[key] = lease
+                manager._epochs[key] = max(
+                    manager._epochs.get(key, 0), lease.epoch
+                )
+                manager.journal.record(entry["event"], lease, entry["at"])
+        return manager
+
+    def exactly_one_holder_violations(self) -> list[str]:
+        """The Jepsen invariant, checked over the full journal: for every
+        (table, partition, epoch) there is exactly one grant, and grants
+        within a partition carry strictly increasing epochs. Returns
+        human-readable violations (empty == invariant holds)."""
+        violations: list[str] = []
+        grants: dict[tuple[str, int, int], list[str]] = {}
+        last_epoch: dict[tuple[str, int], int] = {}
+        for entry in self.journal.all_entries():
+            if entry["event"] != "grant":
+                continue
+            key = (entry["table"], entry["partition_id"], entry["epoch"])
+            grants.setdefault(key, []).append(entry["holder"])
+            pkey = (entry["table"], entry["partition_id"])
+            if entry["epoch"] <= last_epoch.get(pkey, 0):
+                violations.append(
+                    f"non-monotone epoch {entry['epoch']} granted for "
+                    f"{pkey[0]}#{pkey[1]} after epoch {last_epoch[pkey]}"
+                )
+            last_epoch[pkey] = max(last_epoch.get(pkey, 0), entry["epoch"])
+        for (table, pid, epoch), holders in sorted(grants.items()):
+            if len(holders) > 1:
+                violations.append(
+                    f"{len(holders)} holders granted for {table}#{pid} at "
+                    f"epoch {epoch}: {holders}"
+                )
+        return violations
+
+
+class FencingGuard:
+    """The shared validation seam installed on ``DataNode``,
+    ``CatalogService``, ``TransactionBroker``, and ``SharedLog``.
+
+    A guard with ``enabled=False`` passes everything — that is bench
+    E29's unfenced arm (today's behaviour, kept measurable). A partition
+    that has never been leased also passes, so legacy paths (bulk load,
+    offline moves without membership) keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        leases: LeaseManager,
+        *,
+        catalog: Any = None,
+        enabled: bool = True,
+    ) -> None:
+        self.leases = leases
+        self.catalog = catalog
+        self.enabled = enabled
+
+    @staticmethod
+    def _tokens(fence: Any) -> tuple[FenceToken, ...]:
+        if fence is None:
+            return ()
+        if isinstance(fence, FenceToken):
+            return (fence,)
+        return tuple(fence)
+
+    def _token_for(
+        self, tokens: Iterable[FenceToken], table: str, partition_id: int
+    ) -> FenceToken | None:
+        for token in tokens:
+            if token.table == table and token.partition_id == partition_id:
+                return token
+        return None
+
+    def check_partition(self, table: str, partition_id: int, fence: Any) -> None:
+        """Validate one ownership mutation (install/release/swap) against
+        the partition's lease; unleased partitions pass."""
+        if not self.enabled or not self.leases.is_managed(table, partition_id):
+            return
+        token = self._token_for(self._tokens(fence), table, partition_id)
+        if token is None:
+            obs.count("soe.membership.fenced", reason="missing_token")
+            raise FencedError(
+                f"unfenced ownership mutation on leased {table}#{partition_id}"
+            )
+        try:
+            self.leases.validate(token)
+        except FencedError:
+            obs.count("soe.membership.fenced", reason="stale_token")
+            raise
+
+    def _routed_partitions(self, operation: dict[str, Any], table: str) -> list[int]:
+        """Partitions a broker/log operation touches: row-routed when the
+        catalog can route, otherwise conservatively every leased
+        partition of the table."""
+        leased = self.leases.leased_partitions(table)
+        if not leased:
+            return []
+        if (
+            self.catalog is not None
+            and operation.get("op") == "insert"
+            and operation.get("rows")
+        ):
+            try:
+                meta = self.catalog.table(table)
+                from repro.soe.partitions import route_row
+
+                return sorted(
+                    {
+                        route_row(row, meta.key_positions, meta.partition_count)
+                        for row in operation["rows"]
+                    }
+                )
+            except Exception:
+                # unroutable rows / unregistered table: fall back to the
+                # conservative "every leased partition" check
+                obs.count("soe.membership.route_fallback")
+                return leased
+        return leased
+
+    def check_write(self, operation: dict[str, Any], fence: Any) -> None:
+        """Validate one logical write (broker submit / log append op)
+        against the leases of every partition it routes to."""
+        if not self.enabled:
+            return
+        table = operation.get("table")
+        if not table:
+            return
+        tokens = self._tokens(fence)
+        for partition_id in self._routed_partitions(operation, table):
+            token = self._token_for(tokens, table, partition_id)
+            if token is None:
+                obs.count("soe.membership.fenced", reason="missing_token")
+                raise FencedError(
+                    f"unfenced write routed to leased {table}#{partition_id}"
+                )
+            try:
+                self.leases.validate(token)
+            except FencedError:
+                obs.count("soe.membership.fenced", reason="stale_token")
+                raise
+
+    def check_append(self, payload: Any, fence: Any) -> None:
+        """Validate a shared-log payload (defence in depth below the
+        broker: a zombie appending directly to the log is still fenced)."""
+        if not self.enabled or not isinstance(payload, dict):
+            return
+        for operation in payload.get("ops", ()):
+            if isinstance(operation, dict):
+                self.check_write(operation, fence)

@@ -40,6 +40,8 @@ from typing import Any, Callable
 from repro import obs
 from repro.analysis.racecheck import track_fields
 from repro.errors import (
+    FencedError,
+    MembershipError,
     MoveAbortedError,
     MoveError,
     NodeUnavailableError,
@@ -75,6 +77,10 @@ class MoveState:
     #: True once the catalog placement swap committed — the protocol's
     #: single durable decision bit: False ⇒ roll back, True ⇒ roll forward
     flip_committed: bool = False
+    #: lease epoch acquired for the recipient before the flip (-1 ⇒ no
+    #: lease acquired yet); journaled so recovery re-seats the lease on
+    #: whichever side the flip bit says is authoritative
+    lease_epoch: int = -1
     aborted: bool = False
     rolled_forward: bool = False
     trimmed: bool = False
@@ -103,6 +109,7 @@ class MoveState:
             "snapshot_lsn": self.snapshot_lsn,
             "applied_lsn": self.applied_lsn,
             "flip_committed": self.flip_committed,
+            "lease_epoch": self.lease_epoch,
             "aborted": self.aborted,
             "rolled_forward": self.rolled_forward,
             "trimmed": self.trimmed,
@@ -127,6 +134,7 @@ class MoveState:
             "snapshot_lsn",
             "applied_lsn",
             "flip_committed",
+            "lease_epoch",
             "aborted",
             "rolled_forward",
             "trimmed",
@@ -206,6 +214,7 @@ class PartitionMover:
         drain_wait_seconds: float = 0.001,
         journal: MoveJournal | None = None,
         phase_hook: Callable[[MoveState], None] | None = None,
+        membership: Any = None,
     ) -> None:
         self.cluster = cluster
         self.catalog = catalog
@@ -222,6 +231,12 @@ class PartitionMover:
         self.drain_wait_seconds = drain_wait_seconds
         self.journal = journal or MoveJournal()
         self.phase_hook = phase_hook
+        #: optional MembershipService — when the moved partition is under
+        #: an ownership lease, the mover must acquire the next epoch for
+        #: the recipient *before* the flip and revoke the donor's lease
+        #: at commit, so a donor partitioned mid-move can never ack
+        #: writes the recipient's epoch has superseded
+        self.membership = membership
         self._moves: dict[str, MoveState] = {}
         self._lock = threading.Lock()
         self._sequence = 0
@@ -398,15 +413,28 @@ class PartitionMover:
 
     def _flip(self, state: MoveState) -> None:
         self._phase(state, "flip")
+        fence = self._acquire_flip_lease(state)
 
         def commit() -> None:
             self.catalog.swap_placement(
-                state.table, state.partition_id, state.donor, state.recipient
+                state.table,
+                state.partition_id,
+                state.donor,
+                state.recipient,
+                fence=fence,
             )
             # the durable decision bit: journaled the instant the catalog
             # swap lands, so recovery rolls the same way the catalog reads
             state.flip_committed = True
             self.journal.record(state)
+            if self.membership is not None:
+                # the acquire above already superseded the donor's epoch;
+                # this drops the donor's *cached* token too (if the
+                # revocation is deliverable) so a reachable donor stops
+                # presenting it immediately rather than at next fence
+                self.membership.revoke(
+                    state.table, state.partition_id, state.donor
+                )
 
         DataNode.transfer_ownership(
             self.data_nodes[state.donor],
@@ -416,9 +444,31 @@ class PartitionMover:
             partition_lsn=state.applied_lsn,
             retain_on_donor=True,
             commit=commit,
+            fence=fence,
         )
         state.staging = None
         obs.count("soe.movement.flips")
+
+    def _acquire_flip_lease(self, state: MoveState) -> Any:
+        """Acquire the recipient's next-epoch lease *before* the flip
+        touches any node or the catalog. On a leased partition this is
+        the point of no return for the donor's epoch: once the new epoch
+        exists, any write the donor acks under the old token is fenced.
+        A refusal (unreachable holder with an unexpired lease —
+        :class:`~repro.errors.MembershipError`) aborts the move pre-flip,
+        which rolls back cleanly. Returns the fence token, or ``None``
+        when the partition is not under lease management."""
+        membership = self.membership
+        if membership is None or not membership.leases.is_managed(
+            state.table, state.partition_id
+        ):
+            return None
+        lease = membership.grant(
+            state.table, state.partition_id, state.recipient
+        )
+        state.lease_epoch = lease.epoch
+        self.journal.record(state)
+        return lease.token()
 
     def _drain(self, state: MoveState) -> None:
         self._phase(state, "drain")
@@ -483,35 +533,76 @@ class PartitionMover:
 
     def _rollback(self, state: MoveState, reason: str) -> None:
         """Pre-flip failure: the donor stays authoritative; any
-        recipient-side staging state is garbage-collected."""
+        recipient-side staging state is garbage-collected. If the flip
+        lease was already acquired for the recipient, re-seat it on the
+        donor *first* so the recipient release below can be fenced with
+        the donor's fresh epoch."""
         state.error = state.error or reason
         state.staging = None
+        token = self._reseat_lease(state, state.donor)
         recipient_node = self.data_nodes.get(state.recipient)
         if (
             recipient_node is not None
             and state.partition_id in recipient_node.owned_partitions(state.table)
         ):
             # install happened but the catalog swap did not: undo it
-            recipient_node.release_ownership(state.table, state.partition_id)
+            try:
+                recipient_node.release_ownership(
+                    state.table, state.partition_id, fence=token
+                )
+            except FencedError:
+                # re-seating was deferred (donor unreachable with a live
+                # lease) — leave the staged install for a later recovery
+                # pass; the catalog never flipped, so it is not routable
+                obs.count("soe.movement.release_deferred")
         state.aborted = True
         obs.count("soe.movement.rollbacks")
         self._finish(state, _ABORTED)
 
     def _roll_forward(self, state: MoveState) -> None:
-        """Post-flip failure: the recipient is the owner; finish the
+        """Post-flip failure: the recipient is the owner; re-seat its
+        lease if recovery is running without one, then finish the
         donor-side release and trim."""
+        token = self._reseat_lease(state, state.recipient)
         donor_node = self.data_nodes.get(state.donor)
         if (
             donor_node is not None
             and state.partition_id in donor_node.owned_partitions(state.table)
         ):
-            donor_node.release_ownership(
-                state.table, state.partition_id, retain_data=True
-            )
+            try:
+                donor_node.release_ownership(
+                    state.table, state.partition_id, retain_data=True,
+                    fence=token,
+                )
+            except FencedError:
+                obs.count("soe.movement.release_deferred")
         self._trim_retained(state)
         state.rolled_forward = True
         obs.count("soe.movement.roll_forwards")
         self._finish(state, _DONE)
+
+    def _reseat_lease(self, state: MoveState, holder: str) -> Any:
+        """Recovery helper: make ``holder`` (the side the journal says is
+        authoritative) the valid lease holder, returning a usable fence
+        token — or ``None`` when the partition is unleased or the
+        acquire must wait out an unreachable holder's TTL (deferred, not
+        forced; the next recovery pass retries)."""
+        membership = self.membership
+        if membership is None or not membership.leases.is_managed(
+            state.table, state.partition_id
+        ):
+            return None
+        try:
+            lease = membership.ensure_holder(
+                state.table, state.partition_id, holder
+            )
+        except MembershipError:
+            obs.count("soe.movement.lease_reseat_deferred")
+            return None
+        if lease is not None:
+            state.lease_epoch = lease.epoch
+            self.journal.record(state)
+        return membership.leases.token_for(state.table, state.partition_id)
 
     def _finish(self, state: MoveState, outcome: str) -> None:
         state.phase = outcome

@@ -28,6 +28,13 @@ directly. The install path aligns the incoming partition with this
 node's log-apply cursor *under the apply lock*, which closes the
 install-vs-apply seam (the PR 4 race): a commit can never be applied
 twice to, or skipped by, a partition that arrives mid-stream.
+
+Every ownership-mutating entry point additionally accepts a ``fence``
+token (``repro.soe.membership``): when a :class:`FencingGuard` is
+installed on the node, a mutation on a leased partition must present a
+current-epoch token or it raises a non-retryable ``FencedError`` — the
+zombie-write gate. Guard checks run *before* the apply lock is taken,
+so the lease lock and the apply lock never nest.
 """
 
 from __future__ import annotations
@@ -88,6 +95,14 @@ class DataNode:
         self.broker = broker
         self.mode = mode
         self.store = LocalStore()
+        #: optional membership FencingGuard; installed by
+        #: SoeEngine.enable_membership(), None == legacy unfenced behaviour
+        self.fencing: Any = None
+        #: optional cluster handle + gateway node id for the node-local
+        #: ingest path, so client traffic into this node experiences the
+        #: reachability matrix on its way to the shared log
+        self.cluster: Any = None
+        self.gateway: str | None = None
         #: table -> (owned partition ids, key positions, partition count)
         self._ownership: dict[str, tuple[set[int], list[int], int]] = {}
         #: serialises log application: _on_commit escapes to whichever
@@ -161,10 +176,13 @@ class DataNode:
         key_positions: Sequence[int],
         partition_count: int,
         partition_lsn: int,
+        fence: Any = None,
     ) -> None:
         """Install a partition copy that reflects the log up to
         ``partition_lsn`` and take ownership of it — atomically with
-        respect to the apply path.
+        respect to the apply path. On a leased partition the caller must
+        present a current-epoch ``fence`` token (validated before the
+        apply lock; a stale mover raises ``FencedError`` here).
 
         The node's apply cursor and the copy are aligned under the apply
         lock before either becomes visible: a node that lags the copy is
@@ -173,6 +191,8 @@ class DataNode:
         This is the ownership install-vs-apply seam — without the
         alignment, a commit in the gap is double-applied or lost.
         """
+        if self.fencing is not None:
+            self.fencing.check_partition(table, partition.partition_id, fence)
         with self._apply_lock:
             ownership = self._ownership.get(table)
             if ownership is not None and partition.partition_id in ownership[0]:
@@ -203,15 +223,24 @@ class DataNode:
             owned.add(partition.partition_id)
 
     def release_ownership(
-        self, table: str, partition_id: int, *, retain_data: bool = False
+        self,
+        table: str,
+        partition_id: int,
+        *,
+        retain_data: bool = False,
+        fence: Any = None,
     ) -> PrepackagedPartition | None:
         """Stop owning (and applying the log to) one partition.
 
         With ``retain_data`` the bytes stay in the local store so
         in-flight queries drain against the retained copy
         (:meth:`drop_retained` frees it once unpinned); without it the
-        partition is removed and returned.
+        partition is removed and returned. A leased partition requires a
+        current-epoch ``fence`` token — only the mover holding the new
+        lease may strip the donor.
         """
+        if self.fencing is not None:
+            self.fencing.check_partition(table, partition_id, fence)
         with self._apply_lock:
             ownership = self._ownership.get(table)
             if ownership is None or partition_id not in ownership[0]:
@@ -249,6 +278,7 @@ class DataNode:
         partition_lsn: int,
         retain_on_donor: bool = False,
         commit: Callable[[], None] | None = None,
+        fence: Any = None,
     ) -> None:
         """The locked ownership handover: install on the recipient first,
         run the ``commit`` callback (the catalog's placement swap — the
@@ -260,16 +290,71 @@ class DataNode:
         there is no remove-before-install window and no moment with zero
         owners. ``retain_on_donor`` keeps the donor's bytes for draining
         in-flight queries (the online mover's phase 4).
+
+        ``fence`` is the new-epoch token the mover acquired before the
+        flip; it is validated at every step of the handover (install,
+        swap, release), so a mover resumed at a stale epoch cannot move
+        ownership anywhere.
         """
         key_positions, partition_count = donor.ownership_meta(table)
         recipient.install_ownership(
-            table, partition, key_positions, partition_count, partition_lsn
+            table, partition, key_positions, partition_count, partition_lsn,
+            fence=fence,
         )
         if commit is not None:
             commit()
         donor.release_ownership(
-            table, partition.partition_id, retain_data=retain_on_donor
+            table, partition.partition_id, retain_data=retain_on_donor,
+            fence=fence,
         )
+
+    # -- client writes -------------------------------------------------------------
+
+    def ingest(self, table: str, rows: list[list[Any]], fence: Any = None) -> int:
+        """Client rows served directly by this node (the paper's OLTP
+        node updating its partitions in place) — the path a zombie owner
+        keeps serving after a partition. Returns rows acknowledged.
+
+        With a fencing guard installed and enabled, the write is
+        epoch-checked and committed **write-through** via the shared log
+        (routed over the cluster so an isolated node cannot reach it):
+        a fenced, expired, or unreachable holder never acknowledges, so
+        no acknowledged row can be stranded on a copy the catalog has
+        moved away from. Without a guard the rows are applied to the
+        local copy only — the undisciplined split-brain path the
+        membership layer exists to close (bench E29's unfenced arm).
+        """
+        operation = make_insert(table, rows)
+        guard = self.fencing
+        if guard is not None and guard.enabled:
+            guard.check_write(operation, fence)
+            if self.cluster is not None and self.gateway is not None:
+                from repro.soe.cluster import approx_row_bytes
+
+                payload = sum(approx_row_bytes(row) for row in rows)
+                # may raise NetworkPartitionedError: an isolated node
+                # cannot commit, so the client is told "unavailable",
+                # never "acknowledged"
+                self.cluster.transfer(self.node_id, self.gateway, payload)
+            self.broker.submit([operation], fence=fence)
+            return len(rows)
+        with self._apply_lock:
+            ownership = self._ownership.get(table)
+            if ownership is None:
+                raise SoeError(f"{self.node_id} owns nothing of {table!r}")
+            owned, key_positions, partition_count = ownership
+            targets = [
+                route_row(row, key_positions, partition_count) for row in rows
+            ]
+            for target in targets:
+                if target not in owned:
+                    raise SoeError(
+                        f"{self.node_id} does not own {table}#{target}"
+                    )
+            for row, target in zip(rows, targets):
+                self.store.partition(table, target).append_row(row)
+                self.applies += 1
+        return len(rows)
 
     # -- query pins ----------------------------------------------------------------
 

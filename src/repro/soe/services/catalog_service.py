@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.racecheck import track_fields
 from repro.errors import CoordinationError
@@ -51,6 +52,9 @@ class CatalogService:
         repr=False,
         compare=False,
     )
+    #: optional membership FencingGuard: when installed, swap_placement —
+    #: the ownership flip's commit point — requires a current-epoch token
+    fencing: Any = field(default=None, repr=False, compare=False)
 
     # -- schema -------------------------------------------------------------
 
@@ -90,14 +94,24 @@ class CatalogService:
                 nodes.remove(node_id)
 
     def swap_placement(
-        self, table: str, partition_id: int, from_node: str, to_node: str
+        self,
+        table: str,
+        partition_id: int,
+        from_node: str,
+        to_node: str,
+        fence: Any = None,
     ) -> None:
         """Atomically retarget one replica slot from ``from_node`` to
         ``to_node`` — a single lock region, so discovery never observes a
         window with zero owners (or with both) during a partition move.
         This is the ownership flip's commit point: the movement protocol
         treats a completed swap as committed and everything before it as
-        rollback-able."""
+        rollback-able. On a leased partition the swap must present the
+        new-epoch ``fence`` token (validated before the catalog lock, so
+        the lease lock never nests inside it) — a stale mover cannot
+        retarget the catalog."""
+        if self.fencing is not None:
+            self.fencing.check_partition(table, partition_id, fence)
         with self._lock:
             nodes = self._placement.get((table, partition_id))
             if not nodes or from_node not in nodes:

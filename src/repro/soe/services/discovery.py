@@ -23,12 +23,38 @@ from repro.analysis.racecheck import track_fields
 from repro.errors import ClusterError
 
 
+def _announce_into(services: dict[str, list[str]], kind: str, node_id: str) -> None:
+    """Registry insert; the caller holds the registry's lock."""
+    nodes = services.setdefault(kind, [])
+    if node_id not in nodes:
+        nodes.append(node_id)
+
+
+def _withdraw_from(services: dict[str, list[str]], kind: str, node_id: str) -> None:
+    """Registry remove; the caller holds the registry's lock."""
+    nodes = services.get(kind, [])
+    if node_id in nodes:
+        nodes.remove(node_id)
+
+
 @track_fields("_services")
 @dataclass
 class DiscoveryService:
-    """Service registry: which nodes host which service kind."""
+    """Service registry: which nodes host which service kind.
+
+    Liveness-aware: :meth:`mark_failed` routes a node's announcements
+    through the same withdraw path lookups read, so ``locate`` /
+    ``locate_one`` can never hand out a dead address — the dead-node
+    leakage that used to send rebalancing and failover at corpses.
+    :meth:`restore` re-announces exactly what was withdrawn. Both are
+    driven by cluster kill/revive transitions and by failure-detector
+    verdicts (``repro.soe.membership.FailureDetector``), which also
+    covers gray failures crash-stop wiring never sees.
+    """
 
     _services: dict[str, list[str]] = field(default_factory=dict)
+    #: node id -> service kinds withdrawn by mark_failed, owed on restore
+    _failed: dict[str, list[str]] = field(default_factory=dict)
     _lock: threading.Lock = field(
         # a lambda, not `threading.Lock` itself: the factory must be
         # looked up at *instance* creation so sanitizer/scheduler lock
@@ -40,18 +66,55 @@ class DiscoveryService:
 
     def announce(self, service_kind: str, node_id: str) -> None:
         with self._lock:
-            nodes = self._services.setdefault(service_kind, [])
-            if node_id not in nodes:
-                nodes.append(node_id)
+            if node_id in self._failed:
+                # the node is marked failed: remember the announcement
+                # for restore, but never expose a dead address
+                kinds = self._failed[node_id]
+                if service_kind not in kinds:
+                    kinds.append(service_kind)
+                return
+            _announce_into(self._services, service_kind, node_id)
 
     def withdraw(self, service_kind: str, node_id: str) -> None:
         with self._lock:
-            nodes = self._services.get(service_kind, [])
-            if node_id in nodes:
-                nodes.remove(node_id)
+            _withdraw_from(self._services, service_kind, node_id)
+            kinds = self._failed.get(node_id)
+            if kinds is not None and service_kind in kinds:
+                kinds.remove(service_kind)
+
+    def mark_failed(self, node_id: str) -> list[str]:
+        """Withdraw every announcement of ``node_id`` (remembering them),
+        so lookups stop returning it immediately. Idempotent; returns the
+        kinds withdrawn by this call."""
+        with self._lock:
+            withdrawn = sorted(
+                kind for kind, nodes in self._services.items() if node_id in nodes
+            )
+            for kind in withdrawn:
+                _withdraw_from(self._services, kind, node_id)
+            owed = self._failed.setdefault(node_id, [])
+            for kind in withdrawn:
+                if kind not in owed:
+                    owed.append(kind)
+            return withdrawn
+
+    def restore(self, node_id: str) -> list[str]:
+        """Re-announce everything :meth:`mark_failed` withdrew (plus any
+        announcement that arrived while the node was down). Idempotent;
+        returns the kinds re-announced."""
+        with self._lock:
+            owed = self._failed.pop(node_id, [])
+            for kind in owed:
+                _announce_into(self._services, kind, node_id)
+            return sorted(owed)
+
+    def is_failed(self, node_id: str) -> bool:
+        with self._lock:
+            return node_id in self._failed
 
     def locate(self, service_kind: str) -> list[str]:
-        """Node ids currently announcing ``service_kind``."""
+        """Node ids currently announcing ``service_kind`` (failed nodes
+        are withdrawn, so they never appear here)."""
         with self._lock:
             return list(self._services.get(service_kind, []))
 

@@ -153,6 +153,10 @@ class SharedLog:
         self.sequencer = Sequencer()
         #: optional fault injector (repro.chaos); consulted before appends
         self.chaos: Any = None
+        #: optional membership FencingGuard — the log-level epoch check
+        #: below the broker: a zombie appending directly to a leased
+        #: partition's stream is fenced even if it bypasses the broker
+        self.fencing: Any = None
         #: bumped by every seal-and-reopen reconfiguration
         self.epoch = 0
         #: serialises replica writes and maintenance (trim/seal); the
@@ -167,7 +171,7 @@ class SharedLog:
 
     # -- write path ---------------------------------------------------------------
 
-    def append(self, payload: Any) -> int:
+    def append(self, payload: Any, fence: Any = None) -> int:
         """Token from the sequencer, then replicate to the stripe; returns
         the global address.
 
@@ -177,7 +181,14 @@ class SharedLog:
         landing between the check and the write still surfaces as
         :class:`LogSealedError`; :meth:`reconfigure` fills any hole that
         race leaves behind.
+
+        The ownership-lease check (``fence``, validated by the installed
+        membership guard) runs first of all, mirroring the seal check's
+        reject-before-address discipline: a stale-epoch payload never
+        burns a log address either.
         """
+        if self.fencing is not None:
+            self.fencing.check_append(payload, fence)
         if self.chaos is not None:
             # may raise LogStallError, or seal the log and raise
             # LogSealedError — both before an address is issued

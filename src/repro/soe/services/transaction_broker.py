@@ -58,6 +58,11 @@ class TransactionBroker:
         #: submits fail fast (CircuitOpenError, non-retryable) instead of
         #: running the seal-and-reopen/backoff schedule per transaction
         self.breaker = breaker
+        #: optional membership FencingGuard: writes routed to leased
+        #: partitions must carry a current-epoch fence token — the
+        #: broker is where a healed zombie's buffered transactions get
+        #: rejected instead of merged
+        self.fencing: Any = None
         #: guards the subscriber list and the commit counter; never held
         #: while calling out (subscribers, the log) to keep lock order flat
         self._lock = threading.Lock()
@@ -74,15 +79,21 @@ class TransactionBroker:
         with self._lock:
             self._oltp_subscribers.append(subscriber)
 
-    def submit(self, operations: Iterable[Operation]) -> int:
+    def submit(self, operations: Iterable[Operation], fence: Any = None) -> int:
         """Append one transaction; returns its log address (the global
-        commit order)."""
+        commit order). With a fencing guard installed, every operation is
+        epoch-checked against the ownership leases of the partitions it
+        routes to — a stale-epoch writer gets a non-retryable
+        ``FencedError`` before anything reaches the log."""
         ops = list(operations)
         for operation in ops:
             if "op" not in operation or "table" not in operation:
                 raise SoeError(f"malformed operation: {operation!r}")
+        if self.fencing is not None:
+            for operation in ops:
+                self.fencing.check_write(operation, fence)
         with obs.latency("soe.broker.submit_seconds"):
-            address = self._append_with_recovery({"ops": ops})
+            address = self._append_with_recovery({"ops": ops}, fence=fence)
             with self._lock:
                 self.transactions += 1
                 subscribers = list(self._oltp_subscribers)
@@ -92,15 +103,26 @@ class TransactionBroker:
         obs.count("soe.broker.operations", len(ops))
         return address
 
-    def _append_with_recovery(self, payload: dict[str, Any]) -> int:
+    def _append_with_recovery(self, payload: dict[str, Any], fence: Any = None) -> int:
         """Append under the broker's bounded retry policy.
 
         A sealed log means the previous configuration was fenced — the
         broker reopens it (seal-and-reopen) before retrying; a stall just
         backs off. Exhausting the policy re-raises the last transient
         error (still a ``LogError``, so callers see the subsystem type).
+        The ``fence`` token is forwarded to the log's own guard (defence
+        in depth); a ``FencedError`` from below is non-retryable and
+        punches straight through this loop.
         """
         last: LogStallError | LogSealedError | None = None
+
+        def do_append() -> int:
+            # only pass the token when one was presented — log stand-ins
+            # (tests, alternative stores) need not know about fencing
+            if fence is None:
+                return self.log.append(payload)
+            return self.log.append(payload, fence=fence)
+
         for attempt, delay in self.retry_policy.schedule():
             if attempt:
                 self.clock.advance(delay)
@@ -108,8 +130,8 @@ class TransactionBroker:
                 obs.count("soe.broker.retries")
             try:
                 if self.breaker is not None:
-                    return self.breaker.call(lambda: self.log.append(payload))
-                return self.log.append(payload)
+                    return self.breaker.call(do_append)
+                return do_append()
             except LogSealedError as exc:
                 last = exc
                 self.log.reconfigure()

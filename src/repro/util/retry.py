@@ -12,6 +12,19 @@ properties are non-negotiable for a reproducible system:
 
 Backoff is exponential *without jitter*: jitter exists to de-correlate
 real fleets; here determinism is the point.
+
+Retryability is **type-driven** (:func:`is_retryable`), never matched on
+message strings, and the split is deliberate at both poles:
+
+* partition message drops (:class:`~repro.errors.NetworkPartitionedError`,
+  a ``TransferDroppedError``) ARE retryable — the link may heal, so the
+  sender backs off and resends;
+* fencing (:class:`~repro.errors.FencedError`, incl. lease expiry) is
+  NOT retryable and punches straight through :meth:`RetryPolicy.call`,
+  exactly like ``CircuitOpenError``: a stale-epoch writer re-presenting
+  the same token can never succeed, and burning backoff budget on it
+  only widens the split-brain window. Re-acquiring a lease is a new
+  decision, not a retry.
 """
 
 from __future__ import annotations
@@ -22,6 +35,14 @@ from typing import Any, Callable, Iterator, TypeVar
 from repro.errors import ReproError, RetryableError
 
 T = TypeVar("T")
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The single retry gate: transient errors opt in via the
+    :class:`~repro.errors.RetryableError` mixin. Terminal-by-design
+    errors (``FencedError``, ``CircuitOpenError``, ``BudgetExceededError``,
+    ``DeadlineExceededError``) deliberately do not."""
+    return isinstance(exc, RetryableError)
 
 
 class SimulatedClock:
@@ -85,10 +106,11 @@ class RetryPolicy:
     ) -> T:
         """Run ``fn`` under this policy; backoff is charged to ``clock``.
 
-        Only :class:`RetryableError` triggers a retry; anything else
-        propagates immediately. After the last attempt the final
-        transient error is re-raised unchanged, so callers still see the
-        subsystem type (``ClusterError``, ``LogError``, …).
+        Only errors passing :func:`is_retryable` trigger a retry;
+        anything else — including ``FencedError`` — propagates
+        immediately with zero backoff charged. After the last attempt the
+        final transient error is re-raised unchanged, so callers still
+        see the subsystem type (``ClusterError``, ``LogError``, …).
         """
         last: RetryableError | None = None
         for attempt, delay in self.schedule():
@@ -98,7 +120,9 @@ class RetryPolicy:
                     on_retry(attempt, last)  # type: ignore[arg-type]
             try:
                 return fn()
-            except RetryableError as exc:
-                last = exc
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                last = exc  # type: ignore[assignment]
         assert last is not None
         raise last

@@ -125,7 +125,7 @@ def test_rule_registry_is_complete():
     assert sorted(all_rules()) == [
         "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
         "RA108", "RA109", "RA110", "RA111", "RA112", "RA113", "RA114",
-        "RA115", "RA116",
+        "RA115", "RA116", "RA117",
     ]
 
 

@@ -667,3 +667,80 @@ def test_ra116_suppressed_by_code_and_by_name():
             time.sleep(0.01)  # repro: allow(polling-loop-without-seam)
     """
     assert codes(src, rel_path=_SOE_PATH, select=["RA116"]) == []
+
+
+# -- RA117: fence-token discipline on ownership-mutating seams -------------------
+
+
+def test_ra117_flags_ownership_method_without_fence_param():
+    src = """
+        class DataNode:
+            def install_ownership(self, table, clone, key_positions, count, lsn):
+                self._ownership[table] = clone
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == ["RA117"]
+
+
+def test_ra117_flags_fence_param_never_used():
+    src = """
+        class CatalogService:
+            def swap_placement(self, table, partition_id, from_node, to_node, fence=None):
+                self._placement[(table, partition_id)] = [to_node]
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == ["RA117"]
+
+
+def test_ra117_flags_broker_submit_and_log_append():
+    src = """
+        class TransactionBroker:
+            def submit(self, operations):
+                return self.log.append(operations)
+
+        class SharedLog:
+            def append(self, payload):
+                return 0
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == ["RA117", "RA117"]
+
+
+def test_ra117_accepts_validated_or_forwarded_fence():
+    src = """
+        class DataNode:
+            def install_ownership(self, table, clone, key_positions, count, lsn, fence=None):
+                if self.fencing is not None:
+                    self.fencing.check_partition(table, 0, fence)
+
+            def release_ownership(self, table, partition_id, fence=None):
+                self._release(table, partition_id, fence=fence)
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == []
+
+
+def test_ra117_append_outside_target_classes_not_flagged():
+    src = """
+        class MoveJournal:
+            def append(self, record):
+                self._records.append(record)
+
+        def submit(operations):
+            return operations
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == []
+
+
+def test_ra117_out_of_scope_path_not_checked():
+    src = """
+        class CatalogService:
+            def swap_placement(self, table, partition_id, from_node, to_node):
+                pass
+    """
+    assert codes(src, rel_path="src/repro/sql/executor.py", select=["RA117"]) == []
+
+
+def test_ra117_suppressed_by_allow_comment():
+    src = """
+        class SharedLog:
+            def append(self, payload):  # repro: allow(RA117)
+                return 0
+    """
+    assert codes(src, rel_path=_SOE_PATH, select=["RA117"]) == []

@@ -374,6 +374,7 @@ def test_harness_registry_names():
         "plancache_bind_invalidate",
         "admission_enqueue_shed",
         "sequencer_append",
+        "lease_flip_fencing",
     }
 
 

@@ -1,0 +1,572 @@
+"""Partition-tolerant membership: detector, leases, fencing, zombies.
+
+The Jepsen-style suite for ``repro.soe.membership``: exactly one valid
+lease-holder per partition per epoch, zombie writes after a heal are
+rejected and never merged, the failure detector walks its
+alive → suspect → dead ladder on silence (and back on a heal), and the
+dead-node leakage fix keeps ``DiscoveryService`` from handing out dead
+addresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    FencedError,
+    LeaseExpiredError,
+    MembershipError,
+    NetworkPartitionedError,
+)
+from repro.soe.cluster import SimulatedCluster
+from repro.soe.engine import SoeEngine
+from repro.soe.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    FenceToken,
+    FencingGuard,
+    LeaseJournal,
+    LeaseManager,
+)
+from repro.soe.partitions import route_row
+from repro.soe.services.discovery import DiscoveryService
+from repro.util.retry import SimulatedClock
+
+ROWS = [[i, f"r{i % 3}", float(i % 7)] for i in range(60)]
+
+
+def build_soe(**membership_kwargs):
+    soe = SoeEngine(node_count=3, node_modes="olap", replication=2)
+    soe.create_table(
+        "readings", ["sensor_id", "region", "value"], ["sensor_id"], partition_count=4
+    )
+    soe.load("readings", ROWS)
+    membership = soe.enable_membership(**membership_kwargs)
+    return soe, membership
+
+
+def key_routed_to(soe: SoeEngine, table: str, pid: int, start: int = 0) -> int:
+    meta = soe.catalog.table(table)
+    return next(
+        k
+        for k in range(start, start + 10_000)
+        if route_row([k, "x", 0.0], meta.key_positions, meta.partition_count) == pid
+    )
+
+
+# -----------------------------------------------------------------------------
+# cluster reachability matrix
+# -----------------------------------------------------------------------------
+
+
+class TestReachability:
+    def make(self):
+        cluster = SimulatedCluster()
+        for name in ("a", "b", "c"):
+            cluster.add_node(name)
+        return cluster
+
+    def test_directed_cut_is_asymmetric(self):
+        cluster = self.make()
+        cluster.partition("a", "b")
+        assert not cluster.reachable("a", "b")
+        assert cluster.reachable("b", "a")
+        with pytest.raises(NetworkPartitionedError):
+            cluster.transfer("a", "b", 10)
+        cluster.transfer("b", "a", 10)  # reverse direction still delivers
+
+    def test_symmetric_cut_and_pair_heal(self):
+        cluster = self.make()
+        cluster.partition("a", "b", symmetric=True)
+        assert not cluster.reachable("a", "b")
+        assert not cluster.reachable("b", "a")
+        cluster.heal("a", "b")
+        assert cluster.reachable("a", "b") and cluster.reachable("b", "a")
+
+    def test_isolate_cuts_everyone_but_node_keeps_running(self):
+        cluster = self.make()
+        cluster.isolate("a")
+        assert cluster.isolated_nodes() == ["a"]
+        assert cluster.nodes["a"].alive  # gray failure, not a crash
+        for other in ("b", "c"):
+            assert not cluster.reachable("a", other)
+            assert not cluster.reachable(other, "a")
+        assert cluster.reachable("b", "c")
+        cluster.heal("a")
+        assert cluster.reachable("a", "b")
+
+    def test_kill_is_partitioned_from_everyone(self):
+        cluster = self.make()
+        cluster.kill("a")
+        assert not cluster.reachable("b", "a")
+        assert not cluster.reachable("a", "b")
+        cluster.revive("a")
+        assert cluster.reachable("b", "a")
+
+    def test_partition_error_is_retryable_drop(self):
+        from repro.errors import TransferDroppedError
+        from repro.util.retry import is_retryable
+
+        cluster = self.make()
+        cluster.partition("a", "b")
+        with pytest.raises(TransferDroppedError) as excinfo:
+            cluster.transfer("a", "b", 10)
+        assert is_retryable(excinfo.value)
+        assert excinfo.value.source == "a" and excinfo.value.target == "b"
+
+
+# -----------------------------------------------------------------------------
+# failure detector
+# -----------------------------------------------------------------------------
+
+
+class TestFailureDetector:
+    def make(self):
+        cluster = SimulatedCluster()
+        cluster.add_node("coordinator")
+        cluster.add_node("w0")
+        clock = SimulatedClock()
+        detector = FailureDetector(
+            cluster,
+            clock,
+            origin="coordinator",
+            suspect_after=0.02,
+            dead_after=0.06,
+            interval=0.01,
+        )
+        detector.watch("w0")
+        return cluster, clock, detector
+
+    def test_silence_ladder_alive_suspect_dead(self):
+        cluster, _clock, detector = self.make()
+        assert detector.state("w0") == ALIVE
+        cluster.isolate("w0")
+        states = []
+        for _ in range(8):
+            detector.tick()
+            states.append(detector.state("w0"))
+        assert SUSPECT in states and states[-1] == DEAD
+        # the ladder is monotone while the silence lasts
+        assert states.index(SUSPECT) < states.index(DEAD)
+        assert detector.dead_nodes() == ["w0"]
+
+    def test_heal_recovers_to_alive(self):
+        cluster, _clock, detector = self.make()
+        cluster.isolate("w0")
+        for _ in range(8):
+            detector.tick()
+        assert detector.state("w0") == DEAD
+        cluster.heal("w0")
+        detector.tick()
+        assert detector.state("w0") == ALIVE
+
+    def test_verdicts_record_transitions_only(self):
+        cluster, _clock, detector = self.make()
+        cluster.isolate("w0")
+        for _ in range(8):
+            detector.tick()
+        cluster.heal("w0")
+        detector.tick()
+        transitions = [(v.previous, v.state) for v in detector.verdicts]
+        assert transitions == [(ALIVE, SUSPECT), (SUSPECT, DEAD), (DEAD, ALIVE)]
+
+    def test_dead_verdict_drives_discovery_withdraw_and_restore(self):
+        cluster = SimulatedCluster()
+        cluster.add_node("coordinator")
+        cluster.add_node("w0")
+        discovery = DiscoveryService()
+        discovery.announce("v2lqp", "w0")
+        detector = FailureDetector(
+            cluster,
+            SimulatedClock(),
+            origin="coordinator",
+            suspect_after=0.02,
+            dead_after=0.06,
+            interval=0.01,
+            discovery=discovery,
+        )
+        detector.watch("w0")
+        cluster.isolate("w0")  # gray: Node.alive never flips
+        for _ in range(8):
+            detector.tick()
+        assert discovery.locate("v2lqp") == []  # dead address withdrawn
+        assert discovery.is_failed("w0")
+        cluster.heal("w0")
+        detector.tick()
+        assert discovery.locate("v2lqp") == ["w0"]
+
+
+# -----------------------------------------------------------------------------
+# lease manager + fencing guard
+# -----------------------------------------------------------------------------
+
+
+class TestLeaseManager:
+    def test_epochs_are_monotone_across_revoke_and_expiry(self):
+        clock = SimulatedClock()
+        leases = LeaseManager(clock=clock, ttl_seconds=0.05)
+        first = leases.grant("t", 0, "a")
+        assert first.epoch == 1
+        leases.revoke("t", 0, "a")
+        second = leases.grant("t", 0, "b")
+        assert second.epoch == 2
+        clock.advance(1.0)
+        assert leases.expire_sweep()  # b's lease times out
+        third = leases.grant("t", 0, "a")
+        assert third.epoch == 3
+
+    def test_grant_supersedes_and_stale_token_is_fenced(self):
+        leases = LeaseManager(ttl_seconds=10.0)
+        stale = leases.grant("t", 0, "a").token()
+        leases.validate(stale)  # current: fine
+        leases.grant("t", 0, "b")
+        with pytest.raises(FencedError):
+            leases.validate(stale)
+
+    def test_expired_holder_gets_lease_expired_not_plain_fenced(self):
+        clock = SimulatedClock()
+        leases = LeaseManager(clock=clock, ttl_seconds=0.05)
+        token = leases.grant("t", 0, "a").token()
+        clock.advance(1.0)
+        with pytest.raises(LeaseExpiredError):
+            leases.validate(token)
+
+    def test_superseded_holder_cannot_renew_back_in(self):
+        leases = LeaseManager(ttl_seconds=10.0)
+        stale = leases.grant("t", 0, "a").token()
+        leases.grant("t", 0, "b")
+        with pytest.raises(FencedError):
+            leases.renew(stale)
+
+    def test_journal_recovery_is_deterministic(self):
+        clock = SimulatedClock()
+        journal = LeaseJournal()
+        leases = LeaseManager(clock=clock, ttl_seconds=0.5, journal=journal)
+        leases.grant("t", 0, "a")
+        leases.grant("t", 1, "b")
+        leases.grant("t", 0, "c")  # supersedes a
+        leases.revoke("t", 1, "b")
+
+        recovered_a = LeaseManager.recover(journal, clock, ttl_seconds=0.5)
+        recovered_b = LeaseManager.recover(journal, clock, ttl_seconds=0.5)
+        for recovered in (recovered_a, recovered_b):
+            assert recovered.holder("t", 0) == "c"
+            assert recovered.holder("t", 1) is None  # revoked
+            assert recovered.current("t", 0).epoch == 2
+            # per-partition epochs keep climbing from where the journal
+            # left off (t#1 saw one grant, so the next is epoch 2)
+            assert recovered.grant("t", 1, "d").epoch == 2
+        assert (
+            recovered_a.journal.all_entries() == recovered_b.journal.all_entries()
+        )
+
+    def test_exactly_one_holder_invariant_catches_forged_double_grant(self):
+        from repro.soe.membership.leases import Lease
+
+        leases = LeaseManager(ttl_seconds=1.0)
+        leases.grant("t", 0, "a")
+        # forge what a split-brained coordinator would journal: a second
+        # grant at the SAME epoch for a different holder
+        forged = Lease(
+            table="t", partition_id=0, holder="b", epoch=1,
+            granted_at=0.0, expires_at=1.0,
+        )
+        leases.journal.record("grant", forged, 0.0)
+        violations = leases.exactly_one_holder_violations()
+        assert any("2 holders" in v for v in violations)
+        assert any("non-monotone epoch" in v for v in violations)
+
+    def test_clean_history_has_no_violations(self):
+        leases = LeaseManager(ttl_seconds=1.0)
+        for pid in range(3):
+            leases.grant("t", pid, "a")
+            leases.grant("t", pid, "b")
+        assert leases.exactly_one_holder_violations() == []
+
+
+class TestFencingGuard:
+    def make(self):
+        leases = LeaseManager(ttl_seconds=10.0)
+        return leases, FencingGuard(leases)
+
+    def test_unleased_partition_passes_even_without_token(self):
+        _leases, guard = self.make()
+        guard.check_partition("t", 0, None)  # never leased: legacy path
+
+    def test_missing_token_on_leased_partition_is_fenced(self):
+        leases, guard = self.make()
+        leases.grant("t", 0, "a")
+        with pytest.raises(FencedError):
+            guard.check_partition("t", 0, None)
+
+    def test_disabled_guard_passes_everything(self):
+        leases, _ = self.make()
+        guard = FencingGuard(leases, enabled=False)
+        leases.grant("t", 0, "a")
+        guard.check_partition("t", 0, None)  # the bench's unfenced arm
+
+    def test_token_iterables_and_singletons_both_work(self):
+        leases, guard = self.make()
+        token = leases.grant("t", 0, "a").token()
+        guard.check_partition("t", 0, token)
+        guard.check_partition("t", 0, (token,))
+        guard.check_partition("t", 0, [token])
+
+    def test_check_write_conservatively_covers_all_leased_partitions(self):
+        leases, guard = self.make()
+        leases.grant("t", 0, "a")
+        leases.grant("t", 1, "b")
+        # no catalog wired: a delete must present tokens for every leased
+        # partition of the table
+        operation = {"op": "delete", "table": "t", "predicate": ("k", 1)}
+        tokens = (
+            leases.current("t", 0).token(),
+            leases.current("t", 1).token(),
+        )
+        guard.check_write(operation, tokens)
+        with pytest.raises(FencedError):
+            guard.check_write(operation, tokens[:1])
+
+    def test_wrong_epoch_token_reports_current_holder(self):
+        leases, guard = self.make()
+        stale = leases.grant("t", 0, "a").token()
+        leases.grant("t", 0, "b")
+        with pytest.raises(FencedError, match="epoch 2 held by 'b'"):
+            guard.check_partition("t", 0, stale)
+
+
+# -----------------------------------------------------------------------------
+# discovery dead-node leakage fix
+# -----------------------------------------------------------------------------
+
+
+class TestDiscoveryLiveness:
+    def test_mark_failed_withdraws_and_restore_reannounces(self):
+        discovery = DiscoveryService()
+        discovery.announce("v2lqp", "w0")
+        discovery.announce("v2stats", "w0")
+        discovery.announce("v2lqp", "w1")
+        assert discovery.mark_failed("w0") == ["v2lqp", "v2stats"]
+        assert discovery.locate("v2lqp") == ["w1"]
+        assert discovery.locate("v2stats") == []
+        assert discovery.mark_failed("w0") == []  # idempotent
+        assert discovery.restore("w0") == ["v2lqp", "v2stats"]
+        assert sorted(discovery.locate("v2lqp")) == ["w0", "w1"]
+
+    def test_announce_while_failed_is_deferred_not_leaked(self):
+        discovery = DiscoveryService()
+        discovery.announce("v2lqp", "w0")
+        discovery.mark_failed("w0")
+        discovery.announce("v2mvcc", "w0")  # arrives while the node is down
+        assert discovery.locate("v2mvcc") == []
+        assert discovery.restore("w0") == ["v2lqp", "v2mvcc"]
+        assert discovery.locate("v2mvcc") == ["w0"]
+
+    def test_withdraw_while_failed_cancels_the_owed_reannounce(self):
+        discovery = DiscoveryService()
+        discovery.announce("v2lqp", "w0")
+        discovery.mark_failed("w0")
+        discovery.withdraw("v2lqp", "w0")
+        assert discovery.restore("w0") == []
+        assert discovery.locate("v2lqp") == []
+
+    def test_cluster_kill_revive_drive_discovery(self):
+        soe, _membership = build_soe()
+        assert "worker0" in soe.discovery.locate("v2lqp")
+        soe.cluster.kill("worker0")
+        assert "worker0" not in soe.discovery.locate("v2lqp")
+        soe.cluster.revive("worker0")
+        assert "worker0" in soe.discovery.locate("v2lqp")
+
+
+# -----------------------------------------------------------------------------
+# membership service: the lease bargain, fail-over, token caches
+# -----------------------------------------------------------------------------
+
+
+class TestMembershipService:
+    def test_bootstrap_grants_exactly_one_lease_per_partition(self):
+        soe, membership = build_soe()
+        holders = {
+            pid: membership.holder("readings", pid) for pid in range(4)
+        }
+        assert all(holder is not None for holder in holders.values())
+        assert membership.check_invariants() == []
+        # idempotent: a second bootstrap grants nothing new
+        assert membership.bootstrap("readings") == []
+
+    def test_cannot_fence_unreachable_holder_before_ttl(self):
+        soe, membership = build_soe()
+        holder = membership.holder("readings", 0)
+        other = next(w for w in soe.worker_ids if w != holder)
+        soe.cluster.isolate(holder)
+        with pytest.raises(MembershipError, match="cannot fence unreachable"):
+            membership.grant("readings", 0, other)
+        # the bargain expires with the TTL
+        soe.clock.advance(1.0)
+        lease = membership.grant("readings", 0, other)
+        assert lease.holder == other and lease.epoch == 2
+
+    def test_reachable_holder_superseded_immediately(self):
+        soe, membership = build_soe()
+        holder = membership.holder("readings", 0)
+        other = next(w for w in soe.worker_ids if w != holder)
+        lease = membership.grant("readings", 0, other)
+        assert lease.epoch == 2
+        # the old holder was reachable, so its cache dropped the token
+        assert all(
+            t.partition_id != 0
+            for t in membership.cached_tokens(holder, "readings")
+        )
+
+    def test_step_fails_over_dead_holder_to_surviving_replica(self):
+        soe, membership = build_soe()
+        victim = membership.holder("readings", 1)
+        soe.cluster.isolate(victim)
+        for _ in range(12):
+            membership.step()
+        survivor = membership.holder("readings", 1)
+        assert survivor is not None and survivor != victim
+        assert soe.cluster.reachable("coordinator", survivor)
+        assert membership.check_invariants() == []
+
+    def test_isolated_holder_keeps_stale_cache_the_zombie(self):
+        soe, membership = build_soe()
+        victim = membership.holder("readings", 1)
+        before = membership.cached_tokens(victim, "readings")
+        soe.cluster.isolate(victim)
+        for _ in range(12):
+            membership.step()
+        # revocation was undeliverable: the zombie still believes
+        assert membership.cached_tokens(victim, "readings") == before
+
+
+# -----------------------------------------------------------------------------
+# fenced write paths end to end
+# -----------------------------------------------------------------------------
+
+
+class TestFencedWrites:
+    def test_front_door_insert_carries_current_tokens(self):
+        soe, _membership = build_soe()
+        before = soe.broker.transactions
+        soe.insert("readings", [[1000, "new", 1.0]])
+        assert soe.broker.transactions == before + 1
+
+    def test_isolated_worker_cannot_ack_a_write(self):
+        soe, _membership = build_soe()
+        soe.cluster.isolate("worker0")
+        with pytest.raises(NetworkPartitionedError):
+            soe.insert("readings", [[1001, "new", 1.0]], via="worker0")
+
+    def test_zombie_write_after_heal_is_rejected_never_merged(self):
+        soe, membership = build_soe()
+        victim = membership.holder("readings", 1)
+        stale_tokens = membership.cached_tokens(victim, "readings")
+        soe.cluster.isolate(victim)
+        for _ in range(12):
+            membership.step()  # lease expires, fails over
+        assert membership.holder("readings", 1) != victim
+        soe.cluster.heal()
+
+        key = key_routed_to(soe, "readings", 1, start=50_000)
+        tail_before = soe.broker.current_lsn
+        with pytest.raises(FencedError):
+            soe.broker.submit(
+                [{"op": "insert", "table": "readings", "rows": [[key, "z", 9.9]]}],
+                fence=stale_tokens,
+            )
+        # rejected means rejected: nothing reached the log
+        assert soe.broker.current_lsn == tail_before
+        soe.catch_up_all()
+        rows, _ = soe.aggregate(
+            "readings",
+            filters=[("sensor_id", "=", key)],
+            consistency="strong",
+        )
+        count = rows[0][0] if rows else 0
+        assert count == 0, "zombie row must never be merged"
+
+    def test_log_append_fences_below_the_broker(self):
+        soe, membership = build_soe()
+        victim = membership.holder("readings", 1)
+        stale = membership.cached_tokens(victim, "readings")
+        other = next(w for w in soe.worker_ids if w != victim)
+        membership.grant("readings", 1, other)  # supersede while reachable
+        key = key_routed_to(soe, "readings", 1)
+        payload = {
+            "ops": [{"op": "insert", "table": "readings", "rows": [[key, "z", 0.0]]}]
+        }
+        with pytest.raises(FencedError):
+            soe.log.append(payload, fence=stale)
+
+    def test_swap_placement_requires_current_token(self):
+        soe, membership = build_soe()
+        holder = membership.holder("readings", 0)
+        hosts = soe.catalog.nodes_of("readings", 0)
+        spare = next(w for w in soe.worker_ids if w not in hosts)
+        with pytest.raises(FencedError):
+            soe.catalog.swap_placement("readings", 0, hosts[0], spare)
+        # with the live token the swap is allowed
+        token = membership.leases.token_for("readings", 0)
+        soe.catalog.swap_placement("readings", 0, hosts[0], spare, fence=token)
+        assert spare in soe.catalog.nodes_of("readings", 0)
+
+
+# -----------------------------------------------------------------------------
+# mover × leases
+# -----------------------------------------------------------------------------
+
+
+class TestMoverLeaseIntegration:
+    def pick_move(self, soe, membership, pid=0):
+        hosts = soe.catalog.nodes_of("readings", pid)
+        donor = membership.holder("readings", pid)
+        if donor not in hosts:
+            donor = hosts[0]
+        recipient = next(w for w in soe.worker_ids if w not in hosts)
+        return donor, recipient
+
+    def test_flip_acquires_next_epoch_and_revokes_donor(self):
+        soe, membership = build_soe()
+        donor, recipient = self.pick_move(soe, membership)
+        epoch_before = membership.leases.current("readings", 0).epoch
+        state = soe.make_mover().move("readings", 0, donor, recipient)
+        assert state.phase == "done", state.error
+        assert state.lease_epoch == epoch_before + 1
+        assert membership.holder("readings", 0) == recipient
+        # the donor's cached token for the moved partition is gone
+        assert all(
+            t.partition_id != 0
+            for t in membership.cached_tokens(donor, "readings")
+        )
+        assert membership.check_invariants() == []
+
+    def test_move_blocked_while_holder_unreachable_rolls_back(self):
+        soe, membership = build_soe()
+        donor, recipient = self.pick_move(soe, membership)
+        holder = membership.holder("readings", 0)
+        assert holder == donor  # primary is the catalog's first replica slot
+        # cut ONLY the coordinator<->holder links: the mover's data path
+        # donor->recipient stays up, so the failure happens at the lease
+        # grant, not in the copy
+        soe.cluster.partition("coordinator", holder, symmetric=True)
+        state = soe.make_mover().move("readings", 0, donor, recipient)
+        assert state.aborted
+        assert "MembershipError" in state.error
+        assert soe.catalog.nodes_of("readings", 0)[0] == donor
+
+    def test_journaled_lease_epoch_survives_resume(self):
+        from repro.soe.movement.mover import MoveState
+
+        state = MoveState(
+            move_id="m",
+            table="t",
+            partition_id=0,
+            donor="a",
+            recipient="b",
+            lease_epoch=7,
+        )
+        assert MoveState.from_dict(state.to_dict()).lease_epoch == 7

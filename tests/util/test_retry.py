@@ -114,3 +114,82 @@ class TestRetryCall:
         assert len(seen) == 1
         assert seen[0][0] == 1
         assert isinstance(seen[0][1], TransientBoom)
+
+
+class TestRetryabilityPoles:
+    """The two poles ownership fencing adds to the type-driven contract:
+    partition drops are retryable (the link may heal), fencing verdicts
+    are not (a stale epoch never becomes current again)."""
+
+    def test_is_retryable_is_type_driven(self):
+        from repro.errors import (
+            FencedError,
+            LeaseExpiredError,
+            NetworkPartitionedError,
+            TransferDroppedError,
+        )
+        from repro.util.retry import is_retryable
+
+        assert is_retryable(NetworkPartitionedError("a", "b"))
+        assert isinstance(NetworkPartitionedError("a", "b"), TransferDroppedError)
+        assert not is_retryable(FencedError("stale"))
+        assert not is_retryable(LeaseExpiredError("expired"))
+        assert isinstance(LeaseExpiredError("expired"), FencedError)
+
+    def test_partition_drop_is_retried_with_backoff_then_raised(self):
+        from repro.errors import NetworkPartitionedError
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, multiplier=2.0)
+        clock = SimulatedClock()
+        attempts = []
+        retries = []
+
+        def always_partitioned():
+            attempts.append(len(attempts))
+            raise NetworkPartitionedError("worker0", "coordinator")
+
+        with pytest.raises(NetworkPartitionedError):
+            policy.call(
+                always_partitioned,
+                clock=clock,
+                on_retry=lambda n, exc: retries.append(n),
+            )
+        assert len(attempts) == 3
+        assert retries == [1, 2]
+        assert clock.now == pytest.approx(0.01 + 0.02)
+
+    def test_fenced_error_punches_through_without_backoff(self):
+        from repro.errors import FencedError
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, multiplier=2.0)
+        clock = SimulatedClock()
+        attempts = []
+        retries = []
+
+        def fenced():
+            attempts.append(len(attempts))
+            raise FencedError("stale fence token")
+
+        with pytest.raises(FencedError):
+            policy.call(
+                fenced, clock=clock, on_retry=lambda n, exc: retries.append(n)
+            )
+        assert len(attempts) == 1, "a fenced writer must not blind-retry"
+        assert retries == []
+        assert clock.now == 0.0
+
+    def test_partition_heals_mid_schedule(self):
+        from repro.errors import NetworkPartitionedError
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0)
+        clock = SimulatedClock()
+        state = {"calls": 0}
+
+        def heals_after_two():
+            state["calls"] += 1
+            if state["calls"] <= 2:
+                raise NetworkPartitionedError("a", "b")
+            return "delivered"
+
+        assert policy.call(heals_after_two, clock=clock) == "delivered"
+        assert state["calls"] == 3

@@ -1272,3 +1272,96 @@ class PollingLoopWithoutSeam(Rule):
                     "as livelock; wait on a lock/queue/join or the clock",
                 )
         self.generic_visit(node)
+
+
+@register
+class FenceTokenDiscipline(Rule):
+    """RA117 — ownership-mutating seams in ``repro/soe/`` carry a fence.
+
+    The membership layer (``repro.soe.membership``) rejects zombie
+    writers with epoch-numbered fence tokens, but that guarantee only
+    holds if every ownership-mutating method actually threads the token
+    through: it must take a ``fence`` parameter and *use* it — validate
+    it against the installed guard or forward it to the next seam down.
+    A mutating method without the parameter is a hole a stale-epoch
+    writer walks straight through; one that accepts the token and drops
+    it on the floor is the same hole wearing a seatbelt.
+    """
+
+    code = "RA117"
+    name = "fence-token-discipline"
+    description = "soe ownership-mutating methods must accept and use a `fence` token"
+    source_prefilter = (
+        "ownership",
+        "swap_placement",
+        "class TransactionBroker",
+        "class SharedLog",
+    )
+
+    #: method names that mutate partition ownership wherever they appear
+    _METHODS = frozenset(
+        {
+            "install_ownership",
+            "release_ownership",
+            "transfer_ownership",
+            "swap_placement",
+        }
+    )
+    #: (class, method) write seams below the ownership API that a zombie
+    #: can reach directly — fenced as defence in depth
+    _CLASS_METHODS = frozenset(
+        {
+            ("TransactionBroker", "submit"),
+            ("SharedLog", "append"),
+            ("DataNode", "ingest"),
+        }
+    )
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        return "repro/soe/" in rel_path
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        super().visit_ClassDef(node)
+        self._class_stack.pop()
+
+    def _is_target(self, method: str) -> bool:
+        if method in self._METHODS:
+            return True
+        owner = self._class_stack[-1] if self._class_stack else ""
+        return (owner, method) in self._CLASS_METHODS
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self._class_stack and self._is_target(node.name):
+            arg_names = {
+                arg.arg
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+            }
+            if "fence" not in arg_names:
+                self.report(
+                    node,
+                    f"ownership-mutating {node.name}() takes no `fence` "
+                    "parameter — a stale-epoch writer cannot be rejected here",
+                )
+            elif not any(
+                isinstance(leaf, ast.Name)
+                and leaf.id == "fence"
+                and isinstance(leaf.ctx, ast.Load)
+                for stmt in node.body
+                for leaf in ast.walk(stmt)
+            ):
+                self.report(
+                    node,
+                    f"{node.name}() accepts `fence` but never validates or "
+                    "forwards it — the token dies here",
+                )
+        super()._visit_function(node)
